@@ -1,0 +1,230 @@
+//! Value-alteration attacks: linear changes (A4), additive insertion (A5)
+//! and the ε-attacks of \[19\] modelling random alterations (A6).
+
+use wms_math::DetRng;
+use wms_stream::{renumber, Sample, Transform};
+
+/// Linear change (A4): `x ↦ a·x + b`. Mallory rescales to keep the trend
+/// value while breaking naive detection; defeated by re-normalization.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearChange {
+    /// Multiplicative factor (≠ 0 to preserve any value at all).
+    pub scale: f64,
+    /// Additive offset.
+    pub offset: f64,
+}
+
+impl Transform for LinearChange {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        input
+            .iter()
+            .map(|s| s.with_value(self.scale * s.value + self.offset))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("linear({}x+{})", self.scale, self.offset)
+    }
+}
+
+/// Additive insertion (A5): Mallory splices a bounded fraction of new
+/// values into the stream. Per §2.1 the new values must follow the host
+/// distribution or they become trivially identifiable, so they are
+/// resampled from the stream itself with small perturbation.
+#[derive(Debug, Clone, Copy)]
+pub struct AdditiveInsertion {
+    /// Fraction of new items relative to the input length, in [0, 1].
+    pub fraction: f64,
+    /// Relative perturbation applied to each resampled value.
+    pub jitter: f64,
+    /// Attack randomness seed.
+    pub seed: u64,
+}
+
+impl Transform for AdditiveInsertion {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        assert!((0.0..=1.0).contains(&self.fraction), "fraction in [0,1]");
+        if input.is_empty() || self.fraction == 0.0 {
+            return input.to_vec();
+        }
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        let n_new = (input.len() as f64 * self.fraction).round() as usize;
+        // Choose insertion points, then emit in order.
+        let mut insert_after: Vec<usize> = (0..n_new)
+            .map(|_| rng.below_usize(input.len()))
+            .collect();
+        insert_after.sort_unstable();
+        let mut out = Vec::with_capacity(input.len() + n_new);
+        let mut ins_iter = insert_after.into_iter().peekable();
+        for (i, s) in input.iter().enumerate() {
+            out.push(*s);
+            while ins_iter.peek() == Some(&i) {
+                ins_iter.next();
+                // Resample an existing value, perturb slightly; inherit
+                // the local provenance (measurement scaffolding only).
+                let donor = input[rng.below_usize(input.len())].value;
+                let v = donor * (1.0 + self.jitter * (rng.next_f64() - 0.5) * 2.0);
+                out.push(Sample::derived(0, v, s.span));
+            }
+        }
+        renumber(out)
+    }
+
+    fn name(&self) -> String {
+        format!("additive-insertion({:.0}%)", self.fraction * 100.0)
+    }
+}
+
+/// The uniform-altering ε-attack of \[19\] (§6.1): multiply a fraction of
+/// the items by a value uniformly distributed in `(1+μ−ε, 1+μ+ε)`.
+/// Models any uninformed random alteration (A6).
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonAttack {
+    /// Fraction of items altered (the paper's τ axis in Figure 7).
+    pub fraction: f64,
+    /// Amplitude ε of the multiplicative band.
+    pub amplitude: f64,
+    /// Mean μ of the band (0 for the unbiased attack).
+    pub mean: f64,
+    /// Attack randomness seed.
+    pub seed: u64,
+}
+
+impl EpsilonAttack {
+    /// Unbiased attack altering `fraction` of items within ±`amplitude`.
+    pub fn uniform(fraction: f64, amplitude: f64, seed: u64) -> Self {
+        EpsilonAttack { fraction, amplitude, mean: 0.0, seed }
+    }
+}
+
+impl Transform for EpsilonAttack {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        assert!((0.0..=1.0).contains(&self.fraction), "fraction in [0,1]");
+        assert!(self.amplitude >= 0.0, "amplitude must be non-negative");
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        input
+            .iter()
+            .map(|s| {
+                if rng.chance(self.fraction) {
+                    let lo = 1.0 + self.mean - self.amplitude;
+                    let hi = 1.0 + self.mean + self.amplitude;
+                    s.with_value(s.value * rng.uniform(lo, hi))
+                } else {
+                    *s
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "epsilon(fraction={:.2}, eps={:.2}, mu={:.2})",
+            self.fraction, self.amplitude, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_math::summarize;
+    use wms_stream::{samples_from_values, values_of};
+
+    fn stream(n: usize) -> Vec<Sample> {
+        samples_from_values(
+            &(0..n)
+                .map(|i| 0.3 * (i as f64 * 0.05).sin() + 0.1)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn linear_change_is_affine() {
+        let s = stream(10);
+        let out = LinearChange { scale: 2.0, offset: 1.0 }.apply(&s);
+        for (a, b) in out.iter().zip(&s) {
+            assert!((a.value - (2.0 * b.value + 1.0)).abs() < 1e-12);
+            assert_eq!(a.span, b.span);
+        }
+    }
+
+    #[test]
+    fn additive_insertion_grows_stream() {
+        let s = stream(1000);
+        let out = AdditiveInsertion { fraction: 0.1, jitter: 0.01, seed: 3 }.apply(&s);
+        assert_eq!(out.len(), 1100);
+        // Well-formed indices.
+        for (i, smp) in out.iter().enumerate() {
+            assert_eq!(smp.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn additive_insertion_preserves_distribution() {
+        let s = stream(5000);
+        let out = AdditiveInsertion { fraction: 0.2, jitter: 0.02, seed: 9 }.apply(&s);
+        let a = summarize(&values_of(&s)).unwrap();
+        let b = summarize(&values_of(&out)).unwrap();
+        assert!((a.mean - b.mean).abs() < 0.02, "{} vs {}", a.mean, b.mean);
+        assert!((a.std_dev - b.std_dev).abs() < 0.02);
+    }
+
+    #[test]
+    fn additive_insertion_zero_fraction_is_identity() {
+        let s = stream(50);
+        assert_eq!(
+            AdditiveInsertion { fraction: 0.0, jitter: 0.1, seed: 0 }.apply(&s),
+            s
+        );
+    }
+
+    #[test]
+    fn epsilon_attack_alters_expected_fraction() {
+        let s = stream(20_000);
+        let out = EpsilonAttack::uniform(0.3, 0.1, 5).apply(&s);
+        let altered = out
+            .iter()
+            .zip(&s)
+            .filter(|(a, b)| a.value != b.value)
+            .count();
+        let frac = altered as f64 / s.len() as f64;
+        assert!((0.27..0.33).contains(&frac), "altered fraction {frac}");
+    }
+
+    #[test]
+    fn epsilon_attack_bounded_multiplier() {
+        let s = stream(5000);
+        let out = EpsilonAttack::uniform(1.0, 0.2, 7).apply(&s);
+        for (a, b) in out.iter().zip(&s) {
+            if b.value.abs() > 1e-12 {
+                let ratio = a.value / b.value;
+                assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_attack_mean_shift() {
+        let s = stream(20_000);
+        let out = EpsilonAttack { fraction: 1.0, amplitude: 0.0, mean: 0.05, seed: 1 }.apply(&s);
+        for (a, b) in out.iter().zip(&s) {
+            assert!((a.value - b.value * 1.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_everything_is_identity() {
+        let s = stream(100);
+        assert_eq!(EpsilonAttack::uniform(0.0, 0.5, 3).apply(&s), s);
+    }
+
+    #[test]
+    fn epsilon_preserves_shape_and_provenance() {
+        let s = stream(100);
+        let out = EpsilonAttack::uniform(0.5, 0.1, 11).apply(&s);
+        assert_eq!(out.len(), s.len());
+        for (a, b) in out.iter().zip(&s) {
+            assert_eq!(a.span, b.span);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # wms-attacks
+//!
+//! Mallory's toolbox: every transform and attack the paper's threat model
+//! (§2.1) names, implemented as [`wms_stream::Transform`]s so they compose
+//! into pipelines (Figure 10b's combined sampling+summarization, etc.):
+//!
+//! * A1 [`summarization::Summarization`] (+ min/max aggregate variants);
+//! * A2 [`sampling::UniformSampling`] and [`sampling::FixedSampling`];
+//! * A3 [`segmentation::Segmentation`] / [`segmentation::RandomSegment`];
+//! * A4 [`alterations::LinearChange`];
+//! * A5 [`alterations::AdditiveInsertion`];
+//! * A6 [`alterations::EpsilonAttack`] (the ε-attack of \[19\]);
+//! * §4.1's [`correlation::BucketCountingAttack`];
+//! * [`measure`] — provenance-based label-survival measurement used by
+//!   the Figure 6/8 experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alterations;
+pub mod correlation;
+pub mod measure;
+pub mod sampling;
+pub mod segmentation;
+pub mod summarization;
+
+pub use alterations::{AdditiveInsertion, EpsilonAttack, LinearChange};
+pub use correlation::{BiasFinding, BucketCountingAttack};
+pub use measure::{label_extremes, label_survival, match_tolerance, LabelSurvival};
+pub use sampling::{FixedSampling, UniformSampling};
+pub use segmentation::{RandomSegment, Segmentation};
+pub use summarization::{Aggregate, AggregateSummarization, Summarization};

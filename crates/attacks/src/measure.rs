@@ -1,0 +1,231 @@
+//! Measurement scaffolding for the evaluation: label survival across
+//! attacks (Figures 6 and 8 plot "labels altered (%)").
+//!
+//! Detection itself never sees provenance; these helpers do, because the
+//! *experimenter* must match extremes in the attacked stream back to the
+//! originals to decide whether a label changed.
+
+use wms_core::extremes::{self, Extreme};
+use wms_core::transform_estimate::adjusted_degree;
+use wms_core::{Label, Labeler, Scheme};
+use wms_stream::Sample;
+
+/// An extreme together with its (possibly still warming-up) label.
+#[derive(Debug, Clone)]
+pub struct LabeledExtreme {
+    /// The extreme, positions relative to the scanned stream.
+    pub extreme: Extreme,
+    /// Position in *original-stream* coordinates (via provenance).
+    pub original_pos: u64,
+    /// The label, `None` during labeler warm-up.
+    pub label: Option<Label>,
+}
+
+/// Scans a stream and labels its major extremes of the given degree,
+/// exactly as embedder/detector would (batch version over the full
+/// slice — equivalent for measurement purposes).
+pub fn label_extremes(scheme: &Scheme, samples: &[Sample], degree: usize) -> Vec<LabeledExtreme> {
+    let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+    let p = &scheme.params;
+    let mut labeler = Labeler::new(p.label_len, p.label_stride);
+    extremes::scan_major(&values, p.radius, degree)
+        .into_iter()
+        .map(|e| {
+            let raw = scheme.codec.quantize(e.value);
+            labeler.push(scheme.label_msb(raw));
+            LabeledExtreme {
+                original_pos: samples[e.pos].span.midpoint(),
+                label: labeler.label(),
+                extreme: e,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of comparing labels before/after an attack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelSurvival {
+    /// Original major extremes that carried a defined label.
+    pub original: usize,
+    /// Those matched to an attacked extreme with an identical label.
+    pub survived: usize,
+    /// Matched but label differs.
+    pub relabeled: usize,
+    /// No attacked extreme found near the original position.
+    pub lost: usize,
+}
+
+impl LabelSurvival {
+    /// The figures' y-axis: percentage of labels altered (relabeled or
+    /// lost entirely).
+    pub fn altered_pct(&self) -> f64 {
+        if self.original == 0 {
+            return 0.0;
+        }
+        100.0 * (self.relabeled + self.lost) as f64 / self.original as f64
+    }
+}
+
+/// Compares the labels of `original`'s major extremes with those
+/// recomputed from `attacked` (at the transform-adjusted degree ν′ for
+/// transform degree χ). Matching is by provenance position within
+/// `tolerance` original-stream items.
+pub fn label_survival(
+    scheme: &Scheme,
+    original: &[Sample],
+    attacked: &[Sample],
+    chi: f64,
+    tolerance: u64,
+) -> LabelSurvival {
+    let orig = label_extremes(scheme, original, scheme.params.degree);
+    let att = label_extremes(
+        scheme,
+        attacked,
+        adjusted_degree(scheme.params.degree, chi),
+    );
+    let mut result = LabelSurvival::default();
+    // Two-pointer nearest matching over position-sorted lists.
+    let att_positions: Vec<u64> = att.iter().map(|l| l.original_pos).collect();
+    let mut j = 0usize;
+    for o in &orig {
+        let Some(olabel) = o.label else { continue };
+        result.original += 1;
+        // Advance j to the closest attacked position.
+        while j + 1 < att_positions.len()
+            && att_positions[j + 1].abs_diff(o.original_pos)
+                <= att_positions[j].abs_diff(o.original_pos)
+        {
+            j += 1;
+        }
+        let matched = (!att_positions.is_empty())
+            .then(|| &att[j])
+            .filter(|a| a.original_pos.abs_diff(o.original_pos) <= tolerance);
+        match matched {
+            Some(a) if a.label == Some(olabel) => result.survived += 1,
+            Some(_) => result.relabeled += 1,
+            None => result.lost += 1,
+        }
+    }
+    result
+}
+
+/// Sensible matching tolerance for a transform of degree χ: a couple of
+/// output items' worth of original indices.
+pub fn match_tolerance(chi: f64) -> u64 {
+    (2.0 * chi).ceil() as u64 + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alterations::EpsilonAttack;
+    use crate::sampling::UniformSampling;
+    use crate::summarization::Summarization;
+    use wms_core::{Scheme, WmParams};
+    use wms_crypto::{Key, KeyedHash};
+    use wms_stream::{samples_from_values, Transform};
+
+    fn params() -> WmParams {
+        WmParams {
+            degree: 3,
+            radius: 0.01,
+            label_len: 5,
+            label_stride: 1,
+            ..WmParams::default()
+        }
+    }
+
+    fn scheme() -> Scheme {
+        Scheme::new(params(), KeyedHash::md5(Key::from_u64(77))).unwrap()
+    }
+
+    fn stream(n: usize) -> Vec<Sample> {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                let amp = 0.15 + 0.25 * (0.5 + 0.5 * (t * 0.002).sin());
+                amp * (t * core::f64::consts::TAU / 80.0).sin()
+            })
+            .collect();
+        samples_from_values(&values)
+    }
+
+    #[test]
+    fn labels_computed_in_stream_order() {
+        let s = stream(4000);
+        let labeled = label_extremes(&scheme(), &s, 3);
+        assert!(labeled.len() > 20);
+        // Warm-up prefix has no labels; afterwards all defined.
+        let first_some = labeled.iter().position(|l| l.label.is_some()).unwrap();
+        assert!(labeled[first_some..].iter().all(|l| l.label.is_some()));
+        // Positions strictly increase.
+        for w in labeled.windows(2) {
+            assert!(w[0].original_pos < w[1].original_pos);
+        }
+    }
+
+    #[test]
+    fn identity_attack_preserves_all_labels() {
+        let s = stream(4000);
+        let r = label_survival(&scheme(), &s, &s, 1.0, match_tolerance(1.0));
+        assert!(r.original > 10);
+        assert_eq!(r.relabeled, 0, "{r:?}");
+        assert_eq!(r.lost, 0, "{r:?}");
+        assert_eq!(r.altered_pct(), 0.0);
+    }
+
+    #[test]
+    fn gentle_epsilon_attack_alters_few_labels() {
+        let s = stream(6000);
+        let attacked = EpsilonAttack::uniform(0.01, 0.05, 5).apply(&s);
+        let r = label_survival(&scheme(), &s, &attacked, 1.0, match_tolerance(1.0));
+        assert!(r.original > 20);
+        assert!(
+            r.altered_pct() < 50.0,
+            "1% alteration should not kill most labels: {r:?}"
+        );
+    }
+
+    #[test]
+    fn aggressive_epsilon_attack_alters_more_labels() {
+        let s = stream(6000);
+        let gentle = EpsilonAttack::uniform(0.02, 0.1, 5).apply(&s);
+        let harsh = EpsilonAttack::uniform(0.5, 0.8, 5).apply(&s);
+        let rg = label_survival(&scheme(), &s, &gentle, 1.0, match_tolerance(1.0));
+        let rh = label_survival(&scheme(), &s, &harsh, 1.0, match_tolerance(1.0));
+        assert!(
+            rh.altered_pct() > rg.altered_pct(),
+            "harsher attack must alter more labels: {} vs {}",
+            rh.altered_pct(),
+            rg.altered_pct()
+        );
+    }
+
+    #[test]
+    fn sampling_measurement_runs_with_adjusted_degree() {
+        let s = stream(8000);
+        let attacked = UniformSampling::new(3, 1).apply(&s);
+        let r = label_survival(&scheme(), &s, &attacked, 3.0, match_tolerance(3.0));
+        assert!(r.original > 20);
+        // Some labels survive, some don't — both counters meaningful.
+        assert!(r.survived + r.relabeled + r.lost == r.original);
+    }
+
+    #[test]
+    fn summarization_measurement_runs() {
+        let s = stream(8000);
+        let attacked = Summarization::new(4).apply(&s);
+        let r = label_survival(&scheme(), &s, &attacked, 4.0, match_tolerance(4.0));
+        assert!(r.original > 20);
+        assert!(r.altered_pct() <= 100.0);
+    }
+
+    #[test]
+    fn empty_attacked_stream_loses_everything() {
+        let s = stream(4000);
+        let r = label_survival(&scheme(), &s, &[], 1.0, 4);
+        assert!(r.original > 0);
+        assert_eq!(r.lost, r.original);
+        assert_eq!(r.altered_pct(), 100.0);
+    }
+}

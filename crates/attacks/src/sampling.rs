@@ -1,0 +1,166 @@
+//! Sampling attacks/transforms (A2, §2.2).
+//!
+//! * **Uniform random sampling of degree χ**: one value chosen uniformly
+//!   at random out of every χ consecutive values.
+//! * **Fixed random sampling of degree χ**: always the first value of
+//!   each χ-sized block (the paper's "subtle variation").
+
+use wms_math::DetRng;
+use wms_stream::{renumber, Sample, Transform};
+
+/// Uniform random sampling of degree χ.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSampling {
+    /// χ ≥ 1: one of every χ values survives.
+    pub degree: usize,
+    /// Attack randomness seed (Mallory's coin).
+    pub seed: u64,
+}
+
+impl UniformSampling {
+    /// Creates the attack; degree 1 is the identity.
+    pub fn new(degree: usize, seed: u64) -> Self {
+        assert!(degree >= 1, "sampling degree must be >= 1");
+        UniformSampling { degree, seed }
+    }
+}
+
+impl Transform for UniformSampling {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        if self.degree == 1 {
+            return input.to_vec();
+        }
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(input.len() / self.degree + 1);
+        for block in input.chunks(self.degree) {
+            let pick = rng.below_usize(block.len());
+            out.push(block[pick]);
+        }
+        renumber(out)
+    }
+
+    fn name(&self) -> String {
+        format!("uniform-sampling({})", self.degree)
+    }
+}
+
+/// Fixed random sampling of degree χ (first element of each block).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSampling {
+    /// χ ≥ 1.
+    pub degree: usize,
+}
+
+impl FixedSampling {
+    /// Creates the attack.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 1, "sampling degree must be >= 1");
+        FixedSampling { degree }
+    }
+}
+
+impl Transform for FixedSampling {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        renumber(input.iter().step_by(self.degree).copied().collect())
+    }
+
+    fn name(&self) -> String {
+        format!("fixed-sampling({})", self.degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_stream::samples_from_values;
+
+    fn stream(n: usize) -> Vec<Sample> {
+        samples_from_values(&(0..n).map(|i| i as f64).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn output_length_is_input_over_degree() {
+        let s = stream(1000);
+        for d in [1usize, 2, 3, 7, 10] {
+            let out = UniformSampling::new(d, 1).apply(&s);
+            assert_eq!(out.len(), 1000usize.div_ceil(d), "degree {d}");
+            let fixed = FixedSampling::new(d).apply(&s);
+            assert_eq!(fixed.len(), 1000usize.div_ceil(d));
+        }
+    }
+
+    #[test]
+    fn picks_exactly_one_per_block() {
+        let s = stream(100);
+        let out = UniformSampling::new(5, 7).apply(&s);
+        for (b, smp) in out.iter().enumerate() {
+            let orig = smp.span.start as usize;
+            assert!(
+                (b * 5..(b + 1) * 5).contains(&orig),
+                "block {b} picked original {orig}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_preserved_and_renumbered() {
+        let s = stream(97);
+        let out = UniformSampling::new(4, 3).apply(&s);
+        for (i, smp) in out.iter().enumerate() {
+            assert_eq!(smp.index, i as u64);
+        }
+        for w in out.windows(2) {
+            assert!(w[0].span.start < w[1].span.start, "provenance monotone");
+        }
+    }
+
+    #[test]
+    fn fixed_sampling_takes_block_heads() {
+        let s = stream(12);
+        let out = FixedSampling::new(4).apply(&s);
+        let heads: Vec<u64> = out.iter().map(|x| x.span.start).collect();
+        assert_eq!(heads, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed_and_varies_across() {
+        let s = stream(200);
+        let a = UniformSampling::new(3, 5).apply(&s);
+        let b = UniformSampling::new(3, 5).apply(&s);
+        assert_eq!(a, b);
+        let c = UniformSampling::new(3, 6).apply(&s);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let s = stream(10);
+        assert_eq!(UniformSampling::new(1, 0).apply(&s), s);
+        assert_eq!(FixedSampling::new(1).apply(&s), s);
+    }
+
+    #[test]
+    fn uniform_choice_is_roughly_uniform() {
+        // Over many blocks, each in-block offset should be picked about
+        // equally often.
+        let s = stream(50_000);
+        let out = UniformSampling::new(5, 11).apply(&s);
+        let mut counts = [0u32; 5];
+        for smp in &out {
+            counts[(smp.span.start % 5) as usize] += 1;
+        }
+        let expect = out.len() as f64 / 5.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.1,
+                "offset {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be >= 1")]
+    fn zero_degree_rejected() {
+        UniformSampling::new(0, 0);
+    }
+}

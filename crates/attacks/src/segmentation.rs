@@ -1,0 +1,101 @@
+//! Segmentation (A3): Mallory re-sells a finite chunk of the stream.
+//! Detection must recover the mark from the chunk alone — §5 bounds the
+//! minimum useful segment size; Figure 10a measures bias vs segment size.
+
+use wms_math::DetRng;
+use wms_stream::{renumber, Sample, Transform};
+
+/// Cuts the contiguous segment `[start, start+len)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Segmentation {
+    /// First index kept.
+    pub start: usize,
+    /// Number of items kept.
+    pub len: usize,
+}
+
+impl Transform for Segmentation {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        let end = (self.start + self.len).min(input.len());
+        let start = self.start.min(input.len());
+        renumber(input[start..end].to_vec())
+    }
+
+    fn name(&self) -> String {
+        format!("segment({}..{})", self.start, self.start + self.len)
+    }
+}
+
+/// Cuts a uniformly random segment of the given length.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSegment {
+    /// Segment length.
+    pub len: usize,
+    /// Position randomness seed.
+    pub seed: u64,
+}
+
+impl Transform for RandomSegment {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        if self.len >= input.len() {
+            return input.to_vec();
+        }
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        let start = rng.below_usize(input.len() - self.len + 1);
+        Segmentation { start, len: self.len }.apply(input)
+    }
+
+    fn name(&self) -> String {
+        format!("random-segment({})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_stream::samples_from_values;
+
+    fn stream(n: usize) -> Vec<Sample> {
+        samples_from_values(&(0..n).map(|i| i as f64).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn cuts_exact_segment() {
+        let s = stream(100);
+        let out = Segmentation { start: 10, len: 5 }.apply(&s);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].value, 10.0);
+        assert_eq!(out[0].index, 0, "renumbered");
+        assert_eq!(out[0].span.start, 10, "provenance kept");
+        assert_eq!(out[4].value, 14.0);
+    }
+
+    #[test]
+    fn clamps_at_stream_end() {
+        let s = stream(10);
+        let out = Segmentation { start: 8, len: 5 }.apply(&s);
+        assert_eq!(out.len(), 2);
+        let empty = Segmentation { start: 20, len: 5 }.apply(&s);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn random_segment_in_bounds_and_deterministic() {
+        let s = stream(1000);
+        let a = RandomSegment { len: 100, seed: 4 }.apply(&s);
+        let b = RandomSegment { len: 100, seed: 4 }.apply(&s);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let first = a[0].span.start;
+        assert!(first + 100 <= 1000);
+        // Different seeds usually pick different positions.
+        let c = RandomSegment { len: 100, seed: 5 }.apply(&s);
+        assert_ne!(a[0].span.start, c[0].span.start);
+    }
+
+    #[test]
+    fn oversized_random_segment_is_identity() {
+        let s = stream(10);
+        assert_eq!(RandomSegment { len: 50, seed: 0 }.apply(&s), s);
+    }
+}

@@ -1,0 +1,177 @@
+//! Summarization (A1, §2.2): replace every χ consecutive values by their
+//! average. The transform most existing watermarking schemes do not
+//! survive, and the reason the multi-hash encoding hashes *averages*.
+
+use wms_stream::{renumber, Sample, Span, Transform};
+
+/// Summarization of degree χ.
+#[derive(Debug, Clone, Copy)]
+pub struct Summarization {
+    /// χ ≥ 1: each output value is the mean of χ inputs.
+    pub degree: usize,
+}
+
+impl Summarization {
+    /// Creates the transform; degree 1 is the identity.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 1, "summarization degree must be >= 1");
+        Summarization { degree }
+    }
+}
+
+impl Transform for Summarization {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        if self.degree == 1 {
+            return input.to_vec();
+        }
+        let mut out = Vec::with_capacity(input.len() / self.degree + 1);
+        for block in input.chunks(self.degree) {
+            let mean = block.iter().map(|s| s.value).sum::<f64>() / block.len() as f64;
+            let span = Span {
+                start: block.first().unwrap().span.start,
+                end: block.last().unwrap().span.end,
+            };
+            out.push(Sample::derived(0, mean, span));
+        }
+        renumber(out)
+    }
+
+    fn name(&self) -> String {
+        format!("summarization({})", self.degree)
+    }
+}
+
+/// Alternative aggregate summarizations the paper lists as future work
+/// (§7): min, max. Provided for the extension experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Arithmetic mean (the paper's summarization).
+    Mean,
+    /// Block minimum.
+    Min,
+    /// Block maximum.
+    Max,
+}
+
+/// Summarization with a selectable aggregate.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregateSummarization {
+    /// Block length χ.
+    pub degree: usize,
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+}
+
+impl Transform for AggregateSummarization {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        assert!(self.degree >= 1);
+        let mut out = Vec::with_capacity(input.len() / self.degree + 1);
+        for block in input.chunks(self.degree) {
+            let value = match self.aggregate {
+                Aggregate::Mean => {
+                    block.iter().map(|s| s.value).sum::<f64>() / block.len() as f64
+                }
+                Aggregate::Min => block.iter().map(|s| s.value).fold(f64::INFINITY, f64::min),
+                Aggregate::Max => block
+                    .iter()
+                    .map(|s| s.value)
+                    .fold(f64::NEG_INFINITY, f64::max),
+            };
+            let span = Span {
+                start: block.first().unwrap().span.start,
+                end: block.last().unwrap().span.end,
+            };
+            out.push(Sample::derived(0, value, span));
+        }
+        renumber(out)
+    }
+
+    fn name(&self) -> String {
+        format!("summarization({}, {:?})", self.degree, self.aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_stream::samples_from_values;
+
+    fn stream(values: &[f64]) -> Vec<Sample> {
+        samples_from_values(values)
+    }
+
+    #[test]
+    fn averages_blocks() {
+        let s = stream(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = Summarization::new(2).apply(&s);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].value, 1.5);
+        assert_eq!(out[1].value, 3.5);
+        assert_eq!(out[2].value, 5.5);
+    }
+
+    #[test]
+    fn tail_block_averages_partially() {
+        let s = stream(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let out = Summarization::new(2).apply(&s);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].value, 5.0);
+    }
+
+    #[test]
+    fn provenance_covers_block() {
+        let s = stream(&[1.0, 2.0, 3.0, 4.0]);
+        let out = Summarization::new(2).apply(&s);
+        assert_eq!(out[0].span, Span::new(0, 2));
+        assert_eq!(out[1].span, Span::new(2, 4));
+        assert_eq!(out[1].index, 1);
+    }
+
+    #[test]
+    fn preserves_global_mean() {
+        // With exact block division, summarization preserves the mean.
+        let vals: Vec<f64> = (0..120).map(|i| (i as f64 * 0.3).sin()).collect();
+        let s = stream(&vals);
+        let out = Summarization::new(4).apply(&s);
+        let before = vals.iter().sum::<f64>() / vals.len() as f64;
+        let after = out.iter().map(|x| x.value).sum::<f64>() / out.len() as f64;
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let s = stream(&[0.5, -0.25]);
+        assert_eq!(Summarization::new(1).apply(&s), s);
+    }
+
+    #[test]
+    fn min_max_aggregates() {
+        let s = stream(&[3.0, 1.0, 2.0, 7.0]);
+        let min = AggregateSummarization { degree: 2, aggregate: Aggregate::Min }.apply(&s);
+        assert_eq!(min[0].value, 1.0);
+        assert_eq!(min[1].value, 2.0);
+        let max = AggregateSummarization { degree: 2, aggregate: Aggregate::Max }.apply(&s);
+        assert_eq!(max[0].value, 3.0);
+        assert_eq!(max[1].value, 7.0);
+    }
+
+    #[test]
+    fn composition_of_summarizations_is_summarization() {
+        // mean∘mean with aligned blocks = mean of the product degree —
+        // the algebra the multi-hash encoding leans on.
+        let vals: Vec<f64> = (0..64).map(|i| (i as f64) * 0.01).collect();
+        let s = stream(&vals);
+        let twice = Summarization::new(2).apply(&Summarization::new(2).apply(&s));
+        let once = Summarization::new(4).apply(&s);
+        for (a, b) in twice.iter().zip(&once) {
+            assert!((a.value - b.value).abs() < 1e-12);
+            assert_eq!(a.span, b.span);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be >= 1")]
+    fn zero_degree_rejected() {
+        Summarization::new(0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Benchmarks of the three subset encodings (§6.4's cost comparison):
+//! per-subset embed and detect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wms_bench::exp;
+use wms_core::encoding::initial::InitialEncoder;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::encoding::quadres::QuadResEncoder;
+use wms_core::encoding::SubsetEncoder;
+use wms_core::{Label, WmParams};
+
+fn subset(a: usize) -> Vec<f64> {
+    (0..a)
+        .map(|k| 0.31 - 0.0008 * (k as f64 - a as f64 / 2.0).powi(2))
+        .collect()
+}
+
+fn label() -> Label {
+    Label::from_parts(0b1_0110_1001, 9)
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding-embed");
+    g.sample_size(10);
+    let scheme = exp::scheme(exp::irtf_params());
+    let vals = subset(5);
+    g.bench_function("initial a=5", |b| {
+        b.iter(|| InitialEncoder.embed(black_box(&scheme), &vals, 2, &label(), true))
+    });
+    let qr = QuadResEncoder::from_scheme(&scheme, 3);
+    g.bench_function("quadres k=3 a=5", |b| {
+        b.iter(|| qr.embed(black_box(&scheme), &vals, 2, &label(), true))
+    });
+    for a in [3usize, 4] {
+        let s = exp::scheme(WmParams { max_subset: a, ..exp::irtf_params() });
+        let v = subset(a);
+        g.bench_with_input(BenchmarkId::new("multihash-full", a), &v, |b, v| {
+            b.iter(|| MultiHashEncoder.embed(black_box(&s), v, a / 2, &label(), true))
+        });
+    }
+    let reduced = exp::scheme(WmParams { min_active: Some(12), ..exp::irtf_params() });
+    g.bench_function("multihash min_active=12 a=5", |b| {
+        b.iter(|| MultiHashEncoder.embed(black_box(&reduced), &vals, 2, &label(), true))
+    });
+    g.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding-detect");
+    let scheme = exp::scheme(exp::irtf_params());
+    let vals = subset(5);
+    g.bench_function("initial a=5", |b| {
+        b.iter(|| InitialEncoder.detect(black_box(&scheme), &vals, &label()))
+    });
+    g.bench_function("multihash a=5", |b| {
+        b.iter(|| MultiHashEncoder.detect(black_box(&scheme), &vals, &label()))
+    });
+    let qr = QuadResEncoder::from_scheme(&scheme, 3);
+    g.bench_function("quadres k=3 a=5", |b| {
+        b.iter(|| qr.detect(black_box(&scheme), &vals, &label()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_embed, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks of the extremes/characteristic-subset scanner — the
+//! per-window cost shared by embedder and detector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wms_bench::datasets;
+use wms_core::extremes;
+use wms_stream::values_of;
+
+fn bench_scan(c: &mut Criterion) {
+    let (data, _) = datasets::irtf_normalized();
+    let values = values_of(&data);
+    let mut g = c.benchmark_group("extremes");
+    for window in [2048usize, 8192] {
+        let slice = &values[..window];
+        g.throughput(Throughput::Elements(window as u64));
+        g.bench_with_input(BenchmarkId::new("scan", window), &slice, |b, s| {
+            b.iter(|| extremes::scan(black_box(s), 0.025))
+        });
+        g.bench_with_input(BenchmarkId::new("scan_major", window), &slice, |b, s| {
+            b.iter(|| extremes::scan_major(black_box(s), 0.025, 12))
+        });
+    }
+    g.bench_function("measure_xi full dataset", |b| {
+        b.iter(|| extremes::measure_xi(black_box(&values), 0.025, 12))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

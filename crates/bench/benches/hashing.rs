@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the cryptographic substrate: raw digests and the
+//! keyed construction — the dominant cost inside the multi-hash search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wms_crypto::{Key, KeyedHash, Md5, Sha1, Sha256};
+
+fn bench_digests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("digest");
+    for size in [32usize, 256, 4096] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("md5", size), &data, |b, d| {
+            b.iter(|| Md5::digest(black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| Sha1::digest(black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| Sha256::digest(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_keyed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keyed-hash");
+    let kh = KeyedHash::md5(Key::from_u64(42));
+    let msg = [0x5au8; 40]; // typical convention-code message size
+    g.bench_function("md5 hash_u64 (40B)", |b| {
+        b.iter(|| kh.hash_u64(black_box(&msg)))
+    });
+    g.bench_function("md5 hash_mod (40B)", |b| {
+        b.iter(|| kh.hash_mod(black_box(&msg), 13))
+    });
+    let sha = KeyedHash::sha256(Key::from_u64(42));
+    g.bench_function("sha256 hash_u64 (40B)", |b| {
+        b.iter(|| sha.hash_u64(black_box(&msg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_digests, bench_keyed);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end pipeline benchmarks: full-stream embedding and detection
+//! throughput (items/second), plus the attack transforms themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use wms_attacks::{EpsilonAttack, Summarization, UniformSampling};
+use wms_bench::{datasets, exp};
+use wms_core::encoding::initial::InitialEncoder;
+use wms_core::{Embedder, TransformHint, Watermark, WmParams};
+use wms_stream::Transform;
+
+fn bench_embedding(c: &mut Criterion) {
+    let (data, _) = datasets::irtf_normalized_prefix(5000);
+    let mut g = c.benchmark_group("pipeline-embed");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("initial encoder 5k items", |b| {
+        b.iter(|| {
+            Embedder::embed_stream(
+                exp::scheme(exp::irtf_params()),
+                Arc::new(InitialEncoder),
+                Watermark::single(true),
+                black_box(&data),
+            )
+            .unwrap()
+        })
+    });
+    let reduced = WmParams { min_active: Some(12), ..exp::irtf_params() };
+    g.bench_function("multihash min_active=12 5k items", |b| {
+        b.iter(|| {
+            Embedder::embed_stream(
+                exp::scheme(reduced),
+                exp::encoder(),
+                Watermark::single(true),
+                black_box(&data),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let (data, _) = datasets::irtf_normalized_prefix(5000);
+    let scheme = exp::scheme(exp::irtf_params());
+    let enc = exp::encoder();
+    let (marked, _, _) = exp::embed_true(&scheme, &enc, &data);
+    let mut g = c.benchmark_group("pipeline-detect");
+    g.throughput(Throughput::Elements(marked.len() as u64));
+    g.bench_function("multihash 5k items", |b| {
+        b.iter(|| exp::detect(&scheme, &enc, black_box(&marked), TransformHint::None))
+    });
+    g.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (data, _) = datasets::irtf_normalized_prefix(5000);
+    let mut g = c.benchmark_group("attacks");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("uniform sampling deg 4", |b| {
+        b.iter(|| UniformSampling::new(4, 7).apply(black_box(&data)))
+    });
+    g.bench_function("summarization deg 4", |b| {
+        b.iter(|| Summarization::new(4).apply(black_box(&data)))
+    });
+    g.bench_function("epsilon 50%/10%", |b| {
+        b.iter(|| EpsilonAttack::uniform(0.5, 0.1, 7).apply(black_box(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_embedding, bench_detection, bench_attacks);
+criterion_main!(benches);

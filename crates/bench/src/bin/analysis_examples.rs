@@ -1,0 +1,40 @@
+//! §5 worked examples, recomputed from the closed-form analysis module.
+
+use wms_core::analysis;
+
+fn main() {
+    println!("== §5 worked examples ==");
+    println!(
+        "expected multi-hash search cost, a=5, tau=1:     {:>12.0}   (paper: ~32,000)",
+        analysis::expected_search_iterations(5, 1)
+    );
+    println!(
+        "per-extreme false positive, a=5, tau=1:          {:>12.3e} (paper: 2^-15)",
+        analysis::per_extreme_false_positive(5, 1)
+    );
+    let pfp20 = analysis::per_extreme_false_positive(5, 1).powf(20.0);
+    println!(
+        "P_fp after 20 carrier extremes:                  {:>12.3e} (paper: ~0)",
+        pfp20
+    );
+    println!(
+        "degraded limit (1 surviving m_ij), 20 carriers:  {:>12.3e} (paper: ~one in a million)",
+        0.5f64.powf(20.0)
+    );
+    println!(
+        "c_m for a=6, a2=50%:                             {:>12.1}   (paper: 15)",
+        analysis::altered_pair_count(6, 0.5)
+    );
+    println!(
+        "P(all active m_ij destroyed), a=6,a2=a4=50%:     {:>12.4}   (paper: ~0.0085)",
+        analysis::all_active_destroyed(6, 0.5, 0.5)
+    );
+    println!(
+        "extra data to convince, a1=5:                    {:>11.2}%   (paper: ~4.25%)",
+        analysis::extra_data_fraction(5, 6, 0.5, 0.5) * 100.0
+    );
+    println!(
+        "min segment for detection, xi=40, lambda=10,rho=2:{:>11.0}   (= xi*(lambda*rho+2))",
+        analysis::min_segment_items(40.0, 10, 2)
+    );
+}

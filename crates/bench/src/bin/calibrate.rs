@@ -1,0 +1,40 @@
+//! Calibration helper: prints ξ(ν,δ) and subset-size statistics of the
+//! reference datasets across candidate (δ, ν) operating points. Used to
+//! pin the experiment parameters in `exp.rs`.
+
+use wms_bench::datasets;
+use wms_core::extremes;
+use wms_stream::values_of;
+
+fn main() {
+    let (irtf, _) = datasets::irtf_normalized();
+    let v = values_of(&irtf);
+    println!("IRTF-like ({} samples):", v.len());
+    for delta in [0.005f64, 0.01, 0.02, 0.03] {
+        let all = extremes::scan(&v, delta);
+        let avg = extremes::avg_subset_size(&v, delta).unwrap_or(0.0);
+        for nu in [6usize, 10, 14, 20] {
+            let majors = all.iter().filter(|e| e.is_major(nu)).count();
+            let xi = v.len() as f64 / majors.max(1) as f64;
+            println!(
+                "  delta={delta:<6} nu={nu:<3} extremes={:<6} majors={majors:<6} xi={xi:<8.1} avg_subset={avg:.1}",
+                all.len()
+            );
+        }
+    }
+    let (g, _) = datasets::gaussian_normalized(20_000, 6);
+    let gv = values_of(&g);
+    println!("gaussian ({} samples):", gv.len());
+    for delta in [0.01f64, 0.02, 0.04] {
+        let all = extremes::scan(&gv, delta);
+        let avg = extremes::avg_subset_size(&gv, delta).unwrap_or(0.0);
+        for nu in [4usize, 8, 12] {
+            let majors = all.iter().filter(|e| e.is_major(nu)).count();
+            let xi = gv.len() as f64 / majors.max(1) as f64;
+            println!(
+                "  delta={delta:<6} nu={nu:<3} extremes={:<6} majors={majors:<6} xi={xi:<8.1} avg_subset={avg:.1}",
+                all.len()
+            );
+        }
+    }
+}

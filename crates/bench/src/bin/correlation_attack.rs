@@ -1,0 +1,52 @@
+//! §4.1/§4.3 ablation: Mallory's bucket-counting attack against the three
+//! encodings. The unlabeled initial scheme collapses; the labeled initial
+//! scheme retains most of its bias; the multi-hash scheme is invisible to
+//! the counter and unaffected.
+
+use std::sync::Arc;
+use wms_attacks::BucketCountingAttack;
+use wms_bench::report::render_table;
+use wms_bench::{datasets, exp};
+use wms_core::encoding::initial::{InitialEncoder, UnlabeledInitialEncoder};
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{SubsetEncoder, TransformHint};
+use wms_stream::{values_of, Transform};
+
+fn main() {
+    let (data, _) = datasets::irtf_normalized_prefix(6000);
+    let attack = BucketCountingAttack {
+        radius: exp::irtf_params().radius,
+        degree: exp::irtf_params().degree,
+        ..BucketCountingAttack::default()
+    };
+
+    let encoders: Vec<(&str, Arc<dyn SubsetEncoder>)> = vec![
+        ("initial, unlabeled (§3.2)", Arc::new(UnlabeledInitialEncoder)),
+        ("initial, labeled (§4.1)", Arc::new(InitialEncoder)),
+        ("multi-hash (§4.3)", Arc::new(MultiHashEncoder)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, enc) in encoders {
+        let scheme = exp::scheme(exp::irtf_params());
+        let (marked, _, _) = exp::embed_true(&scheme, &enc, &data);
+        let findings = attack.analyze(&values_of(&marked));
+        let before = exp::detect(&scheme, &enc, &marked, TransformHint::None);
+        let attacked = attack.apply(&marked);
+        let after = exp::detect(&scheme, &enc, &attacked, TransformHint::None);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", findings.len()),
+            format!("{}", before.bias()),
+            format!("{}", after.bias()),
+        ]);
+    }
+    let headers = vec![
+        "encoding".to_string(),
+        "biased positions found".to_string(),
+        "bias before attack".to_string(),
+        "bias after attack".to_string(),
+    ];
+    println!("== Bucket-counting correlation attack ablation (§4.1/§4.3) ==");
+    print!("{}", render_table(&headers, &rows));
+}

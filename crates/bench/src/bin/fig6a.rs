@@ -1,0 +1,27 @@
+//! Figure 6a: label alteration (%) under increasingly aggressive uniform
+//! ε-attacks, for label sizes λ = 10 and λ = 25 (1 % of items altered).
+
+use wms_attacks::{label_survival, match_tolerance, EpsilonAttack};
+use wms_bench::{datasets, exp, Series};
+use wms_stream::Transform;
+
+fn main() {
+    let (data, _) = datasets::label_study_stream(20000, 6);
+    let mut series = Vec::new();
+    for lambda in [10usize, 25] {
+        let scheme = exp::scheme(exp::synthetic_params().with_degree(8).with_label_len(lambda));
+        let mut s = Series::new(format!("label size={lambda}"));
+        for step in 1..=10 {
+            let eps = step as f64 * 0.1;
+            let attacked = EpsilonAttack::uniform(0.01, eps, 42).apply(&data);
+            let r = label_survival(&scheme, &data, &attacked, 1.0, match_tolerance(1.0));
+            s.push(eps, r.altered_pct());
+        }
+        series.push(s);
+    }
+    wms_bench::emit_figure(
+        "Figure 6a: label alteration vs epsilon-attack amplitude (1% of data altered)",
+        "epsilon",
+        &series,
+    );
+}

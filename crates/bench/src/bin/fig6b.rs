@@ -1,0 +1,27 @@
+//! Figure 6b: label alteration (%) under uniform ε-attacks altering 1 %
+//! vs 2 % of the data (label size λ = 10).
+
+use wms_attacks::{label_survival, match_tolerance, EpsilonAttack};
+use wms_bench::{datasets, exp, Series};
+use wms_stream::Transform;
+
+fn main() {
+    let (data, _) = datasets::label_study_stream(20000, 6);
+    let scheme = exp::scheme(exp::synthetic_params().with_degree(8).with_label_len(10));
+    let mut series = Vec::new();
+    for frac in [0.01f64, 0.02] {
+        let mut s = Series::new(format!("{:.0}% of data", frac * 100.0));
+        for step in 1..=10 {
+            let eps = step as f64 * 0.1;
+            let attacked = EpsilonAttack::uniform(frac, eps, 42).apply(&data);
+            let r = label_survival(&scheme, &data, &attacked, 1.0, match_tolerance(1.0));
+            s.push(eps, r.altered_pct());
+        }
+        series.push(s);
+    }
+    wms_bench::emit_figure(
+        "Figure 6b: label alteration vs epsilon, by altered-data fraction (lambda=10)",
+        "epsilon",
+        &series,
+    );
+}

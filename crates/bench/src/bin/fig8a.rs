@@ -1,0 +1,23 @@
+//! Figure 8a: label resilience under sampling (degree 3) as a function of
+//! label bit-size λ. Larger labels touch more extremes, so they are more
+//! fragile.
+
+use wms_attacks::{label_survival, match_tolerance, UniformSampling};
+use wms_bench::{datasets, exp, Series};
+use wms_stream::Transform;
+
+fn main() {
+    let (data, _) = datasets::label_study_stream(40000, 6);
+    let attacked = UniformSampling::new(3, 42).apply(&data);
+    let mut s = Series::new("labels altered (%)");
+    for lambda in [5usize, 10, 15, 20, 25] {
+        let scheme = exp::scheme(exp::synthetic_params().with_degree(8).with_label_len(lambda));
+        let r = label_survival(&scheme, &data, &attacked, 3.0, match_tolerance(3.0));
+        s.push(lambda as f64, r.altered_pct());
+    }
+    wms_bench::emit_figure(
+        "Figure 8a: label alteration vs label size under sampling of degree 3",
+        "label size",
+        &[s],
+    );
+}

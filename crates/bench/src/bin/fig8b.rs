@@ -1,0 +1,28 @@
+//! Figure 8b: label alteration (%) under summarization of increasing
+//! degree (label size λ = 10).
+
+use wms_attacks::{label_survival, match_tolerance, Summarization};
+use wms_bench::{datasets, exp, Series};
+use wms_stream::Transform;
+
+fn main() {
+    let (data, _) = datasets::label_study_stream(40000, 6);
+    let scheme = exp::scheme(exp::synthetic_params().with_degree(8).with_label_len(10));
+    let mut s = Series::new("labels altered (%)");
+    for degree in [2usize, 4, 6, 8, 10, 12, 14, 16, 18, 20] {
+        let attacked = Summarization::new(degree).apply(&data);
+        let r = label_survival(
+            &scheme,
+            &data,
+            &attacked,
+            degree as f64,
+            match_tolerance(degree as f64),
+        );
+        s.push(degree as f64, r.altered_pct());
+    }
+    wms_bench::emit_figure(
+        "Figure 8b: label alteration vs summarization degree (lambda=10)",
+        "summarization degree",
+        &[s],
+    );
+}

@@ -1,0 +1,42 @@
+//! False-positive calibration: the clean-data bias distribution for two
+//! label-entropy configurations (the EXPERIMENTS.md "false-positive
+//! calibration" table). Run on unwatermarked streams with independent
+//! keys; the resilient (low-entropy) labels trade a fatter clean tail for
+//! epsilon-attack survival.
+use std::sync::Arc;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{Detector, Scheme, TransformHint, WmParams};
+use wms_crypto::{Key, KeyedHash};
+use wms_stream::normalize_stream;
+
+fn run(p: WmParams, tag: &str) {
+    let enc = Arc::new(MultiHashEncoder);
+    let mut biases = Vec::new();
+    for seed in 0..40u64 {
+        let cfg = wms_sensors::IrtfConfig { readings: 3000, ..Default::default() };
+        let raw = wms_sensors::generate_irtf(&cfg, 5000 + seed);
+        let (stream, _) = normalize_stream(&raw).unwrap();
+        let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(31 + seed))).unwrap();
+        let r = Detector::detect_stream(s, enc.clone(), 1, &stream, TransformHint::None).unwrap();
+        biases.push((r.bias(), r.verdicts));
+    }
+    let over6 = biases.iter().filter(|(b, _)| *b >= 6).count();
+    let over12 = biases.iter().filter(|(b, _)| *b >= 12).count();
+    let over20 = biases.iter().filter(|(b, _)| *b >= 20).count();
+    let max = biases.iter().map(|(b, _)| *b).max().unwrap();
+    let avg_v: f64 = biases.iter().map(|(_, v)| *v as f64).sum::<f64>() / biases.len() as f64;
+    println!("{tag}: >=6: {over6}/40, >=12: {over12}/40, >=20: {over20}/40, max {max}, avg verdicts {avg_v:.0}");
+}
+
+fn main() {
+    let resilient = WmParams {
+        radius: 0.01, degree: 10, label_len: 5, label_msb_bits: 2,
+        min_active: Some(12), window: 512, ..WmParams::default()
+    };
+    run(resilient, "resilient (beta'=2, lambda=5)");
+    let entropic = WmParams {
+        radius: 0.01, degree: 10, label_len: 10, label_msb_bits: 4,
+        min_active: Some(12), window: 512, ..WmParams::default()
+    };
+    run(entropic, "entropic (beta'=4, lambda=10)");
+}

@@ -1,0 +1,21 @@
+//! # wms-bench
+//!
+//! The experiment harness regenerating every figure and table of the
+//! paper's evaluation (§6). Each `src/bin/figNN.rs` binary reproduces one
+//! plot and prints both an aligned table and a CSV block; the Criterion
+//! benches in `benches/` cover the timing claims of §6.4.
+//!
+//! Run e.g.:
+//! ```text
+//! cargo run -p wms-bench --release --bin fig9b
+//! cargo bench -p wms-bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod exp;
+pub mod report;
+
+pub use report::{emit_figure, Series};

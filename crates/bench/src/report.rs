@@ -1,0 +1,181 @@
+//! Plain-text figure/table reporting.
+//!
+//! Every figure binary prints (a) a human-readable aligned table of the
+//! series the paper plots and (b) a machine-readable CSV block, so runs
+//! can be diffed and re-plotted.
+
+/// One plotted series: label plus (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a figure as an aligned text table (x column + one column per
+/// series). All series must share the same x grid.
+pub fn render_figure(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let n = series[0].points.len();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = vec![fmt_num(series[0].points[i].0)];
+        for s in series {
+            row.push(s.points.get(i).map(|p| fmt_num(p.1)).unwrap_or_default());
+        }
+        rows.push(row);
+    }
+    out.push_str(&render_table(&headers, &rows));
+    out
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c.min(widths.len() - 1)]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&line(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the CSV block for a figure.
+pub fn render_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str("csv:");
+    out.push_str(x_label);
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    if let Some(first) = series.first() {
+        for i in 0..first.points.len() {
+            out.push_str(&format!("csv:{}", first.points[i].0));
+            for s in series {
+                match s.points.get(i) {
+                    Some(p) => out.push_str(&format!(",{}", p.1)),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Prints figure table + CSV to stdout (the binaries' single entry point).
+pub fn emit_figure(title: &str, x_label: &str, series: &[Series]) {
+    print!("{}", render_figure(title, x_label, series));
+    print!("{}", render_csv(x_label, series));
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        let mut a = Series::new("label size=10");
+        a.push(0.1, 5.0);
+        a.push(0.2, 11.5);
+        let mut b = Series::new("label size=25");
+        b.push(0.1, 9.0);
+        b.push(0.2, 20.25);
+        vec![a, b]
+    }
+
+    #[test]
+    fn figure_rendering_contains_everything() {
+        let s = demo_series();
+        let out = render_figure("Figure 6a", "epsilon", &s);
+        assert!(out.contains("Figure 6a"));
+        assert!(out.contains("label size=10"));
+        assert!(out.contains("label size=25"));
+        assert!(out.contains("epsilon"));
+        assert!(out.contains("11.5"));
+        assert!(out.contains("20.25"));
+    }
+
+    #[test]
+    fn csv_block_is_machine_readable() {
+        let s = demo_series();
+        let csv = render_csv("epsilon", &s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "csv:epsilon,label size=10,label size=25");
+        assert_eq!(lines[1], "csv:0.1,5,9");
+        assert_eq!(lines[2], "csv:0.2,11.5,20.25");
+    }
+
+    #[test]
+    fn table_alignment_pads_columns() {
+        let headers = vec!["x".to_string(), "verylongheader".to_string()];
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let t = render_table(&headers, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len(), "rows padded to header width");
+    }
+
+    #[test]
+    fn empty_figure_safe() {
+        let out = render_figure("t", "x", &[]);
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(5.0), "5");
+        assert_eq!(fmt_num(5.25), "5.250");
+        assert_eq!(fmt_num(123.456), "123.5");
+    }
+}

@@ -1,0 +1,207 @@
+//! Minimal, dependency-free command-line argument parsing.
+//!
+//! Grammar: `wms <command> [--flag value]... [--switch]...`. Flags are
+//! order-insensitive; unknown flags are errors (typo safety). Values are
+//! parsed on extraction with precise error messages.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the command word plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional token (the subcommand).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// A user-facing argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing command; try `wms help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!(
+                "expected a command, found flag {command:?}; try `wms help`"
+            )));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty flag name `--`".into()));
+            }
+            // `--flag=value` or `--flag value`.
+            let (key, value) = if let Some((k, v)) = name.split_once('=') {
+                (k.to_string(), v.to_string())
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{name} expects a value")))?;
+                (name.to_string(), v)
+            };
+            if flags.insert(key.clone(), value).is_some() {
+                return Err(ArgError(format!("duplicate flag --{key}")));
+            }
+        }
+        Ok(Args { command, flags, consumed: Default::default() })
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let v = self.flags.get(name).map(String::as_str);
+        if v.is_some() {
+            self.consumed.borrow_mut().push(name.to_string());
+        }
+        v
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+    }
+
+    /// Optional typed flag.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|e| {
+                ArgError(format!("invalid value for --{name}: {raw:?} ({e})"))
+            }),
+        }
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        Ok(self.get_parsed(name)?.unwrap_or(default))
+    }
+
+    /// Required typed flag.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.require(name)?;
+        raw.parse::<T>()
+            .map_err(|e| ArgError(format!("invalid value for --{name}: {raw:?} ({e})")))
+    }
+
+    /// Rejects flags that were provided but never consumed — catches
+    /// typos like `--widnow`. Call after all `get*` extraction.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<&String> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.contains(k))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError(format!(
+                "unknown flag(s) for `{}`: {}",
+                self.command,
+                unknown
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["embed", "--input", "a.csv", "--key=42"]).unwrap();
+        assert_eq!(a.command, "embed");
+        assert_eq!(a.get("input"), Some("a.csv"));
+        assert_eq!(a.get("key"), Some("42"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--input", "x"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let e = parse(&["embed", "--input"]).unwrap_err();
+        assert!(e.0.contains("expects a value"));
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        let e = parse(&["embed", "--k", "1", "--k", "2"]).unwrap_err();
+        assert!(e.0.contains("duplicate"));
+    }
+
+    #[test]
+    fn positional_after_command_is_error() {
+        let e = parse(&["embed", "stray"]).unwrap_err();
+        assert!(e.0.contains("positional"));
+    }
+
+    #[test]
+    fn typed_extraction_and_defaults() {
+        let a = parse(&["x", "--n", "250", "--rate", "1.5"]).unwrap();
+        assert_eq!(a.require_parsed::<usize>("n").unwrap(), 250);
+        assert_eq!(a.get_or::<f64>("rate", 9.0).unwrap(), 1.5);
+        assert_eq!(a.get_or::<f64>("absent", 9.0).unwrap(), 9.0);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_typed_value_reports_flag() {
+        let a = parse(&["x", "--n", "many"]).unwrap();
+        let e = a.require_parsed::<usize>("n").unwrap_err();
+        assert!(e.0.contains("--n") && e.0.contains("many"));
+    }
+
+    #[test]
+    fn unknown_flags_detected_by_finish() {
+        let a = parse(&["embed", "--widnow", "512"]).unwrap();
+        let _ = a.get("window");
+        let e = a.finish().unwrap_err();
+        assert!(e.0.contains("--widnow"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["x", "--k=v=w"]).unwrap();
+        assert_eq!(a.get("k"), Some("v=w"));
+    }
+}

@@ -1,0 +1,617 @@
+//! The `wms` tool's subcommands, implemented as library functions so they
+//! are unit-testable without spawning processes.
+
+use crate::args::{ArgError, Args};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use wms_attacks::{EpsilonAttack, Segmentation, Summarization, UniformSampling};
+use wms_core::encoding::initial::InitialEncoder;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::encoding::quadres::QuadResEncoder;
+use wms_core::{extremes, Detector, Embedder, Scheme, SubsetEncoder, TransformHint, Watermark, WmParams};
+use wms_crypto::{Key, KeyedHash};
+use wms_sensors::{IrtfConfig, OscillatingTemperature, SmoothGaussianSource, TemperatureConfig};
+use wms_stream::{csv, normalize_stream, values_of, Sample, StreamSource, Transform};
+
+/// A command failure, carrying the message shown to the user.
+#[derive(Debug)]
+pub struct CmdError(pub String);
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError(e.0)
+    }
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError(e.to_string())
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(e: String) -> Self {
+        CmdError(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+wms — resilient rights protection for sensor streams (Sion et al., VLDB 2004)
+
+USAGE:
+    wms <command> [--flag value]...
+
+COMMANDS:
+    generate   synthesize a sensor stream CSV
+               --kind irtf|temperature|gaussian  --n N  --seed S  --output F
+    embed      watermark a CSV stream (normalizes internally)
+               --input F --output F --key K [--calibration F] [--text OWNER]
+               [--encoder multihash|initial|quadres] [--radius D] [--degree N]
+               [--theta T] [--window W] [--min-active M]
+    detect     look for a watermark
+               --input F --key K [--calibration F] [--wm-len N] [--chi X]
+               [--text OWNER] [--encoder ...] [scheme flags as for embed]
+               (pass the embed-time --calibration for attacked streams:
+                re-fitting min-max is only exact on untransformed data)
+    attack     apply a transform
+               --input F --output F --kind sample:K|fixed-sample:K|summarize:K|
+               epsilon:FRAC,AMP|segment:START,LEN [--seed S]
+    inspect    fluctuation statistics of a stream
+               --input F [--radius D] [--degree N]
+    help       this text
+
+Values are one reading per line; `#` comments allowed. All commands are
+deterministic given their seeds.";
+
+fn parse_key(args: &Args) -> Result<Key, CmdError> {
+    let raw = args.require("key")?;
+    if let Ok(n) = raw.parse::<u64>() {
+        return Ok(Key::from_u64(n));
+    }
+    Ok(Key::from_bytes(raw.as_bytes().to_vec()))
+}
+
+fn parse_params(args: &Args) -> Result<WmParams, CmdError> {
+    let mut p = WmParams {
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        ..WmParams::default()
+    };
+    p.radius = args.get_or("radius", p.radius)?;
+    p.degree = args.get_or("degree", p.degree)?;
+    p.selection_modulus = args.get_or("theta", p.selection_modulus)?;
+    p.window = args.get_or("window", p.window)?;
+    p.label_len = args.get_or("label-len", p.label_len)?;
+    p.max_subset = args.get_or("max-subset", p.max_subset)?;
+    if let Some(m) = args.get_parsed::<usize>("min-active")? {
+        p.min_active = Some(m);
+    }
+    p.validate().map_err(CmdError)?;
+    Ok(p)
+}
+
+fn parse_encoder(args: &Args, scheme: &Scheme) -> Result<Arc<dyn SubsetEncoder>, CmdError> {
+    match args.get("encoder").unwrap_or("multihash") {
+        "multihash" => Ok(Arc::new(MultiHashEncoder)),
+        "initial" => Ok(Arc::new(InitialEncoder)),
+        "quadres" => Ok(Arc::new(QuadResEncoder::from_scheme(scheme, 3))),
+        other => Err(CmdError(format!(
+            "unknown encoder {other:?}; expected multihash|initial|quadres"
+        ))),
+    }
+}
+
+fn parse_watermark(args: &Args) -> Result<Watermark, CmdError> {
+    Ok(match args.get("text") {
+        Some(t) if !t.is_empty() => Watermark::from_text(t),
+        _ => Watermark::single(true),
+    })
+}
+
+fn read_stream(path: &Path) -> Result<Vec<Sample>, CmdError> {
+    let s = csv::read_values(path)?;
+    if s.is_empty() {
+        return Err(CmdError(format!("{}: empty stream", path.display())));
+    }
+    Ok(s)
+}
+
+/// Writes the embed-time normalization calibration (offset + scale).
+///
+/// Detection needs the *exact* affine map used at embedding time: the
+/// least-significant-bit encodings are bit-precise, and re-fitting on
+/// attacked data whose global min/max items did not survive produces a
+/// slightly different map that erases the mark. This is part of the
+/// "information preserved about the initial stream" (§4.2), alongside
+/// the fingerprint.
+fn write_calibration(path: &Path, n: &wms_stream::Normalizer) -> Result<(), CmdError> {
+    // `{}` prints the shortest f64 representation that round-trips
+    // exactly, so the stored map is bit-identical on reload.
+    std::fs::write(path, format!("offset {}\nscale {}\n", n.offset(), n.scale()))?;
+    Ok(())
+}
+
+/// Reads a calibration file written by [`write_calibration`].
+fn read_calibration(path: &Path) -> Result<wms_stream::Normalizer, CmdError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut offset = None;
+    let mut scale = None;
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("offset"), Some(v)) => {
+                offset = Some(v.parse::<f64>().map_err(|e| {
+                    CmdError(format!("{}: bad offset: {e}", path.display()))
+                })?)
+            }
+            (Some("scale"), Some(v)) => {
+                scale = Some(v.parse::<f64>().map_err(|e| {
+                    CmdError(format!("{}: bad scale: {e}", path.display()))
+                })?)
+            }
+            _ => {}
+        }
+    }
+    match (offset, scale) {
+        (Some(o), Some(s)) => Ok(wms_stream::Normalizer::explicit(o, s)),
+        _ => Err(CmdError(format!(
+            "{}: calibration needs `offset` and `scale` lines",
+            path.display()
+        ))),
+    }
+}
+
+/// `wms generate`.
+pub fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    let kind = args.require("kind")?.to_string();
+    let n: usize = args.get_or("n", 21_630usize)?;
+    let seed: u64 = args.get_or("seed", 7u64)?;
+    let output = PathBuf::from(args.require("output")?);
+    args.finish()?;
+    let samples = match kind.as_str() {
+        "irtf" => wms_sensors::generate_irtf(&IrtfConfig { readings: n, ..IrtfConfig::default() }, seed),
+        "temperature" => {
+            let mut src = OscillatingTemperature::new(TemperatureConfig::xi_100(), seed);
+            src.take_samples(n)
+        }
+        "gaussian" => SmoothGaussianSource::generate(0.0, 0.5, 25, seed, n),
+        other => {
+            return Err(CmdError(format!(
+                "unknown kind {other:?}; expected irtf|temperature|gaussian"
+            )))
+        }
+    };
+    csv::write_values(&output, &values_of(&samples))?;
+    writeln!(out, "wrote {} {} readings to {}", samples.len(), kind, output.display())?;
+    Ok(())
+}
+
+/// `wms embed`.
+pub fn embed(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    let input = PathBuf::from(args.require("input")?);
+    let output = PathBuf::from(args.require("output")?);
+    let key = parse_key(args)?;
+    let params = parse_params(args)?;
+    let wm = parse_watermark(args)?;
+    let calibration = args.get("calibration").map(PathBuf::from);
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let encoder = parse_encoder(args, &scheme)?;
+    args.finish()?;
+
+    let raw = read_stream(&input)?;
+    let (stream, normalizer) =
+        normalize_stream(&raw).ok_or_else(|| CmdError("degenerate input stream".into()))?;
+    let (marked, stats) = Embedder::embed_stream(scheme, encoder, wm.clone(), &stream)
+        .map_err(CmdError)?;
+    let denorm = normalizer.denormalize_samples(&marked);
+    csv::write_values(&output, &values_of(&denorm))?;
+    if let Some(cal) = &calibration {
+        write_calibration(cal, &normalizer)?;
+        writeln!(out, "calibration saved to {} (keep it with the key)", cal.display())?;
+    }
+    writeln!(
+        out,
+        "embedded {} of a {}-bit watermark across {} major extremes ({} selected); wrote {}",
+        stats.embedded,
+        wm.len(),
+        stats.majors_seen,
+        stats.selected,
+        output.display()
+    )?;
+    if stats.embedded == 0 {
+        writeln!(
+            out,
+            "warning: nothing embedded — check --radius/--degree against `wms inspect`"
+        )?;
+    }
+    Ok(())
+}
+
+/// `wms detect`.
+pub fn detect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    let input = PathBuf::from(args.require("input")?);
+    let key = parse_key(args)?;
+    let params = parse_params(args)?;
+    let chi: f64 = args.get_or("chi", 1.0f64)?;
+    let reference = parse_watermark(args)?;
+    let wm_len: usize = args.get_or("wm-len", reference.len())?;
+    let calibration = args.get("calibration").map(PathBuf::from);
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let encoder = parse_encoder(args, &scheme)?;
+    args.finish()?;
+
+    let raw = read_stream(&input)?;
+    let stream = match &calibration {
+        Some(cal) => {
+            // Bit-exact re-normalization with the embed-time map.
+            let n = read_calibration(cal)?;
+            n.normalize_samples(&raw)
+        }
+        None => {
+            writeln!(
+                out,
+                "note: no --calibration given; re-fitting min-max (only exact on \
+                 untransformed or purely affine data)"
+            )?;
+            normalize_stream(&raw)
+                .ok_or_else(|| CmdError("degenerate input stream".into()))?
+                .0
+        }
+    };
+    let report = Detector::detect_stream(scheme, encoder, wm_len, &stream, TransformHint::Known(chi))
+        .map_err(CmdError)?;
+    writeln!(
+        out,
+        "examined {} major extremes, {} selected, {} verdicts",
+        report.majors_seen, report.selected, report.verdicts
+    )?;
+    if wm_len == 1 {
+        writeln!(
+            out,
+            "bit-0 bias: {} (P_fp = {:.3e}, confidence {:.6})",
+            report.bias(),
+            report.false_positive_probability(),
+            report.confidence()
+        )?;
+        writeln!(
+            out,
+            "verdict: {}",
+            if report.bias() > 3 { "WATERMARK PRESENT" } else { "no watermark evidence" }
+        )?;
+    } else {
+        let rec = report.recovered(1);
+        writeln!(out, "recovered bits: {rec}")?;
+        writeln!(
+            out,
+            "match vs provided text: {:.1}%",
+            rec.match_fraction(&reference) * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+/// `wms attack`.
+pub fn attack(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    let input = PathBuf::from(args.require("input")?);
+    let output = PathBuf::from(args.require("output")?);
+    let kind = args.require("kind")?.to_string();
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    args.finish()?;
+
+    // Validate the attack spec before touching the filesystem.
+    let transform = parse_attack(&kind, seed)?;
+    let stream = read_stream(&input)?;
+    let attacked = transform.apply(&stream);
+    csv::write_values(&output, &values_of(&attacked))?;
+    writeln!(
+        out,
+        "{}: {} -> {} values; wrote {}",
+        transform.name(),
+        stream.len(),
+        attacked.len(),
+        output.display()
+    )?;
+    Ok(())
+}
+
+/// Parses an attack spec like `sample:3` into a boxed transform.
+fn parse_attack(kind: &str, seed: u64) -> Result<Box<dyn Transform>, CmdError> {
+    match kind.split_once(':') {
+        Some(("sample", k)) => {
+            let k: usize = k.parse().map_err(|e| CmdError(format!("bad degree: {e}")))?;
+            Ok(Box::new(UniformSampling::new(k, seed)))
+        }
+        Some(("fixed-sample", k)) => {
+            let k: usize = k.parse().map_err(|e| CmdError(format!("bad degree: {e}")))?;
+            Ok(Box::new(wms_attacks::FixedSampling::new(k)))
+        }
+        Some(("summarize", k)) => {
+            let k: usize = k.parse().map_err(|e| CmdError(format!("bad degree: {e}")))?;
+            Ok(Box::new(Summarization::new(k)))
+        }
+        Some(("epsilon", spec)) => {
+            let (f, a) = spec
+                .split_once(',')
+                .ok_or_else(|| CmdError("epsilon:FRAC,AMP".into()))?;
+            let frac: f64 = f.parse().map_err(|e| CmdError(format!("bad fraction: {e}")))?;
+            let amp: f64 = a.parse().map_err(|e| CmdError(format!("bad amplitude: {e}")))?;
+            Ok(Box::new(EpsilonAttack::uniform(frac, amp, seed)))
+        }
+        Some(("segment", spec)) => {
+            let (s, l) = spec
+                .split_once(',')
+                .ok_or_else(|| CmdError("segment:START,LEN".into()))?;
+            let start: usize = s.parse().map_err(|e| CmdError(format!("bad start: {e}")))?;
+            let len: usize = l.parse().map_err(|e| CmdError(format!("bad len: {e}")))?;
+            Ok(Box::new(Segmentation { start, len }))
+        }
+        _ => Err(CmdError(format!("unknown attack {kind:?}; see `wms help`"))),
+    }
+}
+
+/// `wms inspect`.
+pub fn inspect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    let input = PathBuf::from(args.require("input")?);
+    let radius: f64 = args.get_or("radius", 0.01f64)?;
+    let degree: usize = args.get_or("degree", 10usize)?;
+    args.finish()?;
+
+    let raw = read_stream(&input)?;
+    let (stream, _) =
+        normalize_stream(&raw).ok_or_else(|| CmdError("degenerate input stream".into()))?;
+    let values = values_of(&stream);
+    let all = extremes::scan(&values, radius);
+    let majors = all.iter().filter(|e| e.is_major(degree)).count();
+    let avg = extremes::avg_subset_size(&values, radius).unwrap_or(0.0);
+    let summary = wms_math::summarize(&values_of(&raw)).unwrap();
+    writeln!(out, "readings:            {}", raw.len())?;
+    writeln!(
+        out,
+        "raw range:           [{:.3}, {:.3}] mean {:.3} std {:.3}",
+        summary.min, summary.max, summary.mean, summary.std_dev
+    )?;
+    writeln!(out, "extremes (delta={radius}): {}", all.len())?;
+    writeln!(out, "majors (nu={degree}):       {majors}")?;
+    writeln!(out, "avg subset size:     {avg:.2}")?;
+    match extremes::measure_xi(&values, radius, degree) {
+        Some(xi) => writeln!(out, "xi (items/major):    {xi:.1}")?,
+        None => writeln!(out, "xi (items/major):    n/a — no majors at these settings")?,
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed command line; returns the process exit code.
+pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
+    let result = match args.command.as_str() {
+        "generate" => generate(args, out),
+        "embed" => embed(args, out),
+        "detect" => detect(args, out),
+        "attack" => attack(args, out),
+        "inspect" => inspect(args, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(CmdError(format!("unknown command {other:?}; try `wms help`"))),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn argv(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wms-cli-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn generate_embed_detect_roundtrip() {
+        let data = tmp("data.csv");
+        let marked = tmp("marked.csv");
+        let cal = tmp("cal.txt");
+        let mut out = Vec::new();
+
+        let code = run(
+            &argv(&[
+                "generate", "--kind", "irtf", "--n", "6000", "--seed", "3",
+                "--output", data.to_str().unwrap(),
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+        let code = run(
+            &argv(&[
+                "embed", "--input", data.to_str().unwrap(),
+                "--output", marked.to_str().unwrap(),
+                "--key", "1234", "--min-active", "12",
+                "--calibration", cal.to_str().unwrap(),
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+        // Untransformed data: detection works even without calibration
+        // (re-fit recovers the same map exactly).
+        out.clear();
+        let code = run(
+            &argv(&[
+                "detect", "--input", marked.to_str().unwrap(),
+                "--key", "1234", "--min-active", "12",
+            ]),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("WATERMARK PRESENT"), "{text}");
+
+        // Wrong key finds nothing.
+        out.clear();
+        let code = run(
+            &argv(&[
+                "detect", "--input", marked.to_str().unwrap(),
+                "--key", "9999", "--min-active", "12",
+            ]),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0);
+        assert!(text.contains("no watermark evidence"), "{text}");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&marked).ok();
+        std::fs::remove_file(&cal).ok();
+    }
+
+    #[test]
+    fn attack_then_detect_with_calibration() {
+        let data = tmp("a-data.csv");
+        let marked = tmp("a-marked.csv");
+        let attacked = tmp("a-attacked.csv");
+        let cal = tmp("a-cal.txt");
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                &argv(&[
+                    "generate", "--kind", "irtf", "--n", "8000", "--seed", "5",
+                    "--output", data.to_str().unwrap(),
+                ]),
+                &mut out
+            ),
+            0
+        );
+        assert_eq!(
+            run(
+                &argv(&[
+                    "embed", "--input", data.to_str().unwrap(),
+                    "--output", marked.to_str().unwrap(),
+                    "--key", "7", "--min-active", "12",
+                    "--calibration", cal.to_str().unwrap(),
+                ]),
+                &mut out
+            ),
+            0
+        );
+        assert_eq!(
+            run(
+                &argv(&[
+                    "attack", "--input", marked.to_str().unwrap(),
+                    "--output", attacked.to_str().unwrap(),
+                    "--kind", "sample:2",
+                ]),
+                &mut out
+            ),
+            0
+        );
+        // Sampling can drop the global min/max, so re-fitting would skew
+        // the map — the stored calibration keeps detection bit-exact.
+        out.clear();
+        let code = run(
+            &argv(&[
+                "detect", "--input", attacked.to_str().unwrap(),
+                "--key", "7", "--chi", "2", "--min-active", "12",
+                "--calibration", cal.to_str().unwrap(),
+            ]),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("WATERMARK PRESENT"), "{text}");
+        for p in [&data, &marked, &attacked, &cal] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn inspect_reports_statistics() {
+        let data = tmp("i-data.csv");
+        let mut out = Vec::new();
+        assert_eq!(
+            run(
+                &argv(&[
+                    "generate", "--kind", "gaussian", "--n", "4000", "--seed", "1",
+                    "--output", data.to_str().unwrap(),
+                ]),
+                &mut out
+            ),
+            0
+        );
+        out.clear();
+        let code = run(
+            &argv(&["inspect", "--input", data.to_str().unwrap(), "--degree", "12"]),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("readings:"), "{text}");
+        assert!(text.contains("xi"), "{text}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let mut out = Vec::new();
+        assert_eq!(run(&argv(&["frobnicate"]), &mut out), 2);
+        assert!(String::from_utf8_lossy(&out).contains("unknown command"));
+
+        out.clear();
+        assert_eq!(run(&argv(&["embed", "--input", "x"]), &mut out), 2);
+        assert!(String::from_utf8_lossy(&out).contains("--output"));
+
+        out.clear();
+        assert_eq!(
+            run(
+                &argv(&["attack", "--input", "x", "--output", "y", "--kind", "melt"]),
+                &mut out
+            ),
+            2
+        );
+        assert!(String::from_utf8_lossy(&out).contains("unknown attack"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = Vec::new();
+        assert_eq!(run(&argv(&["help"]), &mut out), 0);
+        assert!(String::from_utf8_lossy(&out).contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let data = tmp("u-data.csv");
+        std::fs::write(&data, "1.0\n2.0\n3.0\n").unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            &argv(&["inspect", "--input", data.to_str().unwrap(), "--radios", "0.1"]),
+            &mut out,
+        );
+        assert_eq!(code, 2);
+        assert!(String::from_utf8_lossy(&out).contains("--radios"));
+        std::fs::remove_file(&data).ok();
+    }
+}

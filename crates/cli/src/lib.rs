@@ -1,0 +1,24 @@
+//! # wms-cli
+//!
+//! Command-line front end for the `wms` workspace: generate sensor data,
+//! watermark CSV streams, apply Mallory's transforms, and verify marks —
+//! all from the shell. The logic lives in library functions ([`commands`])
+//! so every subcommand is unit-tested in-process; `src/main.rs` is a thin
+//! wrapper.
+//!
+//! ```text
+//! wms generate --kind irtf --n 21630 --seed 7 --output sensor.csv
+//! wms embed    --input sensor.csv --output licensed.csv --key 0xC0FFEE? (u64 or passphrase)
+//! wms attack   --input licensed.csv --output pirated.csv --kind sample:3
+//! wms detect   --input pirated.csv --key ... --chi 3
+//! wms inspect  --input sensor.csv
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CmdError, USAGE};

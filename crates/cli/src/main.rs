@@ -1,0 +1,15 @@
+//! Thin binary wrapper around [`wms_cli::run`].
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    let code = match wms_cli::Args::parse(tokens) {
+        Ok(args) => wms_cli::run(&args, &mut stdout),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", wms_cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,522 @@
+//! Watermark detection with majority-voting buckets (§3.3).
+//!
+//! Detection mirrors embedding: scan major extremes (at the transform-
+//! adjusted degree ν′, §4.2), rebuild labels, re-apply the selection
+//! criterion, and let the encoding extract votes from each selected
+//! extreme's characteristic subset. Each extreme's majority verdict
+//! increments the `true` or `false` bucket of its watermark bit; in the
+//! end `wm_construct` decides each bit by bucket difference > κ, leaving
+//! bits *undefined* when the buckets balance — the signature of
+//! unwatermarked data.
+//!
+//! Detection never consults provenance or timestamps: it sees exactly the
+//! value sequence Mallory publishes.
+
+use crate::encoding::{trim_around, SubsetEncoder};
+use crate::extremes;
+use crate::labeling::Labeler;
+use crate::scheme::Scheme;
+use crate::transform_estimate::{adjusted_degree, estimate_degree, StreamFingerprint};
+use crate::watermark::RecoveredWatermark;
+use std::sync::Arc;
+use wms_math::special::binomial_tail_ge;
+use wms_stream::{Sample, SlidingWindow};
+
+/// Per-bit voting buckets (`wm[i]_T` / `wm[i]_F` in §3.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitBuckets {
+    /// Extremes whose subset voted `true` for this bit.
+    pub true_count: u64,
+    /// Extremes whose subset voted `false`.
+    pub false_count: u64,
+}
+
+impl BitBuckets {
+    /// Signed bias: `true_count − false_count`.
+    pub fn bias(&self) -> i64 {
+        self.true_count as i64 - self.false_count as i64
+    }
+
+    /// κ-thresholded decision (`None` = undefined).
+    pub fn decide(&self, kappa: u64) -> Option<bool> {
+        let d = self.bias();
+        if d > kappa as i64 {
+            Some(true)
+        } else if -d > kappa as i64 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// Outcome of a detection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionReport {
+    /// One bucket pair per watermark bit.
+    pub buckets: Vec<BitBuckets>,
+    /// Major extremes examined (at ν′).
+    pub majors_seen: u64,
+    /// Major extremes skipped during labeler warm-up.
+    pub warmup_skipped: u64,
+    /// Extremes passing the selection criterion.
+    pub selected: u64,
+    /// Selected extremes whose subsets produced a verdict.
+    pub verdicts: u64,
+    /// Selected extremes whose votes tied / were empty.
+    pub abstained: u64,
+    /// ν′ actually used.
+    pub effective_degree: usize,
+    /// χ used (1.0 when no transform assumed/estimated).
+    pub assumed_transform_degree: f64,
+}
+
+impl DetectionReport {
+    /// Detected watermark bias of bit 0 — the figure-of-merit of every §6
+    /// experiment (they all embed a one-bit `true` mark).
+    pub fn bias(&self) -> i64 {
+        self.buckets.first().map(BitBuckets::bias).unwrap_or(0)
+    }
+
+    /// Smallest |bias| across bits — the weakest link of a multi-bit mark.
+    pub fn min_abs_bias(&self) -> i64 {
+        self.buckets.iter().map(|b| b.bias().abs()).min().unwrap_or(0)
+    }
+
+    /// `wm_construct` (§3.3): per-bit κ-thresholded decisions.
+    pub fn recovered(&self, kappa: u64) -> RecoveredWatermark {
+        RecoveredWatermark {
+            bits: self.buckets.iter().map(|b| b.decide(kappa)).collect(),
+        }
+    }
+
+    /// Footnote-5 false-positive probability for bit 0: a bias of `b`
+    /// consistent verdicts has probability `2^−b` on random data.
+    ///
+    /// This is the paper's shorthand; it is optimistic when the bias is
+    /// small relative to the verdict count (with n verdicts free to vary,
+    /// clean data shows bias ≥ 6 about 15 % of the time at n ≈ 33). For
+    /// court-grade claims prefer
+    /// [`false_positive_probability_binomial`](Self::false_positive_probability_binomial),
+    /// and note that low-entropy label parameters fatten the clean tail
+    /// further (see EXPERIMENTS.md, "false-positive calibration").
+    pub fn false_positive_probability(&self) -> f64 {
+        let b = self.bias();
+        if b <= 0 {
+            1.0
+        } else {
+            2f64.powi(-(b.min(1023) as i32))
+        }
+    }
+
+    /// Exact binomial false-positive probability for bit 0: probability
+    /// that ≥ `true_count` of the verdicts land `true` under the
+    /// unwatermarked null (p = ½).
+    pub fn false_positive_probability_binomial(&self) -> f64 {
+        let Some(b) = self.buckets.first() else {
+            return 1.0;
+        };
+        let n = b.true_count + b.false_count;
+        binomial_tail_ge(n, b.true_count, 0.5)
+    }
+
+    /// Court-time confidence, `1 − P_fp` (§5).
+    pub fn confidence(&self) -> f64 {
+        1.0 - self.false_positive_probability()
+    }
+}
+
+/// How the detector learns the transform degree χ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransformHint {
+    /// Assume the stream is untransformed (χ = 1).
+    None,
+    /// χ known out-of-band (e.g. from the rate ratio ς/ς′).
+    Known(f64),
+    /// Estimate χ from characteristic-subset shrinkage against the
+    /// fingerprint preserved at embedding time (§4.2).
+    Estimate(StreamFingerprint),
+}
+
+/// Streaming watermark detector.
+pub struct Detector {
+    scheme: Scheme,
+    encoder: Arc<dyn SubsetEncoder>,
+    window: SlidingWindow,
+    labeler: Labeler,
+    buckets: Vec<BitBuckets>,
+    majors_seen: u64,
+    warmup_skipped: u64,
+    selected: u64,
+    verdicts: u64,
+    abstained: u64,
+    effective_degree: usize,
+    chi: f64,
+    finished: bool,
+    pending_advance: usize,
+}
+
+impl Detector {
+    /// Creates a detector for a watermark of `wm_len` bits, with a fixed
+    /// transform degree (use [`Detector::detect_stream`] for §4.2
+    /// estimation, which needs a look at the segment first).
+    pub fn new(
+        scheme: Scheme,
+        encoder: Arc<dyn SubsetEncoder>,
+        wm_len: usize,
+        chi: f64,
+    ) -> Result<Self, String> {
+        scheme.params.validate_for_watermark(wm_len)?;
+        if chi.is_nan() || chi < 1.0 {
+            return Err(format!("transform degree must be >= 1, got {chi}"));
+        }
+        let p = &scheme.params;
+        let effective_degree = adjusted_degree(p.degree, chi);
+        Ok(Detector {
+            labeler: Labeler::new(p.label_len, p.label_stride),
+            window: SlidingWindow::new(p.window),
+            buckets: vec![BitBuckets::default(); wm_len],
+            scheme,
+            encoder,
+            majors_seen: 0,
+            warmup_skipped: 0,
+            selected: 0,
+            verdicts: 0,
+            abstained: 0,
+            effective_degree,
+            chi,
+            finished: false,
+            pending_advance: 0,
+        })
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, s: Sample) {
+        assert!(!self.finished, "push after finish");
+        if self.window.is_full() {
+            self.process_batch();
+            let n = self.pending_advance.max(1);
+            self.window.advance(n);
+            self.pending_advance = 0;
+        }
+        self.window.push(s);
+    }
+
+    /// Flushes and produces the report.
+    pub fn finish(mut self) -> DetectionReport {
+        self.finished = true;
+        self.process_batch();
+        DetectionReport {
+            buckets: self.buckets,
+            majors_seen: self.majors_seen,
+            warmup_skipped: self.warmup_skipped,
+            selected: self.selected,
+            verdicts: self.verdicts,
+            abstained: self.abstained,
+            effective_degree: self.effective_degree,
+            assumed_transform_degree: self.chi,
+        }
+    }
+
+    /// Convenience: detects over an in-memory segment, resolving the
+    /// transform hint (including §4.2 estimation) first.
+    pub fn detect_stream(
+        scheme: Scheme,
+        encoder: Arc<dyn SubsetEncoder>,
+        wm_len: usize,
+        samples: &[Sample],
+        hint: TransformHint,
+    ) -> Result<DetectionReport, String> {
+        let chi = match hint {
+            TransformHint::None => 1.0,
+            TransformHint::Known(c) => c,
+            TransformHint::Estimate(fp) => {
+                let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+                estimate_degree(&fp, &values).unwrap_or(1.0)
+            }
+        };
+        let mut d = Detector::new(scheme, encoder, wm_len, chi)?;
+        for &s in samples {
+            d.push(s);
+        }
+        Ok(d.finish())
+    }
+
+    fn process_batch(&mut self) {
+        let len = self.window.len();
+        if len < 3 {
+            return;
+        }
+        let values = self.window.values();
+        let found = extremes::scan(&values, self.scheme.params.radius);
+        let mut last_major: Option<usize> = None;
+        for e in &found {
+            if !e.is_major(self.effective_degree) {
+                continue;
+            }
+            self.majors_seen += 1;
+            last_major = Some(e.pos);
+            let raw = self.scheme.codec.quantize(e.value);
+            self.labeler.push(self.scheme.label_msb(raw));
+            let Some(label) = self.labeler.label() else {
+                self.warmup_skipped += 1;
+                continue;
+            };
+            let Some(bit_idx) = self.scheme.select(raw, self.buckets.len()) else {
+                continue;
+            };
+            self.selected += 1;
+            let trim = trim_around(e.subset.clone(), e.pos, self.scheme.params.max_subset);
+            let subset: Vec<f64> = values[trim].to_vec();
+            let vote = self.encoder.detect(&self.scheme, &subset, &label);
+            match vote.verdict() {
+                Some(true) => {
+                    self.buckets[bit_idx].true_count += 1;
+                    self.verdicts += 1;
+                }
+                Some(false) => {
+                    self.buckets[bit_idx].false_count += 1;
+                    self.verdicts += 1;
+                }
+                None => self.abstained += 1,
+            }
+        }
+        self.pending_advance = match last_major {
+            Some(p) => p + 1,
+            None => (len / 2).max(1),
+        };
+    }
+}
+
+// pending_advance is part of Detector's state machine.
+impl Detector {
+    /// Extremes examined so far (for progress reporting).
+    pub fn majors_seen(&self) -> u64 {
+        self.majors_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::initial::InitialEncoder;
+    use crate::encoding::multihash::MultiHashEncoder;
+    use crate::params::WmParams;
+    use crate::watermark::Watermark;
+    use crate::Embedder;
+    use wms_crypto::{Key, KeyedHash};
+    use wms_stream::samples_from_values;
+
+    fn test_params() -> WmParams {
+        WmParams {
+            window: 256,
+            degree: 3,
+            radius: 0.01,
+            max_subset: 4,
+            label_len: 4,
+            label_stride: 1,
+            // 8 of 10 pairs — above the binomial noise floor, ~18
+            // candidates per embedding (fast enough for debug builds).
+            min_active: Some(8),
+            ..WmParams::default()
+        }
+    }
+
+    fn scheme(key: u64) -> Scheme {
+        Scheme::new(test_params(), KeyedHash::md5(Key::from_u64(key))).unwrap()
+    }
+
+    fn test_stream(n: usize) -> Vec<Sample> {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                0.35 * (t * core::f64::consts::TAU / 60.0).sin()
+                    + 0.05 * (t * core::f64::consts::TAU / 17.0).sin()
+            })
+            .collect();
+        samples_from_values(&values)
+    }
+
+    #[test]
+    fn roundtrip_initial_encoder_true_bias() {
+        let (wmed, stats) = Embedder::embed_stream(
+            scheme(42),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+            &test_stream(4000),
+        )
+        .unwrap();
+        assert!(stats.embedded > 5);
+        let report = Detector::detect_stream(
+            scheme(42),
+            Arc::new(InitialEncoder),
+            1,
+            &wmed,
+            TransformHint::None,
+        )
+        .unwrap();
+        assert!(
+            report.bias() as u64 >= stats.embedded / 2,
+            "bias {} vs embedded {}",
+            report.bias(),
+            stats.embedded
+        );
+        assert!(report.confidence() > 0.99);
+        assert!(report.false_positive_probability() < 0.01);
+    }
+
+    #[test]
+    fn roundtrip_multihash_encoder() {
+        let (wmed, stats) = Embedder::embed_stream(
+            scheme(7),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+            &test_stream(4000),
+        )
+        .unwrap();
+        assert!(stats.embedded > 5, "{stats:?}");
+        let report = Detector::detect_stream(
+            scheme(7),
+            Arc::new(MultiHashEncoder),
+            1,
+            &wmed,
+            TransformHint::None,
+        )
+        .unwrap();
+        assert!(
+            report.bias() as u64 >= stats.embedded / 2,
+            "bias {} embedded {}",
+            report.bias(),
+            stats.embedded
+        );
+    }
+
+    #[test]
+    fn unwatermarked_data_yields_no_bias() {
+        let report = Detector::detect_stream(
+            scheme(42),
+            Arc::new(InitialEncoder),
+            1,
+            &test_stream(4000),
+            TransformHint::None,
+        )
+        .unwrap();
+        let b = report.bias().unsigned_abs();
+        assert!(
+            b * b <= 9 * (report.verdicts + 1), // |bias| ≲ 3·sqrt(n)
+            "unwatermarked bias {b} with {} verdicts",
+            report.verdicts
+        );
+        // κ-thresholded reconstruction should leave the bit undefined or
+        // at best weakly decided.
+        let rec = report.recovered((report.verdicts / 2).max(1));
+        assert_eq!(rec.bits[0], None);
+    }
+
+    #[test]
+    fn wrong_key_detects_nothing() {
+        let (wmed, _) = Embedder::embed_stream(
+            scheme(42),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+            &test_stream(4000),
+        )
+        .unwrap();
+        let report = Detector::detect_stream(
+            scheme(43), // different key
+            Arc::new(InitialEncoder),
+            1,
+            &wmed,
+            TransformHint::None,
+        )
+        .unwrap();
+        let b = report.bias().unsigned_abs();
+        assert!(
+            b * b <= 9 * (report.verdicts + 1),
+            "wrong-key bias {b} with {} verdicts",
+            report.verdicts
+        );
+    }
+
+    /// Stream whose extreme magnitudes sweep many msb(·, β) buckets, so
+    /// the selection criterion can address every watermark bit. (With a
+    /// constant-amplitude carrier all extremes share one msb and map to a
+    /// single bit index — an inherent property of §3.2's selection.)
+    fn msb_diverse_stream(n: usize) -> Vec<Sample> {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                let amp = 0.08 + 0.38 * (0.5 + 0.5 * (t * core::f64::consts::TAU / 4096.0).sin());
+                amp * (t * core::f64::consts::TAU / 60.0).sin()
+                    + 0.02 * (t * core::f64::consts::TAU / 17.0).sin()
+            })
+            .collect();
+        samples_from_values(&values)
+    }
+
+    #[test]
+    fn multibit_watermark_reconstructs() {
+        let wm = Watermark::from_bits(vec![true, false, true]);
+        let p = WmParams { selection_modulus: 4, ..test_params() };
+        let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(9))).unwrap();
+        let (wmed, stats) = Embedder::embed_stream(
+            s.clone(),
+            Arc::new(InitialEncoder),
+            wm.clone(),
+            &msb_diverse_stream(16_000),
+        )
+        .unwrap();
+        assert!(stats.embedded > 10);
+        let report =
+            Detector::detect_stream(s, Arc::new(InitialEncoder), 3, &wmed, TransformHint::None)
+                .unwrap();
+        let rec = report.recovered(1);
+        assert!(
+            rec.exactly_matches(&wm),
+            "recovered {rec} vs {wm} (buckets {:?})",
+            report.buckets
+        );
+    }
+
+    #[test]
+    fn report_pfp_relations() {
+        let r = DetectionReport {
+            buckets: vec![BitBuckets { true_count: 12, false_count: 2 }],
+            majors_seen: 20,
+            warmup_skipped: 0,
+            selected: 14,
+            verdicts: 14,
+            abstained: 0,
+            effective_degree: 3,
+            assumed_transform_degree: 1.0,
+        };
+        assert_eq!(r.bias(), 10);
+        assert!((r.false_positive_probability() - 2f64.powi(-10)).abs() < 1e-12);
+        let exact = r.false_positive_probability_binomial();
+        assert!(exact > 0.0 && exact < 0.01);
+        assert!(r.confidence() > 0.999);
+    }
+
+    #[test]
+    fn bucket_decisions() {
+        let b = BitBuckets { true_count: 10, false_count: 3 };
+        assert_eq!(b.bias(), 7);
+        assert_eq!(b.decide(6), Some(true));
+        assert_eq!(b.decide(7), None);
+        let f = BitBuckets { true_count: 1, false_count: 9 };
+        assert_eq!(f.decide(5), Some(false));
+    }
+
+    #[test]
+    fn rejects_bad_transform_degree() {
+        assert!(Detector::new(scheme(1), Arc::new(InitialEncoder), 1, 0.5).is_err());
+    }
+
+    #[test]
+    fn known_transform_degree_adjusts_nu() {
+        let p = WmParams { degree: 6, ..test_params() };
+        let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(2))).unwrap();
+        let d = Detector::new(s, Arc::new(InitialEncoder), 1, 3.0).unwrap();
+        assert_eq!(d.effective_degree, 2);
+    }
+}

@@ -1,0 +1,496 @@
+//! Single-pass watermark embedding (§3.2 with the §4.1–§4.4 improvements).
+//!
+//! The embedder owns a bounded [`SlidingWindow`] and processes the stream
+//! strictly once: samples go in, (occasionally altered) samples come out,
+//! never reordered, never buffered beyond `$` items. Whenever the window
+//! fills (and once more at end of stream) the resident data is scanned for
+//! major extremes; each one advances the labeler, passes through the
+//! selection criterion, and — if selected — has one watermark bit embedded
+//! into its characteristic subset by the configured [`SubsetEncoder`],
+//! subject to the quality constraints (violations roll back through the
+//! undo log).
+
+use crate::encoding::{trim_around, SubsetEncoder};
+use crate::extremes;
+use crate::labeling::Labeler;
+use crate::quality::{ProposedAlteration, QualityConstraint, UndoLog};
+use crate::scheme::Scheme;
+use crate::watermark::Watermark;
+use std::sync::Arc;
+use wms_math::SlidingMoments;
+use wms_stream::{Sample, SlidingWindow};
+
+/// Counters describing one embedding run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmbedStats {
+    /// Samples consumed.
+    pub items_in: u64,
+    /// Samples emitted (equals `items_in` after `finish`).
+    pub items_out: u64,
+    /// Extremes encountered during window scans.
+    pub extremes_seen: u64,
+    /// Major extremes (degree ν) encountered.
+    pub majors_seen: u64,
+    /// Major extremes skipped during labeler warm-up.
+    pub warmup_skipped: u64,
+    /// Major extremes passing the selection criterion.
+    pub selected: u64,
+    /// Bits successfully embedded.
+    pub embedded: u64,
+    /// Selected extremes the encoder could not encode within budget.
+    pub skipped_encoding: u64,
+    /// Embeddings rolled back by quality constraints.
+    pub skipped_quality: u64,
+    /// Total encoder search iterations.
+    pub total_iterations: u64,
+    /// Sum of characteristic-subset sizes over majors (pre-trim).
+    pub subset_size_sum: u64,
+}
+
+impl EmbedStats {
+    /// Measured ξ(ν, δ): items per major extreme.
+    pub fn xi(&self) -> Option<f64> {
+        if self.majors_seen == 0 {
+            None
+        } else {
+            Some(self.items_in as f64 / self.majors_seen as f64)
+        }
+    }
+
+    /// Average characteristic-subset size of the majors.
+    pub fn avg_subset_size(&self) -> Option<f64> {
+        if self.majors_seen == 0 {
+            None
+        } else {
+            Some(self.subset_size_sum as f64 / self.majors_seen as f64)
+        }
+    }
+
+    /// Mean encoder iterations per embedded bit.
+    pub fn iterations_per_embedding(&self) -> Option<f64> {
+        if self.embedded == 0 {
+            None
+        } else {
+            Some(self.total_iterations as f64 / self.embedded as f64)
+        }
+    }
+}
+
+/// Streaming watermark embedder.
+pub struct Embedder {
+    scheme: Scheme,
+    encoder: Arc<dyn SubsetEncoder>,
+    wm: Watermark,
+    window: SlidingWindow,
+    labeler: Labeler,
+    moments: SlidingMoments,
+    constraints: Vec<Box<dyn QualityConstraint>>,
+    stats: EmbedStats,
+    finished: bool,
+    /// Items to emit after the current batch (set by `process_batch`).
+    pending_advance: usize,
+}
+
+impl Embedder {
+    /// Creates an embedder; fails if the parameters cannot address the
+    /// watermark (θ ≤ b(wm)) or are otherwise invalid.
+    pub fn new(
+        scheme: Scheme,
+        encoder: Arc<dyn SubsetEncoder>,
+        wm: Watermark,
+    ) -> Result<Self, String> {
+        scheme.params.validate_for_watermark(wm.len())?;
+        let p = &scheme.params;
+        let labeler = Labeler::new(p.label_len, p.label_stride);
+        let window = SlidingWindow::new(p.window);
+        Ok(Embedder {
+            scheme,
+            encoder,
+            wm,
+            window,
+            labeler,
+            moments: SlidingMoments::new(),
+            constraints: Vec::new(),
+            stats: EmbedStats::default(),
+            finished: false,
+            pending_advance: 0,
+        })
+    }
+
+    /// Adds a quality constraint (builder style).
+    pub fn with_constraint(mut self, c: impl QualityConstraint + 'static) -> Self {
+        self.constraints.push(Box::new(c));
+        self
+    }
+
+    /// Run counters so far.
+    pub fn stats(&self) -> &EmbedStats {
+        &self.stats
+    }
+
+    /// The configured scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Feeds one sample; returns any samples leaving the window.
+    pub fn push(&mut self, s: Sample) -> Vec<Sample> {
+        assert!(!self.finished, "push after finish");
+        let mut out = Vec::new();
+        if self.window.is_full() {
+            self.process_batch();
+            self.advance_after_batch(&mut out);
+        }
+        self.window.push(s);
+        self.moments.insert(s.value);
+        self.stats.items_in += 1;
+        out
+    }
+
+    /// Flushes the stream end: processes the residual window and drains it.
+    pub fn finish(&mut self) -> Vec<Sample> {
+        assert!(!self.finished, "finish twice");
+        self.finished = true;
+        self.process_batch();
+        let rest = self.window.drain_all();
+        for s in &rest {
+            self.moments.remove(s.value);
+        }
+        self.stats.items_out += rest.len() as u64;
+        rest
+    }
+
+    /// Convenience: embeds into an in-memory stream in one call.
+    pub fn embed_stream(
+        scheme: Scheme,
+        encoder: Arc<dyn SubsetEncoder>,
+        wm: Watermark,
+        input: &[Sample],
+    ) -> Result<(Vec<Sample>, EmbedStats), String> {
+        let mut e = Embedder::new(scheme, encoder, wm)?;
+        let mut out = Vec::with_capacity(input.len());
+        for &s in input {
+            out.extend(e.push(s));
+        }
+        out.extend(e.finish());
+        Ok((out, *e.stats()))
+    }
+
+    /// Scans the resident window and embeds into every selected major
+    /// extreme. Called when the window is full and at end of stream; in
+    /// both cases every subset in the window is as complete as the space
+    /// bound `$` permits (§2.2), so all majors are processed.
+    fn process_batch(&mut self) {
+        let len = self.window.len();
+        if len < 3 {
+            return;
+        }
+        let values = self.window.values();
+        let found = extremes::scan(&values, self.scheme.params.radius);
+        self.stats.extremes_seen += found.len() as u64;
+        let degree = self.scheme.params.degree;
+        let mut last_major: Option<usize> = None;
+        for e in &found {
+            if !e.is_major(degree) {
+                continue;
+            }
+            self.stats.majors_seen += 1;
+            self.stats.subset_size_sum += e.subset_len() as u64;
+            last_major = Some(e.pos);
+            let raw = self.scheme.codec.quantize(e.value);
+            self.labeler.push(self.scheme.label_msb(raw));
+            let Some(label) = self.labeler.label() else {
+                self.stats.warmup_skipped += 1;
+                continue;
+            };
+            let Some(bit_idx) = self.scheme.select(raw, self.wm.len()) else {
+                continue;
+            };
+            self.stats.selected += 1;
+            let trim = trim_around(e.subset.clone(), e.pos, self.scheme.params.max_subset);
+            // Re-read from the window: a previous embedding in this batch
+            // may have altered overlapping items.
+            let before: Vec<f64> = trim
+                .clone()
+                .map(|i| self.window.get(i).expect("in-window").value)
+                .collect();
+            let bit = self.wm.bit(bit_idx);
+            let Some(res) =
+                self.encoder
+                    .embed(&self.scheme, &before, e.pos - trim.start, &label, bit)
+            else {
+                self.stats.skipped_encoding += 1;
+                continue;
+            };
+            self.stats.total_iterations += res.iterations;
+            // Apply through the §4.4 undo log, then check constraints.
+            let window_before = self.moments.clone();
+            let mut undo = UndoLog::new();
+            for (k, off) in trim.clone().enumerate() {
+                let slot = self.window.get_mut(off).expect("in-window");
+                undo.record(off, slot.value);
+                self.moments.replace(slot.value, res.values[k]);
+                slot.value = res.values[k];
+            }
+            let alt = ProposedAlteration {
+                before: &before,
+                after: &res.values,
+                window_before: &window_before,
+            };
+            if self.constraints.iter().all(|c| c.allows(&alt)) {
+                undo.commit();
+                self.stats.embedded += 1;
+            } else {
+                let window = &mut self.window;
+                undo.rollback(|off, old| {
+                    window.get_mut(off).expect("in-window").value = old;
+                });
+                self.moments = window_before;
+                self.stats.skipped_quality += 1;
+            }
+        }
+        self.pending_advance = match last_major {
+            Some(p) => p + 1,
+            None => (len / 2).max(1),
+        };
+    }
+
+    fn advance_after_batch(&mut self, out: &mut Vec<Sample>) {
+        let n = self.pending_advance.max(1);
+        let emitted = self.window.advance(n);
+        for s in &emitted {
+            self.moments.remove(s.value);
+        }
+        self.stats.items_out += emitted.len() as u64;
+        out.extend(emitted);
+        self.pending_advance = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::initial::InitialEncoder;
+    use crate::encoding::multihash::MultiHashEncoder;
+    use crate::params::WmParams;
+    use crate::quality::MaxItemChange;
+    use wms_crypto::{Key, KeyedHash};
+    use wms_stream::samples_from_values;
+
+    fn test_params() -> WmParams {
+        WmParams {
+            window: 256,
+            degree: 3,
+            radius: 0.01,
+            max_subset: 4,
+            label_len: 4,
+            label_stride: 1,
+            ..WmParams::default()
+        }
+    }
+
+    fn scheme(p: WmParams) -> Scheme {
+        Scheme::new(p, KeyedHash::md5(Key::from_u64(1234))).unwrap()
+    }
+
+    /// A smooth oscillating normalized stream with fat extremes.
+    fn test_stream(n: usize) -> Vec<Sample> {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                0.35 * (t * core::f64::consts::TAU / 60.0).sin()
+                    + 0.05 * (t * core::f64::consts::TAU / 17.0).sin()
+            })
+            .collect();
+        samples_from_values(&values)
+    }
+
+    #[test]
+    fn preserves_stream_shape() {
+        let (out, stats) = Embedder::embed_stream(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+            &test_stream(2000),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2000);
+        assert_eq!(stats.items_in, 2000);
+        assert_eq!(stats.items_out, 2000);
+        // Order and provenance intact.
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s.span.start, i as u64);
+        }
+    }
+
+    #[test]
+    fn embeds_into_selected_majors() {
+        let (_, stats) = Embedder::embed_stream(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+            &test_stream(3000),
+        )
+        .unwrap();
+        assert!(stats.majors_seen > 10, "{stats:?}");
+        assert!(stats.selected > 0, "{stats:?}");
+        assert!(stats.embedded > 0, "{stats:?}");
+        assert!(stats.embedded <= stats.selected);
+        let xi = stats.xi().unwrap();
+        assert!((10.0..200.0).contains(&xi), "xi {xi}");
+    }
+
+    #[test]
+    fn alterations_are_small() {
+        let input = test_stream(2000);
+        let (out, stats) = Embedder::embed_stream(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+            &input,
+        )
+        .unwrap();
+        assert!(stats.embedded > 0);
+        let mut max_change = 0.0f64;
+        for (a, b) in out.iter().zip(&input) {
+            max_change = max_change.max((a.value - b.value).abs());
+        }
+        // Initial encoding harmonizes within δ of the extreme.
+        assert!(max_change <= 0.011, "max change {max_change}");
+        assert!(max_change > 0.0, "something must have changed");
+    }
+
+    #[test]
+    fn multihash_embedding_runs() {
+        let p = WmParams {
+            min_active: Some(4),
+            ..test_params()
+        };
+        let (_, stats) = Embedder::embed_stream(
+            scheme(p),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+            &test_stream(2000),
+        )
+        .unwrap();
+        assert!(stats.embedded > 0, "{stats:?}");
+        assert!(stats.total_iterations >= stats.embedded);
+    }
+
+    #[test]
+    fn quality_constraint_rolls_back() {
+        let input = test_stream(2000);
+        let s = scheme(test_params());
+        let strict = Embedder::new(
+            s.clone(),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap()
+        .with_constraint(MaxItemChange { max: 0.0 }); // nothing allowed
+        let mut e = strict;
+        let mut out = Vec::new();
+        for &smp in &input {
+            out.extend(e.push(smp));
+        }
+        out.extend(e.finish());
+        assert_eq!(e.stats().embedded, 0);
+        assert!(e.stats().skipped_quality > 0);
+        // Stream is bit-identical to the input — rollback worked.
+        for (a, b) in out.iter().zip(&input) {
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn permissive_constraint_does_not_block() {
+        let (_, stats_free) = Embedder::embed_stream(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+            &test_stream(2000),
+        )
+        .unwrap();
+        let s = scheme(test_params());
+        let mut e = Embedder::new(s, Arc::new(InitialEncoder), Watermark::single(true))
+            .unwrap()
+            .with_constraint(MaxItemChange { max: 1.0 });
+        let input = test_stream(2000);
+        for &smp in &input {
+            e.push(smp);
+        }
+        e.finish();
+        assert_eq!(e.stats().embedded, stats_free.embedded);
+        assert_eq!(e.stats().skipped_quality, 0);
+    }
+
+    #[test]
+    fn theta_must_exceed_watermark_length() {
+        let p = WmParams { selection_modulus: 4, ..test_params() };
+        let err = Embedder::new(
+            scheme_unchecked(p),
+            Arc::new(InitialEncoder),
+            Watermark::from_bits(vec![true; 8]),
+        );
+        assert!(err.is_err());
+    }
+
+    fn scheme_unchecked(p: WmParams) -> Scheme {
+        Scheme::new(p, KeyedHash::md5(Key::from_u64(0))).unwrap()
+    }
+
+    #[test]
+    fn larger_theta_selects_fewer() {
+        let mk = |theta: u64| {
+            let p = WmParams { selection_modulus: theta, ..test_params() };
+            Embedder::embed_stream(
+                scheme(p),
+                Arc::new(InitialEncoder),
+                Watermark::single(true),
+                &test_stream(4000),
+            )
+            .unwrap()
+            .1
+        };
+        let dense = mk(2);
+        let sparse = mk(16);
+        assert!(
+            sparse.selected < dense.selected,
+            "θ=16 should select fewer: {} vs {}",
+            sparse.selected,
+            dense.selected
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "push after finish")]
+    fn push_after_finish_panics() {
+        let mut e = Embedder::new(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap();
+        e.finish();
+        e.push(Sample::new(0, 0.0));
+    }
+
+    #[test]
+    fn stats_conservation() {
+        let mut e = Embedder::new(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap();
+        let input = test_stream(1000);
+        let mut n_out = 0;
+        for &s in &input {
+            n_out += e.push(s).len();
+        }
+        n_out += e.finish().len();
+        assert_eq!(n_out, 1000);
+        assert_eq!(e.stats().items_in, 1000);
+        assert_eq!(e.stats().items_out, 1000);
+    }
+}

@@ -1,0 +1,340 @@
+//! The initial bit-pattern encoding (§3.2).
+//!
+//! For the derived bit position: set `v[bit] = wm[i]` and force the guard
+//! bits `v[bit−1] = v[bit+1] = 0` on *every* item of the characteristic
+//! subset. The guards make the pattern survive averaging within the
+//! subset: the low bits (< bit−1) of the items average to something still
+//! below `2^(bit−1)`, so no carry can reach the payload bit.
+//!
+//! For that argument to hold across items, all magnitude bits *above*
+//! `bit+1` must be identical within the subset. Items within δ of the
+//! extreme agree on the top β bits but not necessarily further down, so
+//! this encoder also *harmonizes* the upper bits of every subset item to
+//! the extreme's (an alteration bounded by δ — the items were within δ of
+//! the extreme already). The paper asserts summarization-survival of the
+//! in-subset pattern ("it is easy to show"); harmonization is the
+//! implementation detail that makes the assertion exact.
+//!
+//! The subset must be sign-uniform (a subset straddling zero cannot keep a
+//! common magnitude prefix); mixed subsets are skipped.
+
+use super::{EmbedResult, SubsetEncoder, Vote};
+use crate::labeling::Label;
+use crate::scheme::Scheme;
+
+/// §3.2's encoder. Constant-time per item — the fast option of §6.4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InitialEncoder;
+
+impl InitialEncoder {
+    fn sign_uniform(raws: &[i64]) -> bool {
+        let any_neg = raws.iter().any(|&r| r < 0);
+        let any_pos = raws.iter().any(|&r| r > 0);
+        !(any_neg && any_pos)
+    }
+}
+
+impl SubsetEncoder for InitialEncoder {
+    fn embed(
+        &self,
+        scheme: &Scheme,
+        values: &[f64],
+        extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        if values.is_empty() || extreme_offset >= values.len() {
+            return None;
+        }
+        let c = &scheme.codec;
+        let raws: Vec<i64> = values.iter().map(|&v| c.quantize(v)).collect();
+        if !Self::sign_uniform(&raws) {
+            return None;
+        }
+        let pos = scheme.bit_position(label);
+        // Encode the extreme first; it becomes the upper-bit template.
+        let enc = |raw: i64| -> i64 {
+            let r = c.set_bit(raw, pos - 1, false);
+            let r = c.set_bit(r, pos, bit);
+            c.set_bit(r, pos + 1, false)
+        };
+        let template = enc(raws[extreme_offset]);
+        let out: Vec<f64> = raws
+            .iter()
+            .enumerate()
+            .map(|(k, &raw)| {
+                let encoded = enc(raw);
+                let harmonized = if k == extreme_offset {
+                    template
+                } else {
+                    c.copy_upper_bits(encoded, template, pos + 1)
+                };
+                c.dequantize(harmonized)
+            })
+            .collect();
+        Some(EmbedResult { values: out, iterations: 1 })
+    }
+
+    fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
+        let c = &scheme.codec;
+        let pos = scheme.bit_position(label);
+        let mut vote = Vote::empty();
+        for &v in values {
+            let raw = c.quantize(v);
+            vote.add(c.get_bit(raw, pos));
+        }
+        vote
+    }
+
+    fn name(&self) -> &'static str {
+        "initial"
+    }
+}
+
+/// The *pre-§4.1* variant of the initial encoder: the bit position is
+/// derived from `H(msb(ε, β), k1)` — i.e. from the extreme's own value —
+/// exactly as §3.2 first proposes. This is the configuration vulnerable
+/// to Mallory's bucket-counting correlation attack, kept for the §4.1
+/// ablation experiment. Do **not** use it for actual rights protection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnlabeledInitialEncoder;
+
+impl UnlabeledInitialEncoder {
+    /// Position derived from the subset's own values (max-magnitude item,
+    /// which shares msb(·, β) with every subset member since δ < 2^−β).
+    fn position(scheme: &Scheme, values: &[f64]) -> u32 {
+        use wms_crypto::keyed::encode::{self, DOM_BITPOS};
+        let c = &scheme.codec;
+        let anchor = values
+            .iter()
+            .copied()
+            .max_by(|a, b| a.abs().total_cmp(&b.abs()))
+            .unwrap_or(0.0);
+        let msb = c.msb_abs(c.quantize(anchor), scheme.params.select_msb_bits);
+        let alpha = scheme.params.embed_bits;
+        let msg = encode::message(DOM_BITPOS, &[&encode::u64_bytes(msb)]);
+        1 + scheme.hash.hash_mod(&msg, (alpha - 2) as u64) as u32
+    }
+
+    fn encode_at(scheme: &Scheme, values: &[f64], extreme_offset: usize, pos: u32, bit: bool) -> Option<Vec<f64>> {
+        let c = &scheme.codec;
+        let raws: Vec<i64> = values.iter().map(|&v| c.quantize(v)).collect();
+        if !InitialEncoder::sign_uniform(&raws) {
+            return None;
+        }
+        let enc = |raw: i64| -> i64 {
+            let r = c.set_bit(raw, pos - 1, false);
+            let r = c.set_bit(r, pos, bit);
+            c.set_bit(r, pos + 1, false)
+        };
+        let template = enc(raws[extreme_offset]);
+        Some(
+            raws.iter()
+                .enumerate()
+                .map(|(k, &raw)| {
+                    let encoded = enc(raw);
+                    let h = if k == extreme_offset {
+                        template
+                    } else {
+                        c.copy_upper_bits(encoded, template, pos + 1)
+                    };
+                    c.dequantize(h)
+                })
+                .collect(),
+        )
+    }
+}
+
+impl SubsetEncoder for UnlabeledInitialEncoder {
+    fn embed(
+        &self,
+        scheme: &Scheme,
+        values: &[f64],
+        extreme_offset: usize,
+        _label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        if values.is_empty() || extreme_offset >= values.len() {
+            return None;
+        }
+        let pos = Self::position(scheme, values);
+        let out = Self::encode_at(scheme, values, extreme_offset, pos, bit)?;
+        Some(EmbedResult { values: out, iterations: 1 })
+    }
+
+    fn detect(&self, scheme: &Scheme, values: &[f64], _label: &Label) -> Vote {
+        let mut vote = Vote::empty();
+        if values.is_empty() {
+            return vote;
+        }
+        let pos = Self::position(scheme, values);
+        let c = &scheme.codec;
+        for &v in values {
+            vote.add(c.get_bit(c.quantize(v), pos));
+        }
+        vote
+    }
+
+    fn name(&self) -> &'static str {
+        "initial-unlabeled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WmParams;
+    use wms_crypto::{Key, KeyedHash};
+
+    fn scheme() -> Scheme {
+        Scheme::new(WmParams::default(), KeyedHash::md5(Key::from_u64(1))).unwrap()
+    }
+
+    fn label() -> Label {
+        Label::from_parts(0b1_0110_1001, 9)
+    }
+
+    /// A plausible characteristic subset around a maximum at 0.31.
+    fn subset() -> Vec<f64> {
+        vec![0.3021, 0.3077, 0.31, 0.3088, 0.3046, 0.3012]
+    }
+
+    #[test]
+    fn embed_then_detect_unanimous() {
+        let s = scheme();
+        let e = InitialEncoder;
+        for bit in [true, false] {
+            let r = e.embed(&s, &subset(), 2, &label(), bit).unwrap();
+            assert_eq!(r.iterations, 1);
+            let v = e.detect(&s, &r.values, &label());
+            assert_eq!(v.verdict(), Some(bit));
+            assert_eq!(v.total(), 6);
+            let consistent = if bit { v.true_votes } else { v.false_votes };
+            assert_eq!(consistent, 6, "all items must carry the bit");
+        }
+    }
+
+    #[test]
+    fn alteration_is_bounded_by_radius_scale() {
+        let s = scheme();
+        let vals = subset();
+        let r = InitialEncoder.embed(&s, &vals, 2, &label(), true).unwrap();
+        for (a, b) in r.values.iter().zip(&vals) {
+            // Harmonization moves items toward the extreme: bounded by the
+            // max in-subset distance (~0.01) plus the α-band quantum.
+            assert!((a - b).abs() < 0.011, "alteration {}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn survives_in_subset_summarization() {
+        // Average any contiguous chunk of encoded items: bit still reads.
+        let s = scheme();
+        let e = InitialEncoder;
+        for bit in [true, false] {
+            let r = e.embed(&s, &subset(), 2, &label(), bit).unwrap();
+            for win in 2..=r.values.len() {
+                for start in 0..=(r.values.len() - win) {
+                    let chunk = &r.values[start..start + win];
+                    let mean = chunk.iter().sum::<f64>() / win as f64;
+                    let v = e.detect(&s, &[mean], &label());
+                    assert_eq!(
+                        v.verdict(),
+                        Some(bit),
+                        "avg of {win}@{start} lost the bit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survives_sampling_any_single_item() {
+        let s = scheme();
+        let r = InitialEncoder.embed(&s, &subset(), 2, &label(), true).unwrap();
+        for &v in &r.values {
+            assert_eq!(
+                InitialEncoder.detect(&s, &[v], &label()).verdict(),
+                Some(true)
+            );
+        }
+    }
+
+    #[test]
+    fn negative_subset_works() {
+        let s = scheme();
+        let vals: Vec<f64> = subset().iter().map(|v| -v).collect();
+        let r = InitialEncoder.embed(&s, &vals, 2, &label(), true).unwrap();
+        assert!(r.values.iter().all(|&v| v < 0.0), "sign preserved");
+        let v = InitialEncoder.detect(&s, &r.values, &label());
+        assert_eq!(v.verdict(), Some(true));
+    }
+
+    #[test]
+    fn mixed_sign_subset_rejected() {
+        let s = scheme();
+        let vals = vec![0.001, -0.001, 0.002];
+        assert!(InitialEncoder.embed(&s, &vals, 1, &label(), true).is_none());
+    }
+
+    #[test]
+    fn empty_or_bad_offset_rejected() {
+        let s = scheme();
+        assert!(InitialEncoder.embed(&s, &[], 0, &label(), true).is_none());
+        assert!(InitialEncoder
+            .embed(&s, &[0.1], 3, &label(), true)
+            .is_none());
+    }
+
+    #[test]
+    fn different_labels_use_different_positions() {
+        // The §4.1 point: position comes from the label.
+        let s = scheme();
+        let l1 = Label::from_parts(0b1_0000_0001, 9);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(s.bit_position(&l1));
+        for bits in 0..64u64 {
+            let l = Label::from_parts((1 << 8) | bits, 9);
+            seen.insert(s.bit_position(&l));
+        }
+        assert!(seen.len() > 4, "positions should spread: {seen:?}");
+    }
+
+    #[test]
+    fn unlabeled_variant_roundtrips_without_label() {
+        let s = scheme();
+        let e = UnlabeledInitialEncoder;
+        for bit in [true, false] {
+            let r = e.embed(&s, &subset(), 2, &label(), bit).unwrap();
+            // Any label works at detection — the position ignores it.
+            let other = Label::from_parts(0b11, 2);
+            let v = e.detect(&s, &r.values, &other);
+            assert_eq!(v.verdict(), Some(bit));
+        }
+    }
+
+    #[test]
+    fn unlabeled_variant_exposes_correlation() {
+        // The §4.1 vulnerability in miniature: all same-msb subsets embed
+        // at the *same* position, unlike the labeled encoder.
+        let s = scheme();
+        let p1 = UnlabeledInitialEncoder::position(&s, &subset());
+        let shifted: Vec<f64> = subset().iter().map(|v| v + 0.002).collect();
+        let p2 = UnlabeledInitialEncoder::position(&s, &shifted);
+        assert_eq!(p1, p2, "same msb bucket → same position");
+    }
+
+    #[test]
+    fn unwatermarked_data_votes_split() {
+        // Detection over random subsets ≈ fair coin per item.
+        let s = scheme();
+        let mut rng = wms_math::DetRng::seed_from_u64(5);
+        let mut v = Vote::empty();
+        for _ in 0..2000 {
+            let x = rng.uniform(-0.49, 0.49);
+            v.merge(InitialEncoder.detect(&s, &[x], &label()));
+        }
+        let frac = v.true_votes as f64 / v.total() as f64;
+        assert!((0.4..0.6).contains(&frac), "true fraction {frac}");
+    }
+}

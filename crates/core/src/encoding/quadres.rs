@@ -1,0 +1,298 @@
+//! Quadratic-residue bit encoding — the faster alternative sketched in
+//! §4.3, adapted from Atallah & Wagstaff \[1\].
+//!
+//! Per item: alter the γ least-significant magnitude bits until each of
+//! the `k` longest prefixes of the magnitude (the whole value, the value
+//! shifted right by one, …), read as integers, is a quadratic residue
+//! modulo a secret prime (embedding `true`) or a non-residue (embedding
+//! `false`). Detection re-tests residuosity; an item votes only when all
+//! of its `k` prefixes agree.
+//!
+//! Properties: item-wise (so sampling-proof by construction, like m_ii in
+//! the multi-hash scheme), much cheaper than multi-hash (expected `2^k`
+//! candidates per item instead of `2^(τ·a(a+1)/2)` per subset), but *not*
+//! summarization-proof — averaging destroys residuosity. That trade-off is
+//! exactly the paper's framing of it as the fast encoding for high-rate
+//! streams.
+//!
+//! **Adaptation note**: consecutive *bit*-shifted prefixes are not
+//! independent in residuosity — for even n, χ(n) = χ(2)·χ(n/2), so the
+//! Legendre symbols of `n` and `n >> 1` are coupled through the fixed
+//! χ(2). We therefore shift prefixes by a nibble (4 bits) per step, which
+//! removes the coupling except on a 1/16 measure-zero-ish slice and
+//! restores the `2^k` search statistics. All shifts stay inside the γ
+//! alterable low bits.
+
+use super::{EmbedResult, SubsetEncoder, Vote};
+use crate::labeling::Label;
+use crate::scheme::Scheme;
+use wms_crypto::keyed::encode::{self, DOM_QUADRES};
+use wms_math::numtheory::{is_quadratic_residue, random_prime};
+use wms_math::DetRng;
+
+/// The quadratic-residue encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadResEncoder {
+    /// Number of magnitude prefixes that must agree (`k`). Expected search
+    /// cost per item is 2^k candidates.
+    pub prefixes: u32,
+    /// Secret odd prime modulus.
+    prime: u64,
+    /// Per-item search budget.
+    max_item_iterations: u64,
+}
+
+impl QuadResEncoder {
+    /// Bits each successive prefix is shifted by.
+    pub const PREFIX_STRIDE: u32 = 4;
+
+    /// Derives the secret prime from the scheme key (so embedder and
+    /// detector agree without extra state) and uses `k` prefixes.
+    /// Requires `(k−1)·4 < γ` so every prefix overlaps the alterable
+    /// low-bit band.
+    pub fn from_scheme(scheme: &Scheme, prefixes: u32) -> Self {
+        assert!(prefixes >= 1, "prefixes must be >= 1");
+        assert!(
+            (prefixes - 1) * Self::PREFIX_STRIDE < scheme.params.lsb_bits,
+            "prefix shifts must stay inside the γ alterable bits"
+        );
+        let seed = scheme
+            .hash
+            .hash_u64(&encode::message(DOM_QUADRES, &[b"prime-seed"]));
+        let mut rng = DetRng::seed_from_u64(seed);
+        // 40-bit prime: larger than any 32-bit magnitude prefix, so
+        // prefixes are never ≡ 0 (mod p) unless the prefix itself is 0.
+        let prime = random_prime(&mut rng, 40);
+        QuadResEncoder { prefixes, prime, max_item_iterations: 1 << 18 }
+    }
+
+    /// The secret modulus (exposed for analysis/tests).
+    pub fn prime(&self) -> u64 {
+        self.prime
+    }
+
+    fn prefixes_agree(&self, mag: u64, want_residue: bool) -> bool {
+        if mag == 0 {
+            return false; // zero is degenerate; never counts as encoded
+        }
+        for s in 0..self.prefixes {
+            let prefix = mag >> (s * Self::PREFIX_STRIDE);
+            if prefix == 0 {
+                return false;
+            }
+            if is_quadratic_residue(prefix, self.prime) != want_residue {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Classifies one magnitude: `Some(true)` if all prefixes are
+    /// residues, `Some(false)` if all are non-residues, else `None`.
+    fn classify(&self, mag: u64) -> Option<bool> {
+        if self.prefixes_agree(mag, true) {
+            Some(true)
+        } else if self.prefixes_agree(mag, false) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+impl SubsetEncoder for QuadResEncoder {
+    fn embed(
+        &self,
+        scheme: &Scheme,
+        values: &[f64],
+        _extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        if values.is_empty() {
+            return None;
+        }
+        let c = &scheme.codec;
+        let gamma = scheme.params.lsb_bits;
+        let seed = scheme
+            .hash
+            .hash_u64(&encode::message(DOM_QUADRES, &[&label.to_bytes(), b"search"]));
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(values.len());
+        let mut iterations = 0u64;
+        for &v in values {
+            let raw = c.quantize(v);
+            let mut found = None;
+            for i in 0..self.max_item_iterations {
+                let cand = if i == 0 {
+                    raw
+                } else {
+                    c.replace_lsb(raw, gamma, rng.next_u64())
+                };
+                iterations += 1;
+                if self.prefixes_agree(c.magnitude(cand), bit) {
+                    found = Some(cand);
+                    break;
+                }
+            }
+            out.push(c.dequantize(found?));
+        }
+        Some(EmbedResult { values: out, iterations })
+    }
+
+    fn detect(&self, scheme: &Scheme, values: &[f64], _label: &Label) -> Vote {
+        let c = &scheme.codec;
+        let mut vote = Vote::empty();
+        for &v in values {
+            let mag = c.magnitude(c.quantize(v));
+            if let Some(b) = self.classify(mag) {
+                vote.add(b);
+            }
+        }
+        vote
+    }
+
+    fn name(&self) -> &'static str {
+        "quadratic-residue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WmParams;
+    use wms_crypto::{Key, KeyedHash};
+
+    fn scheme() -> Scheme {
+        Scheme::new(WmParams::default(), KeyedHash::md5(Key::from_u64(5))).unwrap()
+    }
+
+    fn label() -> Label {
+        Label::from_parts(0b1_0011, 5)
+    }
+
+    fn subset() -> Vec<f64> {
+        vec![0.4102, 0.4131, 0.4155, 0.4140, 0.4117]
+    }
+
+    #[test]
+    fn prime_is_key_derived_and_stable() {
+        let s = scheme();
+        let a = QuadResEncoder::from_scheme(&s, 3);
+        let b = QuadResEncoder::from_scheme(&s, 3);
+        assert_eq!(a.prime(), b.prime());
+        assert!(wms_math::numtheory::is_prime(a.prime()));
+        let other = Scheme::new(WmParams::default(), KeyedHash::md5(Key::from_u64(6))).unwrap();
+        assert_ne!(QuadResEncoder::from_scheme(&other, 3).prime(), a.prime());
+    }
+
+    #[test]
+    fn embed_then_detect_unanimous() {
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 3);
+        for bit in [true, false] {
+            let r = e.embed(&s, &subset(), 2, &label(), bit).unwrap();
+            let v = e.detect(&s, &r.values, &label());
+            assert_eq!(v.total(), 5);
+            let consistent = if bit { v.true_votes } else { v.false_votes };
+            assert_eq!(consistent, 5);
+        }
+    }
+
+    #[test]
+    fn survives_sampling_per_item() {
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 3);
+        let r = e.embed(&s, &subset(), 2, &label(), true).unwrap();
+        for &v in &r.values {
+            assert_eq!(e.detect(&s, &[v], &label()).verdict(), Some(true));
+        }
+    }
+
+    #[test]
+    fn expected_cost_is_two_to_the_k() {
+        let s = scheme();
+        for k in [1u32, 3, 4] {
+            let e = QuadResEncoder::from_scheme(&s, k);
+            let r = e.embed(&s, &subset(), 2, &label(), true).unwrap();
+            let per_item = r.iterations as f64 / subset().len() as f64;
+            let expect = 2f64.powi(k as i32);
+            assert!(
+                per_item < expect * 12.0 + 8.0,
+                "k={k}: {per_item} candidates/item vs expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alterations_confined_to_lsb_band() {
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 3);
+        let vals = subset();
+        let r = e.embed(&s, &vals, 2, &label(), true).unwrap();
+        let bound = 2f64.powi(-(32 - 16));
+        for (a, b) in r.values.iter().zip(&vals) {
+            assert!((a - b).abs() < bound);
+        }
+    }
+
+    #[test]
+    fn random_data_mostly_abstains_with_k3() {
+        // P(all 3 prefixes residues) = 1/8; all non-residues = 1/8;
+        // abstain ≈ 3/4.
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 3);
+        let mut rng = wms_math::DetRng::seed_from_u64(3);
+        let mut voted = 0u32;
+        let n = 2000;
+        for _ in 0..n {
+            let v = rng.uniform(-0.45, 0.45);
+            voted += e.detect(&s, &[v], &label()).total();
+        }
+        let frac = voted as f64 / n as f64;
+        assert!((0.15..0.40).contains(&frac), "vote fraction {frac}");
+    }
+
+    #[test]
+    fn negative_values_encode_by_magnitude() {
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 2);
+        let vals: Vec<f64> = subset().iter().map(|v| -v).collect();
+        let r = e.embed(&s, &vals, 2, &label(), false).unwrap();
+        assert!(r.values.iter().all(|&v| v < 0.0));
+        assert_eq!(e.detect(&s, &r.values, &label()).verdict(), Some(false));
+    }
+
+    #[test]
+    fn summarization_not_survived_by_design() {
+        // Documented trade-off: averaging breaks residuosity about half
+        // the time, so votes degrade toward noise (unlike multi-hash).
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 1);
+        let mut wrong_or_abstain = 0;
+        let mut runs = 0;
+        for l in 0..40u64 {
+            let lab = Label::from_parts((1 << 5) | l, 6);
+            if let Some(r) = e.embed(&s, &subset(), 2, &lab, true) {
+                let mean = r.values.iter().sum::<f64>() / r.values.len() as f64;
+                let v = e.detect(&s, &[mean], &lab);
+                if v.verdict() != Some(true) {
+                    wrong_or_abstain += 1;
+                }
+                runs += 1;
+            }
+        }
+        assert!(runs > 30);
+        assert!(
+            wrong_or_abstain > runs / 5,
+            "averages should frequently lose the bit ({wrong_or_abstain}/{runs})"
+        );
+    }
+
+    #[test]
+    fn empty_subset_rejected() {
+        let s = scheme();
+        let e = QuadResEncoder::from_scheme(&s, 2);
+        assert!(e.embed(&s, &[], 0, &label(), true).is_none());
+    }
+}

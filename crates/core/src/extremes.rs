@@ -1,0 +1,331 @@
+//! Extremes, characteristic subsets, and major extremes (§2.2).
+//!
+//! * An **extreme** ε is a local minimum or maximum of the stream.
+//! * Its **characteristic subset** σ(ε, δ) is the maximal contiguous run
+//!   of items around ε whose values stay within distance δ of ε's value.
+//! * A **major extreme of degree ν** is one whose subset is large enough
+//!   (≥ ν items) that some member survives any uniform sampling of degree
+//!   ν — the paper's recoverability requirement for bit carriers.
+//! * ξ(ν, δ) is the average number of stream items per major extreme —
+//!   the stream's "fluctuation rate", which drives every §5 formula.
+
+use std::ops::Range;
+
+/// Minimum or maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtremeKind {
+    /// Local maximum.
+    Max,
+    /// Local minimum.
+    Min,
+}
+
+/// A located extreme with its characteristic subset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extreme {
+    /// Position of ε in the scanned slice (plateaus: first item).
+    pub pos: usize,
+    /// ε's value.
+    pub value: f64,
+    /// Max or Min.
+    pub kind: ExtremeKind,
+    /// σ(ε, δ) as a half-open index range containing `pos`.
+    pub subset: Range<usize>,
+}
+
+impl Extreme {
+    /// |σ(ε, δ)|.
+    pub fn subset_len(&self) -> usize {
+        self.subset.end - self.subset.start
+    }
+
+    /// Major of degree ν ⇔ subset holds at least ν items.
+    pub fn is_major(&self, degree: usize) -> bool {
+        self.subset_len() >= degree
+    }
+
+    /// Whether the subset's right boundary was decided by the value
+    /// criterion rather than running into the end of the scanned slice —
+    /// i.e. the subset is complete and safe to embed into.
+    pub fn right_bounded(&self, slice_len: usize) -> bool {
+        self.subset.end < slice_len
+    }
+}
+
+/// Positions of all local extremes (plateau-compressed; endpoints of the
+/// slice are never extremes because their one-sidedness is unresolved).
+pub fn extreme_positions(values: &[f64]) -> Vec<(usize, ExtremeKind)> {
+    let n = values.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    // Compress plateaus to (first index, value) runs.
+    let mut runs: Vec<(usize, f64)> = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        match runs.last() {
+            Some(&(_, lv)) if lv == v => {}
+            _ => runs.push((i, v)),
+        }
+    }
+    let mut out = Vec::new();
+    for w in 1..runs.len().saturating_sub(1) {
+        let (_, prev) = runs[w - 1];
+        let (idx, cur) = runs[w];
+        let (_, next) = runs[w + 1];
+        if cur > prev && cur > next {
+            out.push((idx, ExtremeKind::Max));
+        } else if cur < prev && cur < next {
+            out.push((idx, ExtremeKind::Min));
+        }
+    }
+    out
+}
+
+/// The characteristic subset σ(ε, δ) around `pos`: grows in both
+/// directions while `|v − v[pos]| < δ`, stopping at the first violator
+/// (contiguity rule of §2.2) or the slice boundary.
+pub fn characteristic_subset(values: &[f64], pos: usize, radius: f64) -> Range<usize> {
+    debug_assert!(pos < values.len());
+    debug_assert!(radius > 0.0);
+    let center = values[pos];
+    let mut start = pos;
+    while start > 0 && (values[start - 1] - center).abs() < radius {
+        start -= 1;
+    }
+    let mut end = pos + 1;
+    while end < values.len() && (values[end] - center).abs() < radius {
+        end += 1;
+    }
+    start..end
+}
+
+/// All extremes of the slice with their subsets.
+pub fn scan(values: &[f64], radius: f64) -> Vec<Extreme> {
+    extreme_positions(values)
+        .into_iter()
+        .map(|(pos, kind)| Extreme {
+            pos,
+            value: values[pos],
+            kind,
+            subset: characteristic_subset(values, pos, radius),
+        })
+        .collect()
+}
+
+/// Only the major extremes of degree ν.
+pub fn scan_major(values: &[f64], radius: f64, degree: usize) -> Vec<Extreme> {
+    scan(values, radius)
+        .into_iter()
+        .filter(|e| e.is_major(degree))
+        .collect()
+}
+
+/// Major extremes with *repeats collapsed*: in a flat peak region,
+/// micro-noise produces a cluster of majors whose characteristic subsets
+/// overlap — effectively the same extreme observed several times. This
+/// keeps only the first major of each overlapping run (the direction the
+/// paper's §4 "handling repeated labels" improvement points at).
+///
+/// Note: the embedding/detection pipeline deliberately does **not** use
+/// this collapse — experiments showed the choice of cluster
+/// representative is itself unstable under value alterations, which
+/// shifts the label history *more* than the duplicates do. The function
+/// is kept as measurement/analysis API.
+pub fn scan_major_deduped(values: &[f64], radius: f64, degree: usize) -> Vec<Extreme> {
+    let mut out: Vec<Extreme> = Vec::new();
+    for e in scan_major(values, radius, degree) {
+        match out.last() {
+            Some(prev) if e.subset.start < prev.subset.end => {
+                // Overlaps the previous cluster: same physical extreme.
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// ξ(ν, δ): average items per major extreme. `None` when the slice
+/// contains no major extreme.
+pub fn measure_xi(values: &[f64], radius: f64, degree: usize) -> Option<f64> {
+    let majors = scan_major(values, radius, degree).len();
+    if majors == 0 {
+        None
+    } else {
+        Some(values.len() as f64 / majors as f64)
+    }
+}
+
+/// Average characteristic-subset size over all extremes — the statistic
+/// the transform-degree estimator compares between the original stream
+/// and a transformed segment (§4.2).
+pub fn avg_subset_size(values: &[f64], radius: f64) -> Option<f64> {
+    let ex = scan(values, radius);
+    if ex.is_empty() {
+        return None;
+    }
+    Some(ex.iter().map(|e| e.subset_len() as f64).sum::<f64>() / ex.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_extremes() {
+        //            0    1    2    3    4    5    6
+        let v = [0.0, 1.0, 0.5, 0.8, 0.2, 0.9, 0.1];
+        let pos = extreme_positions(&v);
+        assert_eq!(
+            pos,
+            vec![
+                (1, ExtremeKind::Max),
+                (2, ExtremeKind::Min),
+                (3, ExtremeKind::Max),
+                (4, ExtremeKind::Min),
+                (5, ExtremeKind::Max),
+            ]
+        );
+    }
+
+    #[test]
+    fn endpoints_never_extremes() {
+        let v = [5.0, 1.0, 4.0];
+        let pos = extreme_positions(&v);
+        assert_eq!(pos, vec![(1, ExtremeKind::Min)]);
+    }
+
+    #[test]
+    fn plateaus_compress_to_first_index() {
+        let v = [0.0, 2.0, 2.0, 2.0, 1.0, 1.0, 3.0, 0.0];
+        let pos = extreme_positions(&v);
+        assert_eq!(
+            pos,
+            vec![
+                (1, ExtremeKind::Max),
+                (4, ExtremeKind::Min),
+                (6, ExtremeKind::Max),
+            ]
+        );
+    }
+
+    #[test]
+    fn monotone_has_no_extremes() {
+        let up: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(extreme_positions(&up).is_empty());
+        assert!(extreme_positions(&[1.0, 2.0]).is_empty());
+        assert!(extreme_positions(&[]).is_empty());
+    }
+
+    #[test]
+    fn subset_respects_radius_and_contiguity() {
+        //       0     1     2     3     4     5      6
+        let v = [0.50, 0.92, 0.95, 1.00, 0.97, 0.60, 0.99];
+        // extreme at 3; δ=0.1 → left: 0.97? no that's right...
+        // left: v[2]=0.95 (|1.00-0.95|=0.05<0.1) → v[1]=0.92 (0.08<0.1)
+        //       → v[0]=0.50 stops.
+        // right: v[4]=0.97 ok → v[5]=0.60 stops (contiguity: v[6]=0.99 is
+        //        within δ but unreachable).
+        let r = characteristic_subset(&v, 3, 0.1);
+        assert_eq!(r, 1..5);
+    }
+
+    #[test]
+    fn subset_always_contains_extreme() {
+        let v = [1.0, 0.0, 1.0];
+        let r = characteristic_subset(&v, 1, 1e-9);
+        assert_eq!(r, 1..2);
+    }
+
+    #[test]
+    fn subset_bounded_by_slice() {
+        let v = [1.0, 1.001, 1.002];
+        let r = characteristic_subset(&v, 0, 0.1);
+        assert_eq!(r, 0..3);
+    }
+
+    #[test]
+    fn scan_pairs_positions_with_subsets() {
+        let v = [0.0, 0.10, 0.11, 0.12, 0.11, 0.10, 0.0];
+        let ex = scan(&v, 0.05);
+        assert_eq!(ex.len(), 1);
+        let e = &ex[0];
+        assert_eq!(e.pos, 3);
+        assert_eq!(e.kind, ExtremeKind::Max);
+        assert_eq!(e.subset, 1..6);
+        assert_eq!(e.subset_len(), 5);
+        assert!(e.is_major(5));
+        assert!(!e.is_major(6));
+        assert!(e.right_bounded(v.len()));
+    }
+
+    #[test]
+    fn fat_vs_thin_extremes() {
+        // A smooth hump is major; a one-sample spike is not (cf. Figure 2:
+        // C, E, G fat; F, I, J thin).
+        let mut v = Vec::new();
+        for i in 0..21 {
+            let t = (i as f64 - 10.0) / 10.0;
+            v.push(0.3 - 0.02 * t * t); // gentle hump, spread ≈ 0.02
+        }
+        v.extend_from_slice(&[0.0, 0.45, 0.0]); // sharp spike
+        v.push(0.1);
+        let majors = scan_major(&v, 0.01, 5);
+        assert_eq!(majors.len(), 1, "only the hump is major: {majors:?}");
+        assert_eq!(majors[0].kind, ExtremeKind::Max);
+        let all = scan(&v, 0.01);
+        assert!(all.len() >= 2, "spike still counts as an extreme");
+    }
+
+    #[test]
+    fn xi_measures_fluctuation() {
+        // Sine of period 100 over 10k samples → ~200 extremes; with a tiny
+        // radius every extreme has a small subset; pick ν=1 to count all.
+        let v: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * core::f64::consts::TAU / 100.0).sin() * 0.4)
+            .collect();
+        let xi = measure_xi(&v, 0.01, 1).unwrap();
+        assert!((40.0..60.0).contains(&xi), "xi = {xi}");
+        assert!(measure_xi(&v, 0.01, 1000).is_none());
+    }
+
+    #[test]
+    fn avg_subset_size_shrinks_under_decimation() {
+        // §4.2's core premise: sampling a stream shrinks subsets.
+        let v: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * core::f64::consts::TAU / 200.0).sin() * 0.4)
+            .collect();
+        let full = avg_subset_size(&v, 0.01).unwrap();
+        let dec: Vec<f64> = v.iter().step_by(4).copied().collect();
+        let sampled = avg_subset_size(&dec, 0.01).unwrap();
+        let ratio = full / sampled;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "expected ~4x shrink, got {ratio} ({full} vs {sampled})"
+        );
+    }
+
+    #[test]
+    fn dedup_collapses_overlapping_majors() {
+        // A flat-topped hump with a micro-dimple: two majors with
+        // overlapping subsets collapse to one.
+        let mut v = vec![0.0, 0.1, 0.2];
+        v.extend_from_slice(&[0.300, 0.3005, 0.3002, 0.3006, 0.300]);
+        v.extend_from_slice(&[0.2, 0.1, 0.0]);
+        let majors = scan_major(&v, 0.01, 3);
+        assert!(majors.len() >= 2, "construction should yield a cluster: {majors:?}");
+        let deduped = scan_major_deduped(&v, 0.01, 3);
+        assert_eq!(deduped.len(), 1, "{deduped:?}");
+        // Non-overlapping majors are untouched: add a second wide hump.
+        let mut two = v.clone();
+        two.extend_from_slice(&[-0.299, -0.3004, -0.3001, -0.3005, -0.299, 0.0]);
+        let d2 = scan_major_deduped(&two, 0.01, 3);
+        assert!(d2.len() >= 2, "{d2:?}");
+    }
+
+    #[test]
+    fn scan_handles_tiny_slices() {
+        assert!(scan(&[], 0.1).is_empty());
+        assert!(scan(&[1.0], 0.1).is_empty());
+        assert!(scan(&[1.0, 2.0], 0.1).is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Fixed-point value codec: the bit view behind msb/lsb/bit operations.
+//!
+//! The paper manipulates stream values as bit strings — `msb(x, b)`,
+//! `lsb(x, b)`, setting individual bit positions (§2.2, §3.2). Values are
+//! normalized into (−0.5, +0.5); we represent them as signed fixed point
+//! with `B = value_bits` fractional bits:
+//!
+//! ```text
+//! raw = round(x · 2^B)      raw ∈ (−2^(B−1), +2^(B−1))
+//! ```
+//!
+//! With B ≤ 48, `raw` (and sums of up to ~2^(51−B) raws) is exactly
+//! representable in an f64 mantissa, so the f64 stream arithmetic the
+//! attacks perform (averaging for summarization, in particular) commutes
+//! exactly with quantization — the property the encodings rely on.
+
+use crate::params::WmParams;
+
+/// Codec for one `value_bits` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPointCodec {
+    frac_bits: u32,
+}
+
+impl FixedPointCodec {
+    /// Codec with `B = frac_bits` fractional bits (1..=48).
+    pub fn new(frac_bits: u32) -> Self {
+        assert!((1..=48).contains(&frac_bits), "frac_bits must be in [1,48]");
+        FixedPointCodec { frac_bits }
+    }
+
+    /// Codec from a parameter set.
+    pub fn from_params(p: &WmParams) -> Self {
+        Self::new(p.value_bits)
+    }
+
+    /// B.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// One quantum, `2^−B`, in value units.
+    pub fn quantum(&self) -> f64 {
+        2f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Quantizes a value to its signed raw representation
+    /// (round-half-away-from-zero, matching `f64::round`).
+    pub fn quantize(&self, x: f64) -> i64 {
+        debug_assert!(x.is_finite(), "cannot quantize non-finite value");
+        (x * (1u64 << self.frac_bits) as f64).round() as i64
+    }
+
+    /// Inverse of [`quantize`](Self::quantize); exact for B ≤ 48.
+    pub fn dequantize(&self, raw: i64) -> f64 {
+        raw as f64 / (1u64 << self.frac_bits) as f64
+    }
+
+    /// Quantization round-trip: the canonical on-grid value nearest `x`.
+    pub fn snap(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Magnitude of the raw representation (the bit string the paper's
+    /// `msb(abs(val(·)), b)` reads).
+    pub fn magnitude(&self, raw: i64) -> u64 {
+        raw.unsigned_abs()
+    }
+
+    /// `msb(|x|, bits)`: the top `bits` of the B−1-bit magnitude field.
+    ///
+    /// Normalized values satisfy |x| < 0.5, i.e. magnitude < 2^(B−1), so
+    /// the magnitude is treated as a (B−1)-bit field.
+    pub fn msb_abs(&self, raw: i64, bits: u32) -> u64 {
+        assert!(bits >= 1 && bits < self.frac_bits, "msb bits out of range");
+        let width = self.frac_bits - 1;
+        let mag = self.magnitude(raw) & ((1u64 << width) - 1);
+        mag >> (width - bits)
+    }
+
+    /// `lsb(x, bits)`: the low `bits` of the two's-complement raw. Well
+    /// defined for either sign and stable under sign-preserving msb
+    /// alterations.
+    pub fn lsb(&self, raw: i64, bits: u32) -> u64 {
+        assert!((1..=63).contains(&bits), "lsb bits out of range");
+        (raw as u64) & ((1u64 << bits) - 1)
+    }
+
+    /// Reads bit `pos` (0 = least significant) of the magnitude.
+    pub fn get_bit(&self, raw: i64, pos: u32) -> bool {
+        assert!(pos < self.frac_bits, "bit position out of range");
+        (self.magnitude(raw) >> pos) & 1 == 1
+    }
+
+    /// Returns `raw` with magnitude bit `pos` forced to `bit`,
+    /// sign preserved.
+    pub fn set_bit(&self, raw: i64, pos: u32, bit: bool) -> i64 {
+        assert!(pos < self.frac_bits, "bit position out of range");
+        let mut mag = self.magnitude(raw);
+        if bit {
+            mag |= 1u64 << pos;
+        } else {
+            mag &= !(1u64 << pos);
+        }
+        let signed = mag as i64;
+        if raw < 0 {
+            -signed
+        } else {
+            signed
+        }
+    }
+
+    /// Returns `raw` with its low `bits` magnitude bits replaced by
+    /// `pattern` (masked), sign preserved. The multi-hash search's basic
+    /// move.
+    pub fn replace_lsb(&self, raw: i64, bits: u32, pattern: u64) -> i64 {
+        assert!(bits >= 1 && bits < self.frac_bits, "lsb bits out of range");
+        let mask = (1u64 << bits) - 1;
+        let mag = (self.magnitude(raw) & !mask) | (pattern & mask);
+        let signed = mag as i64;
+        if raw < 0 {
+            -signed
+        } else {
+            signed
+        }
+    }
+
+    /// Returns `raw` with all magnitude bits *above* `pos` replaced by the
+    /// corresponding bits of `template`'s magnitude, sign preserved.
+    /// Used by the initial encoding to harmonize a characteristic subset's
+    /// upper bits with its extreme so that averaging any sub-collection
+    /// preserves the embedded pattern (see `encoding::initial`).
+    pub fn copy_upper_bits(&self, raw: i64, template: i64, pos: u32) -> i64 {
+        assert!(pos < self.frac_bits, "bit position out of range");
+        let low_mask = (1u64 << (pos + 1)) - 1;
+        let mag = (self.magnitude(template) & !low_mask) | (self.magnitude(raw) & low_mask);
+        let signed = mag as i64;
+        if raw < 0 {
+            -signed
+        } else {
+            signed
+        }
+    }
+
+    /// Quantized mean of a value slice: the *single* definition of m_ij
+    /// both embedder and detector use (§4.3).
+    ///
+    /// The mean is computed in f64 (exactly how an attacker's
+    /// summarization computes chunk averages) and then quantized, so a
+    /// summarized stream reproduces the embedder's m_ij values bit-exactly
+    /// wherever chunks align with the subset.
+    pub fn quantize_mean(&self, values: &[f64]) -> i64 {
+        assert!(!values.is_empty(), "mean of empty slice");
+        let sum: f64 = values.iter().sum();
+        self.quantize(sum / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> FixedPointCodec {
+        FixedPointCodec::new(32)
+    }
+
+    #[test]
+    fn quantize_roundtrip_exact_on_grid() {
+        let c = codec();
+        for raw in [-2_000_000_000i64, -1, 0, 1, 12345, (1 << 31) - 1] {
+            assert_eq!(c.quantize(c.dequantize(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let c = codec();
+        let q = c.quantum();
+        assert_eq!(c.quantize(10.4 * q), 10);
+        assert_eq!(c.quantize(10.6 * q), 11);
+        assert_eq!(c.quantize(-10.4 * q), -10);
+        assert_eq!(c.quantize(-10.6 * q), -11);
+        // Half rounds away from zero (f64::round).
+        assert_eq!(c.quantize(10.5 * q), 11);
+        assert_eq!(c.quantize(-10.5 * q), -11);
+    }
+
+    #[test]
+    fn snap_error_bounded_by_half_quantum() {
+        let c = codec();
+        for i in 0..1000 {
+            let x = (i as f64 * 0.000_737).sin() * 0.49;
+            assert!((c.snap(x) - x).abs() <= c.quantum() / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn msb_abs_extracts_top_bits() {
+        let c = codec();
+        // magnitude field is B−1 = 31 bits wide.
+        let raw = c.quantize(0.25); // |raw| = 2^30 → top bit of 31-bit field
+        assert_eq!(c.msb_abs(raw, 1), 1);
+        assert_eq!(c.msb_abs(raw, 3), 0b100);
+        assert_eq!(c.msb_abs(-raw, 3), 0b100, "msb uses |value|");
+        let small = c.quantize(0.01);
+        assert_eq!(c.msb_abs(small, 3), 0);
+    }
+
+    #[test]
+    fn msb_abs_stable_within_radius() {
+        // The §3.2 assumption: values within δ < 2^-β of each other share
+        // msb(·, β) — holds away from bucket boundaries.
+        let c = codec();
+        let beta = 3;
+        let x = 0.30;
+        let delta = 0.004;
+        let a = c.msb_abs(c.quantize(x), beta);
+        let b = c.msb_abs(c.quantize(x + delta), beta);
+        let d = c.msb_abs(c.quantize(x - delta), beta);
+        assert_eq!(a, b);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn lsb_of_negative_is_twos_complement() {
+        let c = codec();
+        assert_eq!(c.lsb(5, 4), 5);
+        assert_eq!(c.lsb(-1, 4), 0xf);
+        assert_eq!(c.lsb(-2, 8), 0xfe);
+    }
+
+    #[test]
+    fn get_set_bit_roundtrip() {
+        let c = codec();
+        let raw = c.quantize(0.3);
+        for pos in [0u32, 5, 14, 15] {
+            let set = c.set_bit(raw, pos, true);
+            assert!(c.get_bit(set, pos));
+            let clr = c.set_bit(set, pos, false);
+            assert!(!c.get_bit(clr, pos));
+            // Other bits untouched.
+            assert_eq!(c.set_bit(clr, pos, c.get_bit(raw, pos)), raw);
+        }
+    }
+
+    #[test]
+    fn set_bit_preserves_sign() {
+        let c = codec();
+        let raw = c.quantize(-0.3);
+        let set = c.set_bit(raw, 7, true);
+        assert!(set < 0);
+        assert!(c.get_bit(set, 7));
+    }
+
+    #[test]
+    fn set_bit_alteration_is_tiny() {
+        let c = codec();
+        let raw = c.quantize(0.3);
+        let altered = c.set_bit(c.set_bit(c.set_bit(raw, 9, false), 8, true), 7, false);
+        let diff = (c.dequantize(altered) - c.dequantize(raw)).abs();
+        assert!(diff < 2f64.powi(-21), "alteration {diff} too large");
+    }
+
+    #[test]
+    fn replace_lsb_masks_exactly() {
+        let c = codec();
+        let raw = c.quantize(0.123);
+        let out = c.replace_lsb(raw, 16, 0xABCD);
+        assert_eq!(c.lsb(out, 16), 0xABCD);
+        // Upper magnitude bits unchanged.
+        assert_eq!(c.magnitude(out) >> 16, c.magnitude(raw) >> 16);
+        // Negative input keeps sign; magnitude lsb replaced.
+        let n = c.replace_lsb(-raw, 16, 0x1234);
+        assert!(n < 0);
+        assert_eq!(c.magnitude(n) & 0xffff, 0x1234);
+    }
+
+    #[test]
+    fn copy_upper_bits_harmonizes() {
+        let c = codec();
+        let a = c.quantize(0.300);
+        let b = c.quantize(0.302);
+        let h = c.copy_upper_bits(b, a, 16);
+        // Above bit 16: equals a. At/below: equals b.
+        assert_eq!(c.magnitude(h) >> 17, c.magnitude(a) >> 17);
+        assert_eq!(c.magnitude(h) & 0x1ffff, c.magnitude(b) & 0x1ffff);
+        // Alteration bounded by the original distance + low-band size.
+        let diff = (c.dequantize(h) - c.dequantize(b)).abs();
+        assert!(diff <= 0.002 + 2f64.powi(-15));
+    }
+
+    #[test]
+    fn quantize_mean_matches_f64_average() {
+        let c = codec();
+        let vals: Vec<f64> = [0.1, 0.2, 0.3, 0.4].iter().map(|&v| c.snap(v)).collect();
+        let mean = vals.iter().sum::<f64>() / 4.0;
+        assert_eq!(c.quantize_mean(&vals), c.quantize(mean));
+    }
+
+    #[test]
+    fn quantize_mean_commutes_with_summarization() {
+        // mean(chunk means) == mean(all) when chunks are equal-sized: the
+        // exactness property the multi-hash encoding needs.
+        let c = codec();
+        let vals: Vec<f64> = (0..12)
+            .map(|i| c.snap(0.4 * ((i as f64) * 0.77).sin()))
+            .collect();
+        let direct = c.quantize_mean(&vals);
+        let chunk_means: Vec<f64> = vals
+            .chunks(3)
+            .map(|ch| ch.iter().sum::<f64>() / ch.len() as f64)
+            .collect();
+        let nested = c.quantize_mean(&chunk_means);
+        assert_eq!(direct, nested);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty")]
+    fn mean_of_empty_panics() {
+        codec().quantize_mean(&[]);
+    }
+
+    #[test]
+    fn small_codec_widths() {
+        let c = FixedPointCodec::new(8);
+        assert_eq!(c.quantum(), 1.0 / 256.0);
+        let raw = c.quantize(0.25);
+        assert_eq!(raw, 64);
+        assert_eq!(c.msb_abs(raw, 2), 0b10);
+    }
+}

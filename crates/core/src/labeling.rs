@@ -1,0 +1,270 @@
+//! On-the-fly extreme labeling (§4.1).
+//!
+//! The labeling scheme breaks the correlation between a watermark bit's
+//! *location* and its *value* that enables Mallory's bucket-counting
+//! attack: the bit position is derived from `H(label(ε), k1)` instead of
+//! from ε's own value.
+//!
+//! A label is built purely from the *preceding* major extremes, so it can
+//! be recomputed from any stream segment (supporting segmentation, A3):
+//! with stride ϱ and size λ, the label of extreme number `n` is the bit
+//! `1` followed by `label_bit(n−(λ−m)ϱ, n−(λ−m−1)ϱ)` for `m = 0..λ`,
+//! where `label_bit(i, j) = msb(|val(i)|, β') < msb(|val(j)|, β')`.
+//!
+//! Worked example (paper Figure 2a, ϱ = 2): extremes A…K with msb values
+//! 6, ·, 7, ·, 6, ·, 11, ·, 5, ·, 5 yield comparisons AC=1, CE=0, EG=1,
+//! GI=0, IK=0 and thus `label(K) = "110100"`.
+
+use std::collections::VecDeque;
+
+/// A computed label: the leading `1` plus λ comparison bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label {
+    bits: u64,
+    len: u32,
+}
+
+impl Label {
+    /// Builds from raw parts (most significant bit = the leading `1`).
+    pub fn from_parts(bits: u64, len: u32) -> Self {
+        assert!((1..=61).contains(&len), "label length out of range");
+        assert!(bits >> (len - 1) == 1, "leading bit must be 1");
+        Label { bits, len }
+    }
+
+    /// Label value as an integer (leading `1` included).
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// Total bit length (λ + 1).
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Labels are never empty (leading bit).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Canonical byte encoding for hashing: length byte then value LE.
+    pub fn to_bytes(&self) -> [u8; 9] {
+        let mut out = [0u8; 9];
+        out[0] = self.len as u8;
+        out[1..9].copy_from_slice(&self.bits.to_le_bytes());
+        out
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", (self.bits >> i) & 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental labeler over the sequence of major-extreme msb values.
+///
+/// Embedder and detector each own one and feed it every major extreme they
+/// encounter, in stream order; `label()` then names the most recent one.
+#[derive(Debug, Clone)]
+pub struct Labeler {
+    history: VecDeque<u64>,
+    lambda: usize,
+    stride: usize,
+}
+
+impl Labeler {
+    /// Creates a labeler with λ comparison bits at stride ϱ.
+    pub fn new(lambda: usize, stride: usize) -> Self {
+        assert!((1..=60).contains(&lambda), "label_len out of range");
+        assert!(stride >= 1, "label_stride must be >= 1");
+        Labeler {
+            history: VecDeque::with_capacity(lambda * stride + 1),
+            lambda,
+            stride,
+        }
+    }
+
+    /// Number of major extremes that must have been seen before labels
+    /// become defined (the warm-up of §5's segmentation analysis:
+    /// λ·ϱ preceding extremes plus the labeled one).
+    pub fn required_history(&self) -> usize {
+        self.lambda * self.stride + 1
+    }
+
+    /// Records the next major extreme's `msb(|val|, β')`.
+    pub fn push(&mut self, msb: u64) {
+        if self.history.len() == self.required_history() {
+            self.history.pop_front();
+        }
+        self.history.push_back(msb);
+    }
+
+    /// Label of the most recently pushed extreme; `None` during warm-up.
+    pub fn label(&self) -> Option<Label> {
+        let need = self.required_history();
+        if self.history.len() < need {
+            return None;
+        }
+        // history[0] is extreme n−λϱ, history[need−1] is extreme n.
+        let mut bits: u64 = 1; // leading 1
+        let mut m = 0;
+        while m < self.lambda {
+            let i = m * self.stride;
+            let j = (m + 1) * self.stride;
+            let bit = self.history[i] < self.history[j];
+            bits = (bits << 1) | bit as u64;
+            m += 1;
+        }
+        Some(Label { bits, len: self.lambda as u32 + 1 })
+    }
+
+    /// Forgets all history (e.g. when detection restarts on a segment).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// Number of extremes currently remembered.
+    pub fn seen(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure2_example() {
+        // ϱ = 2, λ = 5; msb values for A..K with odd positions (B,D,F,H,J)
+        // arbitrary — only every 2nd extreme participates.
+        let msbs = [6u64, 9, 7, 9, 6, 9, 11, 9, 5, 9, 5];
+        let mut l = Labeler::new(5, 2);
+        for &m in &msbs {
+            l.push(m);
+        }
+        let label = l.label().expect("11 extremes suffice for λϱ+1 = 11");
+        assert_eq!(label.to_string(), "110100");
+        assert_eq!(label.len(), 6);
+    }
+
+    #[test]
+    fn warm_up_returns_none() {
+        let mut l = Labeler::new(3, 2);
+        assert_eq!(l.required_history(), 7);
+        for m in 0..6u64 {
+            l.push(m);
+            assert!(l.label().is_none(), "after {} pushes", m + 1);
+        }
+        l.push(6);
+        assert!(l.label().is_some());
+    }
+
+    #[test]
+    fn stride_one_compares_adjacent() {
+        let mut l = Labeler::new(3, 1);
+        for m in [5u64, 2, 8, 8] {
+            l.push(m);
+        }
+        // bits: 5<2=0, 2<8=1, 8<8=0 → label 1 0 1 0.
+        assert_eq!(l.label().unwrap().to_string(), "1010");
+    }
+
+    #[test]
+    fn sliding_labels_differ_for_adjacent_extremes() {
+        // The whole point of §4.1: consecutive extremes get different
+        // labels (with overwhelming probability).
+        let mut l = Labeler::new(4, 1);
+        let series = [3u64, 7, 1, 9, 4, 8, 2, 6];
+        let mut labels = Vec::new();
+        for &m in &series {
+            l.push(m);
+            if let Some(lab) = l.label() {
+                labels.push(lab);
+            }
+        }
+        assert!(labels.len() >= 3);
+        for w in labels.windows(2) {
+            assert_ne!(w[0], w[1], "adjacent labels should differ");
+        }
+    }
+
+    #[test]
+    fn labels_depend_only_on_trailing_window() {
+        // Same trailing λϱ+1 msbs ⇒ same label, regardless of prefix —
+        // the segmentation-support property.
+        let tail = [4u64, 1, 6, 2, 9];
+        let mut a = Labeler::new(2, 2);
+        for &m in &tail {
+            a.push(m);
+        }
+        let mut b = Labeler::new(2, 2);
+        for m in [100u64, 3, 77] {
+            b.push(m);
+        }
+        for &m in &tail {
+            b.push(m);
+        }
+        assert_eq!(a.label(), b.label());
+    }
+
+    #[test]
+    fn corrupted_extreme_heals_after_window_passes() {
+        // §4.1: a corrupted extreme damages labels only until λϱ+1 clean
+        // extremes have passed.
+        let clean: Vec<u64> = (0..30).map(|i| (i * 7 + 3) % 13).collect();
+        let mut corrupt = clean.clone();
+        // Wreck one msb in a direction that flips at least one comparison
+        // (clean[10] = 8 sits above its λ-window neighbours).
+        corrupt[10] = 0;
+        let run = |ms: &[u64]| {
+            let mut l = Labeler::new(3, 1);
+            let mut out = Vec::new();
+            for &m in ms {
+                l.push(m);
+                out.push(l.label());
+            }
+            out
+        };
+        let a = run(&clean);
+        let b = run(&corrupt);
+        // Disturbed region: labels involving index 10, i.e. positions
+        // 10 ..= 10 + λϱ.
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if !(10..=10 + 3).contains(&i) {
+                assert_eq!(x, y, "label at {i} should be unaffected");
+            }
+        }
+        assert_ne!(a[10], b[10], "the corrupted extreme's label must change");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut l = Labeler::new(2, 1);
+        for m in 0..5u64 {
+            l.push(m);
+        }
+        assert!(l.label().is_some());
+        l.reset();
+        assert_eq!(l.seen(), 0);
+        assert!(l.label().is_none());
+    }
+
+    #[test]
+    fn label_bytes_injective_on_len_and_bits() {
+        let a = Label::from_parts(0b101, 3);
+        let b = Label::from_parts(0b101, 3);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        let c = Label::from_parts(0b1010, 4);
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "leading bit")]
+    fn label_requires_leading_one() {
+        Label::from_parts(0b0101, 4);
+    }
+}

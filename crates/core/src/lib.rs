@@ -1,0 +1,95 @@
+//! # wms-core
+//!
+//! Resilient rights protection for sensor streams — a from-scratch Rust
+//! implementation of Sion, Atallah & Prabhakar, *Resilient Rights
+//! Protection for Sensor Streams*, VLDB 2004.
+//!
+//! The scheme hides an indelible watermark in a numeric data stream while
+//! it is being produced, in a single pass over a bounded window, such that
+//! the mark survives the transformations a stream consumer can plausibly
+//! apply: uniform/fixed sampling, summarization (averaging), segmentation,
+//! linear rescaling and random alterations.
+//!
+//! ## Anatomy
+//!
+//! * [`extremes`] — bit carriers are the stream's *major extremes*: local
+//!   optima whose characteristic subsets (runs of items within δ of the
+//!   extreme) are fat enough to survive degree-ν transforms;
+//! * [`labeling`] — extremes are named by comparing their neighbours'
+//!   magnitudes, giving attack-survivable, value-decorrelated labels;
+//! * [`scheme`] — the keyed-hash selection criterion and bit-position /
+//!   convention derivations shared by embedder and detector;
+//! * [`encoding`] — three one-bit subset encodings (initial bit-pattern,
+//!   multi-hash, quadratic-residue);
+//! * [`embedder`] / [`detector`] — single-pass windowed embedding and
+//!   majority-voting detection;
+//! * [`transform_estimate`] — recovering the transform degree χ from
+//!   characteristic-subset shrinkage (§4.2);
+//! * [`quality`] — §4.4's constraint + undo-log machinery;
+//! * [`analysis`] — §5's closed-form court-confidence and attack bounds.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wms_core::encoding::multihash::MultiHashEncoder;
+//! use wms_core::{Detector, Embedder, Scheme, TransformHint, Watermark, WmParams};
+//! use wms_crypto::{Key, KeyedHash};
+//! use wms_stream::samples_from_values;
+//!
+//! // A smooth normalized sensor stream.
+//! let values: Vec<f64> = (0..3000)
+//!     .map(|i| 0.35 * (i as f64 * 0.1).sin())
+//!     .collect();
+//! let stream = samples_from_values(&values);
+//!
+//! let params = WmParams { min_active: Some(4), ..WmParams::default() };
+//! let scheme = Scheme::new(params, KeyedHash::md5(Key::from_u64(0xC0FFEE))).unwrap();
+//!
+//! let (marked, stats) = Embedder::embed_stream(
+//!     scheme.clone(),
+//!     Arc::new(MultiHashEncoder),
+//!     Watermark::single(true),
+//!     &stream,
+//! )
+//! .unwrap();
+//! assert!(stats.embedded > 0);
+//!
+//! let report = Detector::detect_stream(
+//!     scheme,
+//!     Arc::new(MultiHashEncoder),
+//!     1,
+//!     &marked,
+//!     TransformHint::None,
+//! )
+//! .unwrap();
+//! assert!(report.bias() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod detector;
+pub mod embedder;
+pub mod encoding;
+pub mod extremes;
+pub mod fixedpoint;
+pub mod labeling;
+pub mod multipass;
+pub mod params;
+pub mod quality;
+pub mod scheme;
+pub mod transform_estimate;
+pub mod watermark;
+
+pub use detector::{BitBuckets, DetectionReport, Detector, TransformHint};
+pub use embedder::{EmbedStats, Embedder};
+pub use multipass::{detect_multipass, MultiPassReport};
+pub use encoding::{EmbedResult, SubsetEncoder, Vote};
+pub use fixedpoint::FixedPointCodec;
+pub use labeling::{Label, Labeler};
+pub use params::WmParams;
+pub use scheme::Scheme;
+pub use transform_estimate::StreamFingerprint;
+pub use watermark::{RecoveredWatermark, Watermark};

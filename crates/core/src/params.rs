@@ -1,0 +1,301 @@
+//! Watermarking parameters (the paper's greek-letter configuration).
+//!
+//! | Paper | Field | Meaning |
+//! |---|---|---|
+//! | b(x) | `value_bits` (B) | bits of the fixed-point value representation |
+//! | β | `select_msb_bits` | most-significant bits hashed by the selection criterion |
+//! | α | `embed_bits` | low bit-band available to the initial encoding's bit position |
+//! | γ | `lsb_bits` | least-significant bits hashed/altered by the multi-hash encoding |
+//! | τ | `convention_bits` | digest bits that must be all-ones/all-zeros per m_ij |
+//! | δ | `radius` | characteristic-subset value radius (normalized units) |
+//! | ν | `degree` | sampling degree a major extreme must survive (min subset size) |
+//! | θ | `selection_modulus` | hash modulus; fraction b(wm)/θ of major extremes carry bits |
+//! | λ | `label_len` | number of comparison bits in an extreme's label |
+//! | ϱ | `label_stride` | extreme stride between label comparisons |
+//! | κ | `decision_margin` | bucket-difference threshold in `wm_construct` |
+//! | $ | `window` | processing window capacity |
+//!
+//! §6 of the paper fixes β = 3, α = 16, γ = 16, ϱ = 2 for the experiments;
+//! those are the defaults here.
+
+/// Full parameter set shared by embedder and detector.
+///
+/// β, α, γ, τ, δ, ν, θ, λ, ϱ and the key are *secret* (known to the rights
+/// holder only); Mallory sees none of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WmParams {
+    /// B — fractional bits of the fixed-point codec.
+    pub value_bits: u32,
+    /// β — msb bits used by the selection criterion.
+    pub select_msb_bits: u32,
+    /// β′ — msb bits compared by the labeling scheme (§4.1). Coarse
+    /// comparisons (2–3 bits) shrug off value alterations, so labels —
+    /// and with them every keyed derivation — survive ε-attacks; finer
+    /// widths buy label entropy at the price of fragility (Figure 6a's
+    /// trade-off).
+    pub label_msb_bits: u32,
+    /// α — size of the low bit-band for the initial encoding.
+    pub embed_bits: u32,
+    /// γ — lsb bits hashed and altered by the multi-hash encoding.
+    pub lsb_bits: u32,
+    /// τ — digest bits per m_ij in the encoding convention.
+    pub convention_bits: u32,
+    /// δ — characteristic-subset radius, in normalized value units.
+    pub radius: f64,
+    /// ν — degree: minimum characteristic-subset size of a major extreme.
+    pub degree: usize,
+    /// θ — selection modulus (`> b(wm)`).
+    pub selection_modulus: u64,
+    /// λ — label length in comparison bits.
+    pub label_len: usize,
+    /// ϱ — label stride.
+    pub label_stride: usize,
+    /// κ — majority-voting decision margin.
+    pub decision_margin: u64,
+    /// $ — window capacity.
+    pub window: usize,
+    /// Multi-hash search: required number of satisfying m_ij averages
+    /// (`None` = all of them — the full convention of §4.3).
+    pub min_active: Option<usize>,
+    /// Multi-hash search iteration budget per extreme.
+    pub max_iterations: u64,
+    /// Cap on the number of characteristic-subset items handed to the
+    /// encoder (the paper notes exhaustive search beyond 8–10 items is
+    /// infeasible, §4.3). Items nearest the extreme are kept.
+    pub max_subset: usize,
+}
+
+impl Default for WmParams {
+    fn default() -> Self {
+        WmParams {
+            value_bits: 32,
+            select_msb_bits: 3,
+            label_msb_bits: 3,
+            embed_bits: 16,
+            lsb_bits: 16,
+            convention_bits: 1,
+            radius: 0.01,
+            degree: 3,
+            selection_modulus: 2,
+            label_len: 10,
+            label_stride: 2,
+            decision_margin: 1,
+            window: 2048,
+            min_active: None,
+            max_iterations: 1 << 22,
+            max_subset: 5,
+        }
+    }
+}
+
+impl WmParams {
+    /// Validates internal consistency; returns a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let p = self;
+        if p.value_bits == 0 || p.value_bits > 48 {
+            return Err(format!(
+                "value_bits must be in [1,48] so f64 round-trips are exact, got {}",
+                p.value_bits
+            ));
+        }
+        if p.select_msb_bits == 0 || p.select_msb_bits >= p.value_bits {
+            return Err("select_msb_bits (β) must be in [1, value_bits)".into());
+        }
+        if p.label_msb_bits == 0 || p.label_msb_bits >= p.value_bits {
+            return Err("label_msb_bits (β′) must be in [1, value_bits)".into());
+        }
+        // β + α ≤ b(x), §3.2.
+        if p.select_msb_bits + p.embed_bits > p.value_bits {
+            return Err(format!(
+                "β + α must not exceed b(x): {} + {} > {}",
+                p.select_msb_bits, p.embed_bits, p.value_bits
+            ));
+        }
+        if p.embed_bits < 3 {
+            return Err("embed_bits (α) must be >= 3 to fit bit±1 guards".into());
+        }
+        if p.lsb_bits == 0 || p.lsb_bits >= p.value_bits {
+            return Err("lsb_bits (γ) must be in [1, value_bits)".into());
+        }
+        if p.convention_bits == 0 || p.convention_bits > 16 {
+            return Err("convention_bits (τ) must be in [1,16]".into());
+        }
+        if !(p.radius > 0.0 && p.radius < 1.0) {
+            return Err("radius (δ) must be in (0,1)".into());
+        }
+        // δ < 2^(b(x)−β) in raw units, i.e. δ < 2^(−β) in value units:
+        // every subset member shares the extreme's top β bits (§3.2).
+        let max_radius = 2f64.powi(-(p.select_msb_bits as i32));
+        if p.radius >= max_radius {
+            return Err(format!(
+                "radius δ={} too large for β={}: must be < {max_radius}",
+                p.radius, p.select_msb_bits
+            ));
+        }
+        if p.degree == 0 {
+            return Err("degree (ν) must be >= 1".into());
+        }
+        if p.selection_modulus == 0 {
+            return Err("selection_modulus (θ) must be >= 1".into());
+        }
+        if p.label_len == 0 || p.label_len > 60 {
+            return Err("label_len (λ) must be in [1,60] (fits one u64 with the lead bit)".into());
+        }
+        if p.label_stride == 0 {
+            return Err("label_stride (ϱ) must be >= 1".into());
+        }
+        if p.window < 2 * p.degree + 2 {
+            return Err("window ($) too small to ever hold a major extreme's subset".into());
+        }
+        if let Some(a) = p.min_active {
+            if a == 0 {
+                return Err("min_active must be >= 1 when set".into());
+            }
+        }
+        if p.max_iterations == 0 {
+            return Err("max_iterations must be >= 1".into());
+        }
+        if p.max_subset == 0 {
+            return Err("max_subset must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Checks that the selection modulus can address every bit of a
+    /// watermark of length `wm_len` (θ > b(wm), §3.2).
+    pub fn validate_for_watermark(&self, wm_len: usize) -> Result<(), String> {
+        self.validate()?;
+        if (self.selection_modulus as usize) < wm_len + 1 {
+            return Err(format!(
+                "selection_modulus θ={} must exceed watermark length {}",
+                self.selection_modulus, wm_len
+            ));
+        }
+        Ok(())
+    }
+
+    /// The fraction of major extremes selected as bit carriers,
+    /// `b(wm)/θ` (§3.2).
+    pub fn carrier_fraction(&self, wm_len: usize) -> f64 {
+        wm_len as f64 / self.selection_modulus as f64
+    }
+
+    /// Builder-style override helpers (used heavily by the experiment
+    /// harness sweeps).
+    pub fn with_radius(mut self, radius: f64) -> Self {
+        self.radius = radius;
+        self
+    }
+
+    /// Overrides ν.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Overrides θ.
+    pub fn with_selection_modulus(mut self, theta: u64) -> Self {
+        self.selection_modulus = theta;
+        self
+    }
+
+    /// Overrides λ.
+    pub fn with_label_len(mut self, lambda: usize) -> Self {
+        self.label_len = lambda;
+        self
+    }
+
+    /// Overrides τ.
+    pub fn with_convention_bits(mut self, tau: u32) -> Self {
+        self.convention_bits = tau;
+        self
+    }
+
+    /// Overrides the multi-hash active-average requirement.
+    pub fn with_min_active(mut self, min_active: Option<usize>) -> Self {
+        self.min_active = min_active;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper() {
+        let p = WmParams::default();
+        p.validate().expect("defaults must validate");
+        assert_eq!(p.select_msb_bits, 3); // β = 3
+        assert_eq!(p.embed_bits, 16); // α = 16
+        assert_eq!(p.lsb_bits, 16); // γ = 16
+        assert_eq!(p.label_stride, 2); // ϱ = 2
+    }
+
+    #[test]
+    fn beta_alpha_budget_enforced() {
+        let p = WmParams { select_msb_bits: 20, embed_bits: 20, ..WmParams::default() };
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("β + α"), "{err}");
+    }
+
+    #[test]
+    fn radius_vs_beta_constraint() {
+        // β=3 ⇒ δ must be < 2^-3 = 0.125.
+        let ok = WmParams { radius: 0.12, ..WmParams::default() };
+        ok.validate().unwrap();
+        let bad = WmParams { radius: 0.2, ..WmParams::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        for p in [
+            WmParams { degree: 0, ..WmParams::default() },
+            WmParams { selection_modulus: 0, ..WmParams::default() },
+            WmParams { label_len: 0, ..WmParams::default() },
+            WmParams { label_stride: 0, ..WmParams::default() },
+            WmParams { embed_bits: 2, ..WmParams::default() },
+            WmParams { convention_bits: 0, ..WmParams::default() },
+            WmParams { window: 4, ..WmParams::default() },
+            WmParams { min_active: Some(0), ..WmParams::default() },
+            WmParams { max_iterations: 0, ..WmParams::default() },
+            WmParams { value_bits: 60, ..WmParams::default() },
+        ] {
+            assert!(p.validate().is_err(), "{p:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn watermark_length_constraint() {
+        let p = WmParams { selection_modulus: 8, ..WmParams::default() };
+        p.validate_for_watermark(7).unwrap();
+        assert!(p.validate_for_watermark(8).is_err());
+    }
+
+    #[test]
+    fn carrier_fraction_formula() {
+        let p = WmParams { selection_modulus: 20, ..WmParams::default() };
+        assert!((p.carrier_fraction(1) - 0.05).abs() < 1e-12);
+        assert!((p.carrier_fraction(10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = WmParams::default()
+            .with_radius(0.02)
+            .with_degree(5)
+            .with_selection_modulus(11)
+            .with_label_len(25)
+            .with_convention_bits(2)
+            .with_min_active(Some(4));
+        assert_eq!(p.radius, 0.02);
+        assert_eq!(p.degree, 5);
+        assert_eq!(p.selection_modulus, 11);
+        assert_eq!(p.label_len, 25);
+        assert_eq!(p.convention_bits, 2);
+        assert_eq!(p.min_active, Some(4));
+        p.validate().unwrap();
+    }
+}

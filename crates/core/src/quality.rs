@@ -1,0 +1,308 @@
+//! On-the-fly quality assessment (§4.4).
+//!
+//! "Each data property that needs to be preserved is written as a
+//! constraint on the allowable change to the dataset; the watermarking
+//! process is then applied with these constraints as input and
+//! re-evaluates them continuously for each alteration. An 'undo' log is
+//! kept to allow undo operations in case certain constraints are violated
+//! by the current watermarking step."
+//!
+//! Constraints are evaluated against the *current window only* — the
+//! paper is explicit that the space bound `$` limits what quality metrics
+//! can see.
+
+use wms_math::SlidingMoments;
+
+/// A proposed subset alteration, presented to constraints before it is
+/// committed to the window.
+#[derive(Debug, Clone, Copy)]
+pub struct ProposedAlteration<'a> {
+    /// Subset values before embedding.
+    pub before: &'a [f64],
+    /// Subset values after embedding (same length).
+    pub after: &'a [f64],
+    /// Moments of the current window *before* the alteration.
+    pub window_before: &'a SlidingMoments,
+}
+
+impl<'a> ProposedAlteration<'a> {
+    /// Window moments as they would be after committing the alteration.
+    pub fn window_after(&self) -> SlidingMoments {
+        let mut m = self.window_before.clone();
+        for (&o, &n) in self.before.iter().zip(self.after) {
+            m.replace(o, n);
+        }
+        m
+    }
+
+    /// Largest per-item absolute change.
+    pub fn max_item_change(&self) -> f64 {
+        self.before
+            .iter()
+            .zip(self.after)
+            .map(|(&o, &n)| (n - o).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of absolute changes over the subset.
+    pub fn total_change(&self) -> f64 {
+        self.before
+            .iter()
+            .zip(self.after)
+            .map(|(&o, &n)| (n - o).abs())
+            .sum()
+    }
+}
+
+/// A data-quality predicate the embedder must not violate.
+pub trait QualityConstraint: Send + Sync {
+    /// Whether the proposed alteration is acceptable.
+    fn allows(&self, alt: &ProposedAlteration<'_>) -> bool;
+
+    /// Constraint name for reports.
+    fn name(&self) -> String;
+}
+
+/// Caps the absolute change of any single item (the paper's footnote 4:
+/// "the total alteration introduced per data item should not exceed a
+/// certain threshold").
+#[derive(Debug, Clone, Copy)]
+pub struct MaxItemChange {
+    /// Per-item absolute cap, in (normalized) value units.
+    pub max: f64,
+}
+
+impl QualityConstraint for MaxItemChange {
+    fn allows(&self, alt: &ProposedAlteration<'_>) -> bool {
+        alt.max_item_change() <= self.max
+    }
+
+    fn name(&self) -> String {
+        format!("max-item-change({})", self.max)
+    }
+}
+
+/// Caps the summed absolute change per embedding step.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxTotalChange {
+    /// L1 cap over the altered subset.
+    pub max: f64,
+}
+
+impl QualityConstraint for MaxTotalChange {
+    fn allows(&self, alt: &ProposedAlteration<'_>) -> bool {
+        alt.total_change() <= self.max
+    }
+
+    fn name(&self) -> String {
+        format!("max-total-change({})", self.max)
+    }
+}
+
+/// Caps the drift of the window mean caused by one embedding step.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxMeanDrift {
+    /// Allowed |Δ window-mean|.
+    pub max: f64,
+}
+
+impl QualityConstraint for MaxMeanDrift {
+    fn allows(&self, alt: &ProposedAlteration<'_>) -> bool {
+        if alt.window_before.count() == 0 {
+            return true;
+        }
+        let after = alt.window_after();
+        (after.mean() - alt.window_before.mean()).abs() <= self.max
+    }
+
+    fn name(&self) -> String {
+        format!("max-mean-drift({})", self.max)
+    }
+}
+
+/// Caps the drift of the window standard deviation per embedding step.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxStdDrift {
+    /// Allowed |Δ window-std|.
+    pub max: f64,
+}
+
+impl QualityConstraint for MaxStdDrift {
+    fn allows(&self, alt: &ProposedAlteration<'_>) -> bool {
+        if alt.window_before.count() == 0 {
+            return true;
+        }
+        let after = alt.window_after();
+        (after.std_dev() - alt.window_before.std_dev()).abs() <= self.max
+    }
+
+    fn name(&self) -> String {
+        format!("max-std-drift({})", self.max)
+    }
+}
+
+/// The rollback log of §4.4: records overwritten values so a constraint
+/// violation can restore the window exactly.
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    entries: Vec<(usize, f64)>,
+}
+
+impl UndoLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the pre-alteration value at a window offset.
+    pub fn record(&mut self, offset: usize, old_value: f64) {
+        self.entries.push((offset, old_value));
+    }
+
+    /// Number of recorded alterations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Restores all recorded values through the provided writer (applied
+    /// in reverse order, so overlapping records unwind correctly), then
+    /// clears the log.
+    pub fn rollback(&mut self, mut write: impl FnMut(usize, f64)) {
+        for &(offset, old) in self.entries.iter().rev() {
+            write(offset, old);
+        }
+        self.entries.clear();
+    }
+
+    /// Discards the log (alteration committed).
+    pub fn commit(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(values: &[f64]) -> SlidingMoments {
+        let mut m = SlidingMoments::new();
+        for &v in values {
+            m.insert(v);
+        }
+        m
+    }
+
+    #[test]
+    fn proposed_alteration_metrics() {
+        let w = moments(&[1.0, 2.0, 3.0]);
+        let alt = ProposedAlteration {
+            before: &[2.0, 3.0],
+            after: &[2.5, 2.8],
+            window_before: &w,
+        };
+        assert!((alt.max_item_change() - 0.5).abs() < 1e-12);
+        assert!((alt.total_change() - 0.7).abs() < 1e-12);
+        let after = alt.window_after();
+        assert!((after.mean() - (1.0 + 2.5 + 2.8) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_item_change_gates() {
+        let w = moments(&[0.0]);
+        let alt = ProposedAlteration {
+            before: &[0.1, 0.2],
+            after: &[0.1005, 0.2],
+            window_before: &w,
+        };
+        assert!(MaxItemChange { max: 0.001 }.allows(&alt));
+        assert!(!MaxItemChange { max: 0.0001 }.allows(&alt));
+    }
+
+    #[test]
+    fn max_total_change_gates() {
+        let w = moments(&[0.0]);
+        let alt = ProposedAlteration {
+            before: &[0.1, 0.2, 0.3],
+            after: &[0.101, 0.201, 0.301],
+            window_before: &w,
+        };
+        assert!(MaxTotalChange { max: 0.0031 }.allows(&alt));
+        assert!(!MaxTotalChange { max: 0.0029 }.allows(&alt));
+    }
+
+    #[test]
+    fn mean_drift_gates() {
+        let w = moments(&[1.0, 1.0, 1.0, 1.0]);
+        // Raising one of four items by 0.4 shifts the mean by 0.1.
+        let alt = ProposedAlteration {
+            before: &[1.0],
+            after: &[1.4],
+            window_before: &w,
+        };
+        assert!(MaxMeanDrift { max: 0.11 }.allows(&alt));
+        assert!(!MaxMeanDrift { max: 0.09 }.allows(&alt));
+    }
+
+    #[test]
+    fn std_drift_gates() {
+        let w = moments(&[1.0, 1.0, 1.0, 1.0]);
+        let alt = ProposedAlteration {
+            before: &[1.0],
+            after: &[2.0],
+            window_before: &w,
+        };
+        // New std = sqrt(3)/4 ≈ 0.433.
+        assert!(MaxStdDrift { max: 0.5 }.allows(&alt));
+        assert!(!MaxStdDrift { max: 0.4 }.allows(&alt));
+    }
+
+    #[test]
+    fn empty_window_constraints_are_permissive() {
+        let w = SlidingMoments::new();
+        let alt = ProposedAlteration { before: &[0.5], after: &[0.9], window_before: &w };
+        assert!(MaxMeanDrift { max: 0.0 }.allows(&alt));
+        assert!(MaxStdDrift { max: 0.0 }.allows(&alt));
+    }
+
+    #[test]
+    fn undo_log_rolls_back_in_reverse() {
+        let mut values = vec![1.0, 2.0, 3.0];
+        let mut log = UndoLog::new();
+        // Two overlapping writes to offset 1.
+        log.record(1, values[1]);
+        values[1] = 9.0;
+        log.record(1, values[1]);
+        values[1] = 11.0;
+        log.record(2, values[2]);
+        values[2] = 7.0;
+        assert_eq!(log.len(), 3);
+        log.rollback(|o, v| values[o] = v);
+        assert_eq!(values, vec![1.0, 2.0, 3.0]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn undo_log_commit_clears() {
+        let mut log = UndoLog::new();
+        log.record(0, 5.0);
+        log.commit();
+        assert!(log.is_empty());
+        // A rollback after commit is a no-op.
+        let mut touched = false;
+        log.rollback(|_, _| touched = true);
+        assert!(!touched);
+    }
+
+    #[test]
+    fn constraint_names_are_descriptive() {
+        assert!(MaxItemChange { max: 0.1 }.name().contains("0.1"));
+        assert!(MaxMeanDrift { max: 0.2 }.name().contains("mean"));
+        assert!(MaxStdDrift { max: 0.2 }.name().contains("std"));
+        assert!(MaxTotalChange { max: 0.2 }.name().contains("total"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Transform-degree estimation and label reconstruction support (§4.2).
+//!
+//! After Mallory samples or summarizes the stream, "major extreme of
+//! degree ν and radius δ" no longer means what it meant on the original:
+//! a major extreme of degree ν in the original becomes one of degree ν/χ
+//! in a χ-degree transformed stream. Detection therefore needs χ. Two
+//! routes, both from the paper:
+//!
+//! 1. **Rate ratio** — with steady data rates, χ = ς/ς′.
+//! 2. **Subset shrinkage** — keep one number from embedding time (the
+//!    average characteristic-subset size at radius δ) and divide it by
+//!    the same statistic measured on the received segment.
+
+use crate::extremes;
+use crate::params::WmParams;
+
+/// The reference statistics preserved from the original (watermarked)
+/// stream — the "information about the initial stream" of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamFingerprint {
+    /// Average characteristic-subset size over all extremes, at `radius`.
+    pub avg_subset_size: f64,
+    /// Average characteristic-subset size over the *fattest* extremes —
+    /// the top `major_fraction` by subset size. Thin subsets bottom out
+    /// at 1 item under heavy transforms, so the overall mean saturates;
+    /// the fat quantile keeps shrinking measurably.
+    pub major_avg_subset: f64,
+    /// Fraction of extremes counted into `major_avg_subset`.
+    pub major_fraction: f64,
+    /// δ the statistics were measured at.
+    pub radius: f64,
+    /// ξ(ν, δ) of the original stream (informational).
+    pub xi: Option<f64>,
+}
+
+/// Mean subset size of the top `fraction` fattest extremes.
+fn top_quantile_avg(values: &[f64], radius: f64, fraction: f64) -> Option<f64> {
+    let mut sizes: Vec<usize> = extremes::scan(values, radius)
+        .iter()
+        .map(|e| e.subset_len())
+        .collect();
+    if sizes.is_empty() {
+        return None;
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((sizes.len() as f64 * fraction).ceil() as usize).clamp(1, sizes.len());
+    Some(sizes[..k].iter().sum::<usize>() as f64 / k as f64)
+}
+
+/// Measures the fingerprint of a (typically freshly watermarked) stream.
+/// Returns `None` when the stream has no extremes at this radius.
+pub fn fingerprint(values: &[f64], params: &WmParams) -> Option<StreamFingerprint> {
+    let avg = extremes::avg_subset_size(values, params.radius)?;
+    let all = extremes::scan(values, params.radius);
+    let majors = all.iter().filter(|e| e.is_major(params.degree)).count();
+    // Track the same share of fattest extremes that were major at embed
+    // time (floored so the statistic never degenerates to a single max).
+    let major_fraction = (majors as f64 / all.len() as f64).max(0.02);
+    let major_avg = top_quantile_avg(values, params.radius, major_fraction)?;
+    Some(StreamFingerprint {
+        avg_subset_size: avg,
+        major_avg_subset: major_avg,
+        major_fraction,
+        radius: params.radius,
+        xi: extremes::measure_xi(values, params.radius, params.degree),
+    })
+}
+
+/// Estimates the transform degree χ of an observed segment against a
+/// reference fingerprint: the ratio by which the fat-quantile subsets
+/// shrank, floored at 1 (a stream cannot be "less than untransformed").
+pub fn estimate_degree(reference: &StreamFingerprint, observed: &[f64]) -> Option<f64> {
+    let now = top_quantile_avg(observed, reference.radius, reference.major_fraction)?;
+    if now <= 0.0 {
+        return None;
+    }
+    Some((reference.major_avg_subset / now).max(1.0))
+}
+
+/// ν′ = max(1, ⌈ν / χ⌉): the adjusted major-extreme degree detection must
+/// use on a χ-transformed stream.
+///
+/// Rounding *up* matters: the embed-time major set is `subset ≥ ν`; after
+/// a χ-degree transform those subsets shrink to ≥ ν/χ. A detection
+/// threshold below ⌈ν/χ⌉ admits extremes that were *not* major at embed
+/// time, polluting the label sequence and with it every downstream hash.
+pub fn adjusted_degree(nu: usize, chi: f64) -> usize {
+    assert!(chi >= 1.0, "transform degree must be >= 1");
+    ((nu as f64 / chi).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_stream(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.4 * (i as f64 * core::f64::consts::TAU / 300.0).sin())
+            .collect()
+    }
+
+    fn params() -> WmParams {
+        WmParams { radius: 0.01, degree: 3, ..WmParams::default() }
+    }
+
+    #[test]
+    fn fingerprint_measures_subset_stats() {
+        let v = smooth_stream(10_000);
+        let fp = fingerprint(&v, &params()).unwrap();
+        assert!(fp.avg_subset_size > 3.0, "{fp:?}");
+        assert_eq!(fp.radius, 0.01);
+        assert!(fp.xi.unwrap() > 50.0);
+    }
+
+    #[test]
+    fn untransformed_stream_estimates_chi_one() {
+        let v = smooth_stream(10_000);
+        let fp = fingerprint(&v, &params()).unwrap();
+        let chi = estimate_degree(&fp, &v).unwrap();
+        assert!((chi - 1.0).abs() < 0.05, "chi {chi}");
+    }
+
+    #[test]
+    fn decimated_stream_estimates_its_degree() {
+        let v = smooth_stream(20_000);
+        let fp = fingerprint(&v, &params()).unwrap();
+        for k in [2usize, 4] {
+            let dec: Vec<f64> = v.iter().step_by(k).copied().collect();
+            let chi = estimate_degree(&fp, &dec).unwrap();
+            let rel = (chi - k as f64).abs() / k as f64;
+            assert!(rel < 0.45, "degree {k}: estimated {chi}");
+        }
+    }
+
+    #[test]
+    fn summarized_stream_estimates_its_degree() {
+        let v = smooth_stream(20_000);
+        let fp = fingerprint(&v, &params()).unwrap();
+        let chunk = 4usize;
+        let summarized: Vec<f64> = v
+            .chunks(chunk)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        let chi = estimate_degree(&fp, &summarized).unwrap();
+        let rel = (chi - chunk as f64).abs() / chunk as f64;
+        assert!(rel < 0.45, "estimated {chi} for summarization degree {chunk}");
+    }
+
+    #[test]
+    fn estimate_is_floored_at_one() {
+        // An "observed" stream fatter than the reference clamps to 1.
+        let v = smooth_stream(10_000);
+        let mut fp = fingerprint(&v, &params()).unwrap();
+        fp.major_avg_subset = 0.5; // pretend the original was very thin
+        assert_eq!(estimate_degree(&fp, &v).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn adjusted_degree_ceils_and_floors() {
+        assert_eq!(adjusted_degree(6, 1.0), 6);
+        assert_eq!(adjusted_degree(6, 2.0), 3);
+        assert_eq!(adjusted_degree(6, 2.6), 3);
+        assert_eq!(adjusted_degree(6, 10.0), 1);
+        assert_eq!(adjusted_degree(1, 3.0), 1);
+        assert_eq!(adjusted_degree(10, 3.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn adjusted_degree_rejects_sub_one() {
+        adjusted_degree(3, 0.5);
+    }
+
+    #[test]
+    fn fingerprint_none_without_extremes() {
+        let flat = vec![0.1; 100];
+        assert!(fingerprint(&flat, &params()).is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Watermark payloads and their comparison.
+//!
+//! A watermark `wm` is a bit string; `wm[i]` is the i-th bit (§2.2). The
+//! experiments mostly embed a one-bit `true` watermark and measure its
+//! detection *bias*; multi-bit payloads (ownership strings) are supported
+//! throughout and reconstructed by `wm_construct` (§3.3).
+
+/// A watermark bit string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Watermark {
+    bits: Vec<bool>,
+}
+
+impl Watermark {
+    /// From explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        assert!(!bits.is_empty(), "watermark must have at least one bit");
+        Watermark { bits }
+    }
+
+    /// The one-bit `true` watermark used by the bias experiments.
+    pub fn single(bit: bool) -> Self {
+        Watermark { bits: vec![bit] }
+    }
+
+    /// From bytes, most significant bit of each byte first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(!bytes.is_empty(), "watermark must have at least one bit");
+        let mut bits = Vec::with_capacity(bytes.len() * 8);
+        for &b in bytes {
+            for i in (0..8).rev() {
+                bits.push((b >> i) & 1 == 1);
+            }
+        }
+        Watermark { bits }
+    }
+
+    /// From an ASCII string's bytes (convenient ownership strings).
+    pub fn from_text(s: &str) -> Self {
+        Self::from_bytes(s.as_bytes())
+    }
+
+    /// b(wm): number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Always false — constructors reject empty payloads.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `wm[i]`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// All bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Back to bytes (zero-padded to a whole byte, msb-first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b {
+                out[i / 8] |= 1 << (7 - i % 8);
+            }
+        }
+        out
+    }
+
+    /// Bit-error count against another watermark of the same length.
+    pub fn hamming(&self, other: &Watermark) -> usize {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl std::fmt::Display for Watermark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of reconstructing a watermark from voting buckets: each position
+/// is `true`, `false`, or still undecided (buckets within κ of each other —
+/// the "undefined" outcome of §3.3 that flags unwatermarked data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredWatermark {
+    /// Per-bit decision; `None` = undefined.
+    pub bits: Vec<Option<bool>>,
+}
+
+impl RecoveredWatermark {
+    /// Number of decided (non-`None`) bits.
+    pub fn decided(&self) -> usize {
+        self.bits.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Fraction of bits matching a reference payload (undecided counts as
+    /// a miss).
+    pub fn match_fraction(&self, reference: &Watermark) -> f64 {
+        assert_eq!(self.bits.len(), reference.len(), "length mismatch");
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .bits
+            .iter()
+            .zip(reference.bits())
+            .filter(|(got, want)| got.map(|g| g == **want).unwrap_or(false))
+            .count();
+        hits as f64 / self.bits.len() as f64
+    }
+
+    /// Whether every bit was decided and matches the reference.
+    pub fn exactly_matches(&self, reference: &Watermark) -> bool {
+        self.bits.len() == reference.len()
+            && self
+                .bits
+                .iter()
+                .zip(reference.bits())
+                .all(|(got, want)| *got == Some(*want))
+    }
+}
+
+impl std::fmt::Display for RecoveredWatermark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.bits {
+            let c = match b {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '?',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let wm = Watermark::from_bytes(&[0b1010_0001, 0xff]);
+        assert_eq!(wm.len(), 16);
+        assert!(wm.bit(0));
+        assert!(!wm.bit(1));
+        assert!(wm.bit(7));
+        assert_eq!(wm.to_bytes(), vec![0b1010_0001, 0xff]);
+    }
+
+    #[test]
+    fn text_payload() {
+        let wm = Watermark::from_text("(c) Alice");
+        assert_eq!(wm.len(), 9 * 8);
+        assert_eq!(wm.to_bytes(), b"(c) Alice".to_vec());
+    }
+
+    #[test]
+    fn display_is_bitstring() {
+        let wm = Watermark::from_bits(vec![true, false, true]);
+        assert_eq!(wm.to_string(), "101");
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Watermark::from_bits(vec![true, true, false]);
+        let b = Watermark::from_bits(vec![true, false, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_rejected() {
+        Watermark::from_bits(vec![]);
+    }
+
+    #[test]
+    fn recovered_matching() {
+        let reference = Watermark::from_bits(vec![true, false, true, true]);
+        let rec = RecoveredWatermark {
+            bits: vec![Some(true), Some(false), None, Some(false)],
+        };
+        assert_eq!(rec.decided(), 3);
+        assert!((rec.match_fraction(&reference) - 0.5).abs() < 1e-12);
+        assert!(!rec.exactly_matches(&reference));
+        let full = RecoveredWatermark {
+            bits: reference.bits().iter().map(|&b| Some(b)).collect(),
+        };
+        assert!(full.exactly_matches(&reference));
+        assert_eq!(full.to_string(), "1011");
+    }
+}

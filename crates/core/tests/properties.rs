@@ -1,0 +1,167 @@
+//! Property-based tests of the watermarking core's invariants.
+
+use proptest::prelude::*;
+use wms_core::encoding::{trim_around, Vote};
+use wms_core::extremes::{characteristic_subset, extreme_positions, scan};
+use wms_core::{FixedPointCodec, Labeler, Scheme, WmParams};
+use wms_crypto::{Key, KeyedHash};
+
+fn codec() -> FixedPointCodec {
+    FixedPointCodec::new(32)
+}
+
+proptest! {
+    #[test]
+    fn quantize_roundtrip(raw in -(1i64 << 31)..(1i64 << 31)) {
+        let c = codec();
+        prop_assert_eq!(c.quantize(c.dequantize(raw)), raw);
+    }
+
+    #[test]
+    fn quantize_error_bounded(x in -0.5f64..0.5) {
+        let c = codec();
+        prop_assert!((c.snap(x) - x).abs() <= c.quantum() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn set_get_bit_consistent(x in -0.499f64..0.499, pos in 0u32..30, bit in any::<bool>()) {
+        let c = codec();
+        let raw = c.quantize(x);
+        let out = c.set_bit(raw, pos, bit);
+        prop_assert_eq!(c.get_bit(out, pos), bit);
+        // Sign preserved; other bits unchanged.
+        prop_assert_eq!(out < 0, raw < 0 && c.magnitude(out) != 0);
+        let diff = c.magnitude(out) ^ c.magnitude(raw);
+        prop_assert!(diff == 0 || diff == 1 << pos);
+    }
+
+    #[test]
+    fn replace_lsb_respects_mask(x in -0.499f64..0.499, bits in 1u32..31, pattern in any::<u64>()) {
+        let c = codec();
+        let raw = c.quantize(x);
+        let out = c.replace_lsb(raw, bits, pattern);
+        let mask = (1u64 << bits) - 1;
+        prop_assert_eq!(c.magnitude(out) & mask, pattern & mask);
+        prop_assert_eq!(c.magnitude(out) >> bits, c.magnitude(raw) >> bits);
+    }
+
+    #[test]
+    fn msb_stable_under_lsb_changes(x in 0.01f64..0.499, beta in 1u32..8, pattern in any::<u64>()) {
+        let c = codec();
+        let raw = c.quantize(x);
+        let altered = c.replace_lsb(raw, 16, pattern);
+        prop_assert_eq!(c.msb_abs(raw, beta), c.msb_abs(altered, beta));
+    }
+
+    #[test]
+    fn quantize_mean_within_input_range(values in prop::collection::vec(-0.49f64..0.49, 1..20)) {
+        let c = codec();
+        let snapped: Vec<f64> = values.iter().map(|&v| c.snap(v)).collect();
+        let m = c.quantize_mean(&snapped);
+        let lo = snapped.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = snapped.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mv = c.dequantize(m);
+        prop_assert!(mv >= lo - c.quantum() && mv <= hi + c.quantum());
+    }
+
+    #[test]
+    fn extremes_are_locally_extreme(values in prop::collection::vec(-1.0f64..1.0, 3..100)) {
+        for (pos, kind) in extreme_positions(&values) {
+            prop_assert!(pos > 0 && pos < values.len() - 1);
+            match kind {
+                wms_core::extremes::ExtremeKind::Max => {
+                    prop_assert!(values[pos] >= values[pos - 1]);
+                }
+                wms_core::extremes::ExtremeKind::Min => {
+                    prop_assert!(values[pos] <= values[pos - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_contiguous_within_radius(
+        values in prop::collection::vec(-1.0f64..1.0, 3..100),
+        pos_frac in 0.0f64..1.0,
+        radius in 0.001f64..0.5,
+    ) {
+        let pos = ((values.len() - 1) as f64 * pos_frac) as usize;
+        let r = characteristic_subset(&values, pos, radius);
+        prop_assert!(r.contains(&pos));
+        for i in r.clone() {
+            prop_assert!((values[i] - values[pos]).abs() < radius);
+        }
+        // Maximality: the items just outside violate the radius (or hit
+        // the slice boundary).
+        if r.start > 0 {
+            prop_assert!((values[r.start - 1] - values[pos]).abs() >= radius);
+        }
+        if r.end < values.len() {
+            prop_assert!((values[r.end] - values[pos]).abs() >= radius);
+        }
+    }
+
+    #[test]
+    fn scan_subsets_always_contain_their_extreme(
+        values in prop::collection::vec(-1.0f64..1.0, 3..80),
+        radius in 0.01f64..0.3,
+    ) {
+        for e in scan(&values, radius) {
+            prop_assert!(e.subset.contains(&e.pos));
+            prop_assert_eq!(e.value, values[e.pos]);
+        }
+    }
+
+    #[test]
+    fn trim_keeps_pos_and_cap(
+        start in 0usize..50,
+        len in 1usize..60,
+        pos_off in 0usize..60,
+        cap in 1usize..20,
+    ) {
+        let range = start..(start + len);
+        let pos = start + pos_off.min(len - 1);
+        let t = trim_around(range.clone(), pos, cap);
+        prop_assert!(t.contains(&pos));
+        prop_assert!(t.len() <= cap.max(1).min(len).max(1));
+        prop_assert!(t.start >= range.start && t.end <= range.end);
+    }
+
+    #[test]
+    fn vote_verdict_reflects_majority(t in 0u32..50, f in 0u32..50) {
+        let v = Vote { true_votes: t, false_votes: f };
+        match v.verdict() {
+            Some(true) => prop_assert!(t > f),
+            Some(false) => prop_assert!(f > t),
+            None => prop_assert_eq!(t, f),
+        }
+    }
+
+    #[test]
+    fn labels_deterministic_in_history(msbs in prop::collection::vec(0u64..16, 21..40)) {
+        let mut a = Labeler::new(5, 2);
+        let mut b = Labeler::new(5, 2);
+        for &m in &msbs {
+            a.push(m);
+            b.push(m);
+        }
+        prop_assert_eq!(a.label(), b.label());
+        if let Some(l) = a.label() {
+            prop_assert_eq!(l.len(), 6);
+            // Leading bit set.
+            prop_assert_eq!(l.as_u64() >> 5, 1);
+        }
+    }
+
+    #[test]
+    fn selection_is_pure_function(key in any::<u64>(), x in 0.001f64..0.499, wm_len in 1usize..8) {
+        let p = WmParams { selection_modulus: 16, ..WmParams::default() };
+        let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(key))).unwrap();
+        let raw = s.codec.quantize(x);
+        let first = s.select(raw, wm_len);
+        prop_assert_eq!(s.select(raw, wm_len), first);
+        if let Some(i) = first {
+            prop_assert!(i < wm_len);
+        }
+    }
+}

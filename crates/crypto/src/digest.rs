@@ -1,0 +1,141 @@
+//! Common digest abstraction shared by MD5 / SHA-1 / SHA-256.
+//!
+//! The watermarking core is hash-agnostic: every encoding takes a
+//! [`StreamHasher`], so the paper's MD5 proof-of-concept configuration and
+//! stronger modern choices are interchangeable.
+
+/// Incremental cryptographic hash over a byte stream.
+pub trait Digest {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Fresh hasher in its initial state.
+    fn new() -> Self;
+
+    /// Absorbs more input.
+    fn update(&mut self, data: &[u8]);
+
+    /// Finalizes and returns the digest. Consumes the hasher.
+    fn finalize(self) -> Vec<u8>;
+}
+
+/// Object-safe hash-function handle used by the watermarking core.
+///
+/// Implementations must be *one-way* and *avalanche-complete* in the sense
+/// of §2.2 of the paper: flipping one input bit flips ~half of the output
+/// bits. All three provided algorithms qualify.
+pub trait StreamHasher: Send + Sync {
+    /// Hashes `data`, returning the full digest.
+    fn hash(&self, data: &[u8]) -> Vec<u8>;
+
+    /// Short human-readable algorithm name, e.g. `"md5"`.
+    fn name(&self) -> &'static str;
+
+    /// Digest length in bytes.
+    fn output_len(&self) -> usize;
+
+    /// Hashes `data` and folds the digest into a `u64` (little-endian XOR
+    /// of 8-byte lanes). This is the integer the encodings reduce with
+    /// `mod θ` / `mod α` (§3.2).
+    fn hash_u64(&self, data: &[u8]) -> u64 {
+        let d = self.hash(data);
+        let mut acc = 0u64;
+        for chunk in d.chunks(8) {
+            let mut lane = [0u8; 8];
+            lane[..chunk.len()].copy_from_slice(chunk);
+            acc ^= u64::from_le_bytes(lane);
+        }
+        acc
+    }
+}
+
+/// Lowercase hex encoding of a digest.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+/// Parses lowercase/uppercase hex into bytes. Returns `None` on odd length
+/// or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    }
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+/// Standard Merkle–Damgård length padding shared by MD5/SHA-1/SHA-256:
+/// append 0x80, zero-fill to 56 mod 64, then the bit length as 8 bytes
+/// (little-endian for MD5, big-endian for the SHAs).
+pub(crate) fn md_padding(total_len: u64, big_endian_len: bool) -> Vec<u8> {
+    let bit_len = total_len.wrapping_mul(8);
+    let rem = (total_len % 64) as usize;
+    let pad_zeroes = if rem < 56 { 55 - rem } else { 119 - rem };
+    let mut pad = Vec::with_capacity(1 + pad_zeroes + 8);
+    pad.push(0x80);
+    pad.extend(std::iter::repeat_n(0u8, pad_zeroes));
+    if big_endian_len {
+        pad.extend_from_slice(&bit_len.to_be_bytes());
+    } else {
+        pad.extend_from_slice(&bit_len.to_le_bytes());
+    }
+    pad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0x00u8, 0x01, 0xab, 0xff, 0x7f];
+        let hex = to_hex(&data);
+        assert_eq!(hex, "0001abff7f");
+        assert_eq!(from_hex(&hex).unwrap(), data);
+        assert_eq!(from_hex("0001ABFF7F").unwrap(), data);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padding_lengths_always_block_aligned() {
+        for len in 0..300u64 {
+            let pad = md_padding(len, true);
+            assert_eq!((len as usize + pad.len()) % 64, 0, "len={len}");
+            assert!(pad.len() >= 9, "must fit 0x80 + 8 length bytes");
+            assert_eq!(pad[0], 0x80);
+        }
+    }
+
+    #[test]
+    fn padding_endianness() {
+        let le = md_padding(3, false);
+        let be = md_padding(3, true);
+        // 3 bytes = 24 bits.
+        assert_eq!(&le[le.len() - 8..], &24u64.to_le_bytes());
+        assert_eq!(&be[be.len() - 8..], &24u64.to_be_bytes());
+    }
+}

@@ -1,0 +1,274 @@
+//! The paper's keyed one-way construction `H(V, k) = crypto_hash(k ; V ; k)`
+//! (§2.2, where ";" is concatenation).
+//!
+//! Both the extreme-selection criterion (`H(msb(ε,β), k1) mod θ`, §3.2) and
+//! the bit-position / bit-value derivations reduce this keyed hash modulo
+//! small secret integers. [`KeyedHash`] packages the construction together
+//! with convenience reducers so embedder and detector cannot diverge in how
+//! they serialize inputs.
+
+use crate::digest::StreamHasher;
+use std::sync::Arc;
+
+/// A secret watermarking key (k₁ in the paper).
+///
+/// Wraps opaque bytes; deliberately does not implement `Display` to make
+/// accidental logging of key material harder. `Debug` prints a redacted
+/// placeholder.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Key(Vec<u8>);
+
+impl Key {
+    /// Key from raw bytes (caller-provided secret).
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Key(bytes.into())
+    }
+
+    /// Key from a u64 (convenient for tests and experiments; real
+    /// deployments should use high-entropy byte keys).
+    pub fn from_u64(k: u64) -> Self {
+        Key(k.to_le_bytes().to_vec())
+    }
+
+    /// Borrows the key material.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty (legal but insecure; used only in tests).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Key(<{} bytes redacted>)", self.0.len())
+    }
+}
+
+/// `H(V, k) = hash(k ; V ; k)` with pluggable hash algorithm.
+#[derive(Clone)]
+pub struct KeyedHash {
+    hasher: Arc<dyn StreamHasher>,
+    key: Key,
+}
+
+impl std::fmt::Debug for KeyedHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedHash")
+            .field("algorithm", &self.hasher.name())
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+impl KeyedHash {
+    /// Builds the construction over an arbitrary hash algorithm.
+    pub fn new(hasher: Arc<dyn StreamHasher>, key: Key) -> Self {
+        KeyedHash { hasher, key }
+    }
+
+    /// The paper's configuration: MD5.
+    pub fn md5(key: Key) -> Self {
+        KeyedHash::new(Arc::new(crate::md5::Md5Hasher), key)
+    }
+
+    /// SHA-1 instantiation.
+    pub fn sha1(key: Key) -> Self {
+        KeyedHash::new(Arc::new(crate::sha1::Sha1Hasher), key)
+    }
+
+    /// SHA-256 instantiation (recommended for new deployments).
+    pub fn sha256(key: Key) -> Self {
+        KeyedHash::new(Arc::new(crate::sha256::Sha256Hasher), key)
+    }
+
+    /// Underlying algorithm name.
+    pub fn algorithm(&self) -> &'static str {
+        self.hasher.name()
+    }
+
+    /// Full digest of `k ; V ; k`.
+    pub fn hash(&self, value: &[u8]) -> Vec<u8> {
+        let k = self.key.as_bytes();
+        let mut buf = Vec::with_capacity(2 * k.len() + value.len());
+        buf.extend_from_slice(k);
+        buf.extend_from_slice(value);
+        buf.extend_from_slice(k);
+        self.hasher.hash(&buf)
+    }
+
+    /// Digest folded to a `u64` (see [`StreamHasher::hash_u64`]).
+    pub fn hash_u64(&self, value: &[u8]) -> u64 {
+        let d = self.hash(value);
+        let mut acc = 0u64;
+        for chunk in d.chunks(8) {
+            let mut lane = [0u8; 8];
+            lane[..chunk.len()].copy_from_slice(chunk);
+            acc ^= u64::from_le_bytes(lane);
+        }
+        acc
+    }
+
+    /// `H(V,k) mod m`, the reduction the selection criterion uses.
+    /// Panics if `m == 0`.
+    pub fn hash_mod(&self, value: &[u8], m: u64) -> u64 {
+        assert!(m > 0, "modulus must be positive");
+        self.hash_u64(value) % m
+    }
+
+    /// The least significant `bits` of the digest, as a u64
+    /// (`lsb(H(...), τ)` in the multi-hash convention, §4.3).
+    /// `bits` must be in `[1, 64]`.
+    pub fn hash_lsb(&self, value: &[u8], bits: u32) -> u64 {
+        assert!((1..=64).contains(&bits), "bits must be in [1,64]");
+        let h = self.hash_u64(value);
+        if bits == 64 {
+            h
+        } else {
+            h & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+/// Serialization helpers shared by embedder and detector.
+///
+/// The paper hashes structured inputs such as `msb(ε, β)` or
+/// `lsb(m_ij, γ) ; label(ε)`. These helpers define the *one* canonical byte
+/// encoding both sides use, with domain-separation tags so e.g. a selection
+/// hash can never collide with a bit-position hash.
+pub mod encode {
+    /// Domain tag for the extreme-selection criterion (§3.2).
+    pub const DOM_SELECT: u8 = 0x01;
+    /// Domain tag for the bit-position derivation (§3.2 / §4.1).
+    pub const DOM_BITPOS: u8 = 0x02;
+    /// Domain tag for the multi-hash encoding convention (§4.3).
+    pub const DOM_MULTIHASH: u8 = 0x03;
+    /// Domain tag for the quadratic-residue encoding prime derivation.
+    pub const DOM_QUADRES: u8 = 0x04;
+
+    /// Canonical message: `tag || fields`, each field length-prefixed
+    /// little-endian so field boundaries are unambiguous.
+    pub fn message(tag: u8, fields: &[&[u8]]) -> Vec<u8> {
+        let total: usize = fields.iter().map(|f| f.len() + 4).sum();
+        let mut out = Vec::with_capacity(1 + total);
+        out.push(tag);
+        for f in fields {
+            out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+            out.extend_from_slice(f);
+        }
+        out
+    }
+
+    /// Canonical encoding of a u64 field.
+    pub fn u64_bytes(x: u64) -> [u8; 8] {
+        x.to_le_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::to_hex;
+    use crate::md5::Md5;
+
+    #[test]
+    fn keyed_md5_matches_manual_concatenation() {
+        let kh = KeyedHash::md5(Key::from_bytes(b"secret".to_vec()));
+        let got = kh.hash(b"value");
+        let manual = Md5::digest(b"secretvaluesecret");
+        assert_eq!(got, manual.to_vec());
+    }
+
+    #[test]
+    fn different_keys_give_different_hashes() {
+        let a = KeyedHash::md5(Key::from_u64(1));
+        let b = KeyedHash::md5(Key::from_u64(2));
+        assert_ne!(a.hash_u64(b"x"), b.hash_u64(b"x"));
+    }
+
+    #[test]
+    fn different_algorithms_give_different_hashes() {
+        let k = Key::from_u64(7);
+        let md5 = KeyedHash::md5(k.clone());
+        let sha = KeyedHash::sha256(k);
+        assert_ne!(md5.hash_u64(b"x"), sha.hash_u64(b"x"));
+        assert_eq!(md5.algorithm(), "md5");
+        assert_eq!(sha.algorithm(), "sha256");
+    }
+
+    #[test]
+    fn hash_mod_in_range_and_covers() {
+        let kh = KeyedHash::md5(Key::from_u64(42));
+        let m = 13u64;
+        let mut seen = vec![false; m as usize];
+        for i in 0..2000u64 {
+            let r = kh.hash_mod(&i.to_le_bytes(), m);
+            assert!(r < m);
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn hash_mod_roughly_uniform() {
+        let kh = KeyedHash::sha256(Key::from_u64(5));
+        let m = 8u64;
+        let trials = 20_000u64;
+        let mut counts = vec![0u32; m as usize];
+        for i in 0..trials {
+            counts[kh.hash_mod(&i.to_le_bytes(), m) as usize] += 1;
+        }
+        let expect = trials as f64 / m as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() / expect < 0.1, "{c} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn hash_mod_zero_panics() {
+        KeyedHash::md5(Key::from_u64(0)).hash_mod(b"x", 0);
+    }
+
+    #[test]
+    fn hash_lsb_masks_correctly() {
+        let kh = KeyedHash::md5(Key::from_u64(3));
+        let full = kh.hash_u64(b"v");
+        assert_eq!(kh.hash_lsb(b"v", 64), full);
+        assert_eq!(kh.hash_lsb(b"v", 1), full & 1);
+        assert_eq!(kh.hash_lsb(b"v", 16), full & 0xffff);
+    }
+
+    #[test]
+    fn key_debug_is_redacted() {
+        let k = Key::from_bytes(b"super-secret".to_vec());
+        let dbg = format!("{k:?}");
+        assert!(!dbg.contains("super-secret"));
+        assert!(dbg.contains("redacted"));
+    }
+
+    #[test]
+    fn canonical_message_is_injective_on_fields() {
+        // ("ab", "c") must differ from ("a", "bc") — length prefixes.
+        let m1 = encode::message(encode::DOM_SELECT, &[b"ab", b"c"]);
+        let m2 = encode::message(encode::DOM_SELECT, &[b"a", b"bc"]);
+        assert_ne!(m1, m2);
+        // Same fields, different domain tag must differ.
+        let m3 = encode::message(encode::DOM_BITPOS, &[b"ab", b"c"]);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn empty_key_is_plain_hash() {
+        let kh = KeyedHash::md5(Key::from_bytes(Vec::new()));
+        assert_eq!(to_hex(&kh.hash(b"abc")), to_hex(&Md5::digest(b"abc")));
+        assert!(Key::from_bytes(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # wms-crypto
+//!
+//! Cryptographic substrate for the `wms` workspace: from-scratch MD5
+//! (RFC 1321), SHA-1 (RFC 3174) and SHA-256 (FIPS 180-4), all validated
+//! against the official test vectors, plus the paper's keyed one-way
+//! construction `H(V, k) = crypto_hash(k ; V ; k)` (§2.2 of *Resilient
+//! Rights Protection for Sensor Streams*, VLDB 2004).
+//!
+//! The watermarking core only consumes the [`StreamHasher`] /
+//! [`KeyedHash`] abstractions, so the hash algorithm is a configuration
+//! choice: MD5 reproduces the paper's proof of concept, SHA-256 is the
+//! recommended modern default.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod keyed;
+pub mod md5;
+pub mod sha1;
+pub mod sha256;
+
+pub use digest::{from_hex, to_hex, Digest, StreamHasher};
+pub use keyed::{Key, KeyedHash};
+pub use md5::{Md5, Md5Hasher};
+pub use sha1::{Sha1, Sha1Hasher};
+pub use sha256::{Sha256, Sha256Hasher};

@@ -1,0 +1,244 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! MD5 is the hash the paper's proof-of-concept (`wms.*`) used in 2004.
+//! It is cryptographically broken for collision resistance today, but the
+//! watermarking scheme only relies on one-wayness and avalanche behaviour
+//! (§2.2); we keep it for faithful reproduction and provide SHA-1/SHA-256
+//! as drop-in alternatives.
+
+use crate::digest::{md_padding, Digest, StreamHasher};
+
+/// Per-round left-rotate amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// K[i] = floor(2^32 * abs(sin(i+1))).
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Incremental MD5 state.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Md5 {
+    fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> [u8; 16] {
+        let mut h = Md5::new();
+        h.update(data);
+        let v = Digest::finalize(h);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&v);
+        out
+    }
+}
+
+impl Digest for Md5 {
+    const OUTPUT_LEN: usize = 16;
+
+    fn new() -> Self {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                Self::compress(&mut self.state, &block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            Self::compress(&mut self.state, &block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let pad = md_padding(self.total_len, false);
+        // update() would re-count the padding; bypass the length tally.
+        let saved = self.total_len;
+        self.update(&pad);
+        self.total_len = saved;
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = Vec::with_capacity(16);
+        for w in self.state {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// [`StreamHasher`] adaptor for MD5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Md5Hasher;
+
+impl StreamHasher for Md5Hasher {
+    fn hash(&self, data: &[u8]) -> Vec<u8> {
+        Md5::digest(data).to_vec()
+    }
+
+    fn name(&self) -> &'static str {
+        "md5"
+    }
+
+    fn output_len(&self) -> usize {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::to_hex;
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(to_hex(&Md5::digest(input.as_bytes())), *want, "md5({input:?})");
+        }
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i % 251) as u8).collect();
+        let oneshot = Md5::digest(&data);
+        // Feed in awkward chunk sizes crossing block boundaries.
+        for chunk in [1usize, 3, 63, 64, 65, 130] {
+            let mut h = Md5::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(Digest::finalize(h), oneshot.to_vec(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths around the 55/56/64 padding edges.
+        let known: &[(usize, &str)] = &[
+            (55, "04364420e25c512fd958a70738aa8f72"),
+            (56, "668a72d5ba17f08e62dabcafad6db14b"),
+            (64, "c1bb4f81d892b2d57947682aeb252456"),
+        ];
+        for &(len, want) in known {
+            let data = vec![b'x'; len];
+            assert_eq!(to_hex(&Md5::digest(&data)), want, "len={len}");
+        }
+    }
+
+    #[test]
+    fn avalanche_property() {
+        // Flipping one input bit should flip roughly half the output bits —
+        // the property §2.2 of the paper relies on.
+        let base = b"sensor stream watermarking".to_vec();
+        let d0 = Md5::digest(&base);
+        let mut flipped = base.clone();
+        flipped[0] ^= 1;
+        let d1 = Md5::digest(&flipped);
+        let dist: u32 = d0.iter().zip(&d1).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert!((32..=96).contains(&dist), "hamming distance {dist} of 128");
+    }
+
+    #[test]
+    fn hasher_trait_matches_direct() {
+        let h = Md5Hasher;
+        assert_eq!(h.hash(b"abc"), Md5::digest(b"abc").to_vec());
+        assert_eq!(h.output_len(), 16);
+        assert_eq!(h.name(), "md5");
+    }
+
+    #[test]
+    fn hash_u64_is_stable_and_spread() {
+        let h = Md5Hasher;
+        let a = h.hash_u64(b"a");
+        let b = h.hash_u64(b"b");
+        assert_ne!(a, b);
+        assert_eq!(a, h.hash_u64(b"a"));
+    }
+}

@@ -1,0 +1,212 @@
+//! SHA-1 (RFC 3174 / FIPS 180-4), implemented from scratch.
+//!
+//! Offered as a drop-in alternative to MD5 for the keyed hash `H(V,k)`;
+//! the paper names "MD5 or SHA" as candidate instantiations (§2.2).
+
+use crate::digest::{md_padding, Digest, StreamHasher};
+
+/// Incremental SHA-1 state.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) =
+            (state[0], state[1], state[2], state[3], state[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a82_7999),
+                1 => (b ^ c ^ d, 0x6ed9_eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        let v = Digest::finalize(h);
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&v);
+        out
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+
+    fn new() -> Self {
+        Sha1 {
+            state: [
+                0x6745_2301,
+                0xefcd_ab89,
+                0x98ba_dcfe,
+                0x1032_5476,
+                0xc3d2_e1f0,
+            ],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                Self::compress(&mut self.state, &block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            Self::compress(&mut self.state, &block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let pad = md_padding(self.total_len, true);
+        let saved = self.total_len;
+        self.update(&pad);
+        self.total_len = saved;
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = Vec::with_capacity(20);
+        for w in self.state {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// [`StreamHasher`] adaptor for SHA-1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sha1Hasher;
+
+impl StreamHasher for Sha1Hasher {
+    fn hash(&self, data: &[u8]) -> Vec<u8> {
+        Sha1::digest(data).to_vec()
+    }
+
+    fn name(&self) -> &'static str {
+        "sha1"
+    }
+
+    fn output_len(&self) -> usize {
+        20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::to_hex;
+
+    /// FIPS / RFC 3174 vectors.
+    #[test]
+    fn standard_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (
+                "The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(to_hex(&Sha1::digest(input.as_bytes())), *want, "sha1({input:?})");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4 long test: 10^6 repetitions of 'a'.
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&Digest::finalize(h)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0u32..777).map(|i| (i * 7 % 256) as u8).collect();
+        let oneshot = Sha1::digest(&data).to_vec();
+        for chunk in [1usize, 5, 64, 100] {
+            let mut h = Sha1::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(Digest::finalize(h), oneshot, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn avalanche_property() {
+        let d0 = Sha1::digest(b"stream");
+        let d1 = Sha1::digest(b"strean");
+        let dist: u32 = d0.iter().zip(&d1).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert!((40..=120).contains(&dist), "hamming distance {dist} of 160");
+    }
+
+    #[test]
+    fn hasher_trait() {
+        let h = Sha1Hasher;
+        assert_eq!(h.output_len(), 20);
+        assert_eq!(h.name(), "sha1");
+        assert_eq!(h.hash(b"abc"), Sha1::digest(b"abc").to_vec());
+    }
+}

@@ -1,0 +1,174 @@
+//! Hypergeometric sampling model from §5 of the paper.
+//!
+//! The attack analysis models Mallory's random alteration of a
+//! characteristic subset as sampling without replacement: "x + t balls are
+//! randomly removed from a bowl with a total of y balls. If the bowl
+//! contained exactly x black balls, what is the probability that the x + t
+//! removals emptied the bowl of all x black balls?" The answer (paper,
+//! §5) is `P(x+t; x; y) = C(y−x, t) / C(y, x+t)`.
+
+use crate::special::{ln_binomial, ln_to_log2};
+
+/// The paper's `P(x+t; x; y)`: probability that drawing `x+t` of `y` balls
+/// without replacement captures all `x` black balls.
+///
+/// Returns 0 when the draw is too small (`draws < x`) and 1 when the draw
+/// takes everything. Panics if `draws > y` or `x > y` (not a valid
+/// experiment).
+pub fn all_marked_drawn(draws: u64, x: u64, y: u64) -> f64 {
+    assert!(x <= y, "more black balls than balls (x={x}, y={y})");
+    assert!(draws <= y, "more draws than balls (draws={draws}, y={y})");
+    if draws < x {
+        return 0.0;
+    }
+    if x == 0 {
+        return 1.0;
+    }
+    let t = draws - x;
+    // C(y-x, t) / C(y, draws), in log space for robustness.
+    (ln_binomial(y - x, t) - ln_binomial(y, draws)).exp()
+}
+
+/// Hypergeometric PMF: probability of exactly `k` successes when drawing
+/// `n` from a population of `total` containing `succ` successes.
+pub fn pmf(k: u64, n: u64, succ: u64, total: u64) -> f64 {
+    assert!(succ <= total && n <= total, "invalid hypergeometric parameters");
+    if k > n || k > succ || (n - k) > (total - succ) {
+        return 0.0;
+    }
+    (ln_binomial(succ, k) + ln_binomial(total - succ, n - k) - ln_binomial(total, n)).exp()
+}
+
+/// Upper tail P[K >= k] of the hypergeometric distribution.
+pub fn tail_ge(k: u64, n: u64, succ: u64, total: u64) -> f64 {
+    let hi = n.min(succ);
+    if k > hi {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in k..=hi {
+        acc += pmf(i, n, succ, total);
+    }
+    acc.min(1.0)
+}
+
+/// Expresses a probability as the "one in 2^k" exponent the paper uses for
+/// court-time confidence statements. Returns `f64::INFINITY` for p == 0.
+pub fn as_log2_odds(p: f64) -> f64 {
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    -ln_to_log2(p.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_rel(a: f64, b: f64, tol: f64) {
+        let denom = b.abs().max(1e-300);
+        assert!((a - b).abs() / denom <= tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §5: "for a1 = 5, a = 6, a4 = 50%, a2 = 50% we get the average
+        // probability P(15; 10; 21) ≈ 0.85%".
+        // a = 6 → y = a(a+1)/2 = 21 total m_ij values;
+        // a4 = 50% → x = ⌈0.5·21⌉ ≈ 10 active values;
+        // a2 = 50% of items altered → c_m = ½·a·a2·(2a − a·a2 + 1) = 15.
+        let p = all_marked_drawn(15, 10, 21);
+        assert_rel(p, 0.008_5, 0.03); // ≈ 0.85 %, paper rounds
+    }
+
+    #[test]
+    fn paper_cm_formula_matches_example() {
+        // c_m = ½ a a2 (2a − a·a2 + 1) with a = 6, a2 = 0.5 → 15.
+        let a = 6.0f64;
+        let a2 = 0.5f64;
+        let cm = 0.5 * a * a2 * (2.0 * a - a * a2 + 1.0);
+        assert_rel(cm, 15.0, 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_draw_is_certain() {
+        assert_eq!(all_marked_drawn(21, 10, 21), 1.0);
+        assert_eq!(all_marked_drawn(5, 0, 5), 1.0);
+    }
+
+    #[test]
+    fn insufficient_draw_is_impossible() {
+        assert_eq!(all_marked_drawn(9, 10, 21), 0.0);
+    }
+
+    #[test]
+    fn all_marked_matches_direct_combinatorics() {
+        // P = C(y-x, t)/C(y, x+t) checked against exact integers.
+        use crate::special::binomial_exact;
+        for &(draws, x, y) in &[(5u64, 2u64, 10u64), (7, 3, 12), (4, 4, 8), (6, 1, 6)] {
+            let t = draws - x;
+            let expect = binomial_exact(y - x, t).unwrap() as f64
+                / binomial_exact(y, draws).unwrap() as f64;
+            assert_rel(all_marked_drawn(draws, x, y), expect, 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more draws than balls")]
+    fn too_many_draws_panics() {
+        all_marked_drawn(22, 10, 21);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let (n, succ, total) = (7u64, 5u64, 15u64);
+        let sum: f64 = (0..=n).map(|k| pmf(k, n, succ, total)).sum();
+        assert_rel(sum, 1.0, 1e-10);
+    }
+
+    #[test]
+    fn pmf_mean_matches_formula() {
+        // E[K] = n * succ / total.
+        let (n, succ, total) = (8u64, 6u64, 20u64);
+        let mean: f64 = (0..=n).map(|k| k as f64 * pmf(k, n, succ, total)).sum();
+        assert_rel(mean, n as f64 * succ as f64 / total as f64, 1e-10);
+    }
+
+    #[test]
+    fn pmf_impossible_cases_zero() {
+        assert_eq!(pmf(6, 5, 10, 20), 0.0); // k > n
+        assert_eq!(pmf(4, 8, 3, 20), 0.0); // k > succ
+        assert_eq!(pmf(0, 18, 3, 20), 0.0); // can't avoid successes
+    }
+
+    #[test]
+    fn tail_is_monotone_and_bounded() {
+        let (n, succ, total) = (10u64, 7u64, 25u64);
+        let mut prev = 1.0 + 1e-12;
+        for k in 0..=n {
+            let t = tail_ge(k, n, succ, total);
+            assert!(t <= prev);
+            assert!((0.0..=1.0).contains(&t));
+            prev = t;
+        }
+        assert_eq!(tail_ge(0, n, succ, total), 1.0);
+    }
+
+    #[test]
+    fn tail_relates_to_all_marked() {
+        // Drawing all x black balls in x+t draws == K >= x with n = x+t.
+        let (x, t, y) = (4u64, 3u64, 12u64);
+        assert_rel(
+            all_marked_drawn(x + t, x, y),
+            tail_ge(x, x + t, x, y),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn log2_odds_examples() {
+        assert_rel(as_log2_odds(0.5), 1.0, 1e-12);
+        assert_rel(as_log2_odds(2.0f64.powi(-20)), 20.0, 1e-9);
+        assert_eq!(as_log2_odds(0.0), f64::INFINITY);
+    }
+}

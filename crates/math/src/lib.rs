@@ -1,0 +1,30 @@
+//! # wms-math
+//!
+//! Numeric substrate for the `wms` workspace — the Rust reproduction of
+//! *Resilient Rights Protection for Sensor Streams* (Sion, Atallah,
+//! Prabhakar; VLDB 2004).
+//!
+//! Everything here is implemented from scratch so that experiments are
+//! deterministic and the analysis (§5 of the paper) is auditable:
+//!
+//! * [`rng`] — xoshiro256++ deterministic generator with uniform/normal
+//!   draws, shuffles and sampling;
+//! * [`stats`] — Welford running moments, sliding-window moments, batch
+//!   summaries, histograms, correlation;
+//! * [`special`] — log-gamma, log/exact binomials, binomial tails, erf;
+//! * [`hypergeom`] — the paper's sampling-without-replacement attack model
+//!   `P(x+t; x; y)`;
+//! * [`numtheory`] — Miller–Rabin, prime generation, modular arithmetic
+//!   and Jacobi/Legendre symbols for the quadratic-residue encoding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hypergeom;
+pub mod numtheory;
+pub mod rng;
+pub mod special;
+pub mod stats;
+
+pub use rng::DetRng;
+pub use stats::{summarize, RunningStats, SlidingMoments, Summary};

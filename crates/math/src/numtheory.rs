@@ -1,0 +1,320 @@
+//! Number theory for the quadratic-residue bit encoding.
+//!
+//! §4.3 of the paper sketches a faster alternative encoding adapted from
+//! Atallah & Wagstaff \[1\]: alter the γ least-significant bits of a value
+//! until selected prefixes of it, read as integers, are quadratic residues
+//! modulo a secret large prime ("true") or non-residues ("false"). That
+//! encoding needs primality testing, random prime generation, modular
+//! exponentiation and Legendre/Jacobi symbols — all provided here for the
+//! 64-bit integers the fixed-point codec produces.
+
+/// (a * b) mod m without overflow, via u128 widening.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// a^e mod m by square-and-multiply. `m` must be nonzero.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod(result, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    result
+}
+
+/// Greatest common divisor (binary-free Euclid; inputs fit u64).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Deterministic Miller–Rabin for u64.
+///
+/// The witness set {2,3,5,7,11,13,17,19,23,29,31,37} is proven sufficient
+/// for all n < 3.3·10^24, which covers u64 entirely.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime `>= n` (wraps only if `n` exceeds the largest u64 prime,
+/// which is unreachable in practice; panics in that case).
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    loop {
+        if is_prime(n) {
+            return n;
+        }
+        n = n.checked_add(2).expect("prime search overflow");
+    }
+}
+
+/// Generates a random prime with exactly `bits` significant bits using the
+/// provided generator. `bits` must be in `[3, 63]` (odd primes with the top
+/// bit set, leaving headroom for u64 arithmetic).
+pub fn random_prime(rng: &mut crate::rng::DetRng, bits: u32) -> u64 {
+    assert!((3..=63).contains(&bits), "bits must be in [3, 63], got {bits}");
+    loop {
+        let mut cand = rng.next_u64() >> (64 - bits);
+        cand |= 1 << (bits - 1); // exact bit length
+        cand |= 1; // odd
+        if is_prime(cand) {
+            return cand;
+        }
+    }
+}
+
+/// Jacobi symbol (a/n) for odd positive n. Returns −1, 0, or 1.
+pub fn jacobi(mut a: u64, mut n: u64) -> i32 {
+    assert!(n % 2 == 1 && n > 0, "Jacobi symbol needs odd positive n");
+    a %= n;
+    let mut result = 1i32;
+    while a != 0 {
+        while a.is_multiple_of(2) {
+            a /= 2;
+            // (2/n) = (−1)^((n²−1)/8)
+            if n % 8 == 3 || n % 8 == 5 {
+                result = -result;
+            }
+        }
+        core::mem::swap(&mut a, &mut n);
+        // Quadratic reciprocity.
+        if a % 4 == 3 && n % 4 == 3 {
+            result = -result;
+        }
+        a %= n;
+    }
+    if n == 1 {
+        result
+    } else {
+        0
+    }
+}
+
+/// Legendre-symbol test: is `a` a quadratic residue mod odd prime `p`?
+///
+/// Convention follows the encoding's needs: `a ≡ 0 (mod p)` counts as a
+/// residue (it has the square root 0). Uses Euler's criterion.
+pub fn is_quadratic_residue(a: u64, p: u64) -> bool {
+    debug_assert!(p > 2 && is_prime(p), "p must be an odd prime");
+    let a = a % p;
+    if a == 0 {
+        return true;
+    }
+    pow_mod(a, (p - 1) / 2, p) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn mul_mod_no_overflow() {
+        let big = u64::MAX - 58; // prime near 2^64
+        assert_eq!(mul_mod(big - 1, big - 1, big), 1);
+        assert_eq!(mul_mod(0, 123, 7), 0);
+    }
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 10, 1000), 24);
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+        assert_eq!(pow_mod(3, 4, 1), 0);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // a^(p-1) ≡ 1 mod p for prime p, gcd(a,p)=1.
+        let p = 1_000_000_007u64;
+        for a in [2u64, 3, 10, 999_999_999] {
+            assert_eq!(pow_mod(a, p - 1, p), 1);
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn primality_small_numbers() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        let composites = [0u64, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 35, 49];
+        for &p in &primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for &c in &composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn primality_sieve_cross_check() {
+        // Cross-check against a classic sieve up to 10_000.
+        let n = 10_000usize;
+        let mut sieve = vec![true; n + 1];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..=n {
+            if !sieve[i] {
+                continue;
+            }
+            for j in (i * i..=n).step_by(i) {
+                sieve[j] = false;
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..=n {
+            assert_eq!(is_prime(i as u64), sieve[i], "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn primality_large_known() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(1_000_000_009));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        assert!(is_prime(u64::MAX - 58)); // 2^64 - 59 is prime
+        assert!(!is_prime(u64::MAX)); // 3·5·17·257·641·65537·6700417
+        // Strong pseudoprime to base 2 only: 3215031751 = 151·751·28351.
+        assert!(!is_prime(3_215_031_751));
+    }
+
+    #[test]
+    fn next_prime_examples() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(1_000_000_000), 1_000_000_007);
+    }
+
+    #[test]
+    fn random_prime_has_requested_bits() {
+        let mut rng = DetRng::seed_from_u64(99);
+        for bits in [8u32, 16, 31, 48, 63] {
+            let p = random_prime(&mut rng, bits);
+            assert!(is_prime(p));
+            assert_eq!(64 - p.leading_zeros(), bits, "p={p} bits");
+        }
+    }
+
+    #[test]
+    fn random_prime_deterministic() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        assert_eq!(random_prime(&mut a, 32), random_prime(&mut b, 32));
+    }
+
+    #[test]
+    fn jacobi_against_legendre_for_primes() {
+        // For odd prime p, jacobi(a,p) must agree with Euler's criterion.
+        for &p in &[3u64, 5, 7, 11, 13, 101, 1009] {
+            for a in 0..p.min(60) {
+                let j = jacobi(a, p);
+                let expect = if a % p == 0 {
+                    0
+                } else if pow_mod(a, (p - 1) / 2, p) == 1 {
+                    1
+                } else {
+                    -1
+                };
+                assert_eq!(j, expect, "jacobi({a},{p})");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_multiplicativity() {
+        let n = 9907u64; // odd (also prime, but property holds generally)
+        for a in 1..40u64 {
+            for b in 1..40u64 {
+                assert_eq!(jacobi(a * b, n), jacobi(a, n) * jacobi(b, n));
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_residues_of_23() {
+        // QRs mod 23: {1,2,3,4,6,8,9,12,13,16,18}.
+        let qrs = [1u64, 2, 3, 4, 6, 8, 9, 12, 13, 16, 18];
+        for a in 1..23u64 {
+            let expect = qrs.contains(&a);
+            assert_eq!(is_quadratic_residue(a, 23), expect, "a={a}");
+        }
+        assert!(is_quadratic_residue(0, 23));
+        assert!(is_quadratic_residue(23 + 4, 23));
+    }
+
+    #[test]
+    fn residues_closed_under_squaring() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let p = random_prime(&mut rng, 40);
+        for _ in 0..200 {
+            let x = rng.next_u64() % p;
+            assert!(is_quadratic_residue(mul_mod(x, x, p), p));
+        }
+    }
+
+    #[test]
+    fn half_of_units_are_residues() {
+        let p = 10_007u64;
+        let count = (1..p).filter(|&a| is_quadratic_residue(a, p)).count() as u64;
+        assert_eq!(count, (p - 1) / 2);
+    }
+}

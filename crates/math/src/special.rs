@@ -1,0 +1,276 @@
+//! Special functions and combinatorics.
+//!
+//! §5 of the paper computes false-positive probabilities of the form
+//! `(2^{-τ·a(a+1)/2})^{tς/(ξθ)}` and hypergeometric ratios of binomial
+//! coefficients. These underflow f64 almost immediately, so everything here
+//! works in log space, with exact integer binomials where they fit.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 relative error for x > 0; sufficient for the
+/// probability work in this workspace.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g=7, n=9 (Godfrey / numerical recipes lineage).
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = core::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * core::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// ln(n!) via `ln_gamma(n+1)`, exact-ish for all n representable in f64.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small table keeps the hot path exact and fast. (Entries are ln(n!)
+    // literals; clippy flags ln(2!) as an "approximate LN_2".)
+    #[allow(clippy::approx_constant, clippy::excessive_precision)]
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_683,
+        27.899_271_383_840_894,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if (n as usize) < TABLE.len() {
+        TABLE[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// ln C(n, k); `-inf` when k > n.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    if k == 0 {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Exact binomial coefficient in u128, or `None` on overflow / k > n.
+///
+/// Uses the multiplicative formula with interleaved division, so any value
+/// that fits in u128 is computed exactly.
+pub fn binomial_exact(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return None;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc *= (n - i); acc /= (i + 1);  — kept exact because
+        // C(n, i+1) = C(n, i) * (n-i) / (i+1) is always integral.
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// log2 of a probability given as ln(p). Convenience for reporting
+/// confidences as "one in 2^k".
+pub fn ln_to_log2(ln_p: f64) -> f64 {
+    ln_p / core::f64::consts::LN_2
+}
+
+/// Binomial tail P[X >= k] for X ~ Bin(n, p), computed in a numerically
+/// careful direct sum (n is small in all our uses: number of voting
+/// extremes). Used to turn a detected watermark bias into a false-positive
+/// probability under the null hypothesis p = 1/2.
+pub fn binomial_tail_ge(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let ln_p = p.ln();
+    let ln_q = (1.0 - p).ln();
+    let mut total = 0.0f64;
+    for i in k..=n {
+        let ln_term = ln_binomial(n, i) + i as f64 * ln_p + (n - i) as f64 * ln_q;
+        total += ln_term.exp();
+    }
+    total.min(1.0)
+}
+
+/// Error function via Abramowitz–Stegun 7.1.26 (|err| ≤ 1.5e-7).
+/// Used for gaussian-tail sanity checks in the experiment harness.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / core::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_rel(a: f64, b: f64, tol: f64) {
+        let denom = b.abs().max(1e-300);
+        assert!((a - b).abs() / denom <= tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(3)=2, Γ(4)=6, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert_rel(ln_gamma(3.0), 2.0f64.ln(), 1e-12);
+        assert_rel(ln_gamma(4.0), 6.0f64.ln(), 1e-12);
+        assert_rel(ln_gamma(0.5), core::f64::consts::PI.sqrt().ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x) for a sweep of x.
+        for i in 1..50 {
+            let x = i as f64 * 0.37 + 0.1;
+            assert_rel(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_table_and_formula_agree() {
+        for n in 0..30u64 {
+            let direct: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+            assert_rel(ln_factorial(n).max(1e-300), direct.max(1e-300), 1e-10);
+        }
+    }
+
+    #[test]
+    fn binomial_exact_small() {
+        assert_eq!(binomial_exact(0, 0), Some(1));
+        assert_eq!(binomial_exact(5, 2), Some(10));
+        assert_eq!(binomial_exact(10, 5), Some(252));
+        assert_eq!(binomial_exact(52, 5), Some(2_598_960));
+        assert_eq!(binomial_exact(5, 6), None);
+    }
+
+    #[test]
+    fn binomial_exact_symmetry() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(binomial_exact(n, k), binomial_exact(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = binomial_exact(n, k).unwrap();
+                let rhs = binomial_exact(n - 1, k - 1).unwrap() + binomial_exact(n - 1, k).unwrap();
+                assert_eq!(lhs, rhs, "Pascal fails at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for n in [10u64, 30, 60, 100] {
+            for k in [0u64, 1, 3, n / 2] {
+                let exact = binomial_exact(n, k).unwrap() as f64;
+                assert_rel(ln_binomial(n, k).exp(), exact, 1e-9);
+            }
+        }
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_tail_properties() {
+        // P[X >= 0] = 1; fair-coin symmetry; paper footnote 5:
+        // bias of b one-sided events at p=1/2 has probability 2^-b each.
+        assert_eq!(binomial_tail_ge(10, 0, 0.5), 1.0);
+        assert_eq!(binomial_tail_ge(10, 11, 0.5), 0.0);
+        assert_rel(binomial_tail_ge(10, 10, 0.5), 2.0f64.powi(-10), 1e-9);
+        // Monotone in k.
+        let mut prev = 1.0;
+        for k in 0..=20u64 {
+            let p = binomial_tail_ge(20, k, 0.4);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn binomial_tail_known_value() {
+        // P[X >= 8 | n=10, p=0.5] = (45 + 10 + 1)/1024.
+        assert_rel(binomial_tail_ge(10, 8, 0.5), 56.0 / 1024.0, 1e-9);
+    }
+
+    #[test]
+    fn erf_and_cdf_anchor_points() {
+        // A&S 7.1.26 is accurate to ~1.5e-7 absolute, including at 0.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert_rel(erf(1.0), 0.842_700_79, 1e-5);
+        assert_rel(normal_cdf(0.0), 0.5, 1e-6);
+        assert_rel(normal_cdf(1.959_964), 0.975, 1e-4);
+        assert!(normal_cdf(-8.0) < 1e-10);
+    }
+
+    #[test]
+    fn ln_to_log2_roundtrip() {
+        let p: f64 = 2.0f64.powi(-15);
+        assert_rel(ln_to_log2(p.ln()), -15.0, 1e-12);
+    }
+}

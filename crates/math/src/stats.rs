@@ -1,0 +1,466 @@
+//! Streaming and batch statistics.
+//!
+//! The watermarker's quality-assessment module (§4.4 of the paper) and the
+//! experiment harness both need numerically stable running moments over
+//! bounded windows, plus batch summaries for reporting the mean/std impact
+//! of an embedding (§6.4).
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+///
+/// Supports `push` only; for windowed statistics that need removal, see
+/// [`SlidingMoments`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population variance (divides by n); 0 when n < 1.
+    pub fn variance(&self) -> f64 {
+        if self.n < 1 { 0.0 } else { self.m2 / self.n as f64 }
+    }
+
+    /// Sample variance (divides by n−1); 0 when n < 2.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact mean/variance over a sliding window, maintained incrementally.
+///
+/// The paper's processing model only ever holds `$` items (§2.2); any
+/// quality constraint over "the current data window" needs moments that
+/// update as items enter and leave. This keeps Σx and Σx² and recomputes
+/// from them; adequate for the value magnitudes used here (|x| < 0.5 or
+/// tens of °C over windows of ≤ 10⁶ items).
+#[derive(Debug, Clone, Default)]
+pub struct SlidingMoments {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl SlidingMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation entering the window.
+    pub fn insert(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Removes an observation leaving the window. The caller must only
+    /// remove values previously inserted.
+    pub fn remove(&mut self, x: f64) {
+        assert!(self.n > 0, "remove from empty SlidingMoments");
+        self.n -= 1;
+        self.sum -= x;
+        self.sum_sq -= x * x;
+    }
+
+    /// Replaces one in-window value by another (an embedding alteration).
+    pub fn replace(&mut self, old: f64, new: f64) {
+        self.sum += new - old;
+        self.sum_sq += new * new - old * old;
+    }
+
+    /// Number of in-window observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Window mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.sum / self.n as f64 }
+    }
+
+    /// Window population variance, clamped at 0 against rounding.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.n as f64 - m * m).max(0.0)
+    }
+
+    /// Window population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Batch summary of a slice: mean, population std-dev, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+/// Computes a [`Summary`] of `xs`. Returns `None` for an empty slice.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut acc = RunningStats::new();
+    for &x in xs {
+        acc.push(x);
+    }
+    Some(Summary {
+        mean: acc.mean(),
+        std_dev: acc.std_dev(),
+        min: acc.min(),
+        max: acc.max(),
+        n: xs.len(),
+    })
+}
+
+/// Relative change `|after − before| / |before|`, in percent.
+///
+/// Used to report the §6.4 data-quality impact ("the mean of the
+/// watermarked stream varied less than 0.21 % from the original").
+/// Returns the absolute difference ×100 when `before` is (near) zero, so
+/// streams normalized to mean ≈ 0 still yield a meaningful figure.
+pub fn relative_change_pct(before: f64, after: f64) -> f64 {
+    let diff = (after - before).abs();
+    if before.abs() < 1e-12 {
+        diff * 100.0
+    } else {
+        diff / before.abs() * 100.0
+    }
+}
+
+/// Equal-width histogram over `[lo, hi)` used by distribution diagnostics
+/// (e.g. checking that Mallory's additive values match the host
+/// distribution, attack A5 in §2.1).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid histogram bounds");
+        Histogram { lo, hi, counts: vec![0; bins], outliers: 0 }
+    }
+
+    /// Adds one observation; values outside `[lo, hi)` count as outliers.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi || !x.is_finite() {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut b = ((x - self.lo) / w) as usize;
+        if b >= self.counts.len() {
+            b = self.counts.len() - 1;
+        }
+        self.counts[b] += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations outside the configured range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// L1 distance between two normalized histograms (same shape required).
+    /// 0 = identical distributions, 2 = disjoint support.
+    pub fn l1_distance(&self, other: &Histogram) -> f64 {
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        let ta = self.total().max(1) as f64;
+        let tb = other.total().max(1) as f64;
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| (a as f64 / ta - b as f64 / tb).abs())
+            .sum()
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+/// Returns `None` if lengths differ, are < 2, or either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert_close(s.mean(), 5.0, 1e-12);
+        assert_close(s.variance(), 4.0, 1e-12);
+        assert_close(s.std_dev(), 2.0, 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_single() {
+        let mut s = RunningStats::new();
+        s.push(3.25);
+        assert_eq!(s.mean(), 3.25);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_close(left.mean(), whole.mean(), 1e-10);
+        assert_close(left.variance(), whole.variance(), 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn sliding_moments_window_semantics() {
+        let mut m = SlidingMoments::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.insert(x);
+        }
+        m.remove(1.0); // window is now {2,3,4}
+        assert_eq!(m.count(), 3);
+        assert_close(m.mean(), 3.0, 1e-12);
+        assert_close(m.variance(), 2.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn sliding_moments_replace() {
+        let mut m = SlidingMoments::new();
+        for x in [1.0, 2.0, 3.0] {
+            m.insert(x);
+        }
+        m.replace(3.0, 6.0); // window {1,2,6}
+        assert_close(m.mean(), 3.0, 1e-12);
+        assert_close(m.variance(), (4.0 + 1.0 + 9.0) / 3.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove from empty")]
+    fn sliding_moments_underflow_panics() {
+        SlidingMoments::new().remove(1.0);
+    }
+
+    #[test]
+    fn summarize_matches_manual() {
+        let s = summarize(&[1.0, 2.0, 3.0]).unwrap();
+        assert_close(s.mean, 2.0, 1e-12);
+        assert_close(s.std_dev, (2.0f64 / 3.0).sqrt(), 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn relative_change_normal_and_near_zero() {
+        assert_close(relative_change_pct(100.0, 100.21), 0.21, 1e-9);
+        assert_close(relative_change_pct(-4.0, -4.2), 5.0, 1e-9);
+        // Near-zero baseline: report absolute difference scaled to percent.
+        assert_close(relative_change_pct(0.0, 0.003), 0.3, 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, f64::NAN] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_l1_identical_is_zero() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        for x in [0.1, 0.3, 0.6, 0.9] {
+            a.push(x);
+            b.push(x);
+        }
+        assert_close(a.l1_distance(&b), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn histogram_l1_disjoint_is_two() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.push(0.1);
+        b.push(0.9);
+        assert_close(a.l1_distance(&b), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert_close(pearson(&xs, &ys).unwrap(), 1.0, 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert_close(pearson(&xs, &zs).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[3.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the math substrate.
+
+use proptest::prelude::*;
+use wms_math::hypergeom;
+use wms_math::numtheory::{gcd, is_prime, jacobi, mul_mod, pow_mod};
+use wms_math::special::{binomial_exact, binomial_tail_ge, ln_binomial};
+use wms_math::{summarize, DetRng, RunningStats, SlidingMoments};
+
+proptest! {
+    #[test]
+    fn rng_below_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = DetRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_uniform_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, width in 0.0f64..1e6) {
+        let mut r = DetRng::seed_from_u64(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let x = r.uniform(lo, hi);
+            prop_assert!(x >= lo && (x < hi || width == 0.0));
+        }
+    }
+
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = DetRng::seed_from_u64(seed);
+        let mut b = DetRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), len in 0usize..200) {
+        let mut r = DetRng::seed_from_u64(seed);
+        let mut xs: Vec<usize> = (0..len).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn running_stats_match_batch(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut rs = RunningStats::new();
+        for &v in &values {
+            rs.push(v);
+        }
+        let s = summarize(&values).unwrap();
+        prop_assert!((rs.mean() - s.mean).abs() <= 1e-6 * (1.0 + s.mean.abs()));
+        prop_assert!((rs.std_dev() - s.std_dev).abs() <= 1e-5 * (1.0 + s.std_dev));
+        prop_assert_eq!(rs.min(), s.min);
+        prop_assert_eq!(rs.max(), s.max);
+    }
+
+    #[test]
+    fn stats_merge_associative(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut whole = RunningStats::new();
+        for &v in a.iter().chain(&b) {
+            whole.push(v);
+        }
+        let mut left = RunningStats::new();
+        for &v in &a {
+            left.push(v);
+        }
+        let mut right = RunningStats::new();
+        for &v in &b {
+            right.push(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 + 1e-9 * whole.mean().abs());
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-7 + 1e-7 * whole.variance());
+    }
+
+    #[test]
+    fn sliding_moments_insert_remove_inverse(
+        base in prop::collection::vec(-100f64..100.0, 1..50),
+        extra in prop::collection::vec(-100f64..100.0, 1..20),
+    ) {
+        let mut m = SlidingMoments::new();
+        for &v in &base {
+            m.insert(v);
+        }
+        let mean0 = m.mean();
+        let var0 = m.variance();
+        for &v in &extra {
+            m.insert(v);
+        }
+        for &v in extra.iter().rev() {
+            m.remove(v);
+        }
+        prop_assert!((m.mean() - mean0).abs() < 1e-7);
+        prop_assert!((m.variance() - var0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pow_mod_matches_naive(a in 0u64..1000, e in 0u64..20, m in 1u64..10_000) {
+        let mut expect = if m == 1 { 0 } else { 1u64 % m };
+        for _ in 0..e {
+            expect = (expect * (a % m)) % m;
+        }
+        prop_assert_eq!(pow_mod(a, e, m), expect);
+    }
+
+    #[test]
+    fn mul_mod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u64..u64::MAX) {
+        prop_assert_eq!(mul_mod(a, b, m) as u128, (a as u128 * b as u128) % m as u128);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let g = gcd(a, b);
+        prop_assert!(g > 0 && a % g == 0 && b % g == 0);
+    }
+
+    #[test]
+    fn primes_have_no_small_factors(n in 4u64..1_000_000) {
+        if is_prime(n) {
+            let mut d = 2u64;
+            while d * d <= n {
+                prop_assert!(n % d != 0, "{} divisible by {}", n, d);
+                d += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_in_range_and_periodic(a in 0u64..10_000, k in 1u64..100) {
+        let n = 2 * k + 1; // odd
+        let j = jacobi(a, n);
+        prop_assert!((-1..=1).contains(&j));
+        prop_assert_eq!(j, jacobi(a + n, n));
+    }
+
+    #[test]
+    fn binomial_log_vs_exact(n in 0u64..60, k in 0u64..60) {
+        if k <= n {
+            let exact = binomial_exact(n, k).unwrap() as f64;
+            let approx = ln_binomial(n, k).exp();
+            prop_assert!((approx - exact).abs() / exact.max(1.0) < 1e-8);
+        } else {
+            prop_assert!(binomial_exact(n, k).is_none());
+        }
+    }
+
+    #[test]
+    fn binomial_tail_monotone_in_k(n in 1u64..40, p in 0.01f64..0.99) {
+        let mut prev = 1.0 + 1e-12;
+        for k in 0..=n {
+            let t = binomial_tail_ge(n, k, p);
+            prop_assert!(t <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&t));
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn hypergeom_pmf_normalizes(total in 1u64..40, succ_frac in 0.0f64..1.0, n_frac in 0.0f64..1.0) {
+        let succ = (succ_frac * total as f64) as u64;
+        let n = 1 + (n_frac * (total - 1) as f64) as u64;
+        let sum: f64 = (0..=n).map(|k| hypergeom::pmf(k, n, succ, total)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "sum = {}", sum);
+    }
+
+    #[test]
+    fn all_marked_drawn_is_probability(y in 1u64..50, xf in 0.0f64..1.0, df in 0.0f64..1.0) {
+        let x = (xf * y as f64) as u64;
+        let draws = (df * y as f64) as u64;
+        let p = hypergeom::all_marked_drawn(draws, x, y);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,214 @@
+//! Smooth gaussian process source — the paper's synthetic baseline.
+//!
+//! §6: "the experimental results presented here refer to an underlying
+//! normalized stream with values distributed normally with a mean of 0 and
+//! a standard deviation of 0.5", with fluctuation ξ(ν,δ) ≈ 100.
+//!
+//! A single moving average of white noise does *not* control extreme
+//! density: its increments are independent, so it still changes direction
+//! every other sample. We therefore cascade **two** moving averages
+//! (equivalently, convolve with a triangular kernel): increments of the
+//! result are themselves moving averages of i.i.d. steps, hence strongly
+//! positively correlated, and the process changes direction on the scale
+//! of the kernel length. `smoothing` thus directly tunes extreme spacing
+//! while the output is rescaled to exact target marginal moments.
+
+use std::collections::VecDeque;
+use wms_math::DetRng;
+use wms_stream::{Sample, StreamSource};
+
+/// Doubly-smoothed gaussian source with target marginal moments.
+#[derive(Debug, Clone)]
+pub struct SmoothGaussianSource {
+    mean: f64,
+    std_dev: f64,
+    smoothing: usize,
+    rng: DetRng,
+    next_index: u64,
+    /// First-stage window of raw normals and its running sum.
+    w1: VecDeque<f64>,
+    s1: f64,
+    /// Second-stage window of first-stage sums and its running sum.
+    w2: VecDeque<f64>,
+    s2: f64,
+    /// Rescale so the output std is exactly `std_dev`.
+    gain: f64,
+}
+
+impl SmoothGaussianSource {
+    /// Creates a source with marginal `N(mean, std_dev²)`; `smoothing ≥ 1`
+    /// is the MA kernel length of each cascade stage (1 = white noise).
+    pub fn new(mean: f64, std_dev: f64, smoothing: usize, seed: u64) -> Self {
+        assert!(smoothing >= 1, "smoothing must be >= 1");
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        let k = smoothing;
+        // Effective kernel = triangle of length 2k−1 with weights
+        // c_j = min(j+1, 2k−1−j, k)/k²; output variance of unit normals
+        // is Σ c_j².
+        let mut var = 0.0f64;
+        for j in 0..(2 * k - 1) {
+            let c = ((j + 1).min(2 * k - 1 - j).min(k)) as f64 / (k * k) as f64;
+            var += c * c;
+        }
+        let gain = if var > 0.0 { std_dev / var.sqrt() } else { 0.0 };
+
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut w1 = VecDeque::with_capacity(k);
+        let mut s1 = 0.0;
+        for _ in 0..k {
+            let z = rng.standard_normal();
+            s1 += z;
+            w1.push_back(z);
+        }
+        let mut w2 = VecDeque::with_capacity(k);
+        let mut s2 = 0.0;
+        let mut me = SmoothGaussianSource {
+            mean,
+            std_dev,
+            smoothing: k,
+            rng,
+            next_index: 0,
+            w1,
+            s1,
+            w2: VecDeque::new(),
+            s2: 0.0,
+            gain,
+        };
+        // Prime the second stage with k first-stage sums.
+        for _ in 0..k {
+            let v = me.s1;
+            s2 += v;
+            w2.push_back(v);
+            me.advance_stage1();
+        }
+        me.w2 = w2;
+        me.s2 = s2;
+        me
+    }
+
+    fn advance_stage1(&mut self) {
+        let old = self.w1.pop_front().expect("stage-1 kernel never empty");
+        self.s1 -= old;
+        let z = self.rng.standard_normal();
+        self.s1 += z;
+        self.w1.push_back(z);
+    }
+
+    /// Paper defaults: mean 0, std 0.5.
+    pub fn paper_default(smoothing: usize, seed: u64) -> Self {
+        Self::new(0.0, 0.5, smoothing, seed)
+    }
+
+    /// Generates exactly `n` samples.
+    pub fn generate(
+        mean: f64,
+        std_dev: f64,
+        smoothing: usize,
+        seed: u64,
+        n: usize,
+    ) -> Vec<Sample> {
+        let mut s = Self::new(mean, std_dev, smoothing, seed);
+        s.take_samples(n)
+    }
+
+    /// Configured marginal mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Configured marginal standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Configured per-stage kernel length.
+    pub fn smoothing(&self) -> usize {
+        self.smoothing
+    }
+}
+
+impl StreamSource for SmoothGaussianSource {
+    fn next_sample(&mut self) -> Option<Sample> {
+        let i = self.next_index;
+        self.next_index += 1;
+        let k2 = (self.smoothing * self.smoothing) as f64;
+        let value = self.mean + self.gain * (self.s2 / k2);
+        // Slide stage 2 by one (consuming one new stage-1 sum).
+        let old = self.w2.pop_front().expect("stage-2 kernel never empty");
+        self.s2 -= old;
+        let fresh = self.s1;
+        self.s2 += fresh;
+        self.w2.push_back(fresh);
+        self.advance_stage1();
+        Some(Sample::new(i, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temperature::direction_changes;
+    use wms_math::summarize;
+    use wms_stream::values_of;
+
+    #[test]
+    fn moments_match_configuration() {
+        let s = SmoothGaussianSource::generate(0.0, 0.5, 25, 42, 300_000);
+        let sum = summarize(&values_of(&s)).unwrap();
+        assert!(sum.mean.abs() < 0.05, "mean {}", sum.mean);
+        assert!((sum.std_dev - 0.5).abs() < 0.06, "std {}", sum.std_dev);
+    }
+
+    #[test]
+    fn shifted_moments() {
+        let s = SmoothGaussianSource::generate(10.0, 2.0, 10, 7, 200_000);
+        let sum = summarize(&values_of(&s)).unwrap();
+        assert!((sum.mean - 10.0).abs() < 0.3);
+        assert!((sum.std_dev - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn smoothing_reduces_extreme_density() {
+        let rough = SmoothGaussianSource::generate(0.0, 0.5, 1, 3, 20_000);
+        let smooth = SmoothGaussianSource::generate(0.0, 0.5, 50, 3, 20_000);
+        let dr = direction_changes(&values_of(&rough));
+        let ds = direction_changes(&values_of(&smooth));
+        assert!(
+            ds * 3 < dr,
+            "smoothing should cut extreme density: rough {dr}, smooth {ds}"
+        );
+    }
+
+    #[test]
+    fn extreme_spacing_scales_with_smoothing() {
+        let n = 50_000;
+        let mut prev_changes = usize::MAX;
+        for k in [2usize, 8, 32] {
+            let s = SmoothGaussianSource::generate(0.0, 0.5, k, 5, n);
+            let c = direction_changes(&values_of(&s));
+            assert!(c < prev_changes, "k={k}: {c} !< {prev_changes}");
+            prev_changes = c;
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SmoothGaussianSource::generate(0.0, 0.5, 10, 9, 1000);
+        let b = SmoothGaussianSource::generate(0.0, 0.5, 10, 9, 1000);
+        assert_eq!(values_of(&a), values_of(&b));
+    }
+
+    #[test]
+    fn white_noise_special_case() {
+        // smoothing = 1 is plain iid gaussian noise.
+        let s = SmoothGaussianSource::generate(0.0, 1.0, 1, 11, 100_000);
+        let sum = summarize(&values_of(&s)).unwrap();
+        assert!((sum.std_dev - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be >= 1")]
+    fn rejects_zero_smoothing() {
+        SmoothGaussianSource::new(0.0, 0.5, 0, 0);
+    }
+}

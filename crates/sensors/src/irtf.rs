@@ -1,0 +1,187 @@
+//! NASA-IRTF-like reference dataset.
+//!
+//! The paper's real-world evaluation data — "once-every-two-minutes
+//! environmental sensor (temperature) readings at various telescope site
+//! locations [...] 30 days worth of data from September 2003, totaling
+//! 21630 temperature readings (values on the Celsius scale roughly between
+//! 0 and 35 degrees)" — is no longer distributed. Per the substitution
+//! policy in `DESIGN.md`, this module generates a faithful stand-in:
+//!
+//! * identical shape: 21,630 readings at a 2-minute cadence (≈30 days,
+//!   720 samples/day, plus a 30-reading partial day);
+//! * diurnal sinusoid (period 720 samples) with day-to-day amplitude and
+//!   phase variation;
+//! * multi-day weather-front drift (AR(1) on the daily mean);
+//! * short-horizon AR(1) micro-fluctuations, which is what gives real
+//!   mountain-site data its dense population of local extremes;
+//! * values clamped to the paper's reported [0, 35] °C range.
+//!
+//! Only distributional properties matter to the watermarking algorithms
+//! (value range, fluctuation statistics ξ(ν,δ), sample count); absolute
+//! meteorology does not.
+
+use wms_math::DetRng;
+use wms_stream::Sample;
+
+/// Number of readings in the paper's reference dataset.
+pub const IRTF_READINGS: usize = 21_630;
+
+/// Samples per day at the 2-minute cadence.
+pub const SAMPLES_PER_DAY: usize = 720;
+
+/// Configuration of the IRTF-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct IrtfConfig {
+    /// Number of readings to generate.
+    pub readings: usize,
+    /// Seasonal mean temperature (°C).
+    pub mean_level: f64,
+    /// Mean diurnal half-amplitude (°C).
+    pub diurnal_amplitude: f64,
+    /// Day-to-day relative variation of the diurnal amplitude.
+    pub amplitude_jitter: f64,
+    /// AR(1) std of the multi-day weather drift (°C).
+    pub front_std: f64,
+    /// AR(1) coefficient of the weather drift (per sample).
+    pub front_ar: f64,
+    /// Std of meso-scale fluctuations (°C) — gusts/cloud passages on the
+    /// tens-of-minutes scale. These create the pronounced local extremes
+    /// the watermark rides on.
+    pub micro_std: f64,
+    /// AR(1) coefficient of the meso fluctuations.
+    pub micro_ar: f64,
+    /// Std of fast per-reading sensor noise (°C).
+    pub sensor_noise_std: f64,
+    /// Clamp range, matching the paper's reported span.
+    pub clamp: (f64, f64),
+}
+
+impl Default for IrtfConfig {
+    fn default() -> Self {
+        IrtfConfig {
+            readings: IRTF_READINGS,
+            mean_level: 14.0,
+            diurnal_amplitude: 7.0,
+            amplitude_jitter: 0.25,
+            front_std: 3.0,
+            front_ar: 0.9995,
+            micro_std: 1.2,
+            micro_ar: 0.985,
+            sensor_noise_std: 0.06,
+            clamp: (0.0, 35.0),
+        }
+    }
+}
+
+/// Generates the IRTF-like reference dataset for a given seed.
+pub fn generate(cfg: &IrtfConfig, seed: u64) -> Vec<Sample> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(cfg.readings);
+    let day = SAMPLES_PER_DAY as f64;
+
+    // Per-day modulation, resampled at local midnight.
+    let mut day_amp = cfg.diurnal_amplitude;
+    let mut day_phase = rng.uniform(-0.3, 0.3);
+
+    let mut front = 0.0f64;
+    let front_innov = (1.0 - cfg.front_ar * cfg.front_ar).sqrt() * cfg.front_std;
+    let mut micro = 0.0f64;
+    let micro_innov = (1.0 - cfg.micro_ar * cfg.micro_ar).sqrt() * cfg.micro_std;
+
+    for i in 0..cfg.readings {
+        if i % SAMPLES_PER_DAY == 0 {
+            let jitter = 1.0 + cfg.amplitude_jitter * rng.standard_normal();
+            day_amp = (cfg.diurnal_amplitude * jitter.max(0.2)).max(0.5);
+            day_phase = rng.uniform(-0.3, 0.3);
+        }
+        let t = i as f64;
+        // Coldest shortly before dawn, warmest mid-afternoon: a phase-
+        // shifted sinusoid is an adequate first-order model.
+        let diurnal = day_amp * (core::f64::consts::TAU * (t / day) + day_phase
+            - 2.0 * core::f64::consts::FRAC_PI_3)
+            .sin();
+        front = cfg.front_ar * front + front_innov * rng.standard_normal();
+        micro = cfg.micro_ar * micro + micro_innov * rng.standard_normal();
+        let noise = cfg.sensor_noise_std * rng.standard_normal();
+        let v = (cfg.mean_level + diurnal + front + micro + noise)
+            .clamp(cfg.clamp.0, cfg.clamp.1);
+        out.push(Sample::new(i as u64, v));
+    }
+    out
+}
+
+/// The default reference dataset used throughout the experiment harness.
+pub fn reference_dataset(seed: u64) -> Vec<Sample> {
+    generate(&IrtfConfig::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_math::summarize;
+    use wms_stream::values_of;
+
+    #[test]
+    fn has_paper_shape() {
+        let d = reference_dataset(2003);
+        assert_eq!(d.len(), IRTF_READINGS);
+        let s = summarize(&values_of(&d)).unwrap();
+        assert!(s.min >= 0.0 && s.max <= 35.0, "range [{}, {}]", s.min, s.max);
+        // Plausible mountain-site September statistics.
+        assert!((5.0..25.0).contains(&s.mean), "mean {}", s.mean);
+        assert!(s.std_dev > 2.0, "needs real variability, std {}", s.std_dev);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            values_of(&reference_dataset(1)),
+            values_of(&reference_dataset(1))
+        );
+        assert_ne!(
+            values_of(&reference_dataset(1)),
+            values_of(&reference_dataset(2))
+        );
+    }
+
+    #[test]
+    fn diurnal_cycle_present() {
+        // Correlation between consecutive days should be clearly positive:
+        // same hour, similar temperature.
+        let d = reference_dataset(7);
+        let v = values_of(&d);
+        let day = SAMPLES_PER_DAY;
+        let a = &v[0..day * 10];
+        let b = &v[day..day * 11];
+        let corr = wms_math::stats::pearson(a, b).unwrap();
+        assert!(corr > 0.3, "day-over-day correlation {corr}");
+    }
+
+    #[test]
+    fn micro_fluctuations_create_dense_extremes() {
+        // Real 2-minute telescope data has local extremes every handful of
+        // samples; the watermark needs that density (see Figure 10a).
+        let d = reference_dataset(11);
+        let v = values_of(&d);
+        let changes = crate::temperature::direction_changes(&v);
+        let per_extreme = v.len() as f64 / changes as f64;
+        assert!(
+            (1.5..60.0).contains(&per_extreme),
+            "items per raw extreme = {per_extreme}"
+        );
+    }
+
+    #[test]
+    fn custom_length() {
+        let cfg = IrtfConfig { readings: 1000, ..IrtfConfig::default() };
+        assert_eq!(generate(&cfg, 0).len(), 1000);
+    }
+
+    #[test]
+    fn indices_consecutive() {
+        let d = reference_dataset(3);
+        for (i, s) in d.iter().enumerate() {
+            assert_eq!(s.index, i as u64);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # wms-sensors
+//!
+//! Synthetic sensor data generators for the `wms` workspace:
+//!
+//! * [`temperature`] — the paper's "temperature sensor synthetic data
+//!   stream generator with controllable parameters" (§6): carrier period
+//!   controls ξ(ν,δ), AR(1) noise controls characteristic-subset shape;
+//! * [`gaussian`] — the normalized N(0, 0.5²) process the paper's
+//!   synthetic experiments run on, with tunable smoothness;
+//! * [`irtf`] — a NASA-IRTF-like stand-in for the paper's real dataset
+//!   (21,630 two-minute temperature readings, ~0–35 °C; see DESIGN.md for
+//!   the substitution rationale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gaussian;
+pub mod irtf;
+pub mod temperature;
+
+pub use gaussian::SmoothGaussianSource;
+pub use irtf::{generate as generate_irtf, reference_dataset, IrtfConfig, IRTF_READINGS};
+pub use temperature::{direction_changes, OscillatingTemperature, TemperatureConfig};

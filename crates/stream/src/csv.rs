@@ -1,0 +1,157 @@
+//! Minimal CSV persistence for streams and experiment outputs.
+//!
+//! Two formats:
+//! * value-per-line (`value\n`) for raw sensor dumps;
+//! * indexed (`index,value\n`) preserving current stream positions.
+//!
+//! Implemented by hand (no third-party CSV crate) because the needs are
+//! tiny and the format is fully under our control.
+
+use crate::sample::{samples_from_values, Sample};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes one value per line.
+pub fn write_values(path: &Path, values: &[f64]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for v in values {
+        writeln!(out, "{v}")?;
+    }
+    out.flush()
+}
+
+/// Reads a value-per-line file into pristine samples.
+///
+/// Blank lines and lines starting with `#` are skipped. A malformed line
+/// yields `io::ErrorKind::InvalidData` with the offending line number.
+pub fn read_values(path: &Path) -> io::Result<Vec<Sample>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut values = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let v: f64 = trimmed.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {trimmed:?}: {e}", lineno + 1),
+            )
+        })?;
+        values.push(v);
+    }
+    Ok(samples_from_values(&values))
+}
+
+/// Writes `index,value` rows.
+pub fn write_indexed(path: &Path, samples: &[Sample]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "# index,value")?;
+    for s in samples {
+        writeln!(out, "{},{}", s.index, s.value)?;
+    }
+    out.flush()
+}
+
+/// Reads `index,value` rows (provenance reset to the given indices).
+pub fn read_indexed(path: &Path) -> io::Result<Vec<Sample>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(2, ',');
+        let err = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let idx: u64 = parts
+            .next()
+            .ok_or_else(|| err(format!("line {}: missing index", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("line {}: bad index: {e}", lineno + 1)))?;
+        let val: f64 = parts
+            .next()
+            .ok_or_else(|| err(format!("line {}: missing value", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("line {}: bad value: {e}", lineno + 1)))?;
+        out.push(Sample::new(idx, val));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = env::temp_dir();
+        p.push(format!("wms-stream-csv-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let path = tmp("values");
+        let vals = vec![1.5, -2.25, 0.0, 1e-9];
+        write_values(&path, &vals).unwrap();
+        let back = read_values(&path).unwrap();
+        assert_eq!(back.len(), vals.len());
+        for (s, &v) in back.iter().zip(&vals) {
+            assert_eq!(s.value, v);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn values_skips_comments_and_blanks() {
+        let path = tmp("comments");
+        std::fs::write(&path, "# header\n1.0\n\n2.0\n  # indented comment\n").unwrap();
+        let back = read_values(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].value, 2.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn values_reports_bad_line() {
+        let path = tmp("bad");
+        std::fs::write(&path, "1.0\nnot-a-number\n").unwrap();
+        let e = read_values(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("line 2"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_roundtrip() {
+        let path = tmp("indexed");
+        let samples = samples_from_values(&[0.25, 0.5, 0.75]);
+        write_indexed(&path, &samples).unwrap();
+        let back = read_indexed(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[2].index, 2);
+        assert_eq!(back[2].value, 0.75);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_rejects_missing_value() {
+        let path = tmp("noval");
+        std::fs::write(&path, "0,1.0\n1\n").unwrap();
+        let e = read_indexed(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_notfound() {
+        let e = read_values(Path::new("/definitely/not/here.csv")).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,34 @@
+//! # wms-stream
+//!
+//! Single-pass bounded-window streaming substrate for the `wms` workspace
+//! (§2.2 of *Resilient Rights Protection for Sensor Streams*, VLDB 2004):
+//!
+//! * [`sample`] — values with provenance spans (measurement scaffolding
+//!   for the evaluation; never consulted by detection);
+//! * [`window`] — the fixed-capacity `$`-window with FIFO eviction;
+//! * [`source`] — pull-based sources/sinks;
+//! * [`normalize`] — min–max normalization into (−0.5, +0.5), the paper's
+//!   defense against linear-change attacks (A4);
+//! * [`pipeline`] — the [`pipeline::Transform`] abstraction attacks and
+//!   benign stages implement, plus composition;
+//! * [`rate`] — data-rate (ς) estimation and the §4.2 rate-ratio route
+//!   to the transform degree χ;
+//! * [`csv`] — tiny hand-rolled persistence for streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod normalize;
+pub mod rate;
+pub mod pipeline;
+pub mod sample;
+pub mod source;
+pub mod window;
+
+pub use normalize::{normalize_stream, Normalizer};
+pub use pipeline::{Identity, MapValues, Pipeline, ReadCopy, Transform};
+pub use rate::{degree_from_counts, degree_from_rates, RateEstimator};
+pub use sample::{renumber, samples_from_values, values_of, Sample, Span};
+pub use source::{FnSource, SampleSource, StatsSink, StreamSink, StreamSource, VecSink, VecSource};
+pub use window::SlidingWindow;

@@ -1,0 +1,189 @@
+//! Normalization to the paper's canonical value range (−0.5, +0.5).
+//!
+//! §2.2: "for the remainder of the paper we are going to assume the stream
+//! values being normalized in the interval (−0.5, +0.5)" and §2.1 notes
+//! that linear changes (attack A4) are "taken care of by the initial
+//! normalization step": any affine transform `x ↦ a·x + b` that Mallory
+//! applies is undone because min–max re-normalization of the transformed
+//! stream reproduces the same canonical values.
+
+use crate::sample::Sample;
+
+/// Affine map `y = (x − offset) · scale` fitted so the observed data lands
+/// strictly inside (−0.5, +0.5), plus the inverse map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizer {
+    offset: f64,
+    scale: f64,
+}
+
+/// Fraction of headroom kept at each end of the interval so normalized
+/// values are strictly inside the open interval (−0.5, +0.5) and small
+/// watermark alterations cannot push them out.
+const MARGIN: f64 = 0.01;
+
+impl Normalizer {
+    /// Fits a min–max normalizer on observed values.
+    ///
+    /// Returns `None` for an empty slice or non-finite values. A constant
+    /// stream maps to 0.0 (scale is degenerate; inverse restores the
+    /// constant).
+    pub fn fit(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let center = (lo + hi) / 2.0;
+        let half_range = (hi - lo) / 2.0;
+        if half_range == 0.0 {
+            return Some(Normalizer { offset: center, scale: 0.0 });
+        }
+        // Map [lo, hi] onto [−0.5+m, +0.5−m].
+        let scale = (0.5 - MARGIN) / half_range;
+        Some(Normalizer { offset: center, scale })
+    }
+
+    /// Builds an explicit normalizer (testing / pre-agreed calibration).
+    pub fn explicit(offset: f64, scale: f64) -> Self {
+        Normalizer { offset, scale }
+    }
+
+    /// Maps a raw value into (−0.5, +0.5).
+    pub fn normalize(&self, x: f64) -> f64 {
+        (x - self.offset) * self.scale
+    }
+
+    /// Maps a normalized value back into the raw domain. For a degenerate
+    /// (constant-stream) normalizer, returns the constant.
+    pub fn denormalize(&self, y: f64) -> f64 {
+        if self.scale == 0.0 {
+            self.offset
+        } else {
+            y / self.scale + self.offset
+        }
+    }
+
+    /// Normalizes a whole sample vector, preserving indices/provenance.
+    pub fn normalize_samples(&self, samples: &[Sample]) -> Vec<Sample> {
+        samples
+            .iter()
+            .map(|s| s.with_value(self.normalize(s.value)))
+            .collect()
+    }
+
+    /// Denormalizes a whole sample vector.
+    pub fn denormalize_samples(&self, samples: &[Sample]) -> Vec<Sample> {
+        samples
+            .iter()
+            .map(|s| s.with_value(self.denormalize(s.value)))
+            .collect()
+    }
+
+    /// The fitted offset (stream midrange).
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The fitted scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// Fits on the values of `samples` and returns the normalized copy with
+/// the fitted normalizer (the common "prepare stream for embedding" step).
+pub fn normalize_stream(samples: &[Sample]) -> Option<(Vec<Sample>, Normalizer)> {
+    let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+    let n = Normalizer::fit(&values)?;
+    Some((n.normalize_samples(samples), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::samples_from_values;
+
+    #[test]
+    fn fit_maps_into_open_interval() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 * 0.35 - 17.0).collect();
+        let n = Normalizer::fit(&vals).unwrap();
+        for &v in &vals {
+            let y = n.normalize(v);
+            assert!(y > -0.5 && y < 0.5, "{y} escaped the interval");
+        }
+        // Extremes land on ±(0.5 − margin).
+        let lo = n.normalize(-17.0);
+        let hi = n.normalize(99.0 * 0.35 - 17.0);
+        assert!((lo + 0.49).abs() < 1e-12);
+        assert!((hi - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let vals = [3.0, -8.5, 12.25, 0.0, 7.125];
+        let n = Normalizer::fit(&vals).unwrap();
+        for &v in &vals {
+            let back = n.denormalize(n.normalize(v));
+            assert!((back - v).abs() < 1e-9, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn affine_attack_invariance() {
+        // The paper's A4 defense: normalizing a·x + b equals normalizing x.
+        let vals: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin() * 4.0 + 20.0).collect();
+        let attacked: Vec<f64> = vals.iter().map(|&v| 2.5 * v - 100.0).collect();
+        let n0 = Normalizer::fit(&vals).unwrap();
+        let n1 = Normalizer::fit(&attacked).unwrap();
+        for (&v, &w) in vals.iter().zip(&attacked) {
+            assert!((n0.normalize(v) - n1.normalize(w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_scale_attack_flips_but_is_affine() {
+        // A negative scale flips the stream; normalization maps it into
+        // range (shape inverted — detection handles that via extremes of
+        // both polarities).
+        let vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let attacked: Vec<f64> = vals.iter().map(|&v| -3.0 * v + 5.0).collect();
+        let n1 = Normalizer::fit(&attacked).unwrap();
+        for &w in &attacked {
+            let y = n1.normalize(w);
+            assert!((-0.5..=0.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn constant_stream_degenerates_safely() {
+        let vals = [7.0; 10];
+        let n = Normalizer::fit(&vals).unwrap();
+        assert_eq!(n.normalize(7.0), 0.0);
+        assert_eq!(n.denormalize(0.123), 7.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Normalizer::fit(&[]).is_none());
+        assert!(Normalizer::fit(&[1.0, f64::NAN]).is_none());
+        assert!(Normalizer::fit(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn normalize_samples_keeps_provenance() {
+        let ss = samples_from_values(&[10.0, 20.0, 30.0]);
+        let (norm, n) = normalize_stream(&ss).unwrap();
+        assert_eq!(norm.len(), 3);
+        assert_eq!(norm[1].index, 1);
+        assert_eq!(norm[1].span, ss[1].span);
+        let back = n.denormalize_samples(&norm);
+        for (a, b) in back.iter().zip(&ss) {
+            assert!((a.value - b.value).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Data-rate modeling (ς in the paper's stream model, §2.2).
+//!
+//! The paper's primary route to the transform degree χ is the rate ratio:
+//! "in a dynamic stream, with consistent stream data rates, χ can be
+//! determined by simply dividing the original stream rate to the current
+//! (transformed) stream rate" (§4.2). This module provides the rate
+//! bookkeeping: a windowed estimator over timestamped arrivals and the
+//! ratio computation with sanity checks.
+
+/// Windowed arrival-rate estimator: items per second over the last `W`
+/// arrivals, from caller-supplied timestamps (seconds). Deterministic and
+/// clock-agnostic, so simulations can drive it with synthetic time.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    timestamps: std::collections::VecDeque<f64>,
+    window: usize,
+    total: u64,
+}
+
+impl RateEstimator {
+    /// Estimator over the last `window ≥ 2` arrivals.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "need at least two arrivals for a rate");
+        RateEstimator {
+            timestamps: std::collections::VecDeque::with_capacity(window),
+            window,
+            total: 0,
+        }
+    }
+
+    /// Records one arrival at time `t` (seconds; must be non-decreasing).
+    pub fn record(&mut self, t: f64) {
+        if let Some(&last) = self.timestamps.back() {
+            assert!(t >= last, "timestamps must be non-decreasing");
+        }
+        if self.timestamps.len() == self.window {
+            self.timestamps.pop_front();
+        }
+        self.timestamps.push_back(t);
+        self.total += 1;
+    }
+
+    /// Current rate estimate ς (items/second) over the retained window;
+    /// `None` until two arrivals with distinct timestamps were seen.
+    pub fn rate(&self) -> Option<f64> {
+        let n = self.timestamps.len();
+        if n < 2 {
+            return None;
+        }
+        let span = self.timestamps.back().unwrap() - self.timestamps.front().unwrap();
+        if span <= 0.0 {
+            return None;
+        }
+        Some((n - 1) as f64 / span)
+    }
+
+    /// Total arrivals ever recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// χ from the rate ratio ς/ς′ (§4.2). Returns `None` when either rate is
+/// non-positive; clamps at 1 (a transformed stream cannot be denser than
+/// the original under the paper's transform model).
+pub fn degree_from_rates(original_rate: f64, observed_rate: f64) -> Option<f64> {
+    if !(original_rate > 0.0) || !(observed_rate > 0.0) {
+        return None;
+    }
+    Some((original_rate / observed_rate).max(1.0))
+}
+
+/// χ from item counts over the *same* covered interval (the offline
+/// special case of the rate ratio: lengths are rates × a common duration).
+pub fn degree_from_counts(original_items: usize, observed_items: usize) -> Option<f64> {
+    if original_items == 0 || observed_items == 0 {
+        return None;
+    }
+    Some((original_items as f64 / observed_items as f64).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_rate_measured_exactly() {
+        let mut r = RateEstimator::new(16);
+        for i in 0..32 {
+            r.record(i as f64 * 0.01); // 100 Hz — the paper's example ς
+        }
+        let rate = r.rate().unwrap();
+        assert!((rate - 100.0).abs() < 1e-9, "rate {rate}");
+        assert_eq!(r.total(), 32);
+    }
+
+    #[test]
+    fn warm_up_returns_none() {
+        let mut r = RateEstimator::new(4);
+        assert!(r.rate().is_none());
+        r.record(0.0);
+        assert!(r.rate().is_none());
+        r.record(1.0);
+        assert!(r.rate().is_some());
+    }
+
+    #[test]
+    fn rate_tracks_recent_window_only() {
+        let mut r = RateEstimator::new(4);
+        // Slow phase: 1 Hz.
+        for i in 0..8 {
+            r.record(i as f64);
+        }
+        // Fast phase: 100 Hz.
+        let start = 8.0;
+        for i in 0..8 {
+            r.record(start + i as f64 * 0.01);
+        }
+        let rate = r.rate().unwrap();
+        assert!(rate > 50.0, "window should forget the slow phase: {rate}");
+    }
+
+    #[test]
+    fn identical_timestamps_give_none() {
+        let mut r = RateEstimator::new(4);
+        r.record(5.0);
+        r.record(5.0);
+        assert!(r.rate().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_travel_rejected() {
+        let mut r = RateEstimator::new(4);
+        r.record(2.0);
+        r.record(1.0);
+    }
+
+    #[test]
+    fn degree_from_rates_basics() {
+        // The paper's scenario: 100 Hz source, 25 Hz after degree-4
+        // sampling.
+        assert_eq!(degree_from_rates(100.0, 25.0), Some(4.0));
+        assert_eq!(degree_from_rates(100.0, 100.0), Some(1.0));
+        // Denser than original clamps to 1.
+        assert_eq!(degree_from_rates(100.0, 200.0), Some(1.0));
+        assert_eq!(degree_from_rates(0.0, 10.0), None);
+        assert_eq!(degree_from_rates(10.0, f64::NAN), None);
+    }
+
+    #[test]
+    fn degree_from_counts_matches_rate_route() {
+        assert_eq!(degree_from_counts(21630, 7210), Some(21630.0 / 7210.0));
+        assert_eq!(degree_from_counts(100, 100), Some(1.0));
+        assert_eq!(degree_from_counts(0, 5), None);
+        assert_eq!(degree_from_counts(5, 0), None);
+    }
+
+    #[test]
+    fn end_to_end_rate_ratio() {
+        // Original at 100 Hz, observed (summarized by 5) at 20 Hz:
+        // estimators on both sides recover χ = 5.
+        let mut orig = RateEstimator::new(32);
+        let mut obs = RateEstimator::new(32);
+        for i in 0..64 {
+            orig.record(i as f64 * 0.01);
+        }
+        for i in 0..16 {
+            obs.record(i as f64 * 0.05);
+        }
+        let chi = degree_from_rates(orig.rate().unwrap(), obs.rate().unwrap()).unwrap();
+        assert!((chi - 5.0).abs() < 1e-9, "chi {chi}");
+    }
+}

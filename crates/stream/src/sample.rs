@@ -1,0 +1,192 @@
+//! Stream sample model with provenance.
+//!
+//! §2.2 of the paper is explicit that after sampling/summarization the
+//! original time-stamp association is destroyed — the stream "is ultimately
+//! just a sequence of values". Detection therefore never uses provenance.
+//! We still *carry* provenance (the span of original indices each value
+//! derives from) because the evaluation needs it: Figures 6 and 8 measure
+//! "labels altered (%)", which requires matching extremes in an attacked
+//! stream back to the originals. Provenance is measurement scaffolding,
+//! not information available to the detector.
+
+/// Half-open span `[start, end)` of original stream indices that a value
+/// derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First original index covered.
+    pub start: u64,
+    /// One past the last original index covered.
+    pub end: u64,
+}
+
+impl Span {
+    /// Span covering the single index `i`.
+    pub fn unit(i: u64) -> Self {
+        Span { start: i, end: i + 1 }
+    }
+
+    /// Span covering `[start, end)`. Panics if empty or inverted.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end > start, "span must be non-empty: [{start},{end})");
+        Span { start, end }
+    }
+
+    /// Number of original indices covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Spans are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the span covers original index `i`.
+    pub fn contains(&self, i: u64) -> bool {
+        (self.start..self.end).contains(&i)
+    }
+
+    /// Whether two spans share any original index.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Smallest span covering both inputs (they need not overlap).
+    pub fn hull(&self, other: &Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Midpoint original index (used to match extremes across transforms).
+    pub fn midpoint(&self) -> u64 {
+        self.start + (self.end - self.start) / 2
+    }
+}
+
+/// One stream value.
+///
+/// `index` is the position in the *current* stream (post-transform);
+/// `span` is the provenance in the *original* stream. For an untransformed
+/// stream, `span == Span::unit(index)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Position in the current stream.
+    pub index: u64,
+    /// The sensor reading (normalized or raw, depending on pipeline stage).
+    pub value: f64,
+    /// Provenance span in the original stream.
+    pub span: Span,
+}
+
+impl Sample {
+    /// A pristine sample at original position `index`.
+    pub fn new(index: u64, value: f64) -> Self {
+        Sample { index, value, span: Span::unit(index) }
+    }
+
+    /// A derived sample with explicit provenance.
+    pub fn derived(index: u64, value: f64, span: Span) -> Self {
+        Sample { index, value, span }
+    }
+
+    /// Copy with a different value, provenance preserved (an in-place
+    /// alteration such as a watermark embedding or an ε-attack).
+    pub fn with_value(&self, value: f64) -> Self {
+        Sample { value, ..*self }
+    }
+}
+
+/// Converts a plain value slice into pristine samples.
+pub fn samples_from_values(values: &[f64]) -> Vec<Sample> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Sample::new(i as u64, v))
+        .collect()
+}
+
+/// Extracts the value series from samples.
+pub fn values_of(samples: &[Sample]) -> Vec<f64> {
+    samples.iter().map(|s| s.value).collect()
+}
+
+/// Renumbers `index` consecutively from 0, keeping values and provenance.
+/// Transforms call this so their outputs are well-formed streams.
+pub fn renumber(mut samples: Vec<Sample>) -> Vec<Sample> {
+    for (i, s) in samples.iter_mut().enumerate() {
+        s.index = i as u64;
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_span_properties() {
+        let s = Span::unit(5);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!s.contains(6));
+        assert_eq!(s.midpoint(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_span_rejected() {
+        Span::new(3, 3);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Span::new(0, 10);
+        let b = Span::new(9, 12);
+        let c = Span::new(10, 12);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Span::new(2, 4);
+        let b = Span::new(10, 11);
+        let h = a.hull(&b);
+        assert_eq!(h, Span::new(2, 11));
+        assert!(h.overlaps(&a) && h.overlaps(&b));
+    }
+
+    #[test]
+    fn sample_construction_and_alteration() {
+        let s = Sample::new(7, 0.25);
+        assert_eq!(s.span, Span::unit(7));
+        let t = s.with_value(-0.1);
+        assert_eq!(t.index, 7);
+        assert_eq!(t.span, s.span);
+        assert_eq!(t.value, -0.1);
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let vals = [0.1, -0.2, 0.3];
+        let ss = samples_from_values(&vals);
+        assert_eq!(ss.len(), 3);
+        assert_eq!(ss[2].index, 2);
+        assert_eq!(values_of(&ss), vals.to_vec());
+    }
+
+    #[test]
+    fn renumber_fixes_indices_preserves_provenance() {
+        let ss = vec![
+            Sample::derived(10, 1.0, Span::new(20, 25)),
+            Sample::derived(99, 2.0, Span::new(25, 30)),
+        ];
+        let rn = renumber(ss);
+        assert_eq!(rn[0].index, 0);
+        assert_eq!(rn[1].index, 1);
+        assert_eq!(rn[0].span, Span::new(20, 25));
+        assert_eq!(rn[1].span, Span::new(25, 30));
+    }
+}

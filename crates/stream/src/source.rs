@@ -1,0 +1,247 @@
+//! Pull-based stream sources and sinks.
+//!
+//! A [`StreamSource`] produces samples one at a time — the single-pass
+//! contract of the paper's model. Sinks absorb the (possibly watermarked)
+//! outflow. Both are deliberately minimal traits so sensors, files and
+//! in-memory fixtures interoperate.
+
+use crate::sample::Sample;
+use wms_math::RunningStats;
+
+/// A single-pass producer of stream samples.
+pub trait StreamSource {
+    /// Produces the next sample, or `None` at end of stream.
+    fn next_sample(&mut self) -> Option<Sample>;
+
+    /// Drains up to `n` samples into a Vec (fewer at end of stream).
+    fn take_samples(&mut self, n: usize) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next_sample() {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Drains the entire source. Only safe for finite sources.
+    fn collect_all(&mut self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        while let Some(s) = self.next_sample() {
+            out.push(s);
+        }
+        out
+    }
+}
+
+/// Source over an in-memory value vector (pristine provenance).
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    values: Vec<f64>,
+    pos: usize,
+}
+
+impl VecSource {
+    /// Wraps a value vector.
+    pub fn new(values: Vec<f64>) -> Self {
+        VecSource { values, pos: 0 }
+    }
+
+    /// Remaining samples.
+    pub fn remaining(&self) -> usize {
+        self.values.len() - self.pos
+    }
+}
+
+impl StreamSource for VecSource {
+    fn next_sample(&mut self) -> Option<Sample> {
+        let v = *self.values.get(self.pos)?;
+        let s = Sample::new(self.pos as u64, v);
+        self.pos += 1;
+        Some(s)
+    }
+}
+
+/// Source over pre-built samples (e.g. replaying an attacked stream).
+#[derive(Debug, Clone)]
+pub struct SampleSource {
+    samples: Vec<Sample>,
+    pos: usize,
+}
+
+impl SampleSource {
+    /// Wraps pre-built samples.
+    pub fn new(samples: Vec<Sample>) -> Self {
+        SampleSource { samples, pos: 0 }
+    }
+}
+
+impl StreamSource for SampleSource {
+    fn next_sample(&mut self) -> Option<Sample> {
+        let s = *self.samples.get(self.pos)?;
+        self.pos += 1;
+        Some(s)
+    }
+}
+
+/// Infinite source driven by a closure `index -> value`.
+pub struct FnSource<F: FnMut(u64) -> f64> {
+    f: F,
+    next_index: u64,
+    limit: Option<u64>,
+}
+
+impl<F: FnMut(u64) -> f64> FnSource<F> {
+    /// Unbounded generator.
+    pub fn new(f: F) -> Self {
+        FnSource { f, next_index: 0, limit: None }
+    }
+
+    /// Generator producing exactly `n` samples.
+    pub fn with_limit(f: F, n: u64) -> Self {
+        FnSource { f, next_index: 0, limit: Some(n) }
+    }
+}
+
+impl<F: FnMut(u64) -> f64> StreamSource for FnSource<F> {
+    fn next_sample(&mut self) -> Option<Sample> {
+        if let Some(lim) = self.limit {
+            if self.next_index >= lim {
+                return None;
+            }
+        }
+        let i = self.next_index;
+        self.next_index += 1;
+        Some(Sample::new(i, (self.f)(i)))
+    }
+}
+
+/// A consumer of stream samples.
+pub trait StreamSink {
+    /// Absorbs one sample.
+    fn accept(&mut self, s: Sample);
+
+    /// Absorbs a batch.
+    fn accept_all(&mut self, ss: impl IntoIterator<Item = Sample>)
+    where
+        Self: Sized,
+    {
+        for s in ss {
+            self.accept(s);
+        }
+    }
+}
+
+/// Sink collecting into memory.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Collected samples, arrival order.
+    pub samples: Vec<Sample>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collected values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.value).collect()
+    }
+}
+
+impl StreamSink for VecSink {
+    fn accept(&mut self, s: Sample) {
+        self.samples.push(s);
+    }
+}
+
+/// Sink keeping only running statistics — the memory-frugal option the
+/// paper's window model implies for long streams.
+#[derive(Debug, Default, Clone)]
+pub struct StatsSink {
+    stats: RunningStats,
+}
+
+impl StatsSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+}
+
+impl StreamSink for StatsSink {
+    fn accept(&mut self, s: Sample) {
+        self.stats.push(s.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_yields_in_order() {
+        let mut src = VecSource::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(src.remaining(), 3);
+        let all = src.collect_all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[1].index, 1);
+        assert_eq!(all[1].value, 2.0);
+        assert!(src.next_sample().is_none());
+    }
+
+    #[test]
+    fn take_samples_partial_and_exhausted() {
+        let mut src = VecSource::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(src.take_samples(2).len(), 2);
+        assert_eq!(src.take_samples(5).len(), 1);
+        assert!(src.take_samples(5).is_empty());
+    }
+
+    #[test]
+    fn fn_source_limit() {
+        let mut src = FnSource::with_limit(|i| i as f64 * 0.5, 4);
+        let all = src.collect_all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3].value, 1.5);
+    }
+
+    #[test]
+    fn fn_source_unbounded_streams() {
+        let mut src = FnSource::new(|i| (i % 7) as f64);
+        let first = src.take_samples(100);
+        assert_eq!(first.len(), 100);
+        assert_eq!(first[99].index, 99);
+    }
+
+    #[test]
+    fn sample_source_preserves_provenance() {
+        use crate::sample::{Sample, Span};
+        let samples = vec![Sample::derived(0, 1.0, Span::new(5, 10))];
+        let mut src = SampleSource::new(samples.clone());
+        assert_eq!(src.next_sample().unwrap().span, Span::new(5, 10));
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink = VecSink::new();
+        sink.accept_all(VecSource::new(vec![0.5, -0.5]).collect_all());
+        assert_eq!(sink.values(), vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn stats_sink_summarizes() {
+        let mut sink = StatsSink::new();
+        sink.accept_all(VecSource::new(vec![1.0, 2.0, 3.0]).collect_all());
+        assert_eq!(sink.stats().count(), 3);
+        assert!((sink.stats().mean() - 2.0).abs() < 1e-12);
+    }
+}

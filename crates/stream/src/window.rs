@@ -1,0 +1,219 @@
+//! The bounded processing window (`$` in the paper, §2.2).
+//!
+//! "At each given point in time, no more than $ of the stream values can
+//! be stored locally. [...] as more incoming data becomes available, the
+//! default behavior of the window model is to push older items out (to be
+//! transmitted further) and shift the entire window to free up space."
+//!
+//! [`SlidingWindow`] enforces exactly that discipline: a fixed capacity,
+//! FIFO eviction, mutable access to in-window items (embedding alters
+//! them *before* they are pushed out), and an `advance` operation that
+//! emits the oldest items downstream.
+
+use crate::sample::Sample;
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO window over stream samples.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: VecDeque<Sample>,
+    capacity: usize,
+    pushed: u64,
+    evicted: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a window of capacity `$ > 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Window capacity `$`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window is at capacity (the steady streaming state).
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Total samples ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total samples ever evicted/advanced out.
+    pub fn total_evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Pushes a new sample; if the window was full, returns the evicted
+    /// oldest sample (which must be transmitted downstream — it can no
+    /// longer be altered).
+    pub fn push(&mut self, s: Sample) -> Option<Sample> {
+        self.pushed += 1;
+        let evicted = if self.buf.len() == self.capacity {
+            self.evicted += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(s);
+        evicted
+    }
+
+    /// Emits the oldest `n` samples (fewer if the window holds fewer).
+    /// This is the paper's "advance the window past ε".
+    pub fn advance(&mut self, n: usize) -> Vec<Sample> {
+        let take = n.min(self.buf.len());
+        self.evicted += take as u64;
+        self.buf.drain(..take).collect()
+    }
+
+    /// Drains everything left (end of stream).
+    pub fn drain_all(&mut self) -> Vec<Sample> {
+        let n = self.buf.len();
+        self.advance(n)
+    }
+
+    /// Read access by in-window offset (0 = oldest).
+    pub fn get(&self, i: usize) -> Option<&Sample> {
+        self.buf.get(i)
+    }
+
+    /// Mutable access by in-window offset — how the embedder alters the
+    /// characteristic subset while it is still resident.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut Sample> {
+        self.buf.get_mut(i)
+    }
+
+    /// Iterates in-window samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.buf.iter()
+    }
+
+    /// In-window values as a contiguous Vec (oldest first). Allocates;
+    /// intended for extreme scanning over the current window.
+    pub fn values(&self) -> Vec<f64> {
+        self.buf.iter().map(|s| s.value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u64) -> Sample {
+        Sample::new(i, i as f64 / 10.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn fills_then_evicts_fifo() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.push(s(0)).is_none());
+        assert!(w.push(s(1)).is_none());
+        assert!(w.push(s(2)).is_none());
+        assert!(w.is_full());
+        let ev = w.push(s(3)).expect("must evict oldest");
+        assert_eq!(ev.index, 0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.get(0).unwrap().index, 1);
+        assert_eq!(w.get(2).unwrap().index, 3);
+    }
+
+    #[test]
+    fn advance_emits_oldest_in_order() {
+        let mut w = SlidingWindow::new(5);
+        for i in 0..5 {
+            w.push(s(i));
+        }
+        let out = w.advance(3);
+        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total_evicted(), 3);
+    }
+
+    #[test]
+    fn advance_more_than_held_is_safe() {
+        let mut w = SlidingWindow::new(4);
+        w.push(s(0));
+        w.push(s(1));
+        let out = w.advance(10);
+        assert_eq!(out.len(), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn mutation_in_window() {
+        let mut w = SlidingWindow::new(2);
+        w.push(s(0));
+        w.push(s(1));
+        w.get_mut(1).unwrap().value = 0.42;
+        assert_eq!(w.get(1).unwrap().value, 0.42);
+        // Provenance untouched by value mutation.
+        assert_eq!(w.get(1).unwrap().span.start, 1);
+    }
+
+    #[test]
+    fn counters_track_flow() {
+        let mut w = SlidingWindow::new(2);
+        for i in 0..5 {
+            w.push(s(i));
+        }
+        assert_eq!(w.total_pushed(), 5);
+        assert_eq!(w.total_evicted(), 3);
+        let rest = w.drain_all();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(w.total_evicted(), 5);
+    }
+
+    #[test]
+    fn no_sample_lost_or_duplicated() {
+        // Conservation law: pushed = evicted + resident, and the
+        // concatenation of all outputs is the input order.
+        let mut w = SlidingWindow::new(7);
+        let mut out = Vec::new();
+        for i in 0..100 {
+            if let Some(e) = w.push(s(i)) {
+                out.push(e);
+            }
+        }
+        out.extend(w.drain_all());
+        assert_eq!(out.len(), 100);
+        for (i, sm) in out.iter().enumerate() {
+            assert_eq!(sm.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn values_snapshot() {
+        let mut w = SlidingWindow::new(3);
+        for i in 0..3 {
+            w.push(s(i));
+        }
+        assert_eq!(w.values(), vec![0.0, 0.1, 0.2]);
+    }
+}

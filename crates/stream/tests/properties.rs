@@ -1,0 +1,98 @@
+//! Property-based tests of the streaming substrate.
+
+use proptest::prelude::*;
+use wms_stream::{
+    samples_from_values, values_of, Normalizer, Sample, SlidingWindow, Span,
+};
+
+proptest! {
+    #[test]
+    fn window_conserves_samples(cap in 1usize..64, n in 0usize..500) {
+        let mut w = SlidingWindow::new(cap);
+        let mut out = Vec::new();
+        for i in 0..n {
+            if let Some(e) = w.push(Sample::new(i as u64, i as f64)) {
+                out.push(e);
+            }
+            prop_assert!(w.len() <= cap);
+        }
+        out.extend(w.drain_all());
+        prop_assert_eq!(out.len(), n);
+        for (i, s) in out.iter().enumerate() {
+            prop_assert_eq!(s.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn window_advance_invariant(cap in 2usize..64, pushes in 1usize..200, adv in 1usize..32) {
+        let mut w = SlidingWindow::new(cap);
+        for i in 0..pushes {
+            w.push(Sample::new(i as u64, 0.0));
+        }
+        let held = w.len();
+        let got = w.advance(adv);
+        prop_assert_eq!(got.len(), adv.min(held));
+        prop_assert_eq!(w.len(), held - got.len());
+    }
+
+    #[test]
+    fn span_hull_contains_both(a in 0u64..1000, la in 1u64..50, b in 0u64..1000, lb in 1u64..50) {
+        let s1 = Span::new(a, a + la);
+        let s2 = Span::new(b, b + lb);
+        let h = s1.hull(&s2);
+        prop_assert!(h.start <= s1.start && h.end >= s1.end);
+        prop_assert!(h.start <= s2.start && h.end >= s2.end);
+        prop_assert!(h.len() >= s1.len().max(s2.len()));
+    }
+
+    #[test]
+    fn span_overlap_symmetric(a in 0u64..100, la in 1u64..20, b in 0u64..100, lb in 1u64..20) {
+        let s1 = Span::new(a, a + la);
+        let s2 = Span::new(b, b + lb);
+        prop_assert_eq!(s1.overlaps(&s2), s2.overlaps(&s1));
+        // Overlap iff some index is in both.
+        let brute = (s1.start..s1.end).any(|i| s2.contains(i));
+        prop_assert_eq!(s1.overlaps(&s2), brute);
+    }
+
+    #[test]
+    fn normalizer_maps_into_interval(values in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let n = Normalizer::fit(&values).unwrap();
+        for &v in &values {
+            let y = n.normalize(v);
+            prop_assert!((-0.5..=0.5).contains(&y), "{} -> {}", v, y);
+        }
+    }
+
+    #[test]
+    fn normalizer_roundtrip(values in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let n = Normalizer::fit(&values).unwrap();
+        for &v in &values {
+            let back = n.denormalize(n.normalize(v));
+            prop_assert!((back - v).abs() <= 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn normalizer_affine_invariant(
+        values in prop::collection::vec(-1e3f64..1e3, 2..100),
+        scale in prop::sample::select(vec![0.001f64, 0.5, 2.0, 1000.0]),
+        offset in -1e4f64..1e4,
+    ) {
+        // Degenerate (constant) inputs excluded by construction below.
+        let spread: f64 = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let attacked: Vec<f64> = values.iter().map(|&v| scale * v + offset).collect();
+        let n0 = Normalizer::fit(&values).unwrap();
+        let n1 = Normalizer::fit(&attacked).unwrap();
+        for (&v, &w) in values.iter().zip(&attacked) {
+            prop_assert!((n0.normalize(v) - n1.normalize(w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_roundtrip_values(values in prop::collection::vec(-1e3f64..1e3, 0..100)) {
+        prop_assert_eq!(values_of(&samples_from_values(&values)), values);
+    }
+}

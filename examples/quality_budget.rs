@@ -1,0 +1,94 @@
+//! On-the-fly quality assessment (§4.4): embed under explicit data-quality
+//! constraints — per-item caps and window-statistics drift bounds — with
+//! violations rolled back through the undo log, and report the final
+//! impact on the stream's statistics.
+//!
+//! ```text
+//! cargo run --release --example quality_budget
+//! ```
+
+use std::sync::Arc;
+use wms::prelude::*;
+use wms_core::quality::{MaxItemChange, MaxMeanDrift, MaxStdDrift};
+use wms_math::summarize;
+use wms_sensors::{OscillatingTemperature, TemperatureConfig};
+
+fn main() {
+    let mut sensor = OscillatingTemperature::new(TemperatureConfig::xi_100(), 5);
+    let raw = sensor.take_samples(20_000);
+    let (stream, normalizer) = normalize_stream(&raw).unwrap();
+    let before = summarize(&values_of(&stream)).unwrap();
+
+    let params = WmParams {
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        ..WmParams::default()
+    };
+    let scheme = Scheme::new(params, KeyedHash::md5(Key::from_u64(0x0DD))).unwrap();
+
+    // Constraint budget: no reading may move by more than 0.02 °C
+    // (in raw units — converted through the normalizer's scale), and the
+    // window mean/std may drift by at most 1e-4 per embedding step.
+    let max_raw_change_celsius = 0.02;
+    let max_norm_change = max_raw_change_celsius * normalizer.scale();
+    println!(
+        "budget: |Δitem| ≤ {max_raw_change_celsius} °C (= {max_norm_change:.2e} normalized)"
+    );
+
+    let mut embedder = Embedder::new(
+        scheme.clone(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+    )
+    .unwrap()
+    .with_constraint(MaxItemChange { max: max_norm_change })
+    .with_constraint(MaxMeanDrift { max: 1e-4 })
+    .with_constraint(MaxStdDrift { max: 1e-4 });
+
+    let mut marked = Vec::with_capacity(stream.len());
+    for &s in &stream {
+        marked.extend(embedder.push(s));
+    }
+    marked.extend(embedder.finish());
+    let stats = *embedder.stats();
+    println!(
+        "embedded {} bits; {} embeddings rolled back by constraints",
+        stats.embedded, stats.skipped_quality
+    );
+
+    let after = summarize(&values_of(&marked)).unwrap();
+    println!(
+        "stream mean:    {:+.6} -> {:+.6}  (Δ {:.3e})",
+        before.mean,
+        after.mean,
+        (after.mean - before.mean).abs()
+    );
+    println!(
+        "stream std-dev:  {:.6} ->  {:.6}  (Δ {:.3e})",
+        before.std_dev,
+        after.std_dev,
+        (after.std_dev - before.std_dev).abs()
+    );
+    // Verify the per-item budget was honored end-to-end.
+    let worst = marked
+        .iter()
+        .zip(&stream)
+        .map(|(a, b)| (a.value - b.value).abs())
+        .fold(0.0f64, f64::max);
+    println!("worst per-item change: {worst:.3e} (budget {max_norm_change:.3e})");
+    assert!(worst <= max_norm_change * (1.0 + 1e-9));
+
+    // The mark still detects.
+    let report = Detector::detect_stream(
+        scheme,
+        Arc::new(MultiHashEncoder),
+        1,
+        &marked,
+        TransformHint::None,
+    )
+    .unwrap();
+    println!("detected bias: {} (P_fp = {:.2e})", report.bias(), report.false_positive_probability());
+    assert!(report.bias() > 10);
+}

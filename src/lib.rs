@@ -1,0 +1,55 @@
+//! # wms — resilient rights protection for sensor streams
+//!
+//! Umbrella crate of the `wms` workspace: a production-quality Rust
+//! implementation of Sion, Atallah & Prabhakar, *Resilient Rights
+//! Protection for Sensor Streams* (VLDB 2004), together with every
+//! substrate the paper depends on.
+//!
+//! * [`core`] — the watermarking scheme (extremes, labels, encodings,
+//!   embedder, detector, analysis);
+//! * [`crypto`] — MD5 / SHA-1 / SHA-256 and the keyed hash `H(V,k)`;
+//! * [`math`] — deterministic RNG, statistics, number theory;
+//! * [`stream`] — single-pass bounded-window streaming model;
+//! * [`sensors`] — synthetic sensor generators (incl. the IRTF-like
+//!   reference dataset);
+//! * [`attacks`] — Mallory's transforms (sampling, summarization,
+//!   segmentation, ε-attacks, bucket counting).
+//!
+//! See `examples/quickstart.rs` for the 60-second tour and `DESIGN.md`
+//! for the system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wms_attacks as attacks;
+pub use wms_core as core;
+pub use wms_crypto as crypto;
+pub use wms_math as math;
+pub use wms_sensors as sensors;
+pub use wms_stream as stream;
+
+/// The most commonly used items, for glob import in applications.
+pub mod prelude {
+    pub use wms_attacks::{EpsilonAttack, Segmentation, Summarization, UniformSampling};
+    pub use wms_core::encoding::initial::InitialEncoder;
+    pub use wms_core::encoding::multihash::MultiHashEncoder;
+    pub use wms_core::encoding::quadres::QuadResEncoder;
+    pub use wms_core::{
+        DetectionReport, Detector, Embedder, Scheme, TransformHint, Watermark, WmParams,
+    };
+    pub use wms_crypto::{Key, KeyedHash};
+    pub use wms_stream::{
+        normalize_stream, samples_from_values, values_of, Sample, StreamSource, Transform,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let p = WmParams::default();
+        p.validate().unwrap();
+        let _ = Key::from_u64(1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the paper's headline resilience claims,
+//! exercised end-to-end (sensor → normalize → embed → attack → detect).
+//!
+//! Debug builds are slow, so these use the reduced multi-hash search
+//! (min_active above the noise floor) on mid-sized streams; the full
+//! convention is exercised by the release-mode experiment binaries.
+
+use std::sync::Arc;
+use wms::prelude::*;
+use wms_core::WmParams;
+use wms_sensors::{generate_irtf, IrtfConfig};
+use wms_stream::Pipeline;
+
+fn params() -> WmParams {
+    WmParams {
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        min_active: Some(12),
+        ..WmParams::default()
+    }
+}
+
+fn scheme(key: u64) -> Scheme {
+    Scheme::new(params(), KeyedHash::md5(Key::from_u64(key))).unwrap()
+}
+
+fn marked_reference(key: u64, n: usize) -> (Vec<Sample>, Scheme, u64) {
+    let cfg = IrtfConfig { readings: n, ..IrtfConfig::default() };
+    let raw = generate_irtf(&cfg, 2003);
+    let (stream, _) = normalize_stream(&raw).unwrap();
+    let s = scheme(key);
+    let (marked, stats) = Embedder::embed_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+        &stream,
+    )
+    .unwrap();
+    assert!(stats.embedded > 20, "need a meaningful carrier population: {stats:?}");
+    (marked, s, stats.embedded)
+}
+
+fn detect_bias(s: &Scheme, data: &[Sample], chi: f64) -> i64 {
+    Detector::detect_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        1,
+        data,
+        TransformHint::Known(chi),
+    )
+    .unwrap()
+    .bias()
+}
+
+#[test]
+fn untransformed_stream_detects_strongly() {
+    let (marked, s, embedded) = marked_reference(1, 6000);
+    let bias = detect_bias(&s, &marked, 1.0);
+    assert!(
+        bias as u64 >= embedded / 2,
+        "bias {bias} vs embedded {embedded}"
+    );
+}
+
+#[test]
+fn survives_sampling_degree_3() {
+    let (marked, s, _) = marked_reference(2, 8000);
+    let attacked = UniformSampling::new(3, 7).apply(&marked);
+    let bias = detect_bias(&s, &attacked, 3.0);
+    assert!(bias >= 7, "sampling-3 bias {bias} too weak (P_fp 2^-{bias})");
+}
+
+#[test]
+fn survives_summarization_degree_2() {
+    let (marked, s, _) = marked_reference(3, 8000);
+    let attacked = Summarization::new(2).apply(&marked);
+    let bias = detect_bias(&s, &attacked, 2.0);
+    assert!(bias >= 7, "summarization-2 bias {bias} too weak");
+}
+
+#[test]
+fn survives_epsilon_attack_30pct() {
+    let (marked, s, _) = marked_reference(4, 8000);
+    let attacked = EpsilonAttack::uniform(0.3, 0.1, 5).apply(&marked);
+    let bias = detect_bias(&s, &attacked, 1.0);
+    assert!(bias >= 7, "epsilon(30%,10%) bias {bias} too weak");
+}
+
+#[test]
+fn survives_combined_pipeline() {
+    let (marked, s, _) = marked_reference(5, 10_000);
+    let attacked = Pipeline::new()
+        .then(UniformSampling::new(2, 9))
+        .then(Summarization::new(2))
+        .apply(&marked);
+    let bias = detect_bias(&s, &attacked, 4.0);
+    assert!(bias >= 4, "combined 2x2 pipeline bias {bias} too weak");
+}
+
+#[test]
+fn survives_segmentation() {
+    let (marked, s, _) = marked_reference(6, 12_000);
+    let segment = Segmentation { start: 4000, len: 5000 }.apply(&marked);
+    let bias = detect_bias(&s, &segment, 1.0);
+    assert!(bias >= 10, "segment bias {bias} too weak");
+}
+
+#[test]
+fn wrong_key_sees_noise() {
+    let (marked, _, _) = marked_reference(7, 6000);
+    let wrong = scheme(0xDEAD);
+    let report = Detector::detect_stream(
+        wrong,
+        Arc::new(MultiHashEncoder),
+        1,
+        &marked,
+        TransformHint::None,
+    )
+    .unwrap();
+    let b = report.bias().unsigned_abs();
+    assert!(
+        b * b <= 9 * (report.verdicts + 1),
+        "wrong key bias {b} over {} verdicts exceeds noise",
+        report.verdicts
+    );
+}
+
+#[test]
+fn unwatermarked_reference_is_clean() {
+    let cfg = IrtfConfig { readings: 6000, ..IrtfConfig::default() };
+    let raw = generate_irtf(&cfg, 999);
+    let (stream, _) = normalize_stream(&raw).unwrap();
+    let report = Detector::detect_stream(
+        scheme(8),
+        Arc::new(MultiHashEncoder),
+        1,
+        &stream,
+        TransformHint::None,
+    )
+    .unwrap();
+    let b = report.bias().unsigned_abs();
+    assert!(b * b <= 9 * (report.verdicts + 1), "clean-data bias {b}");
+    // κ-construction leaves the bit undefined on clean data.
+    let rec = report.recovered((report.verdicts / 2).max(1));
+    assert_eq!(rec.bits[0], None);
+}
+
+#[test]
+fn linear_change_neutralized_by_renormalization() {
+    let (marked, s, embedded) = marked_reference(9, 6000);
+    // Mallory rescales: x -> 3x - 1 (e.g. unit conversion).
+    let attacked = wms_attacks::LinearChange { scale: 3.0, offset: -1.0 }.apply(&marked);
+    // Detection re-normalizes; min–max normalization is affine-invariant,
+    // so the recovered normalized values are bit-identical.
+    let values = values_of(&attacked);
+    let renorm = wms_stream::Normalizer::fit(&values).unwrap();
+    let renormalized: Vec<Sample> = attacked
+        .iter()
+        .map(|x| x.with_value(renorm.normalize(x.value)))
+        .collect();
+    let bias = detect_bias(&s, &renormalized, 1.0);
+    assert!(
+        bias as u64 >= embedded / 2,
+        "affine attack must be fully neutralized: bias {bias} vs embedded {embedded}"
+    );
+}

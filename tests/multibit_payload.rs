@@ -1,0 +1,136 @@
+//! Integration tests of multi-bit ownership payloads: embedding a short
+//! bitstring and reconstructing it via the §3.3 voting buckets.
+
+use std::sync::Arc;
+use wms::prelude::*;
+use wms_core::WmParams;
+use wms_stream::samples_from_values;
+
+/// Stream whose extreme magnitudes sweep msb buckets so selection can
+/// address every watermark bit (see detector unit tests for why).
+fn msb_diverse_stream(n: usize) -> Vec<Sample> {
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let amp = 0.08 + 0.38 * (0.5 + 0.5 * (t * core::f64::consts::TAU / 4096.0).sin());
+            amp * (t * core::f64::consts::TAU / 60.0).sin()
+                + 0.02 * (t * core::f64::consts::TAU / 17.0).sin()
+        })
+        .collect();
+    samples_from_values(&values)
+}
+
+fn params(theta: u64) -> WmParams {
+    WmParams {
+        radius: 0.01,
+        degree: 3,
+        max_subset: 4,
+        label_len: 4,
+        label_stride: 1,
+        label_msb_bits: 2,
+        selection_modulus: theta,
+        min_active: Some(8),
+        window: 512,
+        ..WmParams::default()
+    }
+}
+
+#[test]
+fn four_bit_payload_roundtrip() {
+    let wm = Watermark::from_bits(vec![true, false, false, true]);
+    let s = Scheme::new(params(5), KeyedHash::md5(Key::from_u64(0x41CE))).unwrap();
+    let (marked, stats) = Embedder::embed_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        wm.clone(),
+        &msb_diverse_stream(24_000),
+    )
+    .unwrap();
+    assert!(stats.embedded > 40, "{stats:?}");
+    let report = Detector::detect_stream(
+        s,
+        Arc::new(MultiHashEncoder),
+        4,
+        &marked,
+        TransformHint::None,
+    )
+    .unwrap();
+    let rec = report.recovered(1);
+    assert!(
+        rec.exactly_matches(&wm),
+        "recovered {rec} != {wm}; buckets {:?}",
+        report.buckets
+    );
+}
+
+#[test]
+fn payload_survives_light_sampling() {
+    let wm = Watermark::from_bits(vec![true, true, false]);
+    let s = Scheme::new(params(4), KeyedHash::md5(Key::from_u64(0x0420))).unwrap();
+    let (marked, _) = Embedder::embed_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        wm.clone(),
+        &msb_diverse_stream(30_000),
+    )
+    .unwrap();
+    let attacked = UniformSampling::new(2, 3).apply(&marked);
+    let report = Detector::detect_stream(
+        s,
+        Arc::new(MultiHashEncoder),
+        3,
+        &attacked,
+        TransformHint::Known(2.0),
+    )
+    .unwrap();
+    let rec = report.recovered(0);
+    // All decided bits must be correct; at degree 2 every bit should have
+    // accumulated some correct margin.
+    assert!(
+        rec.match_fraction(&wm) >= 2.0 / 3.0,
+        "recovered {rec} vs {wm} (buckets {:?})",
+        report.buckets
+    );
+}
+
+#[test]
+fn hamming_distance_degrades_gracefully_under_noise() {
+    let wm = Watermark::from_bits(vec![true, false, true, false]);
+    let s = Scheme::new(params(5), KeyedHash::md5(Key::from_u64(0x7357))).unwrap();
+    let (marked, _) = Embedder::embed_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        wm.clone(),
+        &msb_diverse_stream(24_000),
+    )
+    .unwrap();
+    let gentle = EpsilonAttack::uniform(0.05, 0.05, 1).apply(&marked);
+    let harsh = EpsilonAttack::uniform(0.9, 0.9, 1).apply(&marked);
+    let detect = |data: &[Sample]| {
+        Detector::detect_stream(
+            s.clone(),
+            Arc::new(MultiHashEncoder),
+            4,
+            data,
+            TransformHint::None,
+        )
+        .unwrap()
+    };
+    let g = detect(&gentle);
+    let h = detect(&harsh);
+    // Sum of per-bit correct margins must shrink under the harsher attack.
+    let margin = |r: &wms_core::DetectionReport| -> i64 {
+        r.buckets
+            .iter()
+            .zip(wm.bits())
+            .map(|(b, &want)| if want { b.bias() } else { -b.bias() })
+            .sum()
+    };
+    assert!(
+        margin(&g) > margin(&h),
+        "gentle margin {} should exceed harsh {}",
+        margin(&g),
+        margin(&h)
+    );
+    assert!(margin(&g) > 0);
+}

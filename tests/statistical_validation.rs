@@ -1,0 +1,175 @@
+//! Statistical validation: the §5 closed forms against empirical
+//! measurement of the actual implementation — the kind of evidence a
+//! reviewer would ask for before trusting the court-confidence numbers.
+
+use std::sync::Arc;
+use wms::prelude::*;
+use wms_core::encoding::SubsetEncoder;
+use wms_core::{analysis, Label, WmParams};
+use wms_math::DetRng;
+
+fn scheme(key: u64, p: WmParams) -> Scheme {
+    Scheme::new(p, KeyedHash::md5(Key::from_u64(key))).unwrap()
+}
+
+/// The multi-hash search is a geometric trial with success probability
+/// `2^-(τ·a(a+1)/2)`; its measured mean must match §5's closed form.
+#[test]
+fn search_cost_matches_closed_form_a3() {
+    let p = WmParams { max_subset: 3, min_active: None, ..WmParams::default() };
+    let s = scheme(11, p);
+    let enc = MultiHashEncoder;
+    let values = [0.3101, 0.3123, 0.3111];
+    let mut total = 0u64;
+    let runs = 40u64;
+    for l in 0..runs {
+        let label = Label::from_parts((1 << 7) | l, 8);
+        let r = enc.embed(&s, &values, 1, &label, true).expect("a=3 search");
+        total += r.iterations;
+    }
+    let mean = total as f64 / runs as f64;
+    let expect = analysis::expected_search_iterations(3, 1); // 2^6 = 64
+    // Geometric mean-of-40 has std ≈ expect/sqrt(40); allow 4σ.
+    let tol = 4.0 * expect / (runs as f64).sqrt();
+    assert!(
+        (mean - expect).abs() < tol,
+        "measured {mean} vs expected {expect} (tol {tol})"
+    );
+}
+
+/// Per-extreme verdicts on random data are fair coin flips — the premise
+/// behind `P_fp = 2^-bias` (footnote 5).
+#[test]
+fn random_subset_verdicts_are_fair() {
+    let p = WmParams::default();
+    let s = scheme(23, p);
+    let enc = MultiHashEncoder;
+    let mut rng = DetRng::seed_from_u64(99);
+    let mut true_verdicts = 0u32;
+    let mut decided = 0u32;
+    for l in 0..800u64 {
+        let label = Label::from_parts((1 << 9) | l, 10);
+        let base = rng.uniform(-0.45, 0.45);
+        let values: Vec<f64> = (0..5).map(|_| base + rng.uniform(-0.005, 0.005)).collect();
+        match enc.detect(&s, &values, &label).verdict() {
+            Some(true) => {
+                true_verdicts += 1;
+                decided += 1;
+            }
+            Some(false) => decided += 1,
+            None => {}
+        }
+    }
+    assert!(decided > 600, "most random subsets should decide: {decided}");
+    let frac = true_verdicts as f64 / decided as f64;
+    // 4σ band around 1/2 for ~700 Bernoulli trials is ±0.076.
+    assert!(
+        (0.42..0.58).contains(&frac),
+        "true-verdict fraction {frac} is not a fair coin"
+    );
+}
+
+/// Clean-data false-positive calibration. Two facts this pins down:
+///
+/// 1. With n verdicts free to vary, small biases occur *often* on clean
+///    data (P[bias ≥ 6 | n=33, fair coin] ≈ 15 %) — the paper's footnote-5
+///    `2^-bias` shorthand is optimistic at small biases, and the sound
+///    measure is the binomial tail
+///    ([`DetectionReport::false_positive_probability_binomial`]).
+/// 2. Large clean biases must stay rare: measured over 24 independent
+///    streams/keys, bias ≥ 16 (binomial tail ≤ 1e-3 at the observed
+///    verdict counts) may appear at most a few times — more would mean
+///    verdict correlation has broken the confidence model outright.
+///
+/// (Low-entropy labels — β′=2, λ=5, chosen for attack resilience — do
+/// fatten the clean tail relative to iid coins because recurring
+/// (label, msb) contexts correlate verdicts; see EXPERIMENTS.md.)
+#[test]
+fn empirical_false_positive_rate_bounded() {
+    let p = WmParams {
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        min_active: Some(12),
+        window: 512,
+        ..WmParams::default()
+    };
+    let enc: Arc<MultiHashEncoder> = Arc::new(MultiHashEncoder);
+    let runs = 24;
+    let mut exceed_16 = 0;
+    let mut small_bias_with_tiny_binomial_pfp = 0;
+    for seed in 0..runs {
+        let cfg = wms_sensors::IrtfConfig { readings: 3000, ..Default::default() };
+        let raw = wms_sensors::generate_irtf(&cfg, 5000 + seed);
+        let (stream, _) = normalize_stream(&raw).unwrap();
+        let report = Detector::detect_stream(
+            scheme(31 + seed, p),
+            enc.clone(),
+            1,
+            &stream,
+            TransformHint::None,
+        )
+        .unwrap();
+        if report.bias() >= 16 {
+            exceed_16 += 1;
+        }
+        // The binomial measure must not cry wolf on run-of-the-mill
+        // clean fluctuations (bias in the single digits).
+        if report.bias() > 0
+            && report.bias() < 8
+            && report.false_positive_probability_binomial() < 0.01
+        {
+            small_bias_with_tiny_binomial_pfp += 1;
+        }
+    }
+    assert!(
+        exceed_16 <= 4,
+        "{exceed_16}/{runs} clean runs exceeded bias 16 — confidence model broken"
+    );
+    assert_eq!(
+        small_bias_with_tiny_binomial_pfp, 0,
+        "the binomial P_fp must not call single-digit clean biases significant"
+    );
+}
+
+/// Embedding strength: on the reference data the detected bias must come
+/// in near the number of embedded bits (labels and selection replay
+/// perfectly on an untouched stream).
+#[test]
+fn clean_detection_efficiency() {
+    let p = WmParams {
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        min_active: Some(12),
+        window: 1024,
+        ..WmParams::default()
+    };
+    let cfg = wms_sensors::IrtfConfig { readings: 8000, ..Default::default() };
+    let raw = wms_sensors::generate_irtf(&cfg, 77);
+    let (stream, _) = normalize_stream(&raw).unwrap();
+    let s = scheme(41, p);
+    let enc: Arc<MultiHashEncoder> = Arc::new(MultiHashEncoder);
+    let (marked, stats) = Embedder::embed_stream(
+        s.clone(),
+        enc.clone(),
+        Watermark::single(true),
+        &stream,
+    )
+    .unwrap();
+    let report =
+        Detector::detect_stream(s, enc, 1, &marked, TransformHint::None).unwrap();
+    let efficiency = report.bias() as f64 / stats.embedded as f64;
+    // min_active=12 of 15 guarantees the overall convention but not the
+    // m_ii singles specifically, so a fraction of carriers verdict wrong
+    // even untouched (the full convention reaches ~1.0; see the multihash
+    // module docs for the min_active trade-off).
+    assert!(
+        efficiency > 0.6,
+        "bias {} / embedded {} = {efficiency:.2} — untouched streams should replay most carriers",
+        report.bias(),
+        stats.embedded
+    );
+}

@@ -1,0 +1,161 @@
+//! Integration tests of the single-pass streaming contract: incremental
+//! push/finish equals batch embedding, the window bound is honored, and
+//! streams round-trip through CSV persistence.
+
+use std::sync::Arc;
+use wms::prelude::*;
+use wms_core::WmParams;
+use wms_sensors::{generate_irtf, IrtfConfig};
+
+fn params() -> WmParams {
+    WmParams {
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        min_active: Some(12),
+        window: 512,
+        ..WmParams::default()
+    }
+}
+
+fn scheme() -> Scheme {
+    Scheme::new(params(), KeyedHash::md5(Key::from_u64(0xFEED))).unwrap()
+}
+
+/// IRTF-like stream: diverse extreme magnitudes spread across msb
+/// buckets, so the selection criterion can find carriers (a constant-
+/// amplitude oscillator funnels every extreme into one bucket — an
+/// inherent property of §3.2's msb-keyed selection).
+fn stream(n: usize) -> Vec<Sample> {
+    let cfg = IrtfConfig { readings: n, ..IrtfConfig::default() };
+    let raw = generate_irtf(&cfg, 77);
+    normalize_stream(&raw).unwrap().0
+}
+
+#[test]
+fn incremental_push_equals_batch() {
+    let input = stream(6000);
+    let (batch, batch_stats) = Embedder::embed_stream(
+        scheme(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+        &input,
+    )
+    .unwrap();
+
+    let mut e = Embedder::new(scheme(), Arc::new(MultiHashEncoder), Watermark::single(true))
+        .unwrap();
+    let mut incremental = Vec::with_capacity(input.len());
+    for &s in &input {
+        incremental.extend(e.push(s));
+    }
+    incremental.extend(e.finish());
+
+    assert_eq!(batch.len(), incremental.len());
+    for (a, b) in batch.iter().zip(&incremental) {
+        assert_eq!(a.value, b.value, "at index {}", a.index);
+    }
+    assert_eq!(*e.stats(), batch_stats);
+}
+
+#[test]
+fn emission_latency_bounded_by_window() {
+    // Single-pass bound: by the time n samples went in, at least
+    // n − $ must have come out (nothing is buffered beyond the window).
+    let input = stream(4000);
+    let window = params().window;
+    let mut e = Embedder::new(scheme(), Arc::new(MultiHashEncoder), Watermark::single(true))
+        .unwrap();
+    let mut emitted = 0usize;
+    for (i, &s) in input.iter().enumerate() {
+        emitted += e.push(s).len();
+        assert!(
+            emitted + window > i,
+            "at input {} only {} emitted with window {}",
+            i + 1,
+            emitted,
+            window
+        );
+    }
+    emitted += e.finish().len();
+    assert_eq!(emitted, input.len());
+}
+
+#[test]
+fn emission_preserves_order_and_provenance() {
+    let input = stream(3000);
+    let mut e = Embedder::new(scheme(), Arc::new(MultiHashEncoder), Watermark::single(true))
+        .unwrap();
+    let mut out = Vec::new();
+    for &s in &input {
+        out.extend(e.push(s));
+    }
+    out.extend(e.finish());
+    for (i, s) in out.iter().enumerate() {
+        assert_eq!(s.index, i as u64);
+        assert_eq!(s.span.start, i as u64, "provenance must be untouched");
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_watermark() {
+    let input = stream(8000);
+    let s = scheme();
+    let (marked, stats) = Embedder::embed_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+        &input,
+    )
+    .unwrap();
+    assert!(stats.embedded > 10);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("wms-roundtrip-{}.csv", std::process::id()));
+    wms_stream::csv::write_values(&path, &values_of(&marked)).unwrap();
+    let restored = wms_stream::csv::read_values(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let report = Detector::detect_stream(
+        s,
+        Arc::new(MultiHashEncoder),
+        1,
+        &restored,
+        TransformHint::None,
+    )
+    .unwrap();
+    assert!(
+        report.bias() as u64 >= stats.embedded / 2,
+        "bias {} after CSV roundtrip",
+        report.bias()
+    );
+}
+
+#[test]
+fn detector_streaming_matches_batch_helper() {
+    let input = stream(4000);
+    let s = scheme();
+    let (marked, _) = Embedder::embed_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+        &input,
+    )
+    .unwrap();
+    let batch = Detector::detect_stream(
+        s.clone(),
+        Arc::new(MultiHashEncoder),
+        1,
+        &marked,
+        TransformHint::None,
+    )
+    .unwrap();
+    let mut d = Detector::new(s, Arc::new(MultiHashEncoder), 1, 1.0).unwrap();
+    for &x in &marked {
+        d.push(x);
+    }
+    let incr = d.finish();
+    assert_eq!(batch.buckets, incr.buckets);
+    assert_eq!(batch.majors_seen, incr.majors_seen);
+}

@@ -50,9 +50,8 @@ impl Transform for AdditiveInsertion {
         let mut rng = DetRng::seed_from_u64(self.seed);
         let n_new = (input.len() as f64 * self.fraction).round() as usize;
         // Choose insertion points, then emit in order.
-        let mut insert_after: Vec<usize> = (0..n_new)
-            .map(|_| rng.below_usize(input.len()))
-            .collect();
+        let mut insert_after: Vec<usize> =
+            (0..n_new).map(|_| rng.below_usize(input.len())).collect();
         insert_after.sort_unstable();
         let mut out = Vec::with_capacity(input.len() + n_new);
         let mut ins_iter = insert_after.into_iter().peekable();
@@ -93,7 +92,12 @@ pub struct EpsilonAttack {
 impl EpsilonAttack {
     /// Unbiased attack altering `fraction` of items within ±`amplitude`.
     pub fn uniform(fraction: f64, amplitude: f64, seed: u64) -> Self {
-        EpsilonAttack { fraction, amplitude, mean: 0.0, seed }
+        EpsilonAttack {
+            fraction,
+            amplitude,
+            mean: 0.0,
+            seed,
+        }
     }
 }
 
@@ -141,7 +145,11 @@ mod tests {
     #[test]
     fn linear_change_is_affine() {
         let s = stream(10);
-        let out = LinearChange { scale: 2.0, offset: 1.0 }.apply(&s);
+        let out = LinearChange {
+            scale: 2.0,
+            offset: 1.0,
+        }
+        .apply(&s);
         for (a, b) in out.iter().zip(&s) {
             assert!((a.value - (2.0 * b.value + 1.0)).abs() < 1e-12);
             assert_eq!(a.span, b.span);
@@ -151,7 +159,12 @@ mod tests {
     #[test]
     fn additive_insertion_grows_stream() {
         let s = stream(1000);
-        let out = AdditiveInsertion { fraction: 0.1, jitter: 0.01, seed: 3 }.apply(&s);
+        let out = AdditiveInsertion {
+            fraction: 0.1,
+            jitter: 0.01,
+            seed: 3,
+        }
+        .apply(&s);
         assert_eq!(out.len(), 1100);
         // Well-formed indices.
         for (i, smp) in out.iter().enumerate() {
@@ -162,7 +175,12 @@ mod tests {
     #[test]
     fn additive_insertion_preserves_distribution() {
         let s = stream(5000);
-        let out = AdditiveInsertion { fraction: 0.2, jitter: 0.02, seed: 9 }.apply(&s);
+        let out = AdditiveInsertion {
+            fraction: 0.2,
+            jitter: 0.02,
+            seed: 9,
+        }
+        .apply(&s);
         let a = summarize(&values_of(&s)).unwrap();
         let b = summarize(&values_of(&out)).unwrap();
         assert!((a.mean - b.mean).abs() < 0.02, "{} vs {}", a.mean, b.mean);
@@ -173,7 +191,12 @@ mod tests {
     fn additive_insertion_zero_fraction_is_identity() {
         let s = stream(50);
         assert_eq!(
-            AdditiveInsertion { fraction: 0.0, jitter: 0.1, seed: 0 }.apply(&s),
+            AdditiveInsertion {
+                fraction: 0.0,
+                jitter: 0.1,
+                seed: 0
+            }
+            .apply(&s),
             s
         );
     }
@@ -206,7 +229,13 @@ mod tests {
     #[test]
     fn epsilon_attack_mean_shift() {
         let s = stream(20_000);
-        let out = EpsilonAttack { fraction: 1.0, amplitude: 0.0, mean: 0.05, seed: 1 }.apply(&s);
+        let out = EpsilonAttack {
+            fraction: 1.0,
+            amplitude: 0.0,
+            mean: 0.05,
+            seed: 1,
+        }
+        .apply(&s);
         for (a, b) in out.iter().zip(&s) {
             assert!((a.value - b.value * 1.05).abs() < 1e-12);
         }

@@ -219,7 +219,10 @@ mod tests {
     /// position correlation; the multi-hash alterations look random.
     #[test]
     fn multihash_hides_alterations_from_bucket_counting() {
-        let p = WmParams { min_active: Some(4), ..params() };
+        let p = WmParams {
+            min_active: Some(4),
+            ..params()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(2024))).unwrap();
         let (wmed, stats) = Embedder::embed_stream(
             s,
@@ -275,7 +278,10 @@ mod tests {
     #[test]
     fn attack_leaves_multihash_mark_intact() {
         use wms_core::encoding::multihash::MultiHashEncoder;
-        let p = WmParams { min_active: Some(4), ..params() };
+        let p = WmParams {
+            min_active: Some(4),
+            ..params()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(2024))).unwrap();
         let (wmed, _) = Embedder::embed_stream(
             s.clone(),

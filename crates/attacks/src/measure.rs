@@ -78,11 +78,7 @@ pub fn label_survival(
     tolerance: u64,
 ) -> LabelSurvival {
     let orig = label_extremes(scheme, original, scheme.params.degree);
-    let att = label_extremes(
-        scheme,
-        attacked,
-        adjusted_degree(scheme.params.degree, chi),
-    );
+    let att = label_extremes(scheme, attacked, adjusted_degree(scheme.params.degree, chi));
     let mut result = LabelSurvival::default();
     // Two-pointer nearest matching over position-sorted lists.
     let att_positions: Vec<u64> = att.iter().map(|l| l.original_pos).collect();

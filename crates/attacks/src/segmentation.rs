@@ -42,7 +42,11 @@ impl Transform for RandomSegment {
         }
         let mut rng = DetRng::seed_from_u64(self.seed);
         let start = rng.below_usize(input.len() - self.len + 1);
-        Segmentation { start, len: self.len }.apply(input)
+        Segmentation {
+            start,
+            len: self.len,
+        }
+        .apply(input)
     }
 
     fn name(&self) -> String {

@@ -68,9 +68,7 @@ impl Transform for AggregateSummarization {
         let mut out = Vec::with_capacity(input.len() / self.degree + 1);
         for block in input.chunks(self.degree) {
             let value = match self.aggregate {
-                Aggregate::Mean => {
-                    block.iter().map(|s| s.value).sum::<f64>() / block.len() as f64
-                }
+                Aggregate::Mean => block.iter().map(|s| s.value).sum::<f64>() / block.len() as f64,
                 Aggregate::Min => block.iter().map(|s| s.value).fold(f64::INFINITY, f64::min),
                 Aggregate::Max => block
                     .iter()
@@ -147,10 +145,18 @@ mod tests {
     #[test]
     fn min_max_aggregates() {
         let s = stream(&[3.0, 1.0, 2.0, 7.0]);
-        let min = AggregateSummarization { degree: 2, aggregate: Aggregate::Min }.apply(&s);
+        let min = AggregateSummarization {
+            degree: 2,
+            aggregate: Aggregate::Min,
+        }
+        .apply(&s);
         assert_eq!(min[0].value, 1.0);
         assert_eq!(min[1].value, 2.0);
-        let max = AggregateSummarization { degree: 2, aggregate: Aggregate::Max }.apply(&s);
+        let max = AggregateSummarization {
+            degree: 2,
+            aggregate: Aggregate::Max,
+        }
+        .apply(&s);
         assert_eq!(max[0].value, 3.0);
         assert_eq!(max[1].value, 7.0);
     }

@@ -33,13 +33,19 @@ fn bench_embed(c: &mut Criterion) {
         b.iter(|| qr.embed(black_box(&scheme), &vals, 2, &label(), true))
     });
     for a in [3usize, 4] {
-        let s = exp::scheme(WmParams { max_subset: a, ..exp::irtf_params() });
+        let s = exp::scheme(WmParams {
+            max_subset: a,
+            ..exp::irtf_params()
+        });
         let v = subset(a);
         g.bench_with_input(BenchmarkId::new("multihash-full", a), &v, |b, v| {
             b.iter(|| MultiHashEncoder.embed(black_box(&s), v, a / 2, &label(), true))
         });
     }
-    let reduced = exp::scheme(WmParams { min_active: Some(12), ..exp::irtf_params() });
+    let reduced = exp::scheme(WmParams {
+        min_active: Some(12),
+        ..exp::irtf_params()
+    });
     g.bench_function("multihash min_active=12 a=5", |b| {
         b.iter(|| MultiHashEncoder.embed(black_box(&reduced), &vals, 2, &label(), true))
     });

@@ -26,7 +26,10 @@ fn bench_embedding(c: &mut Criterion) {
             .unwrap()
         })
     });
-    let reduced = WmParams { min_active: Some(12), ..exp::irtf_params() };
+    let reduced = WmParams {
+        min_active: Some(12),
+        ..exp::irtf_params()
+    };
     g.bench_function("multihash min_active=12 5k items", |b| {
         b.iter(|| {
             Embedder::embed_stream(

@@ -8,13 +8,13 @@
 //! Both are measured as detected bias on the same marked stream under
 //! sampling and summarization.
 
+use std::sync::Arc;
 use wms_attacks::{Summarization, UniformSampling};
 use wms_bench::report::render_table;
 use wms_bench::{datasets, exp};
 use wms_core::encoding::multihash::MultiHashFlatMajority;
 use wms_core::{SubsetEncoder, TransformHint};
 use wms_stream::Transform;
-use std::sync::Arc;
 
 fn main() {
     let (data, _) = datasets::irtf_normalized_prefix(5000);
@@ -27,10 +27,26 @@ fn main() {
     let mut rows = Vec::new();
     let attacks: Vec<(String, Vec<wms_stream::Sample>, f64)> = vec![
         ("none".into(), marked.clone(), 1.0),
-        ("sampling 2".into(), UniformSampling::new(2, 42).apply(&marked), 2.0),
-        ("sampling 4".into(), UniformSampling::new(4, 42).apply(&marked), 4.0),
-        ("summarization 2".into(), Summarization::new(2).apply(&marked), 2.0),
-        ("summarization 3".into(), Summarization::new(3).apply(&marked), 3.0),
+        (
+            "sampling 2".into(),
+            UniformSampling::new(2, 42).apply(&marked),
+            2.0,
+        ),
+        (
+            "sampling 4".into(),
+            UniformSampling::new(4, 42).apply(&marked),
+            4.0,
+        ),
+        (
+            "summarization 2".into(),
+            Summarization::new(2).apply(&marked),
+            2.0,
+        ),
+        (
+            "summarization 3".into(),
+            Summarization::new(3).apply(&marked),
+            3.0,
+        ),
     ];
     for (name, attacked, chi) in &attacks {
         let singles = exp::detect(&scheme, &enc, attacked, TransformHint::Known(*chi));

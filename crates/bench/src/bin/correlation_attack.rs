@@ -21,7 +21,10 @@ fn main() {
     };
 
     let encoders: Vec<(&str, Arc<dyn SubsetEncoder>)> = vec![
-        ("initial, unlabeled (§3.2)", Arc::new(UnlabeledInitialEncoder)),
+        (
+            "initial, unlabeled (§3.2)",
+            Arc::new(UnlabeledInitialEncoder),
+        ),
         ("initial, labeled (§4.1)", Arc::new(InitialEncoder)),
         ("multi-hash (§4.3)", Arc::new(MultiHashEncoder)),
     ];

@@ -12,14 +12,22 @@ fn main() {
     let scheme = exp::scheme(exp::irtf_params());
     let enc = exp::encoder();
     let (marked, stats, fp) = exp::embed_true(&scheme, &enc, &data);
-    eprintln!("embedded {} bits over {} samples", stats.embedded, marked.len());
+    eprintln!(
+        "embedded {} bits over {} samples",
+        stats.embedded,
+        marked.len()
+    );
 
     let mut s = Series::new("detected bias (avg of 3 segments)");
     for size in [1000usize, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000] {
         let mut total = 0i64;
         let runs = 3;
         for seed in 0..runs {
-            let segment = RandomSegment { len: size, seed: 100 + seed }.apply(&marked);
+            let segment = RandomSegment {
+                len: size,
+                seed: 100 + seed,
+            }
+            .apply(&marked);
             let report = exp::detect(&scheme, &enc, &segment, TransformHint::Estimate(fp));
             total += report.bias();
         }

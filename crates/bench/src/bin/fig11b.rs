@@ -27,7 +27,10 @@ fn main() {
         let (marked, stats, _) = exp::embed_true(&scheme, &enc, &data);
         let after = summarize(&values_of(&marked)).unwrap();
         mean_s.push(theta as f64, relative_change_pct(before.mean, after.mean));
-        std_s.push(theta as f64, relative_change_pct(before.std_dev, after.std_dev));
+        std_s.push(
+            theta as f64,
+            relative_change_pct(before.std_dev, after.std_dev),
+        );
         count_s.push(theta as f64, stats.embedded as f64);
     }
     wms_bench::emit_figure(

@@ -9,7 +9,11 @@ fn main() {
     let (data, _) = datasets::label_study_stream(20000, 6);
     let mut series = Vec::new();
     for lambda in [10usize, 25] {
-        let scheme = exp::scheme(exp::synthetic_params().with_degree(8).with_label_len(lambda));
+        let scheme = exp::scheme(
+            exp::synthetic_params()
+                .with_degree(8)
+                .with_label_len(lambda),
+        );
         let mut s = Series::new(format!("label size={lambda}"));
         for step in 1..=10 {
             let eps = step as f64 * 0.1;

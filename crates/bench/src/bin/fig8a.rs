@@ -11,7 +11,11 @@ fn main() {
     let attacked = UniformSampling::new(3, 42).apply(&data);
     let mut s = Series::new("labels altered (%)");
     for lambda in [5usize, 10, 15, 20, 25] {
-        let scheme = exp::scheme(exp::synthetic_params().with_degree(8).with_label_len(lambda));
+        let scheme = exp::scheme(
+            exp::synthetic_params()
+                .with_degree(8)
+                .with_label_len(lambda),
+        );
         let r = label_survival(&scheme, &data, &attacked, 3.0, match_tolerance(3.0));
         s.push(lambda as f64, r.altered_pct());
     }

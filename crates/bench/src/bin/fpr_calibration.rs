@@ -13,7 +13,10 @@ fn run(p: WmParams, tag: &str) {
     let enc = Arc::new(MultiHashEncoder);
     let mut biases = Vec::new();
     for seed in 0..40u64 {
-        let cfg = wms_sensors::IrtfConfig { readings: 3000, ..Default::default() };
+        let cfg = wms_sensors::IrtfConfig {
+            readings: 3000,
+            ..Default::default()
+        };
         let raw = wms_sensors::generate_irtf(&cfg, 5000 + seed);
         let (stream, _) = normalize_stream(&raw).unwrap();
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(31 + seed))).unwrap();
@@ -30,13 +33,23 @@ fn run(p: WmParams, tag: &str) {
 
 fn main() {
     let resilient = WmParams {
-        radius: 0.01, degree: 10, label_len: 5, label_msb_bits: 2,
-        min_active: Some(12), window: 512, ..WmParams::default()
+        radius: 0.01,
+        degree: 10,
+        label_len: 5,
+        label_msb_bits: 2,
+        min_active: Some(12),
+        window: 512,
+        ..WmParams::default()
     };
     run(resilient, "resilient (beta'=2, lambda=5)");
     let entropic = WmParams {
-        radius: 0.01, degree: 10, label_len: 10, label_msb_bits: 4,
-        min_active: Some(12), window: 512, ..WmParams::default()
+        radius: 0.01,
+        degree: 10,
+        label_len: 10,
+        label_msb_bits: 4,
+        min_active: Some(12),
+        window: 512,
+        ..WmParams::default()
     };
     run(entropic, "entropic (beta'=4, lambda=10)");
 }

@@ -43,17 +43,28 @@ fn main() {
         ),
         (
             "multi-hash, min_active=12 (§4.3 reduced)",
-            WmParams { min_active: Some(12), ..p },
+            WmParams {
+                min_active: Some(12),
+                ..p
+            },
             Arc::new(MultiHashEncoder),
         ),
         (
             "multi-hash, full convention a<=4",
-            WmParams { max_subset: 4, min_active: None, ..p },
+            WmParams {
+                max_subset: 4,
+                min_active: None,
+                ..p
+            },
             Arc::new(MultiHashEncoder),
         ),
         (
             "multi-hash, full convention a<=5",
-            WmParams { max_subset: 5, min_active: None, ..p },
+            WmParams {
+                max_subset: 5,
+                min_active: None,
+                ..p
+            },
             Arc::new(MultiHashEncoder),
         ),
     ];

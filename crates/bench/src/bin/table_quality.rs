@@ -2,8 +2,8 @@
 //! mean and standard deviation, over repeated runs on real-like and
 //! synthetic data. The paper reports ≤ 0.21 % (mean) and ≤ 0.27 % (std).
 
-use wms_bench::{datasets, exp};
 use wms_bench::report::render_table;
+use wms_bench::{datasets, exp};
 use wms_math::stats::relative_change_pct;
 use wms_math::summarize;
 use wms_stream::values_of;
@@ -33,7 +33,11 @@ fn main() {
 
     for seed in 0..4u64 {
         let (data, _) = datasets::gaussian_normalized(5000, 20 + seed);
-        run(format!("synthetic/seed{seed}"), data, exp::synthetic_params());
+        run(
+            format!("synthetic/seed{seed}"),
+            data,
+            exp::synthetic_params(),
+        );
     }
     let (irtf, _) = datasets::irtf_normalized_prefix(5000);
     run("irtf-like/5k".to_string(), irtf, exp::irtf_params());

@@ -32,8 +32,7 @@ pub fn gaussian_normalized(n: usize, seed: u64) -> (Vec<Sample>, Normalizer) {
 
 /// Normalized synthetic temperature stream (ξ ≈ 100 configuration).
 pub fn temperature_normalized(n: usize, seed: u64) -> (Vec<Sample>, Normalizer) {
-    let mut src =
-        wms_sensors::OscillatingTemperature::new(TemperatureConfig::xi_100(), seed);
+    let mut src = wms_sensors::OscillatingTemperature::new(TemperatureConfig::xi_100(), seed);
     let raw = src.take_samples(n);
     normalize_stream(&raw).expect("temperature stream is non-degenerate")
 }
@@ -76,7 +75,10 @@ mod tests {
 
     #[test]
     fn gaussian_and_temperature_normalized() {
-        for (d, _) in [gaussian_normalized(3000, 1), temperature_normalized(3000, 1)] {
+        for (d, _) in [
+            gaussian_normalized(3000, 1),
+            temperature_normalized(3000, 1),
+        ] {
             assert_eq!(d.len(), 3000);
             assert!(d.iter().all(|s| s.value > -0.5 && s.value < 0.5));
         }

@@ -72,9 +72,13 @@ pub fn embed_true(
     enc: &Arc<dyn SubsetEncoder>,
     input: &[Sample],
 ) -> (Vec<Sample>, EmbedStats, StreamFingerprint) {
-    let (out, stats) =
-        Embedder::embed_stream(scheme.clone(), Arc::clone(enc), Watermark::single(true), input)
-            .expect("embedding configuration is valid");
+    let (out, stats) = Embedder::embed_stream(
+        scheme.clone(),
+        Arc::clone(enc),
+        Watermark::single(true),
+        input,
+    )
+    .expect("embedding configuration is valid");
     let fp = transform_estimate::fingerprint(&values_of(&out), &scheme.params)
         .expect("marked stream has extremes");
     (out, stats, fp)
@@ -107,7 +111,10 @@ mod tests {
         // End-to-end smoke test of the experiment plumbing on a short
         // prefix with a cheap encoder configuration (11 of 15 active
         // averages — above the binomial noise floor, ~17 candidates each).
-        let p = WmParams { min_active: Some(11), ..irtf_params() };
+        let p = WmParams {
+            min_active: Some(11),
+            ..irtf_params()
+        };
         let s = scheme(p);
         let (data, _) = datasets::irtf_normalized_prefix(3000);
         let enc = encoder();
@@ -127,8 +134,7 @@ mod tests {
         let (data, _) = datasets::irtf_normalized();
         let p = irtf_params();
         let values = values_of(&data);
-        let xi = wms_core::extremes::measure_xi(&values, p.radius, p.degree)
-            .expect("majors exist");
+        let xi = wms_core::extremes::measure_xi(&values, p.radius, p.degree).expect("majors exist");
         assert!(
             (8.0..80.0).contains(&xi),
             "IRTF ξ(ν,δ) = {xi} outside the calibrated regime"

@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -163,7 +166,11 @@ mod tests {
         let rows = vec![vec!["1".to_string(), "2".to_string()]];
         let t = render_table(&headers, &rows);
         let lines: Vec<&str> = t.lines().collect();
-        assert_eq!(lines[0].len(), lines[2].len(), "rows padded to header width");
+        assert_eq!(
+            lines[0].len(),
+            lines[2].len(),
+            "rows padded to header width"
+        );
     }
 
     #[test]

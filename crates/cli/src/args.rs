@@ -60,7 +60,11 @@ impl Args {
                 return Err(ArgError(format!("duplicate flag --{key}")));
             }
         }
-        Ok(Args { command, flags, consumed: Default::default() })
+        Ok(Args {
+            command,
+            flags,
+            consumed: Default::default(),
+        })
     }
 
     /// Raw string flag.
@@ -85,9 +89,10 @@ impl Args {
     {
         match self.get(name) {
             None => Ok(None),
-            Some(raw) => raw.parse::<T>().map(Some).map_err(|e| {
-                ArgError(format!("invalid value for --{name}: {raw:?} ({e})"))
-            }),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| ArgError(format!("invalid value for --{name}: {raw:?} ({e})"))),
         }
     }
 

@@ -8,7 +8,9 @@ use wms_attacks::{EpsilonAttack, Segmentation, Summarization, UniformSampling};
 use wms_core::encoding::initial::InitialEncoder;
 use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::encoding::quadres::QuadResEncoder;
-use wms_core::{extremes, Detector, Embedder, Scheme, SubsetEncoder, TransformHint, Watermark, WmParams};
+use wms_core::{
+    extremes, Detector, Embedder, Scheme, SubsetEncoder, TransformHint, Watermark, WmParams,
+};
 use wms_crypto::{Key, KeyedHash};
 use wms_sensors::{IrtfConfig, OscillatingTemperature, SmoothGaussianSource, TemperatureConfig};
 use wms_stream::{csv, normalize_stream, values_of, Sample, StreamSource, Transform};
@@ -138,7 +140,10 @@ fn read_stream(path: &Path) -> Result<Vec<Sample>, CmdError> {
 fn write_calibration(path: &Path, n: &wms_stream::Normalizer) -> Result<(), CmdError> {
     // `{}` prints the shortest f64 representation that round-trips
     // exactly, so the stored map is bit-identical on reload.
-    std::fs::write(path, format!("offset {}\nscale {}\n", n.offset(), n.scale()))?;
+    std::fs::write(
+        path,
+        format!("offset {}\nscale {}\n", n.offset(), n.scale()),
+    )?;
     Ok(())
 }
 
@@ -151,14 +156,16 @@ fn read_calibration(path: &Path) -> Result<wms_stream::Normalizer, CmdError> {
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next()) {
             (Some("offset"), Some(v)) => {
-                offset = Some(v.parse::<f64>().map_err(|e| {
-                    CmdError(format!("{}: bad offset: {e}", path.display()))
-                })?)
+                offset = Some(
+                    v.parse::<f64>()
+                        .map_err(|e| CmdError(format!("{}: bad offset: {e}", path.display())))?,
+                )
             }
             (Some("scale"), Some(v)) => {
-                scale = Some(v.parse::<f64>().map_err(|e| {
-                    CmdError(format!("{}: bad scale: {e}", path.display()))
-                })?)
+                scale = Some(
+                    v.parse::<f64>()
+                        .map_err(|e| CmdError(format!("{}: bad scale: {e}", path.display())))?,
+                )
             }
             _ => {}
         }
@@ -180,7 +187,13 @@ pub fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErr
     let output = PathBuf::from(args.require("output")?);
     args.finish()?;
     let samples = match kind.as_str() {
-        "irtf" => wms_sensors::generate_irtf(&IrtfConfig { readings: n, ..IrtfConfig::default() }, seed),
+        "irtf" => wms_sensors::generate_irtf(
+            &IrtfConfig {
+                readings: n,
+                ..IrtfConfig::default()
+            },
+            seed,
+        ),
         "temperature" => {
             let mut src = OscillatingTemperature::new(TemperatureConfig::xi_100(), seed);
             src.take_samples(n)
@@ -193,7 +206,13 @@ pub fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErr
         }
     };
     csv::write_values(&output, &values_of(&samples))?;
-    writeln!(out, "wrote {} {} readings to {}", samples.len(), kind, output.display())?;
+    writeln!(
+        out,
+        "wrote {} {} readings to {}",
+        samples.len(),
+        kind,
+        output.display()
+    )?;
     Ok(())
 }
 
@@ -212,13 +231,17 @@ pub fn embed(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError>
     let raw = read_stream(&input)?;
     let (stream, normalizer) =
         normalize_stream(&raw).ok_or_else(|| CmdError("degenerate input stream".into()))?;
-    let (marked, stats) = Embedder::embed_stream(scheme, encoder, wm.clone(), &stream)
-        .map_err(CmdError)?;
+    let (marked, stats) =
+        Embedder::embed_stream(scheme, encoder, wm.clone(), &stream).map_err(CmdError)?;
     let denorm = normalizer.denormalize_samples(&marked);
     csv::write_values(&output, &values_of(&denorm))?;
     if let Some(cal) = &calibration {
         write_calibration(cal, &normalizer)?;
-        writeln!(out, "calibration saved to {} (keep it with the key)", cal.display())?;
+        writeln!(
+            out,
+            "calibration saved to {} (keep it with the key)",
+            cal.display()
+        )?;
     }
     writeln!(
         out,
@@ -269,8 +292,9 @@ pub fn detect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
                 .0
         }
     };
-    let report = Detector::detect_stream(scheme, encoder, wm_len, &stream, TransformHint::Known(chi))
-        .map_err(CmdError)?;
+    let report =
+        Detector::detect_stream(scheme, encoder, wm_len, &stream, TransformHint::Known(chi))
+            .map_err(CmdError)?;
     writeln!(
         out,
         "examined {} major extremes, {} selected, {} verdicts",
@@ -287,7 +311,11 @@ pub fn detect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         writeln!(
             out,
             "verdict: {}",
-            if report.bias() > 3 { "WATERMARK PRESENT" } else { "no watermark evidence" }
+            if report.bias() > 3 {
+                "WATERMARK PRESENT"
+            } else {
+                "no watermark evidence"
+            }
         )?;
     } else {
         let rec = report.recovered(1);
@@ -329,23 +357,33 @@ pub fn attack(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
 fn parse_attack(kind: &str, seed: u64) -> Result<Box<dyn Transform>, CmdError> {
     match kind.split_once(':') {
         Some(("sample", k)) => {
-            let k: usize = k.parse().map_err(|e| CmdError(format!("bad degree: {e}")))?;
+            let k: usize = k
+                .parse()
+                .map_err(|e| CmdError(format!("bad degree: {e}")))?;
             Ok(Box::new(UniformSampling::new(k, seed)))
         }
         Some(("fixed-sample", k)) => {
-            let k: usize = k.parse().map_err(|e| CmdError(format!("bad degree: {e}")))?;
+            let k: usize = k
+                .parse()
+                .map_err(|e| CmdError(format!("bad degree: {e}")))?;
             Ok(Box::new(wms_attacks::FixedSampling::new(k)))
         }
         Some(("summarize", k)) => {
-            let k: usize = k.parse().map_err(|e| CmdError(format!("bad degree: {e}")))?;
+            let k: usize = k
+                .parse()
+                .map_err(|e| CmdError(format!("bad degree: {e}")))?;
             Ok(Box::new(Summarization::new(k)))
         }
         Some(("epsilon", spec)) => {
             let (f, a) = spec
                 .split_once(',')
                 .ok_or_else(|| CmdError("epsilon:FRAC,AMP".into()))?;
-            let frac: f64 = f.parse().map_err(|e| CmdError(format!("bad fraction: {e}")))?;
-            let amp: f64 = a.parse().map_err(|e| CmdError(format!("bad amplitude: {e}")))?;
+            let frac: f64 = f
+                .parse()
+                .map_err(|e| CmdError(format!("bad fraction: {e}")))?;
+            let amp: f64 = a
+                .parse()
+                .map_err(|e| CmdError(format!("bad amplitude: {e}")))?;
             Ok(Box::new(EpsilonAttack::uniform(frac, amp, seed)))
         }
         Some(("segment", spec)) => {
@@ -386,7 +424,10 @@ pub fn inspect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErro
     writeln!(out, "avg subset size:     {avg:.2}")?;
     match extremes::measure_xi(&values, radius, degree) {
         Some(xi) => writeln!(out, "xi (items/major):    {xi:.1}")?,
-        None => writeln!(out, "xi (items/major):    n/a — no majors at these settings")?,
+        None => writeln!(
+            out,
+            "xi (items/major):    n/a — no majors at these settings"
+        )?,
     }
     Ok(())
 }
@@ -403,7 +444,9 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
         }
-        other => Err(CmdError(format!("unknown command {other:?}; try `wms help`"))),
+        other => Err(CmdError(format!(
+            "unknown command {other:?}; try `wms help`"
+        ))),
     };
     match result {
         Ok(()) => 0,
@@ -438,8 +481,15 @@ mod tests {
 
         let code = run(
             &argv(&[
-                "generate", "--kind", "irtf", "--n", "6000", "--seed", "3",
-                "--output", data.to_str().unwrap(),
+                "generate",
+                "--kind",
+                "irtf",
+                "--n",
+                "6000",
+                "--seed",
+                "3",
+                "--output",
+                data.to_str().unwrap(),
             ]),
             &mut out,
         );
@@ -447,10 +497,17 @@ mod tests {
 
         let code = run(
             &argv(&[
-                "embed", "--input", data.to_str().unwrap(),
-                "--output", marked.to_str().unwrap(),
-                "--key", "1234", "--min-active", "12",
-                "--calibration", cal.to_str().unwrap(),
+                "embed",
+                "--input",
+                data.to_str().unwrap(),
+                "--output",
+                marked.to_str().unwrap(),
+                "--key",
+                "1234",
+                "--min-active",
+                "12",
+                "--calibration",
+                cal.to_str().unwrap(),
             ]),
             &mut out,
         );
@@ -461,8 +518,13 @@ mod tests {
         out.clear();
         let code = run(
             &argv(&[
-                "detect", "--input", marked.to_str().unwrap(),
-                "--key", "1234", "--min-active", "12",
+                "detect",
+                "--input",
+                marked.to_str().unwrap(),
+                "--key",
+                "1234",
+                "--min-active",
+                "12",
             ]),
             &mut out,
         );
@@ -474,8 +536,13 @@ mod tests {
         out.clear();
         let code = run(
             &argv(&[
-                "detect", "--input", marked.to_str().unwrap(),
-                "--key", "9999", "--min-active", "12",
+                "detect",
+                "--input",
+                marked.to_str().unwrap(),
+                "--key",
+                "9999",
+                "--min-active",
+                "12",
             ]),
             &mut out,
         );
@@ -498,8 +565,15 @@ mod tests {
         assert_eq!(
             run(
                 &argv(&[
-                    "generate", "--kind", "irtf", "--n", "8000", "--seed", "5",
-                    "--output", data.to_str().unwrap(),
+                    "generate",
+                    "--kind",
+                    "irtf",
+                    "--n",
+                    "8000",
+                    "--seed",
+                    "5",
+                    "--output",
+                    data.to_str().unwrap(),
                 ]),
                 &mut out
             ),
@@ -508,10 +582,17 @@ mod tests {
         assert_eq!(
             run(
                 &argv(&[
-                    "embed", "--input", data.to_str().unwrap(),
-                    "--output", marked.to_str().unwrap(),
-                    "--key", "7", "--min-active", "12",
-                    "--calibration", cal.to_str().unwrap(),
+                    "embed",
+                    "--input",
+                    data.to_str().unwrap(),
+                    "--output",
+                    marked.to_str().unwrap(),
+                    "--key",
+                    "7",
+                    "--min-active",
+                    "12",
+                    "--calibration",
+                    cal.to_str().unwrap(),
                 ]),
                 &mut out
             ),
@@ -520,9 +601,13 @@ mod tests {
         assert_eq!(
             run(
                 &argv(&[
-                    "attack", "--input", marked.to_str().unwrap(),
-                    "--output", attacked.to_str().unwrap(),
-                    "--kind", "sample:2",
+                    "attack",
+                    "--input",
+                    marked.to_str().unwrap(),
+                    "--output",
+                    attacked.to_str().unwrap(),
+                    "--kind",
+                    "sample:2",
                 ]),
                 &mut out
             ),
@@ -533,9 +618,17 @@ mod tests {
         out.clear();
         let code = run(
             &argv(&[
-                "detect", "--input", attacked.to_str().unwrap(),
-                "--key", "7", "--chi", "2", "--min-active", "12",
-                "--calibration", cal.to_str().unwrap(),
+                "detect",
+                "--input",
+                attacked.to_str().unwrap(),
+                "--key",
+                "7",
+                "--chi",
+                "2",
+                "--min-active",
+                "12",
+                "--calibration",
+                cal.to_str().unwrap(),
             ]),
             &mut out,
         );
@@ -554,8 +647,15 @@ mod tests {
         assert_eq!(
             run(
                 &argv(&[
-                    "generate", "--kind", "gaussian", "--n", "4000", "--seed", "1",
-                    "--output", data.to_str().unwrap(),
+                    "generate",
+                    "--kind",
+                    "gaussian",
+                    "--n",
+                    "4000",
+                    "--seed",
+                    "1",
+                    "--output",
+                    data.to_str().unwrap(),
                 ]),
                 &mut out
             ),
@@ -563,7 +663,13 @@ mod tests {
         );
         out.clear();
         let code = run(
-            &argv(&["inspect", "--input", data.to_str().unwrap(), "--degree", "12"]),
+            &argv(&[
+                "inspect",
+                "--input",
+                data.to_str().unwrap(),
+                "--degree",
+                "12",
+            ]),
             &mut out,
         );
         let text = String::from_utf8_lossy(&out);
@@ -607,7 +713,13 @@ mod tests {
         std::fs::write(&data, "1.0\n2.0\n3.0\n").unwrap();
         let mut out = Vec::new();
         let code = run(
-            &argv(&["inspect", "--input", data.to_str().unwrap(), "--radios", "0.1"]),
+            &argv(&[
+                "inspect",
+                "--input",
+                data.to_str().unwrap(),
+                "--radios",
+                "0.1",
+            ]),
             &mut out,
         );
         assert_eq!(code, 2);

@@ -1,0 +1,225 @@
+//! End-to-end smoke tests of the `wms` binary.
+//!
+//! Modeled on the `assert_cmd` help/usage-assertion idiom; since the
+//! build environment is offline (see `DESIGN.md` § "Offline dependency
+//! policy"), a small fluent [`Assert`] helper over
+//! [`std::process::Command`] stands in for the real crate. Cargo points
+//! `CARGO_BIN_EXE_wms` at the freshly built binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Runs the `wms` binary with the given arguments.
+fn wms(args: &[&str]) -> Assert {
+    let out = Command::new(env!("CARGO_BIN_EXE_wms"))
+        .args(args)
+        .output()
+        .expect("spawn wms binary");
+    Assert {
+        out,
+        argv: args.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Fluent assertions over one finished invocation (assert_cmd style).
+struct Assert {
+    out: Output,
+    argv: Vec<String>,
+}
+
+impl Assert {
+    fn context(&self) -> String {
+        format!(
+            "argv: {:?}\nstatus: {:?}\nstdout:\n{}\nstderr:\n{}",
+            self.argv,
+            self.out.status.code(),
+            String::from_utf8_lossy(&self.out.stdout),
+            String::from_utf8_lossy(&self.out.stderr),
+        )
+    }
+
+    fn success(self) -> Self {
+        assert!(
+            self.out.status.success(),
+            "expected success\n{}",
+            self.context()
+        );
+        self
+    }
+
+    fn code(self, expected: i32) -> Self {
+        assert_eq!(
+            self.out.status.code(),
+            Some(expected),
+            "wrong exit code\n{}",
+            self.context()
+        );
+        self
+    }
+
+    fn stdout_contains(self, needle: &str) -> Self {
+        let text = String::from_utf8_lossy(&self.out.stdout);
+        assert!(
+            text.contains(needle),
+            "stdout missing {needle:?}\n{}",
+            self.context()
+        );
+        self
+    }
+
+    fn stderr_contains(self, needle: &str) -> Self {
+        let text = String::from_utf8_lossy(&self.out.stderr);
+        assert!(
+            text.contains(needle),
+            "stderr missing {needle:?}\n{}",
+            self.context()
+        );
+        self
+    }
+
+    fn stdout_str(&self) -> String {
+        String::from_utf8_lossy(&self.out.stdout).into_owned()
+    }
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("wms-smoke-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    wms(&[])
+        .code(2)
+        .stderr_contains("missing command")
+        .stderr_contains("USAGE:");
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let a = wms(&["help"]).success().stdout_contains("USAGE:");
+    let text = a.stdout_str();
+    for cmd in ["generate", "embed", "detect", "attack", "inspect", "help"] {
+        assert!(
+            text.contains(cmd),
+            "usage text missing subcommand {cmd:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn leading_flag_is_rejected_with_hint() {
+    wms(&["--help"])
+        .code(2)
+        .stderr_contains("expected a command")
+        .stderr_contains("try `wms help`");
+}
+
+// Dispatch-level errors print through the command's output writer
+// (stdout); only argv parse errors go to stderr.
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    wms(&["frobnicate"])
+        .code(2)
+        .stdout_contains("unknown command");
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    wms(&["generate", "--kind", "irtf"])
+        .code(2)
+        .stdout_contains("--output");
+}
+
+#[test]
+fn unknown_flag_is_reported() {
+    wms(&["inspect", "--input", "x.csv", "--widnow", "4"])
+        .code(2)
+        .stdout_contains("widnow");
+}
+
+#[test]
+fn generate_embed_detect_round_trip() {
+    let dir = Scratch::new("roundtrip");
+    let (sensor, licensed, cal) = (
+        dir.path("sensor.csv"),
+        dir.path("licensed.csv"),
+        dir.path("cal.txt"),
+    );
+
+    wms(&[
+        "generate", "--kind", "irtf", "--n", "6000", "--seed", "7", "--output", &sensor,
+    ])
+    .success()
+    .stdout_contains("wrote 6000 irtf readings");
+
+    wms(&[
+        "embed",
+        "--input",
+        &sensor,
+        "--output",
+        &licensed,
+        "--key",
+        "3203239",
+        "--calibration",
+        &cal,
+    ])
+    .success()
+    .stdout_contains("major extremes");
+
+    wms(&[
+        "detect",
+        "--input",
+        &licensed,
+        "--key",
+        "3203239",
+        "--calibration",
+        &cal,
+    ])
+    .success()
+    .stdout_contains("WATERMARK PRESENT");
+
+    // The wrong key must not find Alice's mark.
+    wms(&[
+        "detect",
+        "--input",
+        &licensed,
+        "--key",
+        "999",
+        "--calibration",
+        &cal,
+    ])
+    .success()
+    .stdout_contains("no watermark evidence");
+}
+
+#[test]
+fn inspect_reports_fluctuation_statistics() {
+    let dir = Scratch::new("inspect");
+    let sensor = dir.path("sensor.csv");
+    wms(&[
+        "generate", "--kind", "gaussian", "--n", "4000", "--seed", "11", "--output", &sensor,
+    ])
+    .success();
+    wms(&["inspect", "--input", &sensor])
+        .success()
+        .stdout_contains("readings:")
+        .stdout_contains("extremes");
+}

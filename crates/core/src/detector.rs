@@ -80,7 +80,11 @@ impl DetectionReport {
 
     /// Smallest |bias| across bits — the weakest link of a multi-bit mark.
     pub fn min_abs_bias(&self) -> i64 {
-        self.buckets.iter().map(|b| b.bias().abs()).min().unwrap_or(0)
+        self.buckets
+            .iter()
+            .map(|b| b.bias().abs())
+            .min()
+            .unwrap_or(0)
     }
 
     /// `wm_construct` (§3.3): per-bit κ-thresholded decisions.
@@ -457,7 +461,10 @@ mod tests {
     #[test]
     fn multibit_watermark_reconstructs() {
         let wm = Watermark::from_bits(vec![true, false, true]);
-        let p = WmParams { selection_modulus: 4, ..test_params() };
+        let p = WmParams {
+            selection_modulus: 4,
+            ..test_params()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(9))).unwrap();
         let (wmed, stats) = Embedder::embed_stream(
             s.clone(),
@@ -481,7 +488,10 @@ mod tests {
     #[test]
     fn report_pfp_relations() {
         let r = DetectionReport {
-            buckets: vec![BitBuckets { true_count: 12, false_count: 2 }],
+            buckets: vec![BitBuckets {
+                true_count: 12,
+                false_count: 2,
+            }],
             majors_seen: 20,
             warmup_skipped: 0,
             selected: 14,
@@ -499,11 +509,17 @@ mod tests {
 
     #[test]
     fn bucket_decisions() {
-        let b = BitBuckets { true_count: 10, false_count: 3 };
+        let b = BitBuckets {
+            true_count: 10,
+            false_count: 3,
+        };
         assert_eq!(b.bias(), 7);
         assert_eq!(b.decide(6), Some(true));
         assert_eq!(b.decide(7), None);
-        let f = BitBuckets { true_count: 1, false_count: 9 };
+        let f = BitBuckets {
+            true_count: 1,
+            false_count: 9,
+        };
         assert_eq!(f.decide(5), Some(false));
     }
 
@@ -514,7 +530,10 @@ mod tests {
 
     #[test]
     fn known_transform_degree_adjusts_nu() {
-        let p = WmParams { degree: 6, ..test_params() };
+        let p = WmParams {
+            degree: 6,
+            ..test_params()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(2))).unwrap();
         let d = Detector::new(s, Arc::new(InitialEncoder), 1, 3.0).unwrap();
         assert_eq!(d.effective_degree, 2);

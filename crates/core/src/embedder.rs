@@ -381,13 +381,9 @@ mod tests {
     fn quality_constraint_rolls_back() {
         let input = test_stream(2000);
         let s = scheme(test_params());
-        let strict = Embedder::new(
-            s.clone(),
-            Arc::new(InitialEncoder),
-            Watermark::single(true),
-        )
-        .unwrap()
-        .with_constraint(MaxItemChange { max: 0.0 }); // nothing allowed
+        let strict = Embedder::new(s.clone(), Arc::new(InitialEncoder), Watermark::single(true))
+            .unwrap()
+            .with_constraint(MaxItemChange { max: 0.0 }); // nothing allowed
         let mut e = strict;
         let mut out = Vec::new();
         for &smp in &input {
@@ -426,7 +422,10 @@ mod tests {
 
     #[test]
     fn theta_must_exceed_watermark_length() {
-        let p = WmParams { selection_modulus: 4, ..test_params() };
+        let p = WmParams {
+            selection_modulus: 4,
+            ..test_params()
+        };
         let err = Embedder::new(
             scheme_unchecked(p),
             Arc::new(InitialEncoder),
@@ -442,7 +441,10 @@ mod tests {
     #[test]
     fn larger_theta_selects_fewer() {
         let mk = |theta: u64| {
-            let p = WmParams { selection_modulus: theta, ..test_params() };
+            let p = WmParams {
+                selection_modulus: theta,
+                ..test_params()
+            };
             Embedder::embed_stream(
                 scheme(p),
                 Arc::new(InitialEncoder),

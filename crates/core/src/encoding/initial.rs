@@ -72,7 +72,10 @@ impl SubsetEncoder for InitialEncoder {
                 c.dequantize(harmonized)
             })
             .collect();
-        Some(EmbedResult { values: out, iterations: 1 })
+        Some(EmbedResult {
+            values: out,
+            iterations: 1,
+        })
     }
 
     fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
@@ -116,7 +119,13 @@ impl UnlabeledInitialEncoder {
         1 + scheme.hash.hash_mod(&msg, (alpha - 2) as u64) as u32
     }
 
-    fn encode_at(scheme: &Scheme, values: &[f64], extreme_offset: usize, pos: u32, bit: bool) -> Option<Vec<f64>> {
+    fn encode_at(
+        scheme: &Scheme,
+        values: &[f64],
+        extreme_offset: usize,
+        pos: u32,
+        bit: bool,
+    ) -> Option<Vec<f64>> {
         let c = &scheme.codec;
         let raws: Vec<i64> = values.iter().map(|&v| c.quantize(v)).collect();
         if !InitialEncoder::sign_uniform(&raws) {
@@ -159,7 +168,10 @@ impl SubsetEncoder for UnlabeledInitialEncoder {
         }
         let pos = Self::position(scheme, values);
         let out = Self::encode_at(scheme, values, extreme_offset, pos, bit)?;
-        Some(EmbedResult { values: out, iterations: 1 })
+        Some(EmbedResult {
+            values: out,
+            iterations: 1,
+        })
     }
 
     fn detect(&self, scheme: &Scheme, values: &[f64], _label: &Label) -> Vote {
@@ -238,11 +250,7 @@ mod tests {
                     let chunk = &r.values[start..start + win];
                     let mean = chunk.iter().sum::<f64>() / win as f64;
                     let v = e.detect(&s, &[mean], &label());
-                    assert_eq!(
-                        v.verdict(),
-                        Some(bit),
-                        "avg of {win}@{start} lost the bit"
-                    );
+                    assert_eq!(v.verdict(), Some(bit), "avg of {win}@{start} lost the bit");
                 }
             }
         }
@@ -251,7 +259,9 @@ mod tests {
     #[test]
     fn survives_sampling_any_single_item() {
         let s = scheme();
-        let r = InitialEncoder.embed(&s, &subset(), 2, &label(), true).unwrap();
+        let r = InitialEncoder
+            .embed(&s, &subset(), 2, &label(), true)
+            .unwrap();
         for &v in &r.values {
             assert_eq!(
                 InitialEncoder.detect(&s, &[v], &label()).verdict(),

@@ -100,7 +100,11 @@ pub trait SubsetEncoder: Send + Sync {
 /// Trims an index range to at most `cap` items, keeping those nearest
 /// `pos` (which must lie inside the range). Grows symmetrically, absorbing
 /// slack on one side into the other.
-pub fn trim_around(range: std::ops::Range<usize>, pos: usize, cap: usize) -> std::ops::Range<usize> {
+pub fn trim_around(
+    range: std::ops::Range<usize>,
+    pos: usize,
+    cap: usize,
+) -> std::ops::Range<usize> {
     assert!(range.contains(&pos), "pos must lie inside range");
     assert!(cap >= 1);
     if range.len() <= cap {
@@ -142,9 +146,21 @@ mod tests {
 
     #[test]
     fn vote_merge() {
-        let mut a = Vote { true_votes: 2, false_votes: 1 };
-        a.merge(Vote { true_votes: 0, false_votes: 4 });
-        assert_eq!(a, Vote { true_votes: 2, false_votes: 5 });
+        let mut a = Vote {
+            true_votes: 2,
+            false_votes: 1,
+        };
+        a.merge(Vote {
+            true_votes: 0,
+            false_votes: 4,
+        });
+        assert_eq!(
+            a,
+            Vote {
+                true_votes: 2,
+                false_votes: 5
+            }
+        );
     }
 
     #[test]

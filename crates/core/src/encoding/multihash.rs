@@ -117,7 +117,10 @@ impl SubsetEncoder for MultiHashEncoder {
             }
             let ok = Self::count_satisfying(scheme, &candidate, label, bit, required);
             if ok >= required {
-                return Some(EmbedResult { values: candidate, iterations: iter + 1 });
+                return Some(EmbedResult {
+                    values: candidate,
+                    iterations: iter + 1,
+                });
             }
         }
         None
@@ -245,7 +248,9 @@ mod tests {
         let s = scheme();
         let e = MultiHashEncoder;
         for bit in [true, false] {
-            let r = e.embed(&s, &subset(), 2, &label(), bit).expect("search succeeds");
+            let r = e
+                .embed(&s, &subset(), 2, &label(), bit)
+                .expect("search succeeds");
             // Singles decide unanimously (they are m_ii averages and the
             // full convention covers them).
             let v = e.detect(&s, &r.values, &label());
@@ -293,7 +298,10 @@ mod tests {
     fn min_active_reduces_cost() {
         let full = scheme();
         // 12 of 15 — above the binomial noise floor (see module docs).
-        let reduced = scheme_with(WmParams { min_active: Some(12), ..WmParams::default() });
+        let reduced = scheme_with(WmParams {
+            min_active: Some(12),
+            ..WmParams::default()
+        });
         let e = MultiHashEncoder;
         let rf = e.embed(&full, &subset(), 2, &label(), true).unwrap();
         let rr = e.embed(&reduced, &subset(), 2, &label(), true).unwrap();
@@ -312,10 +320,16 @@ mod tests {
     fn alterations_confined_to_lsb_band() {
         let s = scheme();
         let vals = subset();
-        let r = MultiHashEncoder.embed(&s, &vals, 2, &label(), true).unwrap();
+        let r = MultiHashEncoder
+            .embed(&s, &vals, 2, &label(), true)
+            .unwrap();
         let bound = 2f64.powi(-(32 - 16)); // γ=16 of B=32
         for (a, b) in r.values.iter().zip(&vals) {
-            assert!((a - b).abs() < bound, "alteration {} > {bound}", (a - b).abs());
+            assert!(
+                (a - b).abs() < bound,
+                "alteration {} > {bound}",
+                (a - b).abs()
+            );
         }
     }
 
@@ -323,7 +337,10 @@ mod tests {
     fn survives_summarization_within_subset() {
         // Replace the subset by averages of aligned chunks: the chunk
         // means are m_ij values and must still vote for the bit.
-        let p = WmParams { max_subset: 6, ..WmParams::default() };
+        let p = WmParams {
+            max_subset: 6,
+            ..WmParams::default()
+        };
         let s = scheme_with(p);
         let e = MultiHashEncoder;
         let vals = vec![0.301, 0.3055, 0.309, 0.3102, 0.3066, 0.3023];
@@ -335,11 +352,7 @@ mod tests {
                 .map(|ch| ch.iter().sum::<f64>() / ch.len() as f64)
                 .collect();
             let v = e.detect(&s, &means, &label());
-            assert_eq!(
-                v.verdict(),
-                Some(true),
-                "chunk={chunk}: {v:?}"
-            );
+            assert_eq!(v.verdict(), Some(true), "chunk={chunk}: {v:?}");
             assert_eq!(v.false_votes, 0, "aligned averages cannot disagree");
         }
     }
@@ -347,7 +360,9 @@ mod tests {
     #[test]
     fn survives_sampling_single_items() {
         let s = scheme();
-        let r = MultiHashEncoder.embed(&s, &subset(), 2, &label(), true).unwrap();
+        let r = MultiHashEncoder
+            .embed(&s, &subset(), 2, &label(), true)
+            .unwrap();
         for &v in &r.values {
             let vote = MultiHashEncoder.detect(&s, &[v], &label());
             assert_eq!(vote.verdict(), Some(true), "item {v} lost the bit");
@@ -372,37 +387,52 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_none() {
-        let p = WmParams { max_iterations: 4, ..WmParams::default() };
+        let p = WmParams {
+            max_iterations: 4,
+            ..WmParams::default()
+        };
         let s = scheme_with(p);
         // 15 codes must all match with 4 candidates: astronomically
         // unlikely; expect None.
-        assert!(MultiHashEncoder.embed(&s, &subset(), 2, &label(), true).is_none());
+        assert!(MultiHashEncoder
+            .embed(&s, &subset(), 2, &label(), true)
+            .is_none());
     }
 
     #[test]
     fn deterministic_embedding() {
         let s = scheme();
-        let a = MultiHashEncoder.embed(&s, &subset(), 2, &label(), true).unwrap();
-        let b = MultiHashEncoder.embed(&s, &subset(), 2, &label(), true).unwrap();
+        let a = MultiHashEncoder
+            .embed(&s, &subset(), 2, &label(), true)
+            .unwrap();
+        let b = MultiHashEncoder
+            .embed(&s, &subset(), 2, &label(), true)
+            .unwrap();
         assert_eq!(a.values, b.values);
         assert_eq!(a.iterations, b.iterations);
     }
 
     #[test]
     fn empty_subset_rejected() {
-        assert!(MultiHashEncoder.embed(&scheme(), &[], 0, &label(), true).is_none());
+        assert!(MultiHashEncoder
+            .embed(&scheme(), &[], 0, &label(), true)
+            .is_none());
     }
 
     #[test]
     fn flat_majority_variant_agrees_on_clean_data() {
         let s = scheme();
-        let r = MultiHashEncoder.embed(&s, &subset(), 2, &label(), true).unwrap();
+        let r = MultiHashEncoder
+            .embed(&s, &subset(), 2, &label(), true)
+            .unwrap();
         let flat = MultiHashFlatMajority.detect(&s, &r.values, &label());
         assert_eq!(flat.verdict(), Some(true));
         assert_eq!(flat.total(), 15, "flat majority counts every m_ij");
         assert_eq!(flat.true_votes, 15);
         // Embedding is shared.
-        let r2 = MultiHashFlatMajority.embed(&s, &subset(), 2, &label(), true).unwrap();
+        let r2 = MultiHashFlatMajority
+            .embed(&s, &subset(), 2, &label(), true)
+            .unwrap();
         assert_eq!(r.values, r2.values);
     }
 
@@ -410,7 +440,10 @@ mod tests {
     fn tau_two_codes_can_abstain() {
         // τ=2: of the four codes, 00 and 11 classify, 01 and 10 abstain —
         // about half of random inputs produce no vote.
-        let s = scheme_with(WmParams { convention_bits: 2, ..WmParams::default() });
+        let s = scheme_with(WmParams {
+            convention_bits: 2,
+            ..WmParams::default()
+        });
         let mut rng = wms_math::DetRng::seed_from_u64(11);
         let mut classified = 0u32;
         let n = 2000;

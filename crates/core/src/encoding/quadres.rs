@@ -63,7 +63,11 @@ impl QuadResEncoder {
         // 40-bit prime: larger than any 32-bit magnitude prefix, so
         // prefixes are never ≡ 0 (mod p) unless the prefix itself is 0.
         let prime = random_prime(&mut rng, 40);
-        QuadResEncoder { prefixes, prime, max_item_iterations: 1 << 18 }
+        QuadResEncoder {
+            prefixes,
+            prime,
+            max_item_iterations: 1 << 18,
+        }
     }
 
     /// The secret modulus (exposed for analysis/tests).
@@ -114,9 +118,10 @@ impl SubsetEncoder for QuadResEncoder {
         }
         let c = &scheme.codec;
         let gamma = scheme.params.lsb_bits;
-        let seed = scheme
-            .hash
-            .hash_u64(&encode::message(DOM_QUADRES, &[&label.to_bytes(), b"search"]));
+        let seed = scheme.hash.hash_u64(&encode::message(
+            DOM_QUADRES,
+            &[&label.to_bytes(), b"search"],
+        ));
         let mut rng = DetRng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(values.len());
         let mut iterations = 0u64;
@@ -137,7 +142,10 @@ impl SubsetEncoder for QuadResEncoder {
             }
             out.push(c.dequantize(found?));
         }
-        Some(EmbedResult { values: out, iterations })
+        Some(EmbedResult {
+            values: out,
+            iterations,
+        })
     }
 
     fn detect(&self, scheme: &Scheme, values: &[f64], _label: &Label) -> Vote {

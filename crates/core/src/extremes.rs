@@ -312,7 +312,10 @@ mod tests {
         v.extend_from_slice(&[0.300, 0.3005, 0.3002, 0.3006, 0.300]);
         v.extend_from_slice(&[0.2, 0.1, 0.0]);
         let majors = scan_major(&v, 0.01, 3);
-        assert!(majors.len() >= 2, "construction should yield a cluster: {majors:?}");
+        assert!(
+            majors.len() >= 2,
+            "construction should yield a cluster: {majors:?}"
+        );
         let deduped = scan_major_deduped(&v, 0.01, 3);
         assert_eq!(deduped.len(), 1, "{deduped:?}");
         // Non-overlapping majors are untouched: add a second wide hump.

@@ -119,7 +119,10 @@ impl Labeler {
             bits = (bits << 1) | bit as u64;
             m += 1;
         }
-        Some(Label { bits, len: self.lambda as u32 + 1 })
+        Some(Label {
+            bits,
+            len: self.lambda as u32 + 1,
+        })
     }
 
     /// Forgets all history (e.g. when detection restarts on a segment).

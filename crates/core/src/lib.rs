@@ -85,10 +85,10 @@ pub mod watermark;
 
 pub use detector::{BitBuckets, DetectionReport, Detector, TransformHint};
 pub use embedder::{EmbedStats, Embedder};
-pub use multipass::{detect_multipass, MultiPassReport};
 pub use encoding::{EmbedResult, SubsetEncoder, Vote};
 pub use fixedpoint::FixedPointCodec;
 pub use labeling::{Label, Labeler};
+pub use multipass::{detect_multipass, MultiPassReport};
 pub use params::WmParams;
 pub use scheme::Scheme;
 pub use transform_estimate::StreamFingerprint;

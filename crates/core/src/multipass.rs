@@ -173,10 +173,17 @@ mod tests {
         .unwrap();
         assert!(stats.embedded > 20, "{stats:?}");
         let attacked = wms_attack_stub::sample2(&marked);
-        let report =
-            detect_multipass(&s, &enc, 1, &attacked, &[1.0, 2.0, 3.0, 4.0]).unwrap();
-        assert_eq!(report.best_chi(), 2.0, "passes: {:?}",
-            report.passes.iter().map(|(c, r)| (*c, r.bias())).collect::<Vec<_>>());
+        let report = detect_multipass(&s, &enc, 1, &attacked, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(
+            report.best_chi(),
+            2.0,
+            "passes: {:?}",
+            report
+                .passes
+                .iter()
+                .map(|(c, r)| (*c, r.bias()))
+                .collect::<Vec<_>>()
+        );
         assert!(report.bias() > 5);
         assert!(report.confidence() > 0.9);
     }

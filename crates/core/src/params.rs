@@ -235,7 +235,11 @@ mod tests {
 
     #[test]
     fn beta_alpha_budget_enforced() {
-        let p = WmParams { select_msb_bits: 20, embed_bits: 20, ..WmParams::default() };
+        let p = WmParams {
+            select_msb_bits: 20,
+            embed_bits: 20,
+            ..WmParams::default()
+        };
         let err = p.validate().unwrap_err();
         assert!(err.contains("β + α"), "{err}");
     }
@@ -243,25 +247,61 @@ mod tests {
     #[test]
     fn radius_vs_beta_constraint() {
         // β=3 ⇒ δ must be < 2^-3 = 0.125.
-        let ok = WmParams { radius: 0.12, ..WmParams::default() };
+        let ok = WmParams {
+            radius: 0.12,
+            ..WmParams::default()
+        };
         ok.validate().unwrap();
-        let bad = WmParams { radius: 0.2, ..WmParams::default() };
+        let bad = WmParams {
+            radius: 0.2,
+            ..WmParams::default()
+        };
         assert!(bad.validate().is_err());
     }
 
     #[test]
     fn rejects_degenerate_values() {
         for p in [
-            WmParams { degree: 0, ..WmParams::default() },
-            WmParams { selection_modulus: 0, ..WmParams::default() },
-            WmParams { label_len: 0, ..WmParams::default() },
-            WmParams { label_stride: 0, ..WmParams::default() },
-            WmParams { embed_bits: 2, ..WmParams::default() },
-            WmParams { convention_bits: 0, ..WmParams::default() },
-            WmParams { window: 4, ..WmParams::default() },
-            WmParams { min_active: Some(0), ..WmParams::default() },
-            WmParams { max_iterations: 0, ..WmParams::default() },
-            WmParams { value_bits: 60, ..WmParams::default() },
+            WmParams {
+                degree: 0,
+                ..WmParams::default()
+            },
+            WmParams {
+                selection_modulus: 0,
+                ..WmParams::default()
+            },
+            WmParams {
+                label_len: 0,
+                ..WmParams::default()
+            },
+            WmParams {
+                label_stride: 0,
+                ..WmParams::default()
+            },
+            WmParams {
+                embed_bits: 2,
+                ..WmParams::default()
+            },
+            WmParams {
+                convention_bits: 0,
+                ..WmParams::default()
+            },
+            WmParams {
+                window: 4,
+                ..WmParams::default()
+            },
+            WmParams {
+                min_active: Some(0),
+                ..WmParams::default()
+            },
+            WmParams {
+                max_iterations: 0,
+                ..WmParams::default()
+            },
+            WmParams {
+                value_bits: 60,
+                ..WmParams::default()
+            },
         ] {
             assert!(p.validate().is_err(), "{p:?} should be rejected");
         }
@@ -269,14 +309,20 @@ mod tests {
 
     #[test]
     fn watermark_length_constraint() {
-        let p = WmParams { selection_modulus: 8, ..WmParams::default() };
+        let p = WmParams {
+            selection_modulus: 8,
+            ..WmParams::default()
+        };
         p.validate_for_watermark(7).unwrap();
         assert!(p.validate_for_watermark(8).is_err());
     }
 
     #[test]
     fn carrier_fraction_formula() {
-        let p = WmParams { selection_modulus: 20, ..WmParams::default() };
+        let p = WmParams {
+            selection_modulus: 20,
+            ..WmParams::default()
+        };
         assert!((p.carrier_fraction(1) - 0.05).abs() < 1e-12);
         assert!((p.carrier_fraction(10) - 0.5).abs() < 1e-12);
     }

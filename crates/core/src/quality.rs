@@ -264,7 +264,11 @@ mod tests {
     #[test]
     fn empty_window_constraints_are_permissive() {
         let w = SlidingMoments::new();
-        let alt = ProposedAlteration { before: &[0.5], after: &[0.9], window_before: &w };
+        let alt = ProposedAlteration {
+            before: &[0.5],
+            after: &[0.9],
+            window_before: &w,
+        };
         assert!(MaxMeanDrift { max: 0.0 }.allows(&alt));
         assert!(MaxStdDrift { max: 0.0 }.allows(&alt));
     }

@@ -32,7 +32,11 @@ impl Scheme {
     /// Builds and validates a scheme context.
     pub fn new(params: WmParams, hash: KeyedHash) -> Result<Self, String> {
         params.validate()?;
-        Ok(Scheme { params, codec: FixedPointCodec::from_params(&params), hash })
+        Ok(Scheme {
+            params,
+            codec: FixedPointCodec::from_params(&params),
+            hash,
+        })
     }
 
     /// `msb(|ε|, β)` — the selection hash input.
@@ -113,7 +117,10 @@ mod tests {
 
     #[test]
     fn construction_validates_params() {
-        let bad = WmParams { degree: 0, ..WmParams::default() };
+        let bad = WmParams {
+            degree: 0,
+            ..WmParams::default()
+        };
         assert!(Scheme::new(bad, KeyedHash::md5(Key::from_u64(0))).is_err());
     }
 
@@ -137,7 +144,10 @@ mod tests {
 
     #[test]
     fn selection_fraction_approximates_one_over_theta() {
-        let p = WmParams { selection_modulus: 4, ..WmParams::default() };
+        let p = WmParams {
+            selection_modulus: 4,
+            ..WmParams::default()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(7))).unwrap();
         let mut selected = 0;
         let n = 4000;
@@ -157,7 +167,10 @@ mod tests {
 
     #[test]
     fn selection_index_below_wm_len() {
-        let p = WmParams { selection_modulus: 64, ..WmParams::default() };
+        let p = WmParams {
+            selection_modulus: 64,
+            ..WmParams::default()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(9))).unwrap();
         let wm_len = 8;
         for i in 0..500 {
@@ -211,7 +224,10 @@ mod tests {
 
     #[test]
     fn convention_code_width_and_targets() {
-        let p = WmParams { convention_bits: 3, ..WmParams::default() };
+        let p = WmParams {
+            convention_bits: 3,
+            ..WmParams::default()
+        };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(1))).unwrap();
         assert_eq!(s.convention_target(true), 0b111);
         assert_eq!(s.convention_target(false), 0);
@@ -243,7 +259,10 @@ mod tests {
             }
         }
         // τ=1 → differing inputs disagree ~50% of the time.
-        assert!((n / 4..=3 * n / 4).contains(&differs_label), "{differs_label}");
+        assert!(
+            (n / 4..=3 * n / 4).contains(&differs_label),
+            "{differs_label}"
+        );
         assert!((n / 4..=3 * n / 4).contains(&differs_lsb), "{differs_lsb}");
     }
 

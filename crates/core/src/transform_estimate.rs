@@ -100,7 +100,11 @@ mod tests {
     }
 
     fn params() -> WmParams {
-        WmParams { radius: 0.01, degree: 3, ..WmParams::default() }
+        WmParams {
+            radius: 0.01,
+            degree: 3,
+            ..WmParams::default()
+        }
     }
 
     #[test]
@@ -143,7 +147,10 @@ mod tests {
             .collect();
         let chi = estimate_degree(&fp, &summarized).unwrap();
         let rel = (chi - chunk as f64).abs() / chunk as f64;
-        assert!(rel < 0.45, "estimated {chi} for summarization degree {chunk}");
+        assert!(
+            rel < 0.45,
+            "estimated {chi} for summarization degree {chunk}"
+        );
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the real
+//! [`criterion`](https://crates.io/crates/criterion) crate, vendored into
+//! the workspace because the build environment has no access to crates.io
+//! (see `DESIGN.md` § "Offline dependency policy").
+//!
+//! It implements the API subset used by `crates/bench/benches/*.rs` —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`] and [`criterion_main!`] — and reports a simple
+//! mean/min per benchmark instead of criterion's full statistics.
+//!
+//! Each benchmark gets a small wall-clock budget (default 40 ms,
+//! overridable with `WMS_BENCH_MS`) so `cargo bench` stays fast; raise the
+//! budget for stabler numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn budget() -> Duration {
+    let ms = std::env::var("WMS_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { budget: budget() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.budget;
+        run_one(&id.into(), None, budget, f);
+    }
+}
+
+/// Identifies one parameterized benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `new("scan", 2048)` displays as `scan/2048`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut full = function_name.into();
+        let _ = write!(full, "/{parameter}");
+        Self { full }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// A named group of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f`'s [`Bencher::iter`] loop and prints a summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.throughput, self.criterion.budget, f);
+        self
+    }
+
+    /// Like [`Self::bench_function`] but passes `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.full, self.throughput, self.criterion.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    deadline: Duration,
+}
+
+impl Bencher {
+    fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            deadline,
+        }
+    }
+
+    /// Runs `f` repeatedly until the wall-clock budget is spent and
+    /// records iteration count and total elapsed time. At least one
+    /// iteration always runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, tp: Option<Throughput>, budget: Duration, mut f: F) {
+    // Warmup: one untimed pass so lazy init and caches don't skew the run.
+    let mut warm = Bencher::with_deadline(Duration::ZERO);
+    f(&mut warm);
+
+    let mut b = Bencher::with_deadline(budget);
+    f(&mut b);
+
+    let per_iter = if b.iters > 0 {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    } else {
+        f64::NAN
+    };
+    let mut line = format!("{id:<40} {:>12.1} ns/iter ({} iters)", per_iter, b.iters);
+    if let Some(t) = tp {
+        let per_sec = 1e9 / per_iter;
+        match t {
+            Throughput::Bytes(n) => {
+                let _ = write!(
+                    line,
+                    "  {:>9.2} MiB/s",
+                    per_sec * n as f64 / (1024.0 * 1024.0)
+                );
+            }
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  {:>9.3} Melem/s", per_sec * n as f64 / 1e6);
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`), mirroring
+/// `criterion::criterion_main!`. Ignores harness CLI arguments such as
+/// `--bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes harness flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}

@@ -163,7 +163,11 @@ mod tests {
             ),
         ];
         for (input, want) in cases {
-            assert_eq!(to_hex(&Sha1::digest(input.as_bytes())), *want, "sha1({input:?})");
+            assert_eq!(
+                to_hex(&Sha1::digest(input.as_bytes())),
+                *want,
+                "sha1({input:?})"
+            );
         }
     }
 

@@ -32,7 +32,10 @@ pub fn all_marked_drawn(draws: u64, x: u64, y: u64) -> f64 {
 /// Hypergeometric PMF: probability of exactly `k` successes when drawing
 /// `n` from a population of `total` containing `succ` successes.
 pub fn pmf(k: u64, n: u64, succ: u64, total: u64) -> f64 {
-    assert!(succ <= total && n <= total, "invalid hypergeometric parameters");
+    assert!(
+        succ <= total && n <= total,
+        "invalid hypergeometric parameters"
+    );
     if k > n || k > succ || (n - k) > (total - succ) {
         return 0.0;
     }
@@ -107,8 +110,8 @@ mod tests {
         use crate::special::binomial_exact;
         for &(draws, x, y) in &[(5u64, 2u64, 10u64), (7, 3, 12), (4, 4, 8), (6, 1, 6)] {
             let t = draws - x;
-            let expect = binomial_exact(y - x, t).unwrap() as f64
-                / binomial_exact(y, draws).unwrap() as f64;
+            let expect =
+                binomial_exact(y - x, t).unwrap() as f64 / binomial_exact(y, draws).unwrap() as f64;
             assert_rel(all_marked_drawn(draws, x, y), expect, 1e-10);
         }
     }

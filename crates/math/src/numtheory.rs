@@ -102,7 +102,10 @@ pub fn next_prime(mut n: u64) -> u64 {
 /// provided generator. `bits` must be in `[3, 63]` (odd primes with the top
 /// bit set, leaving headroom for u64 arithmetic).
 pub fn random_prime(rng: &mut crate::rng::DetRng, bits: u32) -> u64 {
-    assert!((3..=63).contains(&bits), "bits must be in [3, 63], got {bits}");
+    assert!(
+        (3..=63).contains(&bits),
+        "bits must be in [3, 63], got {bits}"
+    );
     loop {
         let mut cand = rng.next_u64() >> (64 - bits);
         cand |= 1 << (bits - 1); // exact bit length
@@ -230,6 +233,7 @@ mod tests {
         assert!(!is_prime(1_000_000_007u64 * 3));
         assert!(is_prime(u64::MAX - 58)); // 2^64 - 59 is prime
         assert!(!is_prime(u64::MAX)); // 3·5·17·257·641·65537·6700417
+
         // Strong pseudoprime to base 2 only: 3215031751 = 151·751·28351.
         assert!(!is_prime(3_215_031_751));
     }

@@ -43,7 +43,10 @@ impl DetRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        DetRng { s, gauss_spare: None }
+        DetRng {
+            s,
+            gauss_spare: None,
+        }
     }
 
     /// Derives an independent child generator (e.g. one per experiment cell).
@@ -55,10 +58,7 @@ impl DetRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -21,7 +21,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -46,17 +52,29 @@ impl RunningStats {
 
     /// Sample mean; 0 for an empty accumulator.
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance (divides by n); 0 when n < 1.
     pub fn variance(&self) -> f64 {
-        if self.n < 1 { 0.0 } else { self.m2 / self.n as f64 }
+        if self.n < 1 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
     }
 
     /// Sample variance (divides by n−1); 0 when n < 2.
     pub fn sample_variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     /// Population standard deviation.
@@ -144,7 +162,11 @@ impl SlidingMoments {
 
     /// Window mean; 0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.sum / self.n as f64 }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
     }
 
     /// Window population variance, clamped at 0 against rounding.
@@ -225,7 +247,12 @@ impl Histogram {
     /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0 && hi > lo, "invalid histogram bounds");
-        Histogram { lo, hi, counts: vec![0; bins], outliers: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
     }
 
     /// Adds one observation; values outside `[lo, hi)` count as outliers.

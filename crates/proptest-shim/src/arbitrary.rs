@@ -1,0 +1,46 @@
+//! `any::<T>()` for the primitive types the tests draw.
+
+use crate::strategy::Strategy;
+use crate::test_runner::ShimRng;
+use std::marker::PhantomData;
+
+/// Strategy producing uniformly random values of `T` over its full domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ShimRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut ShimRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut ShimRng) -> f64 {
+        // Finite, roughly symmetric around zero — good enough for tests
+        // that want "some f64"; the real crate draws special values too.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}

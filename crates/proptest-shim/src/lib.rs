@@ -1,0 +1,95 @@
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the real
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored into the
+//! workspace because the build environment has no access to crates.io
+//! (see `DESIGN.md` § "Offline dependency policy").
+//!
+//! It implements exactly the API subset the `wms` property tests use:
+//!
+//! * the [`proptest!`] macro with `name(arg in strategy, ...) { body }`
+//!   test functions;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * range strategies (`lo..hi`, `lo..=hi`) over the built-in numeric
+//!   types;
+//! * [`collection::vec`] and [`sample::select`].
+//!
+//! Unlike the real crate there is **no shrinking** and no persisted
+//! failure file: cases are generated from a deterministic splitmix64
+//! stream seeded by the test name, so failures reproduce exactly on every
+//! run. The case count defaults to 64 and can be raised with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Items the tests glob-import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module alias mirroring `proptest::prelude::prop`.
+    pub use crate as prop;
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over
+/// [`test_runner::cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::ShimRng::from_name(stringify!($name));
+                for __case in 0..$crate::test_runner::cases() {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || $body)();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (no shrinking; panics
+/// like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current generated case when the precondition fails.
+///
+/// Must appear directly inside the [`proptest!`] body (the body runs in
+/// its own closure, so `return` abandons only this case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

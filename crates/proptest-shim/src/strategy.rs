@@ -1,0 +1,93 @@
+//! The [`Strategy`] trait and its range implementations.
+
+use crate::test_runner::ShimRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated values, mirroring `proptest::strategy::Strategy`
+/// in spirit: here simply "sample one value from an RNG".
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut ShimRng) -> Self::Value;
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ShimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(width) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ShimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u64) - (lo as u64);
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(width + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ShimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(width) as i64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ShimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(rng.below(width + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut ShimRng) -> f64 {
+        assert!(self.start <= self.end, "inverted range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut ShimRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "inverted range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut ShimRng) -> f32 {
+        assert!(self.start <= self.end, "inverted range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}

@@ -100,13 +100,7 @@ impl SmoothGaussianSource {
     }
 
     /// Generates exactly `n` samples.
-    pub fn generate(
-        mean: f64,
-        std_dev: f64,
-        smoothing: usize,
-        seed: u64,
-        n: usize,
-    ) -> Vec<Sample> {
+    pub fn generate(mean: f64, std_dev: f64, smoothing: usize, seed: u64, n: usize) -> Vec<Sample> {
         let mut s = Self::new(mean, std_dev, smoothing, seed);
         s.take_samples(n)
     }

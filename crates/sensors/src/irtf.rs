@@ -97,14 +97,13 @@ pub fn generate(cfg: &IrtfConfig, seed: u64) -> Vec<Sample> {
         let t = i as f64;
         // Coldest shortly before dawn, warmest mid-afternoon: a phase-
         // shifted sinusoid is an adequate first-order model.
-        let diurnal = day_amp * (core::f64::consts::TAU * (t / day) + day_phase
-            - 2.0 * core::f64::consts::FRAC_PI_3)
-            .sin();
+        let diurnal = day_amp
+            * (core::f64::consts::TAU * (t / day) + day_phase - 2.0 * core::f64::consts::FRAC_PI_3)
+                .sin();
         front = cfg.front_ar * front + front_innov * rng.standard_normal();
         micro = cfg.micro_ar * micro + micro_innov * rng.standard_normal();
         let noise = cfg.sensor_noise_std * rng.standard_normal();
-        let v = (cfg.mean_level + diurnal + front + micro + noise)
-            .clamp(cfg.clamp.0, cfg.clamp.1);
+        let v = (cfg.mean_level + diurnal + front + micro + noise).clamp(cfg.clamp.0, cfg.clamp.1);
         out.push(Sample::new(i as u64, v));
     }
     out
@@ -126,7 +125,12 @@ mod tests {
         let d = reference_dataset(2003);
         assert_eq!(d.len(), IRTF_READINGS);
         let s = summarize(&values_of(&d)).unwrap();
-        assert!(s.min >= 0.0 && s.max <= 35.0, "range [{}, {}]", s.min, s.max);
+        assert!(
+            s.min >= 0.0 && s.max <= 35.0,
+            "range [{}, {}]",
+            s.min,
+            s.max
+        );
         // Plausible mountain-site September statistics.
         assert!((5.0..25.0).contains(&s.mean), "mean {}", s.mean);
         assert!(s.std_dev > 2.0, "needs real variability, std {}", s.std_dev);
@@ -173,7 +177,10 @@ mod tests {
 
     #[test]
     fn custom_length() {
-        let cfg = IrtfConfig { readings: 1000, ..IrtfConfig::default() };
+        let cfg = IrtfConfig {
+            readings: 1000,
+            ..IrtfConfig::default()
+        };
         assert_eq!(generate(&cfg, 0).len(), 1000);
     }
 

@@ -57,7 +57,10 @@ impl TemperatureConfig {
 
     /// Config with a faster carrier (denser extremes, ξ ≈ 25).
     pub fn fast_fluctuation() -> Self {
-        TemperatureConfig { period: 50.0, ..Self::default() }
+        TemperatureConfig {
+            period: 50.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -77,7 +80,10 @@ impl OscillatingTemperature {
     /// Creates the generator with an explicit seed.
     pub fn new(cfg: TemperatureConfig, seed: u64) -> Self {
         assert!(cfg.period > 1.0, "period must exceed one sample");
-        assert!((0.0..1.0).contains(&cfg.noise_ar), "AR coefficient in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&cfg.noise_ar),
+            "AR coefficient in [0,1)"
+        );
         let mut rng = DetRng::seed_from_u64(seed);
         let phase = rng.uniform(0.0, core::f64::consts::TAU);
         let phase_step = core::f64::consts::TAU / cfg.period;
@@ -190,9 +196,17 @@ mod tests {
             drift_std: 0.0,
             ..TemperatureConfig::default()
         };
-        let noisy = TemperatureConfig { noise_std: 0.5, noise_ar: 0.3, ..quiet };
-        let a = direction_changes(&values_of(&OscillatingTemperature::generate(quiet, 9, 5000)));
-        let b = direction_changes(&values_of(&OscillatingTemperature::generate(noisy, 9, 5000)));
+        let noisy = TemperatureConfig {
+            noise_std: 0.5,
+            noise_ar: 0.3,
+            ..quiet
+        };
+        let a = direction_changes(&values_of(&OscillatingTemperature::generate(
+            quiet, 9, 5000,
+        )));
+        let b = direction_changes(&values_of(&OscillatingTemperature::generate(
+            noisy, 9, 5000,
+        )));
         assert!(b > a * 2, "noise should add extremes: {a} vs {b}");
     }
 
@@ -208,7 +222,10 @@ mod tests {
     #[should_panic(expected = "period must exceed")]
     fn rejects_degenerate_period() {
         OscillatingTemperature::new(
-            TemperatureConfig { period: 0.5, ..TemperatureConfig::default() },
+            TemperatureConfig {
+                period: 0.5,
+                ..TemperatureConfig::default()
+            },
             0,
         );
     }

@@ -20,8 +20,8 @@
 
 pub mod csv;
 pub mod normalize;
-pub mod rate;
 pub mod pipeline;
+pub mod rate;
 pub mod sample;
 pub mod source;
 pub mod window;

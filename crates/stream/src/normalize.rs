@@ -41,11 +41,17 @@ impl Normalizer {
         let center = (lo + hi) / 2.0;
         let half_range = (hi - lo) / 2.0;
         if half_range == 0.0 {
-            return Some(Normalizer { offset: center, scale: 0.0 });
+            return Some(Normalizer {
+                offset: center,
+                scale: 0.0,
+            });
         }
         // Map [lo, hi] onto [−0.5+m, +0.5−m].
         let scale = (0.5 - MARGIN) / half_range;
-        Some(Normalizer { offset: center, scale })
+        Some(Normalizer {
+            offset: center,
+            scale,
+        })
     }
 
     /// Builds an explicit normalizer (testing / pre-agreed calibration).
@@ -136,7 +142,9 @@ mod tests {
     #[test]
     fn affine_attack_invariance() {
         // The paper's A4 defense: normalizing a·x + b equals normalizing x.
-        let vals: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin() * 4.0 + 20.0).collect();
+        let vals: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.7).sin() * 4.0 + 20.0)
+            .collect();
         let attacked: Vec<f64> = vals.iter().map(|&v| 2.5 * v - 100.0).collect();
         let n0 = Normalizer::fit(&vals).unwrap();
         let n1 = Normalizer::fit(&attacked).unwrap();

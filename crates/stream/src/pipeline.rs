@@ -66,13 +66,19 @@ pub struct MapValues<F: Fn(f64) -> f64> {
 impl<F: Fn(f64) -> f64> MapValues<F> {
     /// Wraps a pure value function.
     pub fn new(label: impl Into<String>, f: F) -> Self {
-        MapValues { f, label: label.into() }
+        MapValues {
+            f,
+            label: label.into(),
+        }
     }
 }
 
 impl<F: Fn(f64) -> f64> Transform for MapValues<F> {
     fn apply(&self, input: &[Sample]) -> Vec<Sample> {
-        input.iter().map(|s| s.with_value((self.f)(s.value))).collect()
+        input
+            .iter()
+            .map(|s| s.with_value((self.f)(s.value)))
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -190,11 +196,7 @@ mod tests {
         struct DropOdd;
         impl Transform for DropOdd {
             fn apply(&self, input: &[Sample]) -> Vec<Sample> {
-                input
-                    .iter()
-                    .filter(|s| s.index % 2 == 0)
-                    .copied()
-                    .collect()
+                input.iter().filter(|s| s.index % 2 == 0).copied().collect()
             }
             fn name(&self) -> String {
                 "drop-odd".into()

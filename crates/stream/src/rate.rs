@@ -64,7 +64,9 @@ impl RateEstimator {
 /// non-positive; clamps at 1 (a transformed stream cannot be denser than
 /// the original under the paper's transform model).
 pub fn degree_from_rates(original_rate: f64, observed_rate: f64) -> Option<f64> {
-    if !(original_rate > 0.0) || !(observed_rate > 0.0) {
+    // `> 0.0` is false for NaN, so NaN rates are rejected too.
+    let positive = |r: f64| r > 0.0;
+    if !positive(original_rate) || !positive(observed_rate) {
         return None;
     }
     Some((original_rate / observed_rate).max(1.0))

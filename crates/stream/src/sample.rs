@@ -22,7 +22,10 @@ pub struct Span {
 impl Span {
     /// Span covering the single index `i`.
     pub fn unit(i: u64) -> Self {
-        Span { start: i, end: i + 1 }
+        Span {
+            start: i,
+            end: i + 1,
+        }
     }
 
     /// Span covering `[start, end)`. Panics if empty or inverted.
@@ -53,7 +56,10 @@ impl Span {
 
     /// Smallest span covering both inputs (they need not overlap).
     pub fn hull(&self, other: &Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// Midpoint original index (used to match extremes across transforms).
@@ -80,7 +86,11 @@ pub struct Sample {
 impl Sample {
     /// A pristine sample at original position `index`.
     pub fn new(index: u64, value: f64) -> Self {
-        Sample { index, value, span: Span::unit(index) }
+        Sample {
+            index,
+            value,
+            span: Span::unit(index),
+        }
     }
 
     /// A derived sample with explicit provenance.

@@ -95,12 +95,20 @@ pub struct FnSource<F: FnMut(u64) -> f64> {
 impl<F: FnMut(u64) -> f64> FnSource<F> {
     /// Unbounded generator.
     pub fn new(f: F) -> Self {
-        FnSource { f, next_index: 0, limit: None }
+        FnSource {
+            f,
+            next_index: 0,
+            limit: None,
+        }
     }
 
     /// Generator producing exactly `n` samples.
     pub fn with_limit(f: F, n: u64) -> Self {
-        FnSource { f, next_index: 0, limit: Some(n) }
+        FnSource {
+            f,
+            next_index: 0,
+            limit: Some(n),
+        }
     }
 }
 

@@ -151,7 +151,10 @@ mod tests {
             w.push(s(i));
         }
         let out = w.advance(3);
-        assert_eq!(out.iter().map(|x| x.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            out.iter().map(|x| x.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(w.len(), 2);
         assert_eq!(w.total_evicted(), 3);
     }

@@ -1,9 +1,7 @@
 //! Property-based tests of the streaming substrate.
 
 use proptest::prelude::*;
-use wms_stream::{
-    samples_from_values, values_of, Normalizer, Sample, SlidingWindow, Span,
-};
+use wms_stream::{samples_from_values, values_of, Normalizer, Sample, SlidingWindow, Span};
 
 proptest! {
     #[test]

@@ -29,7 +29,11 @@ fn main() {
     let encoder: Arc<MultiHashEncoder> = Arc::new(MultiHashEncoder);
 
     // Each customer receives an individually keyed copy.
-    let customers = [("alice", 0xA11CEu64), ("bob", 0xB0Bu64), ("carol", 0xCA201u64)];
+    let customers = [
+        ("alice", 0xA11CEu64),
+        ("bob", 0xB0Bu64),
+        ("carol", 0xCA201u64),
+    ];
     let mut copies = Vec::new();
     for (name, key) in customers {
         let (marked, stats) = Embedder::embed_stream(
@@ -39,14 +43,21 @@ fn main() {
             &stream,
         )
         .unwrap();
-        println!("{name}: licensed copy with {} embedded bits", stats.embedded);
+        println!(
+            "{name}: licensed copy with {} embedded bits",
+            stats.embedded
+        );
         copies.push((name, key, marked));
     }
 
     // Bob leaks a down-sampled segment of his copy.
     let (leaker, _, bobs_copy) = &copies[1];
     let leaked = UniformSampling::new(2, 99).apply(
-        &Segmentation { start: 3000, len: 8000 }.apply(bobs_copy),
+        &Segmentation {
+            start: 3000,
+            len: 8000,
+        }
+        .apply(bobs_copy),
     );
     println!("\na {}-value copy surfaced; tracing...", leaked.len());
 

@@ -47,9 +47,15 @@ fn main() {
     let pirated = Pipeline::new()
         .then(UniformSampling::new(2, 666))
         .then(EpsilonAttack::uniform(0.10, 0.05, 666))
-        .then(Segmentation { start: 2000, len: 5000 })
+        .then(Segmentation {
+            start: 2000,
+            len: 5000,
+        })
         .apply(&licensed);
-    println!("pirated copy: {} values, resampled and perturbed", pirated.len());
+    println!(
+        "pirated copy: {} values, resampled and perturbed",
+        pirated.len()
+    );
 
     // The rights holder re-applies the *stored* calibration — re-fitting
     // min–max on attacked data whose global extremes were dropped would

@@ -33,9 +33,7 @@ fn main() {
     // window mean/std may drift by at most 1e-4 per embedding step.
     let max_raw_change_celsius = 0.02;
     let max_norm_change = max_raw_change_celsius * normalizer.scale();
-    println!(
-        "budget: |Δitem| ≤ {max_raw_change_celsius} °C (= {max_norm_change:.2e} normalized)"
-    );
+    println!("budget: |Δitem| ≤ {max_raw_change_celsius} °C (= {max_norm_change:.2e} normalized)");
 
     let mut embedder = Embedder::new(
         scheme.clone(),
@@ -43,7 +41,9 @@ fn main() {
         Watermark::single(true),
     )
     .unwrap()
-    .with_constraint(MaxItemChange { max: max_norm_change })
+    .with_constraint(MaxItemChange {
+        max: max_norm_change,
+    })
     .with_constraint(MaxMeanDrift { max: 1e-4 })
     .with_constraint(MaxStdDrift { max: 1e-4 });
 
@@ -89,6 +89,10 @@ fn main() {
         TransformHint::None,
     )
     .unwrap();
-    println!("detected bias: {} (P_fp = {:.2e})", report.bias(), report.false_positive_probability());
+    println!(
+        "detected bias: {} (P_fp = {:.2e})",
+        report.bias(),
+        report.false_positive_probability()
+    );
     assert!(report.bias() > 10);
 }

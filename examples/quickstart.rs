@@ -47,7 +47,11 @@ fn main() {
 
     // 5. Mallory summarizes the stream down to 50% and keeps a segment.
     let attacked = Summarization::new(2).apply(&marked);
-    let segment = Segmentation { start: 1000, len: 6000 }.apply(&attacked);
+    let segment = Segmentation {
+        start: 1000,
+        len: 6000,
+    }
+    .apply(&attacked);
     println!("Mallory re-sells {} summarized values", segment.len());
 
     // 6. The rights holder detects the watermark in the pirated segment.

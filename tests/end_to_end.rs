@@ -27,7 +27,10 @@ fn scheme(key: u64) -> Scheme {
 }
 
 fn marked_reference(key: u64, n: usize) -> (Vec<Sample>, Scheme, u64) {
-    let cfg = IrtfConfig { readings: n, ..IrtfConfig::default() };
+    let cfg = IrtfConfig {
+        readings: n,
+        ..IrtfConfig::default()
+    };
     let raw = generate_irtf(&cfg, 2003);
     let (stream, _) = normalize_stream(&raw).unwrap();
     let s = scheme(key);
@@ -38,7 +41,10 @@ fn marked_reference(key: u64, n: usize) -> (Vec<Sample>, Scheme, u64) {
         &stream,
     )
     .unwrap();
-    assert!(stats.embedded > 20, "need a meaningful carrier population: {stats:?}");
+    assert!(
+        stats.embedded > 20,
+        "need a meaningful carrier population: {stats:?}"
+    );
     (marked, s, stats.embedded)
 }
 
@@ -69,7 +75,10 @@ fn survives_sampling_degree_3() {
     let (marked, s, _) = marked_reference(2, 8000);
     let attacked = UniformSampling::new(3, 7).apply(&marked);
     let bias = detect_bias(&s, &attacked, 3.0);
-    assert!(bias >= 7, "sampling-3 bias {bias} too weak (P_fp 2^-{bias})");
+    assert!(
+        bias >= 7,
+        "sampling-3 bias {bias} too weak (P_fp 2^-{bias})"
+    );
 }
 
 #[test]
@@ -102,7 +111,11 @@ fn survives_combined_pipeline() {
 #[test]
 fn survives_segmentation() {
     let (marked, s, _) = marked_reference(6, 12_000);
-    let segment = Segmentation { start: 4000, len: 5000 }.apply(&marked);
+    let segment = Segmentation {
+        start: 4000,
+        len: 5000,
+    }
+    .apply(&marked);
     let bias = detect_bias(&s, &segment, 1.0);
     assert!(bias >= 10, "segment bias {bias} too weak");
 }
@@ -129,7 +142,10 @@ fn wrong_key_sees_noise() {
 
 #[test]
 fn unwatermarked_reference_is_clean() {
-    let cfg = IrtfConfig { readings: 6000, ..IrtfConfig::default() };
+    let cfg = IrtfConfig {
+        readings: 6000,
+        ..IrtfConfig::default()
+    };
     let raw = generate_irtf(&cfg, 999);
     let (stream, _) = normalize_stream(&raw).unwrap();
     let report = Detector::detect_stream(
@@ -151,7 +167,11 @@ fn unwatermarked_reference_is_clean() {
 fn linear_change_neutralized_by_renormalization() {
     let (marked, s, embedded) = marked_reference(9, 6000);
     // Mallory rescales: x -> 3x - 1 (e.g. unit conversion).
-    let attacked = wms_attacks::LinearChange { scale: 3.0, offset: -1.0 }.apply(&marked);
+    let attacked = wms_attacks::LinearChange {
+        scale: 3.0,
+        offset: -1.0,
+    }
+    .apply(&marked);
     // Detection re-normalizes; min–max normalization is affine-invariant,
     // so the recovered normalized values are bit-identical.
     let values = values_of(&attacked);

@@ -16,7 +16,11 @@ fn scheme(key: u64, p: WmParams) -> Scheme {
 /// `2^-(τ·a(a+1)/2)`; its measured mean must match §5's closed form.
 #[test]
 fn search_cost_matches_closed_form_a3() {
-    let p = WmParams { max_subset: 3, min_active: None, ..WmParams::default() };
+    let p = WmParams {
+        max_subset: 3,
+        min_active: None,
+        ..WmParams::default()
+    };
     let s = scheme(11, p);
     let enc = MultiHashEncoder;
     let values = [0.3101, 0.3123, 0.3111];
@@ -29,6 +33,7 @@ fn search_cost_matches_closed_form_a3() {
     }
     let mean = total as f64 / runs as f64;
     let expect = analysis::expected_search_iterations(3, 1); // 2^6 = 64
+
     // Geometric mean-of-40 has std ≈ expect/sqrt(40); allow 4σ.
     let tol = 4.0 * expect / (runs as f64).sqrt();
     assert!(
@@ -60,7 +65,10 @@ fn random_subset_verdicts_are_fair() {
             None => {}
         }
     }
-    assert!(decided > 600, "most random subsets should decide: {decided}");
+    assert!(
+        decided > 600,
+        "most random subsets should decide: {decided}"
+    );
     let frac = true_verdicts as f64 / decided as f64;
     // 4σ band around 1/2 for ~700 Bernoulli trials is ±0.076.
     assert!(
@@ -100,7 +108,10 @@ fn empirical_false_positive_rate_bounded() {
     let mut exceed_16 = 0;
     let mut small_bias_with_tiny_binomial_pfp = 0;
     for seed in 0..runs {
-        let cfg = wms_sensors::IrtfConfig { readings: 3000, ..Default::default() };
+        let cfg = wms_sensors::IrtfConfig {
+            readings: 3000,
+            ..Default::default()
+        };
         let raw = wms_sensors::generate_irtf(&cfg, 5000 + seed);
         let (stream, _) = normalize_stream(&raw).unwrap();
         let report = Detector::detect_stream(
@@ -147,20 +158,17 @@ fn clean_detection_efficiency() {
         window: 1024,
         ..WmParams::default()
     };
-    let cfg = wms_sensors::IrtfConfig { readings: 8000, ..Default::default() };
+    let cfg = wms_sensors::IrtfConfig {
+        readings: 8000,
+        ..Default::default()
+    };
     let raw = wms_sensors::generate_irtf(&cfg, 77);
     let (stream, _) = normalize_stream(&raw).unwrap();
     let s = scheme(41, p);
     let enc: Arc<MultiHashEncoder> = Arc::new(MultiHashEncoder);
-    let (marked, stats) = Embedder::embed_stream(
-        s.clone(),
-        enc.clone(),
-        Watermark::single(true),
-        &stream,
-    )
-    .unwrap();
-    let report =
-        Detector::detect_stream(s, enc, 1, &marked, TransformHint::None).unwrap();
+    let (marked, stats) =
+        Embedder::embed_stream(s.clone(), enc.clone(), Watermark::single(true), &stream).unwrap();
+    let report = Detector::detect_stream(s, enc, 1, &marked, TransformHint::None).unwrap();
     let efficiency = report.bias() as f64 / stats.embedded as f64;
     // min_active=12 of 15 guarantees the overall convention but not the
     // m_ii singles specifically, so a fraction of carriers verdict wrong

@@ -28,7 +28,10 @@ fn scheme() -> Scheme {
 /// amplitude oscillator funnels every extreme into one bucket — an
 /// inherent property of §3.2's msb-keyed selection).
 fn stream(n: usize) -> Vec<Sample> {
-    let cfg = IrtfConfig { readings: n, ..IrtfConfig::default() };
+    let cfg = IrtfConfig {
+        readings: n,
+        ..IrtfConfig::default()
+    };
     let raw = generate_irtf(&cfg, 77);
     normalize_stream(&raw).unwrap().0
 }
@@ -44,8 +47,12 @@ fn incremental_push_equals_batch() {
     )
     .unwrap();
 
-    let mut e = Embedder::new(scheme(), Arc::new(MultiHashEncoder), Watermark::single(true))
-        .unwrap();
+    let mut e = Embedder::new(
+        scheme(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+    )
+    .unwrap();
     let mut incremental = Vec::with_capacity(input.len());
     for &s in &input {
         incremental.extend(e.push(s));
@@ -65,8 +72,12 @@ fn emission_latency_bounded_by_window() {
     // n − $ must have come out (nothing is buffered beyond the window).
     let input = stream(4000);
     let window = params().window;
-    let mut e = Embedder::new(scheme(), Arc::new(MultiHashEncoder), Watermark::single(true))
-        .unwrap();
+    let mut e = Embedder::new(
+        scheme(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+    )
+    .unwrap();
     let mut emitted = 0usize;
     for (i, &s) in input.iter().enumerate() {
         emitted += e.push(s).len();
@@ -85,8 +96,12 @@ fn emission_latency_bounded_by_window() {
 #[test]
 fn emission_preserves_order_and_provenance() {
     let input = stream(3000);
-    let mut e = Embedder::new(scheme(), Arc::new(MultiHashEncoder), Watermark::single(true))
-        .unwrap();
+    let mut e = Embedder::new(
+        scheme(),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+    )
+    .unwrap();
     let mut out = Vec::new();
     for &s in &input {
         out.extend(e.push(s));

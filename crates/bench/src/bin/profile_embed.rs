@@ -1,0 +1,150 @@
+//! Quick component profile of the multihash embed bench workload.
+use std::sync::Arc;
+use std::time::Instant;
+use wms_bench::{datasets, exp};
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{Embedder, Watermark, WmParams};
+
+fn main() {
+    let (data, _) = datasets::irtf_normalized_prefix(5000);
+    let reduced = WmParams {
+        min_active: Some(12),
+        ..exp::irtf_params()
+    };
+    // Full pipeline timing + stats.
+    let t = Instant::now();
+    let mut stats = None;
+    for _ in 0..20 {
+        let (_, s) = Embedder::embed_stream(
+            exp::scheme(reduced),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+            &data,
+        )
+        .unwrap();
+        stats = Some(s);
+    }
+    let full = t.elapsed().as_secs_f64() / 20.0;
+    let stats = stats.unwrap();
+    println!("full embed: {:.3} ms  stats: {stats:?}", full * 1e3);
+    println!(
+        "majors={} selected={} embedded={} total_iterations={}",
+        stats.majors_seen, stats.selected, stats.embedded, stats.total_iterations
+    );
+
+    // Pipeline with an encoder that does nothing (measures scan/window/labeler cost).
+    struct NullEnc;
+    impl wms_core::SubsetEncoder for NullEnc {
+        fn embed(
+            &self,
+            _s: &wms_core::Scheme,
+            values: &[f64],
+            _o: usize,
+            _l: &wms_core::Label,
+            _b: bool,
+        ) -> Option<wms_core::EmbedResult> {
+            Some(wms_core::EmbedResult {
+                values: values.to_vec(),
+                iterations: 1,
+            })
+        }
+        fn detect(
+            &self,
+            _s: &wms_core::Scheme,
+            _v: &[f64],
+            _l: &wms_core::Label,
+        ) -> wms_core::Vote {
+            wms_core::Vote::empty()
+        }
+        fn name(&self) -> &'static str {
+            "null"
+        }
+    }
+    let t = Instant::now();
+    for _ in 0..20 {
+        Embedder::embed_stream(
+            exp::scheme(reduced),
+            Arc::new(NullEnc),
+            Watermark::single(true),
+            &data,
+        )
+        .unwrap();
+    }
+    println!(
+        "null-encoder pipeline: {:.3} ms",
+        t.elapsed().as_secs_f64() / 20.0 * 1e3
+    );
+
+    // Raw compiled hash throughput.
+    let s = exp::scheme(reduced);
+    let label = wms_core::Label::from_parts(0b1_0110, 5);
+    let mut compiled = s.compile_convention_hasher(&label);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    let n = 1_000_000u64;
+    for i in 0..n {
+        acc ^= compiled.hash_u64(i);
+    }
+    let per = t.elapsed().as_nanos() as f64 / n as f64;
+    println!("compiled hash: {per:.1} ns/hash (acc {acc})");
+
+    // Batched compiled hash throughput.
+    let mut compiled4 = s.compile_convention_hasher(&label);
+    let t = Instant::now();
+    let mut acc4 = 0u64;
+    let n4 = 500_000u64;
+    for i in 0..n4 {
+        let r = compiled4.hash_u64_x4([i, i + 1, i + 2, i + 3]);
+        acc4 ^= r[0] ^ r[1] ^ r[2] ^ r[3];
+    }
+    let per4 = t.elapsed().as_nanos() as f64 / n4 as f64;
+    println!(
+        "compiled hash x4: {:.1} ns/batch = {:.1} ns/hash (acc {acc4})",
+        per4,
+        per4 / 4.0
+    );
+
+    let mut compiled8 = s.compile_convention_hasher(&label);
+    let t = Instant::now();
+    let mut acc8 = 0u64;
+    let n8 = 500_000u64;
+    for i in 0..n8 {
+        let r = compiled8.hash_u64_lanes([i, i + 1, i + 2, i + 3, i + 4, i + 5, i + 6, i + 7]);
+        acc8 ^= r.iter().fold(0, |a, b| a ^ b);
+    }
+    let per8 = t.elapsed().as_nanos() as f64 / n8 as f64;
+    println!(
+        "compiled hash x8: {:.1} ns/batch = {:.1} ns/hash (acc {acc8})",
+        per8,
+        per8 / 8.0
+    );
+
+    let mut compiled16 = s.compile_convention_hasher(&label);
+    let t = Instant::now();
+    let mut acc16 = 0u64;
+    let n16 = 500_000u64;
+    for i in 0..n16 {
+        let mut xs = [0u64; 16];
+        for (l, x) in xs.iter_mut().enumerate() {
+            *x = i + l as u64;
+        }
+        let r = compiled16.hash_u64_lanes(xs);
+        acc16 ^= r.iter().fold(0, |a, b| a ^ b);
+    }
+    let per16 = t.elapsed().as_nanos() as f64 / n16 as f64;
+    println!(
+        "compiled hash x16: {:.1} ns/batch = {:.1} ns/hash (acc {acc16})",
+        per16,
+        per16 / 16.0
+    );
+
+    // Direct (midstate) convention_code throughput.
+    let t = Instant::now();
+    let mut acc2 = 0u64;
+    let n2 = 500_000u64;
+    for i in 0..n2 {
+        acc2 ^= s.convention_code(i as i64, &label);
+    }
+    let per2 = t.elapsed().as_nanos() as f64 / n2 as f64;
+    println!("midstate convention_code: {per2:.1} ns/hash (acc {acc2})");
+}

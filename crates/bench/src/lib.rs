@@ -16,6 +16,8 @@
 
 pub mod datasets;
 pub mod exp;
+pub mod perf;
+pub mod reference;
 pub mod report;
 
 pub use report::{emit_figure, Series};

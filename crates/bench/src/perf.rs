@@ -1,0 +1,193 @@
+//! Self-timed perf baseline harness: measures pipeline workloads and
+//! writes the machine-readable `BENCH_pipeline.json` trajectory file.
+//!
+//! Unlike the criterion-shim benches (which print to stdout and are meant
+//! for interactive use), this module produces one structured artifact per
+//! run so successive PRs can diff throughput. The `bench_baseline` binary
+//! drives it over the §6 pipeline workloads in *before* (naive encoder,
+//! midstate disabled) and *after* (memoized + midstate + scratch-buffer)
+//! variants.
+
+use std::time::{Duration, Instant};
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Workload id, e.g. `pipeline-embed/multihash min_active=12 5k items`.
+    pub bench: String,
+    /// `naive` (pre-overhaul hot path) or `optimized`.
+    pub variant: String,
+    /// Logical items processed per iteration.
+    pub items: u64,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Derived items/second throughput.
+    pub items_per_sec: f64,
+}
+
+/// Runs `f` repeatedly for roughly `budget` (after one untimed warmup
+/// pass; at least one timed iteration always runs) and derives items/sec.
+pub fn measure(
+    bench: impl Into<String>,
+    variant: impl Into<String>,
+    items: u64,
+    budget: Duration,
+    mut f: impl FnMut(),
+) -> PerfRecord {
+    // Warmup: lazy init (datasets, allocator pools) must not skew iter 1.
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    let elapsed = loop {
+        f();
+        iters += 1;
+        let e = start.elapsed();
+        if e >= budget {
+            break e;
+        }
+    };
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    PerfRecord {
+        bench: bench.into(),
+        variant: variant.into(),
+        items,
+        iters,
+        ns_per_iter,
+        items_per_sec: items as f64 * 1e9 / ns_per_iter,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the `BENCH_pipeline.json` document (hand-rolled JSON; the
+/// workspace is offline and carries no serde).
+pub fn render_json(schema: &str, budget_ms: u64, records: &[PerfRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", json_escape(schema)));
+    out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"variant\": \"{}\", \"items\": {}, \"iters\": {}, \
+             \"ns_per_iter\": {:.1}, \"items_per_sec\": {:.1}}}{}\n",
+            json_escape(&r.bench),
+            json_escape(&r.variant),
+            r.items,
+            r.iters,
+            r.ns_per_iter,
+            r.items_per_sec,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table printed next to the JSON artifact.
+pub fn render_perf_table(records: &[PerfRecord]) -> String {
+    let headers: Vec<String> = ["bench", "variant", "items/sec", "ns/iter", "iters"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.clone(),
+                r.variant.clone(),
+                format!("{:.0}", r.items_per_sec),
+                format!("{:.0}", r.ns_per_iter),
+                r.iters.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::render_table(&headers, &rows)
+}
+
+/// Speedup of `optimized` over `naive` for one bench id, when both are
+/// present.
+pub fn speedup(records: &[PerfRecord], bench: &str) -> Option<f64> {
+    let of = |variant: &str| {
+        records
+            .iter()
+            .find(|r| r.bench == bench && r.variant == variant)
+            .map(|r| r.items_per_sec)
+    };
+    Some(of("optimized")? / of("naive")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bench: &str, variant: &str, rate: f64) -> PerfRecord {
+        PerfRecord {
+            bench: bench.into(),
+            variant: variant.into(),
+            items: 100,
+            iters: 3,
+            ns_per_iter: 100.0 * 1e9 / rate,
+            items_per_sec: rate,
+        }
+    }
+
+    #[test]
+    fn measure_runs_at_least_once_and_derives_rate() {
+        let mut calls = 0u32;
+        let r = measure("t", "optimized", 50, Duration::ZERO, || calls += 1);
+        assert!(calls >= 2, "warmup + >=1 timed iteration");
+        assert!(r.iters >= 1);
+        assert!(r.items_per_sec > 0.0);
+        assert_eq!(r.items, 50);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let records = vec![
+            rec("embed/x", "naive", 1e5),
+            rec("embed/x", "optimized", 4e5),
+        ];
+        let j = render_json("wms-bench-pipeline/v1", 200, &records);
+        assert!(j.contains("\"schema\": \"wms-bench-pipeline/v1\""));
+        assert!(j.contains("\"budget_ms\": 200"));
+        assert!(j.contains("\"variant\": \"naive\""));
+        assert!(j.contains("\"variant\": \"optimized\""));
+        // Exactly one comma between the two result objects, none trailing.
+        assert_eq!(j.matches("},\n").count(), 1);
+        assert!(!j.contains(",\n  ]"));
+        let braces = j.matches('{').count();
+        assert_eq!(braces, j.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let records = vec![rec("weird\"id", "optimized", 1.0)];
+        let j = render_json("s", 1, &records);
+        assert!(j.contains("weird\\\"id"));
+    }
+
+    #[test]
+    fn speedup_pairs_variants() {
+        let records = vec![
+            rec("embed", "naive", 1e5),
+            rec("embed", "optimized", 3.5e5),
+            rec("detect", "optimized", 2e5),
+        ];
+        let s = speedup(&records, "embed").unwrap();
+        assert!((s - 3.5).abs() < 1e-9);
+        assert!(speedup(&records, "detect").is_none());
+    }
+
+    #[test]
+    fn table_includes_every_record() {
+        let records = vec![rec("a", "naive", 1.0), rec("b", "optimized", 2.0)];
+        let t = render_perf_table(&records);
+        assert!(t.contains('a') && t.contains('b'));
+        assert!(t.contains("items/sec"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Reference (pre-optimization) multi-hash implementation.
+//!
+//! A verbatim replica of the §4.3 encoder as it existed before the
+//! hot-path overhaul: every convention code builds the canonical message
+//! as an owned buffer, hands it to the keyed hash (which re-concatenates
+//! `k ; V ; k`), and every embed/detect call allocates its own prefix-sum
+//! and candidate vectors. Kept for two jobs:
+//!
+//! * **golden-equality testing** — the optimized pipeline (memoized code
+//!   table, midstate keyed hashing, scratch buffers) must produce
+//!   bit-identical embedded streams and detection reports to this
+//!   implementation, since embedding is deterministic per key + label;
+//! * **before/after benchmarking** — driven with a
+//!   [`KeyedHash::without_midstate`](wms_crypto::KeyedHash::without_midstate)
+//!   scheme, it reconstructs the pre-overhaul per-hash cost profile for
+//!   the `BENCH_pipeline.json` baseline.
+
+use wms_core::encoding::{EmbedResult, SubsetEncoder, Vote};
+use wms_core::{Label, Scheme};
+use wms_crypto::keyed::encode::{self, DOM_MULTIHASH};
+use wms_math::DetRng;
+
+/// The naive multi-hash encoder (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveMultiHashEncoder;
+
+/// Direct convention-code computation: owned message buffer, no memo.
+fn convention_code(scheme: &Scheme, m_raw: i64, label: &Label) -> u64 {
+    let m_lsb = scheme.codec.lsb(m_raw, scheme.params.lsb_bits);
+    let msg = encode::message(
+        DOM_MULTIHASH,
+        &[&encode::u64_bytes(m_lsb), &label.to_bytes()],
+    );
+    scheme.hash.hash_lsb(&msg, scheme.params.convention_bits)
+}
+
+fn pair_count(a: usize) -> usize {
+    a * (a + 1) / 2
+}
+
+fn count_satisfying(
+    scheme: &Scheme,
+    values: &[f64],
+    label: &Label,
+    bit: bool,
+    required: usize,
+) -> usize {
+    let c = &scheme.codec;
+    let target = scheme.convention_target(bit);
+    let a = values.len();
+    let total = pair_count(a);
+    let mut prefix = Vec::with_capacity(a + 1);
+    prefix.push(0.0f64);
+    for &v in values {
+        prefix.push(prefix.last().unwrap() + v);
+    }
+    let mut satisfied = 0usize;
+    let mut checked = 0usize;
+    for i in 0..a {
+        for j in i..a {
+            let mean = (prefix[j + 1] - prefix[i]) / (j - i + 1) as f64;
+            let code = convention_code(scheme, c.quantize(mean), label);
+            checked += 1;
+            if code == target {
+                satisfied += 1;
+                if satisfied >= required {
+                    return satisfied;
+                }
+            } else if satisfied + (total - checked) < required {
+                return satisfied;
+            }
+        }
+    }
+    satisfied
+}
+
+impl SubsetEncoder for NaiveMultiHashEncoder {
+    fn embed(
+        &self,
+        scheme: &Scheme,
+        values: &[f64],
+        _extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        if values.is_empty() {
+            return None;
+        }
+        let p = &scheme.params;
+        let c = &scheme.codec;
+        let total = pair_count(values.len());
+        let required = p.min_active.map(|m| m.min(total)).unwrap_or(total);
+
+        let raws: Vec<i64> = values.iter().map(|&v| c.quantize(v)).collect();
+        let seed = scheme.hash.hash_u64(&label.to_bytes());
+        let mut rng = DetRng::seed_from_u64(seed);
+
+        let mut candidate: Vec<f64> = values.to_vec();
+        for iter in 0..p.max_iterations {
+            if iter > 0 {
+                for (k, &raw) in raws.iter().enumerate() {
+                    let pattern = rng.next_u64();
+                    candidate[k] = c.dequantize(c.replace_lsb(raw, p.lsb_bits, pattern));
+                }
+            }
+            let ok = count_satisfying(scheme, &candidate, label, bit, required);
+            if ok >= required {
+                return Some(EmbedResult {
+                    values: candidate,
+                    iterations: iter + 1,
+                });
+            }
+        }
+        None
+    }
+
+    fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
+        let c = &scheme.codec;
+        let a = values.len();
+        let mut singles = Vote::empty();
+        for &v in values {
+            let code = convention_code(scheme, c.quantize(v), label);
+            if let Some(b) = scheme.classify_code(code) {
+                singles.add(b);
+            }
+        }
+        if singles.verdict().is_some() {
+            return singles;
+        }
+        let mut vote = singles;
+        let mut prefix = Vec::with_capacity(a + 1);
+        prefix.push(0.0f64);
+        for &v in values {
+            prefix.push(prefix.last().unwrap() + v);
+        }
+        for i in 0..a {
+            for j in (i + 1)..a {
+                let mean = (prefix[j + 1] - prefix[i]) / (j - i + 1) as f64;
+                let code = convention_code(scheme, c.quantize(mean), label);
+                if let Some(b) = scheme.classify_code(code) {
+                    vote.add(b);
+                }
+            }
+        }
+        vote
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-hash-naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_core::encoding::multihash::MultiHashEncoder;
+    use wms_core::WmParams;
+    use wms_crypto::{Key, KeyedHash};
+
+    #[test]
+    fn naive_matches_optimized_on_subsets() {
+        let params = WmParams {
+            min_active: Some(8),
+            ..WmParams::default()
+        };
+        let s = Scheme::new(params, KeyedHash::md5(Key::from_u64(123))).unwrap();
+        let values = [0.301, 0.3055, 0.309, 0.3102, 0.3066];
+        for l in 0..6u64 {
+            let label = Label::from_parts((1 << 5) | l, 6);
+            for bit in [true, false] {
+                let naive = NaiveMultiHashEncoder.embed(&s, &values, 2, &label, bit);
+                let fast = MultiHashEncoder.embed(&s, &values, 2, &label, bit);
+                assert_eq!(naive, fast, "label {l} bit {bit}");
+                if let Some(r) = &naive {
+                    assert_eq!(
+                        NaiveMultiHashEncoder.detect(&s, &r.values, &label),
+                        MultiHashEncoder.detect(&s, &r.values, &label)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! Detection never consults provenance or timestamps: it sees exactly the
 //! value sequence Mallory publishes.
 
-use crate::encoding::{trim_around, SubsetEncoder};
+use crate::encoding::{trim_around, EncoderScratch, SubsetEncoder};
 use crate::extremes;
 use crate::labeling::Labeler;
 use crate::scheme::Scheme;
@@ -158,6 +158,15 @@ pub struct Detector {
     chi: f64,
     finished: bool,
     pending_advance: usize,
+    /// Encoder scratch (code memo + buffers), reused across the stream.
+    scratch: EncoderScratch,
+    /// Window-values snapshot buffer for extreme scanning.
+    values_buf: Vec<f64>,
+    /// Extreme scanner (plateau-run buffer) and its output buffer.
+    scanner: extremes::Scanner,
+    extremes_buf: Vec<extremes::Extreme>,
+    /// Trimmed-subset values buffer.
+    subset_buf: Vec<f64>,
 }
 
 impl Detector {
@@ -191,16 +200,22 @@ impl Detector {
             chi,
             finished: false,
             pending_advance: 0,
+            scratch: EncoderScratch::new(),
+            values_buf: Vec::new(),
+            scanner: extremes::Scanner::new(),
+            extremes_buf: Vec::new(),
+            subset_buf: Vec::new(),
         })
     }
 
-    /// Feeds one sample.
+    /// Feeds one sample. Steady state allocates nothing: processed data
+    /// is discarded from the window rather than collected.
     pub fn push(&mut self, s: Sample) {
         assert!(!self.finished, "push after finish");
         if self.window.is_full() {
             self.process_batch();
             let n = self.pending_advance.max(1);
-            self.window.advance(n);
+            self.window.discard(n);
             self.pending_advance = 0;
         }
         self.window.push(s);
@@ -251,15 +266,22 @@ impl Detector {
         if len < 3 {
             return;
         }
-        let values = self.window.values();
-        let found = extremes::scan(&values, self.scheme.params.radius);
+        self.window.values_into(&mut self.values_buf);
+        self.scanner.scan_into(
+            &self.values_buf,
+            self.scheme.params.radius,
+            &mut self.extremes_buf,
+        );
         let mut last_major: Option<usize> = None;
-        for e in &found {
+        for ei in 0..self.extremes_buf.len() {
+            let e = &self.extremes_buf[ei];
             if !e.is_major(self.effective_degree) {
                 continue;
             }
             self.majors_seen += 1;
             last_major = Some(e.pos);
+            let e_pos = e.pos;
+            let subset_range = e.subset.clone();
             let raw = self.scheme.codec.quantize(e.value);
             self.labeler.push(self.scheme.label_msb(raw));
             let Some(label) = self.labeler.label() else {
@@ -270,9 +292,12 @@ impl Detector {
                 continue;
             };
             self.selected += 1;
-            let trim = trim_around(e.subset.clone(), e.pos, self.scheme.params.max_subset);
-            let subset: Vec<f64> = values[trim].to_vec();
-            let vote = self.encoder.detect(&self.scheme, &subset, &label);
+            let trim = trim_around(subset_range, e_pos, self.scheme.params.max_subset);
+            self.subset_buf.clear();
+            self.subset_buf.extend_from_slice(&self.values_buf[trim]);
+            let vote =
+                self.encoder
+                    .detect_with(&self.scheme, &mut self.scratch, &self.subset_buf, &label);
             match vote.verdict() {
                 Some(true) => {
                     self.buckets[bit_idx].true_count += 1;

@@ -10,7 +10,7 @@
 //! subject to the quality constraints (violations roll back through the
 //! undo log).
 
-use crate::encoding::{trim_around, SubsetEncoder};
+use crate::encoding::{trim_around, EncoderScratch, SubsetEncoder};
 use crate::extremes;
 use crate::labeling::Labeler;
 use crate::quality::{ProposedAlteration, QualityConstraint, UndoLog};
@@ -89,6 +89,16 @@ pub struct Embedder {
     finished: bool,
     /// Items to emit after the current batch (set by `process_batch`).
     pending_advance: usize,
+    /// Encoder scratch (code memo + search buffers), reused across the
+    /// whole stream.
+    scratch: EncoderScratch,
+    /// Window-values snapshot buffer for extreme scanning.
+    values_buf: Vec<f64>,
+    /// Extreme scanner (plateau-run buffer) and its output buffer.
+    scanner: extremes::Scanner,
+    extremes_buf: Vec<extremes::Extreme>,
+    /// Pre-embedding subset snapshot buffer.
+    before: Vec<f64>,
 }
 
 impl Embedder {
@@ -114,6 +124,11 @@ impl Embedder {
             stats: EmbedStats::default(),
             finished: false,
             pending_advance: 0,
+            scratch: EncoderScratch::new(),
+            values_buf: Vec::new(),
+            scanner: extremes::Scanner::new(),
+            extremes_buf: Vec::new(),
+            before: Vec::new(),
         })
     }
 
@@ -134,33 +149,52 @@ impl Embedder {
     }
 
     /// Feeds one sample; returns any samples leaving the window.
+    ///
+    /// Thin wrapper over [`push_into`](Self::push_into); steady-state
+    /// callers should prefer that variant, which reuses one output
+    /// buffer instead of allocating a (mostly empty) `Vec` per sample.
     pub fn push(&mut self, s: Sample) -> Vec<Sample> {
-        assert!(!self.finished, "push after finish");
         let mut out = Vec::new();
+        self.push_into(s, &mut out);
+        out
+    }
+
+    /// Feeds one sample, appending any samples leaving the window to
+    /// `out` (which is *not* cleared). The steady-state per-item path:
+    /// no allocation happens here beyond `out`'s own growth.
+    pub fn push_into(&mut self, s: Sample, out: &mut Vec<Sample>) {
+        assert!(!self.finished, "push after finish");
         if self.window.is_full() {
             self.process_batch();
-            self.advance_after_batch(&mut out);
+            self.advance_after_batch(out);
         }
         self.window.push(s);
         self.moments.insert(s.value);
         self.stats.items_in += 1;
-        out
     }
 
     /// Flushes the stream end: processes the residual window and drains it.
     pub fn finish(&mut self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// [`finish`](Self::finish), appending the residual samples to `out`.
+    pub fn finish_into(&mut self, out: &mut Vec<Sample>) {
         assert!(!self.finished, "finish twice");
         self.finished = true;
         self.process_batch();
-        let rest = self.window.drain_all();
-        for s in &rest {
+        let start = out.len();
+        let n = self.window.drain_all_into(out);
+        for s in &out[start..] {
             self.moments.remove(s.value);
         }
-        self.stats.items_out += rest.len() as u64;
-        rest
+        self.stats.items_out += n as u64;
     }
 
-    /// Convenience: embeds into an in-memory stream in one call.
+    /// Convenience: embeds into an in-memory stream in one call. Reserves
+    /// the output once and drives the buffer-reusing push path.
     pub fn embed_stream(
         scheme: Scheme,
         encoder: Arc<dyn SubsetEncoder>,
@@ -170,9 +204,9 @@ impl Embedder {
         let mut e = Embedder::new(scheme, encoder, wm)?;
         let mut out = Vec::with_capacity(input.len());
         for &s in input {
-            out.extend(e.push(s));
+            e.push_into(s, &mut out);
         }
-        out.extend(e.finish());
+        e.finish_into(&mut out);
         Ok((out, *e.stats()))
     }
 
@@ -185,18 +219,28 @@ impl Embedder {
         if len < 3 {
             return;
         }
-        let values = self.window.values();
-        let found = extremes::scan(&values, self.scheme.params.radius);
-        self.stats.extremes_seen += found.len() as u64;
+        // Snapshot the window values once into the reusable buffer; the
+        // scan sees this snapshot even though embeddings mutate the
+        // window mid-batch (subsets are re-read below).
+        self.window.values_into(&mut self.values_buf);
+        self.scanner.scan_into(
+            &self.values_buf,
+            self.scheme.params.radius,
+            &mut self.extremes_buf,
+        );
+        self.stats.extremes_seen += self.extremes_buf.len() as u64;
         let degree = self.scheme.params.degree;
         let mut last_major: Option<usize> = None;
-        for e in &found {
+        for ei in 0..self.extremes_buf.len() {
+            let e = &self.extremes_buf[ei];
             if !e.is_major(degree) {
                 continue;
             }
             self.stats.majors_seen += 1;
             self.stats.subset_size_sum += e.subset_len() as u64;
             last_major = Some(e.pos);
+            let e_pos = e.pos;
+            let subset = e.subset.clone();
             let raw = self.scheme.codec.quantize(e.value);
             self.labeler.push(self.scheme.label_msb(raw));
             let Some(label) = self.labeler.label() else {
@@ -207,18 +251,23 @@ impl Embedder {
                 continue;
             };
             self.stats.selected += 1;
-            let trim = trim_around(e.subset.clone(), e.pos, self.scheme.params.max_subset);
+            let trim = trim_around(subset, e_pos, self.scheme.params.max_subset);
             // Re-read from the window: a previous embedding in this batch
             // may have altered overlapping items.
-            let before: Vec<f64> = trim
-                .clone()
-                .map(|i| self.window.get(i).expect("in-window").value)
-                .collect();
+            self.before.clear();
+            self.before.extend(
+                trim.clone()
+                    .map(|i| self.window.get(i).expect("in-window").value),
+            );
             let bit = self.wm.bit(bit_idx);
-            let Some(res) =
-                self.encoder
-                    .embed(&self.scheme, &before, e.pos - trim.start, &label, bit)
-            else {
+            let Some(res) = self.encoder.embed_with(
+                &self.scheme,
+                &mut self.scratch,
+                &self.before,
+                e_pos - trim.start,
+                &label,
+                bit,
+            ) else {
                 self.stats.skipped_encoding += 1;
                 continue;
             };
@@ -233,7 +282,7 @@ impl Embedder {
                 slot.value = res.values[k];
             }
             let alt = ProposedAlteration {
-                before: &before,
+                before: &self.before,
                 after: &res.values,
                 window_before: &window_before,
             };
@@ -257,12 +306,12 @@ impl Embedder {
 
     fn advance_after_batch(&mut self, out: &mut Vec<Sample>) {
         let n = self.pending_advance.max(1);
-        let emitted = self.window.advance(n);
-        for s in &emitted {
+        let start = out.len();
+        let emitted = self.window.advance_into(n, out);
+        for s in &out[start..] {
             self.moments.remove(s.value);
         }
-        self.stats.items_out += emitted.len() as u64;
-        out.extend(emitted);
+        self.stats.items_out += emitted as u64;
         self.pending_advance = 0;
     }
 }

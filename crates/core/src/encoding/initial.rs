@@ -18,7 +18,7 @@
 //! The subset must be sign-uniform (a subset straddling zero cannot keep a
 //! common magnitude prefix); mixed subsets are skipped.
 
-use super::{EmbedResult, SubsetEncoder, Vote};
+use super::{EmbedResult, EncoderScratch, SubsetEncoder, Vote};
 use crate::labeling::Label;
 use crate::scheme::Scheme;
 
@@ -34,24 +34,20 @@ impl InitialEncoder {
     }
 }
 
-impl SubsetEncoder for InitialEncoder {
-    fn embed(
-        &self,
+impl InitialEncoder {
+    /// Shared embedding body; `pos` is the (possibly memoized) bit
+    /// position for `label`, `raws` the quantized subset.
+    fn embed_at(
         scheme: &Scheme,
-        values: &[f64],
+        raws: &[i64],
         extreme_offset: usize,
-        label: &Label,
+        pos: u32,
         bit: bool,
     ) -> Option<EmbedResult> {
-        if values.is_empty() || extreme_offset >= values.len() {
-            return None;
-        }
         let c = &scheme.codec;
-        let raws: Vec<i64> = values.iter().map(|&v| c.quantize(v)).collect();
-        if !Self::sign_uniform(&raws) {
+        if !Self::sign_uniform(raws) {
             return None;
         }
-        let pos = scheme.bit_position(label);
         // Encode the extreme first; it becomes the upper-bit template.
         let enc = |raw: i64| -> i64 {
             let r = c.set_bit(raw, pos - 1, false);
@@ -77,10 +73,54 @@ impl SubsetEncoder for InitialEncoder {
             iterations: 1,
         })
     }
+}
+
+impl SubsetEncoder for InitialEncoder {
+    fn embed(
+        &self,
+        scheme: &Scheme,
+        values: &[f64],
+        extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        let mut scratch = EncoderScratch::ephemeral();
+        self.embed_with(scheme, &mut scratch, values, extreme_offset, label, bit)
+    }
 
     fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
+        let mut scratch = EncoderScratch::ephemeral();
+        self.detect_with(scheme, &mut scratch, values, label)
+    }
+
+    fn embed_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        if values.is_empty() || extreme_offset >= values.len() {
+            return None;
+        }
         let c = &scheme.codec;
-        let pos = scheme.bit_position(label);
+        scratch.raws.clear();
+        scratch.raws.extend(values.iter().map(|&v| c.quantize(v)));
+        let pos = scratch.bit_position(scheme, label);
+        Self::embed_at(scheme, &scratch.raws, extreme_offset, pos, bit)
+    }
+
+    fn detect_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        label: &Label,
+    ) -> Vote {
+        let c = &scheme.codec;
+        let pos = scratch.bit_position(scheme, label);
         let mut vote = Vote::empty();
         for &v in values {
             let raw = c.quantize(v);

@@ -13,12 +13,67 @@
 //! * [`quadres::QuadResEncoder`] — the quadratic-residue alternative of
 //!   §4.3/\[1\]: per-item encoding via residuosity mod a secret prime.
 
+use crate::codetable::CodeTable;
 use crate::labeling::Label;
 use crate::scheme::Scheme;
 
 pub mod initial;
 pub mod multihash;
 pub mod quadres;
+
+/// Reusable hot-path state threaded through [`SubsetEncoder::embed_with`]
+/// and [`SubsetEncoder::detect_with`]. The embedder and detector each own
+/// one for the lifetime of the stream, so the steady-state encode path
+/// reuses the per-label code memo and performs no per-call heap
+/// allocation for its working buffers. Reuse across labels *and* schemes
+/// is safe: every memo layer is stamped with the owning
+/// [`Scheme::memo_fingerprint`] and invalidates when a different scheme
+/// drives it.
+#[derive(Debug, Default)]
+pub struct EncoderScratch {
+    /// Memoized convention-code classifications (multi-hash encodings).
+    pub codes: CodeTable,
+    /// Prefix-sum buffer for O(1) contiguous-range means.
+    pub prefix: Vec<f64>,
+    /// Candidate-values buffer for the multi-hash search.
+    pub candidate: Vec<f64>,
+    /// Quantized-raws buffer.
+    pub raws: Vec<i64>,
+    /// Cached `bit_position(label)` for the initial encoding, stamped
+    /// with the [`Scheme::memo_fingerprint`] it was derived under.
+    bitpos: Option<(u64, Label, u32)>,
+}
+
+impl EncoderScratch {
+    /// Scratch for a long-lived pipeline (code memoization enabled).
+    pub fn new() -> Self {
+        EncoderScratch::default()
+    }
+
+    /// One-shot scratch for the legacy [`SubsetEncoder::embed`] /
+    /// [`SubsetEncoder::detect`] entry points: identical results, but no
+    /// code-table memoization (a throwaway table would not amortize its
+    /// allocation).
+    pub fn ephemeral() -> Self {
+        EncoderScratch {
+            codes: CodeTable::disabled(),
+            ..EncoderScratch::default()
+        }
+    }
+
+    /// `scheme.bit_position(label)` memoized for the current label (and
+    /// scheme — reusing one scratch across schemes invalidates cleanly).
+    pub fn bit_position(&mut self, scheme: &Scheme, label: &Label) -> u32 {
+        match self.bitpos {
+            Some((fp, l, pos)) if fp == scheme.memo_fingerprint() && l == *label => pos,
+            _ => {
+                let pos = scheme.bit_position(label);
+                self.bitpos = Some((scheme.memo_fingerprint(), *label, pos));
+                pos
+            }
+        }
+    }
+}
 
 /// Votes recovered from one characteristic subset.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,6 +147,36 @@ pub trait SubsetEncoder: Send + Sync {
 
     /// Extracts votes from a detected subset.
     fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote;
+
+    /// [`embed`](Self::embed) with caller-provided scratch state. The
+    /// default delegates to `embed`; the built-in encoders override it
+    /// with an allocation-free, memoizing implementation that produces
+    /// bit-identical results.
+    fn embed_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        let _ = scratch;
+        self.embed(scheme, values, extreme_offset, label, bit)
+    }
+
+    /// [`detect`](Self::detect) with caller-provided scratch state; same
+    /// contract as [`embed_with`](Self::embed_with).
+    fn detect_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        label: &Label,
+    ) -> Vote {
+        let _ = scratch;
+        self.detect(scheme, values, label)
+    }
 
     /// Convention name for reports.
     fn name(&self) -> &'static str;

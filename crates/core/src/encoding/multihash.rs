@@ -26,7 +26,8 @@
 //! binomial noise floor — `min_active ≥ ⌈3N/4⌉` is a sensible minimum
 //! (the paper frames this as trading computation for resilience).
 
-use super::{EmbedResult, SubsetEncoder, Vote};
+use super::{EmbedResult, EncoderScratch, SubsetEncoder, Vote};
+use crate::codetable::CodeTable;
 use crate::labeling::Label;
 use crate::scheme::Scheme;
 use wms_math::DetRng;
@@ -34,6 +35,19 @@ use wms_math::DetRng;
 /// §4.3's encoder.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MultiHashEncoder;
+
+/// Fills `prefix` with running sums of `values` (`prefix[0] = 0`), the
+/// basis for O(1) contiguous-range means.
+fn fill_prefix_sums(prefix: &mut Vec<f64>, values: &[f64]) {
+    prefix.clear();
+    prefix.reserve(values.len() + 1);
+    let mut acc = 0.0f64;
+    prefix.push(acc);
+    for &v in values {
+        acc += v;
+        prefix.push(acc);
+    }
+}
 
 impl MultiHashEncoder {
     /// Number of m_ij averages for a subset of `a` items.
@@ -44,31 +58,45 @@ impl MultiHashEncoder {
     /// Counts how many m_ij averages of `values` carry `bit`'s code,
     /// aborting early once success (`required` reached) or failure (too
     /// few remaining) is decided. Returns the satisfied count.
+    ///
+    /// A code equals `convention_target(bit)` exactly when it classifies
+    /// to `Some(bit)` (the targets are the all-ones / all-zero codes), so
+    /// the memoized classification decides target hits too. Codes are
+    /// classified eight pairs at a time — the classifications are pure, so
+    /// looking a few pairs past an abort point changes nothing except
+    /// that the otherwise serial hash chains run interleaved.
     fn count_satisfying(
         scheme: &Scheme,
+        codes: &mut CodeTable,
+        prefix: &mut Vec<f64>,
         values: &[f64],
         label: &Label,
         bit: bool,
         required: usize,
     ) -> usize {
         let c = &scheme.codec;
-        let target = scheme.convention_target(bit);
         let a = values.len();
         let total = Self::pair_count(a);
-        // Prefix sums for O(1) range means; exact per the codec analysis.
-        let mut prefix = Vec::with_capacity(a + 1);
-        prefix.push(0.0f64);
-        for &v in values {
-            prefix.push(prefix.last().unwrap() + v);
-        }
+        fill_prefix_sums(prefix, values);
         let mut satisfied = 0usize;
         let mut checked = 0usize;
-        for i in 0..a {
-            for j in i..a {
+        let mut pairs = (0..a).flat_map(|i| (i..a).map(move |j| (i, j)));
+        loop {
+            let mut raws = [0i64; 8];
+            let mut n = 0usize;
+            while n < 8 {
+                let Some((i, j)) = pairs.next() else { break };
                 let mean = (prefix[j + 1] - prefix[i]) / (j - i + 1) as f64;
-                let code = scheme.convention_code(c.quantize(mean), label);
+                raws[n] = c.quantize(mean);
+                n += 1;
+            }
+            if n == 0 {
+                return satisfied;
+            }
+            let classes = codes.classify_batch::<8>(scheme, label, &raws[..n]);
+            for &class in classes.iter().take(n) {
                 checked += 1;
-                if code == target {
+                if class == Some(bit) {
                     satisfied += 1;
                     if satisfied >= required {
                         return satisfied;
@@ -79,7 +107,6 @@ impl MultiHashEncoder {
                 }
             }
         }
-        satisfied
     }
 }
 
@@ -87,6 +114,24 @@ impl SubsetEncoder for MultiHashEncoder {
     fn embed(
         &self,
         scheme: &Scheme,
+        values: &[f64],
+        extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        let mut scratch = EncoderScratch::ephemeral();
+        self.embed_with(scheme, &mut scratch, values, extreme_offset, label, bit)
+    }
+
+    fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
+        let mut scratch = EncoderScratch::ephemeral();
+        self.detect_with(scheme, &mut scratch, values, label)
+    }
+
+    fn embed_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
         values: &[f64],
         _extreme_offset: usize,
         label: &Label,
@@ -97,28 +142,37 @@ impl SubsetEncoder for MultiHashEncoder {
         }
         let p = &scheme.params;
         let c = &scheme.codec;
-        let a = values.len();
-        let total = Self::pair_count(a);
+        let total = Self::pair_count(values.len());
         let required = p.min_active.map(|m| m.min(total)).unwrap_or(total);
 
-        let raws: Vec<i64> = values.iter().map(|&v| c.quantize(v)).collect();
+        scratch.raws.clear();
+        scratch.raws.extend(values.iter().map(|&v| c.quantize(v)));
         // Deterministic search randomness: derived from key + label, so
         // embedding is reproducible run-to-run.
         let seed = scheme.hash.hash_u64(&label.to_bytes());
         let mut rng = DetRng::seed_from_u64(seed);
 
-        let mut candidate: Vec<f64> = values.to_vec();
+        scratch.candidate.clear();
+        scratch.candidate.extend_from_slice(values);
         for iter in 0..p.max_iterations {
             if iter > 0 {
-                for (k, &raw) in raws.iter().enumerate() {
+                for (k, &raw) in scratch.raws.iter().enumerate() {
                     let pattern = rng.next_u64();
-                    candidate[k] = c.dequantize(c.replace_lsb(raw, p.lsb_bits, pattern));
+                    scratch.candidate[k] = c.dequantize(c.replace_lsb(raw, p.lsb_bits, pattern));
                 }
             }
-            let ok = Self::count_satisfying(scheme, &candidate, label, bit, required);
+            let ok = Self::count_satisfying(
+                scheme,
+                &mut scratch.codes,
+                &mut scratch.prefix,
+                &scratch.candidate,
+                label,
+                bit,
+                required,
+            );
             if ok >= required {
                 return Some(EmbedResult {
-                    values: candidate,
+                    values: scratch.candidate.clone(),
                     iterations: iter + 1,
                 });
             }
@@ -126,7 +180,13 @@ impl SubsetEncoder for MultiHashEncoder {
         None
     }
 
-    fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
+    fn detect_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        label: &Label,
+    ) -> Vote {
         let c = &scheme.codec;
         let a = values.len();
         // Singles first: the m_ii "averages" are the only candidates
@@ -136,8 +196,7 @@ impl SubsetEncoder for MultiHashEncoder {
         // averages refine the decision only when the singles tie.
         let mut singles = Vote::empty();
         for &v in values {
-            let code = scheme.convention_code(c.quantize(v), label);
-            if let Some(b) = scheme.classify_code(code) {
+            if let Some(b) = scratch.codes.classify(scheme, label, c.quantize(v)) {
                 singles.add(b);
             }
         }
@@ -145,16 +204,11 @@ impl SubsetEncoder for MultiHashEncoder {
             return singles;
         }
         let mut vote = singles;
-        let mut prefix = Vec::with_capacity(a + 1);
-        prefix.push(0.0f64);
-        for &v in values {
-            prefix.push(prefix.last().unwrap() + v);
-        }
+        fill_prefix_sums(&mut scratch.prefix, values);
         for i in 0..a {
             for j in (i + 1)..a {
-                let mean = (prefix[j + 1] - prefix[i]) / (j - i + 1) as f64;
-                let code = scheme.convention_code(c.quantize(mean), label);
-                if let Some(b) = scheme.classify_code(code) {
+                let mean = (scratch.prefix[j + 1] - scratch.prefix[i]) / (j - i + 1) as f64;
+                if let Some(b) = scratch.codes.classify(scheme, label, c.quantize(mean)) {
                     vote.add(b);
                 }
             }
@@ -189,19 +243,37 @@ impl SubsetEncoder for MultiHashFlatMajority {
     }
 
     fn detect(&self, scheme: &Scheme, values: &[f64], label: &Label) -> Vote {
+        let mut scratch = EncoderScratch::ephemeral();
+        self.detect_with(scheme, &mut scratch, values, label)
+    }
+
+    fn embed_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        extreme_offset: usize,
+        label: &Label,
+        bit: bool,
+    ) -> Option<EmbedResult> {
+        MultiHashEncoder.embed_with(scheme, scratch, values, extreme_offset, label, bit)
+    }
+
+    fn detect_with(
+        &self,
+        scheme: &Scheme,
+        scratch: &mut EncoderScratch,
+        values: &[f64],
+        label: &Label,
+    ) -> Vote {
         let c = &scheme.codec;
         let a = values.len();
         let mut vote = Vote::empty();
-        let mut prefix = Vec::with_capacity(a + 1);
-        prefix.push(0.0f64);
-        for &v in values {
-            prefix.push(prefix.last().unwrap() + v);
-        }
+        fill_prefix_sums(&mut scratch.prefix, values);
         for i in 0..a {
             for j in i..a {
-                let mean = (prefix[j + 1] - prefix[i]) / (j - i + 1) as f64;
-                let code = scheme.convention_code(c.quantize(mean), label);
-                if let Some(b) = scheme.classify_code(code) {
+                let mean = (scratch.prefix[j + 1] - scratch.prefix[i]) / (j - i + 1) as f64;
+                if let Some(b) = scratch.codes.classify(scheme, label, c.quantize(mean)) {
                     vote.add(b);
                 }
             }
@@ -434,6 +506,33 @@ mod tests {
             .embed(&s, &subset(), 2, &label(), true)
             .unwrap();
         assert_eq!(r.values, r2.values);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_oneshot() {
+        // One scratch driven across many labels and both bit values must
+        // reproduce the one-shot (non-memoized) API exactly — embeddings,
+        // iteration counts, and votes.
+        let s = scheme_with(WmParams {
+            min_active: Some(12),
+            ..WmParams::default()
+        });
+        let e = MultiHashEncoder;
+        let mut scratch = EncoderScratch::new();
+        for l in 0..8u64 {
+            let lab = Label::from_parts((1 << 8) | l, 9);
+            for bit in [true, false] {
+                let one = e.embed(&s, &subset(), 2, &lab, bit);
+                let reused = e.embed_with(&s, &mut scratch, &subset(), 2, &lab, bit);
+                assert_eq!(one, reused, "label {l} bit {bit}");
+                if let Some(r) = &one {
+                    assert_eq!(
+                        e.detect(&s, &r.values, &lab),
+                        e.detect_with(&s, &mut scratch, &r.values, &lab)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! exactly the paper's framing of it as the fast encoding for high-rate
 //! streams.
 //!
+//! **Hot-path note**: residuosity is decided by modular exponentiation
+//! over the full magnitude prefix, independent of the label, so the
+//! per-label [`crate::codetable::CodeTable`] memo does not apply here;
+//! this encoder's share of the hot-path overhaul is the midstate-keyed
+//! search-seed derivation it inherits from [`Scheme`]'s keyed hash.
+//!
 //! **Adaptation note**: consecutive *bit*-shifted prefixes are not
 //! independent in residuosity — for even n, χ(n) = χ(2)·χ(n/2), so the
 //! Legendre symbols of `n` and `n >> 1` are coupled through the fixed

@@ -52,30 +52,46 @@ impl Extreme {
     }
 }
 
-/// Positions of all local extremes (plateau-compressed; endpoints of the
-/// slice are never extremes because their one-sidedness is unresolved).
-pub fn extreme_positions(values: &[f64]) -> Vec<(usize, ExtremeKind)> {
-    let n = values.len();
-    if n < 3 {
-        return Vec::new();
-    }
-    // Compress plateaus to (first index, value) runs.
-    let mut runs: Vec<(usize, f64)> = Vec::new();
+/// Compresses plateaus to (first index, value) runs, replacing `runs` —
+/// the shared basis of [`extreme_positions`] and [`Scanner`].
+fn compress_runs(values: &[f64], runs: &mut Vec<(usize, f64)>) {
+    runs.clear();
     for (i, &v) in values.iter().enumerate() {
         match runs.last() {
             Some(&(_, lv)) if lv == v => {}
             _ => runs.push((i, v)),
         }
     }
+}
+
+/// Classifies interior run `w` against its neighbor runs (`w` must have
+/// neighbors on both sides). Plateau compression guarantees adjacent run
+/// values differ, so equality never ties.
+fn run_extreme_kind(runs: &[(usize, f64)], w: usize) -> Option<ExtremeKind> {
+    let prev = runs[w - 1].1;
+    let cur = runs[w].1;
+    let next = runs[w + 1].1;
+    if cur > prev && cur > next {
+        Some(ExtremeKind::Max)
+    } else if cur < prev && cur < next {
+        Some(ExtremeKind::Min)
+    } else {
+        None
+    }
+}
+
+/// Positions of all local extremes (plateau-compressed; endpoints of the
+/// slice are never extremes because their one-sidedness is unresolved).
+pub fn extreme_positions(values: &[f64]) -> Vec<(usize, ExtremeKind)> {
+    if values.len() < 3 {
+        return Vec::new();
+    }
+    let mut runs: Vec<(usize, f64)> = Vec::new();
+    compress_runs(values, &mut runs);
     let mut out = Vec::new();
     for w in 1..runs.len().saturating_sub(1) {
-        let (_, prev) = runs[w - 1];
-        let (idx, cur) = runs[w];
-        let (_, next) = runs[w + 1];
-        if cur > prev && cur > next {
-            out.push((idx, ExtremeKind::Max));
-        } else if cur < prev && cur < next {
-            out.push((idx, ExtremeKind::Min));
+        if let Some(kind) = run_extreme_kind(&runs, w) {
+            out.push((runs[w].0, kind));
         }
     }
     out
@@ -101,15 +117,80 @@ pub fn characteristic_subset(values: &[f64], pos: usize, radius: f64) -> Range<u
 
 /// All extremes of the slice with their subsets.
 pub fn scan(values: &[f64], radius: f64) -> Vec<Extreme> {
-    extreme_positions(values)
-        .into_iter()
-        .map(|(pos, kind)| Extreme {
-            pos,
-            value: values[pos],
-            kind,
-            subset: characteristic_subset(values, pos, radius),
-        })
-        .collect()
+    let mut out = Vec::new();
+    Scanner::new().scan_into(values, radius, &mut out);
+    out
+}
+
+/// Reusable scan state: one plateau-run compression of the slice, shared
+/// by extreme location *and* characteristic-subset growth.
+///
+/// The free function [`scan`] recomputed [`characteristic_subset`] from
+/// scratch per extreme — an item-by-item walk, O(window · subset) in the
+/// worst case. Items inside one plateau run share a value, so a whole run
+/// is inside σ(ε, δ) or entirely outside it; walking runs instead of
+/// items bounds each subset walk by the run count and produces identical
+/// ranges. Holding the runs in a long-lived `Scanner` also makes repeated
+/// window scans allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct Scanner {
+    /// Plateau runs as (first index, value), rebuilt per scan.
+    runs: Vec<(usize, f64)>,
+}
+
+impl Scanner {
+    /// A scanner with empty buffers (allocated on first scan).
+    pub fn new() -> Self {
+        Scanner::default()
+    }
+
+    /// Scans `values`, replacing the contents of `out` with every extreme
+    /// and its characteristic subset. Equivalent to [`scan`] but reuses
+    /// both the caller's output vector and the internal run buffer.
+    pub fn scan_into(&mut self, values: &[f64], radius: f64, out: &mut Vec<Extreme>) {
+        out.clear();
+        self.runs.clear();
+        if values.len() < 3 {
+            return;
+        }
+        compress_runs(values, &mut self.runs);
+        for w in 1..self.runs.len().saturating_sub(1) {
+            let Some(kind) = run_extreme_kind(&self.runs, w) else {
+                continue;
+            };
+            let (pos, value) = self.runs[w];
+            out.push(Extreme {
+                pos,
+                value,
+                kind,
+                subset: self.subset_of_run(w, values.len(), radius),
+            });
+        }
+    }
+
+    /// σ(ε, δ) for the extreme at run `run_idx`, grown run-by-run: a run
+    /// is absorbed iff its value is within δ of the extreme's (identical
+    /// to the item walk of [`characteristic_subset`], since every item of
+    /// a run shares its value).
+    fn subset_of_run(&self, run_idx: usize, slice_len: usize, radius: f64) -> Range<usize> {
+        debug_assert!(radius > 0.0);
+        let center = self.runs[run_idx].1;
+        let mut lo = run_idx;
+        while lo > 0 && (self.runs[lo - 1].1 - center).abs() < radius {
+            lo -= 1;
+        }
+        let start = self.runs[lo].0;
+        let mut hi = run_idx;
+        while hi + 1 < self.runs.len() && (self.runs[hi + 1].1 - center).abs() < radius {
+            hi += 1;
+        }
+        let end = if hi + 1 < self.runs.len() {
+            self.runs[hi + 1].0
+        } else {
+            slice_len
+        };
+        start..end
+    }
 }
 
 /// Only the major extremes of degree ν.
@@ -330,5 +411,62 @@ mod tests {
         assert!(scan(&[], 0.1).is_empty());
         assert!(scan(&[1.0], 0.1).is_empty());
         assert!(scan(&[1.0, 2.0], 0.1).is_empty());
+    }
+
+    /// The naive item-walk scan the run-based [`Scanner`] replaced.
+    fn scan_naive(values: &[f64], radius: f64) -> Vec<Extreme> {
+        extreme_positions(values)
+            .into_iter()
+            .map(|(pos, kind)| Extreme {
+                pos,
+                value: values[pos],
+                kind,
+                subset: characteristic_subset(values, pos, radius),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_based_scan_matches_item_walk() {
+        // Smooth, noisy, plateau-rich, and quantized streams; the
+        // run-walk must reproduce the item-walk exactly.
+        let mut streams: Vec<Vec<f64>> = Vec::new();
+        streams.push(
+            (0..500)
+                .map(|i| (i as f64 * core::f64::consts::TAU / 37.0).sin() * 0.4)
+                .collect(),
+        );
+        let mut rng = wms_math::DetRng::seed_from_u64(77);
+        streams.push((0..500).map(|_| rng.uniform(-0.4, 0.4)).collect());
+        // Heavy plateaus: quantize to a coarse grid.
+        streams.push(
+            (0..500)
+                .map(|i| ((i as f64 * 0.21).sin() * 8.0).round() / 20.0)
+                .collect(),
+        );
+        let mut scanner = Scanner::new();
+        let mut got = Vec::new();
+        for (si, v) in streams.iter().enumerate() {
+            for radius in [1e-6, 0.01, 0.05, 0.3] {
+                let want = scan_naive(v, radius);
+                scanner.scan_into(v, radius, &mut got);
+                assert_eq!(got, want, "stream {si} radius {radius}");
+                assert_eq!(scan(v, radius), want, "free fn, stream {si}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_into_reuses_and_clears_output() {
+        let v: Vec<f64> = (0..60).map(|i| (i as f64 * 0.7).sin() * 0.3).collect();
+        let mut scanner = Scanner::new();
+        let mut out = Vec::new();
+        scanner.scan_into(&v, 0.01, &mut out);
+        let first = out.clone();
+        assert!(!first.is_empty());
+        scanner.scan_into(&v, 0.01, &mut out);
+        assert_eq!(out, first, "second scan must replace, not append");
+        scanner.scan_into(&[], 0.01, &mut out);
+        assert!(out.is_empty());
     }
 }

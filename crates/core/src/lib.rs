@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod codetable;
 pub mod detector;
 pub mod embedder;
 pub mod encoding;
@@ -83,9 +84,10 @@ pub mod scheme;
 pub mod transform_estimate;
 pub mod watermark;
 
+pub use codetable::CodeTable;
 pub use detector::{BitBuckets, DetectionReport, Detector, TransformHint};
 pub use embedder::{EmbedStats, Embedder};
-pub use encoding::{EmbedResult, SubsetEncoder, Vote};
+pub use encoding::{EmbedResult, EncoderScratch, SubsetEncoder, Vote};
 pub use fixedpoint::FixedPointCodec;
 pub use labeling::{Label, Labeler};
 pub use multipass::{detect_multipass, MultiPassReport};

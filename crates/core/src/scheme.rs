@@ -26,17 +26,56 @@ pub struct Scheme {
     pub codec: FixedPointCodec,
     /// The keyed one-way hash (k1 inside).
     pub hash: KeyedHash,
+    /// Identity of this scheme's keyed derivations — see
+    /// [`memo_fingerprint`](Self::memo_fingerprint). Private so it can
+    /// only be produced consistently with `params`/`hash`, by
+    /// [`Scheme::new`] or [`Scheme::with_hash`].
+    memo_fingerprint: u64,
 }
 
 impl Scheme {
     /// Builds and validates a scheme context.
     pub fn new(params: WmParams, hash: KeyedHash) -> Result<Self, String> {
         params.validate()?;
+        let memo_fingerprint = Self::fingerprint_of(&params, &hash);
         Ok(Scheme {
             params,
             codec: FixedPointCodec::from_params(&params),
             hash,
+            memo_fingerprint,
         })
+    }
+
+    /// The same scheme driven through a different [`KeyedHash`] — the
+    /// before/after benchmarking hook (e.g.
+    /// [`KeyedHash::without_midstate`]). The memo fingerprint is
+    /// recomputed from the new hash, so even a semantically different
+    /// hash invalidates reused scratch state correctly.
+    pub fn with_hash(&self, hash: KeyedHash) -> Scheme {
+        Scheme {
+            memo_fingerprint: Self::fingerprint_of(&self.params, &hash),
+            hash,
+            ..self.clone()
+        }
+    }
+
+    /// Identity of this scheme's keyed derivations, precomputed so memo
+    /// layers ([`crate::codetable::CodeTable`], the scratch
+    /// `bit_position` cache) can detect at one `u64` compare per lookup
+    /// that a *different* scheme is now driving them and invalidate.
+    /// Covers the key, hash algorithm, and every parameter the memoized
+    /// derivations read (τ, γ, α).
+    pub fn memo_fingerprint(&self) -> u64 {
+        self.memo_fingerprint
+    }
+
+    fn fingerprint_of(params: &WmParams, hash: &KeyedHash) -> u64 {
+        hash.hash_u64_parts(&[
+            b"wms/scheme-memo-fingerprint",
+            &params.convention_bits.to_le_bytes(),
+            &params.lsb_bits.to_le_bytes(),
+            &params.embed_bits.to_le_bytes(),
+        ])
     }
 
     /// `msb(|ε|, β)` — the selection hash input.
@@ -53,8 +92,11 @@ impl Scheme {
     /// carries, or `None` if the extreme is not selected.
     pub fn select(&self, extreme_raw: i64, wm_len: usize) -> Option<usize> {
         let msb = self.select_msb(extreme_raw);
-        let msg = encode::message(DOM_SELECT, &[&encode::u64_bytes(msb)]);
-        let i = self.hash.hash_mod(&msg, self.params.selection_modulus);
+        let i = self.hash.hash_fields_mod(
+            DOM_SELECT,
+            &[&encode::u64_bytes(msb)],
+            self.params.selection_modulus,
+        );
         if (i as usize) < wm_len {
             Some(i as usize)
         } else {
@@ -66,18 +108,36 @@ impl Scheme {
     pub fn bit_position(&self, label: &Label) -> u32 {
         let alpha = self.params.embed_bits;
         debug_assert!(alpha >= 3);
-        let msg = encode::message(DOM_BITPOS, &[&label.to_bytes()]);
-        1 + self.hash.hash_mod(&msg, (alpha - 2) as u64) as u32
+        let i = self
+            .hash
+            .hash_fields_mod(DOM_BITPOS, &[&label.to_bytes()], (alpha - 2) as u64);
+        1 + i as u32
     }
 
     /// τ-bit convention code of one m_ij average under a given label.
     pub fn convention_code(&self, m_raw: i64, label: &Label) -> u64 {
-        let m_lsb = self.codec.lsb(m_raw, self.params.lsb_bits);
-        let msg = encode::message(
+        self.convention_code_of_lsb(self.codec.lsb(m_raw, self.params.lsb_bits), label)
+    }
+
+    /// Convention code from an already-extracted `lsb(m, γ)` value — the
+    /// entry point [`crate::codetable::CodeTable`] memoizes: the code
+    /// depends on `m_raw` only through these γ bits.
+    pub fn convention_code_of_lsb(&self, m_lsb: u64, label: &Label) -> u64 {
+        self.hash.hash_fields_lsb(
             DOM_MULTIHASH,
             &[&encode::u64_bytes(m_lsb), &label.to_bytes()],
-        );
-        self.hash.hash_lsb(&msg, self.params.convention_bits)
+            self.params.convention_bits,
+        )
+    }
+
+    /// Compiles the convention-code hash for one label: everything but
+    /// the `lsb(m, γ)` field is fixed, so with a short key each code
+    /// costs a single hash compression (see
+    /// [`wms_crypto::CompiledU64Hash`]). Bit-identical to
+    /// [`convention_code_of_lsb`](Self::convention_code_of_lsb).
+    pub fn compile_convention_hasher(&self, label: &Label) -> wms_crypto::CompiledU64Hash {
+        self.hash
+            .compile_u64_message(DOM_MULTIHASH, &[&label.to_bytes()])
     }
 
     /// Code that encodes `bit`: all-ones for true, all-zeros for false.

@@ -1,0 +1,106 @@
+//! Property tests for the hot-path memoization layers: `CodeTable`
+//! lookups must equal direct `convention_code` hashing for arbitrary
+//! raws, labels, γ and τ, and the scratch-threaded encoder entry points
+//! must be bit-identical to the one-shot API.
+
+use proptest::prelude::*;
+use wms_core::codetable::CodeTable;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{EncoderScratch, Label, Scheme, SubsetEncoder, WmParams};
+use wms_crypto::{Key, KeyedHash};
+
+fn scheme(key: u64, gamma: u32, tau: u32, algo: &str) -> Scheme {
+    let params = WmParams {
+        lsb_bits: gamma,
+        convention_bits: tau,
+        embed_bits: gamma.max(3),
+        ..WmParams::default()
+    };
+    let kh = match algo {
+        "sha256" => KeyedHash::sha256(Key::from_u64(key)),
+        _ => KeyedHash::md5(Key::from_u64(key)),
+    };
+    Scheme::new(params, kh).expect("test params valid")
+}
+
+proptest! {
+    #[test]
+    fn codetable_matches_direct_hashing(
+        key in any::<u64>(),
+        gamma in 1u32..14,
+        tau in 1u32..4,
+        label_bits in 0u64..512,
+        raws in prop::collection::vec(-2_000_000_000i64..2_000_000_000, 1..40),
+    ) {
+        let s = scheme(key, gamma, tau, "md5");
+        let label = Label::from_parts((1 << 10) | label_bits, 11);
+        let mut table = CodeTable::new();
+        for &raw in &raws {
+            let direct = s.classify_code(s.convention_code(raw, &label));
+            prop_assert_eq!(table.classify(&s, &label, raw), direct);
+            // Second lookup hits the memo and must agree with itself.
+            prop_assert_eq!(table.classify(&s, &label, raw), direct);
+        }
+    }
+
+    #[test]
+    fn codetable_matches_direct_hashing_sha256(
+        key in any::<u64>(),
+        label_bits in 0u64..512,
+        raws in prop::collection::vec(-2_000_000_000i64..2_000_000_000, 1..30),
+    ) {
+        let s = scheme(key, 16, 2, "sha256");
+        let label = Label::from_parts((1 << 10) | label_bits, 11);
+        let mut table = CodeTable::new();
+        for &raw in &raws {
+            let direct = s.classify_code(s.convention_code(raw, &label));
+            prop_assert_eq!(table.classify(&s, &label, raw), direct);
+        }
+    }
+
+    #[test]
+    fn codetable_survives_label_interleaving(
+        key in any::<u64>(),
+        labels in prop::collection::vec(0u64..64, 2..20),
+        raws in prop::collection::vec(-1_000_000i64..1_000_000, 1..12),
+    ) {
+        // The generation stamp must keep interleaved labels from
+        // leaking stale classifications into each other.
+        let s = scheme(key, 10, 1, "md5");
+        let mut table = CodeTable::new();
+        for &lb in &labels {
+            let label = Label::from_parts((1 << 6) | lb, 7);
+            for &raw in &raws {
+                let direct = s.classify_code(s.convention_code(raw, &label));
+                prop_assert_eq!(table.classify(&s, &label, raw), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_embed_matches_oneshot(
+        key in any::<u64>(),
+        label_bits in 0u64..256,
+        bit in any::<bool>(),
+    ) {
+        // A cheap min_active configuration keeps the search short while
+        // still exercising the memoized candidate loop.
+        let params = WmParams {
+            min_active: Some(8),
+            ..WmParams::default()
+        };
+        let s = Scheme::new(params, KeyedHash::md5(Key::from_u64(key))).unwrap();
+        let label = Label::from_parts((1 << 9) | label_bits, 10);
+        let values = [0.2811, 0.2856, 0.2901, 0.2877, 0.2832];
+        let e = MultiHashEncoder;
+        let mut scratch = EncoderScratch::new();
+        let one = e.embed(&s, &values, 2, &label, bit);
+        let reused = e.embed_with(&s, &mut scratch, &values, 2, &label, bit);
+        prop_assert_eq!(&one, &reused);
+        if let Some(r) = &one {
+            let v1 = e.detect(&s, &r.values, &label);
+            let v2 = e.detect_with(&s, &mut scratch, &r.values, &label);
+            prop_assert_eq!(v1, v2);
+        }
+    }
+}

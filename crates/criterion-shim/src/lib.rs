@@ -14,6 +14,16 @@
 //! Each benchmark gets a small wall-clock budget (default 40 ms,
 //! overridable with `WMS_BENCH_MS`) so `cargo bench` stays fast; raise the
 //! budget for stabler numbers.
+//!
+//! ## Machine-readable output
+//!
+//! A group's [`Throughput::Elements`]/[`Throughput::Bytes`] setting is
+//! honored in the human output as a derived rate (items/sec resp. MiB/s)
+//! *and* in an optional machine-readable channel: when the
+//! `WMS_BENCH_JSON` environment variable names a file, every benchmark
+//! appends one JSON object per line (`id`, `ns_per_iter`, `iters`, and —
+//! with a throughput set — `elements`/`bytes` and `per_sec`), so CI can
+//! track a throughput trajectory without scraping stdout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -185,22 +195,56 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, tp: Option<Throughput>, budget: Dur
         f64::NAN
     };
     let mut line = format!("{id:<40} {:>12.1} ns/iter ({} iters)", per_iter, b.iters);
+    let mut json = format!(
+        "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}",
+        json_escape(id),
+        per_iter,
+        b.iters
+    );
     if let Some(t) = tp {
         let per_sec = 1e9 / per_iter;
         match t {
             Throughput::Bytes(n) => {
-                let _ = write!(
-                    line,
-                    "  {:>9.2} MiB/s",
-                    per_sec * n as f64 / (1024.0 * 1024.0)
-                );
+                let rate = per_sec * n as f64;
+                let _ = write!(line, "  {:>9.2} MiB/s", rate / (1024.0 * 1024.0));
+                let _ = write!(json, ",\"bytes\":{n},\"per_sec\":{rate:.1}");
             }
             Throughput::Elements(n) => {
-                let _ = write!(line, "  {:>9.3} Melem/s", per_sec * n as f64 / 1e6);
+                let rate = per_sec * n as f64;
+                let _ = write!(line, "  {:>12.0} items/sec", rate);
+                let _ = write!(json, ",\"elements\":{n},\"per_sec\":{rate:.1}");
             }
         }
     }
+    json.push('}');
     println!("{line}");
+    // A bench that never called `iter` has per_iter = NaN, which would
+    // serialize as the invalid JSON token `NaN` — skip the record.
+    if b.iters > 0 {
+        if let Ok(path) = std::env::var("WMS_BENCH_JSON") {
+            if !path.is_empty() {
+                append_json_line(&path, &json);
+            }
+        }
+    }
+}
+
+/// Escapes a benchmark id for embedding in a JSON string literal
+/// (backslash first, then quote, so ids round-trip losslessly).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn append_json_line(path: &str, json: &str) {
+    use std::io::Write as _;
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{json}"));
+    if let Err(e) = r {
+        eprintln!("criterion-shim: cannot append to WMS_BENCH_JSON={path}: {e}");
+    }
 }
 
 /// Bundles benchmark functions into one runner, mirroring

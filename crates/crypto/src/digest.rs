@@ -38,15 +38,21 @@ pub trait StreamHasher: Send + Sync {
     /// of 8-byte lanes). This is the integer the encodings reduce with
     /// `mod θ` / `mod α` (§3.2).
     fn hash_u64(&self, data: &[u8]) -> u64 {
-        let d = self.hash(data);
-        let mut acc = 0u64;
-        for chunk in d.chunks(8) {
-            let mut lane = [0u8; 8];
-            lane[..chunk.len()].copy_from_slice(chunk);
-            acc ^= u64::from_le_bytes(lane);
-        }
-        acc
+        fold_u64(&self.hash(data))
     }
+}
+
+/// XOR-fold of 8-byte little-endian lanes — the single digest→`u64`
+/// reduction every keyed derivation uses. Shared so the midstate fast
+/// path and the generic [`StreamHasher`] path cannot diverge.
+pub fn fold_u64(digest: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for chunk in digest.chunks(8) {
+        let mut lane = [0u8; 8];
+        lane[..chunk.len()].copy_from_slice(chunk);
+        acc ^= u64::from_le_bytes(lane);
+    }
+    acc
 }
 
 /// Lowercase hex encoding of a digest.
@@ -84,20 +90,31 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
 
 /// Standard Merkle–Damgård length padding shared by MD5/SHA-1/SHA-256:
 /// append 0x80, zero-fill to 56 mod 64, then the bit length as 8 bytes
-/// (little-endian for MD5, big-endian for the SHAs).
-pub(crate) fn md_padding(total_len: u64, big_endian_len: bool) -> Vec<u8> {
+/// (little-endian for MD5, big-endian for the SHAs). Writes into a stack
+/// buffer (max padding is 72 bytes) and returns the padding length, so
+/// finalization performs no heap allocation.
+pub(crate) fn md_padding_into(total_len: u64, big_endian_len: bool, buf: &mut [u8; 80]) -> usize {
     let bit_len = total_len.wrapping_mul(8);
     let rem = (total_len % 64) as usize;
     let pad_zeroes = if rem < 56 { 55 - rem } else { 119 - rem };
-    let mut pad = Vec::with_capacity(1 + pad_zeroes + 8);
-    pad.push(0x80);
-    pad.extend(std::iter::repeat_n(0u8, pad_zeroes));
-    if big_endian_len {
-        pad.extend_from_slice(&bit_len.to_be_bytes());
+    let len = 1 + pad_zeroes + 8;
+    buf[0] = 0x80;
+    buf[1..1 + pad_zeroes].fill(0);
+    let len_bytes = if big_endian_len {
+        bit_len.to_be_bytes()
     } else {
-        pad.extend_from_slice(&bit_len.to_le_bytes());
-    }
-    pad
+        bit_len.to_le_bytes()
+    };
+    buf[1 + pad_zeroes..len].copy_from_slice(&len_bytes);
+    len
+}
+
+/// Heap-allocating convenience wrapper around [`md_padding_into`].
+#[cfg(test)]
+pub(crate) fn md_padding(total_len: u64, big_endian_len: bool) -> Vec<u8> {
+    let mut buf = [0u8; 80];
+    let len = md_padding_into(total_len, big_endian_len, &mut buf);
+    buf[..len].to_vec()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! choice: MD5 reproduces the paper's proof of concept, SHA-256 is the
 //! recommended modern default.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod digest;
@@ -20,8 +20,8 @@ pub mod md5;
 pub mod sha1;
 pub mod sha256;
 
-pub use digest::{from_hex, to_hex, Digest, StreamHasher};
-pub use keyed::{Key, KeyedHash};
+pub use digest::{fold_u64, from_hex, to_hex, Digest, StreamHasher};
+pub use keyed::{CompiledU64Hash, Key, KeyedHash};
 pub use md5::{Md5, Md5Hasher};
 pub use sha1::{Sha1, Sha1Hasher};
 pub use sha256::{Sha256, Sha256Hasher};

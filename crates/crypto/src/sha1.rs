@@ -3,7 +3,7 @@
 //! Offered as a drop-in alternative to MD5 for the keyed hash `H(V,k)`;
 //! the paper names "MD5 or SHA" as candidate instantiations (§2.2).
 
-use crate::digest::{md_padding, Digest, StreamHasher};
+use crate::digest::{md_padding_into, Digest, StreamHasher};
 
 /// Incremental SHA-1 state.
 #[derive(Debug, Clone)]
@@ -60,9 +60,38 @@ impl Sha1 {
     pub fn digest(data: &[u8]) -> [u8; 20] {
         let mut h = Sha1::new();
         h.update(data);
-        let v = Digest::finalize(h);
+        h.finalize_bytes()
+    }
+
+    /// Single-compression digest of a caller-padded one-block message;
+    /// see `Md5::digest_padded_block`.
+    pub(crate) fn digest_padded_block(block: &[u8; 64]) -> [u8; 20] {
+        let mut state = [
+            0x6745_2301u32,
+            0xefcd_ab89,
+            0x98ba_dcfe,
+            0x1032_5476,
+            0xc3d2_e1f0,
+        ];
+        Self::compress(&mut state, block);
         let mut out = [0u8; 20];
-        out.copy_from_slice(&v);
+        for (i, w) in state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Finalizes into a stack array — the allocation-free twin of
+    /// [`Digest::finalize`], used by the keyed-hash hot path.
+    pub fn finalize_bytes(mut self) -> [u8; 20] {
+        let mut pad = [0u8; 80];
+        let n = md_padding_into(self.total_len, true, &mut pad);
+        self.update(&pad[..n]);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
         out
     }
 }
@@ -110,17 +139,8 @@ impl Digest for Sha1 {
         }
     }
 
-    fn finalize(mut self) -> Vec<u8> {
-        let pad = md_padding(self.total_len, true);
-        let saved = self.total_len;
-        self.update(&pad);
-        self.total_len = saved;
-        debug_assert_eq!(self.buffer_len, 0);
-        let mut out = Vec::with_capacity(20);
-        for w in self.state {
-            out.extend_from_slice(&w.to_be_bytes());
-        }
-        out
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_bytes().to_vec()
     }
 }
 

@@ -3,7 +3,7 @@
 //! The modern default recommendation for new deployments of the scheme;
 //! the paper predates SHA-2 ubiquity but its construction is hash-agnostic.
 
-use crate::digest::{md_padding, Digest, StreamHasher};
+use crate::digest::{md_padding_into, Digest, StreamHasher};
 
 /// Round constants: first 32 bits of the fractional parts of the cube
 /// roots of the first 64 primes.
@@ -81,9 +81,41 @@ impl Sha256 {
     pub fn digest(data: &[u8]) -> [u8; 32] {
         let mut h = Sha256::new();
         h.update(data);
-        let v = Digest::finalize(h);
+        h.finalize_bytes()
+    }
+
+    /// Single-compression digest of a caller-padded one-block message;
+    /// see `Md5::digest_padded_block`.
+    pub(crate) fn digest_padded_block(block: &[u8; 64]) -> [u8; 32] {
+        let mut state = [
+            0x6a09_e667u32,
+            0xbb67_ae85,
+            0x3c6e_f372,
+            0xa54f_f53a,
+            0x510e_527f,
+            0x9b05_688c,
+            0x1f83_d9ab,
+            0x5be0_cd19,
+        ];
+        Self::compress(&mut state, block);
         let mut out = [0u8; 32];
-        out.copy_from_slice(&v);
+        for (i, w) in state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Finalizes into a stack array — the allocation-free twin of
+    /// [`Digest::finalize`], used by the keyed-hash hot path.
+    pub fn finalize_bytes(mut self) -> [u8; 32] {
+        let mut pad = [0u8; 80];
+        let n = md_padding_into(self.total_len, true, &mut pad);
+        self.update(&pad[..n]);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
         out
     }
 }
@@ -134,17 +166,8 @@ impl Digest for Sha256 {
         }
     }
 
-    fn finalize(mut self) -> Vec<u8> {
-        let pad = md_padding(self.total_len, true);
-        let saved = self.total_len;
-        self.update(&pad);
-        self.total_len = saved;
-        debug_assert_eq!(self.buffer_len, 0);
-        let mut out = Vec::with_capacity(32);
-        for w in self.state {
-            out.extend_from_slice(&w.to_be_bytes());
-        }
-        out
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_bytes().to_vec()
     }
 }
 

@@ -123,8 +123,13 @@ impl Pipeline {
 
 impl Transform for Pipeline {
     fn apply(&self, input: &[Sample]) -> Vec<Sample> {
-        let mut cur = input.to_vec();
-        for stage in &self.stages {
+        // Feed the first stage the input slice directly instead of
+        // copying the whole stream into a throwaway Vec first.
+        let Some((first, rest)) = self.stages.split_first() else {
+            return renumber(input.to_vec());
+        };
+        let mut cur = first.apply(input);
+        for stage in rest {
             cur = stage.apply(&cur);
         }
         renumber(cur)

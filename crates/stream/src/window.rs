@@ -82,15 +82,43 @@ impl SlidingWindow {
     /// Emits the oldest `n` samples (fewer if the window holds fewer).
     /// This is the paper's "advance the window past ε".
     pub fn advance(&mut self, n: usize) -> Vec<Sample> {
+        let mut out = Vec::new();
+        self.advance_into(n, &mut out);
+        out
+    }
+
+    /// Appends the oldest `n` samples (fewer if the window holds fewer)
+    /// to `out` and returns how many were emitted. The allocation-free
+    /// twin of [`advance`](Self::advance): callers reuse one output
+    /// buffer across the whole stream.
+    pub fn advance_into(&mut self, n: usize, out: &mut Vec<Sample>) -> usize {
         let take = n.min(self.buf.len());
         self.evicted += take as u64;
-        self.buf.drain(..take).collect()
+        out.extend(self.buf.drain(..take));
+        take
+    }
+
+    /// Drops the oldest `n` samples without collecting them (a detector
+    /// advances past processed data but emits nothing downstream).
+    /// Returns how many were dropped.
+    pub fn discard(&mut self, n: usize) -> usize {
+        let take = n.min(self.buf.len());
+        self.evicted += take as u64;
+        self.buf.drain(..take);
+        take
     }
 
     /// Drains everything left (end of stream).
     pub fn drain_all(&mut self) -> Vec<Sample> {
         let n = self.buf.len();
         self.advance(n)
+    }
+
+    /// Drains everything left into `out` (end of stream), returning the
+    /// count; see [`advance_into`](Self::advance_into).
+    pub fn drain_all_into(&mut self, out: &mut Vec<Sample>) -> usize {
+        let n = self.buf.len();
+        self.advance_into(n, out)
     }
 
     /// Read access by in-window offset (0 = oldest).
@@ -110,9 +138,35 @@ impl SlidingWindow {
     }
 
     /// In-window values as a contiguous Vec (oldest first). Allocates;
-    /// intended for extreme scanning over the current window.
+    /// intended for extreme scanning over the current window. Hot paths
+    /// should prefer [`values_into`](Self::values_into).
     pub fn values(&self) -> Vec<f64> {
-        self.buf.iter().map(|s| s.value).collect()
+        let mut out = Vec::new();
+        self.values_into(&mut out);
+        out
+    }
+
+    /// Replaces the contents of `out` with the in-window values (oldest
+    /// first), reusing its capacity.
+    pub fn values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.buf.len());
+        let (a, b) = self.buf.as_slices();
+        out.extend(a.iter().map(|s| s.value));
+        out.extend(b.iter().map(|s| s.value));
+    }
+
+    /// The window contents as two contiguous slices, oldest first (the
+    /// ring buffer's head and tail). Either slice may be empty.
+    pub fn as_slices(&self) -> (&[Sample], &[Sample]) {
+        self.buf.as_slices()
+    }
+
+    /// Rearranges the ring buffer so the whole window is one contiguous
+    /// mutable slice, oldest first. O(len) moves at worst, O(1) when
+    /// already contiguous.
+    pub fn make_contiguous(&mut self) -> &mut [Sample] {
+        self.buf.make_contiguous()
     }
 }
 
@@ -218,5 +272,66 @@ mod tests {
             w.push(s(i));
         }
         assert_eq!(w.values(), vec![0.0, 0.1, 0.2]);
+    }
+
+    #[test]
+    fn values_into_matches_values_after_wraparound() {
+        // Force the ring buffer to wrap so as_slices returns two pieces.
+        let mut w = SlidingWindow::new(4);
+        for i in 0..11 {
+            w.push(s(i));
+        }
+        let mut buf = vec![9.9; 32]; // stale contents must be replaced
+        w.values_into(&mut buf);
+        assert_eq!(buf, w.values());
+        let (a, b) = w.as_slices();
+        assert_eq!(a.len() + b.len(), w.len());
+        let glued: Vec<u64> = a.iter().chain(b).map(|x| x.index).collect();
+        assert_eq!(glued, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn advance_into_appends_and_counts() {
+        let mut w = SlidingWindow::new(5);
+        for i in 0..5 {
+            w.push(s(i));
+        }
+        let mut out = vec![s(99)];
+        assert_eq!(w.advance_into(2, &mut out), 2);
+        assert_eq!(
+            out.iter().map(|x| x.index).collect::<Vec<_>>(),
+            vec![99, 0, 1],
+            "advance_into appends after existing contents"
+        );
+        assert_eq!(w.total_evicted(), 2);
+        assert_eq!(w.drain_all_into(&mut out), 3);
+        assert_eq!(out.len(), 6);
+        assert_eq!(w.total_evicted(), 5);
+    }
+
+    #[test]
+    fn discard_drops_without_collecting() {
+        let mut w = SlidingWindow::new(4);
+        for i in 0..4 {
+            w.push(s(i));
+        }
+        assert_eq!(w.discard(3), 3);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.get(0).unwrap().index, 3);
+        assert_eq!(w.total_evicted(), 3);
+        assert_eq!(w.discard(10), 1, "discard is clamped to the contents");
+    }
+
+    #[test]
+    fn make_contiguous_preserves_order() {
+        let mut w = SlidingWindow::new(4);
+        for i in 0..9 {
+            w.push(s(i));
+        }
+        let slice = w.make_contiguous();
+        let idx: Vec<u64> = slice.iter().map(|x| x.index).collect();
+        assert_eq!(idx, vec![5, 6, 7, 8]);
+        slice[0].value = 0.77;
+        assert_eq!(w.get(0).unwrap().value, 0.77);
     }
 }

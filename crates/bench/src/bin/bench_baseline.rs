@@ -26,7 +26,9 @@ const ITEMS: usize = 5000;
 
 /// The pre-overhaul convenience driver: one throwaway `Vec` per pushed
 /// sample (`out.extend(e.push(s))`), as `embed_stream` did before the
-/// push-path fix.
+/// push-path fix. Deliberately drives the deprecated wrappers — they
+/// *are* the naive variant being measured.
+#[allow(deprecated)]
 fn embed_stream_legacy(
     scheme: Scheme,
     encoder: Arc<dyn SubsetEncoder>,

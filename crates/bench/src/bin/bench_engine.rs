@@ -1,0 +1,206 @@
+//! Multi-stream engine scaling baseline: measures aggregate embed
+//! throughput through `wms-engine` as the stream count and worker count
+//! vary, against a sequential single-thread baseline over the same
+//! shared-config sessions, and writes the machine-readable
+//! `BENCH_engine.json`.
+//!
+//! ```text
+//! WMS_BENCH_MS=500 cargo run -p wms-bench --release --bin bench_engine
+//! ```
+//!
+//! Environment:
+//! * `WMS_BENCH_MS`  — wall-clock budget per measurement (default 200 ms);
+//! * `WMS_BENCH_OUT` — output path (default `BENCH_engine.json`).
+//!
+//! The JSON carries `host_cpus`: worker scaling beyond the physical core
+//! count cannot speed anything up, so read `workers=N` rows against it.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use wms_bench::perf::{self, PerfRecord};
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{EmbedConfig, EmbedSession, Scheme, Watermark, WmParams};
+use wms_crypto::{Key, KeyedHash};
+use wms_engine::{Engine, EngineConfig, Event, StreamId, StreamSpec};
+use wms_stream::Sample;
+
+const SCHEMA: &str = "wms-bench-engine/v1";
+/// Total items per iteration, split across the streams.
+const TOTAL_ITEMS: usize = 65_536;
+/// Ingest batch size (events per `Engine::ingest` call).
+const BATCH: usize = 4096;
+
+fn params() -> WmParams {
+    WmParams {
+        window: 256,
+        degree: 3,
+        radius: 0.01,
+        max_subset: 4,
+        label_len: 4,
+        label_stride: 1,
+        min_active: Some(12),
+        ..WmParams::default()
+    }
+}
+
+fn scheme() -> Scheme {
+    Scheme::new(params(), KeyedHash::md5(Key::from_u64(0xC0FFEE))).unwrap()
+}
+
+fn config() -> Arc<EmbedConfig> {
+    Arc::new(
+        EmbedConfig::new(
+            scheme(),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+        )
+        .unwrap(),
+    )
+}
+
+/// Round-robin interleaving of `streams` sine streams covering
+/// `TOTAL_ITEMS` events in total.
+fn workload(streams: usize) -> Vec<Event> {
+    let per_stream = (TOTAL_ITEMS / streams).max(1);
+    let mut events = Vec::with_capacity(per_stream * streams);
+    for i in 0..per_stream {
+        for id in 0..streams as u64 {
+            let t = i as f64 + id as f64;
+            let period = 19.0 + (id % 7) as f64 * 4.0;
+            let v = 0.3 * (t * core::f64::consts::TAU / period).sin()
+                + 0.05 * (t * core::f64::consts::TAU / 7.0).sin();
+            events.push(Event::new(StreamId(id), Sample::new(i as u64, v)));
+        }
+    }
+    events
+}
+
+/// One full engine run: spawn, register, ingest in batches, finish.
+/// Returns total samples out (sanity check + black-box anchor).
+fn run_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize, workers: usize) -> usize {
+    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    for id in 0..streams as u64 {
+        engine
+            .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
+            .unwrap();
+    }
+    let mut n = 0usize;
+    for chunk in events.chunks(BATCH) {
+        for out in engine.ingest(chunk).unwrap() {
+            n += out.samples.len();
+        }
+    }
+    for outcome in engine.finish() {
+        n += outcome.tail.len();
+    }
+    n
+}
+
+/// The no-executor baseline: the same shared config and per-stream
+/// sessions driven inline on the caller thread, in wire order.
+fn run_sequential(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize) -> usize {
+    let mut sessions: HashMap<u64, EmbedSession> = (0..streams as u64)
+        .map(|id| (id, cfg.new_session()))
+        .collect();
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        cfg.push_into(sessions.get_mut(&ev.stream.0).unwrap(), ev.sample, &mut out);
+    }
+    for (_, mut sess) in sessions {
+        cfg.finish_into(&mut sess, &mut out);
+    }
+    out.len()
+}
+
+fn main() {
+    let budget_ms: u64 = std::env::var("WMS_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let budget = Duration::from_millis(budget_ms.max(1));
+    let out_path = std::env::var("WMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cfg = config();
+    let mut records: Vec<PerfRecord> = Vec::new();
+    eprintln!(
+        "bench_engine: {budget_ms} ms per measurement, {TOTAL_ITEMS} items, {host_cpus} cpus"
+    );
+
+    // Throughput vs stream count: sequential baseline vs the executor.
+    for streams in [1usize, 8, 64, 1024] {
+        let events = workload(streams);
+        let items = events.len() as u64;
+        let id = format!("engine-embed/streams={streams}");
+        records.push(perf::measure(&id, "sequential", items, budget, || {
+            black_box(run_sequential(&cfg, black_box(&events), streams));
+        }));
+        for workers in [1usize, host_cpus] {
+            let variant = format!("workers={workers}");
+            if records
+                .iter()
+                .any(|r| r.bench == id && r.variant == variant)
+            {
+                continue; // host_cpus == 1 duplicates workers=1
+            }
+            records.push(perf::measure(&id, &variant, items, budget, || {
+                black_box(run_engine(&cfg, black_box(&events), streams, workers));
+            }));
+        }
+    }
+
+    // Worker sweep at 64 streams (the ≥64-stream scaling row; beyond
+    // host_cpus the extra workers only measure executor overhead). The
+    // host's own core count is always part of the sweep so the scaling
+    // headline below exists on any machine.
+    {
+        let streams = 64usize;
+        let events = workload(streams);
+        let items = events.len() as u64;
+        let id = format!("engine-embed/worker-sweep streams={streams}");
+        let mut sweep = vec![1usize, 2, 4, 8, host_cpus];
+        sweep.sort_unstable();
+        sweep.dedup();
+        for workers in sweep {
+            let variant = format!("workers={workers}");
+            records.push(perf::measure(&id, &variant, items, budget, || {
+                black_box(run_engine(&cfg, black_box(&events), streams, workers));
+            }));
+        }
+    }
+
+    print!("{}", perf::render_perf_table(&records));
+    // Scaling headline: 1 worker -> all cores at 64 streams.
+    let rate = |bench: &str, variant: &str| {
+        records
+            .iter()
+            .find(|r| r.bench == bench && r.variant == variant)
+            .map(|r| r.items_per_sec)
+    };
+    let sweep = "engine-embed/worker-sweep streams=64";
+    if let (Some(one), Some(all)) = (
+        rate(sweep, "workers=1"),
+        rate(sweep, &format!("workers={host_cpus}")),
+    ) {
+        println!(
+            "scaling 1 -> {host_cpus} workers at 64 streams: {:.2}x (host has {host_cpus} cpus)",
+            all / one
+        );
+    }
+    let json = perf::render_json_meta(
+        SCHEMA,
+        budget_ms,
+        &[
+            ("host_cpus", host_cpus as u64),
+            ("total_items", TOTAL_ITEMS as u64),
+            ("batch", BATCH as u64),
+        ],
+        &records,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

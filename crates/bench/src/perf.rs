@@ -66,10 +66,25 @@ fn json_escape(s: &str) -> String {
 /// Renders the `BENCH_pipeline.json` document (hand-rolled JSON; the
 /// workspace is offline and carries no serde).
 pub fn render_json(schema: &str, budget_ms: u64, records: &[PerfRecord]) -> String {
+    render_json_meta(schema, budget_ms, &[], records)
+}
+
+/// [`render_json`] with extra top-level numeric metadata fields (e.g.
+/// `host_cpus` for scaling benches, whose numbers are meaningless
+/// without the core count they ran on).
+pub fn render_json_meta(
+    schema: &str,
+    budget_ms: u64,
+    meta: &[(&str, u64)],
+    records: &[PerfRecord],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{}\",\n", json_escape(schema)));
     out.push_str(&format!("  \"budget_ms\": {budget_ms},\n"));
+    for (k, v) in meta {
+        out.push_str(&format!("  \"{}\": {v},\n", json_escape(k)));
+    }
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -162,6 +177,14 @@ mod tests {
         assert!(!j.contains(",\n  ]"));
         let braces = j.matches('{').count();
         assert_eq!(braces, j.matches('}').count());
+    }
+
+    #[test]
+    fn json_meta_fields_injected() {
+        let j = render_json_meta("s", 5, &[("host_cpus", 4), ("total_items", 100)], &[]);
+        assert!(j.contains("\"host_cpus\": 4"));
+        assert!(j.contains("\"total_items\": 100"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

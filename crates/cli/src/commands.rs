@@ -2,6 +2,7 @@
 //! are unit-testable without spawning processes.
 
 use crate::args::{ArgError, Args};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use wms_attacks::{EpsilonAttack, Segmentation, Summarization, UniformSampling};
@@ -9,11 +10,15 @@ use wms_core::encoding::initial::InitialEncoder;
 use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::encoding::quadres::QuadResEncoder;
 use wms_core::{
-    extremes, Detector, Embedder, Scheme, SubsetEncoder, TransformHint, Watermark, WmParams,
+    extremes, DetectConfig, Detector, EmbedConfig, Embedder, Scheme, SubsetEncoder, TransformHint,
+    Watermark, WmParams,
 };
 use wms_crypto::{Key, KeyedHash};
+use wms_engine::{Engine, EngineConfig, StreamSpec};
 use wms_sensors::{IrtfConfig, OscillatingTemperature, SmoothGaussianSource, TemperatureConfig};
-use wms_stream::{csv, normalize_stream, values_of, Sample, StreamSource, Transform};
+use wms_stream::{
+    csv, normalize_stream, values_of, Event, Normalizer, Sample, StreamSource, Transform,
+};
 
 /// A command failure, carrying the message shown to the user.
 #[derive(Debug)]
@@ -69,10 +74,28 @@ COMMANDS:
                epsilon:FRAC,AMP|segment:START,LEN [--seed S]
     inspect    fluctuation statistics of a stream
                --input F [--radius D] [--degree N]
+    engine     watermark many interleaved streams through the sharded
+               multi-stream engine, then verify each mark
+               --input F --output F --key K [--workers N] [--batch B]
+               [--text OWNER] [--encoder ...] [scheme flags as for embed]
+               (input/output rows are `stream,value`; each stream is
+                normalized independently and watermarked with the same
+                key and parameters)
     help       this text
 
 Values are one reading per line; `#` comments allowed. All commands are
 deterministic given their seeds.";
+
+/// One-bit verdict wording shared by `detect` and `engine`. The bias
+/// threshold is deliberately loose (footnote-5 shorthand); court-grade
+/// decisions should read the reported P_fp instead.
+fn verdict(report: &wms_core::DetectionReport) -> &'static str {
+    if report.bias() > 3 {
+        "WATERMARK PRESENT"
+    } else {
+        "no watermark evidence"
+    }
+}
 
 fn parse_key(args: &Args) -> Result<Key, CmdError> {
     let raw = args.require("key")?;
@@ -308,15 +331,7 @@ pub fn detect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             report.false_positive_probability(),
             report.confidence()
         )?;
-        writeln!(
-            out,
-            "verdict: {}",
-            if report.bias() > 3 {
-                "WATERMARK PRESENT"
-            } else {
-                "no watermark evidence"
-            }
-        )?;
+        writeln!(out, "verdict: {}", verdict(&report))?;
     } else {
         let rec = report.recovered(1);
         writeln!(out, "recovered bits: {rec}")?;
@@ -432,6 +447,139 @@ pub fn inspect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErro
     Ok(())
 }
 
+/// `wms engine`: embed across many interleaved streams at once, then run
+/// a detection pass over the watermarked flow and report per-stream
+/// verdicts.
+pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    let input = PathBuf::from(args.require("input")?);
+    let output = PathBuf::from(args.require("output")?);
+    let key = parse_key(args)?;
+    let params = parse_params(args)?;
+    let wm = parse_watermark(args)?;
+    let workers: usize = args.get_or("workers", 0usize)?;
+    let batch: usize = args.get_or("batch", 1024usize)?;
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let encoder = parse_encoder(args, &scheme)?;
+    args.finish()?;
+    if batch == 0 {
+        return Err(CmdError("--batch must be >= 1".into()));
+    }
+
+    let raw_events = csv::read_events(&input)?;
+    if raw_events.is_empty() {
+        return Err(CmdError(format!("{}: empty event flow", input.display())));
+    }
+
+    // Per-stream min-max normalization (the engine analogue of `wms
+    // embed`'s whole-stream calibration; each sensor has its own range).
+    let mut stream_order: Vec<wms_engine::StreamId> = Vec::new();
+    let mut per_stream_values: HashMap<u64, Vec<f64>> = HashMap::new();
+    for e in &raw_events {
+        per_stream_values
+            .entry(e.stream.0)
+            .or_insert_with(|| {
+                stream_order.push(e.stream);
+                Vec::new()
+            })
+            .push(e.sample.value);
+    }
+    let mut normalizers: HashMap<u64, Normalizer> = HashMap::new();
+    for (&id, values) in &per_stream_values {
+        let n = Normalizer::fit(values)
+            .filter(|n| n.scale() != 0.0)
+            .ok_or_else(|| CmdError(format!("stream {id}: degenerate (constant) stream")))?;
+        normalizers.insert(id, n);
+    }
+    let events: Vec<Event> = raw_events
+        .iter()
+        .map(|e| {
+            let n = &normalizers[&e.stream.0];
+            Event::new(e.stream, e.sample.with_value(n.normalize(e.sample.value)))
+        })
+        .collect();
+
+    // Embedding pass: one shared config, one session per stream.
+    let embed_cfg = Arc::new(
+        EmbedConfig::new(scheme.clone(), Arc::clone(&encoder), wm.clone()).map_err(CmdError)?,
+    );
+    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    for &id in &stream_order {
+        engine
+            .register(id, StreamSpec::Embed(Arc::clone(&embed_cfg)))
+            .map_err(|e| CmdError(e.to_string()))?;
+    }
+    let mut marked: Vec<Event> = Vec::with_capacity(events.len());
+    for chunk in events.chunks(batch) {
+        let outs = engine.ingest(chunk).map_err(|e| CmdError(e.to_string()))?;
+        for o in outs {
+            for s in o.samples {
+                marked.push(Event::new(o.stream, s));
+            }
+        }
+    }
+    let mut embedded_total = 0u64;
+    let mut stats_by_id: HashMap<u64, wms_core::EmbedStats> = HashMap::new();
+    let resolved_workers = engine.workers();
+    for outcome in engine.finish() {
+        for s in outcome.tail {
+            marked.push(Event::new(outcome.stream, s));
+        }
+        let stats = outcome.embed_stats.expect("embed mode");
+        embedded_total += stats.embedded;
+        stats_by_id.insert(outcome.stream.0, stats);
+    }
+
+    // Persist the watermarked flow, denormalized per stream.
+    let denorm: Vec<Event> = marked
+        .iter()
+        .map(|e| {
+            let n = &normalizers[&e.stream.0];
+            Event::new(e.stream, e.sample.with_value(n.denormalize(e.sample.value)))
+        })
+        .collect();
+    csv::write_events(&output, &denorm)?;
+    writeln!(
+        out,
+        "engine: {} events over {} streams ({} workers); embedded {} bits; wrote {}",
+        events.len(),
+        stream_order.len(),
+        resolved_workers,
+        embedded_total,
+        output.display()
+    )?;
+
+    // Verification pass: detect over the watermarked (still-normalized)
+    // flow with the same key, one verdict per stream.
+    let detect_cfg =
+        Arc::new(DetectConfig::new(scheme, Arc::clone(&encoder), wm.len(), 1.0).map_err(CmdError)?);
+    let mut verifier = Engine::new(EngineConfig::with_workers(workers));
+    for &id in &stream_order {
+        verifier
+            .register(id, StreamSpec::Detect(Arc::clone(&detect_cfg)))
+            .map_err(|e| CmdError(e.to_string()))?;
+    }
+    for chunk in marked.chunks(batch) {
+        verifier
+            .ingest(chunk)
+            .map_err(|e| CmdError(e.to_string()))?;
+    }
+    for outcome in verifier.finish() {
+        let report = outcome.report.expect("detect mode");
+        let stats = &stats_by_id[&outcome.stream.0];
+        writeln!(
+            out,
+            "stream {}: {} items, {} embedded, bias {}, confidence {:.6} — {}",
+            outcome.stream,
+            stats.items_in,
+            stats.embedded,
+            report.bias(),
+            report.confidence(),
+            verdict(&report)
+        )?;
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line; returns the process exit code.
 pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
     let result = match args.command.as_str() {
@@ -440,6 +588,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
         "detect" => detect(args, out),
         "attack" => attack(args, out),
         "inspect" => inspect(args, out),
+        "engine" => engine(args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -677,6 +826,82 @@ mod tests {
         assert!(text.contains("readings:"), "{text}");
         assert!(text.contains("xi"), "{text}");
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn engine_watermarks_interleaved_streams() {
+        let input = tmp("e-events.csv");
+        let output = tmp("e-marked.csv");
+        // Three interleaved sine streams, 1500 samples each, distinct
+        // phases/ranges so per-stream normalization actually differs.
+        let mut rows = String::from("# stream,value\n");
+        for i in 0..1500 {
+            for id in [3u64, 8, 21] {
+                let t = i as f64 + id as f64;
+                let v = (10.0 * id as f64)
+                    + 4.0 * (t * core::f64::consts::TAU / 60.0).sin()
+                    + 0.6 * (t * core::f64::consts::TAU / 17.0).sin();
+                rows.push_str(&format!("{id},{v}\n"));
+            }
+        }
+        std::fs::write(&input, rows).unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            &argv(&[
+                "engine",
+                "--input",
+                input.to_str().unwrap(),
+                "--output",
+                output.to_str().unwrap(),
+                "--key",
+                "4242",
+                "--workers",
+                "2",
+                "--batch",
+                "64",
+                "--window",
+                "256",
+                "--degree",
+                "3",
+                "--min-active",
+                "12",
+            ]),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        for id in [3u64, 8, 21] {
+            assert!(text.contains(&format!("stream {id}:")), "{text}");
+        }
+        assert!(text.contains("WATERMARK PRESENT"), "{text}");
+        // Output flow has the same shape as the input.
+        let marked = wms_stream::csv::read_events(&output).unwrap();
+        assert_eq!(marked.len(), 3 * 1500);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn engine_rejects_degenerate_stream() {
+        let input = tmp("e-flat.csv");
+        let output = tmp("e-flat-out.csv");
+        std::fs::write(&input, "1,5.0\n1,5.0\n1,5.0\n").unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            &argv(&[
+                "engine",
+                "--input",
+                input.to_str().unwrap(),
+                "--output",
+                output.to_str().unwrap(),
+                "--key",
+                "1",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 2);
+        assert!(String::from_utf8_lossy(&out).contains("degenerate"));
+        std::fs::remove_file(&input).ok();
     }
 
     #[test]

@@ -115,7 +115,9 @@ fn no_arguments_prints_usage_and_fails() {
 fn help_lists_every_subcommand() {
     let a = wms(&["help"]).success().stdout_contains("USAGE:");
     let text = a.stdout_str();
-    for cmd in ["generate", "embed", "detect", "attack", "inspect", "help"] {
+    for cmd in [
+        "generate", "embed", "detect", "attack", "inspect", "engine", "help",
+    ] {
         assert!(
             text.contains(cmd),
             "usage text missing subcommand {cmd:?}:\n{text}"
@@ -208,6 +210,51 @@ fn generate_embed_detect_round_trip() {
     ])
     .success()
     .stdout_contains("no watermark evidence");
+}
+
+#[test]
+fn engine_usage_errors_and_happy_path() {
+    // Missing required flags report precisely.
+    wms(&["engine", "--input", "x.csv"])
+        .code(2)
+        .stdout_contains("--output");
+
+    // Happy path on a tiny interleaved flow: two sine streams, small
+    // window so the engine has something to embed into.
+    let dir = Scratch::new("engine");
+    let (flow, marked) = (dir.path("flow.csv"), dir.path("marked.csv"));
+    let mut rows = String::from("# stream,value\n");
+    for i in 0..900 {
+        for id in [1u64, 2] {
+            let t = i as f64 + id as f64 * 3.0;
+            let v = 2.0 * (t * std::f64::consts::TAU / 45.0).sin()
+                + 0.3 * (t * std::f64::consts::TAU / 13.0).sin();
+            rows.push_str(&format!("{id},{v}\n"));
+        }
+    }
+    std::fs::write(&flow, rows).expect("write flow");
+    wms(&[
+        "engine",
+        "--input",
+        &flow,
+        "--output",
+        &marked,
+        "--key",
+        "77",
+        "--workers",
+        "2",
+        "--window",
+        "128",
+        "--degree",
+        "3",
+        "--min-active",
+        "12",
+    ])
+    .success()
+    .stdout_contains("streams")
+    .stdout_contains("stream 1:")
+    .stdout_contains("stream 2:");
+    assert!(std::path::Path::new(&marked).exists());
 }
 
 #[test]

@@ -12,15 +12,14 @@
 //! Detection never consults provenance or timestamps: it sees exactly the
 //! value sequence Mallory publishes.
 
-use crate::encoding::{trim_around, EncoderScratch, SubsetEncoder};
-use crate::extremes;
-use crate::labeling::Labeler;
+use crate::encoding::SubsetEncoder;
 use crate::scheme::Scheme;
-use crate::transform_estimate::{adjusted_degree, estimate_degree, StreamFingerprint};
+use crate::session::{DetectConfig, DetectSession};
+use crate::transform_estimate::{estimate_degree, StreamFingerprint};
 use crate::watermark::RecoveredWatermark;
 use std::sync::Arc;
 use wms_math::special::binomial_tail_ge;
-use wms_stream::{Sample, SlidingWindow};
+use wms_stream::Sample;
 
 /// Per-bit voting buckets (`wm[i]_T` / `wm[i]_F` in §3.3).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -142,31 +141,11 @@ pub enum TransformHint {
     Estimate(StreamFingerprint),
 }
 
-/// Streaming watermark detector.
+/// Streaming watermark detector: one [`DetectConfig`] driving one
+/// [`DetectSession`] (see [`crate::session`] for the multi-stream form).
 pub struct Detector {
-    scheme: Scheme,
-    encoder: Arc<dyn SubsetEncoder>,
-    window: SlidingWindow,
-    labeler: Labeler,
-    buckets: Vec<BitBuckets>,
-    majors_seen: u64,
-    warmup_skipped: u64,
-    selected: u64,
-    verdicts: u64,
-    abstained: u64,
-    effective_degree: usize,
-    chi: f64,
-    finished: bool,
-    pending_advance: usize,
-    /// Encoder scratch (code memo + buffers), reused across the stream.
-    scratch: EncoderScratch,
-    /// Window-values snapshot buffer for extreme scanning.
-    values_buf: Vec<f64>,
-    /// Extreme scanner (plateau-run buffer) and its output buffer.
-    scanner: extremes::Scanner,
-    extremes_buf: Vec<extremes::Extreme>,
-    /// Trimmed-subset values buffer.
-    subset_buf: Vec<f64>,
+    config: DetectConfig,
+    session: DetectSession,
 }
 
 impl Detector {
@@ -179,62 +158,27 @@ impl Detector {
         wm_len: usize,
         chi: f64,
     ) -> Result<Self, String> {
-        scheme.params.validate_for_watermark(wm_len)?;
-        if chi.is_nan() || chi < 1.0 {
-            return Err(format!("transform degree must be >= 1, got {chi}"));
-        }
-        let p = &scheme.params;
-        let effective_degree = adjusted_degree(p.degree, chi);
-        Ok(Detector {
-            labeler: Labeler::new(p.label_len, p.label_stride),
-            window: SlidingWindow::new(p.window),
-            buckets: vec![BitBuckets::default(); wm_len],
-            scheme,
-            encoder,
-            majors_seen: 0,
-            warmup_skipped: 0,
-            selected: 0,
-            verdicts: 0,
-            abstained: 0,
-            effective_degree,
-            chi,
-            finished: false,
-            pending_advance: 0,
-            scratch: EncoderScratch::new(),
-            values_buf: Vec::new(),
-            scanner: extremes::Scanner::new(),
-            extremes_buf: Vec::new(),
-            subset_buf: Vec::new(),
-        })
+        let config = DetectConfig::new(scheme, encoder, wm_len, chi)?;
+        let session = config.new_session();
+        Ok(Detector { config, session })
     }
 
     /// Feeds one sample. Steady state allocates nothing: processed data
     /// is discarded from the window rather than collected.
     pub fn push(&mut self, s: Sample) {
-        assert!(!self.finished, "push after finish");
-        if self.window.is_full() {
-            self.process_batch();
-            let n = self.pending_advance.max(1);
-            self.window.discard(n);
-            self.pending_advance = 0;
-        }
-        self.window.push(s);
+        self.config.push(&mut self.session, s);
     }
 
     /// Flushes and produces the report.
     pub fn finish(mut self) -> DetectionReport {
-        self.finished = true;
-        self.process_batch();
-        DetectionReport {
-            buckets: self.buckets,
-            majors_seen: self.majors_seen,
-            warmup_skipped: self.warmup_skipped,
-            selected: self.selected,
-            verdicts: self.verdicts,
-            abstained: self.abstained,
-            effective_degree: self.effective_degree,
-            assumed_transform_degree: self.chi,
-        }
+        self.config.finish(&mut self.session)
+    }
+
+    /// The shared configuration / per-stream state, consumed. A
+    /// multi-stream caller can keep the config behind an `Arc` and attach
+    /// fresh sessions to it (see [`crate::session`]).
+    pub fn into_parts(self) -> (DetectConfig, DetectSession) {
+        (self.config, self.session)
     }
 
     /// Convenience: detects over an in-memory segment, resolving the
@@ -261,67 +205,9 @@ impl Detector {
         Ok(d.finish())
     }
 
-    fn process_batch(&mut self) {
-        let len = self.window.len();
-        if len < 3 {
-            return;
-        }
-        self.window.values_into(&mut self.values_buf);
-        self.scanner.scan_into(
-            &self.values_buf,
-            self.scheme.params.radius,
-            &mut self.extremes_buf,
-        );
-        let mut last_major: Option<usize> = None;
-        for ei in 0..self.extremes_buf.len() {
-            let e = &self.extremes_buf[ei];
-            if !e.is_major(self.effective_degree) {
-                continue;
-            }
-            self.majors_seen += 1;
-            last_major = Some(e.pos);
-            let e_pos = e.pos;
-            let subset_range = e.subset.clone();
-            let raw = self.scheme.codec.quantize(e.value);
-            self.labeler.push(self.scheme.label_msb(raw));
-            let Some(label) = self.labeler.label() else {
-                self.warmup_skipped += 1;
-                continue;
-            };
-            let Some(bit_idx) = self.scheme.select(raw, self.buckets.len()) else {
-                continue;
-            };
-            self.selected += 1;
-            let trim = trim_around(subset_range, e_pos, self.scheme.params.max_subset);
-            self.subset_buf.clear();
-            self.subset_buf.extend_from_slice(&self.values_buf[trim]);
-            let vote =
-                self.encoder
-                    .detect_with(&self.scheme, &mut self.scratch, &self.subset_buf, &label);
-            match vote.verdict() {
-                Some(true) => {
-                    self.buckets[bit_idx].true_count += 1;
-                    self.verdicts += 1;
-                }
-                Some(false) => {
-                    self.buckets[bit_idx].false_count += 1;
-                    self.verdicts += 1;
-                }
-                None => self.abstained += 1,
-            }
-        }
-        self.pending_advance = match last_major {
-            Some(p) => p + 1,
-            None => (len / 2).max(1),
-        };
-    }
-}
-
-// pending_advance is part of Detector's state machine.
-impl Detector {
     /// Extremes examined so far (for progress reporting).
     pub fn majors_seen(&self) -> u64 {
-        self.majors_seen
+        self.session.majors_seen()
     }
 }
 
@@ -561,6 +447,7 @@ mod tests {
         };
         let s = Scheme::new(p, KeyedHash::md5(Key::from_u64(2))).unwrap();
         let d = Detector::new(s, Arc::new(InitialEncoder), 1, 3.0).unwrap();
-        assert_eq!(d.effective_degree, 2);
+        let (config, _session) = d.into_parts();
+        assert_eq!(config.effective_degree(), 2);
     }
 }

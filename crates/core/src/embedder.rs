@@ -1,24 +1,27 @@
 //! Single-pass watermark embedding (§3.2 with the §4.1–§4.4 improvements).
 //!
-//! The embedder owns a bounded [`SlidingWindow`] and processes the stream
-//! strictly once: samples go in, (occasionally altered) samples come out,
-//! never reordered, never buffered beyond `$` items. Whenever the window
-//! fills (and once more at end of stream) the resident data is scanned for
-//! major extremes; each one advances the labeler, passes through the
-//! selection criterion, and — if selected — has one watermark bit embedded
-//! into its characteristic subset by the configured [`SubsetEncoder`],
-//! subject to the quality constraints (violations roll back through the
-//! undo log).
+//! The embedder owns a bounded [`SlidingWindow`](wms_stream::SlidingWindow)
+//! and processes the stream strictly once: samples go in, (occasionally
+//! altered) samples come out, never reordered, never buffered beyond `$`
+//! items. Whenever the window fills (and once more at end of stream) the
+//! resident data is scanned for major extremes; each one advances the
+//! labeler, passes through the selection criterion, and — if selected —
+//! has one watermark bit embedded into its characteristic subset by the
+//! configured [`SubsetEncoder`], subject to the quality constraints
+//! (violations roll back through the undo log).
+//!
+//! [`Embedder`] is the single-stream convenience wrapper; the algorithm
+//! itself lives in [`crate::session`] as an [`EmbedConfig`] (immutable,
+//! shareable) driving an [`EmbedSession`] (per-stream state), which is
+//! what the multi-stream engine uses directly.
 
-use crate::encoding::{trim_around, EncoderScratch, SubsetEncoder};
-use crate::extremes;
-use crate::labeling::Labeler;
-use crate::quality::{ProposedAlteration, QualityConstraint, UndoLog};
+use crate::encoding::SubsetEncoder;
+use crate::quality::QualityConstraint;
 use crate::scheme::Scheme;
+use crate::session::{EmbedConfig, EmbedSession};
 use crate::watermark::Watermark;
 use std::sync::Arc;
-use wms_math::SlidingMoments;
-use wms_stream::{Sample, SlidingWindow};
+use wms_stream::Sample;
 
 /// Counters describing one embedding run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,29 +79,11 @@ impl EmbedStats {
     }
 }
 
-/// Streaming watermark embedder.
+/// Streaming watermark embedder: one [`EmbedConfig`] driving one
+/// [`EmbedSession`].
 pub struct Embedder {
-    scheme: Scheme,
-    encoder: Arc<dyn SubsetEncoder>,
-    wm: Watermark,
-    window: SlidingWindow,
-    labeler: Labeler,
-    moments: SlidingMoments,
-    constraints: Vec<Box<dyn QualityConstraint>>,
-    stats: EmbedStats,
-    finished: bool,
-    /// Items to emit after the current batch (set by `process_batch`).
-    pending_advance: usize,
-    /// Encoder scratch (code memo + search buffers), reused across the
-    /// whole stream.
-    scratch: EncoderScratch,
-    /// Window-values snapshot buffer for extreme scanning.
-    values_buf: Vec<f64>,
-    /// Extreme scanner (plateau-run buffer) and its output buffer.
-    scanner: extremes::Scanner,
-    extremes_buf: Vec<extremes::Extreme>,
-    /// Pre-embedding subset snapshot buffer.
-    before: Vec<f64>,
+    config: EmbedConfig,
+    session: EmbedSession,
 }
 
 impl Embedder {
@@ -109,50 +94,40 @@ impl Embedder {
         encoder: Arc<dyn SubsetEncoder>,
         wm: Watermark,
     ) -> Result<Self, String> {
-        scheme.params.validate_for_watermark(wm.len())?;
-        let p = &scheme.params;
-        let labeler = Labeler::new(p.label_len, p.label_stride);
-        let window = SlidingWindow::new(p.window);
-        Ok(Embedder {
-            scheme,
-            encoder,
-            wm,
-            window,
-            labeler,
-            moments: SlidingMoments::new(),
-            constraints: Vec::new(),
-            stats: EmbedStats::default(),
-            finished: false,
-            pending_advance: 0,
-            scratch: EncoderScratch::new(),
-            values_buf: Vec::new(),
-            scanner: extremes::Scanner::new(),
-            extremes_buf: Vec::new(),
-            before: Vec::new(),
-        })
+        let config = EmbedConfig::new(scheme, encoder, wm)?;
+        let session = config.new_session();
+        Ok(Embedder { config, session })
     }
 
     /// Adds a quality constraint (builder style).
     pub fn with_constraint(mut self, c: impl QualityConstraint + 'static) -> Self {
-        self.constraints.push(Box::new(c));
+        self.config = self.config.with_constraint(c);
         self
     }
 
     /// Run counters so far.
     pub fn stats(&self) -> &EmbedStats {
-        &self.stats
+        self.session.stats()
     }
 
     /// The configured scheme.
     pub fn scheme(&self) -> &Scheme {
-        &self.scheme
+        self.config.scheme()
+    }
+
+    /// The shared configuration / per-stream state, consumed. A
+    /// multi-stream caller can keep the config behind an `Arc` and attach
+    /// fresh sessions to it (see [`crate::session`]).
+    pub fn into_parts(self) -> (EmbedConfig, EmbedSession) {
+        (self.config, self.session)
     }
 
     /// Feeds one sample; returns any samples leaving the window.
     ///
-    /// Thin wrapper over [`push_into`](Self::push_into); steady-state
-    /// callers should prefer that variant, which reuses one output
-    /// buffer instead of allocating a (mostly empty) `Vec` per sample.
+    /// Thin wrapper over [`push_into`](Self::push_into), which reuses one
+    /// output buffer instead of allocating a (mostly empty) `Vec` per
+    /// sample; every internal caller has moved there.
+    #[deprecated(note = "use push_into with a reused output buffer")]
     pub fn push(&mut self, s: Sample) -> Vec<Sample> {
         let mut out = Vec::new();
         self.push_into(s, &mut out);
@@ -163,34 +138,23 @@ impl Embedder {
     /// `out` (which is *not* cleared). The steady-state per-item path:
     /// no allocation happens here beyond `out`'s own growth.
     pub fn push_into(&mut self, s: Sample, out: &mut Vec<Sample>) {
-        assert!(!self.finished, "push after finish");
-        if self.window.is_full() {
-            self.process_batch();
-            self.advance_after_batch(out);
-        }
-        self.window.push(s);
-        self.moments.insert(s.value);
-        self.stats.items_in += 1;
+        self.config.push_into(&mut self.session, s, out);
     }
 
     /// Flushes the stream end: processes the residual window and drains it.
+    ///
+    /// Thin wrapper over [`finish_into`](Self::finish_into), which
+    /// appends to a caller-owned buffer instead of allocating.
+    #[deprecated(note = "use finish_into with a reused output buffer")]
     pub fn finish(&mut self) -> Vec<Sample> {
         let mut out = Vec::new();
         self.finish_into(&mut out);
         out
     }
 
-    /// [`finish`](Self::finish), appending the residual samples to `out`.
+    /// Flushes the stream end, appending the residual samples to `out`.
     pub fn finish_into(&mut self, out: &mut Vec<Sample>) {
-        assert!(!self.finished, "finish twice");
-        self.finished = true;
-        self.process_batch();
-        let start = out.len();
-        let n = self.window.drain_all_into(out);
-        for s in &out[start..] {
-            self.moments.remove(s.value);
-        }
-        self.stats.items_out += n as u64;
+        self.config.finish_into(&mut self.session, out);
     }
 
     /// Convenience: embeds into an in-memory stream in one call. Reserves
@@ -208,111 +172,6 @@ impl Embedder {
         }
         e.finish_into(&mut out);
         Ok((out, *e.stats()))
-    }
-
-    /// Scans the resident window and embeds into every selected major
-    /// extreme. Called when the window is full and at end of stream; in
-    /// both cases every subset in the window is as complete as the space
-    /// bound `$` permits (§2.2), so all majors are processed.
-    fn process_batch(&mut self) {
-        let len = self.window.len();
-        if len < 3 {
-            return;
-        }
-        // Snapshot the window values once into the reusable buffer; the
-        // scan sees this snapshot even though embeddings mutate the
-        // window mid-batch (subsets are re-read below).
-        self.window.values_into(&mut self.values_buf);
-        self.scanner.scan_into(
-            &self.values_buf,
-            self.scheme.params.radius,
-            &mut self.extremes_buf,
-        );
-        self.stats.extremes_seen += self.extremes_buf.len() as u64;
-        let degree = self.scheme.params.degree;
-        let mut last_major: Option<usize> = None;
-        for ei in 0..self.extremes_buf.len() {
-            let e = &self.extremes_buf[ei];
-            if !e.is_major(degree) {
-                continue;
-            }
-            self.stats.majors_seen += 1;
-            self.stats.subset_size_sum += e.subset_len() as u64;
-            last_major = Some(e.pos);
-            let e_pos = e.pos;
-            let subset = e.subset.clone();
-            let raw = self.scheme.codec.quantize(e.value);
-            self.labeler.push(self.scheme.label_msb(raw));
-            let Some(label) = self.labeler.label() else {
-                self.stats.warmup_skipped += 1;
-                continue;
-            };
-            let Some(bit_idx) = self.scheme.select(raw, self.wm.len()) else {
-                continue;
-            };
-            self.stats.selected += 1;
-            let trim = trim_around(subset, e_pos, self.scheme.params.max_subset);
-            // Re-read from the window: a previous embedding in this batch
-            // may have altered overlapping items.
-            self.before.clear();
-            self.before.extend(
-                trim.clone()
-                    .map(|i| self.window.get(i).expect("in-window").value),
-            );
-            let bit = self.wm.bit(bit_idx);
-            let Some(res) = self.encoder.embed_with(
-                &self.scheme,
-                &mut self.scratch,
-                &self.before,
-                e_pos - trim.start,
-                &label,
-                bit,
-            ) else {
-                self.stats.skipped_encoding += 1;
-                continue;
-            };
-            self.stats.total_iterations += res.iterations;
-            // Apply through the §4.4 undo log, then check constraints.
-            let window_before = self.moments.clone();
-            let mut undo = UndoLog::new();
-            for (k, off) in trim.clone().enumerate() {
-                let slot = self.window.get_mut(off).expect("in-window");
-                undo.record(off, slot.value);
-                self.moments.replace(slot.value, res.values[k]);
-                slot.value = res.values[k];
-            }
-            let alt = ProposedAlteration {
-                before: &self.before,
-                after: &res.values,
-                window_before: &window_before,
-            };
-            if self.constraints.iter().all(|c| c.allows(&alt)) {
-                undo.commit();
-                self.stats.embedded += 1;
-            } else {
-                let window = &mut self.window;
-                undo.rollback(|off, old| {
-                    window.get_mut(off).expect("in-window").value = old;
-                });
-                self.moments = window_before;
-                self.stats.skipped_quality += 1;
-            }
-        }
-        self.pending_advance = match last_major {
-            Some(p) => p + 1,
-            None => (len / 2).max(1),
-        };
-    }
-
-    fn advance_after_batch(&mut self, out: &mut Vec<Sample>) {
-        let n = self.pending_advance.max(1);
-        let start = out.len();
-        let emitted = self.window.advance_into(n, out);
-        for s in &out[start..] {
-            self.moments.remove(s.value);
-        }
-        self.stats.items_out += emitted as u64;
-        self.pending_advance = 0;
     }
 }
 
@@ -436,9 +295,9 @@ mod tests {
         let mut e = strict;
         let mut out = Vec::new();
         for &smp in &input {
-            out.extend(e.push(smp));
+            e.push_into(smp, &mut out);
         }
-        out.extend(e.finish());
+        e.finish_into(&mut out);
         assert_eq!(e.stats().embedded, 0);
         assert!(e.stats().skipped_quality > 0);
         // Stream is bit-identical to the input — rollback worked.
@@ -461,10 +320,11 @@ mod tests {
             .unwrap()
             .with_constraint(MaxItemChange { max: 1.0 });
         let input = test_stream(2000);
+        let mut out = Vec::new();
         for &smp in &input {
-            e.push(smp);
+            e.push_into(smp, &mut out);
         }
-        e.finish();
+        e.finish_into(&mut out);
         assert_eq!(e.stats().embedded, stats_free.embedded);
         assert_eq!(e.stats().skipped_quality, 0);
     }
@@ -522,8 +382,39 @@ mod tests {
             Watermark::single(true),
         )
         .unwrap();
-        e.finish();
-        e.push(Sample::new(0, 0.0));
+        let mut out = Vec::new();
+        e.finish_into(&mut out);
+        e.push_into(Sample::new(0, 0.0), &mut out);
+    }
+
+    /// The deprecated wrappers must stay bit-identical to the `_into`
+    /// path — they remain part of the public API.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_match_push_into() {
+        let input = test_stream(1500);
+        let mut legacy = Embedder::new(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap();
+        let mut modern = Embedder::new(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap();
+        let mut out_legacy = Vec::new();
+        let mut out_modern = Vec::new();
+        for &s in &input {
+            out_legacy.extend(legacy.push(s));
+            modern.push_into(s, &mut out_modern);
+        }
+        out_legacy.extend(legacy.finish());
+        modern.finish_into(&mut out_modern);
+        assert_eq!(out_legacy, out_modern);
+        assert_eq!(legacy.stats(), modern.stats());
     }
 
     #[test]
@@ -535,13 +426,27 @@ mod tests {
         )
         .unwrap();
         let input = test_stream(1000);
-        let mut n_out = 0;
+        let mut out = Vec::new();
         for &s in &input {
-            n_out += e.push(s).len();
+            e.push_into(s, &mut out);
         }
-        n_out += e.finish().len();
-        assert_eq!(n_out, 1000);
+        e.finish_into(&mut out);
+        assert_eq!(out.len(), 1000);
         assert_eq!(e.stats().items_in, 1000);
         assert_eq!(e.stats().items_out, 1000);
+    }
+
+    #[test]
+    fn into_parts_resumes_nothing_but_exposes_state() {
+        let e = Embedder::new(
+            scheme(test_params()),
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap();
+        let (config, session) = e.into_parts();
+        assert_eq!(session.stats().items_in, 0);
+        assert!(!session.is_finished());
+        assert_eq!(config.watermark().len(), 1);
     }
 }

@@ -81,6 +81,7 @@ pub mod multipass;
 pub mod params;
 pub mod quality;
 pub mod scheme;
+pub mod session;
 pub mod transform_estimate;
 pub mod watermark;
 
@@ -93,5 +94,6 @@ pub use labeling::{Label, Labeler};
 pub use multipass::{detect_multipass, MultiPassReport};
 pub use params::WmParams;
 pub use scheme::Scheme;
+pub use session::{DetectConfig, DetectSession, EmbedConfig, EmbedSession};
 pub use transform_estimate::StreamFingerprint;
 pub use watermark::{RecoveredWatermark, Watermark};

@@ -1,0 +1,560 @@
+//! Shared-config / per-stream-state split of the embedding and detection
+//! pipelines.
+//!
+//! [`Embedder`](crate::Embedder) and [`Detector`](crate::Detector) bundle
+//! two very different kinds of state: *configuration* (scheme, encoder,
+//! watermark, quality constraints — immutable once built, identical for
+//! every stream of a tenant) and *per-stream session state* (the sliding
+//! window, labeler, voting buckets, scratch buffers — one copy per live
+//! stream). A multi-stream engine serving thousands of sessions wants to
+//! share one [`EmbedConfig`]/[`DetectConfig`] behind an `Arc` and keep
+//! only a cheap [`EmbedSession`]/[`DetectSession`] per stream, so this
+//! module factors the single-stream pipelines along exactly that line.
+//! The wrapper types delegate here; running a session through a config is
+//! bit-identical to running the equivalent `Embedder`/`Detector`.
+//!
+//! Scratch reuse is safe across schemes because every memo layer inside
+//! [`EncoderScratch`] is stamped with [`Scheme::memo_fingerprint`] and
+//! invalidates when a different scheme drives it — a session can even be
+//! (re)used under another config, it merely re-warms its memos.
+
+use crate::detector::{BitBuckets, DetectionReport};
+use crate::encoding::{trim_around, EncoderScratch, SubsetEncoder};
+use crate::extremes;
+use crate::labeling::Labeler;
+use crate::params::WmParams;
+use crate::quality::{ProposedAlteration, QualityConstraint, UndoLog};
+use crate::scheme::Scheme;
+use crate::transform_estimate::adjusted_degree;
+use crate::watermark::Watermark;
+use crate::EmbedStats;
+use std::sync::Arc;
+use wms_math::SlidingMoments;
+use wms_stream::{Sample, SlidingWindow};
+
+/// Immutable embedding configuration, shareable across streams.
+///
+/// Holds everything the embedding algorithm reads but never writes: the
+/// [`Scheme`], the subset encoder, the watermark and the quality
+/// constraints. Wrap it in an `Arc` and hand each stream its own
+/// [`EmbedSession`].
+pub struct EmbedConfig {
+    scheme: Scheme,
+    encoder: Arc<dyn SubsetEncoder>,
+    wm: Watermark,
+    constraints: Vec<Box<dyn QualityConstraint>>,
+}
+
+impl EmbedConfig {
+    /// Builds a validated embedding configuration; fails if the
+    /// parameters cannot address the watermark (θ ≤ b(wm)).
+    pub fn new(
+        scheme: Scheme,
+        encoder: Arc<dyn SubsetEncoder>,
+        wm: Watermark,
+    ) -> Result<Self, String> {
+        scheme.params.validate_for_watermark(wm.len())?;
+        Ok(EmbedConfig {
+            scheme,
+            encoder,
+            wm,
+            constraints: Vec::new(),
+        })
+    }
+
+    /// Adds a quality constraint (builder style; call before sharing).
+    pub fn with_constraint(mut self, c: impl QualityConstraint + 'static) -> Self {
+        self.constraints.push(Box::new(c));
+        self
+    }
+
+    /// The configured scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// The watermark being embedded.
+    pub fn watermark(&self) -> &Watermark {
+        &self.wm
+    }
+
+    /// A fresh per-stream session sized for this configuration.
+    pub fn new_session(&self) -> EmbedSession {
+        EmbedSession::new(&self.scheme.params)
+    }
+
+    /// Feeds one sample of a session's stream, appending any samples
+    /// leaving the window to `out` (which is *not* cleared). The
+    /// steady-state per-item path: no allocation beyond `out`'s growth.
+    pub fn push_into(&self, sess: &mut EmbedSession, s: Sample, out: &mut Vec<Sample>) {
+        assert!(!sess.finished, "push after finish");
+        if sess.window.is_full() {
+            self.process_batch(sess);
+            sess.advance_after_batch(out);
+        }
+        sess.window.push(s);
+        sess.moments.insert(s.value);
+        sess.stats.items_in += 1;
+    }
+
+    /// Flushes a session's stream end: processes the residual window and
+    /// drains it into `out`.
+    pub fn finish_into(&self, sess: &mut EmbedSession, out: &mut Vec<Sample>) {
+        assert!(!sess.finished, "finish twice");
+        sess.finished = true;
+        self.process_batch(sess);
+        let start = out.len();
+        let n = sess.window.drain_all_into(out);
+        for s in &out[start..] {
+            sess.moments.remove(s.value);
+        }
+        sess.stats.items_out += n as u64;
+    }
+
+    /// Scans the resident window and embeds into every selected major
+    /// extreme. Called when the window is full and at end of stream; in
+    /// both cases every subset in the window is as complete as the space
+    /// bound `$` permits (§2.2), so all majors are processed.
+    fn process_batch(&self, sess: &mut EmbedSession) {
+        let len = sess.window.len();
+        if len < 3 {
+            return;
+        }
+        // Snapshot the window values once into the reusable buffer; the
+        // scan sees this snapshot even though embeddings mutate the
+        // window mid-batch (subsets are re-read below).
+        sess.window.values_into(&mut sess.values_buf);
+        sess.scanner.scan_into(
+            &sess.values_buf,
+            self.scheme.params.radius,
+            &mut sess.extremes_buf,
+        );
+        sess.stats.extremes_seen += sess.extremes_buf.len() as u64;
+        let degree = self.scheme.params.degree;
+        let mut last_major: Option<usize> = None;
+        for ei in 0..sess.extremes_buf.len() {
+            let e = &sess.extremes_buf[ei];
+            if !e.is_major(degree) {
+                continue;
+            }
+            sess.stats.majors_seen += 1;
+            sess.stats.subset_size_sum += e.subset_len() as u64;
+            last_major = Some(e.pos);
+            let e_pos = e.pos;
+            let subset = e.subset.clone();
+            let raw = self.scheme.codec.quantize(e.value);
+            sess.labeler.push(self.scheme.label_msb(raw));
+            let Some(label) = sess.labeler.label() else {
+                sess.stats.warmup_skipped += 1;
+                continue;
+            };
+            let Some(bit_idx) = self.scheme.select(raw, self.wm.len()) else {
+                continue;
+            };
+            sess.stats.selected += 1;
+            let trim = trim_around(subset, e_pos, self.scheme.params.max_subset);
+            // Re-read from the window: a previous embedding in this batch
+            // may have altered overlapping items.
+            sess.before.clear();
+            let window = &sess.window;
+            sess.before.extend(
+                trim.clone()
+                    .map(|i| window.get(i).expect("in-window").value),
+            );
+            let bit = self.wm.bit(bit_idx);
+            let Some(res) = self.encoder.embed_with(
+                &self.scheme,
+                &mut sess.scratch,
+                &sess.before,
+                e_pos - trim.start,
+                &label,
+                bit,
+            ) else {
+                sess.stats.skipped_encoding += 1;
+                continue;
+            };
+            sess.stats.total_iterations += res.iterations;
+            // Apply through the §4.4 undo log, then check constraints.
+            let window_before = sess.moments.clone();
+            let mut undo = UndoLog::new();
+            for (k, off) in trim.clone().enumerate() {
+                let slot = sess.window.get_mut(off).expect("in-window");
+                undo.record(off, slot.value);
+                sess.moments.replace(slot.value, res.values[k]);
+                slot.value = res.values[k];
+            }
+            let alt = ProposedAlteration {
+                before: &sess.before,
+                after: &res.values,
+                window_before: &window_before,
+            };
+            if self.constraints.iter().all(|c| c.allows(&alt)) {
+                undo.commit();
+                sess.stats.embedded += 1;
+            } else {
+                let window = &mut sess.window;
+                undo.rollback(|off, old| {
+                    window.get_mut(off).expect("in-window").value = old;
+                });
+                sess.moments = window_before;
+                sess.stats.skipped_quality += 1;
+            }
+        }
+        sess.pending_advance = match last_major {
+            Some(p) => p + 1,
+            None => (len / 2).max(1),
+        };
+    }
+}
+
+/// Per-stream mutable state of one embedding pipeline: the sliding
+/// window, labeler, running moments, statistics and every reusable
+/// scratch buffer. Cheap enough to keep one per live stream; all
+/// algorithm logic lives on [`EmbedConfig`].
+pub struct EmbedSession {
+    window: SlidingWindow,
+    labeler: Labeler,
+    moments: SlidingMoments,
+    stats: EmbedStats,
+    finished: bool,
+    /// Items to emit after the current batch (set by `process_batch`).
+    pending_advance: usize,
+    /// Encoder scratch (code memo + search buffers), reused across the
+    /// whole stream.
+    scratch: EncoderScratch,
+    /// Window-values snapshot buffer for extreme scanning.
+    values_buf: Vec<f64>,
+    /// Extreme scanner (plateau-run buffer) and its output buffer.
+    scanner: extremes::Scanner,
+    extremes_buf: Vec<extremes::Extreme>,
+    /// Pre-embedding subset snapshot buffer.
+    before: Vec<f64>,
+}
+
+impl EmbedSession {
+    /// Fresh state for a stream processed under the given parameters.
+    /// Window capacity and labeler shape must match the driving config's
+    /// params; [`EmbedConfig::new_session`] guarantees that.
+    pub fn new(params: &WmParams) -> Self {
+        EmbedSession {
+            window: SlidingWindow::new(params.window),
+            labeler: Labeler::new(params.label_len, params.label_stride),
+            moments: SlidingMoments::new(),
+            stats: EmbedStats::default(),
+            finished: false,
+            pending_advance: 0,
+            scratch: EncoderScratch::new(),
+            values_buf: Vec::new(),
+            scanner: extremes::Scanner::new(),
+            extremes_buf: Vec::new(),
+            before: Vec::new(),
+        }
+    }
+
+    /// Run counters so far.
+    pub fn stats(&self) -> &EmbedStats {
+        &self.stats
+    }
+
+    /// Whether `finish_into` has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn advance_after_batch(&mut self, out: &mut Vec<Sample>) {
+        let n = self.pending_advance.max(1);
+        let start = out.len();
+        let emitted = self.window.advance_into(n, out);
+        for s in &out[start..] {
+            self.moments.remove(s.value);
+        }
+        self.stats.items_out += emitted as u64;
+        self.pending_advance = 0;
+    }
+}
+
+/// Immutable detection configuration, shareable across streams.
+pub struct DetectConfig {
+    scheme: Scheme,
+    encoder: Arc<dyn SubsetEncoder>,
+    wm_len: usize,
+    chi: f64,
+    effective_degree: usize,
+}
+
+impl DetectConfig {
+    /// Builds a validated detection configuration for a watermark of
+    /// `wm_len` bits under a fixed transform degree `chi` (χ ≥ 1).
+    pub fn new(
+        scheme: Scheme,
+        encoder: Arc<dyn SubsetEncoder>,
+        wm_len: usize,
+        chi: f64,
+    ) -> Result<Self, String> {
+        scheme.params.validate_for_watermark(wm_len)?;
+        if chi.is_nan() || chi < 1.0 {
+            return Err(format!("transform degree must be >= 1, got {chi}"));
+        }
+        let effective_degree = adjusted_degree(scheme.params.degree, chi);
+        Ok(DetectConfig {
+            scheme,
+            encoder,
+            wm_len,
+            chi,
+            effective_degree,
+        })
+    }
+
+    /// The configured scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Watermark length being looked for.
+    pub fn wm_len(&self) -> usize {
+        self.wm_len
+    }
+
+    /// ν′ actually used by the scan.
+    pub fn effective_degree(&self) -> usize {
+        self.effective_degree
+    }
+
+    /// A fresh per-stream session sized for this configuration.
+    pub fn new_session(&self) -> DetectSession {
+        DetectSession::new(&self.scheme.params, self.wm_len)
+    }
+
+    /// Feeds one sample of a session's stream. Steady state allocates
+    /// nothing: processed data is discarded from the window rather than
+    /// collected.
+    pub fn push(&self, sess: &mut DetectSession, s: Sample) {
+        assert!(!sess.finished, "push after finish");
+        if sess.window.is_full() {
+            self.process_batch(sess);
+            let n = sess.pending_advance.max(1);
+            sess.window.discard(n);
+            sess.pending_advance = 0;
+        }
+        sess.window.push(s);
+    }
+
+    /// Flushes a session and produces its report. The session is spent
+    /// afterwards (further pushes panic).
+    pub fn finish(&self, sess: &mut DetectSession) -> DetectionReport {
+        assert!(!sess.finished, "finish twice");
+        sess.finished = true;
+        self.process_batch(sess);
+        DetectionReport {
+            buckets: std::mem::take(&mut sess.buckets),
+            majors_seen: sess.majors_seen,
+            warmup_skipped: sess.warmup_skipped,
+            selected: sess.selected,
+            verdicts: sess.verdicts,
+            abstained: sess.abstained,
+            effective_degree: self.effective_degree,
+            assumed_transform_degree: self.chi,
+        }
+    }
+
+    fn process_batch(&self, sess: &mut DetectSession) {
+        let len = sess.window.len();
+        if len < 3 {
+            return;
+        }
+        sess.window.values_into(&mut sess.values_buf);
+        sess.scanner.scan_into(
+            &sess.values_buf,
+            self.scheme.params.radius,
+            &mut sess.extremes_buf,
+        );
+        let mut last_major: Option<usize> = None;
+        for ei in 0..sess.extremes_buf.len() {
+            let e = &sess.extremes_buf[ei];
+            if !e.is_major(self.effective_degree) {
+                continue;
+            }
+            sess.majors_seen += 1;
+            last_major = Some(e.pos);
+            let e_pos = e.pos;
+            let subset_range = e.subset.clone();
+            let raw = self.scheme.codec.quantize(e.value);
+            sess.labeler.push(self.scheme.label_msb(raw));
+            let Some(label) = sess.labeler.label() else {
+                sess.warmup_skipped += 1;
+                continue;
+            };
+            let Some(bit_idx) = self.scheme.select(raw, sess.buckets.len()) else {
+                continue;
+            };
+            sess.selected += 1;
+            let trim = trim_around(subset_range, e_pos, self.scheme.params.max_subset);
+            sess.subset_buf.clear();
+            sess.subset_buf.extend_from_slice(&sess.values_buf[trim]);
+            let vote =
+                self.encoder
+                    .detect_with(&self.scheme, &mut sess.scratch, &sess.subset_buf, &label);
+            match vote.verdict() {
+                Some(true) => {
+                    sess.buckets[bit_idx].true_count += 1;
+                    sess.verdicts += 1;
+                }
+                Some(false) => {
+                    sess.buckets[bit_idx].false_count += 1;
+                    sess.verdicts += 1;
+                }
+                None => sess.abstained += 1,
+            }
+        }
+        sess.pending_advance = match last_major {
+            Some(p) => p + 1,
+            None => (len / 2).max(1),
+        };
+    }
+}
+
+/// Per-stream mutable state of one detection pipeline; the mirror of
+/// [`EmbedSession`]. All algorithm logic lives on [`DetectConfig`].
+pub struct DetectSession {
+    window: SlidingWindow,
+    labeler: Labeler,
+    buckets: Vec<BitBuckets>,
+    majors_seen: u64,
+    warmup_skipped: u64,
+    selected: u64,
+    verdicts: u64,
+    abstained: u64,
+    finished: bool,
+    pending_advance: usize,
+    /// Encoder scratch (code memo + buffers), reused across the stream.
+    scratch: EncoderScratch,
+    /// Window-values snapshot buffer for extreme scanning.
+    values_buf: Vec<f64>,
+    /// Extreme scanner (plateau-run buffer) and its output buffer.
+    scanner: extremes::Scanner,
+    extremes_buf: Vec<extremes::Extreme>,
+    /// Trimmed-subset values buffer.
+    subset_buf: Vec<f64>,
+}
+
+impl DetectSession {
+    /// Fresh state for a stream processed under the given parameters and
+    /// a `wm_len`-bit mark. Both must match the driving config;
+    /// [`DetectConfig::new_session`] guarantees that.
+    pub fn new(params: &WmParams, wm_len: usize) -> Self {
+        DetectSession {
+            window: SlidingWindow::new(params.window),
+            labeler: Labeler::new(params.label_len, params.label_stride),
+            buckets: vec![BitBuckets::default(); wm_len],
+            majors_seen: 0,
+            warmup_skipped: 0,
+            selected: 0,
+            verdicts: 0,
+            abstained: 0,
+            finished: false,
+            pending_advance: 0,
+            scratch: EncoderScratch::new(),
+            values_buf: Vec::new(),
+            scanner: extremes::Scanner::new(),
+            extremes_buf: Vec::new(),
+            subset_buf: Vec::new(),
+        }
+    }
+
+    /// Major extremes examined so far (progress reporting).
+    pub fn majors_seen(&self) -> u64 {
+        self.majors_seen
+    }
+
+    /// Whether `finish` has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::initial::InitialEncoder;
+    use crate::params::WmParams;
+    use wms_crypto::{Key, KeyedHash};
+    use wms_stream::samples_from_values;
+
+    fn config() -> EmbedConfig {
+        let p = WmParams {
+            window: 256,
+            degree: 3,
+            radius: 0.01,
+            max_subset: 4,
+            label_len: 4,
+            label_stride: 1,
+            ..WmParams::default()
+        };
+        let scheme = Scheme::new(p, KeyedHash::md5(Key::from_u64(77))).unwrap();
+        EmbedConfig::new(scheme, Arc::new(InitialEncoder), Watermark::single(true)).unwrap()
+    }
+
+    fn stream(n: usize) -> Vec<Sample> {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                0.35 * (t * core::f64::consts::TAU / 60.0).sin()
+                    + 0.05 * (t * core::f64::consts::TAU / 17.0).sin()
+            })
+            .collect();
+        samples_from_values(&values)
+    }
+
+    #[test]
+    fn shared_config_drives_independent_sessions() {
+        let cfg = Arc::new(config());
+        let input = stream(2000);
+        // Two sessions over the same config must not interfere: each
+        // produces exactly what a dedicated Embedder would.
+        let mut a = cfg.new_session();
+        let mut b = cfg.new_session();
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        for &s in &input {
+            cfg.push_into(&mut a, s, &mut out_a);
+            cfg.push_into(&mut b, s, &mut out_b);
+        }
+        cfg.finish_into(&mut a, &mut out_a);
+        cfg.finish_into(&mut b, &mut out_b);
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().embedded > 0);
+        assert!(a.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "finish twice")]
+    fn double_finish_panics() {
+        let cfg = config();
+        let mut s = cfg.new_session();
+        let mut out = Vec::new();
+        cfg.finish_into(&mut s, &mut out);
+        cfg.finish_into(&mut s, &mut out);
+    }
+
+    #[test]
+    fn detect_session_roundtrip() {
+        let cfg = config();
+        let input = stream(3000);
+        let mut sess = cfg.new_session();
+        let mut marked = Vec::new();
+        for &s in &input {
+            cfg.push_into(&mut sess, s, &mut marked);
+        }
+        cfg.finish_into(&mut sess, &mut marked);
+
+        let dcfg =
+            DetectConfig::new(cfg.scheme().clone(), Arc::new(InitialEncoder), 1, 1.0).unwrap();
+        let mut d = dcfg.new_session();
+        for &s in &marked {
+            dcfg.push(&mut d, s);
+        }
+        let report = dcfg.finish(&mut d);
+        assert!(d.is_finished());
+        assert!(report.bias() > 0, "bias {}", report.bias());
+    }
+}

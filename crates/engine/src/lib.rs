@@ -1,0 +1,477 @@
+//! # wms-engine
+//!
+//! Sharded multi-stream watermarking engine: the paper's single-stream
+//! pipeline ([`wms_core`]) lifted into a multi-tenant service core.
+//!
+//! * **Session registry** — every live stream is a [`StreamId`]-keyed
+//!   session owning its per-stream state
+//!   ([`EmbedSession`](wms_core::EmbedSession) /
+//!   [`DetectSession`](wms_core::DetectSession)); the immutable
+//!   configuration ([`EmbedConfig`] /
+//!   [`DetectConfig`]) is shared across streams behind an `Arc`, so a
+//!   tenant with one key and thousands of sensors pays for the scheme
+//!   once.
+//! * **Batched ingestion** — [`Engine::ingest`] takes a slice of
+//!   interleaved [`Event`]s, groups them by shard, and returns each
+//!   touched stream's emitted samples.
+//! * **Parallel shard executor** — shard-per-worker `std::thread`s (the
+//!   workspace is offline: channels and threads, no async runtime); each
+//!   worker exclusively owns its shard's sessions, so the hot path takes
+//!   no locks.
+//!
+//! ## Ordering and determinism
+//!
+//! Samples of one stream are processed in the order they appear in the
+//! ingest batches, and batches in call order — so each session sees
+//! exactly the sample sequence a dedicated single-stream pipeline would,
+//! and its outputs are **bit-identical** to that pipeline's (the
+//! equivalence tests in `tests/` prove it). Result ordering never
+//! depends on thread timing: `ingest` returns streams in first-touch
+//! order of the input batch, [`Engine::finish`] returns them in
+//! registration order, whatever the worker count.
+//!
+//! Shard assignment is keyed hashing through [`wms_crypto`]
+//! ([`ShardRouter`]), not `DefaultHasher`, so a stream's shard is stable
+//! across runs, processes and Rust versions for a given engine key and
+//! shard count.
+//!
+//! ## Backpressure
+//!
+//! `ingest` is synchronous: it dispatches one sub-batch per shard and
+//! blocks until every worker has drained its share (a barrier per call).
+//! Callers control memory by choosing the batch size; the engine never
+//! buffers more than one in-flight batch per worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod worker;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wms_core::{DetectConfig, DetectionReport, EmbedConfig, EmbedStats};
+use wms_crypto::{Key, KeyedHash};
+use wms_stream::Sample;
+pub use wms_stream::{Event, StreamId};
+use worker::{Cmd, Reply, WorkerHandle};
+
+/// How a registered stream processes its samples.
+#[derive(Clone)]
+pub enum StreamSpec {
+    /// Watermark-embedding session; emits (possibly altered) samples.
+    Embed(Arc<EmbedConfig>),
+    /// Detection session; emits nothing until `finish`, which yields its
+    /// [`DetectionReport`].
+    Detect(Arc<DetectConfig>),
+}
+
+/// Samples one stream emitted while a batch was ingested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// The stream that produced the samples.
+    pub stream: StreamId,
+    /// Emitted samples, in stream order (empty when the window retained
+    /// everything — detection streams always report empty here).
+    pub samples: Vec<Sample>,
+}
+
+/// Final state of one stream after [`Engine::finish`].
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The stream this outcome describes.
+    pub stream: StreamId,
+    /// Residual samples drained from an embedding session's window
+    /// (empty for detection streams).
+    pub tail: Vec<Sample>,
+    /// Embedding counters (embedding streams only).
+    pub embed_stats: Option<EmbedStats>,
+    /// Detection report (detection streams only).
+    pub report: Option<DetectionReport>,
+}
+
+/// Engine construction/ingestion errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// `register` was called twice for the same id.
+    DuplicateStream(StreamId),
+    /// An ingested event names an unregistered stream.
+    UnknownStream(StreamId),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DuplicateStream(id) => write!(f, "stream {id} already registered"),
+            EngineError::UnknownStream(id) => write!(f, "stream {id} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Deterministic keyed `StreamId -> shard` routing.
+///
+/// Uses the workspace's keyed one-way hash rather than
+/// `std::hash::DefaultHasher`: the standard hasher is seeded per process
+/// and its algorithm is not stable across Rust versions, so shard
+/// assignment would change from run to run. Keyed MD5 of the id under a
+/// fixed engine key is stable everywhere and costs one compression per
+/// route (amortized to zero by batching).
+#[derive(Clone)]
+pub struct ShardRouter {
+    hash: KeyedHash,
+    shards: usize,
+}
+
+/// Domain-separation prefix for shard routing.
+const SHARD_DOMAIN: &[u8] = b"wms/engine/shard";
+
+impl ShardRouter {
+    /// Router over `shards` shards keyed by `key` (`shards >= 1`).
+    pub fn new(key: Key, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        ShardRouter {
+            hash: KeyedHash::md5(key),
+            shards,
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `id`.
+    pub fn shard_of(&self, id: StreamId) -> usize {
+        (self
+            .hash
+            .hash_u64_parts(&[SHARD_DOMAIN, &id.0.to_le_bytes()])
+            % self.shards as u64) as usize
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Worker threads (= shards). `0` means one per available core.
+    pub workers: usize,
+    /// Key for the shard router. The default is a fixed public constant:
+    /// shard placement is a load-balancing concern, not a secret, and a
+    /// fixed key keeps placement reproducible across deployments.
+    pub shard_key: Key,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            shard_key: Key::from_bytes(&b"wms/engine/default-shard-key"[..]),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// The multi-stream engine: session registry + shard executor.
+pub struct Engine {
+    router: ShardRouter,
+    workers: Vec<WorkerHandle>,
+    /// `id -> shard`, also the duplicate/unknown-id check.
+    shard_of: HashMap<u64, usize>,
+    /// Registration order (drives `finish` output ordering).
+    order: Vec<StreamId>,
+    /// Scratch: per-shard event sub-batches, reused across `ingest`s.
+    batches: Vec<Vec<Event>>,
+}
+
+impl Engine {
+    /// Spawns the shard executor.
+    pub fn new(config: EngineConfig) -> Self {
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let router = ShardRouter::new(config.shard_key, workers);
+        let handles = (0..workers).map(WorkerHandle::spawn).collect();
+        Engine {
+            router,
+            workers: handles,
+            shard_of: HashMap::new(),
+            order: Vec::new(),
+            batches: vec![Vec::new(); workers],
+        }
+    }
+
+    /// Number of worker threads (= shards).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registered streams, in registration order.
+    pub fn streams(&self) -> &[StreamId] {
+        &self.order
+    }
+
+    /// Registers a stream. Fails on duplicate ids; the spec's parameters
+    /// were already validated when its config was built.
+    pub fn register(&mut self, id: StreamId, spec: StreamSpec) -> Result<(), EngineError> {
+        let shard = self.router.shard_of(id);
+        if self.shard_of.insert(id.0, shard).is_some() {
+            return Err(EngineError::DuplicateStream(id));
+        }
+        self.order.push(id);
+        self.workers[shard].request(Cmd::Register(id, spec));
+        let Reply::Registered = self.workers[shard].wait() else {
+            unreachable!("register reply");
+        };
+        Ok(())
+    }
+
+    /// Ingests one interleaved batch.
+    ///
+    /// Events are routed to their stream's shard (preserving per-stream
+    /// order), the shards run in parallel, and the call returns once all
+    /// of them are done. The result holds one [`Output`] per stream
+    /// touched by the batch, in first-touch order of `events` — a
+    /// deterministic function of the input alone.
+    pub fn ingest(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
+        // Validate + partition up front so an error dispatches nothing.
+        for b in &mut self.batches {
+            b.clear();
+        }
+        let mut touch_order: Vec<StreamId> = Vec::new();
+        let mut touched: HashMap<u64, usize> = HashMap::new();
+        for &ev in events {
+            let Some(&shard) = self.shard_of.get(&ev.stream.0) else {
+                return Err(EngineError::UnknownStream(ev.stream));
+            };
+            self.batches[shard].push(ev);
+            touched.entry(ev.stream.0).or_insert_with(|| {
+                touch_order.push(ev.stream);
+                touch_order.len() - 1
+            });
+        }
+        // Dispatch to every shard with work, then barrier on the replies
+        // (worker index order — determinism never leans on timing).
+        let active: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| !self.batches[w].is_empty())
+            .collect();
+        for &w in &active {
+            let batch = std::mem::take(&mut self.batches[w]);
+            self.workers[w].request(Cmd::Ingest(batch));
+        }
+        let mut per_stream: Vec<Option<Vec<Sample>>> = vec![None; touch_order.len()];
+        for &w in &active {
+            let Reply::Ingested { outs, batch } = self.workers[w].wait() else {
+                unreachable!("ingest reply");
+            };
+            // Reclaim the drained buffer so steady state reuses its
+            // capacity instead of reallocating per ingest.
+            self.batches[w] = batch;
+            for (id, samples) in outs {
+                per_stream[touched[&id.0]] = Some(samples);
+            }
+        }
+        Ok(touch_order
+            .into_iter()
+            .zip(per_stream)
+            .map(|(stream, samples)| Output {
+                stream,
+                samples: samples.unwrap_or_default(),
+            })
+            .collect())
+    }
+
+    /// Flushes every registered stream and shuts the executor down.
+    ///
+    /// Embedding streams drain their residual window into
+    /// [`StreamOutcome::tail`] and report their [`EmbedStats`];
+    /// detection streams produce their [`DetectionReport`]. Outcomes are
+    /// in registration order.
+    pub fn finish(mut self) -> Vec<StreamOutcome> {
+        let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.workers.len()];
+        for &id in &self.order {
+            per_shard[self.shard_of[&id.0]].push(id);
+        }
+        for (w, ids) in per_shard.into_iter().enumerate() {
+            self.workers[w].request(Cmd::Finish(ids));
+        }
+        let mut by_id: HashMap<u64, StreamOutcome> = HashMap::new();
+        for w in &mut self.workers {
+            let Reply::Finished(outcomes) = w.wait() else {
+                unreachable!("finish reply");
+            };
+            for o in outcomes {
+                by_id.insert(o.stream.0, o);
+            }
+        }
+        self.order
+            .iter()
+            .map(|id| by_id.remove(&id.0).expect("every stream flushed"))
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wms_core::encoding::initial::InitialEncoder;
+    use wms_core::{Scheme, Watermark, WmParams};
+    use wms_crypto::{Key, KeyedHash};
+    use wms_stream::samples_from_values;
+
+    fn embed_spec() -> StreamSpec {
+        let p = WmParams {
+            window: 64,
+            degree: 2,
+            radius: 0.01,
+            max_subset: 4,
+            label_len: 3,
+            label_stride: 1,
+            ..WmParams::default()
+        };
+        let scheme = Scheme::new(p, KeyedHash::md5(Key::from_u64(5))).unwrap();
+        StreamSpec::Embed(Arc::new(
+            EmbedConfig::new(scheme, Arc::new(InitialEncoder), Watermark::single(true)).unwrap(),
+        ))
+    }
+
+    fn wave(n: usize, phase: f64) -> Vec<Sample> {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 + phase;
+                0.3 * (t * core::f64::consts::TAU / 23.0).sin()
+                    + 0.05 * (t * core::f64::consts::TAU / 7.0).sin()
+            })
+            .collect();
+        samples_from_values(&values)
+    }
+
+    #[test]
+    fn router_is_deterministic_and_in_range() {
+        let r1 = ShardRouter::new(Key::from_u64(9), 8);
+        let r2 = ShardRouter::new(Key::from_u64(9), 8);
+        for id in 0..500u64 {
+            let s = r1.shard_of(StreamId(id));
+            assert!(s < 8);
+            assert_eq!(s, r2.shard_of(StreamId(id)), "stable for id {id}");
+        }
+        // A different key produces a different placement somewhere.
+        let other = ShardRouter::new(Key::from_u64(10), 8);
+        assert!((0..500u64).any(|id| r1.shard_of(StreamId(id)) != other.shard_of(StreamId(id))));
+    }
+
+    #[test]
+    fn router_spreads_streams() {
+        let r = ShardRouter::new(Key::from_u64(1), 4);
+        let mut counts = [0usize; 4];
+        for id in 0..4000u64 {
+            counts[r.shard_of(StreamId(id))] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed shard load: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut e = Engine::new(EngineConfig::with_workers(2));
+        e.register(StreamId(1), embed_spec()).unwrap();
+        assert_eq!(
+            e.register(StreamId(1), embed_spec()),
+            Err(EngineError::DuplicateStream(StreamId(1)))
+        );
+    }
+
+    #[test]
+    fn unknown_stream_rejected_without_side_effects() {
+        let mut e = Engine::new(EngineConfig::with_workers(2));
+        e.register(StreamId(1), embed_spec()).unwrap();
+        let known = Event::new(StreamId(1), Sample::new(0, 0.1));
+        let unknown = Event::new(StreamId(2), Sample::new(0, 0.1));
+        assert_eq!(
+            e.ingest(&[known, unknown]),
+            Err(EngineError::UnknownStream(StreamId(2)))
+        );
+        // The batch was rejected atomically: stream 1 saw nothing, so
+        // its full run through finish drains an empty window.
+        let outcomes = e.finish();
+        assert_eq!(outcomes[0].embed_stats.unwrap().items_in, 0);
+    }
+
+    #[test]
+    fn outputs_follow_first_touch_order_and_conserve_samples() {
+        for workers in [1, 2, 3] {
+            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            for id in [4u64, 9, 2] {
+                e.register(StreamId(id), embed_spec()).unwrap();
+            }
+            let streams: Vec<(StreamId, Vec<Sample>)> = [4u64, 9, 2]
+                .iter()
+                .map(|&id| (StreamId(id), wave(300, id as f64)))
+                .collect();
+            // Interleave round-robin; batch in chunks of 7.
+            let mut events = Vec::new();
+            for i in 0..300 {
+                for (id, s) in &streams {
+                    events.push(Event::new(*id, s[i]));
+                }
+            }
+            let mut emitted: HashMap<u64, Vec<Sample>> = HashMap::new();
+            for chunk in events.chunks(7) {
+                let outs = e.ingest(chunk).unwrap();
+                // First-touch order of the chunk.
+                let mut seen = Vec::new();
+                for ev in chunk {
+                    if !seen.contains(&ev.stream) {
+                        seen.push(ev.stream);
+                    }
+                }
+                assert_eq!(outs.iter().map(|o| o.stream).collect::<Vec<_>>(), seen);
+                for o in outs {
+                    emitted.entry(o.stream.0).or_default().extend(o.samples);
+                }
+            }
+            for o in e.finish() {
+                emitted.entry(o.stream.0).or_default().extend(o.tail);
+            }
+            for (id, s) in &streams {
+                let got = &emitted[&id.0];
+                assert_eq!(got.len(), s.len(), "stream {id} lost samples");
+                for (a, b) in got.iter().zip(s) {
+                    assert_eq!(a.index, b.index, "stream {id} reordered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finish_outcomes_in_registration_order() {
+        let mut e = Engine::new(EngineConfig::with_workers(2));
+        for id in [11u64, 3, 7] {
+            e.register(StreamId(id), embed_spec()).unwrap();
+        }
+        let ids: Vec<u64> = e.finish().iter().map(|o| o.stream.0).collect();
+        assert_eq!(ids, vec![11, 3, 7]);
+    }
+}

@@ -1,0 +1,185 @@
+//! The shard executor's worker threads.
+//!
+//! One worker exclusively owns one shard's sessions, so processing takes
+//! no locks: the engine sends a command, the worker mutates its local
+//! `HashMap` of sessions, and replies on its dedicated channel. The
+//! engine enforces the one-outstanding-request discipline (`request`
+//! then `wait`), which doubles as the per-batch barrier.
+
+use crate::{StreamId, StreamOutcome, StreamSpec};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use wms_core::{DetectSession, EmbedSession};
+use wms_stream::{Event, Sample};
+
+/// Engine → worker commands.
+pub(crate) enum Cmd {
+    /// Adopt a new session.
+    Register(StreamId, StreamSpec),
+    /// Process this shard's slice of an ingest batch (stream order
+    /// within the slice is the wire order).
+    Ingest(Vec<Event>),
+    /// Flush the listed sessions (engine sends them in registration
+    /// order) and reply with their outcomes.
+    Finish(Vec<StreamId>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker → engine replies (one per non-shutdown command).
+pub(crate) enum Reply {
+    Registered,
+    /// Per touched stream, in first-touch order of the shard's slice:
+    /// the samples its session emitted. `batch` returns the drained
+    /// event buffer so the engine can reuse its capacity next ingest.
+    Ingested {
+        outs: Vec<(StreamId, Vec<Sample>)>,
+        batch: Vec<Event>,
+    },
+    Finished(Vec<StreamOutcome>),
+}
+
+/// One live session: its spec (shared config) plus per-stream state.
+enum Session {
+    Embed(StreamSpec, EmbedSession),
+    Detect(StreamSpec, DetectSession),
+}
+
+impl Session {
+    fn open(spec: StreamSpec) -> Session {
+        match &spec {
+            StreamSpec::Embed(cfg) => {
+                let sess = cfg.new_session();
+                Session::Embed(spec, sess)
+            }
+            StreamSpec::Detect(cfg) => {
+                let sess = cfg.new_session();
+                Session::Detect(spec, sess)
+            }
+        }
+    }
+
+    fn push(&mut self, s: Sample, out: &mut Vec<Sample>) {
+        match self {
+            Session::Embed(StreamSpec::Embed(cfg), sess) => cfg.push_into(sess, s, out),
+            Session::Detect(StreamSpec::Detect(cfg), sess) => cfg.push(sess, s),
+            _ => unreachable!("spec/session kind mismatch"),
+        }
+    }
+
+    fn close(self, stream: StreamId) -> StreamOutcome {
+        match self {
+            Session::Embed(StreamSpec::Embed(cfg), mut sess) => {
+                let mut tail = Vec::new();
+                cfg.finish_into(&mut sess, &mut tail);
+                StreamOutcome {
+                    stream,
+                    tail,
+                    embed_stats: Some(*sess.stats()),
+                    report: None,
+                }
+            }
+            Session::Detect(StreamSpec::Detect(cfg), mut sess) => StreamOutcome {
+                stream,
+                tail: Vec::new(),
+                embed_stats: None,
+                report: Some(cfg.finish(&mut sess)),
+            },
+            _ => unreachable!("spec/session kind mismatch"),
+        }
+    }
+}
+
+/// The engine's side of one worker thread.
+pub(crate) struct WorkerHandle {
+    tx: Sender<Cmd>,
+    rx: Receiver<Reply>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Spawns the worker for shard `index`.
+    pub(crate) fn spawn(index: usize) -> WorkerHandle {
+        let (tx, cmd_rx) = channel::<Cmd>();
+        let (reply_tx, rx) = channel::<Reply>();
+        let join = std::thread::Builder::new()
+            .name(format!("wms-engine-shard-{index}"))
+            .spawn(move || run(cmd_rx, reply_tx))
+            .expect("spawn shard worker");
+        WorkerHandle {
+            tx,
+            rx,
+            join: Some(join),
+        }
+    }
+
+    /// Sends one command (must be followed by `wait` unless Shutdown).
+    pub(crate) fn request(&self, cmd: Cmd) {
+        self.tx.send(cmd).expect("shard worker alive");
+    }
+
+    /// Blocks for the reply to the last `request`.
+    pub(crate) fn wait(&mut self) -> Reply {
+        self.rx.recv().expect("shard worker alive")
+    }
+
+    /// Asks the thread to exit and joins it (idempotent).
+    pub(crate) fn shutdown(&mut self) {
+        if let Some(join) = self.join.take() {
+            // Ignore send failure: the worker already exited (panic).
+            let _ = self.tx.send(Cmd::Shutdown);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Worker loop: owns this shard's sessions until shutdown.
+fn run(cmds: Receiver<Cmd>, replies: Sender<Reply>) {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    // first-touch bookkeeping reused across Ingest commands.
+    let mut touch_order: Vec<StreamId> = Vec::new();
+    let mut slot_of: HashMap<u64, usize> = HashMap::new();
+    while let Ok(cmd) = cmds.recv() {
+        let reply = match cmd {
+            Cmd::Register(id, spec) => {
+                sessions.insert(id.0, Session::open(spec));
+                Reply::Registered
+            }
+            Cmd::Ingest(mut events) => {
+                touch_order.clear();
+                slot_of.clear();
+                let mut outs: Vec<Vec<Sample>> = Vec::new();
+                for ev in events.drain(..) {
+                    let slot = *slot_of.entry(ev.stream.0).or_insert_with(|| {
+                        touch_order.push(ev.stream);
+                        outs.push(Vec::new());
+                        outs.len() - 1
+                    });
+                    sessions
+                        .get_mut(&ev.stream.0)
+                        .expect("engine validated the id")
+                        .push(ev.sample, &mut outs[slot]);
+                }
+                Reply::Ingested {
+                    outs: touch_order.iter().copied().zip(outs).collect(),
+                    batch: events,
+                }
+            }
+            Cmd::Finish(ids) => Reply::Finished(
+                ids.into_iter()
+                    .map(|id| {
+                        sessions
+                            .remove(&id.0)
+                            .expect("engine tracks registrations")
+                            .close(id)
+                    })
+                    .collect(),
+            ),
+            Cmd::Shutdown => break,
+        };
+        if replies.send(reply).is_err() {
+            break; // engine dropped mid-flight
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Multi-stream ↔ single-stream equivalence.
+//!
+//! The engine's contract is that multiplexing changes *nothing* about
+//! any individual stream: whatever interleaving, batch size and worker
+//! count feed the engine, each stream's output is bit-identical to
+//! running that stream alone through the PR 2 single-stream pipeline
+//! (`Embedder::embed_stream` / `Detector::detect_stream`). These tests
+//! prove it for fixed fixtures and — via the proptest shim — for random
+//! interleavings of K streams, for both embed and detect.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{
+    DetectConfig, Detector, EmbedConfig, Embedder, Scheme, TransformHint, Watermark, WmParams,
+};
+use wms_crypto::{Key, KeyedHash};
+use wms_engine::{Engine, EngineConfig, Event, StreamId, StreamSpec};
+use wms_stream::{samples_from_values, Sample};
+
+fn params() -> WmParams {
+    WmParams {
+        window: 64,
+        degree: 2,
+        radius: 0.01,
+        max_subset: 4,
+        label_len: 3,
+        label_stride: 1,
+        min_active: Some(4),
+        ..WmParams::default()
+    }
+}
+
+fn scheme(key: u64) -> Scheme {
+    Scheme::new(params(), KeyedHash::md5(Key::from_u64(key))).unwrap()
+}
+
+/// A per-stream waveform: phase and period vary with the id so streams
+/// are genuinely different.
+fn wave(n: usize, id: u64) -> Vec<Sample> {
+    let period = 19.0 + (id % 7) as f64 * 4.0;
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 + id as f64;
+            0.3 * (t * core::f64::consts::TAU / period).sin()
+                + 0.05 * (t * core::f64::consts::TAU / 7.0).sin()
+        })
+        .collect();
+    samples_from_values(&values)
+}
+
+/// Splitmix64 — deterministic interleaving choices inside property tests.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Randomly interleaves the streams (per-stream order preserved).
+fn interleave(streams: &[(StreamId, Vec<Sample>)], seed: u64) -> Vec<Event> {
+    let mut rng = seed;
+    let mut cursors = vec![0usize; streams.len()];
+    let total: usize = streams.iter().map(|(_, s)| s.len()).sum();
+    let mut events = Vec::with_capacity(total);
+    while events.len() < total {
+        let live: Vec<usize> = (0..streams.len())
+            .filter(|&i| cursors[i] < streams[i].1.len())
+            .collect();
+        let pick = live[(splitmix(&mut rng) % live.len() as u64) as usize];
+        let (id, samples) = &streams[pick];
+        events.push(Event::new(*id, samples[cursors[pick]]));
+        cursors[pick] += 1;
+    }
+    events
+}
+
+/// Runs the engine in embed mode over the given interleaving and returns
+/// each stream's full output (ingest emissions + finish tail) and stats.
+fn engine_embed(
+    streams: &[(StreamId, Vec<Sample>)],
+    events: &[Event],
+    workers: usize,
+    batch: usize,
+    key: u64,
+) -> HashMap<u64, (Vec<Sample>, wms_core::EmbedStats)> {
+    let cfg = Arc::new(
+        EmbedConfig::new(
+            scheme(key),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+        )
+        .unwrap(),
+    );
+    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    for (id, _) in streams {
+        engine
+            .register(*id, StreamSpec::Embed(Arc::clone(&cfg)))
+            .unwrap();
+    }
+    let mut collected: HashMap<u64, Vec<Sample>> = HashMap::new();
+    for chunk in events.chunks(batch.max(1)) {
+        for out in engine.ingest(chunk).unwrap() {
+            collected
+                .entry(out.stream.0)
+                .or_default()
+                .extend(out.samples);
+        }
+    }
+    let mut result = HashMap::new();
+    for outcome in engine.finish() {
+        let mut samples = collected.remove(&outcome.stream.0).unwrap_or_default();
+        samples.extend(outcome.tail);
+        result.insert(outcome.stream.0, (samples, outcome.embed_stats.unwrap()));
+    }
+    result
+}
+
+fn assert_bit_identical(id: u64, got: &[Sample], want: &[Sample]) {
+    assert_eq!(got.len(), want.len(), "stream {id}: length mismatch");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "stream {id} sample {i}: engine {} vs single-stream {}",
+            a.value,
+            b.value
+        );
+        assert_eq!(a.index, b.index, "stream {id} sample {i}: index");
+        assert_eq!(a.span, b.span, "stream {id} sample {i}: span");
+    }
+}
+
+#[test]
+fn embed_equivalence_across_worker_counts_and_batch_sizes() {
+    let streams: Vec<(StreamId, Vec<Sample>)> = [3u64, 17, 4, 99]
+        .iter()
+        .map(|&id| (StreamId(id), wave(700, id)))
+        .collect();
+    let events = interleave(&streams, 0xA5A5);
+    // Reference: each stream alone through the single-stream pipeline.
+    let mut reference = HashMap::new();
+    for (id, samples) in &streams {
+        let (out, stats) = Embedder::embed_stream(
+            scheme(42),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+            samples,
+        )
+        .unwrap();
+        reference.insert(id.0, (out, stats));
+    }
+    for workers in [1usize, 2, 4] {
+        for batch in [1usize, 13, 4096] {
+            let got = engine_embed(&streams, &events, workers, batch, 42);
+            for (id, (want, want_stats)) in &reference {
+                let (samples, stats) = &got[id];
+                assert_bit_identical(*id, samples, want);
+                assert_eq!(
+                    stats, want_stats,
+                    "stream {id} stats (workers={workers}, batch={batch})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn detect_equivalence_and_marks_found() {
+    // Embed per stream single-stream, then detect through the engine and
+    // compare against the single-stream detector report.
+    let ids = [8u64, 1, 30];
+    let mut marked: Vec<(StreamId, Vec<Sample>)> = Vec::new();
+    for &id in &ids {
+        let (out, stats) = Embedder::embed_stream(
+            scheme(7),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+            &wave(1200, id),
+        )
+        .unwrap();
+        assert!(stats.embedded > 0, "fixture must embed for stream {id}");
+        marked.push((StreamId(id), out));
+    }
+    let events = interleave(&marked, 0xBEEF);
+    let dcfg = Arc::new(DetectConfig::new(scheme(7), Arc::new(MultiHashEncoder), 1, 1.0).unwrap());
+    let mut engine = Engine::new(EngineConfig::with_workers(2));
+    for (id, _) in &marked {
+        engine
+            .register(*id, StreamSpec::Detect(Arc::clone(&dcfg)))
+            .unwrap();
+    }
+    for chunk in events.chunks(31) {
+        for out in engine.ingest(chunk).unwrap() {
+            assert!(out.samples.is_empty(), "detect streams emit nothing");
+        }
+    }
+    for outcome in engine.finish() {
+        let (_, samples) = marked.iter().find(|(id, _)| *id == outcome.stream).unwrap();
+        let want = Detector::detect_stream(
+            scheme(7),
+            Arc::new(MultiHashEncoder),
+            1,
+            samples,
+            TransformHint::None,
+        )
+        .unwrap();
+        let report = outcome.report.unwrap();
+        assert_eq!(report, want, "stream {}", outcome.stream);
+        assert!(report.bias() > 0, "stream {} lost its mark", outcome.stream);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_interleavings_embed_like_independent_pipelines(
+        k in 2usize..5,
+        n in 150usize..400,
+        seed in any::<u64>(),
+    ) {
+        let streams: Vec<(StreamId, Vec<Sample>)> = (0..k as u64)
+            .map(|i| (StreamId(i * 31 + 5), wave(n + i as usize * 17, i * 31 + 5)))
+            .collect();
+        let events = interleave(&streams, seed);
+        let batch = 1 + (seed % 97) as usize;
+        let workers = 1 + (seed % 3) as usize;
+        let got = engine_embed(&streams, &events, workers, batch, 1234);
+        for (id, samples) in &streams {
+            let (want, want_stats) = Embedder::embed_stream(
+                scheme(1234),
+                Arc::new(MultiHashEncoder),
+                Watermark::single(true),
+                samples,
+            )
+            .unwrap();
+            let (got_samples, got_stats) = &got[&id.0];
+            assert_bit_identical(id.0, got_samples, &want);
+            prop_assert_eq!(got_stats, &want_stats);
+        }
+    }
+
+    #[test]
+    fn random_interleavings_detect_like_independent_pipelines(
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let streams: Vec<(StreamId, Vec<Sample>)> = (0..k as u64)
+            .map(|i| {
+                let id = i * 7 + 2;
+                let (out, _) = Embedder::embed_stream(
+                    scheme(9),
+                    Arc::new(MultiHashEncoder),
+                    Watermark::single(true),
+                    &wave(350 + i as usize * 40, id),
+                )
+                .unwrap();
+                (StreamId(id), out)
+            })
+            .collect();
+        let events = interleave(&streams, seed);
+        let dcfg = Arc::new(
+            DetectConfig::new(scheme(9), Arc::new(MultiHashEncoder), 1, 1.0).unwrap(),
+        );
+        let workers = 1 + (seed % 3) as usize;
+        let mut engine = Engine::new(EngineConfig::with_workers(workers));
+        for (id, _) in &streams {
+            engine
+                .register(*id, StreamSpec::Detect(Arc::clone(&dcfg)))
+                .unwrap();
+        }
+        let batch = 1 + (seed % 53) as usize;
+        for chunk in events.chunks(batch) {
+            engine.ingest(chunk).unwrap();
+        }
+        for outcome in engine.finish() {
+            let (_, samples) = streams
+                .iter()
+                .find(|(id, _)| *id == outcome.stream)
+                .unwrap();
+            let want = Detector::detect_stream(
+                scheme(9),
+                Arc::new(MultiHashEncoder),
+                1,
+                samples,
+                TransformHint::None,
+            )
+            .unwrap();
+            prop_assert_eq!(outcome.report.unwrap(), want);
+        }
+    }
+}

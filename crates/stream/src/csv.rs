@@ -1,13 +1,16 @@
 //! Minimal CSV persistence for streams and experiment outputs.
 //!
-//! Two formats:
+//! Three formats:
 //! * value-per-line (`value\n`) for raw sensor dumps;
-//! * indexed (`index,value\n`) preserving current stream positions.
+//! * indexed (`index,value\n`) preserving current stream positions;
+//! * interleaved events (`stream,value\n`) for multi-stream flows.
 //!
 //! Implemented by hand (no third-party CSV crate) because the needs are
 //! tiny and the format is fully under our control.
 
+use crate::events::{Event, StreamId};
 use crate::sample::{samples_from_values, Sample};
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -84,6 +87,54 @@ pub fn read_indexed(path: &Path) -> io::Result<Vec<Sample>> {
     Ok(out)
 }
 
+/// Writes interleaved `stream,value` rows, preserving the wire order.
+pub fn write_events(path: &Path, events: &[Event]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "# stream,value")?;
+    for e in events {
+        writeln!(out, "{},{}", e.stream, e.sample.value)?;
+    }
+    out.flush()
+}
+
+/// Reads interleaved `stream,value` rows into events.
+///
+/// Each event's `sample.index` is its position *within its own stream*
+/// (arrival order per stream id), so every stream extracted from the
+/// result is well-formed on its own. Blank lines and `#` comments are
+/// skipped; malformed lines yield `io::ErrorKind::InvalidData` with the
+/// offending line number.
+pub fn read_events(path: &Path) -> io::Result<Vec<Event>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    let mut counters: HashMap<u64, u64> = HashMap::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut parts = trimmed.splitn(2, ',');
+        let id: u64 = parts
+            .next()
+            .ok_or_else(|| err(format!("line {}: missing stream id", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("line {}: bad stream id: {e}", lineno + 1)))?;
+        let val: f64 = parts
+            .next()
+            .ok_or_else(|| err(format!("line {}: missing value", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("line {}: bad value: {e}", lineno + 1)))?;
+        let idx = counters.entry(id).or_insert(0);
+        out.push(Event::new(StreamId(id), Sample::new(*idx, val)));
+        *idx += 1;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +197,38 @@ mod tests {
         std::fs::write(&path, "0,1.0\n1\n").unwrap();
         let e = read_indexed(&path).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn events_roundtrip_with_per_stream_indices() {
+        let path = tmp("events");
+        std::fs::write(
+            &path,
+            "# stream,value\n3,0.5\n7,0.25\n3,0.75\n7,-0.1\n3,0.9\n",
+        )
+        .unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0], Event::new(StreamId(3), Sample::new(0, 0.5)));
+        assert_eq!(events[2], Event::new(StreamId(3), Sample::new(1, 0.75)));
+        assert_eq!(events[3], Event::new(StreamId(7), Sample::new(1, -0.1)));
+        // Write-out preserves wire order and round-trips.
+        write_events(&path, &events).unwrap();
+        let back = read_events(&path).unwrap();
+        assert_eq!(back, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn events_reject_bad_rows() {
+        let path = tmp("events-bad");
+        std::fs::write(&path, "1,0.5\nnope,0.5\n").unwrap();
+        let e = read_events(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("line 2"));
+        std::fs::write(&path, "1\n").unwrap();
+        assert!(read_events(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,227 @@
+//! Multiplexed multi-stream events.
+//!
+//! The paper's model is one sensor stream; a production engine serves
+//! many at once, interleaved on one wire. This module is the minimal
+//! vocabulary for that: a [`StreamId`] naming each logical stream, an
+//! [`Event`] pairing an id with a [`Sample`], and an [`EventSource`] —
+//! the incremental, pull-based producer the engine ingests from in
+//! batches (the multi-stream analogue of
+//! [`StreamSource`]). Adapters are provided
+//! to lift single-stream sources into event sources
+//! ([`Tagged`], [`StreamSource::into_events`](crate::source::StreamSource))
+//! and to merge several into one interleaved flow ([`Interleaver`]).
+
+use crate::sample::Sample;
+use crate::source::StreamSource;
+
+/// Identity of one logical sensor stream inside a multi-stream flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One sample of one stream, as seen on an interleaved wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// The stream this sample belongs to.
+    pub stream: StreamId,
+    /// The sample itself; `sample.index` is the position within *its own*
+    /// stream, not within the interleaved flow.
+    pub sample: Sample,
+}
+
+impl Event {
+    /// Pairs a stream id with a sample.
+    pub fn new(stream: StreamId, sample: Sample) -> Self {
+        Event { stream, sample }
+    }
+}
+
+/// An incremental producer of interleaved multi-stream events.
+///
+/// Like [`StreamSource`], deliberately minimal: `next_event` pulls one
+/// event; the provided batch helpers are how an engine drains it without
+/// materializing whole streams.
+pub trait EventSource {
+    /// Produces the next event, or `None` when every stream has ended.
+    fn next_event(&mut self) -> Option<Event>;
+
+    /// Drains up to `n` events into a Vec (fewer at end of flow).
+    fn take_events(&mut self, n: usize) -> Vec<Event> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next_event() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Drains up to `n` events into `out` (cleared first), returning how
+    /// many were produced. The allocation-free twin of
+    /// [`take_events`](Self::take_events) for batch-loop callers.
+    fn take_events_into(&mut self, n: usize, out: &mut Vec<Event>) -> usize {
+        out.clear();
+        for _ in 0..n {
+            match self.next_event() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out.len()
+    }
+
+    /// Drains the entire flow. Only safe for finite sources.
+    fn collect_events(&mut self) -> Vec<Event> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next_event() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+/// A single-stream [`StreamSource`] lifted into an [`EventSource`] by
+/// tagging every sample with one fixed [`StreamId`].
+pub struct Tagged<S> {
+    id: StreamId,
+    inner: S,
+}
+
+impl<S: StreamSource> Tagged<S> {
+    /// Tags `inner`'s samples with `id`.
+    pub fn new(id: StreamId, inner: S) -> Self {
+        Tagged { id, inner }
+    }
+}
+
+impl<S: StreamSource> EventSource for Tagged<S> {
+    fn next_event(&mut self) -> Option<Event> {
+        Some(Event::new(self.id, self.inner.next_sample()?))
+    }
+}
+
+/// Round-robin merge of several single-stream sources into one
+/// interleaved event flow: stream A's sample 0, stream B's sample 0, …,
+/// stream A's sample 1, and so on, skipping exhausted streams. The
+/// per-stream sample order is preserved — the only guarantee a
+/// multi-stream engine needs.
+#[derive(Default)]
+pub struct Interleaver {
+    sources: Vec<(StreamId, Box<dyn StreamSource>)>,
+    exhausted: Vec<bool>,
+    next: usize,
+}
+
+impl Interleaver {
+    /// An empty interleaver (yields no events until sources are added).
+    pub fn new() -> Self {
+        Interleaver::default()
+    }
+
+    /// Adds one stream (builder style). Ids need not be unique, but an
+    /// engine downstream will usually require them to be.
+    pub fn with_stream(mut self, id: StreamId, src: impl StreamSource + 'static) -> Self {
+        self.sources.push((id, Box::new(src)));
+        self.exhausted.push(false);
+        self
+    }
+
+    /// Number of registered streams (live or exhausted).
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+impl EventSource for Interleaver {
+    fn next_event(&mut self) -> Option<Event> {
+        let n = self.sources.len();
+        for _ in 0..n {
+            let i = self.next;
+            self.next = (self.next + 1) % n;
+            if self.exhausted[i] {
+                continue;
+            }
+            let (id, src) = &mut self.sources[i];
+            match src.next_sample() {
+                Some(s) => return Some(Event::new(*id, s)),
+                None => self.exhausted[i] = true,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+
+    #[test]
+    fn tagged_source_pairs_id_with_samples() {
+        let mut src = Tagged::new(StreamId(7), VecSource::new(vec![0.1, 0.2]));
+        let events = src.collect_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.stream == StreamId(7)));
+        assert_eq!(events[1].sample.index, 1);
+        assert_eq!(events[1].sample.value, 0.2);
+        assert!(src.next_event().is_none());
+    }
+
+    #[test]
+    fn into_events_adapter() {
+        use crate::source::StreamSource;
+        let mut src = VecSource::new(vec![1.0]).into_events(StreamId(3));
+        assert_eq!(src.next_event().unwrap().stream, StreamId(3));
+    }
+
+    #[test]
+    fn interleaver_round_robins_and_preserves_per_stream_order() {
+        let mut il = Interleaver::new()
+            .with_stream(StreamId(1), VecSource::new(vec![10.0, 11.0, 12.0]))
+            .with_stream(StreamId(2), VecSource::new(vec![20.0]))
+            .with_stream(StreamId(3), VecSource::new(vec![30.0, 31.0]));
+        assert_eq!(il.len(), 3);
+        let events = il.collect_events();
+        assert_eq!(events.len(), 6);
+        // Round robin with stream 2 dropping out after its only sample.
+        let ids: Vec<u64> = events.iter().map(|e| e.stream.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 1, 3, 1]);
+        // Per-stream sample order intact.
+        let s1: Vec<f64> = events
+            .iter()
+            .filter(|e| e.stream == StreamId(1))
+            .map(|e| e.sample.value)
+            .collect();
+        assert_eq!(s1, vec![10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn take_events_batches() {
+        let mut il = Interleaver::new()
+            .with_stream(StreamId(1), VecSource::new(vec![1.0, 2.0]))
+            .with_stream(StreamId(2), VecSource::new(vec![3.0]));
+        assert_eq!(il.take_events(2).len(), 2);
+        let mut buf = vec![Event::new(StreamId(9), Sample::new(0, 0.0))];
+        assert_eq!(il.take_events_into(10, &mut buf), 1);
+        assert_eq!(buf.len(), 1, "take_events_into clears the buffer");
+        assert!(il.take_events(1).is_empty());
+    }
+
+    #[test]
+    fn empty_interleaver_yields_nothing() {
+        let mut il = Interleaver::new();
+        assert!(il.is_empty());
+        assert!(il.next_event().is_none());
+    }
+}

@@ -7,6 +7,8 @@
 //!   for the evaluation; never consulted by detection);
 //! * [`window`] — the fixed-capacity `$`-window with FIFO eviction;
 //! * [`source`] — pull-based sources/sinks;
+//! * [`events`] — multiplexed multi-stream events ([`StreamId`],
+//!   [`Event`], interleaving adapters) for the engine crate;
 //! * [`normalize`] — min–max normalization into (−0.5, +0.5), the paper's
 //!   defense against linear-change attacks (A4);
 //! * [`pipeline`] — the [`pipeline::Transform`] abstraction attacks and
@@ -19,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod events;
 pub mod normalize;
 pub mod pipeline;
 pub mod rate;
@@ -26,6 +29,7 @@ pub mod sample;
 pub mod source;
 pub mod window;
 
+pub use events::{Event, EventSource, Interleaver, StreamId, Tagged};
 pub use normalize::{normalize_stream, Normalizer};
 pub use pipeline::{Identity, MapValues, Pipeline, ReadCopy, Transform};
 pub use rate::{degree_from_counts, degree_from_rates, RateEstimator};

@@ -5,6 +5,7 @@
 //! outflow. Both are deliberately minimal traits so sensors, files and
 //! in-memory fixtures interoperate.
 
+use crate::events::{StreamId, Tagged};
 use crate::sample::Sample;
 use wms_math::RunningStats;
 
@@ -32,6 +33,17 @@ pub trait StreamSource {
             out.push(s);
         }
         out
+    }
+
+    /// Lifts this source into a multi-stream
+    /// [`EventSource`](crate::events::EventSource) by tagging every
+    /// sample with `id` — the adapter a multi-stream engine ingests
+    /// single sensors through.
+    fn into_events(self, id: StreamId) -> Tagged<Self>
+    where
+        Self: Sized,
+    {
+        Tagged::new(id, self)
     }
 }
 

@@ -49,9 +49,9 @@ fn main() {
 
     let mut marked = Vec::with_capacity(stream.len());
     for &s in &stream {
-        marked.extend(embedder.push(s));
+        embedder.push_into(s, &mut marked);
     }
-    marked.extend(embedder.finish());
+    embedder.finish_into(&mut marked);
     let stats = *embedder.stats();
     println!(
         "embedded {} bits; {} embeddings rolled back by constraints",

@@ -13,7 +13,9 @@
 //! * [`sensors`] — synthetic sensor generators (incl. the IRTF-like
 //!   reference dataset);
 //! * [`attacks`] — Mallory's transforms (sampling, summarization,
-//!   segmentation, ε-attacks, bucket counting).
+//!   segmentation, ε-attacks, bucket counting);
+//! * [`engine`] — the sharded multi-stream engine (session registry,
+//!   batched ingestion, parallel shard executor).
 //!
 //! See `examples/quickstart.rs` for the 60-second tour and `DESIGN.md`
 //! for the system inventory.
@@ -24,6 +26,7 @@
 pub use wms_attacks as attacks;
 pub use wms_core as core;
 pub use wms_crypto as crypto;
+pub use wms_engine as engine;
 pub use wms_math as math;
 pub use wms_sensors as sensors;
 pub use wms_stream as stream;
@@ -38,8 +41,10 @@ pub mod prelude {
         DetectionReport, Detector, Embedder, Scheme, TransformHint, Watermark, WmParams,
     };
     pub use wms_crypto::{Key, KeyedHash};
+    pub use wms_engine::{Engine, EngineConfig, StreamSpec};
     pub use wms_stream::{
-        normalize_stream, samples_from_values, values_of, Sample, StreamSource, Transform,
+        normalize_stream, samples_from_values, values_of, Event, EventSource, Sample, StreamId,
+        StreamSource, Transform,
     };
 }
 

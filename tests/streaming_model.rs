@@ -55,9 +55,9 @@ fn incremental_push_equals_batch() {
     .unwrap();
     let mut incremental = Vec::with_capacity(input.len());
     for &s in &input {
-        incremental.extend(e.push(s));
+        e.push_into(s, &mut incremental);
     }
-    incremental.extend(e.finish());
+    e.finish_into(&mut incremental);
 
     assert_eq!(batch.len(), incremental.len());
     for (a, b) in batch.iter().zip(&incremental) {
@@ -78,9 +78,11 @@ fn emission_latency_bounded_by_window() {
         Watermark::single(true),
     )
     .unwrap();
-    let mut emitted = 0usize;
+    let mut emitted;
+    let mut out = Vec::new();
     for (i, &s) in input.iter().enumerate() {
-        emitted += e.push(s).len();
+        e.push_into(s, &mut out);
+        emitted = out.len();
         assert!(
             emitted + window > i,
             "at input {} only {} emitted with window {}",
@@ -89,7 +91,8 @@ fn emission_latency_bounded_by_window() {
             window
         );
     }
-    emitted += e.finish().len();
+    e.finish_into(&mut out);
+    emitted = out.len();
     assert_eq!(emitted, input.len());
 }
 
@@ -104,9 +107,9 @@ fn emission_preserves_order_and_provenance() {
     .unwrap();
     let mut out = Vec::new();
     for &s in &input {
-        out.extend(e.push(s));
+        e.push_into(s, &mut out);
     }
-    out.extend(e.finish());
+    e.finish_into(&mut out);
     for (i, s) in out.iter().enumerate() {
         assert_eq!(s.index, i as u64);
         assert_eq!(s.span.start, i as u64, "provenance must be untouched");

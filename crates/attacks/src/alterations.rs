@@ -74,6 +74,70 @@ impl Transform for AdditiveInsertion {
     }
 }
 
+/// Additive uniform noise: a fraction of the values get an independent
+/// offset drawn uniformly from `[-amplitude, +amplitude]`. The additive
+/// counterpart of the multiplicative [`EpsilonAttack`] (same τ-fraction
+/// axis); on (−0.5, 0.5)-normalized data the amplitude is directly
+/// comparable to the embedding radius δ. Mallory keeps the fraction
+/// below 1: jittering *every* reading visibly degrades the data she is
+/// trying to re-sell (§2.1's usability constraint).
+#[derive(Debug, Clone, Copy)]
+pub struct AdditiveNoise {
+    /// Half-width of the uniform noise band (≥ 0).
+    pub amplitude: f64,
+    /// Fraction of items altered, in [0, 1].
+    pub fraction: f64,
+    /// Attack randomness seed.
+    pub seed: u64,
+}
+
+impl AdditiveNoise {
+    /// Noise on every item; amplitude 0 is the identity.
+    pub fn new(amplitude: f64, seed: u64) -> Self {
+        AdditiveNoise::partial(1.0, amplitude, seed)
+    }
+
+    /// Noise on a fraction of the items.
+    pub fn partial(fraction: f64, amplitude: f64, seed: u64) -> Self {
+        assert!(
+            amplitude >= 0.0 && amplitude.is_finite(),
+            "amplitude must be finite and non-negative"
+        );
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        AdditiveNoise {
+            amplitude,
+            fraction,
+            seed,
+        }
+    }
+}
+
+impl Transform for AdditiveNoise {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        if self.amplitude == 0.0 || self.fraction == 0.0 {
+            return input.to_vec();
+        }
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        input
+            .iter()
+            .map(|s| {
+                if rng.chance(self.fraction) {
+                    s.with_value(s.value + rng.uniform(-self.amplitude, self.amplitude))
+                } else {
+                    *s
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "additive-noise(fraction={:.2}, amp={})",
+            self.fraction, self.amplitude
+        )
+    }
+}
+
 /// The uniform-altering ε-attack of \[19\] (§6.1): multiply a fraction of
 /// the items by a value uniformly distributed in `(1+μ−ε, 1+μ+ε)`.
 /// Models any uninformed random alteration (A6).
@@ -245,6 +309,39 @@ mod tests {
     fn epsilon_zero_everything_is_identity() {
         let s = stream(100);
         assert_eq!(EpsilonAttack::uniform(0.0, 0.5, 3).apply(&s), s);
+    }
+
+    #[test]
+    fn additive_noise_bounded_and_deterministic() {
+        let s = stream(5000);
+        let a = AdditiveNoise::new(0.01, 3).apply(&s);
+        let b = AdditiveNoise::new(0.01, 3).apply(&s);
+        assert_eq!(a, b);
+        for (x, y) in a.iter().zip(&s) {
+            assert!((x.value - y.value).abs() <= 0.01);
+            assert_eq!(x.span, y.span);
+        }
+        assert_eq!(AdditiveNoise::new(0.0, 3).apply(&s), s);
+    }
+
+    #[test]
+    fn additive_noise_partial_alters_expected_fraction() {
+        let s = stream(20_000);
+        let out = AdditiveNoise::partial(0.4, 0.01, 9).apply(&s);
+        let altered = out
+            .iter()
+            .zip(&s)
+            .filter(|(a, b)| a.value != b.value)
+            .count();
+        let frac = altered as f64 / s.len() as f64;
+        assert!((0.37..0.43).contains(&frac), "altered fraction {frac}");
+        assert_eq!(AdditiveNoise::partial(0.0, 0.5, 1).apply(&s), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn additive_noise_rejects_negative_amplitude() {
+        AdditiveNoise::new(-0.1, 0);
     }
 
     #[test]

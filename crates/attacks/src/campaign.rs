@@ -1,0 +1,630 @@
+//! Composable attack campaigns over multiplexed event flows.
+//!
+//! The transforms in this crate operate on one stream at a time
+//! ([`wms_stream::Transform`]); a production engine serves *flows* — many
+//! [`StreamId`]-tagged streams interleaved on one wire. This module is
+//! the bridge: an [`Attack`] is any whole-flow adversarial operation, and
+//! the combinators here lift every single-stream transform onto flows
+//! ([`PerStream`]), compose attacks into pipelines ([`AttackChain`]), and
+//! name parameterized severity points declaratively ([`AttackSpec`]) so
+//! evaluation grids are data, not code.
+//!
+//! ## Reproducibility
+//!
+//! An attack never owns randomness: [`Attack::attack`] receives a
+//! [`DetRng`] that the campaign driver seeds deterministically per cell.
+//! [`PerStream`] draws one sub-seed per stream from it and [`AttackChain`]
+//! forks one generator per stage, so a campaign replays bit-identically
+//! from its seed regardless of how stages are nested — the property the
+//! CI resilience gate's exact-match floors rely on.
+
+use crate::alterations::{AdditiveNoise, EpsilonAttack};
+use crate::sampling::{FixedSampling, UniformSampling};
+use crate::segmentation::SegmentFraction;
+use crate::summarization::Summarization;
+use wms_math::DetRng;
+use wms_stream::events::{demux, mux};
+use wms_stream::{renumber, Event, Sample, StreamId, Transform};
+
+/// A whole-flow adversarial operation.
+///
+/// Implementations must output a well-formed flow: for every stream
+/// present in the output, sample indices are consecutive from 0 (in flow
+/// order) and values are finite. The stream *set* may change — attacks
+/// such as [`SpliceMerge`] deliberately destroy stream identity.
+pub trait Attack {
+    /// Applies the attack. `rng` is the cell's deterministic randomness;
+    /// implementations draw from it instead of owning seeds.
+    fn attack(&self, flow: &[Event], rng: &mut DetRng) -> Vec<Event>;
+
+    /// Human-readable name for verdict tables and reports.
+    fn name(&self) -> String;
+}
+
+/// The identity attack (baseline campaign cell).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAttack;
+
+impl Attack for NoAttack {
+    fn attack(&self, flow: &[Event], _rng: &mut DetRng) -> Vec<Event> {
+        flow.to_vec()
+    }
+
+    fn name(&self) -> String {
+        "identity".into()
+    }
+}
+
+/// Lifts a single-stream [`Transform`] onto flows: the flow is demuxed in
+/// first-touch order, the transform is built once per stream with a
+/// sub-seed drawn from the campaign RNG, applied, and the results are
+/// re-interleaved round-robin.
+pub struct PerStream {
+    label: String,
+    build: Box<dyn Fn(u64) -> Box<dyn Transform> + Send + Sync>,
+}
+
+impl PerStream {
+    /// Wraps a seed-taking transform factory. The label should be the
+    /// transform's display name (factories are only invoked at attack
+    /// time, when the per-stream seeds exist).
+    pub fn new(
+        label: impl Into<String>,
+        build: impl Fn(u64) -> Box<dyn Transform> + Send + Sync + 'static,
+    ) -> Self {
+        PerStream {
+            label: label.into(),
+            build: Box::new(build),
+        }
+    }
+
+    /// Lifts a deterministic (seed-free) transform.
+    pub fn fixed(t: impl Transform + Clone + Send + Sync + 'static) -> Self {
+        let label = t.name();
+        PerStream::new(label, move |_| Box::new(t.clone()))
+    }
+}
+
+impl Attack for PerStream {
+    fn attack(&self, flow: &[Event], rng: &mut DetRng) -> Vec<Event> {
+        let streams = demux(flow);
+        let attacked: Vec<(StreamId, Vec<Sample>)> = streams
+            .into_iter()
+            .map(|(id, samples)| {
+                let t = (self.build)(rng.next_u64());
+                (id, t.apply(&samples))
+            })
+            .collect();
+        mux(&attacked)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Left-to-right composition of attacks — Mallory's full pipeline (the
+/// flow analogue of [`wms_stream::Pipeline`]). Each stage runs on a
+/// forked RNG, so *how many draws* a stage makes internally never leaks
+/// into the next stage's randomness. (Adding, removing or reordering
+/// stages still reseeds everything downstream — each fork consumes one
+/// draw from the chain's generator.)
+#[derive(Default)]
+pub struct AttackChain {
+    stages: Vec<Box<dyn Attack>>,
+}
+
+impl AttackChain {
+    /// Empty chain (acts as identity).
+    pub fn new() -> Self {
+        AttackChain { stages: Vec::new() }
+    }
+
+    /// Appends a stage; builder style.
+    pub fn then(mut self, a: impl Attack + 'static) -> Self {
+        self.stages.push(Box::new(a));
+        self
+    }
+
+    /// Appends a boxed stage.
+    pub fn then_boxed(mut self, a: Box<dyn Attack>) -> Self {
+        self.stages.push(a);
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl Attack for AttackChain {
+    fn attack(&self, flow: &[Event], rng: &mut DetRng) -> Vec<Event> {
+        let mut cur = flow.to_vec();
+        for stage in &self.stages {
+            let mut stage_rng = rng.fork();
+            cur = stage.attack(&cur, &mut stage_rng);
+        }
+        cur
+    }
+
+    fn name(&self) -> String {
+        if self.stages.is_empty() {
+            return "chain()".into();
+        }
+        let names: Vec<String> = self.stages.iter().map(|s| s.name()).collect();
+        format!("chain({})", names.join(" -> "))
+    }
+}
+
+/// Stream splice/merge: Mallory cuts every stream of the flow into
+/// `segment`-length chunks and splices them — in random order — into one
+/// merged output stream, destroying stream identity entirely. The merged
+/// stream reuses the id of the flow's first stream (Mallory re-sells it
+/// as "a" sensor stream; inventing a fresh id would leak the attack).
+///
+/// Values are untouched, so the watermark's carriers survive inside each
+/// chunk; only labels near splice boundaries are disturbed.
+#[derive(Debug, Clone, Copy)]
+pub struct SpliceMerge {
+    /// Chunk length in items (≥ 1).
+    pub segment: usize,
+}
+
+impl SpliceMerge {
+    /// Creates the attack.
+    pub fn new(segment: usize) -> Self {
+        assert!(segment >= 1, "splice segment must be >= 1");
+        SpliceMerge { segment }
+    }
+}
+
+impl Attack for SpliceMerge {
+    fn attack(&self, flow: &[Event], rng: &mut DetRng) -> Vec<Event> {
+        let streams = demux(flow);
+        let Some(output_id) = streams.first().map(|(id, _)| *id) else {
+            return Vec::new();
+        };
+        // Chunk every stream, then emit chunks in random order.
+        let mut chunks: Vec<&[Sample]> = streams
+            .iter()
+            .flat_map(|(_, samples)| samples.chunks(self.segment))
+            .collect();
+        rng.shuffle(&mut chunks);
+        let merged: Vec<Sample> = chunks.into_iter().flatten().copied().collect();
+        renumber(merged)
+            .into_iter()
+            .map(|s| Event::new(output_id, s))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("splice-merge({})", self.segment)
+    }
+}
+
+/// Declarative attack specification: one severity point of one attack
+/// family. The unit of campaign grids, parseable from the CLI's compact
+/// `kind:params` syntax, buildable into a runnable [`Attack`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackSpec {
+    /// No attack (baseline cell).
+    Identity,
+    /// Uniform random sampling of degree χ (A2).
+    Sample {
+        /// Sampling degree χ ≥ 1.
+        degree: usize,
+    },
+    /// Fixed random sampling of degree χ (A2 variant).
+    FixedSample {
+        /// Sampling degree χ ≥ 1.
+        degree: usize,
+    },
+    /// Mean summarization of degree χ (A1).
+    Summarize {
+        /// Summarization degree χ ≥ 1.
+        degree: usize,
+    },
+    /// Random contiguous segment keeping `fraction` of each stream (A3).
+    Segment {
+        /// Fraction kept, in (0, 1].
+        fraction: f64,
+    },
+    /// The ε-attack of \[19\] (A6): `fraction` of the items multiplied by
+    /// a factor uniform in `1 ± amplitude`.
+    Epsilon {
+        /// Fraction of items altered.
+        fraction: f64,
+        /// Multiplicative band half-width ε.
+        amplitude: f64,
+    },
+    /// Combined scenario: additive uniform noise of the given amplitude
+    /// on half the items (the ε-attack's τ = 0.5 default) followed by
+    /// uniform resampling of degree χ — the "launder then shrink"
+    /// pipeline a data thief actually runs.
+    NoiseResample {
+        /// Additive noise half-width.
+        amplitude: f64,
+        /// Resampling degree χ ≥ 1.
+        degree: usize,
+    },
+    /// Stream splice/merge across ids ([`SpliceMerge`]).
+    Splice {
+        /// Chunk length in items.
+        segment: usize,
+    },
+}
+
+impl AttackSpec {
+    /// Parses the compact spec syntax used by grids and the CLI:
+    /// `identity`, `sample:K`, `fixed-sample:K`, `summarize:K`,
+    /// `segment:FRAC`, `epsilon:FRAC,AMP`, `noise-resample:AMP,K`,
+    /// `splice:LEN`.
+    pub fn parse(s: &str) -> Result<AttackSpec, String> {
+        fn num<T: std::str::FromStr>(what: &str, raw: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse::<T>().map_err(|e| format!("bad {what}: {e}"))
+        }
+        if s == "identity" {
+            return Ok(AttackSpec::Identity);
+        }
+        let Some((kind, params)) = s.split_once(':') else {
+            return Err(format!("malformed attack spec {s:?}; expected kind:params"));
+        };
+        let spec = match kind {
+            "sample" => AttackSpec::Sample {
+                degree: num("degree", params)?,
+            },
+            "fixed-sample" => AttackSpec::FixedSample {
+                degree: num("degree", params)?,
+            },
+            "summarize" => AttackSpec::Summarize {
+                degree: num("degree", params)?,
+            },
+            "segment" => AttackSpec::Segment {
+                fraction: num("fraction", params)?,
+            },
+            "epsilon" => {
+                let (f, a) = params
+                    .split_once(',')
+                    .ok_or_else(|| "epsilon:FRAC,AMP".to_string())?;
+                AttackSpec::Epsilon {
+                    fraction: num("fraction", f)?,
+                    amplitude: num("amplitude", a)?,
+                }
+            }
+            "noise-resample" => {
+                let (a, d) = params
+                    .split_once(',')
+                    .ok_or_else(|| "noise-resample:AMP,DEGREE".to_string())?;
+                AttackSpec::NoiseResample {
+                    amplitude: num("amplitude", a)?,
+                    degree: num("degree", d)?,
+                }
+            }
+            "splice" => AttackSpec::Splice {
+                segment: num("segment", params)?,
+            },
+            other => return Err(format!("unknown attack {other:?}")),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            AttackSpec::Sample { degree }
+            | AttackSpec::FixedSample { degree }
+            | AttackSpec::Summarize { degree }
+            | AttackSpec::NoiseResample { degree, .. }
+                if degree < 1 =>
+            {
+                Err("degree must be >= 1".into())
+            }
+            AttackSpec::Segment { fraction } if !(fraction > 0.0 && fraction <= 1.0) => {
+                Err("segment fraction must be in (0, 1]".into())
+            }
+            AttackSpec::Epsilon {
+                fraction,
+                amplitude,
+            } if !((0.0..=1.0).contains(&fraction)
+                && amplitude >= 0.0
+                && amplitude.is_finite()) =>
+            {
+                Err("epsilon needs fraction in [0,1] and finite amplitude >= 0".into())
+            }
+            AttackSpec::NoiseResample { amplitude, .. }
+                if !(amplitude >= 0.0 && amplitude.is_finite()) =>
+            {
+                Err("noise amplitude must be finite and >= 0".into())
+            }
+            AttackSpec::Splice { segment } if segment < 1 => {
+                Err("splice segment must be >= 1".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The canonical `kind:params` id — also what [`parse`](Self::parse)
+    /// round-trips, and the cell key of `BENCH_resilience.json`.
+    pub fn id(&self) -> String {
+        match *self {
+            AttackSpec::Identity => "identity".into(),
+            AttackSpec::Sample { degree } => format!("sample:{degree}"),
+            AttackSpec::FixedSample { degree } => format!("fixed-sample:{degree}"),
+            AttackSpec::Summarize { degree } => format!("summarize:{degree}"),
+            AttackSpec::Segment { fraction } => format!("segment:{fraction}"),
+            AttackSpec::Epsilon {
+                fraction,
+                amplitude,
+            } => format!("epsilon:{fraction},{amplitude}"),
+            AttackSpec::NoiseResample { amplitude, degree } => {
+                format!("noise-resample:{amplitude},{degree}")
+            }
+            AttackSpec::Splice { segment } => format!("splice:{segment}"),
+        }
+    }
+
+    /// Attack family (the grid's first axis).
+    pub fn family(&self) -> &'static str {
+        match self {
+            AttackSpec::Identity => "identity",
+            AttackSpec::Sample { .. } => "sampling",
+            AttackSpec::FixedSample { .. } => "fixed-sampling",
+            AttackSpec::Summarize { .. } => "summarization",
+            AttackSpec::Segment { .. } => "segmentation",
+            AttackSpec::Epsilon { .. } => "epsilon",
+            AttackSpec::NoiseResample { .. } => "noise-resample",
+            AttackSpec::Splice { .. } => "splice",
+        }
+    }
+
+    /// Severity scalar (the grid's second axis): the value a sweep plots
+    /// on x. Higher is always harsher within one family.
+    pub fn severity(&self) -> f64 {
+        match *self {
+            AttackSpec::Identity => 0.0,
+            AttackSpec::Sample { degree }
+            | AttackSpec::FixedSample { degree }
+            | AttackSpec::Summarize { degree } => degree as f64,
+            // Keeping less of the stream is harsher.
+            AttackSpec::Segment { fraction } => 1.0 - fraction,
+            AttackSpec::Epsilon { amplitude, .. } => amplitude,
+            AttackSpec::NoiseResample { amplitude, .. } => amplitude,
+            // Shorter chunks mean more label-breaking splice points.
+            AttackSpec::Splice { segment } => 1.0 / segment as f64,
+        }
+    }
+
+    /// Transform degree χ detection should assume after this attack (the
+    /// stream-length contraction; 1 when the attack preserves length).
+    pub fn chi(&self) -> f64 {
+        match *self {
+            AttackSpec::Sample { degree }
+            | AttackSpec::FixedSample { degree }
+            | AttackSpec::Summarize { degree }
+            | AttackSpec::NoiseResample { degree, .. } => degree as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Builds the runnable attack.
+    pub fn build(&self) -> Box<dyn Attack> {
+        match *self {
+            AttackSpec::Identity => Box::new(NoAttack),
+            AttackSpec::Sample { degree } => Box::new(PerStream::new(
+                format!("uniform-sampling({degree})"),
+                move |seed| Box::new(UniformSampling::new(degree, seed)),
+            )),
+            AttackSpec::FixedSample { degree } => {
+                Box::new(PerStream::fixed(FixedSampling::new(degree)))
+            }
+            AttackSpec::Summarize { degree } => {
+                Box::new(PerStream::fixed(Summarization::new(degree)))
+            }
+            AttackSpec::Segment { fraction } => Box::new(PerStream::new(
+                format!("segment-fraction({fraction})"),
+                move |seed| Box::new(SegmentFraction::new(fraction, seed)),
+            )),
+            AttackSpec::Epsilon {
+                fraction,
+                amplitude,
+            } => Box::new(PerStream::new(
+                format!("epsilon({fraction},{amplitude})"),
+                move |seed| Box::new(EpsilonAttack::uniform(fraction, amplitude, seed)),
+            )),
+            AttackSpec::NoiseResample { amplitude, degree } => Box::new(
+                AttackChain::new()
+                    .then(PerStream::new(
+                        format!("additive-noise(0.5, {amplitude})"),
+                        move |seed| Box::new(AdditiveNoise::partial(0.5, amplitude, seed)),
+                    ))
+                    .then(PerStream::new(
+                        format!("uniform-sampling({degree})"),
+                        move |seed| Box::new(UniformSampling::new(degree, seed)),
+                    )),
+            ),
+            AttackSpec::Splice { segment } => Box::new(SpliceMerge::new(segment)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wms_stream::samples_from_values;
+
+    fn flow(streams: &[(u64, usize)]) -> Vec<Event> {
+        let streams: Vec<(StreamId, Vec<Sample>)> = streams
+            .iter()
+            .map(|&(id, n)| {
+                let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1 + id as f64).sin()).collect();
+                (StreamId(id), samples_from_values(&values))
+            })
+            .collect();
+        mux(&streams)
+    }
+
+    /// Well-formedness of a flow: per-stream indices consecutive from 0,
+    /// finite values.
+    fn assert_well_formed(flow: &[Event]) {
+        for (id, samples) in demux(flow) {
+            for (i, s) in samples.iter().enumerate() {
+                assert_eq!(s.index, i as u64, "stream {id} index gap at {i}");
+                assert!(s.value.is_finite(), "stream {id} non-finite value");
+            }
+        }
+    }
+
+    #[test]
+    fn per_stream_applies_independently_per_stream() {
+        let f = flow(&[(1, 100), (2, 60)]);
+        let attack = AttackSpec::Summarize { degree: 2 }.build();
+        let out = attack.attack(&f, &mut DetRng::seed_from_u64(0));
+        assert_well_formed(&out);
+        let streams = demux(&out);
+        assert_eq!(streams[0].1.len(), 50);
+        assert_eq!(streams[1].1.len(), 30);
+    }
+
+    #[test]
+    fn attacks_replay_identically_from_the_same_seed() {
+        let f = flow(&[(1, 200), (2, 200), (3, 50)]);
+        for spec in [
+            AttackSpec::Sample { degree: 3 },
+            AttackSpec::Epsilon {
+                fraction: 0.5,
+                amplitude: 0.1,
+            },
+            AttackSpec::NoiseResample {
+                amplitude: 0.01,
+                degree: 2,
+            },
+            AttackSpec::Splice { segment: 16 },
+        ] {
+            let attack = spec.build();
+            let a = attack.attack(&f, &mut DetRng::seed_from_u64(9));
+            let b = attack.attack(&f, &mut DetRng::seed_from_u64(9));
+            assert_eq!(a, b, "{} not reproducible", spec.id());
+            let c = attack.attack(&f, &mut DetRng::seed_from_u64(10));
+            assert_ne!(a, c, "{} ignores its seed", spec.id());
+        }
+    }
+
+    #[test]
+    fn chain_composes_in_order_and_forks_rngs() {
+        let f = flow(&[(1, 120)]);
+        let chain = AttackChain::new()
+            .then(PerStream::fixed(Summarization::new(2)))
+            .then(PerStream::fixed(FixedSampling::new(3)));
+        assert_eq!(chain.len(), 2);
+        let out = chain.attack(&f, &mut DetRng::seed_from_u64(1));
+        assert_well_formed(&out);
+        assert_eq!(demux(&out)[0].1.len(), 20); // 120 / 2 / 3
+        assert!(chain.name().contains("->"));
+        // Empty chain is the identity.
+        let idle = AttackChain::new();
+        assert!(idle.is_empty());
+        assert_eq!(idle.attack(&f, &mut DetRng::seed_from_u64(0)), f);
+    }
+
+    #[test]
+    fn splice_merges_into_one_stream_conserving_values() {
+        let f = flow(&[(7, 90), (8, 60), (9, 30)]);
+        let out = SpliceMerge::new(25).attack(&f, &mut DetRng::seed_from_u64(4));
+        assert_well_formed(&out);
+        let streams = demux(&out);
+        assert_eq!(streams.len(), 1, "identity destroyed");
+        assert_eq!(streams[0].0, StreamId(7), "reuses the first stream id");
+        let merged = &streams[0].1;
+        assert_eq!(merged.len(), 180, "values conserved");
+        // Multiset of values is exactly the input's.
+        let mut a: Vec<u64> = f.iter().map(|e| e.sample.value.to_bits()).collect();
+        let mut b: Vec<u64> = merged.iter().map(|s| s.value.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_flow_is_safe_for_every_spec() {
+        for spec in [
+            AttackSpec::Identity,
+            AttackSpec::Sample { degree: 2 },
+            AttackSpec::Splice { segment: 10 },
+        ] {
+            let out = spec.build().attack(&[], &mut DetRng::seed_from_u64(0));
+            assert!(out.is_empty(), "{}", spec.id());
+        }
+    }
+
+    #[test]
+    fn spec_parse_round_trips() {
+        for s in [
+            "identity",
+            "sample:2",
+            "fixed-sample:4",
+            "summarize:3",
+            "segment:0.5",
+            "epsilon:0.5,0.1",
+            "noise-resample:0.01,2",
+            "splice:1000",
+        ] {
+            let spec = AttackSpec::parse(s).unwrap();
+            assert_eq!(spec.id(), s, "id round-trip");
+            assert_eq!(AttackSpec::parse(&spec.id()).unwrap(), spec);
+            let _ = spec.build(); // buildable
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_malformed() {
+        for s in [
+            "melt",
+            "sample",
+            "sample:zero",
+            "sample:0",
+            "segment:0",
+            "segment:1.5",
+            "epsilon:0.5",
+            "epsilon:2,0.1",
+            "epsilon:0.5,NaN",
+            "epsilon:0.5,inf",
+            "noise-resample:0.01",
+            "noise-resample:NaN,2",
+            "splice:0",
+        ] {
+            assert!(AttackSpec::parse(s).is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn severity_and_chi_axes() {
+        assert_eq!(AttackSpec::Sample { degree: 3 }.chi(), 3.0);
+        assert_eq!(AttackSpec::Sample { degree: 3 }.severity(), 3.0);
+        assert_eq!(AttackSpec::Segment { fraction: 0.25 }.chi(), 1.0);
+        assert!(
+            AttackSpec::Segment { fraction: 0.25 }.severity()
+                > AttackSpec::Segment { fraction: 0.75 }.severity()
+        );
+        assert!(
+            AttackSpec::Splice { segment: 100 }.severity()
+                > AttackSpec::Splice { segment: 1000 }.severity()
+        );
+        assert_eq!(
+            AttackSpec::NoiseResample {
+                amplitude: 0.01,
+                degree: 2
+            }
+            .chi(),
+            2.0
+        );
+    }
+}

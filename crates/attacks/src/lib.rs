@@ -12,21 +12,28 @@
 //! * A6 [`alterations::EpsilonAttack`] (the ε-attack of \[19\]);
 //! * §4.1's [`correlation::BucketCountingAttack`];
 //! * [`measure`] — provenance-based label-survival measurement used by
-//!   the Figure 6/8 experiments.
+//!   the Figure 6/8 experiments;
+//! * [`campaign`] — the composable attack-pipeline layer over
+//!   multiplexed event flows: the [`Attack`] trait, [`PerStream`]
+//!   lifting, [`AttackChain`] composition, flow-level scenarios
+//!   ([`SpliceMerge`]) and declarative [`AttackSpec`] severity grids,
+//!   all reproducible from one campaign seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alterations;
+pub mod campaign;
 pub mod correlation;
 pub mod measure;
 pub mod sampling;
 pub mod segmentation;
 pub mod summarization;
 
-pub use alterations::{AdditiveInsertion, EpsilonAttack, LinearChange};
+pub use alterations::{AdditiveInsertion, AdditiveNoise, EpsilonAttack, LinearChange};
+pub use campaign::{Attack, AttackChain, AttackSpec, NoAttack, PerStream, SpliceMerge};
 pub use correlation::{BiasFinding, BucketCountingAttack};
 pub use measure::{label_extremes, label_survival, match_tolerance, LabelSurvival};
 pub use sampling::{FixedSampling, UniformSampling};
-pub use segmentation::{RandomSegment, Segmentation};
+pub use segmentation::{RandomSegment, SegmentFraction, Segmentation};
 pub use summarization::{Aggregate, AggregateSummarization, Summarization};

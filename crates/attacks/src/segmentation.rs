@@ -54,6 +54,44 @@ impl Transform for RandomSegment {
     }
 }
 
+/// Cuts a uniformly random segment covering the given *fraction* of the
+/// input — the length-relative form severity sweeps use (a fraction is
+/// comparable across streams of different sizes, an absolute length is
+/// not).
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentFraction {
+    /// Fraction of the stream kept, in (0, 1].
+    pub fraction: f64,
+    /// Position randomness seed.
+    pub seed: u64,
+}
+
+impl SegmentFraction {
+    /// Creates the attack; fraction 1 is the identity.
+    pub fn new(fraction: f64, seed: u64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "segment fraction must be in (0, 1]"
+        );
+        SegmentFraction { fraction, seed }
+    }
+}
+
+impl Transform for SegmentFraction {
+    fn apply(&self, input: &[Sample]) -> Vec<Sample> {
+        let len = ((input.len() as f64 * self.fraction).round() as usize).max(1);
+        RandomSegment {
+            len,
+            seed: self.seed,
+        }
+        .apply(input)
+    }
+
+    fn name(&self) -> String {
+        format!("segment-fraction({})", self.fraction)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +139,24 @@ mod tests {
     fn oversized_random_segment_is_identity() {
         let s = stream(10);
         assert_eq!(RandomSegment { len: 50, seed: 0 }.apply(&s), s);
+    }
+
+    #[test]
+    fn segment_fraction_scales_with_input() {
+        let out = SegmentFraction::new(0.25, 7).apply(&stream(1000));
+        assert_eq!(out.len(), 250);
+        // Contiguous in the original.
+        for w in out.windows(2) {
+            assert_eq!(w[1].span.start, w[0].span.start + 1);
+        }
+        assert_eq!(SegmentFraction::new(1.0, 0).apply(&stream(10)).len(), 10);
+        // Tiny streams never collapse to empty.
+        assert_eq!(SegmentFraction::new(0.01, 0).apply(&stream(3)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn segment_fraction_rejects_zero() {
+        SegmentFraction::new(0.0, 0);
     }
 }

@@ -1,0 +1,138 @@
+//! Property-based round-trip coverage for every [`Attack`] impl: whatever
+//! flow Mallory is handed, the attacked flow must remain *well-formed* —
+//! per-stream indices consecutive from 0, finite values, and no stream
+//! silently emptied — because the engine and the detectors downstream
+//! assume exactly that contract.
+
+use proptest::prelude::*;
+use wms_attacks::{Attack, AttackChain, AttackSpec, PerStream, SpliceMerge, Summarization};
+use wms_math::DetRng;
+use wms_stream::events::{demux, mux};
+use wms_stream::{samples_from_values, Event, StreamId};
+
+/// Every attack family, one spec each (plus severity variants where the
+/// parameter changes the code path).
+fn all_specs() -> Vec<AttackSpec> {
+    vec![
+        AttackSpec::Identity,
+        AttackSpec::Sample { degree: 1 },
+        AttackSpec::Sample { degree: 3 },
+        AttackSpec::FixedSample { degree: 2 },
+        AttackSpec::Summarize { degree: 1 },
+        AttackSpec::Summarize { degree: 4 },
+        AttackSpec::Segment { fraction: 0.3 },
+        AttackSpec::Segment { fraction: 1.0 },
+        AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude: 0.2,
+        },
+        AttackSpec::Epsilon {
+            fraction: 1.0,
+            amplitude: 0.0,
+        },
+        AttackSpec::NoiseResample {
+            amplitude: 0.01,
+            degree: 2,
+        },
+        AttackSpec::Splice { segment: 7 },
+        AttackSpec::Splice { segment: 1000 },
+    ]
+}
+
+/// A deterministic multi-stream flow: `streams` sine streams of
+/// `items ± id` samples each, interleaved round-robin.
+fn flow(streams: usize, items: usize, seed: u64) -> Vec<Event> {
+    let built: Vec<(StreamId, Vec<f64>)> = (0..streams as u64)
+        .map(|id| {
+            let n = items + id as usize;
+            let values: Vec<f64> = (0..n)
+                .map(|i| {
+                    let t = i as f64 + (seed % 97) as f64 + id as f64 * 3.0;
+                    0.4 * (t * core::f64::consts::TAU / 37.0).sin()
+                        + 0.03 * (t * core::f64::consts::TAU / 11.0).sin()
+                })
+                .collect();
+            (StreamId(id), values)
+        })
+        .collect();
+    let tagged: Vec<(StreamId, Vec<wms_stream::Sample>)> = built
+        .into_iter()
+        .map(|(id, values)| (id, samples_from_values(&values)))
+        .collect();
+    mux(&tagged)
+}
+
+/// The well-formedness contract attacks must uphold.
+fn assert_flow_well_formed(label: &str, input: &[Event], output: &[Event]) {
+    assert!(
+        input.is_empty() || !output.is_empty(),
+        "{label}: attacked a non-empty flow into nothing"
+    );
+    for (id, samples) in demux(output) {
+        assert!(!samples.is_empty(), "{label}: stream {id} emptied");
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(
+                s.index, i as u64,
+                "{label}: stream {id} index gap at position {i}"
+            );
+            assert!(
+                s.value.is_finite(),
+                "{label}: stream {id} non-finite value at {i}"
+            );
+            assert!(
+                s.span.end > s.span.start,
+                "{label}: stream {id} empty provenance span at {i}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_attack_preserves_flow_well_formedness(
+        streams in 1usize..4,
+        items in 8usize..160,
+        seed in 0u64..1_000_000,
+    ) {
+        let input = flow(streams, items, seed);
+        for spec in all_specs() {
+            let out = spec.build().attack(&input, &mut DetRng::seed_from_u64(seed));
+            assert_flow_well_formed(&spec.id(), &input, &out);
+        }
+    }
+
+    #[test]
+    fn chains_of_attacks_stay_well_formed(
+        streams in 1usize..3,
+        items in 16usize..120,
+        seed in 0u64..1_000_000,
+    ) {
+        let input = flow(streams, items, seed);
+        // A deep pipeline exercising per-stream lifting, flow-level
+        // splice and severity composition in one pass.
+        let chain = AttackChain::new()
+            .then_boxed(AttackSpec::Epsilon { fraction: 0.3, amplitude: 0.05 }.build())
+            .then(PerStream::fixed(Summarization::new(2)))
+            .then(SpliceMerge::new(9));
+        let out = chain.attack(&input, &mut DetRng::seed_from_u64(seed));
+        assert_flow_well_formed(&chain.name(), &input, &out);
+        prop_assert_eq!(demux(&out).len(), 1, "splice must end with one stream");
+    }
+
+    #[test]
+    fn attacks_conserve_or_shrink_flow_length(
+        streams in 1usize..4,
+        items in 8usize..120,
+        seed in 0u64..1_000_000,
+    ) {
+        let input = flow(streams, items, seed);
+        for spec in all_specs() {
+            let out = spec.build().attack(&input, &mut DetRng::seed_from_u64(seed));
+            prop_assert!(
+                out.len() <= input.len(),
+                "{} grew the flow: {} -> {}",
+                spec.id(), input.len(), out.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Resilience regression gate: compares a fresh `BENCH_resilience.json`
+//! against the committed floors and exits non-zero on any regression.
+//!
+//! ```text
+//! cargo run -p wms-bench --release --bin bench_check
+//! ```
+//!
+//! Environment:
+//! * `WMS_BENCH_OUT`          — fresh results (default `BENCH_resilience.json`);
+//! * `WMS_RESILIENCE_FLOORS`  — floors file (default `RESILIENCE_FLOORS.txt`).
+//!
+//! The smoke grid is deterministic, so the committed floors are
+//! *exact-match in both directions*: a fresh detection rate below its
+//! floor is a regression, above it is unacknowledged drift — either way
+//! a real behavioral change (scheme, attack, stream synthesis or RNG),
+//! never noise. After an intentional change, regenerate both files with
+//! `WMS_RESILIENCE_FLOORS=RESILIENCE_FLOORS.txt cargo run --release -p
+//! wms-bench --bin bench_resilience` and commit them.
+
+use wms_bench::resilience::{check_floors, parse_cells};
+
+fn main() {
+    let fresh_path =
+        std::env::var("WMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_resilience.json".into());
+    let floors_path =
+        std::env::var("WMS_RESILIENCE_FLOORS").unwrap_or_else(|_| "RESILIENCE_FLOORS.txt".into());
+    let fresh = std::fs::read_to_string(&fresh_path)
+        .unwrap_or_else(|e| panic!("read {fresh_path}: {e} (run bench_resilience first)"));
+    let floors =
+        std::fs::read_to_string(&floors_path).unwrap_or_else(|e| panic!("read {floors_path}: {e}"));
+
+    let cells = parse_cells(&fresh);
+    eprintln!("bench_check: {} fresh cells from {fresh_path}", cells.len());
+    match check_floors(&cells, &floors) {
+        Ok(checked) => {
+            println!("resilience gate: {checked} floors checked, no regression");
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("resilience gate: {v}");
+            }
+            eprintln!("resilience gate: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Resilience campaign driver: sweeps attack × severity × scheme through
+//! both the single-stream pipeline and the multi-stream engine path, and
+//! writes the machine-readable `BENCH_resilience.json` the CI regression
+//! gate (`bench_check`) compares against the committed floors.
+//!
+//! ```text
+//! cargo run -p wms-bench --release --bin bench_resilience
+//! ```
+//!
+//! Environment:
+//! * `WMS_RESILIENCE_GRID`    — `smoke` (default; the committed CI grid)
+//!   or `paper` (the wider severity sweep);
+//! * `WMS_RESILIENCE_TRIALS`  — streams per cell (default 5);
+//! * `WMS_RESILIENCE_ITEMS`   — items per stream (default 5000);
+//! * `WMS_BENCH_OUT`          — output path (default `BENCH_resilience.json`);
+//! * `WMS_RESILIENCE_FLOORS`  — when set, also (re)writes the floors file
+//!   at this path from the fresh results.
+//!
+//! Detection rates are bit-deterministic given the grid, trials, items
+//! and seed — only `items_per_sec` varies run to run. Changing trials or
+//! items therefore changes the rates: CI runs the defaults, and the
+//! committed `BENCH_resilience.json` must be regenerated with them.
+
+use wms_bench::resilience::{
+    grid_by_name, render_floors, render_resilience_json, render_verdict_table, run_campaign,
+    Campaign, PathKind,
+};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let grid_name = std::env::var("WMS_RESILIENCE_GRID").unwrap_or_else(|_| "smoke".into());
+    let grid = grid_by_name(&grid_name).expect("WMS_RESILIENCE_GRID");
+    let out_path =
+        std::env::var("WMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_resilience.json".into());
+    let defaults = Campaign::default();
+    let campaign = Campaign {
+        trials: env_or("WMS_RESILIENCE_TRIALS", defaults.trials),
+        items: env_or("WMS_RESILIENCE_ITEMS", defaults.items),
+        ..defaults
+    };
+    eprintln!(
+        "bench_resilience: grid={grid_name} ({} specs), {} trials x {} items, both paths",
+        grid.len(),
+        campaign.trials,
+        campaign.items
+    );
+
+    let mut cells = Vec::new();
+    for encoder in ["multihash", "initial"] {
+        for path in [PathKind::Single, PathKind::Engine] {
+            cells.extend(
+                run_campaign(&campaign, &grid, encoder, path).expect("campaign configuration"),
+            );
+        }
+    }
+
+    print!("{}", render_verdict_table(&cells));
+    let json = render_resilience_json(&campaign, &cells);
+    std::fs::write(&out_path, &json).expect("write BENCH_resilience.json");
+    println!("wrote {out_path}");
+    if let Ok(floors_path) = std::env::var("WMS_RESILIENCE_FLOORS") {
+        std::fs::write(&floors_path, render_floors(&cells)).expect("write floors");
+        println!("wrote {floors_path}");
+    }
+}

@@ -19,5 +19,6 @@ pub mod exp;
 pub mod perf;
 pub mod reference;
 pub mod report;
+pub mod resilience;
 
 pub use report::{emit_figure, Series};

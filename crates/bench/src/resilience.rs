@@ -1,0 +1,781 @@
+//! Resilience evaluation campaigns: attack × severity × scheme sweeps.
+//!
+//! The paper's headline claim is *resilience* — the watermark survives
+//! sampling, summarization, segmentation and value alteration, alone and
+//! combined. This module turns that claim into a continuously-checked
+//! artifact: a [`Campaign`] embeds a deterministic population of streams,
+//! runs every [`AttackSpec`] cell of a grid over the marked flow, detects
+//! with the cell's χ hint, and reports detection rate, bit-error rate and
+//! throughput per cell — through *both* the single-stream pipeline
+//! ([`wms_core::Embedder`]/[`wms_core::Detector`]) and the multi-stream
+//! [`wms_engine::Engine`] path. The two paths share the stream
+//! population, the attack code and the per-cell RNG seed, so their cells
+//! agree bit-for-bit (the engine's per-stream equivalence guarantee
+//! extended end-to-end; `tests/resilience_equiv.rs` proves it).
+//!
+//! Everything is deterministic given the campaign seed: detection rates
+//! in `BENCH_resilience.json` are exactly reproducible, which is what
+//! lets CI gate on *exact-match* floors (`bench_check`).
+
+use crate::report::render_table;
+use std::sync::Arc;
+use std::time::Instant;
+use wms_attacks::AttackSpec;
+use wms_core::encoding::initial::InitialEncoder;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::encoding::quadres::QuadResEncoder;
+use wms_core::{
+    DetectConfig, DetectionReport, Detector, EmbedConfig, Embedder, Scheme, SubsetEncoder,
+    TransformHint, Watermark, WmParams,
+};
+use wms_crypto::{Key, KeyedHash};
+use wms_engine::{Engine, EngineConfig, StreamSpec};
+use wms_math::DetRng;
+use wms_stream::{demux, mux, samples_from_values, Event, Sample, StreamId};
+
+/// Which machinery embeds and detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// The single-stream pipeline: one `Embedder`/`Detector` per stream.
+    Single,
+    /// The sharded multi-stream engine.
+    Engine,
+}
+
+impl PathKind {
+    /// Stable identifier used in reports and the JSON artifact.
+    pub fn id(&self) -> &'static str {
+        match self {
+            PathKind::Single => "single",
+            PathKind::Engine => "engine",
+        }
+    }
+}
+
+/// Campaign parameters. All fields feed the deterministic derivations,
+/// so two campaigns with equal configs produce identical grids.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Items per stream.
+    pub items: usize,
+    /// Independent watermarked streams per cell (the trial population).
+    pub trials: usize,
+    /// Campaign seed: drives stream synthesis and every attack cell.
+    pub seed: u64,
+    /// Detection threshold: a stream counts as detected when its bit-0
+    /// bias exceeds κ (the CLI's verdict rule).
+    pub kappa: i64,
+    /// Watermarking parameters shared by every cell.
+    pub params: WmParams,
+    /// Rights-holder key.
+    pub key: u64,
+    /// Engine-path worker threads (0 = one per core).
+    pub workers: usize,
+    /// Engine-path ingest batch size.
+    pub batch: usize,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign {
+            items: 5000,
+            trials: 5,
+            seed: 0x5EED_2026,
+            kappa: 3,
+            params: campaign_params(),
+            key: crate::exp::EXPERIMENT_KEY,
+            workers: 2,
+            batch: 1024,
+        }
+    }
+}
+
+/// The campaign's default watermarking parameters: the engine-bench
+/// regime (window 256, ν = 3, δ = 0.01), dense enough that a 4000-item
+/// stream carries tens of bits.
+pub fn campaign_params() -> WmParams {
+    WmParams {
+        window: 256,
+        degree: 3,
+        radius: 0.01,
+        max_subset: 4,
+        label_len: 4,
+        label_stride: 1,
+        min_active: Some(12),
+        ..WmParams::default()
+    }
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Which machinery ran the cell.
+    pub path: &'static str,
+    /// Encoder ("scheme") name.
+    pub scheme: String,
+    /// Attack family.
+    pub family: String,
+    /// Canonical attack id (`kind:params`).
+    pub attack: String,
+    /// Severity scalar within the family.
+    pub severity: f64,
+    /// Streams the detector examined after the attack (splice merges the
+    /// population into one).
+    pub streams_total: usize,
+    /// Streams whose bit-0 bias exceeded κ.
+    pub streams_detected: usize,
+    /// `streams_detected / streams_total`.
+    pub detection_rate: f64,
+    /// Fraction of post-attack streams whose κ=1 reconstruction got the
+    /// embedded bit wrong (undefined counts as an error).
+    pub bit_error_rate: f64,
+    /// Mean bit-0 bias across post-attack streams.
+    pub mean_bias: f64,
+    /// Post-attack events per second through attack + detection.
+    pub items_per_sec: f64,
+}
+
+/// Builds the named encoder. `quadres` derives its residue tables from
+/// the scheme, hence the argument.
+pub fn encoder_by_name(name: &str, scheme: &Scheme) -> Result<Arc<dyn SubsetEncoder>, String> {
+    match name {
+        "multihash" => Ok(Arc::new(MultiHashEncoder)),
+        "initial" => Ok(Arc::new(InitialEncoder)),
+        "quadres" => Ok(Arc::new(QuadResEncoder::from_scheme(scheme, 3))),
+        other => Err(format!(
+            "unknown encoder {other:?}; expected multihash|initial|quadres"
+        )),
+    }
+}
+
+/// The committed CI grid: small enough for a smoke job, wide enough to
+/// pin the paper's qualitative resilience pattern (sampling to 50 %,
+/// paper-default summarization, an alteration-amplitude sweep, and the
+/// two combined scenarios).
+pub fn smoke_grid() -> Vec<AttackSpec> {
+    vec![
+        AttackSpec::Identity,
+        AttackSpec::Sample { degree: 2 },
+        AttackSpec::Sample { degree: 3 },
+        AttackSpec::Sample { degree: 5 },
+        AttackSpec::FixedSample { degree: 2 },
+        AttackSpec::Summarize { degree: 2 },
+        AttackSpec::Summarize { degree: 3 },
+        AttackSpec::Summarize { degree: 4 },
+        AttackSpec::Segment { fraction: 0.5 },
+        AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude: 0.02,
+        },
+        AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude: 0.06,
+        },
+        AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude: 0.15,
+        },
+        AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude: 0.2,
+        },
+        AttackSpec::NoiseResample {
+            amplitude: 0.005,
+            degree: 2,
+        },
+        AttackSpec::Splice { segment: 1000 },
+    ]
+}
+
+/// The wider sweep behind `wms resilience --grid paper`: the smoke grid's
+/// families at more severity points.
+pub fn paper_grid() -> Vec<AttackSpec> {
+    let mut grid = vec![AttackSpec::Identity];
+    for degree in [2usize, 3, 4, 5] {
+        grid.push(AttackSpec::Sample { degree });
+    }
+    for degree in [2usize, 3, 4] {
+        grid.push(AttackSpec::FixedSample { degree });
+        grid.push(AttackSpec::Summarize { degree });
+    }
+    for fraction in [0.75, 0.5, 0.25, 0.1] {
+        grid.push(AttackSpec::Segment { fraction });
+    }
+    for amplitude in [0.01, 0.02, 0.06, 0.15, 0.2, 0.3] {
+        grid.push(AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude,
+        });
+    }
+    for (amplitude, degree) in [(0.005, 2), (0.01, 2), (0.005, 3)] {
+        grid.push(AttackSpec::NoiseResample { amplitude, degree });
+    }
+    for segment in [2000usize, 1000, 500] {
+        grid.push(AttackSpec::Splice { segment });
+    }
+    grid
+}
+
+/// Resolves a grid name (`smoke` or `paper`).
+pub fn grid_by_name(name: &str) -> Result<Vec<AttackSpec>, String> {
+    match name {
+        "smoke" => Ok(smoke_grid()),
+        "paper" => Ok(paper_grid()),
+        other => Err(format!("unknown grid {other:?}; expected smoke|paper")),
+    }
+}
+
+/// FNV-1a over a byte string — the stable cell-seed hash. Grid order,
+/// platform and Rust version never change it, so committed detection
+/// rates survive refactors that merely reorder the grid.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One deterministic trial stream: a smooth two-tone carrier whose
+/// period and phase vary with the trial index, normalized into the
+/// paper's (−0.5, 0.5) band with fat extremes (ξ ≈ 30 at the campaign
+/// parameters).
+pub fn trial_stream(items: usize, trial: u64) -> Vec<Sample> {
+    let period = 56.0 + (trial % 5) as f64 * 6.0;
+    let values: Vec<f64> = (0..items)
+        .map(|i| {
+            let t = i as f64 + 17.0 * trial as f64;
+            0.35 * (t * core::f64::consts::TAU / period).sin()
+                + 0.04 * (t * core::f64::consts::TAU / 13.7).sin()
+        })
+        .collect();
+    samples_from_values(&values)
+}
+
+fn scheme_of(c: &Campaign) -> Scheme {
+    Scheme::new(c.params, KeyedHash::md5(Key::from_u64(c.key))).expect("campaign params are valid")
+}
+
+/// Embeds the campaign's trial population through the single-stream
+/// pipeline, returning the marked flow (streams interleaved round-robin).
+fn embed_single(c: &Campaign, enc: &Arc<dyn SubsetEncoder>) -> Vec<Event> {
+    let scheme = scheme_of(c);
+    let marked: Vec<(StreamId, Vec<Sample>)> = (0..c.trials as u64)
+        .map(|t| {
+            let input = trial_stream(c.items, c.seed ^ t);
+            let (out, _) = Embedder::embed_stream(
+                scheme.clone(),
+                Arc::clone(enc),
+                Watermark::single(true),
+                &input,
+            )
+            .expect("embed configuration is valid");
+            (StreamId(t), out)
+        })
+        .collect();
+    mux(&marked)
+}
+
+/// Embeds the same population through the engine path. Bit-identical to
+/// [`embed_single`] by the engine's equivalence guarantee.
+fn embed_engine(c: &Campaign, enc: &Arc<dyn SubsetEncoder>) -> Vec<Event> {
+    let cfg = Arc::new(
+        EmbedConfig::new(scheme_of(c), Arc::clone(enc), Watermark::single(true))
+            .expect("embed configuration is valid"),
+    );
+    let mut engine = Engine::new(EngineConfig::with_workers(c.workers));
+    let streams: Vec<(StreamId, Vec<Sample>)> = (0..c.trials as u64)
+        .map(|t| (StreamId(t), trial_stream(c.items, c.seed ^ t)))
+        .collect();
+    for (id, _) in &streams {
+        engine
+            .register(*id, StreamSpec::Embed(Arc::clone(&cfg)))
+            .expect("fresh ids");
+    }
+    let events = mux(&streams);
+    let mut collected: Vec<(StreamId, Vec<Sample>)> =
+        streams.iter().map(|(id, _)| (*id, Vec::new())).collect();
+    for chunk in events.chunks(c.batch.max(1)) {
+        for out in engine.ingest(chunk).expect("registered streams") {
+            collected
+                .iter_mut()
+                .find(|(id, _)| *id == out.stream)
+                .expect("known stream")
+                .1
+                .extend(out.samples);
+        }
+    }
+    for outcome in engine.finish() {
+        collected
+            .iter_mut()
+            .find(|(id, _)| *id == outcome.stream)
+            .expect("known stream")
+            .1
+            .extend(outcome.tail);
+    }
+    mux(&collected)
+}
+
+/// Detects over every stream of an attacked flow, in first-touch order.
+fn detect_single(
+    c: &Campaign,
+    enc: &Arc<dyn SubsetEncoder>,
+    attacked: &[Event],
+    chi: f64,
+) -> Vec<DetectionReport> {
+    let scheme = scheme_of(c);
+    demux(attacked)
+        .into_iter()
+        .map(|(_, samples)| {
+            Detector::detect_stream(
+                scheme.clone(),
+                Arc::clone(enc),
+                1,
+                &samples,
+                TransformHint::Known(chi),
+            )
+            .expect("detect configuration is valid")
+        })
+        .collect()
+}
+
+/// Engine-path detection over an attacked flow; reports in first-touch
+/// order, matching [`detect_single`].
+fn detect_engine(
+    c: &Campaign,
+    enc: &Arc<dyn SubsetEncoder>,
+    attacked: &[Event],
+    chi: f64,
+) -> Vec<DetectionReport> {
+    let cfg = Arc::new(
+        DetectConfig::new(scheme_of(c), Arc::clone(enc), 1, chi)
+            .expect("detect configuration is valid"),
+    );
+    let mut engine = Engine::new(EngineConfig::with_workers(c.workers));
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for e in attacked {
+        if seen.insert(e.stream.0) {
+            engine
+                .register(e.stream, StreamSpec::Detect(Arc::clone(&cfg)))
+                .expect("fresh ids");
+        }
+    }
+    for chunk in attacked.chunks(c.batch.max(1)) {
+        engine.ingest(chunk).expect("registered streams");
+    }
+    // `finish` returns registration order == first-touch order.
+    engine
+        .finish()
+        .into_iter()
+        .map(|o| o.report.expect("detect mode"))
+        .collect()
+}
+
+/// Runs one grid through one path and one encoder. The marked flow is
+/// embedded once and shared across cells; each cell's attack runs on an
+/// RNG seeded from the campaign seed and the cell id alone, so single
+/// and engine paths (and any grid order) see identical attacks.
+pub fn run_campaign(
+    c: &Campaign,
+    grid: &[AttackSpec],
+    encoder_name: &str,
+    path: PathKind,
+) -> Result<Vec<CellResult>, String> {
+    let enc = encoder_by_name(encoder_name, &scheme_of(c))?;
+    let marked = match path {
+        PathKind::Single => embed_single(c, &enc),
+        PathKind::Engine => embed_engine(c, &enc),
+    };
+    let mut cells = Vec::with_capacity(grid.len());
+    for spec in grid {
+        let mut rng = DetRng::seed_from_u64(fnv1a(c.seed, spec.id().as_bytes()));
+        let start = Instant::now();
+        let attacked = spec.build().attack(&marked, &mut rng);
+        let reports = match path {
+            PathKind::Single => detect_single(c, &enc, &attacked, spec.chi()),
+            PathKind::Engine => detect_engine(c, &enc, &attacked, spec.chi()),
+        };
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let n = reports.len();
+        let detected = reports.iter().filter(|r| r.bias() > c.kappa).count();
+        let bit_errors = reports
+            .iter()
+            .filter(|r| r.recovered(1).bits.first().copied().flatten() != Some(true))
+            .count();
+        let mean_bias = reports.iter().map(|r| r.bias() as f64).sum::<f64>() / (n as f64).max(1.0);
+        cells.push(CellResult {
+            path: path.id(),
+            scheme: encoder_name.to_string(),
+            family: spec.family().to_string(),
+            attack: spec.id(),
+            severity: spec.severity(),
+            streams_total: n,
+            streams_detected: detected,
+            detection_rate: detected as f64 / (n as f64).max(1.0),
+            bit_error_rate: bit_errors as f64 / (n as f64).max(1.0),
+            mean_bias,
+            items_per_sec: attacked.len() as f64 / secs,
+        });
+    }
+    Ok(cells)
+}
+
+/// Renders the machine-readable `BENCH_resilience.json` document — one
+/// cell object per line (the format `bench_check` and the floors gate
+/// parse). Hand-rolled JSON: the workspace is offline and carries no
+/// serde.
+pub fn render_resilience_json(c: &Campaign, cells: &[CellResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"wms-bench-resilience/v1\",\n");
+    out.push_str(&format!("  \"items\": {},\n", c.items));
+    out.push_str(&format!("  \"trials\": {},\n", c.trials));
+    out.push_str(&format!("  \"seed\": {},\n", c.seed));
+    out.push_str(&format!("  \"kappa\": {},\n", c.kappa));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"scheme\": \"{}\", \"family\": \"{}\", \
+             \"attack\": \"{}\", \"severity\": {}, \"streams_total\": {}, \
+             \"streams_detected\": {}, \"detection_rate\": {:.6}, \
+             \"bit_error_rate\": {:.6}, \"mean_bias\": {:.3}, \
+             \"items_per_sec\": {:.1}}}{}\n",
+            cell.path,
+            cell.scheme,
+            cell.family,
+            cell.attack,
+            cell.severity,
+            cell.streams_total,
+            cell.streams_detected,
+            cell.detection_rate,
+            cell.bit_error_rate,
+            cell.mean_bias,
+            cell.items_per_sec,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Per-cell verdict wording: resilient (everything detected), degraded
+/// (partial), or lost.
+pub fn cell_verdict(cell: &CellResult) -> &'static str {
+    if cell.detection_rate >= 0.99 {
+        "RESILIENT"
+    } else if cell.detection_rate > 0.0 {
+        "degraded"
+    } else {
+        "LOST"
+    }
+}
+
+/// Renders the human-readable verdict table the CLI and the bench binary
+/// print.
+pub fn render_verdict_table(cells: &[CellResult]) -> String {
+    let headers: Vec<String> = [
+        "path", "scheme", "attack", "detected", "rate", "BER", "bias", "items/s", "verdict",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.path.to_string(),
+                c.scheme.clone(),
+                c.attack.clone(),
+                format!("{}/{}", c.streams_detected, c.streams_total),
+                format!("{:.2}", c.detection_rate),
+                format!("{:.2}", c.bit_error_rate),
+                format!("{:.1}", c.mean_bias),
+                format!("{:.0}", c.items_per_sec),
+                cell_verdict(c).to_string(),
+            ]
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
+/// A detection-rate cell parsed back out of `BENCH_resilience.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCell {
+    /// Path id (`single` / `engine`).
+    pub path: String,
+    /// Encoder name.
+    pub scheme: String,
+    /// Attack id.
+    pub attack: String,
+    /// Detection rate of the cell.
+    pub detection_rate: f64,
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the cells of a `BENCH_resilience.json` document (the
+/// line-per-cell format [`render_resilience_json`] emits).
+pub fn parse_cells(json: &str) -> Vec<ParsedCell> {
+    json.lines()
+        .filter_map(|line| {
+            Some(ParsedCell {
+                path: json_str_field(line, "path")?,
+                scheme: json_str_field(line, "scheme")?,
+                attack: json_str_field(line, "attack")?,
+                detection_rate: json_num_field(line, "detection_rate")?,
+            })
+        })
+        .collect()
+}
+
+/// Checks fresh campaign cells against a committed floors file.
+///
+/// Floors format: one `path scheme attack detection_rate` line per gated
+/// cell; blank lines and `#` comments ignored. The comparison is
+/// exact-match in both directions: a fresh rate *below* its floor is a
+/// regression, and a rate *above* it is drift — a real behavioral change
+/// that must be acknowledged by regenerating the committed artifacts
+/// (the grid is deterministic, so any mismatch is real, never noise).
+/// Returns the number of floors checked, or every violation (missing
+/// cell, malformed line, regression, or drift).
+pub fn check_floors(cells: &[ParsedCell], floors: &str) -> Result<usize, Vec<String>> {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for (lineno, line) in floors.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        let [path, scheme, attack, floor_raw] = parts.as_slice() else {
+            violations.push(format!(
+                "floors line {}: expected `path scheme attack rate`, got {trimmed:?}",
+                lineno + 1
+            ));
+            continue;
+        };
+        let Ok(floor) = floor_raw.parse::<f64>() else {
+            violations.push(format!(
+                "floors line {}: bad rate {floor_raw:?}",
+                lineno + 1
+            ));
+            continue;
+        };
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.path == *path && c.scheme == *scheme && c.attack == *attack)
+        else {
+            violations.push(format!(
+                "cell {path}/{scheme}/{attack} missing from fresh results"
+            ));
+            continue;
+        };
+        checked += 1;
+        if cell.detection_rate + 1e-9 < floor {
+            violations.push(format!(
+                "REGRESSION {path}/{scheme}/{attack}: detection rate {:.6} < floor {floor:.6}",
+                cell.detection_rate
+            ));
+        } else if cell.detection_rate - 1e-9 > floor {
+            violations.push(format!(
+                "DRIFT {path}/{scheme}/{attack}: detection rate {:.6} above floor {floor:.6} \
+                 — intentional change? regenerate and commit the floors",
+                cell.detection_rate
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(checked)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Renders the committed floors file from a fresh campaign: exact-match
+/// floors for every cell (the grid is deterministic, so equality is the
+/// honest expectation).
+pub fn render_floors(cells: &[CellResult]) -> String {
+    let mut out = String::from(
+        "# Resilience regression floors: path scheme attack detection_rate.\n\
+         # Exact-match floors for the deterministic smoke grid. After an\n\
+         # intentional change, regenerate this file AND BENCH_resilience.json with\n\
+         #   WMS_RESILIENCE_FLOORS=RESILIENCE_FLOORS.txt \\\n\
+         #     cargo run --release -p wms-bench --bin bench_resilience\n\
+         # and commit both.\n",
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{} {} {} {:.6}\n",
+            c.path, c.scheme, c.attack, c.detection_rate
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign {
+            items: 1600,
+            trials: 2,
+            ..Campaign::default()
+        }
+    }
+
+    #[test]
+    fn identity_cell_detects_everything() {
+        let c = tiny_campaign();
+        let cells =
+            run_campaign(&c, &[AttackSpec::Identity], "multihash", PathKind::Single).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].streams_total, 2);
+        assert_eq!(cells[0].detection_rate, 1.0, "{cells:?}");
+        assert_eq!(cells[0].bit_error_rate, 0.0);
+        assert!(cells[0].mean_bias > c.kappa as f64);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let c = tiny_campaign();
+        let grid = [AttackSpec::Sample { degree: 2 }];
+        let a = run_campaign(&c, &grid, "multihash", PathKind::Single).unwrap();
+        let b = run_campaign(&c, &grid, "multihash", PathKind::Single).unwrap();
+        // items_per_sec is wall-clock and may differ; everything else is
+        // bit-deterministic.
+        assert_eq!(a[0].detection_rate, b[0].detection_rate);
+        assert_eq!(a[0].mean_bias, b[0].mean_bias);
+        assert_eq!(a[0].streams_detected, b[0].streams_detected);
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_and_floors() {
+        let c = tiny_campaign();
+        let cells = vec![
+            CellResult {
+                path: "single",
+                scheme: "multihash".into(),
+                family: "sampling".into(),
+                attack: "sample:2".into(),
+                severity: 2.0,
+                streams_total: 3,
+                streams_detected: 3,
+                detection_rate: 1.0,
+                bit_error_rate: 0.0,
+                mean_bias: 12.3,
+                items_per_sec: 123456.7,
+            },
+            CellResult {
+                path: "engine",
+                scheme: "initial".into(),
+                family: "epsilon".into(),
+                attack: "epsilon:0.5,0.3".into(),
+                severity: 0.3,
+                streams_total: 3,
+                streams_detected: 1,
+                detection_rate: 1.0 / 3.0,
+                bit_error_rate: 2.0 / 3.0,
+                mean_bias: 1.5,
+                items_per_sec: 999.0,
+            },
+        ];
+        let json = render_resilience_json(&c, &cells);
+        assert!(json.contains("wms-bench-resilience/v1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let parsed = parse_cells(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].attack, "sample:2");
+        assert!((parsed[1].detection_rate - 1.0 / 3.0).abs() < 1e-6);
+
+        let floors = render_floors(&cells);
+        assert_eq!(check_floors(&parsed, &floors), Ok(2));
+        // A fresh regression trips the gate.
+        let mut regressed = parsed.clone();
+        regressed[0].detection_rate = 0.5;
+        let errs = check_floors(&regressed, &floors).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("REGRESSION"), "{errs:?}");
+        // So does silent upward drift — exact-match cuts both ways.
+        let mut drifted = parsed.clone();
+        drifted[1].detection_rate = 1.0;
+        let errs = check_floors(&drifted, &floors).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("DRIFT"), "{errs:?}");
+        // A missing cell trips it too.
+        let errs = check_floors(&regressed[1..], &floors).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing")), "{errs:?}");
+    }
+
+    #[test]
+    fn floors_parser_rejects_malformed_lines() {
+        let errs = check_floors(&[], "single multihash sample:2\n").unwrap_err();
+        assert!(errs[0].contains("expected"), "{errs:?}");
+        let errs = check_floors(&[], "single multihash sample:2 high\n").unwrap_err();
+        assert!(errs[0].contains("bad rate"), "{errs:?}");
+        assert_eq!(check_floors(&[], "# only comments\n\n"), Ok(0));
+    }
+
+    #[test]
+    fn verdict_table_contains_every_cell() {
+        let cell = CellResult {
+            path: "single",
+            scheme: "multihash".into(),
+            family: "identity".into(),
+            attack: "identity".into(),
+            severity: 0.0,
+            streams_total: 3,
+            streams_detected: 3,
+            detection_rate: 1.0,
+            bit_error_rate: 0.0,
+            mean_bias: 20.0,
+            items_per_sec: 1e6,
+        };
+        let lost = CellResult {
+            streams_detected: 0,
+            detection_rate: 0.0,
+            ..cell.clone()
+        };
+        let t = render_verdict_table(&[cell, lost]);
+        assert!(t.contains("RESILIENT"));
+        assert!(t.contains("LOST"));
+        assert!(t.contains("identity"));
+    }
+
+    #[test]
+    fn grids_resolve_by_name_and_are_well_formed() {
+        let smoke = grid_by_name("smoke").unwrap();
+        let paper = grid_by_name("paper").unwrap();
+        assert!(grid_by_name("huge").is_err());
+        assert!(smoke.len() >= 10);
+        assert!(paper.len() > smoke.len());
+        // Every spec id round-trips through the parser.
+        for spec in smoke.iter().chain(&paper) {
+            assert_eq!(AttackSpec::parse(&spec.id()).unwrap(), *spec);
+        }
+    }
+
+    #[test]
+    fn trial_streams_are_deterministic_and_distinct() {
+        let a = trial_stream(500, 1);
+        assert_eq!(a, trial_stream(500, 1));
+        assert_ne!(a, trial_stream(500, 2));
+        assert!(a.iter().all(|s| s.value.abs() < 0.5));
+    }
+}

@@ -1,0 +1,147 @@
+//! Single-stream ↔ engine-path campaign equivalence, and the committed
+//! grid's qualitative resilience pattern.
+//!
+//! The resilience campaign runs the same embed → attack → detect cells
+//! through two very different machineries: per-stream
+//! `Embedder`/`Detector` loops and the sharded multi-stream engine. The
+//! contract is that every cell agrees *exactly* — same streams detected,
+//! same biases, same rates — whatever the worker count or batch size,
+//! because the two paths share the stream population, the attack code
+//! and the per-cell RNG seed, and the engine is bit-identical per
+//! stream. That exactness is what lets `bench_check` gate CI on
+//! equality floors.
+
+use wms_attacks::AttackSpec;
+use wms_bench::resilience::{run_campaign, smoke_grid, Campaign, CellResult, PathKind};
+
+fn tiny_campaign(workers: usize, batch: usize) -> Campaign {
+    Campaign {
+        items: 1200,
+        trials: 2,
+        workers,
+        batch,
+        ..Campaign::default()
+    }
+}
+
+/// The deterministic projection of a cell (drops wall-clock throughput).
+fn det(cell: &CellResult) -> (String, String, usize, usize, f64, f64, f64) {
+    (
+        cell.scheme.clone(),
+        cell.attack.clone(),
+        cell.streams_total,
+        cell.streams_detected,
+        cell.detection_rate,
+        cell.bit_error_rate,
+        cell.mean_bias,
+    )
+}
+
+#[test]
+fn single_and_engine_paths_agree_cell_for_cell() {
+    // A grid exercising per-stream randomness (sample), flow-level
+    // restructuring (splice) and value alteration (epsilon).
+    let grid = [
+        AttackSpec::Identity,
+        AttackSpec::Sample { degree: 2 },
+        AttackSpec::Epsilon {
+            fraction: 0.5,
+            amplitude: 0.05,
+        },
+        AttackSpec::Splice { segment: 300 },
+    ];
+    let reference: Vec<_> =
+        run_campaign(&tiny_campaign(1, 256), &grid, "multihash", PathKind::Single)
+            .unwrap()
+            .iter()
+            .map(det)
+            .collect();
+
+    for workers in [1usize, 2, 3] {
+        for batch in [7usize, 256, 10_000] {
+            let engine_cells: Vec<_> = run_campaign(
+                &tiny_campaign(workers, batch),
+                &grid,
+                "multihash",
+                PathKind::Engine,
+            )
+            .unwrap()
+            .iter()
+            .map(det)
+            .collect();
+            assert_eq!(
+                engine_cells, reference,
+                "engine path diverged at workers={workers} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paths_agree_across_encoders() {
+    let grid = [AttackSpec::Summarize { degree: 2 }];
+    for encoder in ["multihash", "initial", "quadres"] {
+        let single: Vec<_> = run_campaign(&tiny_campaign(2, 128), &grid, encoder, PathKind::Single)
+            .unwrap()
+            .iter()
+            .map(det)
+            .collect();
+        let engine: Vec<_> = run_campaign(&tiny_campaign(2, 128), &grid, encoder, PathKind::Engine)
+            .unwrap()
+            .iter()
+            .map(det)
+            .collect();
+        assert_eq!(single, engine, "encoder {encoder} diverged across paths");
+    }
+}
+
+/// The committed smoke grid reproduces the paper's qualitative result on
+/// the default campaign population (the exact numbers CI's regression
+/// gate pins): full detection under 50 % sampling and paper-default
+/// summarization, monotone degradation along the ε-amplitude sweep.
+#[test]
+fn committed_grid_reproduces_paper_pattern() {
+    let campaign = Campaign::default();
+    let cells = run_campaign(&campaign, &smoke_grid(), "multihash", PathKind::Single).unwrap();
+    let rate = |attack: &str| {
+        cells
+            .iter()
+            .find(|c| c.attack == attack)
+            .unwrap_or_else(|| panic!("cell {attack} missing"))
+            .detection_rate
+    };
+
+    // Sampling up to 50 % and paper-default summarization: fully detected.
+    assert!(rate("sample:2") >= 0.99, "sample:2 {}", rate("sample:2"));
+    assert!(rate("sample:3") >= 0.99, "sample:3 {}", rate("sample:3"));
+    assert!(
+        rate("summarize:2") >= 0.99,
+        "summarize:2 {}",
+        rate("summarize:2")
+    );
+    assert!(rate("identity") >= 0.99);
+    assert_eq!(rate("splice:1000"), 1.0, "splice cell lost the mark");
+
+    // Detection degrades monotonically with alteration amplitude.
+    let eps: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.family == "epsilon")
+        .map(|c| c.detection_rate)
+        .collect();
+    assert!(eps.len() >= 3, "epsilon sweep too short: {eps:?}");
+    for pair in eps.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-9,
+            "epsilon sweep not monotone: {eps:?}"
+        );
+    }
+    assert!(
+        *eps.last().unwrap() < eps[0],
+        "epsilon sweep never degrades: {eps:?}"
+    );
+
+    // Harsher sampling/summarization eventually degrades too — the grid
+    // is not trivially saturated.
+    assert!(rate("sample:5") < 1.0);
+    assert!(rate("summarize:4") < 1.0);
+}

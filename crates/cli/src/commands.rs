@@ -81,6 +81,16 @@ COMMANDS:
                (input/output rows are `stream,value`; each stream is
                 normalized independently and watermarked with the same
                 key and parameters)
+    resilience run an attack x severity x scheme resilience campaign
+               (embed -> attack -> detect over a deterministic stream
+                population) and print per-cell verdicts
+               [--grid smoke|paper | --attacks spec+spec+...] [--items N]
+               [--trials T] [--seed S] [--kappa K] [--key K]
+               [--encoder multihash|initial|quadres|all]
+               [--path single|engine|both] [--json F]
+               (attack specs, separated by `+`: identity, sample:K,
+                fixed-sample:K, summarize:K, segment:FRAC,
+                epsilon:FRAC,AMP, noise-resample:AMP,K, splice:LEN)
     help       this text
 
 Values are one reading per line; `#` comments allowed. All commands are
@@ -580,6 +590,98 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     Ok(())
 }
 
+/// `wms resilience`: run an attack × severity × scheme campaign over a
+/// deterministic stream population and print the per-cell verdict table.
+pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    use wms_bench::resilience as res;
+
+    let defaults = res::Campaign::default();
+    let grid_flag = args.get("grid").map(str::to_string);
+    let attacks_flag = args.get("attacks").map(str::to_string);
+    if grid_flag.is_some() && attacks_flag.is_some() {
+        return Err(CmdError(
+            "--grid and --attacks are mutually exclusive (an ad-hoc attack \
+             list replaces the named grid entirely)"
+                .into(),
+        ));
+    }
+    let grid_name = grid_flag.unwrap_or_else(|| "smoke".into());
+    let campaign = res::Campaign {
+        items: args.get_or("items", defaults.items)?,
+        trials: args.get_or("trials", defaults.trials)?,
+        seed: args.get_or("seed", defaults.seed)?,
+        kappa: args.get_or("kappa", defaults.kappa)?,
+        key: args.get_or("key", defaults.key)?,
+        ..defaults
+    };
+    let encoder_flag = args.get("encoder").unwrap_or("multihash").to_string();
+    let path_flag = args.get("path").unwrap_or("both").to_string();
+    let json_path = args.get("json").map(PathBuf::from);
+    args.finish()?;
+
+    if campaign.items == 0 || campaign.trials == 0 {
+        return Err(CmdError("--items and --trials must be >= 1".into()));
+    }
+    // Specs are separated by `+` (or whitespace) — not commas, which
+    // belong to the specs themselves (`epsilon:0.5,0.06`).
+    let grid = match &attacks_flag {
+        Some(list) => list
+            .split(|c: char| c == '+' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .map(wms_attacks::AttackSpec::parse)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CmdError)?,
+        None => res::grid_by_name(&grid_name).map_err(CmdError)?,
+    };
+    if grid.is_empty() {
+        return Err(CmdError("empty attack grid".into()));
+    }
+    let encoders: Vec<&str> = match encoder_flag.as_str() {
+        "all" => vec!["multihash", "initial", "quadres"],
+        one => vec![one],
+    };
+    let paths: Vec<res::PathKind> = match path_flag.as_str() {
+        "single" => vec![res::PathKind::Single],
+        "engine" => vec![res::PathKind::Engine],
+        "both" => vec![res::PathKind::Single, res::PathKind::Engine],
+        other => {
+            return Err(CmdError(format!(
+                "unknown path {other:?}; expected single|engine|both"
+            )))
+        }
+    };
+
+    let mut cells = Vec::new();
+    for encoder in &encoders {
+        for &path in &paths {
+            cells.extend(res::run_campaign(&campaign, &grid, encoder, path).map_err(CmdError)?);
+        }
+    }
+    writeln!(
+        out,
+        "resilience campaign: {} cells ({} attacks x {} scheme(s) x {} path(s)), \
+         {} trials x {} items, seed {}",
+        cells.len(),
+        grid.len(),
+        encoders.len(),
+        paths.len(),
+        campaign.trials,
+        campaign.items,
+        campaign.seed
+    )?;
+    write!(out, "{}", res::render_verdict_table(&cells))?;
+    let resilient = cells
+        .iter()
+        .filter(|c| res::cell_verdict(c) == "RESILIENT")
+        .count();
+    writeln!(out, "{resilient}/{} cells fully resilient", cells.len())?;
+    if let Some(path) = &json_path {
+        std::fs::write(path, res::render_resilience_json(&campaign, &cells))?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line; returns the process exit code.
 pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
     let result = match args.command.as_str() {
@@ -589,6 +691,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
         "attack" => attack(args, out),
         "inspect" => inspect(args, out),
         "engine" => engine(args, out),
+        "resilience" => resilience(args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -902,6 +1005,65 @@ mod tests {
         assert_eq!(code, 2);
         assert!(String::from_utf8_lossy(&out).contains("degenerate"));
         std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn resilience_runs_custom_attack_list() {
+        let json = tmp("r-cells.json");
+        let mut out = Vec::new();
+        let code = run(
+            &argv(&[
+                "resilience",
+                "--attacks",
+                "identity+sample:2+epsilon:0.5,0.02",
+                "--items",
+                "1600",
+                "--trials",
+                "2",
+                "--path",
+                "single",
+                "--json",
+                json.to_str().unwrap(),
+            ]),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("identity"), "{text}");
+        assert!(text.contains("sample:2"), "{text}");
+        assert!(text.contains("epsilon:0.5,0.02"), "{text}");
+        assert!(text.contains("RESILIENT"), "{text}");
+        let written = std::fs::read_to_string(&json).unwrap();
+        assert!(written.contains("wms-bench-resilience/v1"));
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn resilience_rejects_bad_specs_and_paths() {
+        let mut out = Vec::new();
+        assert_eq!(
+            run(&argv(&["resilience", "--attacks", "melt:4"]), &mut out),
+            2
+        );
+        assert!(String::from_utf8_lossy(&out).contains("unknown attack"));
+
+        out.clear();
+        assert_eq!(run(&argv(&["resilience", "--grid", "vast"]), &mut out), 2);
+        assert!(String::from_utf8_lossy(&out).contains("unknown grid"));
+
+        out.clear();
+        assert_eq!(
+            run(
+                &argv(&["resilience", "--grid", "paper", "--attacks", "identity"]),
+                &mut out
+            ),
+            2
+        );
+        assert!(String::from_utf8_lossy(&out).contains("mutually exclusive"));
+
+        out.clear();
+        assert_eq!(run(&argv(&["resilience", "--path", "warp"]), &mut out), 2);
+        assert!(String::from_utf8_lossy(&out).contains("unknown path"));
     }
 
     #[test]

@@ -116,7 +116,14 @@ fn help_lists_every_subcommand() {
     let a = wms(&["help"]).success().stdout_contains("USAGE:");
     let text = a.stdout_str();
     for cmd in [
-        "generate", "embed", "detect", "attack", "inspect", "engine", "help",
+        "generate",
+        "embed",
+        "detect",
+        "attack",
+        "inspect",
+        "engine",
+        "resilience",
+        "help",
     ] {
         assert!(
             text.contains(cmd),
@@ -255,6 +262,36 @@ fn engine_usage_errors_and_happy_path() {
     .stdout_contains("stream 1:")
     .stdout_contains("stream 2:");
     assert!(std::path::Path::new(&marked).exists());
+}
+
+#[test]
+fn resilience_campaign_prints_verdicts() {
+    let dir = Scratch::new("resilience");
+    let json = dir.path("cells.json");
+    wms(&[
+        "resilience",
+        "--attacks",
+        "identity+summarize:2",
+        "--items",
+        "1600",
+        "--trials",
+        "2",
+        "--path",
+        "both",
+        "--json",
+        &json,
+    ])
+    .success()
+    .stdout_contains("resilience campaign: 4 cells")
+    .stdout_contains("summarize:2")
+    .stdout_contains("RESILIENT");
+    let written = std::fs::read_to_string(&json).expect("json artifact");
+    assert!(written.contains("\"schema\": \"wms-bench-resilience/v1\""));
+
+    // Bad attack specs are rejected with a hint.
+    wms(&["resilience", "--attacks", "melt:2"])
+        .code(2)
+        .stdout_contains("unknown attack");
 }
 
 #[test]

@@ -126,7 +126,10 @@ impl Embedder {
     ///
     /// Thin wrapper over [`push_into`](Self::push_into), which reuses one
     /// output buffer instead of allocating a (mostly empty) `Vec` per
-    /// sample; every internal caller has moved there.
+    /// sample; every internal caller has moved there. Gated behind the
+    /// `legacy-api` feature so `-D warnings` builds cannot reach it by
+    /// accident.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use push_into with a reused output buffer")]
     pub fn push(&mut self, s: Sample) -> Vec<Sample> {
         let mut out = Vec::new();
@@ -144,7 +147,9 @@ impl Embedder {
     /// Flushes the stream end: processes the residual window and drains it.
     ///
     /// Thin wrapper over [`finish_into`](Self::finish_into), which
-    /// appends to a caller-owned buffer instead of allocating.
+    /// appends to a caller-owned buffer instead of allocating. Gated
+    /// behind the `legacy-api` feature like [`push`](Self::push).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use finish_into with a reused output buffer")]
     pub fn finish(&mut self) -> Vec<Sample> {
         let mut out = Vec::new();
@@ -388,7 +393,10 @@ mod tests {
     }
 
     /// The deprecated wrappers must stay bit-identical to the `_into`
-    /// path — they remain part of the public API.
+    /// path — they remain part of the `legacy-api` public surface. (Runs
+    /// in workspace builds, where wms-bench's dependency unifies the
+    /// feature on.)
+    #[cfg(feature = "legacy-api")]
     #[test]
     #[allow(deprecated)]
     fn legacy_wrappers_match_push_into() {

@@ -143,6 +143,50 @@ impl Interleaver {
     }
 }
 
+/// Splits an interleaved flow into per-stream sample vectors, in
+/// first-touch order of the flow. Per-stream sample order is preserved;
+/// samples are copied as-is (indices and provenance untouched), so a
+/// well-formed flow demuxes into well-formed single streams.
+pub fn demux(flow: &[Event]) -> Vec<(StreamId, Vec<Sample>)> {
+    let mut order: Vec<StreamId> = Vec::new();
+    let mut by_id: std::collections::HashMap<u64, Vec<Sample>> = std::collections::HashMap::new();
+    for e in flow {
+        by_id
+            .entry(e.stream.0)
+            .or_insert_with(|| {
+                order.push(e.stream);
+                Vec::new()
+            })
+            .push(e.sample);
+    }
+    order
+        .into_iter()
+        .map(|id| {
+            let samples = by_id.remove(&id.0).expect("touched stream");
+            (id, samples)
+        })
+        .collect()
+}
+
+/// Merges per-stream samples back into one flow, round-robin across the
+/// given streams (the in-memory twin of [`Interleaver`], and the inverse
+/// of [`demux`] up to interleaving order). Per-stream sample order is
+/// preserved — the only guarantee multi-stream consumers rely on.
+pub fn mux(streams: &[(StreamId, Vec<Sample>)]) -> Vec<Event> {
+    let total: usize = streams.iter().map(|(_, s)| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursor = 0usize;
+    while out.len() < total {
+        for (id, samples) in streams {
+            if let Some(&s) = samples.get(cursor) {
+                out.push(Event::new(*id, s));
+            }
+        }
+        cursor += 1;
+    }
+    out
+}
+
 impl EventSource for Interleaver {
     fn next_event(&mut self) -> Option<Event> {
         let n = self.sources.len();
@@ -223,5 +267,41 @@ mod tests {
         let mut il = Interleaver::new();
         assert!(il.is_empty());
         assert!(il.next_event().is_none());
+    }
+
+    #[test]
+    fn demux_groups_by_first_touch_and_preserves_order() {
+        let flow = vec![
+            Event::new(StreamId(5), Sample::new(0, 1.0)),
+            Event::new(StreamId(2), Sample::new(0, 9.0)),
+            Event::new(StreamId(5), Sample::new(1, 2.0)),
+            Event::new(StreamId(2), Sample::new(1, 8.0)),
+            Event::new(StreamId(5), Sample::new(2, 3.0)),
+        ];
+        let streams = demux(&flow);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].0, StreamId(5), "first touch first");
+        assert_eq!(streams[1].0, StreamId(2));
+        let v5: Vec<f64> = streams[0].1.iter().map(|s| s.value).collect();
+        assert_eq!(v5, vec![1.0, 2.0, 3.0]);
+        assert_eq!(streams[1].1.len(), 2);
+    }
+
+    #[test]
+    fn mux_round_robins_uneven_streams() {
+        let streams = vec![
+            (StreamId(1), crate::samples_from_values(&[10.0, 11.0, 12.0])),
+            (StreamId(2), crate::samples_from_values(&[20.0])),
+        ];
+        let flow = mux(&streams);
+        let ids: Vec<u64> = flow.iter().map(|e| e.stream.0).collect();
+        assert_eq!(ids, vec![1, 2, 1, 1]);
+        assert_eq!(demux(&flow), streams, "mux/demux round-trip");
+    }
+
+    #[test]
+    fn demux_mux_empty_flow() {
+        assert!(demux(&[]).is_empty());
+        assert!(mux(&[]).is_empty());
     }
 }

@@ -29,7 +29,7 @@ pub mod sample;
 pub mod source;
 pub mod window;
 
-pub use events::{Event, EventSource, Interleaver, StreamId, Tagged};
+pub use events::{demux, mux, Event, EventSource, Interleaver, StreamId, Tagged};
 pub use normalize::{normalize_stream, Normalizer};
 pub use pipeline::{Identity, MapValues, Pipeline, ReadCopy, Transform};
 pub use rate::{degree_from_counts, degree_from_rates, RateEstimator};

@@ -23,7 +23,7 @@ use wms_bench::perf::{self, PerfRecord};
 use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::{EmbedConfig, EmbedSession, Scheme, Watermark, WmParams};
 use wms_crypto::{Key, KeyedHash};
-use wms_engine::{Engine, EngineConfig, Event, StreamId, StreamSpec};
+use wms_engine::{Checkpoint, Engine, EngineConfig, Event, StreamId, StreamSpec};
 use wms_stream::Sample;
 
 const SCHEMA: &str = "wms-bench-engine/v1";
@@ -92,10 +92,55 @@ fn run_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize, workers:
             n += out.samples.len();
         }
     }
-    for outcome in engine.finish() {
+    for outcome in engine.finish().unwrap() {
         n += outcome.tail.len();
     }
     n
+}
+
+/// [`run_engine`] with a serialized checkpoint taken every `every`
+/// batches — the throughput cost of durability.
+fn run_engine_checkpointed(
+    cfg: &Arc<EmbedConfig>,
+    events: &[Event],
+    streams: usize,
+    workers: usize,
+    every: usize,
+) -> usize {
+    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    for id in 0..streams as u64 {
+        engine
+            .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
+            .unwrap();
+    }
+    let mut n = 0usize;
+    for (b, chunk) in events.chunks(BATCH).enumerate() {
+        for out in engine.ingest(chunk).unwrap() {
+            n += out.samples.len();
+        }
+        if (b + 1) % every == 0 {
+            n += black_box(engine.checkpoint().unwrap().to_bytes()).len() % 2;
+        }
+    }
+    for outcome in engine.finish().unwrap() {
+        n += outcome.tail.len();
+    }
+    n
+}
+
+/// An engine mid-run (half the workload ingested), for measuring the
+/// checkpoint and restore operations in isolation.
+fn warmed_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize) -> Engine {
+    let mut engine = Engine::new(EngineConfig::with_workers(1));
+    for id in 0..streams as u64 {
+        engine
+            .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
+            .unwrap();
+    }
+    for chunk in events[..events.len() / 2].chunks(BATCH) {
+        engine.ingest(chunk).unwrap();
+    }
+    engine
 }
 
 /// The no-executor baseline: the same shared config and per-stream
@@ -173,14 +218,72 @@ fn main() {
         }
     }
 
+    // Checkpoint/restore overhead at 64 streams on the inline backend.
+    {
+        let streams = 64usize;
+        let events = workload(streams);
+        let items = events.len() as u64;
+        let id = format!("engine-embed/checkpointed streams={streams}");
+        for every in [4usize, 1] {
+            let variant = format!("ckpt-every={every}");
+            records.push(perf::measure(&id, &variant, items, budget, || {
+                black_box(run_engine_checkpointed(&cfg, &events, streams, 1, every));
+            }));
+        }
+        // The two operations in isolation, on an engine holding half the
+        // workload: items/sec here means stream snapshots per second.
+        let mut engine = warmed_engine(&cfg, &events, streams);
+        let cid = format!("engine-checkpoint/streams={streams}");
+        records.push(perf::measure(
+            &cid,
+            "snapshot+serialize",
+            streams as u64,
+            budget,
+            || {
+                black_box(engine.checkpoint().unwrap().to_bytes().len());
+            },
+        ));
+        let bytes = engine.checkpoint().unwrap().to_bytes();
+        println!(
+            "checkpoint size at {streams} streams (window half-full): {} bytes",
+            bytes.len()
+        );
+        records.push(perf::measure(
+            &cid,
+            "parse+restore",
+            streams as u64,
+            budget,
+            || {
+                let ck = Checkpoint::from_bytes(black_box(&bytes)).unwrap();
+                let restored = Engine::restore(EngineConfig::with_workers(1), &ck, |_| {
+                    Some(StreamSpec::Embed(Arc::clone(&cfg)))
+                })
+                .unwrap();
+                black_box(restored.workers());
+            },
+        ));
+    }
+
     print!("{}", perf::render_perf_table(&records));
-    // Scaling headline: 1 worker -> all cores at 64 streams.
     let rate = |bench: &str, variant: &str| {
         records
             .iter()
             .find(|r| r.bench == bench && r.variant == variant)
             .map(|r| r.items_per_sec)
     };
+    // Inline-dispatch headline: with one worker the engine runs the
+    // shard on the caller thread, so streams=1 should track the
+    // sequential baseline instead of paying a channel round-trip.
+    if let (Some(seq), Some(one)) = (
+        rate("engine-embed/streams=1", "sequential"),
+        rate("engine-embed/streams=1", "workers=1"),
+    ) {
+        println!(
+            "single-stream executor vs sequential: {:.2}x (inline single-worker dispatch)",
+            one / seq
+        );
+    }
+    // Scaling headline: 1 worker -> all cores at 64 streams.
     let sweep = "engine-embed/worker-sweep streams=64";
     if let (Some(one), Some(all)) = (
         rate(sweep, "workers=1"),

@@ -306,7 +306,7 @@ fn embed_engine(c: &Campaign, enc: &Arc<dyn SubsetEncoder>) -> Vec<Event> {
                 .extend(out.samples);
         }
     }
-    for outcome in engine.finish() {
+    for outcome in engine.finish().expect("engine workers alive") {
         collected
             .iter_mut()
             .find(|(id, _)| *id == outcome.stream)
@@ -367,6 +367,7 @@ fn detect_engine(
     // `finish` returns registration order == first-touch order.
     engine
         .finish()
+        .expect("engine workers alive")
         .into_iter()
         .map(|o| o.report.expect("detect mode"))
         .collect()

@@ -78,9 +78,15 @@ COMMANDS:
                multi-stream engine, then verify each mark
                --input F --output F --key K [--workers N] [--batch B]
                [--text OWNER] [--encoder ...] [scheme flags as for embed]
+               [--checkpoint-every N --checkpoint F] [--resume F]
+               [--stop-after N]
                (input/output rows are `stream,value`; each stream is
                 normalized independently and watermarked with the same
-                key and parameters)
+                key and parameters. --checkpoint-every writes a durable
+                engine snapshot to --checkpoint after every N batches;
+                --resume continues a killed run from such a snapshot,
+                bit-identically to a run that never stopped; --stop-after
+                exits after N batches to simulate a crash)
     resilience run an attack x severity x scheme resilience campaign
                (embed -> attack -> detect over a deterministic stream
                 population) and print per-cell verdicts
@@ -457,10 +463,109 @@ pub fn inspect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErro
     Ok(())
 }
 
+/// Writes an atomic engine checkpoint: flushes the output writer so the
+/// recorded byte offset is durable, stamps the CLI resume metadata
+/// (input event cursor + output byte offset) into the checkpoint's
+/// `meta`, and renames a temp file into place so a crash mid-write
+/// leaves the previous checkpoint intact.
+/// CLI resume bookkeeping carried in the engine checkpoint's `meta`.
+///
+/// Besides the input cursor and output byte offset, it records every
+/// run parameter the session fingerprint does *not* cover but on which
+/// the run's output depends: the ingest batch size (output rows are
+/// grouped per batch, so a different `--batch` breaks the byte-identical
+/// resume guarantee), the encoder choice and the watermark bits (a
+/// different `--encoder`/`--text` would silently embed a mixed, corrupt
+/// mark — exactly the desync class the fingerprint check exists to
+/// reject at the scheme level).
+struct ResumeMeta {
+    consumed: u64,
+    out_bytes: u64,
+    batch: u64,
+    encoder: String,
+    wm_bits: Vec<bool>,
+    /// Full `WmParams` identity (Debug form). The scheme fingerprint
+    /// only covers the codec parameters (τ/γ/α) and the key; θ, ν, δ
+    /// and friends also shape selection and embedding, so a mismatch
+    /// must refuse the resume just as loudly.
+    params: String,
+}
+
+impl ResumeMeta {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = wms_core::checkpoint::ByteWriter::new();
+        w.put_u64(self.consumed);
+        w.put_u64(self.out_bytes);
+        w.put_u64(self.batch);
+        w.put_bytes(self.encoder.as_bytes());
+        w.put_bytes(&self.wm_bits.iter().map(|&b| b as u8).collect::<Vec<u8>>());
+        w.put_bytes(self.params.as_bytes());
+        w.into_bytes()
+    }
+
+    fn from_checkpoint(ck: &wms_engine::Checkpoint) -> Result<ResumeMeta, CmdError> {
+        let bad = |e: wms_core::CheckpointError| CmdError(format!("resume metadata: {e}"));
+        let mut r = wms_core::checkpoint::ByteReader::new(&ck.meta);
+        let consumed = r.get_u64().map_err(bad)?;
+        let out_bytes = r.get_u64().map_err(bad)?;
+        let batch = r.get_u64().map_err(bad)?;
+        let encoder = String::from_utf8_lossy(r.get_bytes().map_err(bad)?).into_owned();
+        let wm_bits = r
+            .get_bytes()
+            .map_err(bad)?
+            .iter()
+            .map(|&b| b != 0)
+            .collect();
+        let params = String::from_utf8_lossy(r.get_bytes().map_err(bad)?).into_owned();
+        r.finish().map_err(bad)?;
+        Ok(ResumeMeta {
+            consumed,
+            out_bytes,
+            batch,
+            encoder,
+            wm_bits,
+            params,
+        })
+    }
+}
+
+/// Writes an atomic, durable engine checkpoint: flushes **and fsyncs**
+/// the output file (so the recorded byte offset never points past data
+/// that could be lost to a crash), writes the checkpoint image to a temp
+/// file, fsyncs it, and renames it into place — a crash at any point
+/// leaves either the previous checkpoint or the new one, never a torn
+/// file.
+fn write_engine_checkpoint(
+    path: &Path,
+    engine: &mut Engine,
+    meta: &mut ResumeMeta,
+    writer: &mut std::io::BufWriter<std::fs::File>,
+) -> Result<(), CmdError> {
+    use std::io::{Seek, Write as _};
+    writer.flush()?;
+    writer.get_ref().sync_all()?;
+    let mut file: &std::fs::File = writer.get_ref();
+    meta.out_bytes = file.stream_position()?;
+    let mut ck = engine.checkpoint().map_err(|e| CmdError(e.to_string()))?;
+    ck.meta = meta.to_bytes();
+    let tmp = path.with_extension("ck-tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&ck.to_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// `wms engine`: embed across many interleaved streams at once, then run
 /// a detection pass over the watermarked flow and report per-stream
-/// verdicts.
+/// verdicts. With `--checkpoint-every` the embedding pass periodically
+/// persists a durable engine snapshot; `--resume` continues a killed run
+/// from one, producing output bit-identical to an uninterrupted run.
 pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    use std::io::{Seek, SeekFrom, Write as _};
+
     let input = PathBuf::from(args.require("input")?);
     let output = PathBuf::from(args.require("output")?);
     let key = parse_key(args)?;
@@ -468,11 +573,23 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let wm = parse_watermark(args)?;
     let workers: usize = args.get_or("workers", 0usize)?;
     let batch: usize = args.get_or("batch", 1024usize)?;
+    let ck_every: usize = args.get_or("checkpoint-every", 0usize)?;
+    let ck_path = args.get("checkpoint").map(PathBuf::from);
+    let resume = args.get("resume").map(PathBuf::from);
+    let stop_after: usize = args.get_or("stop-after", 0usize)?;
     let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let encoder_name = args.get("encoder").unwrap_or("multihash").to_string();
     let encoder = parse_encoder(args, &scheme)?;
     args.finish()?;
     if batch == 0 {
         return Err(CmdError("--batch must be >= 1".into()));
+    }
+    // A bare `--resume F` keeps checkpointing to the same file.
+    let ck_path = ck_path.or_else(|| resume.clone());
+    if ck_every > 0 && ck_path.is_none() {
+        return Err(CmdError(
+            "--checkpoint-every needs --checkpoint FILE (or --resume FILE to continue one)".into(),
+        ));
     }
 
     let raw_events = csv::read_events(&input)?;
@@ -482,6 +599,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
 
     // Per-stream min-max normalization (the engine analogue of `wms
     // embed`'s whole-stream calibration; each sensor has its own range).
+    // Recomputed from the input on resume too: same input, same maps.
     let mut stream_order: Vec<wms_engine::StreamId> = Vec::new();
     let mut per_stream_values: HashMap<u64, Vec<f64>> = HashMap::new();
     for e in &raw_events {
@@ -508,46 +626,171 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         })
         .collect();
 
-    // Embedding pass: one shared config, one session per stream.
+    // Embedding pass: one shared config, one session per stream. Fresh
+    // runs register every stream; resumed runs re-adopt the checkpointed
+    // sessions and truncate the output back to the checkpoint's offset.
     let embed_cfg = Arc::new(
         EmbedConfig::new(scheme.clone(), Arc::clone(&encoder), wm.clone()).map_err(CmdError)?,
     );
-    let mut engine = Engine::new(EngineConfig::with_workers(workers));
-    for &id in &stream_order {
-        engine
-            .register(id, StreamSpec::Embed(Arc::clone(&embed_cfg)))
-            .map_err(|e| CmdError(e.to_string()))?;
-    }
-    let mut marked: Vec<Event> = Vec::with_capacity(events.len());
-    for chunk in events.chunks(batch) {
+    let (mut engine, mut consumed, mut writer) = if let Some(resume_path) = &resume {
+        let bytes = std::fs::read(resume_path)
+            .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
+        let ck = wms_engine::Checkpoint::from_bytes(&bytes)
+            .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
+        let meta = ResumeMeta::from_checkpoint(&ck)?;
+        let (consumed, out_bytes) = (meta.consumed, meta.out_bytes);
+        // The scheme fingerprint (checked in Engine::restore below)
+        // covers the key and codec parameters; these cover the run
+        // parameters the output additionally depends on.
+        if meta.batch != batch as u64 {
+            return Err(CmdError(format!(
+                "{}: checkpoint was taken with --batch {}, this run uses --batch {batch} \
+                 (output row grouping depends on it; pass the original value)",
+                resume_path.display(),
+                meta.batch
+            )));
+        }
+        if meta.encoder != encoder_name {
+            return Err(CmdError(format!(
+                "{}: checkpoint was taken with --encoder {}, this run uses --encoder \
+                 {encoder_name} (resuming would embed a mixed, corrupt mark)",
+                resume_path.display(),
+                meta.encoder
+            )));
+        }
+        if meta.wm_bits != wm.bits() {
+            return Err(CmdError(format!(
+                "{}: checkpoint embeds a different watermark than this run's --text \
+                 (resuming would embed a mixed, corrupt mark)",
+                resume_path.display()
+            )));
+        }
+        if meta.params != format!("{params:?}") {
+            return Err(CmdError(format!(
+                "{}: checkpoint was taken under different scheme parameters \
+                 ({}), this run uses {params:?}",
+                resume_path.display(),
+                meta.params
+            )));
+        }
+        let known: std::collections::HashSet<u64> = stream_order.iter().map(|s| s.0).collect();
+        if ck.num_streams() != known.len() || ck.streams().any(|id| !known.contains(&id.0)) {
+            return Err(CmdError(format!(
+                "{}: checkpoint streams do not match the input's streams",
+                resume_path.display()
+            )));
+        }
+        if consumed as usize > events.len() {
+            return Err(CmdError(format!(
+                "{}: checkpoint is ahead of the input ({} events consumed, input has {})",
+                resume_path.display(),
+                consumed,
+                events.len()
+            )));
+        }
+        let engine = Engine::restore(EngineConfig::with_workers(workers), &ck, |_| {
+            Some(StreamSpec::Embed(Arc::clone(&embed_cfg)))
+        })
+        .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
+        // Drop the rows written after the checkpoint (they replay now).
+        // `set_len` would silently zero-EXTEND a file shorter than the
+        // recorded offset, so a missing/truncated output fails fast.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&output)
+            .map_err(|e| CmdError(format!("{}: {e}", output.display())))?;
+        let have = file.metadata()?.len();
+        if have < out_bytes {
+            return Err(CmdError(format!(
+                "{}: output file is shorter than the checkpoint expects \
+                 ({have} < {out_bytes} bytes) — it is not the file this checkpoint was \
+                 taken against",
+                output.display()
+            )));
+        }
+        file.set_len(out_bytes)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        writeln!(
+            out,
+            "resumed from {} at event {consumed} of {}",
+            resume_path.display(),
+            events.len()
+        )?;
+        (engine, consumed as usize, std::io::BufWriter::new(file))
+    } else {
+        let mut engine = Engine::new(EngineConfig::with_workers(workers));
+        for &id in &stream_order {
+            engine
+                .register(id, StreamSpec::Embed(Arc::clone(&embed_cfg)))
+                .map_err(|e| CmdError(e.to_string()))?;
+        }
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(&output)?);
+        writeln!(writer, "# stream,value")?;
+        (engine, 0usize, writer)
+    };
+
+    let mut batches_done = 0usize;
+    let mut stopped_early = false;
+    for chunk in events[consumed..].chunks(batch) {
         let outs = engine.ingest(chunk).map_err(|e| CmdError(e.to_string()))?;
+        consumed += chunk.len();
         for o in outs {
+            let n = &normalizers[&o.stream.0];
             for s in o.samples {
-                marked.push(Event::new(o.stream, s));
+                writeln!(writer, "{},{}", o.stream, n.denormalize(s.value))?;
             }
         }
+        batches_done += 1;
+        if ck_every > 0 && batches_done.is_multiple_of(ck_every) {
+            let mut meta = ResumeMeta {
+                consumed: consumed as u64,
+                out_bytes: 0, // filled in after the output flush
+                batch: batch as u64,
+                encoder: encoder_name.clone(),
+                wm_bits: wm.bits().to_vec(),
+                params: format!("{params:?}"),
+            };
+            write_engine_checkpoint(
+                ck_path.as_ref().expect("validated above"),
+                &mut engine,
+                &mut meta,
+                &mut writer,
+            )?;
+        }
+        if stop_after > 0 && batches_done >= stop_after {
+            stopped_early = true;
+            break;
+        }
     }
+    if stopped_early {
+        writer.flush()?;
+        write!(
+            out,
+            "stopped after {batches_done} batches at event {consumed} (crash simulation)"
+        )?;
+        match &ck_path {
+            Some(p) if ck_every > 0 => writeln!(out, "; resume with --resume {}", p.display())?,
+            _ => writeln!(out, "; no checkpoint was configured")?,
+        }
+        return Ok(());
+    }
+
     let mut embedded_total = 0u64;
     let mut stats_by_id: HashMap<u64, wms_core::EmbedStats> = HashMap::new();
     let resolved_workers = engine.workers();
-    for outcome in engine.finish() {
+    for outcome in engine.finish().map_err(|e| CmdError(e.to_string()))? {
+        let n = &normalizers[&outcome.stream.0];
         for s in outcome.tail {
-            marked.push(Event::new(outcome.stream, s));
+            writeln!(writer, "{},{}", outcome.stream, n.denormalize(s.value))?;
         }
         let stats = outcome.embed_stats.expect("embed mode");
         embedded_total += stats.embedded;
         stats_by_id.insert(outcome.stream.0, stats);
     }
-
-    // Persist the watermarked flow, denormalized per stream.
-    let denorm: Vec<Event> = marked
-        .iter()
-        .map(|e| {
-            let n = &normalizers[&e.stream.0];
-            Event::new(e.stream, e.sample.with_value(n.denormalize(e.sample.value)))
-        })
-        .collect();
-    csv::write_events(&output, &denorm)?;
+    writer.flush()?;
+    drop(writer);
     writeln!(
         out,
         "engine: {} events over {} streams ({} workers); embedded {} bits; wrote {}",
@@ -558,8 +801,17 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         output.display()
     )?;
 
-    // Verification pass: detect over the watermarked (still-normalized)
-    // flow with the same key, one verdict per stream.
+    // Verification pass: re-read the watermarked flow from the output
+    // file (so fresh and resumed runs verify the exact same bytes),
+    // re-normalize per stream and detect with the same key — one
+    // verdict per stream.
+    let marked: Vec<Event> = csv::read_events(&output)?
+        .iter()
+        .map(|e| {
+            let n = &normalizers[&e.stream.0];
+            Event::new(e.stream, e.sample.with_value(n.normalize(e.sample.value)))
+        })
+        .collect();
     let detect_cfg =
         Arc::new(DetectConfig::new(scheme, Arc::clone(&encoder), wm.len(), 1.0).map_err(CmdError)?);
     let mut verifier = Engine::new(EngineConfig::with_workers(workers));
@@ -573,7 +825,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             .ingest(chunk)
             .map_err(|e| CmdError(e.to_string()))?;
     }
-    for outcome in verifier.finish() {
+    for outcome in verifier.finish().map_err(|e| CmdError(e.to_string()))? {
         let report = outcome.report.expect("detect mode");
         let stats = &stats_by_id[&outcome.stream.0];
         writeln!(
@@ -982,6 +1234,244 @@ mod tests {
         assert_eq!(marked.len(), 3 * 1500);
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&output).ok();
+    }
+
+    /// Shared fixture for the checkpoint tests: three interleaved sine
+    /// streams written as `stream,value` rows.
+    fn write_event_fixture(path: &Path, per_stream: usize) {
+        let mut rows = String::from("# stream,value\n");
+        for i in 0..per_stream {
+            for id in [3u64, 8, 21] {
+                let t = i as f64 + id as f64;
+                let v = (10.0 * id as f64)
+                    + 4.0 * (t * core::f64::consts::TAU / 60.0).sin()
+                    + 0.6 * (t * core::f64::consts::TAU / 17.0).sin();
+                rows.push_str(&format!("{id},{v}\n"));
+            }
+        }
+        std::fs::write(path, rows).unwrap();
+    }
+
+    fn engine_args<'a>(input: &'a str, output: &'a str, extra: &[&'a str]) -> Vec<String> {
+        let mut v: Vec<String> = [
+            "engine",
+            "--input",
+            input,
+            "--output",
+            output,
+            "--key",
+            "4242",
+            "--workers",
+            "2",
+            "--batch",
+            "64",
+            "--window",
+            "256",
+            "--degree",
+            "3",
+            "--min-active",
+            "12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    }
+
+    #[test]
+    fn engine_kill_and_resume_matches_uninterrupted_run() {
+        let input = tmp("ck-events.csv");
+        let full = tmp("ck-full.csv");
+        let resumed = tmp("ck-resumed.csv");
+        let ck = tmp("ck-state.bin");
+        write_event_fixture(&input, 1500);
+        let (input_s, full_s, resumed_s, ck_s) = (
+            input.to_str().unwrap().to_string(),
+            full.to_str().unwrap().to_string(),
+            resumed.to_str().unwrap().to_string(),
+            ck.to_str().unwrap().to_string(),
+        );
+
+        // Reference: one uninterrupted run (checkpointing enabled too —
+        // taking snapshots must not disturb the output).
+        let mut out = Vec::new();
+        let code = run(
+            &Args::parse(engine_args(
+                &input_s,
+                &full_s,
+                &["--checkpoint-every", "3", "--checkpoint", &ck_s],
+            ))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+        // Crash run: checkpoint every 3 batches, die after 10 (so the
+        // last 10 % 3 = 1 batch of output past the checkpoint must be
+        // truncated and replayed on resume).
+        out.clear();
+        let code = run(
+            &Args::parse(engine_args(
+                &input_s,
+                &resumed_s,
+                &[
+                    "--checkpoint-every",
+                    "3",
+                    "--checkpoint",
+                    &ck_s,
+                    "--stop-after",
+                    "10",
+                ],
+            ))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("crash simulation"), "{text}");
+        // The partial output really is shorter than the full one.
+        let partial_len = std::fs::metadata(&resumed).unwrap().len();
+        assert!(partial_len < std::fs::metadata(&full).unwrap().len());
+
+        // Resume from the checkpoint and let it run to completion.
+        out.clear();
+        let code = run(
+            &Args::parse(engine_args(&input_s, &resumed_s, &["--resume", &ck_s])).unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("resumed from"), "{text}");
+        assert!(text.contains("WATERMARK PRESENT"), "{text}");
+
+        // The acceptance bar: the resumed output is byte-identical to
+        // the uninterrupted run's.
+        let a = std::fs::read(&full).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert_eq!(a, b, "resumed output differs from uninterrupted run");
+
+        for p in [&input, &full, &resumed, &ck] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn engine_resume_rejects_wrong_key_checkpoint() {
+        let input = tmp("ckk-events.csv");
+        let output = tmp("ckk-out.csv");
+        let ck = tmp("ckk-state.bin");
+        write_event_fixture(&input, 800);
+        let (input_s, output_s, ck_s) = (
+            input.to_str().unwrap().to_string(),
+            output.to_str().unwrap().to_string(),
+            ck.to_str().unwrap().to_string(),
+        );
+        // θ=64 throughout this test so a multibit --text below passes
+        // watermark-addressability validation and reaches the meta check.
+        let with_theta = |extra: &[&str]| {
+            let mut v = engine_args(&input_s, &output_s, extra);
+            v.extend(["--theta".to_string(), "64".to_string()]);
+            v
+        };
+        let mut out = Vec::new();
+        let code = run(
+            &Args::parse(with_theta(&[
+                "--checkpoint-every",
+                "2",
+                "--checkpoint",
+                &ck_s,
+                "--stop-after",
+                "4",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+        // Same parameters, different --key: the snapshot fingerprint no
+        // longer matches and the resume is refused with a typed message.
+        out.clear();
+        let mut args = with_theta(&["--resume", &ck_s]);
+        let kpos = args.iter().position(|a| a == "--key").unwrap();
+        args[kpos + 1] = "9999".into();
+        let code = run(&Args::parse(args).unwrap(), &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("fingerprint"), "{text}");
+
+        // Different --batch: row grouping would diverge from the
+        // uninterrupted run, so the resume is refused by the meta check.
+        out.clear();
+        let mut args = with_theta(&["--resume", &ck_s]);
+        let bpos = args.iter().position(|a| a == "--batch").unwrap();
+        args[bpos + 1] = "32".into();
+        let code = run(&Args::parse(args).unwrap(), &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--batch 64"), "{text}");
+
+        // Different watermark payload: would embed a mixed, corrupt
+        // mark — the scheme fingerprint cannot see it, the meta can.
+        out.clear();
+        let args = with_theta(&["--resume", &ck_s, "--text", "MALLORY"]);
+        let code = run(&Args::parse(args).unwrap(), &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("different watermark"), "{text}");
+
+        // Different encoder, same everything else.
+        out.clear();
+        let args = with_theta(&["--resume", &ck_s, "--encoder", "initial"]);
+        let code = run(&Args::parse(args).unwrap(), &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("--encoder multihash"), "{text}");
+
+        // Different non-fingerprinted scheme parameter (δ): the full
+        // params identity in the meta refuses it.
+        out.clear();
+        let args = with_theta(&["--resume", &ck_s, "--radius", "0.02"]);
+        let code = run(&Args::parse(args).unwrap(), &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("different scheme parameters"), "{text}");
+
+        // An output file shorter than the checkpoint's offset is not the
+        // file the checkpoint was taken against: fail fast, don't
+        // zero-extend it.
+        out.clear();
+        std::fs::write(&output, "").unwrap();
+        let args = with_theta(&["--resume", &ck_s]);
+        let code = run(&Args::parse(args).unwrap(), &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("shorter than the checkpoint"), "{text}");
+
+        for p in [&input, &output, &ck] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn engine_checkpoint_flag_validation() {
+        let mut out = Vec::new();
+        let code = run(
+            &argv(&[
+                "engine",
+                "--input",
+                "x.csv",
+                "--output",
+                "y.csv",
+                "--key",
+                "1",
+                "--checkpoint-every",
+                "4",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 2);
+        assert!(String::from_utf8_lossy(&out).contains("--checkpoint"));
     }
 
     #[test]

@@ -307,3 +307,85 @@ fn inspect_reports_fluctuation_statistics() {
         .stdout_contains("readings:")
         .stdout_contains("extremes");
 }
+
+/// The kill-and-resume smoke: a run that checkpoints and "crashes"
+/// mid-flight, then resumes, must write a byte-identical output to an
+/// uninterrupted run (the CI "Checkpoint smoke" job drives the same flow
+/// from the shell).
+#[test]
+fn engine_kill_and_resume_smoke() {
+    let dir = Scratch::new("ck");
+    let (flow, full, resumed, ck) = (
+        dir.path("flow.csv"),
+        dir.path("full.csv"),
+        dir.path("resumed.csv"),
+        dir.path("state.ck"),
+    );
+    let mut rows = String::from("# stream,value\n");
+    for i in 0..1200 {
+        for id in [1u64, 2, 5] {
+            let t = i as f64 + id as f64;
+            let v = (10.0 * id as f64)
+                + 4.0 * (t * std::f64::consts::TAU / 60.0).sin()
+                + 0.6 * (t * std::f64::consts::TAU / 17.0).sin();
+            rows.push_str(&format!("{id},{v}\n"));
+        }
+    }
+    std::fs::write(&flow, rows).expect("write flow");
+    let base = |output: &str| {
+        vec![
+            "engine".to_string(),
+            "--input".into(),
+            flow.clone(),
+            "--output".into(),
+            output.to_string(),
+            "--key".into(),
+            "77".into(),
+            "--workers".into(),
+            "2".into(),
+            "--batch".into(),
+            "128".into(),
+            "--window".into(),
+            "256".into(),
+            "--degree".into(),
+            "3".into(),
+            "--min-active".into(),
+            "12".into(),
+        ]
+    };
+    // Uninterrupted reference.
+    let mut argv = base(&full);
+    wms(&argv.iter().map(String::as_str).collect::<Vec<_>>())
+        .success()
+        .stdout_contains("WATERMARK PRESENT");
+
+    // Crash after 7 batches (checkpoint every 2 → one unreplayed batch).
+    argv = base(&resumed);
+    argv.extend(
+        [
+            "--checkpoint-every",
+            "2",
+            "--checkpoint",
+            &ck,
+            "--stop-after",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    wms(&argv.iter().map(String::as_str).collect::<Vec<_>>())
+        .success()
+        .stdout_contains("crash simulation");
+
+    // Resume to completion.
+    argv = base(&resumed);
+    argv.extend(["--resume", &ck].iter().map(|s| s.to_string()));
+    wms(&argv.iter().map(String::as_str).collect::<Vec<_>>())
+        .success()
+        .stdout_contains("resumed from")
+        .stdout_contains("WATERMARK PRESENT");
+
+    let a = std::fs::read(&full).expect("full output");
+    let b = std::fs::read(&resumed).expect("resumed output");
+    assert_eq!(a, b, "resumed output differs from the uninterrupted run");
+}

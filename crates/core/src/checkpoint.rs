@@ -1,0 +1,319 @@
+//! Versioned binary checkpoint encoding.
+//!
+//! The workspace is offline (no serde), so durable session snapshots use
+//! a small hand-rolled binary format: little-endian fixed-width integers,
+//! `f64`s stored as raw IEEE-754 bits (bit-exact round-trips are a
+//! correctness requirement — a restored session must replay *identically*
+//! to one that never stopped), and length-prefixed byte strings.
+//!
+//! Every snapshot opens with a 4-byte magic, a `u16` format version and
+//! the owning [`Scheme::memo_fingerprint`](crate::Scheme::memo_fingerprint),
+//! so a restore against the wrong key/τ/γ/α is rejected with a typed
+//! error instead of silently desynchronizing the watermark.
+//!
+//! The encoders here are deliberately dumb: no varints, no compression.
+//! Checkpoints are dominated by the resident sliding window (a few
+//! thousand samples), so simplicity and auditability win over bytes.
+
+/// Why a checkpoint could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended before the structure was complete.
+    Truncated,
+    /// Decoding finished but unconsumed bytes remain.
+    TrailingBytes,
+    /// The leading magic did not match the expected structure.
+    BadMagic {
+        /// Magic the decoder expected.
+        expected: [u8; 4],
+        /// Magic actually found.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the snapshot.
+        found: u16,
+        /// Newest version this build can decode.
+        supported: u16,
+    },
+    /// The snapshot is of a different session kind than the config it is
+    /// being restored under (e.g. a detect snapshot into an embed config).
+    WrongKind {
+        /// Kind tag the restoring config expected.
+        expected: u8,
+        /// Kind tag found in the snapshot.
+        found: u8,
+    },
+    /// The snapshot was taken under a different scheme (key/τ/γ/α):
+    /// restoring would silently produce a desynchronized watermark, so it
+    /// is refused.
+    FingerprintMismatch {
+        /// `memo_fingerprint` of the restoring scheme.
+        expected: u64,
+        /// `memo_fingerprint` stamped into the snapshot.
+        found: u64,
+    },
+    /// Structurally decodable but semantically inconsistent state.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::TrailingBytes => write!(f, "checkpoint has trailing bytes"),
+            CheckpointError::BadMagic { expected, found } => write!(
+                f,
+                "bad checkpoint magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build reads <= {supported})"
+            ),
+            CheckpointError::WrongKind { expected, found } => write!(
+                f,
+                "session kind mismatch: snapshot kind {found}, config expects {expected}"
+            ),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "scheme fingerprint mismatch: snapshot was taken under {found:#018x}, \
+                 restoring scheme is {expected:#018x} (different key or τ/γ/α parameters)"
+            ),
+            CheckpointError::Invalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Writer primed with a 4-byte structure magic.
+    pub fn with_magic(magic: [u8; 4]) -> Self {
+        let mut w = ByteWriter::new();
+        w.buf.extend_from_slice(&magic);
+        w
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `u64` length prefix followed by the raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked little-endian decoder over a borrowed byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Reader that first checks a 4-byte structure magic.
+    pub fn with_magic(buf: &'a [u8], magic: [u8; 4]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(buf);
+        let found = r.take(4)?;
+        if found != magic {
+            return Err(CheckpointError::BadMagic {
+                expected: magic,
+                found: [found[0], found[1], found[2], found[3]],
+            });
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` stored as raw bits.
+    pub fn get_f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64` length prefix and that many raw bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let n = self.get_u64()?;
+        let n = usize::try_from(n).map_err(|_| CheckpointError::Truncated)?;
+        self.take(n)
+    }
+
+    /// Reads a `u64` that must fit a `usize` sequence length. Bounds it
+    /// by the bytes actually remaining so a corrupt length cannot drive a
+    /// huge up-front allocation.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, CheckpointError> {
+        let n = self.get_u64()?;
+        let n = usize::try_from(n).map_err(|_| CheckpointError::Truncated)?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.buf.len() - self.pos {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the structure consumed every byte.
+    pub fn finish(self) -> Result<(), CheckpointError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CheckpointError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = ByteWriter::with_magic(*b"TEST");
+        w.put_u8(7);
+        w.put_u16(65_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.1);
+        w.put_f64(f64::NAN);
+        w.put_bytes(b"hello");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::with_magic(&bytes, *b"TEST").unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 65_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan(), "NaN bits survive");
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let w = ByteWriter::with_magic(*b"AAAA");
+        let bytes = w.into_bytes();
+        let e = ByteReader::with_magic(&bytes, *b"BBBB").unwrap_err();
+        assert!(matches!(e, CheckpointError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let mut w = ByteWriter::with_magic(*b"TEST");
+        w.put_u64(42);
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        // Every proper prefix must fail with Truncated, never panic.
+        for cut in 0..bytes.len() {
+            let r = ByteReader::with_magic(&bytes[..cut], *b"TEST");
+            let failed = match r {
+                Err(CheckpointError::Truncated) => true,
+                Err(other) => panic!("unexpected error at cut {cut}: {other:?}"),
+                Ok(mut r) => {
+                    let a = r.get_u64();
+                    let b = r.get_bytes();
+                    a.is_err() || b.is_err()
+                }
+            };
+            assert!(failed, "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.finish().unwrap_err(), CheckpointError::TrailingBytes);
+    }
+
+    #[test]
+    fn corrupt_length_cannot_demand_huge_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd sequence length
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_len(8).unwrap_err(), CheckpointError::Truncated);
+        let mut r2 = ByteReader::new(&bytes);
+        assert_eq!(r2.get_bytes().unwrap_err(), CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = CheckpointError::FingerprintMismatch {
+            expected: 1,
+            found: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("fingerprint"), "{msg}");
+        assert!(msg.contains("key"), "{msg}");
+    }
+}

@@ -130,6 +130,27 @@ impl Labeler {
         self.history.clear();
     }
 
+    /// The remembered msb values, oldest first (checkpoint capture).
+    pub fn history(&self) -> impl Iterator<Item = u64> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Rebuilds a labeler from checkpointed history (oldest first). The
+    /// history must fit the λϱ+1 retention bound, or the state could not
+    /// have come from this labeler shape.
+    pub fn from_state(lambda: usize, stride: usize, history: &[u64]) -> Result<Self, String> {
+        let mut l = Labeler::new(lambda, stride);
+        if history.len() > l.required_history() {
+            return Err(format!(
+                "labeler history of {} exceeds retention bound {}",
+                history.len(),
+                l.required_history()
+            ));
+        }
+        l.history.extend(history);
+        Ok(l)
+    }
+
     /// Number of extremes currently remembered.
     pub fn seen(&self) -> usize {
         self.history.len()

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod codetable;
 pub mod detector;
 pub mod embedder;
@@ -85,6 +86,7 @@ pub mod session;
 pub mod transform_estimate;
 pub mod watermark;
 
+pub use checkpoint::CheckpointError;
 pub use codetable::CodeTable;
 pub use detector::{BitBuckets, DetectionReport, Detector, TransformHint};
 pub use embedder::{EmbedStats, Embedder};

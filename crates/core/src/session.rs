@@ -18,6 +18,7 @@
 //! invalidates when a different scheme drives it — a session can even be
 //! (re)used under another config, it merely re-warms its memos.
 
+use crate::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use crate::detector::{BitBuckets, DetectionReport};
 use crate::encoding::{trim_around, EncoderScratch, SubsetEncoder};
 use crate::extremes;
@@ -30,7 +31,119 @@ use crate::watermark::Watermark;
 use crate::EmbedStats;
 use std::sync::Arc;
 use wms_math::SlidingMoments;
-use wms_stream::{Sample, SlidingWindow};
+use wms_stream::{Sample, SlidingWindow, Span};
+
+/// Session snapshot magic (shared by embed and detect snapshots; the
+/// kind byte after the version distinguishes them).
+const SESSION_MAGIC: [u8; 4] = *b"WMSS";
+/// Newest session snapshot format version this build reads and writes.
+const SESSION_VERSION: u16 = 1;
+/// Kind tag of an [`EmbedSession`] snapshot.
+const KIND_EMBED: u8 = 0;
+/// Kind tag of a [`DetectSession`] snapshot.
+const KIND_DETECT: u8 = 1;
+
+/// Serializes the replay-relevant window state (resident samples plus
+/// lifetime flow counters). Scratch buffers are deliberately *not*
+/// captured anywhere in a snapshot: they are pure memo/working state and
+/// a restored session merely re-warms them, bit-identically.
+fn write_window(w: &mut ByteWriter, win: &SlidingWindow) {
+    w.put_u64(win.capacity() as u64);
+    w.put_u64(win.total_pushed());
+    w.put_u64(win.total_evicted());
+    w.put_u64(win.len() as u64);
+    for s in win.iter() {
+        w.put_u64(s.index);
+        w.put_u64(s.span.start);
+        w.put_u64(s.span.end);
+        w.put_f64(s.value);
+    }
+}
+
+/// Decodes a window snapshot, validating it against the configured
+/// capacity (a snapshot taken under different `WmParams::window` cannot
+/// replay identically, so it is refused).
+fn read_window(
+    r: &mut ByteReader<'_>,
+    expect_capacity: usize,
+) -> Result<SlidingWindow, CheckpointError> {
+    let capacity = r.get_u64()? as usize;
+    if capacity != expect_capacity {
+        return Err(CheckpointError::Invalid(format!(
+            "window capacity {capacity} does not match configured window {expect_capacity}"
+        )));
+    }
+    let pushed = r.get_u64()?;
+    let evicted = r.get_u64()?;
+    let len = r.get_len(32)?;
+    let mut samples = Vec::with_capacity(len);
+    for _ in 0..len {
+        let index = r.get_u64()?;
+        let start = r.get_u64()?;
+        let end = r.get_u64()?;
+        let value = r.get_f64()?;
+        if end <= start {
+            return Err(CheckpointError::Invalid(format!(
+                "sample span [{start},{end}) is empty or inverted"
+            )));
+        }
+        samples.push(Sample::derived(index, value, Span::new(start, end)));
+    }
+    SlidingWindow::from_state(capacity, samples, pushed, evicted).map_err(CheckpointError::Invalid)
+}
+
+/// Serializes the labeler's retained msb history.
+fn write_labeler(w: &mut ByteWriter, labeler: &Labeler) {
+    w.put_u64(labeler.seen() as u64);
+    for msb in labeler.history() {
+        w.put_u64(msb);
+    }
+}
+
+/// Decodes a labeler snapshot under the configured shape.
+fn read_labeler(
+    r: &mut ByteReader<'_>,
+    lambda: usize,
+    stride: usize,
+) -> Result<Labeler, CheckpointError> {
+    let n = r.get_len(8)?;
+    let mut history = Vec::with_capacity(n);
+    for _ in 0..n {
+        history.push(r.get_u64()?);
+    }
+    Labeler::from_state(lambda, stride, &history).map_err(CheckpointError::Invalid)
+}
+
+/// Decodes the shared snapshot header and returns the stamped scheme
+/// fingerprint after verifying magic, version, kind and fingerprint.
+fn read_header(
+    r: &mut ByteReader<'_>,
+    expect_kind: u8,
+    expect_fingerprint: u64,
+) -> Result<(), CheckpointError> {
+    let version = r.get_u16()?;
+    if version != SESSION_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: SESSION_VERSION,
+        });
+    }
+    let kind = r.get_u8()?;
+    if kind != expect_kind {
+        return Err(CheckpointError::WrongKind {
+            expected: expect_kind,
+            found: kind,
+        });
+    }
+    let fingerprint = r.get_u64()?;
+    if fingerprint != expect_fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            expected: expect_fingerprint,
+            found: fingerprint,
+        });
+    }
+    Ok(())
+}
 
 /// Immutable embedding configuration, shareable across streams.
 ///
@@ -261,6 +374,95 @@ impl EmbedSession {
         self.finished
     }
 
+    /// Captures everything needed to resume this session bit-identically
+    /// in the versioned binary snapshot format, stamped with the driving
+    /// scheme's [`Scheme::memo_fingerprint`]. Scratch/memo buffers are
+    /// not captured (they are re-warmed transparently after a restore).
+    pub fn snapshot(&self, cfg: &EmbedConfig) -> Vec<u8> {
+        let mut w = ByteWriter::with_magic(SESSION_MAGIC);
+        w.put_u16(SESSION_VERSION);
+        w.put_u8(KIND_EMBED);
+        w.put_u64(cfg.scheme.memo_fingerprint());
+        write_window(&mut w, &self.window);
+        write_labeler(&mut w, &self.labeler);
+        let (n, sum, sum_sq) = self.moments.raw_state();
+        w.put_u64(n);
+        w.put_f64(sum);
+        w.put_f64(sum_sq);
+        let st = &self.stats;
+        for v in [
+            st.items_in,
+            st.items_out,
+            st.extremes_seen,
+            st.majors_seen,
+            st.warmup_skipped,
+            st.selected,
+            st.embedded,
+            st.skipped_encoding,
+            st.skipped_quality,
+            st.total_iterations,
+            st.subset_size_sum,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u8(self.finished as u8);
+        w.put_u64(self.pending_advance as u64);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a session from a [`snapshot`](Self::snapshot) taken under
+    /// the *same* configuration. A snapshot stamped with a different
+    /// scheme fingerprint (different key or τ/γ/α) is rejected with
+    /// [`CheckpointError::FingerprintMismatch`] — restoring it would not
+    /// fail loudly later, it would silently desynchronize the watermark.
+    /// Feeding the restored session the remaining stream produces output
+    /// bit-identical to a session that never stopped.
+    pub fn restore(cfg: &EmbedConfig, bytes: &[u8]) -> Result<EmbedSession, CheckpointError> {
+        let params = &cfg.scheme.params;
+        let mut r = ByteReader::with_magic(bytes, SESSION_MAGIC)?;
+        read_header(&mut r, KIND_EMBED, cfg.scheme.memo_fingerprint())?;
+        let window = read_window(&mut r, params.window)?;
+        let labeler = read_labeler(&mut r, params.label_len, params.label_stride)?;
+        let n = r.get_u64()?;
+        let sum = r.get_f64()?;
+        let sum_sq = r.get_f64()?;
+        if n != window.len() as u64 {
+            return Err(CheckpointError::Invalid(format!(
+                "moments cover {n} values but the window holds {}",
+                window.len()
+            )));
+        }
+        let moments = SlidingMoments::from_raw_state(n, sum, sum_sq);
+        let mut stat = [0u64; 11];
+        for v in stat.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        let stats = EmbedStats {
+            items_in: stat[0],
+            items_out: stat[1],
+            extremes_seen: stat[2],
+            majors_seen: stat[3],
+            warmup_skipped: stat[4],
+            selected: stat[5],
+            embedded: stat[6],
+            skipped_encoding: stat[7],
+            skipped_quality: stat[8],
+            total_iterations: stat[9],
+            subset_size_sum: stat[10],
+        };
+        let finished = r.get_u8()? != 0;
+        let pending_advance = r.get_u64()? as usize;
+        r.finish()?;
+        let mut sess = EmbedSession::new(params);
+        sess.window = window;
+        sess.labeler = labeler;
+        sess.moments = moments;
+        sess.stats = stats;
+        sess.finished = finished;
+        sess.pending_advance = pending_advance;
+        Ok(sess)
+    }
+
     fn advance_after_batch(&mut self, out: &mut Vec<Sample>) {
         let n = self.pending_advance.max(1);
         let start = out.len();
@@ -470,6 +672,80 @@ impl DetectSession {
     pub fn is_finished(&self) -> bool {
         self.finished
     }
+
+    /// Captures everything needed to resume this session bit-identically;
+    /// the detection mirror of [`EmbedSession::snapshot`].
+    pub fn snapshot(&self, cfg: &DetectConfig) -> Vec<u8> {
+        let mut w = ByteWriter::with_magic(SESSION_MAGIC);
+        w.put_u16(SESSION_VERSION);
+        w.put_u8(KIND_DETECT);
+        w.put_u64(cfg.scheme.memo_fingerprint());
+        write_window(&mut w, &self.window);
+        write_labeler(&mut w, &self.labeler);
+        w.put_u64(self.buckets.len() as u64);
+        for b in &self.buckets {
+            w.put_u64(b.true_count);
+            w.put_u64(b.false_count);
+        }
+        for v in [
+            self.majors_seen,
+            self.warmup_skipped,
+            self.selected,
+            self.verdicts,
+            self.abstained,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u8(self.finished as u8);
+        w.put_u64(self.pending_advance as u64);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a session from a [`snapshot`](Self::snapshot) taken under
+    /// the same configuration; the detection mirror of
+    /// [`EmbedSession::restore`] with the same fingerprint/kind/version
+    /// rejection semantics.
+    pub fn restore(cfg: &DetectConfig, bytes: &[u8]) -> Result<DetectSession, CheckpointError> {
+        let params = &cfg.scheme.params;
+        let mut r = ByteReader::with_magic(bytes, SESSION_MAGIC)?;
+        read_header(&mut r, KIND_DETECT, cfg.scheme.memo_fingerprint())?;
+        let window = read_window(&mut r, params.window)?;
+        let labeler = read_labeler(&mut r, params.label_len, params.label_stride)?;
+        let wm_len = r.get_len(16)?;
+        if wm_len != cfg.wm_len {
+            return Err(CheckpointError::Invalid(format!(
+                "snapshot votes over {wm_len} watermark bits, config expects {}",
+                cfg.wm_len
+            )));
+        }
+        let mut buckets = Vec::with_capacity(wm_len);
+        for _ in 0..wm_len {
+            buckets.push(BitBuckets {
+                true_count: r.get_u64()?,
+                false_count: r.get_u64()?,
+            });
+        }
+        let majors_seen = r.get_u64()?;
+        let warmup_skipped = r.get_u64()?;
+        let selected = r.get_u64()?;
+        let verdicts = r.get_u64()?;
+        let abstained = r.get_u64()?;
+        let finished = r.get_u8()? != 0;
+        let pending_advance = r.get_u64()? as usize;
+        r.finish()?;
+        let mut sess = DetectSession::new(params, cfg.wm_len);
+        sess.window = window;
+        sess.labeler = labeler;
+        sess.buckets = buckets;
+        sess.majors_seen = majors_seen;
+        sess.warmup_skipped = warmup_skipped;
+        sess.selected = selected;
+        sess.verdicts = verdicts;
+        sess.abstained = abstained;
+        sess.finished = finished;
+        sess.pending_advance = pending_advance;
+        Ok(sess)
+    }
 }
 
 #[cfg(test)]
@@ -534,6 +810,148 @@ mod tests {
         let mut out = Vec::new();
         cfg.finish_into(&mut s, &mut out);
         cfg.finish_into(&mut s, &mut out);
+    }
+
+    /// Snapshot/restore at every ~prime offset must be invisible in the
+    /// output: the restored session replays bit-identically.
+    #[test]
+    fn embed_snapshot_restore_is_bit_identical() {
+        let cfg = config();
+        let input = stream(2400);
+        // Uninterrupted reference.
+        let mut reference = cfg.new_session();
+        let mut want = Vec::new();
+        for &s in &input {
+            cfg.push_into(&mut reference, s, &mut want);
+        }
+        cfg.finish_into(&mut reference, &mut want);
+
+        for cut in [1usize, 97, 255, 256, 257, 1031, 2399] {
+            let mut first = cfg.new_session();
+            let mut got = Vec::new();
+            for &s in &input[..cut] {
+                cfg.push_into(&mut first, s, &mut got);
+            }
+            let bytes = first.snapshot(&cfg);
+            drop(first); // the "crash"
+            let mut resumed = EmbedSession::restore(&cfg, &bytes).unwrap();
+            for &s in &input[cut..] {
+                cfg.push_into(&mut resumed, s, &mut got);
+            }
+            cfg.finish_into(&mut resumed, &mut got);
+            assert_eq!(got.len(), want.len(), "cut {cut}: length");
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.value.to_bits(),
+                    b.value.to_bits(),
+                    "cut {cut} sample {i}: {} vs {}",
+                    a.value,
+                    b.value
+                );
+                assert_eq!(a.index, b.index, "cut {cut} sample {i}");
+                assert_eq!(a.span, b.span, "cut {cut} sample {i}");
+            }
+            assert_eq!(resumed.stats(), reference.stats(), "cut {cut}: stats");
+        }
+    }
+
+    #[test]
+    fn detect_snapshot_restore_is_bit_identical() {
+        let cfg = config();
+        let input = stream(3000);
+        let mut sess = cfg.new_session();
+        let mut marked = Vec::new();
+        for &s in &input {
+            cfg.push_into(&mut sess, s, &mut marked);
+        }
+        cfg.finish_into(&mut sess, &mut marked);
+
+        let dcfg =
+            DetectConfig::new(cfg.scheme().clone(), Arc::new(InitialEncoder), 1, 1.0).unwrap();
+        let mut reference = dcfg.new_session();
+        for &s in &marked {
+            dcfg.push(&mut reference, s);
+        }
+        let want = dcfg.finish(&mut reference);
+
+        for cut in [1usize, 300, 1500, 2999] {
+            let mut first = dcfg.new_session();
+            for &s in &marked[..cut] {
+                dcfg.push(&mut first, s);
+            }
+            let bytes = first.snapshot(&dcfg);
+            let mut resumed = DetectSession::restore(&dcfg, &bytes).unwrap();
+            for &s in &marked[cut..] {
+                dcfg.push(&mut resumed, s);
+            }
+            assert_eq!(dcfg.finish(&mut resumed), want, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_scheme_fingerprint() {
+        let cfg = config();
+        let mut sess = cfg.new_session();
+        let mut out = Vec::new();
+        for &s in &stream(500) {
+            cfg.push_into(&mut sess, s, &mut out);
+        }
+        let bytes = sess.snapshot(&cfg);
+
+        // Same parameters, different key: fingerprints differ.
+        let p = cfg.scheme().params;
+        let other_scheme = Scheme::new(p, KeyedHash::md5(Key::from_u64(78))).unwrap();
+        let other = EmbedConfig::new(
+            other_scheme,
+            Arc::new(InitialEncoder),
+            Watermark::single(true),
+        )
+        .unwrap();
+        let err = EmbedSession::restore(&other, &bytes).err().unwrap();
+        assert!(
+            matches!(err, crate::CheckpointError::FingerprintMismatch { expected, found }
+                if expected != found),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_wrong_kind_and_corruption() {
+        let cfg = config();
+        let sess = cfg.new_session();
+        let bytes = sess.snapshot(&cfg);
+
+        // An embed snapshot is not a detect snapshot.
+        let dcfg =
+            DetectConfig::new(cfg.scheme().clone(), Arc::new(InitialEncoder), 1, 1.0).unwrap();
+        assert!(matches!(
+            DetectSession::restore(&dcfg, &bytes).err().unwrap(),
+            crate::CheckpointError::WrongKind { .. }
+        ));
+
+        // Any truncation fails loudly, never panics.
+        for cut in [0usize, 3, 7, bytes.len() - 1] {
+            assert!(
+                EmbedSession::restore(&cfg, &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            EmbedSession::restore(&cfg, &padded).err().unwrap(),
+            crate::CheckpointError::TrailingBytes
+        );
+
+        // A future format version is refused, not misparsed.
+        let mut vnext = bytes;
+        vnext[4] = 0xFF; // version little-endian low byte
+        assert!(matches!(
+            EmbedSession::restore(&cfg, &vnext).err().unwrap(),
+            crate::CheckpointError::UnsupportedVersion { .. }
+        ));
     }
 
     #[test]

@@ -17,7 +17,14 @@
 //! * **Parallel shard executor** — shard-per-worker `std::thread`s (the
 //!   workspace is offline: channels and threads, no async runtime); each
 //!   worker exclusively owns its shard's sessions, so the hot path takes
-//!   no locks.
+//!   no locks. With exactly **one** worker the engine keeps the shard on
+//!   the caller thread and runs every sub-batch inline — no channel
+//!   round-trip, no cross-thread hand-off — which recovers the
+//!   sequential pipeline's throughput for single-shard workloads.
+//! * **Checkpoint/restore** — [`Engine::checkpoint`] captures every
+//!   session's replay state in a versioned binary [`Checkpoint`];
+//!   [`Engine::restore`] rebuilds an engine that continues
+//!   **bit-identically** to one that never stopped.
 //!
 //! ## Ordering and determinism
 //!
@@ -35,6 +42,32 @@
 //! across runs, processes and Rust versions for a given engine key and
 //! shard count.
 //!
+//! ## Checkpoints
+//!
+//! A [`Checkpoint`] is taken at a batch boundary (between `ingest`
+//! calls): the engine barriers over its shards, snapshots every session
+//! in registration order without disturbing it, and hands back a
+//! structure the caller can serialize ([`Checkpoint::to_bytes`]) and
+//! persist. [`Engine::restore`] re-adopts the sessions under
+//! caller-resolved [`StreamSpec`]s; each session snapshot is stamped
+//! with its scheme's
+//! [`memo_fingerprint`](wms_core::Scheme::memo_fingerprint), so a
+//! restore against a different key/τ/γ/α fails with a typed
+//! [`CheckpointError`] instead of silently losing watermark sync. The
+//! worker count is *not* part of the state: a checkpoint taken on 8
+//! workers restores onto 1 (or vice versa) and still replays
+//! bit-identically.
+//!
+//! ## Worker loss
+//!
+//! A panic inside a session (a bug in an encoder, a poisoned stream)
+//! does not cascade: the worker catches it, reports the shard as lost,
+//! and [`Engine::ingest`]/[`Engine::finish`]/[`Engine::checkpoint`]
+//! surface [`EngineError::WorkerLost`] on the caller thread. The engine
+//! is poisoned afterwards — the lost shard's sessions are gone — and
+//! every later call returns the same error; dropping the engine remains
+//! safe and panic-free.
+//!
 //! ## Backpressure
 //!
 //! `ingest` is synchronous: it dispatches one sub-batch per shard and
@@ -48,12 +81,15 @@
 mod worker;
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use wms_core::checkpoint::{ByteReader, ByteWriter};
+pub use wms_core::CheckpointError;
 use wms_core::{DetectConfig, DetectionReport, EmbedConfig, EmbedStats};
 use wms_crypto::{Key, KeyedHash};
 use wms_stream::Sample;
 pub use wms_stream::{Event, StreamId};
-use worker::{Cmd, Reply, WorkerHandle};
+use worker::{Cmd, Reply, Session, Shard, WorkerHandle};
 
 /// How a registered stream processes its samples.
 #[derive(Clone)]
@@ -63,6 +99,15 @@ pub enum StreamSpec {
     /// Detection session; emits nothing until `finish`, which yields its
     /// [`DetectionReport`].
     Detect(Arc<DetectConfig>),
+    /// Test-only fault injection: the session panics while processing
+    /// its `panic_after`-th sample (1-based; `0` behaves as `1`). Exists
+    /// so the worker-loss path has a deterministic regression test; a
+    /// production registry has no reason to construct it.
+    #[doc(hidden)]
+    FaultInject {
+        /// Sample number whose processing panics.
+        panic_after: u64,
+    },
 }
 
 /// Samples one stream emitted while a batch was ingested.
@@ -96,6 +141,19 @@ pub enum EngineError {
     DuplicateStream(StreamId),
     /// An ingested event names an unregistered stream.
     UnknownStream(StreamId),
+    /// A shard worker panicked. Its sessions are lost and the engine is
+    /// poisoned: every further `ingest`/`checkpoint`/`finish` returns
+    /// this error (dropping the engine stays safe).
+    WorkerLost {
+        /// The shard whose worker was lost.
+        shard: usize,
+    },
+    /// [`Engine::restore`] could not resolve a [`StreamSpec`] for a
+    /// stream recorded in the checkpoint.
+    MissingSpec(StreamId),
+    /// A checkpoint could not be decoded or applied (truncation, version
+    /// skew, or a scheme-fingerprint mismatch).
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -103,11 +161,25 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::DuplicateStream(id) => write!(f, "stream {id} already registered"),
             EngineError::UnknownStream(id) => write!(f, "stream {id} is not registered"),
+            EngineError::WorkerLost { shard } => write!(
+                f,
+                "shard {shard} worker lost to a panic; the engine is poisoned"
+            ),
+            EngineError::MissingSpec(id) => {
+                write!(f, "no spec resolved for checkpointed stream {id}")
+            }
+            EngineError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
 
 /// Deterministic keyed `StreamId -> shard` routing.
 ///
@@ -180,20 +252,110 @@ impl EngineConfig {
     }
 }
 
+/// Checkpoint format magic.
+const CK_MAGIC: [u8; 4] = *b"WMSC";
+/// Newest engine checkpoint version this build reads and writes.
+const CK_VERSION: u16 = 1;
+
+/// One stream's entry in a checkpoint: its id, session kind tag, and
+/// versioned session snapshot bytes.
+struct CheckpointStream {
+    id: StreamId,
+    kind: u8,
+    snapshot: Vec<u8>,
+}
+
+/// A consistent engine state captured at a batch boundary.
+///
+/// Contains every registered session's replay state in registration
+/// order, plus a caller-defined `meta` blob (resume bookkeeping such as
+/// an input cursor — the engine carries it verbatim and never reads it).
+/// Serialize with [`to_bytes`](Self::to_bytes), decode with
+/// [`from_bytes`](Self::from_bytes), re-animate with
+/// [`Engine::restore`].
+pub struct Checkpoint {
+    /// Caller-defined resume metadata, carried verbatim.
+    pub meta: Vec<u8>,
+    streams: Vec<CheckpointStream>,
+}
+
+impl Checkpoint {
+    /// Serializes to the versioned binary format (magic `WMSC`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_magic(CK_MAGIC);
+        w.put_u16(CK_VERSION);
+        w.put_bytes(&self.meta);
+        w.put_u64(self.streams.len() as u64);
+        for s in &self.streams {
+            w.put_u64(s.id.0);
+            w.put_u8(s.kind);
+            w.put_bytes(&s.snapshot);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`to_bytes`](Self::to_bytes) image, rejecting
+    /// truncation, trailing garbage and unknown versions.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = ByteReader::with_magic(bytes, CK_MAGIC)?;
+        let version = r.get_u16()?;
+        if version != CK_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: CK_VERSION,
+            });
+        }
+        let meta = r.get_bytes()?.to_vec();
+        let n = r.get_len(17)?;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = StreamId(r.get_u64()?);
+            let kind = r.get_u8()?;
+            let snapshot = r.get_bytes()?.to_vec();
+            streams.push(CheckpointStream { id, kind, snapshot });
+        }
+        r.finish()?;
+        Ok(Checkpoint { meta, streams })
+    }
+
+    /// The checkpointed streams, in their registration order.
+    pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.streams.iter().map(|s| s.id)
+    }
+
+    /// Number of checkpointed streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+/// Where the shards live: inline on the caller thread (single worker) or
+/// behind per-shard worker threads.
+enum Backend {
+    /// `workers == 1`: no thread, no channels — every sub-batch runs on
+    /// the caller thread against the directly-owned shard. This is what
+    /// makes single-shard batches as fast as the sequential pipeline.
+    Inline(Box<Shard>),
+    /// `workers > 1`: one thread per shard.
+    Threads(Vec<WorkerHandle>),
+}
+
 /// The multi-stream engine: session registry + shard executor.
 pub struct Engine {
     router: ShardRouter,
-    workers: Vec<WorkerHandle>,
+    backend: Backend,
     /// `id -> shard`, also the duplicate/unknown-id check.
     shard_of: HashMap<u64, usize>,
     /// Registration order (drives `finish` output ordering).
     order: Vec<StreamId>,
     /// Scratch: per-shard event sub-batches, reused across `ingest`s.
     batches: Vec<Vec<Event>>,
+    /// First shard lost to a panic; poisons every subsequent operation.
+    lost: Option<usize>,
 }
 
 impl Engine {
-    /// Spawns the shard executor.
+    /// Spawns the shard executor (or adopts the single shard inline).
     pub fn new(config: EngineConfig) -> Self {
         let workers = if config.workers > 0 {
             config.workers
@@ -203,19 +365,68 @@ impl Engine {
                 .unwrap_or(1)
         };
         let router = ShardRouter::new(config.shard_key, workers);
-        let handles = (0..workers).map(WorkerHandle::spawn).collect();
+        let backend = if workers == 1 {
+            Backend::Inline(Box::new(Shard::new()))
+        } else {
+            Backend::Threads((0..workers).map(WorkerHandle::spawn).collect())
+        };
         Engine {
             router,
-            workers: handles,
+            backend,
             shard_of: HashMap::new(),
             order: Vec::new(),
             batches: vec![Vec::new(); workers],
+            lost: None,
         }
+    }
+
+    /// Rebuilds an engine from a [`Checkpoint`], resolving each
+    /// checkpointed stream's [`StreamSpec`] through `spec_of` (specs
+    /// hold key material and trait objects, so they cannot live inside
+    /// the checkpoint itself). Streams are re-registered in their
+    /// original registration order; the worker count may differ from the
+    /// checkpointing engine's — shard placement is recomputed and the
+    /// replay stays bit-identical.
+    ///
+    /// Fails with [`EngineError::MissingSpec`] when `spec_of` cannot name
+    /// a stream, and with [`EngineError::Checkpoint`] when a session
+    /// snapshot does not decode under its spec — in particular
+    /// [`CheckpointError::FingerprintMismatch`] when the spec's scheme
+    /// (key/τ/γ/α) differs from the one the snapshot was taken under.
+    pub fn restore(
+        config: EngineConfig,
+        checkpoint: &Checkpoint,
+        mut spec_of: impl FnMut(StreamId) -> Option<StreamSpec>,
+    ) -> Result<Engine, EngineError> {
+        let mut engine = Engine::new(config);
+        for entry in &checkpoint.streams {
+            let spec = spec_of(entry.id).ok_or(EngineError::MissingSpec(entry.id))?;
+            let session = Session::restore(spec, entry.kind, &entry.snapshot)?;
+            let shard = engine.router.shard_of(entry.id);
+            if engine.shard_of.insert(entry.id.0, shard).is_some() {
+                return Err(EngineError::DuplicateStream(entry.id));
+            }
+            engine.order.push(entry.id);
+            match &mut engine.backend {
+                Backend::Inline(s) => s.adopt(entry.id, session),
+                Backend::Threads(ws) => {
+                    let ok = ws[shard]
+                        .request(Cmd::Adopt(entry.id, Box::new(session)))
+                        .is_ok()
+                        && matches!(ws[shard].wait(), Ok(Reply::Registered));
+                    if !ok {
+                        engine.lost = Some(shard);
+                        return Err(EngineError::WorkerLost { shard });
+                    }
+                }
+            }
+        }
+        Ok(engine)
     }
 
     /// Number of worker threads (= shards).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.router.shards()
     }
 
     /// Registered streams, in registration order.
@@ -223,19 +434,39 @@ impl Engine {
         &self.order
     }
 
+    /// `Err(WorkerLost)` once any shard has been lost to a panic.
+    fn ensure_live(&self) -> Result<(), EngineError> {
+        match self.lost {
+            Some(shard) => Err(EngineError::WorkerLost { shard }),
+            None => Ok(()),
+        }
+    }
+
     /// Registers a stream. Fails on duplicate ids; the spec's parameters
     /// were already validated when its config was built.
     pub fn register(&mut self, id: StreamId, spec: StreamSpec) -> Result<(), EngineError> {
+        self.ensure_live()?;
         let shard = self.router.shard_of(id);
         if self.shard_of.insert(id.0, shard).is_some() {
             return Err(EngineError::DuplicateStream(id));
         }
         self.order.push(id);
-        self.workers[shard].request(Cmd::Register(id, spec));
-        let Reply::Registered = self.workers[shard].wait() else {
-            unreachable!("register reply");
-        };
-        Ok(())
+        match &mut self.backend {
+            Backend::Inline(s) => {
+                s.register(id, spec);
+                Ok(())
+            }
+            Backend::Threads(ws) => {
+                let ok = ws[shard].request(Cmd::Register(id, spec)).is_ok()
+                    && matches!(ws[shard].wait(), Ok(Reply::Registered));
+                if ok {
+                    Ok(())
+                } else {
+                    self.lost = Some(shard);
+                    Err(EngineError::WorkerLost { shard })
+                }
+            }
+        }
     }
 
     /// Ingests one interleaved batch.
@@ -246,41 +477,95 @@ impl Engine {
     /// touched by the batch, in first-touch order of `events` — a
     /// deterministic function of the input alone.
     pub fn ingest(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
+        self.ensure_live()?;
+        if let Backend::Inline(shard) = &mut self.backend {
+            // Single shard: no partitioning, no output merge — validate
+            // the ids (run-cached: consecutive events of one stream cost
+            // one lookup) and hand the slice straight to the shard. Its
+            // first-touch order IS the batch's first-touch order.
+            let mut last: Option<u64> = None;
+            for ev in events {
+                if last != Some(ev.stream.0) {
+                    if !self.shard_of.contains_key(&ev.stream.0) {
+                        return Err(EngineError::UnknownStream(ev.stream));
+                    }
+                    last = Some(ev.stream.0);
+                }
+            }
+            // Same containment as a worker thread: a session panic
+            // poisons the shard, not the caller.
+            return match catch_unwind(AssertUnwindSafe(|| shard.ingest_slice(events))) {
+                Ok(outs) => Ok(outs
+                    .into_iter()
+                    .map(|(stream, samples)| Output { stream, samples })
+                    .collect()),
+                Err(_panic) => {
+                    self.lost = Some(0);
+                    Err(EngineError::WorkerLost { shard: 0 })
+                }
+            };
+        }
         // Validate + partition up front so an error dispatches nothing.
         for b in &mut self.batches {
             b.clear();
         }
         let mut touch_order: Vec<StreamId> = Vec::new();
         let mut touched: HashMap<u64, usize> = HashMap::new();
+        let mut last: Option<(u64, usize)> = None;
         for &ev in events {
-            let Some(&shard) = self.shard_of.get(&ev.stream.0) else {
-                return Err(EngineError::UnknownStream(ev.stream));
+            let shard = match last {
+                Some((id, s)) if id == ev.stream.0 => s,
+                _ => {
+                    let Some(&s) = self.shard_of.get(&ev.stream.0) else {
+                        return Err(EngineError::UnknownStream(ev.stream));
+                    };
+                    touched.entry(ev.stream.0).or_insert_with(|| {
+                        touch_order.push(ev.stream);
+                        touch_order.len() - 1
+                    });
+                    last = Some((ev.stream.0, s));
+                    s
+                }
             };
             self.batches[shard].push(ev);
-            touched.entry(ev.stream.0).or_insert_with(|| {
-                touch_order.push(ev.stream);
-                touch_order.len() - 1
-            });
-        }
-        // Dispatch to every shard with work, then barrier on the replies
-        // (worker index order — determinism never leans on timing).
-        let active: Vec<usize> = (0..self.workers.len())
-            .filter(|&w| !self.batches[w].is_empty())
-            .collect();
-        for &w in &active {
-            let batch = std::mem::take(&mut self.batches[w]);
-            self.workers[w].request(Cmd::Ingest(batch));
         }
         let mut per_stream: Vec<Option<Vec<Sample>>> = vec![None; touch_order.len()];
-        for &w in &active {
-            let Reply::Ingested { outs, batch } = self.workers[w].wait() else {
-                unreachable!("ingest reply");
-            };
-            // Reclaim the drained buffer so steady state reuses its
-            // capacity instead of reallocating per ingest.
-            self.batches[w] = batch;
-            for (id, samples) in outs {
-                per_stream[touched[&id.0]] = Some(samples);
+        match &mut self.backend {
+            Backend::Inline(_) => unreachable!("handled above"),
+            Backend::Threads(workers) => {
+                // Dispatch to every shard with work, then barrier on the
+                // replies (worker index order — determinism never leans
+                // on timing). A lost worker does not cut the barrier
+                // short: the remaining shards are still drained so their
+                // state stays consistent with the command stream.
+                let active: Vec<usize> = (0..workers.len())
+                    .filter(|&w| !self.batches[w].is_empty())
+                    .collect();
+                let mut first_lost: Option<usize> = None;
+                for &w in &active {
+                    let batch = std::mem::take(&mut self.batches[w]);
+                    if workers[w].request(Cmd::Ingest(batch)).is_err() {
+                        first_lost.get_or_insert(w);
+                    }
+                }
+                for &w in &active {
+                    match workers[w].wait() {
+                        Ok(Reply::Ingested { outs, batch }) => {
+                            self.batches[w] = batch;
+                            for (id, samples) in outs {
+                                per_stream[touched[&id.0]] = Some(samples);
+                            }
+                        }
+                        Ok(_) => unreachable!("ingest reply"),
+                        Err(()) => {
+                            first_lost.get_or_insert(w);
+                        }
+                    }
+                }
+                if let Some(w) = first_lost {
+                    self.lost = Some(w);
+                    return Err(EngineError::WorkerLost { shard: w });
+                }
             }
         }
         Ok(touch_order
@@ -293,40 +578,146 @@ impl Engine {
             .collect())
     }
 
+    /// Captures a [`Checkpoint`] of every registered session at the
+    /// current batch boundary.
+    ///
+    /// This is a read-only barrier: each shard snapshots its sessions in
+    /// registration order without mutating them, so a run that
+    /// checkpoints produces exactly the same outputs as one that does
+    /// not. The returned checkpoint's `meta` is empty; callers stash
+    /// their own resume bookkeeping there before serializing.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
+        self.ensure_live()?;
+        let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.router.shards()];
+        for &id in &self.order {
+            per_shard[self.shard_of[&id.0]].push(id);
+        }
+        let mut by_id: HashMap<u64, (u8, Vec<u8>)> = HashMap::new();
+        match &mut self.backend {
+            Backend::Inline(shard) => {
+                match catch_unwind(AssertUnwindSafe(|| shard.snapshot(&per_shard[0]))) {
+                    Ok(snaps) => {
+                        for (id, kind, bytes) in snaps {
+                            by_id.insert(id.0, (kind, bytes));
+                        }
+                    }
+                    Err(_panic) => {
+                        self.lost = Some(0);
+                        return Err(EngineError::WorkerLost { shard: 0 });
+                    }
+                }
+            }
+            Backend::Threads(workers) => {
+                let mut first_lost: Option<usize> = None;
+                for (w, ids) in per_shard.into_iter().enumerate() {
+                    if workers[w].request(Cmd::Snapshot(ids)).is_err() {
+                        first_lost.get_or_insert(w);
+                    }
+                }
+                for (w, handle) in workers.iter_mut().enumerate() {
+                    match handle.wait() {
+                        Ok(Reply::Snapshots(snaps)) => {
+                            for (id, kind, bytes) in snaps {
+                                by_id.insert(id.0, (kind, bytes));
+                            }
+                        }
+                        Ok(_) => unreachable!("snapshot reply"),
+                        Err(()) => {
+                            first_lost.get_or_insert(w);
+                        }
+                    }
+                }
+                if let Some(w) = first_lost {
+                    self.lost = Some(w);
+                    return Err(EngineError::WorkerLost { shard: w });
+                }
+            }
+        }
+        let streams = self
+            .order
+            .iter()
+            .map(|id| {
+                let (kind, snapshot) = by_id.remove(&id.0).expect("every stream snapshotted");
+                CheckpointStream {
+                    id: *id,
+                    kind,
+                    snapshot,
+                }
+            })
+            .collect();
+        Ok(Checkpoint {
+            meta: Vec::new(),
+            streams,
+        })
+    }
+
     /// Flushes every registered stream and shuts the executor down.
     ///
     /// Embedding streams drain their residual window into
     /// [`StreamOutcome::tail`] and report their [`EmbedStats`];
     /// detection streams produce their [`DetectionReport`]. Outcomes are
     /// in registration order.
-    pub fn finish(mut self) -> Vec<StreamOutcome> {
-        let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.workers.len()];
+    pub fn finish(mut self) -> Result<Vec<StreamOutcome>, EngineError> {
+        self.ensure_live()?;
+        let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.router.shards()];
         for &id in &self.order {
             per_shard[self.shard_of[&id.0]].push(id);
         }
-        for (w, ids) in per_shard.into_iter().enumerate() {
-            self.workers[w].request(Cmd::Finish(ids));
-        }
         let mut by_id: HashMap<u64, StreamOutcome> = HashMap::new();
-        for w in &mut self.workers {
-            let Reply::Finished(outcomes) = w.wait() else {
-                unreachable!("finish reply");
-            };
-            for o in outcomes {
-                by_id.insert(o.stream.0, o);
+        match &mut self.backend {
+            Backend::Inline(shard) => {
+                let ids = std::mem::take(&mut per_shard[0]);
+                match catch_unwind(AssertUnwindSafe(|| shard.finish(ids))) {
+                    Ok(outcomes) => {
+                        for o in outcomes {
+                            by_id.insert(o.stream.0, o);
+                        }
+                    }
+                    Err(_panic) => {
+                        self.lost = Some(0);
+                        return Err(EngineError::WorkerLost { shard: 0 });
+                    }
+                }
+            }
+            Backend::Threads(workers) => {
+                let mut first_lost: Option<usize> = None;
+                for (w, ids) in per_shard.into_iter().enumerate() {
+                    if workers[w].request(Cmd::Finish(ids)).is_err() {
+                        first_lost.get_or_insert(w);
+                    }
+                }
+                for (w, handle) in workers.iter_mut().enumerate() {
+                    match handle.wait() {
+                        Ok(Reply::Finished(outcomes)) => {
+                            for o in outcomes {
+                                by_id.insert(o.stream.0, o);
+                            }
+                        }
+                        Ok(_) => unreachable!("finish reply"),
+                        Err(()) => {
+                            first_lost.get_or_insert(w);
+                        }
+                    }
+                }
+                if let Some(w) = first_lost {
+                    return Err(EngineError::WorkerLost { shard: w });
+                }
             }
         }
-        self.order
+        Ok(self
+            .order
             .iter()
             .map(|id| by_id.remove(&id.0).expect("every stream flushed"))
-            .collect()
+            .collect())
     }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        for w in &mut self.workers {
-            w.shutdown();
+        if let Backend::Threads(workers) = &mut self.backend {
+            for w in workers {
+                w.shutdown();
+            }
         }
     }
 }
@@ -395,28 +786,32 @@ mod tests {
 
     #[test]
     fn duplicate_registration_rejected() {
-        let mut e = Engine::new(EngineConfig::with_workers(2));
-        e.register(StreamId(1), embed_spec()).unwrap();
-        assert_eq!(
-            e.register(StreamId(1), embed_spec()),
-            Err(EngineError::DuplicateStream(StreamId(1)))
-        );
+        for workers in [1usize, 2] {
+            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            e.register(StreamId(1), embed_spec()).unwrap();
+            assert_eq!(
+                e.register(StreamId(1), embed_spec()),
+                Err(EngineError::DuplicateStream(StreamId(1)))
+            );
+        }
     }
 
     #[test]
     fn unknown_stream_rejected_without_side_effects() {
-        let mut e = Engine::new(EngineConfig::with_workers(2));
-        e.register(StreamId(1), embed_spec()).unwrap();
-        let known = Event::new(StreamId(1), Sample::new(0, 0.1));
-        let unknown = Event::new(StreamId(2), Sample::new(0, 0.1));
-        assert_eq!(
-            e.ingest(&[known, unknown]),
-            Err(EngineError::UnknownStream(StreamId(2)))
-        );
-        // The batch was rejected atomically: stream 1 saw nothing, so
-        // its full run through finish drains an empty window.
-        let outcomes = e.finish();
-        assert_eq!(outcomes[0].embed_stats.unwrap().items_in, 0);
+        for workers in [1usize, 2] {
+            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            e.register(StreamId(1), embed_spec()).unwrap();
+            let known = Event::new(StreamId(1), Sample::new(0, 0.1));
+            let unknown = Event::new(StreamId(2), Sample::new(0, 0.1));
+            assert_eq!(
+                e.ingest(&[known, unknown]),
+                Err(EngineError::UnknownStream(StreamId(2)))
+            );
+            // The batch was rejected atomically: stream 1 saw nothing, so
+            // its full run through finish drains an empty window.
+            let outcomes = e.finish().unwrap();
+            assert_eq!(outcomes[0].embed_stats.unwrap().items_in, 0);
+        }
     }
 
     #[test]
@@ -452,7 +847,7 @@ mod tests {
                     emitted.entry(o.stream.0).or_default().extend(o.samples);
                 }
             }
-            for o in e.finish() {
+            for o in e.finish().unwrap() {
                 emitted.entry(o.stream.0).or_default().extend(o.tail);
             }
             for (id, s) in &streams {
@@ -467,11 +862,36 @@ mod tests {
 
     #[test]
     fn finish_outcomes_in_registration_order() {
+        for workers in [1usize, 2] {
+            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            for id in [11u64, 3, 7] {
+                e.register(StreamId(id), embed_spec()).unwrap();
+            }
+            let ids: Vec<u64> = e.finish().unwrap().iter().map(|o| o.stream.0).collect();
+            assert_eq!(ids, vec![11, 3, 7]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_bytes_roundtrip() {
         let mut e = Engine::new(EngineConfig::with_workers(2));
         for id in [11u64, 3, 7] {
             e.register(StreamId(id), embed_spec()).unwrap();
         }
-        let ids: Vec<u64> = e.finish().iter().map(|o| o.stream.0).collect();
-        assert_eq!(ids, vec![11, 3, 7]);
+        let mut ck = e.checkpoint().unwrap();
+        ck.meta = b"cursor=42".to_vec();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.meta, b"cursor=42");
+        assert_eq!(
+            back.streams().collect::<Vec<_>>(),
+            vec![StreamId(11), StreamId(3), StreamId(7)],
+            "registration order preserved"
+        );
+        assert_eq!(back.num_streams(), 3);
+        // Truncations fail loudly.
+        for cut in [0usize, 3, 6, bytes.len() - 1] {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 }

@@ -1,25 +1,55 @@
-//! The shard executor's worker threads.
+//! The shard executor's workers.
 //!
-//! One worker exclusively owns one shard's sessions, so processing takes
-//! no locks: the engine sends a command, the worker mutates its local
-//! `HashMap` of sessions, and replies on its dedicated channel. The
-//! engine enforces the one-outstanding-request discipline (`request`
-//! then `wait`), which doubles as the per-batch barrier.
+//! One [`Shard`] exclusively owns one partition's sessions, so processing
+//! takes no locks. With more than one worker each shard lives on its own
+//! thread: the engine sends a command, the worker mutates its local
+//! session map and replies on its dedicated channel, and the engine's
+//! one-outstanding-request discipline (`request` then `wait`) doubles as
+//! the per-batch barrier. With exactly one worker the engine holds the
+//! shard inline on the caller thread and skips the channel round-trip
+//! entirely (see `Backend::Inline` in `lib.rs`).
+//!
+//! ## Panic containment
+//!
+//! A session panic (a bug, or the test-only
+//! [`StreamSpec::FaultInject`](crate::StreamSpec::FaultInject) hook) must
+//! not cascade: the worker wraps every command in `catch_unwind`, sends
+//! [`Reply::Lost`] and exits, and the engine surfaces
+//! [`EngineError::WorkerLost`](crate::EngineError::WorkerLost) to the
+//! caller instead of panicking on its own thread. The shard's sessions
+//! are considered poisoned after a panic (the panic may have fired midway
+//! through a state mutation) and are dropped with the worker.
 
 use crate::{StreamId, StreamOutcome, StreamSpec};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
+use wms_core::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use wms_core::{DetectSession, EmbedSession};
 use wms_stream::{Event, Sample};
+
+/// Checkpoint kind tag of an embedding session.
+pub(crate) const KIND_EMBED: u8 = 0;
+/// Checkpoint kind tag of a detection session.
+pub(crate) const KIND_DETECT: u8 = 1;
+/// Checkpoint kind tag of the test-only fault-injection session.
+pub(crate) const KIND_FAULT: u8 = 2;
 
 /// Engine → worker commands.
 pub(crate) enum Cmd {
     /// Adopt a new session.
     Register(StreamId, StreamSpec),
+    /// Adopt an already-restored session (engine-side checkpoint
+    /// restore; the reply is `Registered`, like `Register`). Boxed: a
+    /// session is orders of magnitude bigger than the other commands.
+    Adopt(StreamId, Box<Session>),
     /// Process this shard's slice of an ingest batch (stream order
     /// within the slice is the wire order).
     Ingest(Vec<Event>),
+    /// Snapshot the listed sessions (engine sends them in registration
+    /// order) without disturbing them.
+    Snapshot(Vec<StreamId>),
     /// Flush the listed sessions (engine sends them in registration
     /// order) and reply with their outcomes.
     Finish(Vec<StreamId>),
@@ -37,17 +67,27 @@ pub(crate) enum Reply {
         outs: Vec<(StreamId, Vec<Sample>)>,
         batch: Vec<Event>,
     },
+    /// Per requested stream: its kind tag and serialized session state.
+    Snapshots(Vec<(StreamId, u8, Vec<u8>)>),
     Finished(Vec<StreamOutcome>),
+    /// A command panicked. The worker has dropped its (poisoned) shard
+    /// and exited; every later `request`/`wait` on this handle fails.
+    Lost,
 }
 
 /// One live session: its spec (shared config) plus per-stream state.
-enum Session {
+pub(crate) enum Session {
     Embed(StreamSpec, EmbedSession),
     Detect(StreamSpec, DetectSession),
+    /// Test-only: panics while processing sample number `after`.
+    Fault {
+        after: u64,
+        seen: u64,
+    },
 }
 
 impl Session {
-    fn open(spec: StreamSpec) -> Session {
+    pub(crate) fn open(spec: StreamSpec) -> Session {
         match &spec {
             StreamSpec::Embed(cfg) => {
                 let sess = cfg.new_session();
@@ -57,6 +97,10 @@ impl Session {
                 let sess = cfg.new_session();
                 Session::Detect(spec, sess)
             }
+            StreamSpec::FaultInject { panic_after } => Session::Fault {
+                after: (*panic_after).max(1),
+                seen: 0,
+            },
         }
     }
 
@@ -64,7 +108,68 @@ impl Session {
         match self {
             Session::Embed(StreamSpec::Embed(cfg), sess) => cfg.push_into(sess, s, out),
             Session::Detect(StreamSpec::Detect(cfg), sess) => cfg.push(sess, s),
+            Session::Fault { after, seen } => {
+                *seen += 1;
+                if *seen >= *after {
+                    panic!("injected session fault after {after} samples");
+                }
+            }
             _ => unreachable!("spec/session kind mismatch"),
+        }
+    }
+
+    /// Serializes this session (kind tag + versioned snapshot bytes)
+    /// without mutating it.
+    fn snapshot(&self) -> (u8, Vec<u8>) {
+        match self {
+            Session::Embed(StreamSpec::Embed(cfg), sess) => (KIND_EMBED, sess.snapshot(cfg)),
+            Session::Detect(StreamSpec::Detect(cfg), sess) => (KIND_DETECT, sess.snapshot(cfg)),
+            Session::Fault { after, seen } => {
+                let mut w = ByteWriter::new();
+                w.put_u64(*after);
+                w.put_u64(*seen);
+                (KIND_FAULT, w.into_bytes())
+            }
+            _ => unreachable!("spec/session kind mismatch"),
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint entry under the spec the
+    /// caller resolved for this stream. The spec's kind must match the
+    /// entry's kind tag, and the snapshot's scheme fingerprint must match
+    /// the spec's scheme (checked inside the core restore).
+    pub(crate) fn restore(
+        spec: StreamSpec,
+        kind: u8,
+        bytes: &[u8],
+    ) -> Result<Session, CheckpointError> {
+        let expected = match &spec {
+            StreamSpec::Embed(_) => KIND_EMBED,
+            StreamSpec::Detect(_) => KIND_DETECT,
+            StreamSpec::FaultInject { .. } => KIND_FAULT,
+        };
+        if kind != expected {
+            return Err(CheckpointError::WrongKind {
+                expected,
+                found: kind,
+            });
+        }
+        match &spec {
+            StreamSpec::Embed(cfg) => {
+                let sess = EmbedSession::restore(cfg, bytes)?;
+                Ok(Session::Embed(spec.clone(), sess))
+            }
+            StreamSpec::Detect(cfg) => {
+                let sess = DetectSession::restore(cfg, bytes)?;
+                Ok(Session::Detect(spec.clone(), sess))
+            }
+            StreamSpec::FaultInject { .. } => {
+                let mut r = ByteReader::new(bytes);
+                let after = r.get_u64()?;
+                let seen = r.get_u64()?;
+                r.finish()?;
+                Ok(Session::Fault { after, seen })
+            }
         }
     }
 
@@ -86,7 +191,124 @@ impl Session {
                 embed_stats: None,
                 report: Some(cfg.finish(&mut sess)),
             },
+            Session::Fault { .. } => StreamOutcome {
+                stream,
+                tail: Vec::new(),
+                embed_stats: None,
+                report: None,
+            },
             _ => unreachable!("spec/session kind mismatch"),
+        }
+    }
+}
+
+/// One shard's sessions plus the first-touch bookkeeping buffers reused
+/// across ingests. Thread-agnostic: lives on a worker thread behind a
+/// channel, or inline in the engine when there is a single worker.
+pub(crate) struct Shard {
+    sessions: HashMap<u64, Session>,
+    /// first-touch bookkeeping reused across `ingest` calls.
+    touch_order: Vec<StreamId>,
+    slot_of: HashMap<u64, usize>,
+}
+
+impl Shard {
+    pub(crate) fn new() -> Shard {
+        Shard {
+            sessions: HashMap::new(),
+            touch_order: Vec::new(),
+            slot_of: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn register(&mut self, id: StreamId, spec: StreamSpec) {
+        self.sessions.insert(id.0, Session::open(spec));
+    }
+
+    pub(crate) fn adopt(&mut self, id: StreamId, session: Session) {
+        self.sessions.insert(id.0, session);
+    }
+
+    /// Processes one sub-batch. Returns each touched stream's emissions
+    /// in first-touch order of the slice.
+    ///
+    /// Consecutive events of the same stream (the common shape both for
+    /// single-stream flows and chunky interleavings) resolve their
+    /// session and output slot once per run, not once per event — this
+    /// is what lets the inline single-worker backend match, and on
+    /// run-heavy input beat, the no-engine sequential baseline.
+    pub(crate) fn ingest_slice(&mut self, events: &[Event]) -> Vec<(StreamId, Vec<Sample>)> {
+        self.touch_order.clear();
+        self.slot_of.clear();
+        let mut outs: Vec<Vec<Sample>> = Vec::new();
+        let mut i = 0;
+        while i < events.len() {
+            let id = events[i].stream;
+            let slot = *self.slot_of.entry(id.0).or_insert_with(|| {
+                self.touch_order.push(id);
+                outs.push(Vec::new());
+                outs.len() - 1
+            });
+            let session = self
+                .sessions
+                .get_mut(&id.0)
+                .expect("engine validated the id");
+            let out = &mut outs[slot];
+            while i < events.len() && events[i].stream == id {
+                session.push(events[i].sample, out);
+                i += 1;
+            }
+        }
+        self.touch_order.iter().copied().zip(outs).collect()
+    }
+
+    /// Snapshots the listed sessions without disturbing them: the run
+    /// continues bit-identically whether or not a checkpoint was taken.
+    pub(crate) fn snapshot(&self, ids: &[StreamId]) -> Vec<(StreamId, u8, Vec<u8>)> {
+        ids.iter()
+            .map(|id| {
+                let (kind, bytes) = self
+                    .sessions
+                    .get(&id.0)
+                    .expect("engine tracks registrations")
+                    .snapshot();
+                (*id, kind, bytes)
+            })
+            .collect()
+    }
+
+    pub(crate) fn finish(&mut self, ids: Vec<StreamId>) -> Vec<StreamOutcome> {
+        ids.into_iter()
+            .map(|id| {
+                self.sessions
+                    .remove(&id.0)
+                    .expect("engine tracks registrations")
+                    .close(id)
+            })
+            .collect()
+    }
+
+    /// Executes one non-shutdown command.
+    fn handle(&mut self, cmd: Cmd) -> Reply {
+        match cmd {
+            Cmd::Register(id, spec) => {
+                self.register(id, spec);
+                Reply::Registered
+            }
+            Cmd::Adopt(id, session) => {
+                self.adopt(id, *session);
+                Reply::Registered
+            }
+            Cmd::Ingest(events) => {
+                let outs = self.ingest_slice(&events);
+                Reply::Ingested {
+                    outs,
+                    batch: events,
+                }
+            }
+            Cmd::Snapshot(ids) => Reply::Snapshots(self.snapshot(&ids)),
+            Cmd::Finish(ids) => Reply::Finished(self.finish(ids)),
+            Cmd::Shutdown => unreachable!("handled by the run loop"),
         }
     }
 }
@@ -96,6 +318,9 @@ pub(crate) struct WorkerHandle {
     tx: Sender<Cmd>,
     rx: Receiver<Reply>,
     join: Option<JoinHandle<()>>,
+    /// The worker panicked (or its channels closed unexpectedly); every
+    /// further request fails fast instead of blocking or panicking.
+    lost: bool,
 }
 
 impl WorkerHandle {
@@ -111,75 +336,69 @@ impl WorkerHandle {
             tx,
             rx,
             join: Some(join),
+            lost: false,
         }
     }
 
     /// Sends one command (must be followed by `wait` unless Shutdown).
-    pub(crate) fn request(&self, cmd: Cmd) {
-        self.tx.send(cmd).expect("shard worker alive");
+    /// `Err(())` means the worker is gone; the caller maps it to
+    /// [`EngineError::WorkerLost`](crate::EngineError::WorkerLost).
+    pub(crate) fn request(&mut self, cmd: Cmd) -> Result<(), ()> {
+        if self.lost {
+            return Err(());
+        }
+        self.tx.send(cmd).map_err(|_| {
+            self.lost = true;
+        })
     }
 
     /// Blocks for the reply to the last `request`.
-    pub(crate) fn wait(&mut self) -> Reply {
-        self.rx.recv().expect("shard worker alive")
+    pub(crate) fn wait(&mut self) -> Result<Reply, ()> {
+        if self.lost {
+            return Err(());
+        }
+        match self.rx.recv() {
+            Ok(Reply::Lost) | Err(_) => {
+                self.lost = true;
+                Err(())
+            }
+            Ok(reply) => Ok(reply),
+        }
     }
 
-    /// Asks the thread to exit and joins it (idempotent).
+    /// Asks the thread to exit and joins it (idempotent, abort-safe:
+    /// never panics, even when the worker is already gone or this drop
+    /// happens during an unwind on the caller thread).
     pub(crate) fn shutdown(&mut self) {
         if let Some(join) = self.join.take() {
-            // Ignore send failure: the worker already exited (panic).
+            // Ignore send failure: the worker already exited.
             let _ = self.tx.send(Cmd::Shutdown);
             let _ = join.join();
         }
     }
 }
 
-/// Worker loop: owns this shard's sessions until shutdown.
+/// Worker loop: owns this shard's sessions until shutdown or a panic.
 fn run(cmds: Receiver<Cmd>, replies: Sender<Reply>) {
-    let mut sessions: HashMap<u64, Session> = HashMap::new();
-    // first-touch bookkeeping reused across Ingest commands.
-    let mut touch_order: Vec<StreamId> = Vec::new();
-    let mut slot_of: HashMap<u64, usize> = HashMap::new();
+    let mut shard = Shard::new();
     while let Ok(cmd) = cmds.recv() {
-        let reply = match cmd {
-            Cmd::Register(id, spec) => {
-                sessions.insert(id.0, Session::open(spec));
-                Reply::Registered
-            }
-            Cmd::Ingest(mut events) => {
-                touch_order.clear();
-                slot_of.clear();
-                let mut outs: Vec<Vec<Sample>> = Vec::new();
-                for ev in events.drain(..) {
-                    let slot = *slot_of.entry(ev.stream.0).or_insert_with(|| {
-                        touch_order.push(ev.stream);
-                        outs.push(Vec::new());
-                        outs.len() - 1
-                    });
-                    sessions
-                        .get_mut(&ev.stream.0)
-                        .expect("engine validated the id")
-                        .push(ev.sample, &mut outs[slot]);
-                }
-                Reply::Ingested {
-                    outs: touch_order.iter().copied().zip(outs).collect(),
-                    batch: events,
+        if matches!(cmd, Cmd::Shutdown) {
+            break;
+        }
+        match catch_unwind(AssertUnwindSafe(|| shard.handle(cmd))) {
+            Ok(reply) => {
+                if replies.send(reply).is_err() {
+                    break; // engine dropped mid-flight
                 }
             }
-            Cmd::Finish(ids) => Reply::Finished(
-                ids.into_iter()
-                    .map(|id| {
-                        sessions
-                            .remove(&id.0)
-                            .expect("engine tracks registrations")
-                            .close(id)
-                    })
-                    .collect(),
-            ),
-            Cmd::Shutdown => break,
-        };
-        if replies.send(reply).is_err() {
-            break; // engine dropped mid-flight
+            Err(_panic) => {
+                // The shard state may be mid-mutation: report the loss
+                // and exit, dropping the poisoned sessions with us. The
+                // panic payload is discarded (its message already went
+                // through the panic hook).
+                let _ = replies.send(Reply::Lost);
+                break;
+            }
         }
     }
 }

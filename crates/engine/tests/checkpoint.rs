@@ -1,0 +1,449 @@
+//! Checkpoint/restore and worker-loss behavior.
+//!
+//! The contract under test:
+//!
+//! 1. **Kill/restore invisibility** — an engine checkpointed at an
+//!    arbitrary batch boundary, dropped ("killed"), and restored — even
+//!    onto a *different* worker count — produces per-stream outputs and
+//!    final `StreamOutcome`s bit-identical to an engine that ran
+//!    uninterrupted (proven for fixed fixtures and by a proptest over
+//!    random interleavings, batch sizes, worker counts and kill points).
+//! 2. **Fingerprint rejection** — restoring against a scheme with a
+//!    different key (or τ/γ/α) fails with a typed
+//!    `CheckpointError::FingerprintMismatch`, never a silent desync.
+//! 3. **Worker-loss containment** — a panic inside a session surfaces as
+//!    `EngineError::WorkerLost` on the caller thread (for both the
+//!    inline single-worker backend and the threaded one), the engine is
+//!    poisoned but remains safely droppable, and subsequent calls keep
+//!    returning the typed error.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{DetectConfig, EmbedConfig, Scheme, Watermark, WmParams};
+use wms_crypto::{Key, KeyedHash};
+use wms_engine::{
+    Checkpoint, CheckpointError, Engine, EngineConfig, EngineError, Event, StreamId, StreamSpec,
+};
+use wms_stream::{samples_from_values, Sample};
+
+fn params() -> WmParams {
+    WmParams {
+        window: 64,
+        degree: 2,
+        radius: 0.01,
+        max_subset: 4,
+        label_len: 3,
+        label_stride: 1,
+        min_active: Some(4),
+        ..WmParams::default()
+    }
+}
+
+fn scheme(key: u64) -> Scheme {
+    Scheme::new(params(), KeyedHash::md5(Key::from_u64(key))).unwrap()
+}
+
+fn embed_cfg(key: u64) -> Arc<EmbedConfig> {
+    Arc::new(
+        EmbedConfig::new(
+            scheme(key),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+        )
+        .unwrap(),
+    )
+}
+
+fn detect_cfg(key: u64) -> Arc<DetectConfig> {
+    Arc::new(DetectConfig::new(scheme(key), Arc::new(MultiHashEncoder), 1, 1.0).unwrap())
+}
+
+fn wave(n: usize, id: u64) -> Vec<Sample> {
+    let period = 19.0 + (id % 7) as f64 * 4.0;
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 + id as f64;
+            0.3 * (t * core::f64::consts::TAU / period).sin()
+                + 0.05 * (t * core::f64::consts::TAU / 7.0).sin()
+        })
+        .collect();
+    samples_from_values(&values)
+}
+
+/// Splitmix64 — deterministic interleaving choices inside property tests.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Randomly interleaves the streams (per-stream order preserved).
+fn interleave(streams: &[(StreamId, Vec<Sample>)], seed: u64) -> Vec<Event> {
+    let mut rng = seed;
+    let mut cursors = vec![0usize; streams.len()];
+    let total: usize = streams.iter().map(|(_, s)| s.len()).sum();
+    let mut events = Vec::with_capacity(total);
+    while events.len() < total {
+        let live: Vec<usize> = (0..streams.len())
+            .filter(|&i| cursors[i] < streams[i].1.len())
+            .collect();
+        let pick = live[(splitmix(&mut rng) % live.len() as u64) as usize];
+        let (id, samples) = &streams[pick];
+        events.push(Event::new(*id, samples[cursors[pick]]));
+        cursors[pick] += 1;
+    }
+    events
+}
+
+/// Per-stream emissions plus final outcome (tail + stats + report).
+type RunResult = HashMap<u64, (Vec<Sample>, Vec<Sample>, Option<wms_core::EmbedStats>)>;
+
+fn collect_outputs(collected: &mut HashMap<u64, Vec<Sample>>, outs: Vec<wms_engine::Output>) {
+    for o in outs {
+        collected.entry(o.stream.0).or_default().extend(o.samples);
+    }
+}
+
+/// Runs embed + detect streams uninterrupted.
+fn run_uninterrupted(
+    streams: &[(StreamId, StreamSpec)],
+    events: &[Event],
+    workers: usize,
+    batch: usize,
+) -> RunResult {
+    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    for (id, spec) in streams {
+        engine.register(*id, spec.clone()).unwrap();
+    }
+    let mut collected: HashMap<u64, Vec<Sample>> = HashMap::new();
+    for chunk in events.chunks(batch.max(1)) {
+        collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
+    }
+    finishes(engine, collected)
+}
+
+/// Runs to batch `kill_at`, checkpoints, drops the engine ("crash"),
+/// restores onto `workers_after` workers and completes the run.
+fn run_killed_and_restored(
+    streams: &[(StreamId, StreamSpec)],
+    events: &[Event],
+    workers_before: usize,
+    workers_after: usize,
+    batch: usize,
+    kill_at: usize,
+) -> RunResult {
+    let batch = batch.max(1);
+    let mut engine = Engine::new(EngineConfig::with_workers(workers_before));
+    for (id, spec) in streams {
+        engine.register(*id, spec.clone()).unwrap();
+    }
+    let mut collected: HashMap<u64, Vec<Sample>> = HashMap::new();
+    let chunks: Vec<&[Event]> = events.chunks(batch).collect();
+    let kill_at = kill_at.min(chunks.len());
+    for chunk in &chunks[..kill_at] {
+        collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
+    }
+    let ck = engine.checkpoint().unwrap();
+    // Serialize + reparse: the restored engine sees only the bytes a
+    // real process would read back from disk.
+    let bytes = ck.to_bytes();
+    drop(engine); // the "kill"
+    let ck = Checkpoint::from_bytes(&bytes).unwrap();
+    let by_id: HashMap<u64, StreamSpec> = streams
+        .iter()
+        .map(|(id, spec)| (id.0, spec.clone()))
+        .collect();
+    let mut engine = Engine::restore(EngineConfig::with_workers(workers_after), &ck, |id| {
+        by_id.get(&id.0).cloned()
+    })
+    .unwrap();
+    for chunk in &chunks[kill_at..] {
+        collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
+    }
+    finishes(engine, collected)
+}
+
+fn finishes(engine: Engine, mut collected: HashMap<u64, Vec<Sample>>) -> RunResult {
+    let mut result = RunResult::new();
+    for outcome in engine.finish().unwrap() {
+        let emitted = collected.remove(&outcome.stream.0).unwrap_or_default();
+        result.insert(
+            outcome.stream.0,
+            (emitted, outcome.tail, outcome.embed_stats),
+        );
+    }
+    result
+}
+
+fn assert_runs_identical(got: &RunResult, want: &RunResult) {
+    assert_eq!(got.len(), want.len());
+    for (id, (w_emit, w_tail, w_stats)) in want {
+        let (g_emit, g_tail, g_stats) = &got[id];
+        for (which, g, w) in [("emitted", g_emit, w_emit), ("tail", g_tail, w_tail)] {
+            assert_eq!(g.len(), w.len(), "stream {id} {which}: length");
+            for (i, (a, b)) in g.iter().zip(w).enumerate() {
+                assert_eq!(
+                    a.value.to_bits(),
+                    b.value.to_bits(),
+                    "stream {id} {which} sample {i}: {} vs {}",
+                    a.value,
+                    b.value
+                );
+                assert_eq!(a.index, b.index, "stream {id} {which} sample {i}");
+                assert_eq!(a.span, b.span, "stream {id} {which} sample {i}");
+            }
+        }
+        assert_eq!(g_stats, w_stats, "stream {id} stats");
+    }
+}
+
+fn mixed_streams(key: u64) -> Vec<(StreamId, StreamSpec)> {
+    // Embed streams plus one detect stream: the checkpoint covers both
+    // session kinds in one engine.
+    let e = embed_cfg(key);
+    let d = detect_cfg(key);
+    vec![
+        (StreamId(3), StreamSpec::Embed(Arc::clone(&e))),
+        (StreamId(17), StreamSpec::Embed(Arc::clone(&e))),
+        (StreamId(4), StreamSpec::Detect(Arc::clone(&d))),
+        (StreamId(99), StreamSpec::Embed(e)),
+    ]
+}
+
+#[test]
+fn kill_restore_bit_identical_fixed_fixture() {
+    let streams = mixed_streams(42);
+    let data: Vec<(StreamId, Vec<Sample>)> = streams
+        .iter()
+        .map(|(id, _)| (*id, wave(700, id.0)))
+        .collect();
+    let events = interleave(&data, 0xA5A5);
+    for (workers_before, workers_after) in [(1, 1), (1, 3), (2, 2), (3, 1), (4, 2)] {
+        for batch in [13usize, 256] {
+            let want = run_uninterrupted(&streams, &events, workers_after, batch);
+            let n_batches = events.len().div_ceil(batch);
+            for kill_at in [0, 1, n_batches / 2, n_batches] {
+                let got = run_killed_and_restored(
+                    &streams,
+                    &events,
+                    workers_before,
+                    workers_after,
+                    batch,
+                    kill_at,
+                );
+                assert_runs_identical(&got, &want);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The ISSUE's acceptance proptest: kill/restore at an arbitrary
+    /// batch boundary across worker counts and batch sizes.
+    #[test]
+    fn kill_restore_bit_identical_random(
+        k in 2usize..5,
+        n in 150usize..400,
+        seed in any::<u64>(),
+    ) {
+        let specs = mixed_streams(1234);
+        let streams: Vec<(StreamId, StreamSpec)> =
+            specs.into_iter().take(k).collect();
+        let data: Vec<(StreamId, Vec<Sample>)> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, wave(n + i * 17, id.0)))
+            .collect();
+        let events = interleave(&data, seed);
+        let batch = 1 + (seed % 97) as usize;
+        let workers_before = 1 + (seed % 3) as usize;
+        let workers_after = 1 + ((seed >> 8) % 3) as usize;
+        let n_batches = events.len().div_ceil(batch);
+        let kill_at = (seed >> 16) as usize % (n_batches + 1);
+        let want = run_uninterrupted(&streams, &events, workers_after, batch);
+        let got = run_killed_and_restored(
+            &streams, &events, workers_before, workers_after, batch, kill_at,
+        );
+        assert_runs_identical(&got, &want);
+    }
+}
+
+#[test]
+fn restore_with_mismatched_fingerprint_is_rejected() {
+    let cfg = embed_cfg(42);
+    let mut engine = Engine::new(EngineConfig::with_workers(2));
+    engine
+        .register(StreamId(1), StreamSpec::Embed(Arc::clone(&cfg)))
+        .unwrap();
+    let s = wave(300, 1);
+    let events: Vec<Event> = s.iter().map(|&x| Event::new(StreamId(1), x)).collect();
+    engine.ingest(&events).unwrap();
+    let ck = engine.checkpoint().unwrap();
+
+    // Same parameters, different key: typed rejection, not silent desync.
+    let wrong = embed_cfg(43);
+    let err = Engine::restore(EngineConfig::with_workers(2), &ck, |_| {
+        Some(StreamSpec::Embed(Arc::clone(&wrong)))
+    })
+    .err()
+    .unwrap();
+    assert!(
+        matches!(
+            err,
+            EngineError::Checkpoint(CheckpointError::FingerprintMismatch { expected, found })
+                if expected != found
+        ),
+        "{err:?}"
+    );
+
+    // A detect spec for an embed snapshot: kind mismatch.
+    let err = Engine::restore(EngineConfig::with_workers(1), &ck, |_| {
+        Some(StreamSpec::Detect(detect_cfg(42)))
+    })
+    .err()
+    .unwrap();
+    assert!(
+        matches!(
+            err,
+            EngineError::Checkpoint(CheckpointError::WrongKind { .. })
+        ),
+        "{err:?}"
+    );
+
+    // No spec at all: typed MissingSpec.
+    let err = Engine::restore(EngineConfig::with_workers(1), &ck, |_| None)
+        .err()
+        .unwrap();
+    assert_eq!(err, EngineError::MissingSpec(StreamId(1)));
+}
+
+/// The worker-panic regression test: a panicking session yields
+/// `EngineError::WorkerLost`, not a caller-thread panic, and dropping
+/// the engine afterwards does not abort. Covers the inline (1 worker)
+/// and threaded (2+) backends.
+#[test]
+fn worker_panic_surfaces_as_worker_lost() {
+    for workers in [1usize, 2, 4] {
+        let mut engine = Engine::new(EngineConfig::with_workers(workers));
+        engine
+            .register(StreamId(1), StreamSpec::Embed(embed_cfg(7)))
+            .unwrap();
+        engine
+            .register(StreamId(2), StreamSpec::FaultInject { panic_after: 5 })
+            .unwrap();
+        let healthy: Vec<Event> = wave(20, 1)
+            .iter()
+            .map(|&s| Event::new(StreamId(1), s))
+            .collect();
+        let poison: Vec<Event> = wave(20, 2)
+            .iter()
+            .map(|&s| Event::new(StreamId(2), s))
+            .collect();
+        // Healthy traffic first: fine.
+        engine.ingest(&healthy[..4]).unwrap();
+        // The faulty stream blows up inside its shard.
+        let err = engine.ingest(&poison).err().unwrap();
+        let EngineError::WorkerLost { shard } = err else {
+            panic!("expected WorkerLost, got {err:?}");
+        };
+        assert!(shard < workers, "shard index in range ({shard})");
+        // The engine is poisoned: every subsequent operation reports the
+        // loss instead of hanging or panicking.
+        assert_eq!(
+            engine.ingest(&healthy[4..8]).err().unwrap(),
+            EngineError::WorkerLost { shard }
+        );
+        assert!(matches!(
+            engine.checkpoint().err().unwrap(),
+            EngineError::WorkerLost { .. }
+        ));
+        assert!(matches!(
+            engine
+                .register(StreamId(3), StreamSpec::Embed(embed_cfg(7)))
+                .err()
+                .unwrap(),
+            EngineError::WorkerLost { .. }
+        ));
+        // Dropping (or finishing) the poisoned engine must not panic or
+        // abort — this line IS the regression test for the old
+        // `expect("shard worker alive")` double-panic in Drop.
+        let err = engine.finish().err().unwrap();
+        assert_eq!(err, EngineError::WorkerLost { shard });
+    }
+}
+
+#[test]
+fn checkpoint_taken_mid_run_does_not_disturb_the_run() {
+    // A run that checkpoints every batch produces the same bytes as one
+    // that never checkpoints: snapshotting is read-only.
+    let streams = mixed_streams(5);
+    let data: Vec<(StreamId, Vec<Sample>)> = streams
+        .iter()
+        .map(|(id, _)| (*id, wave(500, id.0)))
+        .collect();
+    let events = interleave(&data, 77);
+    let want = run_uninterrupted(&streams, &events, 2, 64);
+
+    let mut engine = Engine::new(EngineConfig::with_workers(2));
+    for (id, spec) in &streams {
+        engine.register(*id, spec.clone()).unwrap();
+    }
+    let mut collected: HashMap<u64, Vec<Sample>> = HashMap::new();
+    for chunk in events.chunks(64) {
+        collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
+        let _ = engine.checkpoint().unwrap();
+    }
+    let got = finishes(engine, collected);
+    assert_runs_identical(&got, &want);
+}
+
+#[test]
+fn detect_reports_survive_kill_restore() {
+    // End-to-end: embed a mark, detect through a killed/restored engine,
+    // and require the report (the court evidence) to match exactly.
+    let (marked, stats) = wms_core::Embedder::embed_stream(
+        scheme(9),
+        Arc::new(MultiHashEncoder),
+        Watermark::single(true),
+        &wave(1500, 8),
+    )
+    .unwrap();
+    assert!(stats.embedded > 0);
+    let events: Vec<Event> = marked.iter().map(|&s| Event::new(StreamId(8), s)).collect();
+    let d = detect_cfg(9);
+
+    let reference = {
+        let mut e = Engine::new(EngineConfig::with_workers(1));
+        e.register(StreamId(8), StreamSpec::Detect(Arc::clone(&d)))
+            .unwrap();
+        for chunk in events.chunks(128) {
+            e.ingest(chunk).unwrap();
+        }
+        e.finish().unwrap().remove(0).report.unwrap()
+    };
+    assert!(reference.bias() > 0, "fixture must find the mark");
+
+    let mut e = Engine::new(EngineConfig::with_workers(2));
+    e.register(StreamId(8), StreamSpec::Detect(Arc::clone(&d)))
+        .unwrap();
+    let chunks: Vec<&[Event]> = events.chunks(128).collect();
+    for chunk in &chunks[..5] {
+        e.ingest(chunk).unwrap();
+    }
+    let bytes = e.checkpoint().unwrap().to_bytes();
+    drop(e);
+    let ck = Checkpoint::from_bytes(&bytes).unwrap();
+    let mut e = Engine::restore(EngineConfig::with_workers(1), &ck, |_| {
+        Some(StreamSpec::Detect(Arc::clone(&d)))
+    })
+    .unwrap();
+    for chunk in &chunks[5..] {
+        e.ingest(chunk).unwrap();
+    }
+    let report = e.finish().unwrap().remove(0).report.unwrap();
+    assert_eq!(report, reference);
+}

@@ -110,7 +110,7 @@ fn engine_embed(
         }
     }
     let mut result = HashMap::new();
-    for outcome in engine.finish() {
+    for outcome in engine.finish().unwrap() {
         let mut samples = collected.remove(&outcome.stream.0).unwrap_or_default();
         samples.extend(outcome.tail);
         result.insert(outcome.stream.0, (samples, outcome.embed_stats.unwrap()));
@@ -197,7 +197,7 @@ fn detect_equivalence_and_marks_found() {
             assert!(out.samples.is_empty(), "detect streams emit nothing");
         }
     }
-    for outcome in engine.finish() {
+    for outcome in engine.finish().unwrap() {
         let (_, samples) = marked.iter().find(|(id, _)| *id == outcome.stream).unwrap();
         let want = Detector::detect_stream(
             scheme(7),
@@ -274,7 +274,7 @@ proptest! {
         for chunk in events.chunks(batch) {
             engine.ingest(chunk).unwrap();
         }
-        for outcome in engine.finish() {
+        for outcome in engine.finish().unwrap() {
             let (_, samples) = streams
                 .iter()
                 .find(|(id, _)| *id == outcome.stream)

@@ -160,6 +160,19 @@ impl SlidingMoments {
         self.n
     }
 
+    /// Raw accumulator state `(n, Σx, Σx²)` — the exact floating-point
+    /// sums, for checkpointing. A moments value rebuilt with
+    /// [`from_raw_state`](Self::from_raw_state) from these parts behaves
+    /// bit-identically to the original under every further operation.
+    pub fn raw_state(&self) -> (u64, f64, f64) {
+        (self.n, self.sum, self.sum_sq)
+    }
+
+    /// Rebuilds an accumulator from [`raw_state`](Self::raw_state) parts.
+    pub fn from_raw_state(n: u64, sum: f64, sum_sq: f64) -> Self {
+        SlidingMoments { n, sum, sum_sq }
+    }
+
     /// Window mean; 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.n == 0 {

@@ -237,4 +237,114 @@ mod tests {
         let e = read_values(Path::new("/definitely/not/here.csv")).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::NotFound);
     }
+
+    /// Every malformed-row shape of the events format is rejected with
+    /// `InvalidData`, the offending line number and a field-specific
+    /// message — the error a user sees must say *what* is wrong *where*.
+    #[test]
+    fn events_malformed_rows_name_line_and_field() {
+        let path = tmp("events-malformed");
+        let cases: &[(&str, u32, &str)] = &[
+            // (file contents, expected 1-based line, message fragment)
+            ("1,0.5\nx7,0.5\n", 2, "bad stream id"),
+            ("1,0.5\n-3,0.5\n", 2, "bad stream id"),
+            ("1,0.5\n2,\n", 2, "bad value"),
+            ("1,0.5\n2,zero\n", 2, "bad value"),
+            ("7\n", 1, "missing value"),
+            ("1,0.5\n\n# note\n3,nan?\n", 4, "bad value"),
+            ("1,0.5\n2,1.0,extra\n", 2, "bad value"),
+        ];
+        for (contents, line, fragment) in cases {
+            std::fs::write(&path, contents).unwrap();
+            let e = read_events(&path).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{contents:?}");
+            let msg = e.to_string();
+            assert!(
+                msg.contains(&format!("line {line}")),
+                "{contents:?}: wrong line in {msg:?}"
+            );
+            assert!(
+                msg.contains(fragment),
+                "{contents:?}: expected {fragment:?} in {msg:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_malformed_rows_name_line_and_field() {
+        let path = tmp("indexed-malformed");
+        let cases: &[(&str, u32, &str)] = &[
+            ("0,1.0\none,1.0\n", 2, "bad index"),
+            ("0,1.0\n-1,1.0\n", 2, "bad index"),
+            ("0,1.0\n1,one\n", 2, "bad value"),
+            ("0,1.0\n1,\n", 2, "bad value"),
+            ("5\n", 1, "missing value"),
+        ];
+        for (contents, line, fragment) in cases {
+            std::fs::write(&path, contents).unwrap();
+            let e = read_indexed(&path).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{contents:?}");
+            let msg = e.to_string();
+            assert!(
+                msg.contains(&format!("line {line}")),
+                "{contents:?}: wrong line in {msg:?}"
+            );
+            assert!(
+                msg.contains(fragment),
+                "{contents:?}: expected {fragment:?} in {msg:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn events_blank_and_comment_lines_do_not_shift_indices() {
+        let path = tmp("events-gaps");
+        std::fs::write(
+            &path,
+            "# header\n\n3,0.5\n   \n# mid-stream comment\n3,0.75\n  # indented\n7,0.1\n\n",
+        )
+        .unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 3);
+        // Per-stream indices count only real rows, whatever the gaps.
+        assert_eq!(events[0], Event::new(StreamId(3), Sample::new(0, 0.5)));
+        assert_eq!(events[1], Event::new(StreamId(3), Sample::new(1, 0.75)));
+        assert_eq!(events[2], Event::new(StreamId(7), Sample::new(0, 0.1)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_blank_and_comment_lines_skipped() {
+        let path = tmp("indexed-gaps");
+        std::fs::write(&path, "# index,value\n\n4,0.25\n  # note\n9,0.5\n").unwrap();
+        let back = read_indexed(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!((back[0].index, back[0].value), (4, 0.25));
+        assert_eq!((back[1].index, back[1].value), (9, 0.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn events_whitespace_around_fields_tolerated() {
+        let path = tmp("events-ws");
+        std::fs::write(&path, "  3 , 0.5 \n\t7,\t-0.25\n").unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stream, StreamId(3));
+        assert_eq!(events[0].sample.value, 0.5);
+        assert_eq!(events[1].sample.value, -0.25);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_event_file_parses_to_empty_flow() {
+        let path = tmp("events-empty");
+        std::fs::write(&path, "# stream,value\n\n").unwrap();
+        assert!(read_events(&path).unwrap().is_empty());
+        std::fs::write(&path, "").unwrap();
+        assert!(read_events(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
 }

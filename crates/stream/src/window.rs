@@ -34,6 +34,43 @@ impl SlidingWindow {
         }
     }
 
+    /// Rebuilds a window from checkpointed state: the resident samples
+    /// (oldest first) plus the lifetime flow counters. Rejects state that
+    /// violates the window invariants (`len <= capacity`,
+    /// `pushed - evicted = len`), so a corrupt checkpoint cannot produce
+    /// a window that later misbehaves.
+    pub fn from_state(
+        capacity: usize,
+        samples: Vec<Sample>,
+        pushed: u64,
+        evicted: u64,
+    ) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("window capacity must be positive".into());
+        }
+        if samples.len() > capacity {
+            return Err(format!(
+                "window state holds {} samples but capacity is {capacity}",
+                samples.len()
+            ));
+        }
+        if pushed.checked_sub(evicted) != Some(samples.len() as u64) {
+            return Err(format!(
+                "window flow counters inconsistent: pushed {pushed} - evicted {evicted} \
+                 != resident {}",
+                samples.len()
+            ));
+        }
+        let mut buf = VecDeque::with_capacity(capacity);
+        buf.extend(samples);
+        Ok(SlidingWindow {
+            buf,
+            capacity,
+            pushed,
+            evicted,
+        })
+    }
+
     /// Window capacity `$`.
     pub fn capacity(&self) -> usize {
         self.capacity

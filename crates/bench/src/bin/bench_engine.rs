@@ -14,16 +14,27 @@
 //!
 //! The JSON carries `host_cpus`: worker scaling beyond the physical core
 //! count cannot speed anything up, so read `workers=N` rows against it.
+//! The `engine-noop` sweep is the sweep's honest denominator: the same
+//! executor driven with no-op sessions, so a flat embed sweep on a small
+//! host decomposes into executor overhead vs watermark compute instead
+//! of being guessed around.
+//!
+//! The `engine-registry` rows are the bounded-memory capacity proof:
+//! one million registered streams processed under a fixed
+//! 10,240-session residency budget (cold sessions hibernated to a spill
+//! file), with a built-in drift check — the watermarked subset's output
+//! must be byte-identical to an unbudgeted engine's, or the bench
+//! aborts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wms_bench::perf::{self, PerfRecord};
 use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::{EmbedConfig, EmbedSession, Scheme, Watermark, WmParams};
 use wms_crypto::{Key, KeyedHash};
-use wms_engine::{Checkpoint, Engine, EngineConfig, Event, StreamId, StreamSpec};
+use wms_engine::{Checkpoint, Engine, EngineConfig, Event, MemoryBudget, StreamId, StreamSpec};
 use wms_stream::Sample;
 
 const SCHEMA: &str = "wms-bench-engine/v1";
@@ -80,7 +91,7 @@ fn workload(streams: usize) -> Vec<Event> {
 /// One full engine run: spawn, register, ingest in batches, finish.
 /// Returns total samples out (sanity check + black-box anchor).
 fn run_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize, workers: usize) -> usize {
-    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
     for id in 0..streams as u64 {
         engine
             .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
@@ -98,6 +109,57 @@ fn run_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize, workers:
     n
 }
 
+/// [`run_engine`] over no-op sessions: identical routing, batching,
+/// registry and reply traffic, zero per-sample compute. The difference
+/// between this and [`run_engine`] is the watermark; the difference
+/// between this and doing nothing is the executor.
+fn run_engine_noop(events: &[Event], streams: usize, workers: usize) -> usize {
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
+    for id in 0..streams as u64 {
+        engine.register(StreamId(id), StreamSpec::NoOp).unwrap();
+    }
+    let mut n = 0usize;
+    for chunk in events.chunks(BATCH) {
+        n += engine.ingest(chunk).unwrap().len();
+    }
+    n + engine.finish().unwrap().len()
+}
+
+/// The per-sample sine used by [`workload`], exposed for the registry
+/// bench which builds traffic over a sparse id subset.
+fn wave_value(i: usize, id: u64) -> f64 {
+    let t = i as f64 + id as f64;
+    let period = 19.0 + (id % 7) as f64 * 4.0;
+    0.3 * (t * core::f64::consts::TAU / period).sin()
+        + 0.05 * (t * core::f64::consts::TAU / 7.0).sin()
+}
+
+/// Splitmix64 — deterministic cold-stream picks for the registry bench.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One manually-timed run (`iters = 1`) — for workloads like the
+/// million-stream registration that are far too large to loop under the
+/// wall-clock budget but still belong in the trajectory file.
+fn timed_once(bench: &str, variant: &str, items: u64, f: impl FnOnce()) -> PerfRecord {
+    let t0 = Instant::now();
+    f();
+    let ns = t0.elapsed().as_nanos() as f64;
+    PerfRecord {
+        bench: bench.into(),
+        variant: variant.into(),
+        items,
+        iters: 1,
+        ns_per_iter: ns,
+        items_per_sec: items as f64 * 1e9 / ns,
+    }
+}
+
 /// [`run_engine`] with a serialized checkpoint taken every `every`
 /// batches — the throughput cost of durability.
 fn run_engine_checkpointed(
@@ -107,7 +169,7 @@ fn run_engine_checkpointed(
     workers: usize,
     every: usize,
 ) -> usize {
-    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
     for id in 0..streams as u64 {
         engine
             .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
@@ -131,7 +193,7 @@ fn run_engine_checkpointed(
 /// An engine mid-run (half the workload ingested), for measuring the
 /// checkpoint and restore operations in isolation.
 fn warmed_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize) -> Engine {
-    let mut engine = Engine::new(EngineConfig::with_workers(1));
+    let mut engine = Engine::new(EngineConfig::with_workers(1)).unwrap();
     for id in 0..streams as u64 {
         engine
             .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
@@ -218,6 +280,64 @@ fn main() {
         }
     }
 
+    // The same sweep over no-op sessions: pure executor overhead
+    // (routing, batching, channel traffic, registry bookkeeping). The
+    // embed sweep above conflates executor and watermark cost — this is
+    // its denominator.
+    {
+        let streams = 64usize;
+        let events = workload(streams);
+        let items = events.len() as u64;
+        let id = format!("engine-noop/worker-sweep streams={streams}");
+        let mut sweep = vec![1usize, 2, 4, 8, host_cpus];
+        sweep.sort_unstable();
+        sweep.dedup();
+        for workers in sweep {
+            let variant = format!("workers={workers}");
+            records.push(perf::measure(&id, &variant, items, budget, || {
+                black_box(run_engine_noop(black_box(&events), streams, workers));
+            }));
+        }
+    }
+
+    // Hibernation latency: one full evict → spill → read → checksum →
+    // restore → re-adopt cycle, for a real embed session (window 256)
+    // and for a no-op session (pure spill framing). items/sec = cycles
+    // per second; 1e9/items_per_sec = ns per cycle.
+    {
+        let streams = 64usize;
+        let events = workload(streams);
+        let mut engine = warmed_engine(&cfg, &events, streams);
+        let mut idx = (events.len() / streams) as u64;
+        records.push(perf::measure(
+            "engine-hibernate/streams=64 window=256",
+            "evict+readopt cycle",
+            1,
+            budget,
+            || {
+                engine.hibernate(StreamId(0)).unwrap();
+                let ev = Event::new(StreamId(0), Sample::new(idx, wave_value(idx as usize, 0)));
+                idx += 1;
+                black_box(engine.ingest(std::slice::from_ref(&ev)).unwrap());
+            },
+        ));
+        let mut engine = Engine::new(EngineConfig::with_workers(1)).unwrap();
+        engine.register(StreamId(0), StreamSpec::NoOp).unwrap();
+        let mut idx = 0u64;
+        records.push(perf::measure(
+            "engine-hibernate/noop",
+            "evict+readopt cycle",
+            1,
+            budget,
+            || {
+                engine.hibernate(StreamId(0)).unwrap();
+                let ev = Event::new(StreamId(0), Sample::new(idx, 0.0));
+                idx += 1;
+                black_box(engine.ingest(std::slice::from_ref(&ev)).unwrap());
+            },
+        ));
+    }
+
     // Checkpoint/restore overhead at 64 streams on the inline backend.
     {
         let streams = 64usize;
@@ -264,6 +384,153 @@ fn main() {
         ));
     }
 
+    // Bounded-memory capacity proof: one MILLION registered streams
+    // under a fixed 10,240-session residency budget, cold sessions
+    // hibernated to a spill file. A sparse subset of 512 streams carries
+    // real embed sessions; its output is compared byte-for-byte against
+    // an unbudgeted reference engine, and any drift aborts the bench —
+    // the committed row certifies capacity *and* exactness at once.
+    let registry_drift_checked: u64;
+    {
+        const REGISTRY_STREAMS: usize = 1_000_000;
+        const REGISTRY_BUDGET: usize = 10_240;
+        const EMBED_SUBSET: usize = 512;
+        const PER_STREAM: usize = 300;
+        let spill_path = std::env::temp_dir().join(format!(
+            "wms-bench-registry-spill-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&spill_path);
+        eprintln!(
+            "bench_engine: registry run ({REGISTRY_STREAMS} streams, budget {REGISTRY_BUDGET})"
+        );
+        let engine_cfg = EngineConfig::with_workers(1).with_budget(
+            MemoryBudget::resident(REGISTRY_BUDGET).with_spill_file(spill_path.clone()),
+        );
+        let mut engine = Engine::new(engine_cfg).unwrap();
+        // The watermarked subset, spread across the whole id space.
+        let embed_ids: Vec<u64> = (0..EMBED_SUBSET as u64).map(|i| i * 1953 + 7).collect();
+        let embed_set: HashSet<u64> = embed_ids.iter().copied().collect();
+        let bench_id =
+            format!("engine-registry/streams={REGISTRY_STREAMS} budget={REGISTRY_BUDGET}");
+        records.push(timed_once(
+            &bench_id,
+            "register+evict",
+            REGISTRY_STREAMS as u64,
+            || {
+                for id in 0..REGISTRY_STREAMS as u64 {
+                    let spec = if embed_set.contains(&id) {
+                        StreamSpec::Embed(Arc::clone(&cfg))
+                    } else {
+                        StreamSpec::NoOp
+                    };
+                    engine.register(StreamId(id), spec).unwrap();
+                }
+            },
+        ));
+        assert!(
+            engine.resident_streams() <= REGISTRY_BUDGET,
+            "budget violated: {} resident",
+            engine.resident_streams()
+        );
+        assert_eq!(
+            engine.resident_streams() + engine.spilled_streams(),
+            REGISTRY_STREAMS
+        );
+
+        // Traffic: the embed subset round-robin, plus deterministic cold
+        // no-op touches sprinkled in so the LRU keeps churning embed
+        // sessions through the spill during the measurement.
+        let mut rng = 0xB16_5EEDu64;
+        let mut events = Vec::with_capacity(EMBED_SUBSET * PER_STREAM + 4 * PER_STREAM);
+        let mut embed_only = Vec::with_capacity(EMBED_SUBSET * PER_STREAM);
+        for i in 0..PER_STREAM {
+            for &id in &embed_ids {
+                let ev = Event::new(StreamId(id), Sample::new(i as u64, wave_value(i, id)));
+                events.push(ev);
+                embed_only.push(ev);
+            }
+            for _ in 0..4 {
+                let cold = splitmix(&mut rng) % REGISTRY_STREAMS as u64;
+                if !embed_set.contains(&cold) {
+                    events.push(Event::new(StreamId(cold), Sample::new(i as u64, 0.0)));
+                }
+            }
+        }
+        let mut outputs: HashMap<u64, Vec<Sample>> = HashMap::new();
+        records.push(timed_once(
+            &bench_id,
+            "ingest+readopt",
+            events.len() as u64,
+            || {
+                for chunk in events.chunks(BATCH) {
+                    for out in engine.ingest(chunk).unwrap() {
+                        if embed_set.contains(&out.stream.0) {
+                            outputs.entry(out.stream.0).or_default().extend(out.samples);
+                        }
+                    }
+                }
+            },
+        ));
+        let mut outcomes = Vec::new();
+        records.push(timed_once(
+            &bench_id,
+            "finish-drain",
+            REGISTRY_STREAMS as u64,
+            || {
+                outcomes = engine.finish().unwrap();
+            },
+        ));
+        let mut stats = HashMap::new();
+        for o in outcomes {
+            if embed_set.contains(&o.stream.0) {
+                outputs.entry(o.stream.0).or_default().extend(o.tail);
+                stats.insert(o.stream.0, o.embed_stats.expect("embed subset"));
+            }
+        }
+        let _ = std::fs::remove_file(&spill_path);
+
+        // The drift check: an unbudgeted engine over just the embed
+        // subset must produce the same bytes.
+        let mut reference = Engine::new(EngineConfig::with_workers(1)).unwrap();
+        for &id in &embed_ids {
+            reference
+                .register(StreamId(id), StreamSpec::Embed(Arc::clone(&cfg)))
+                .unwrap();
+        }
+        let mut want: HashMap<u64, Vec<Sample>> = HashMap::new();
+        for chunk in embed_only.chunks(BATCH) {
+            for out in reference.ingest(chunk).unwrap() {
+                want.entry(out.stream.0).or_default().extend(out.samples);
+            }
+        }
+        for o in reference.finish().unwrap() {
+            want.entry(o.stream.0).or_default().extend(o.tail);
+            assert_eq!(
+                stats.get(&o.stream.0),
+                Some(&o.embed_stats.expect("embed subset")),
+                "registry drift: stream {} stats diverged under the budget",
+                o.stream
+            );
+        }
+        for (&id, w) in &want {
+            let g = &outputs[&id];
+            assert_eq!(g.len(), w.len(), "registry drift: stream {id} length");
+            for (i, (a, b)) in g.iter().zip(w).enumerate() {
+                assert_eq!(
+                    a.value.to_bits(),
+                    b.value.to_bits(),
+                    "registry drift: stream {id} sample {i}"
+                );
+            }
+        }
+        registry_drift_checked = want.len() as u64;
+        println!(
+            "registry: {REGISTRY_STREAMS} streams under a {REGISTRY_BUDGET}-resident budget; \
+             zero output drift across {registry_drift_checked} watermarked streams"
+        );
+    }
+
     print!("{}", perf::render_perf_table(&records));
     let rate = |bench: &str, variant: &str| {
         records
@@ -294,6 +561,20 @@ fn main() {
             all / one
         );
     }
+    // Overhead headline: what share of an embed run is the executor
+    // itself? (no-op sessions process the same events through the same
+    // machinery with zero watermark compute).
+    if let (Some(noop), Some(embed)) = (
+        rate("engine-noop/worker-sweep streams=64", "workers=1"),
+        rate(sweep, "workers=1"),
+    ) {
+        println!(
+            "executor overhead at 64 streams: no-op runs {:.1}x the embed rate \
+             (executor is ~{:.1}% of the embed run)",
+            noop / embed,
+            100.0 * embed / noop
+        );
+    }
     let json = perf::render_json_meta(
         SCHEMA,
         budget_ms,
@@ -301,6 +582,10 @@ fn main() {
             ("host_cpus", host_cpus as u64),
             ("total_items", TOTAL_ITEMS as u64),
             ("batch", BATCH as u64),
+            ("registry_streams", 1_000_000),
+            ("registry_budget", 10_240),
+            ("registry_drift_streams_checked", registry_drift_checked),
+            ("registry_drift_samples", 0),
         ],
         &records,
     );

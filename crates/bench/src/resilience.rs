@@ -284,7 +284,7 @@ fn embed_engine(c: &Campaign, enc: &Arc<dyn SubsetEncoder>) -> Vec<Event> {
         EmbedConfig::new(scheme_of(c), Arc::clone(enc), Watermark::single(true))
             .expect("embed configuration is valid"),
     );
-    let mut engine = Engine::new(EngineConfig::with_workers(c.workers));
+    let mut engine = Engine::new(EngineConfig::with_workers(c.workers)).unwrap();
     let streams: Vec<(StreamId, Vec<Sample>)> = (0..c.trials as u64)
         .map(|t| (StreamId(t), trial_stream(c.items, c.seed ^ t)))
         .collect();
@@ -352,7 +352,7 @@ fn detect_engine(
         DetectConfig::new(scheme_of(c), Arc::clone(enc), 1, chi)
             .expect("detect configuration is valid"),
     );
-    let mut engine = Engine::new(EngineConfig::with_workers(c.workers));
+    let mut engine = Engine::new(EngineConfig::with_workers(c.workers)).unwrap();
     let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
     for e in attacked {
         if seen.insert(e.stream.0) {

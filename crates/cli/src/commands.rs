@@ -14,7 +14,7 @@ use wms_core::{
     Watermark, WmParams,
 };
 use wms_crypto::{Key, KeyedHash};
-use wms_engine::{Engine, EngineConfig, StreamSpec};
+use wms_engine::{Engine, EngineConfig, MemoryBudget, StreamSpec};
 use wms_sensors::{IrtfConfig, OscillatingTemperature, SmoothGaussianSource, TemperatureConfig};
 use wms_stream::{
     csv, normalize_stream, values_of, Event, Normalizer, Sample, StreamSource, Transform,
@@ -79,14 +79,17 @@ COMMANDS:
                --input F --output F --key K [--workers N] [--batch B]
                [--text OWNER] [--encoder ...] [scheme flags as for embed]
                [--checkpoint-every N --checkpoint F] [--resume F]
-               [--stop-after N]
+               [--stop-after N] [--max-resident N [--spill F]]
                (input/output rows are `stream,value`; each stream is
                 normalized independently and watermarked with the same
                 key and parameters. --checkpoint-every writes a durable
                 engine snapshot to --checkpoint after every N batches;
                 --resume continues a killed run from such a snapshot,
                 bit-identically to a run that never stopped; --stop-after
-                exits after N batches to simulate a crash)
+                exits after N batches to simulate a crash; --max-resident
+                caps materialized sessions, hibernating the
+                least-recently-touched ones to --spill (or an in-memory
+                log) without changing any output byte)
     resilience run an attack x severity x scheme resilience campaign
                (embed -> attack -> detect over a deterministic stream
                 population) and print per-cell verdicts
@@ -577,6 +580,8 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let ck_path = args.get("checkpoint").map(PathBuf::from);
     let resume = args.get("resume").map(PathBuf::from);
     let stop_after: usize = args.get_or("stop-after", 0usize)?;
+    let max_resident: usize = args.get_or("max-resident", 0usize)?;
+    let spill = args.get("spill").map(PathBuf::from);
     let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
     let encoder_name = args.get("encoder").unwrap_or("multihash").to_string();
     let encoder = parse_encoder(args, &scheme)?;
@@ -584,6 +589,18 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     if batch == 0 {
         return Err(CmdError("--batch must be >= 1".into()));
     }
+    if spill.is_some() && max_resident == 0 {
+        return Err(CmdError(
+            "--spill needs --max-resident N (nothing hibernates without a budget)".into(),
+        ));
+    }
+    let engine_cfg = {
+        let mut budget = MemoryBudget::resident(max_resident);
+        if let Some(p) = &spill {
+            budget = budget.with_spill_file(p.clone());
+        }
+        EngineConfig::with_workers(workers).with_budget(budget)
+    };
     // A bare `--resume F` keeps checkpointing to the same file.
     let ck_path = ck_path.or_else(|| resume.clone());
     if ck_every > 0 && ck_path.is_none() {
@@ -688,7 +705,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
                 events.len()
             )));
         }
-        let engine = Engine::restore(EngineConfig::with_workers(workers), &ck, |_| {
+        let engine = Engine::restore(engine_cfg.clone(), &ck, |_| {
             Some(StreamSpec::Embed(Arc::clone(&embed_cfg)))
         })
         .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
@@ -720,7 +737,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         )?;
         (engine, consumed as usize, std::io::BufWriter::new(file))
     } else {
-        let mut engine = Engine::new(EngineConfig::with_workers(workers));
+        let mut engine = Engine::new(engine_cfg.clone()).map_err(|e| CmdError(e.to_string()))?;
         for &id in &stream_order {
             engine
                 .register(id, StreamSpec::Embed(Arc::clone(&embed_cfg)))
@@ -814,7 +831,9 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         .collect();
     let detect_cfg =
         Arc::new(DetectConfig::new(scheme, Arc::clone(&encoder), wm.len(), 1.0).map_err(CmdError)?);
-    let mut verifier = Engine::new(EngineConfig::with_workers(workers));
+    // The embed engine is gone by now (consumed by `finish`), so the
+    // verifier can reuse the same budget — and the same spill file.
+    let mut verifier = Engine::new(engine_cfg).map_err(|e| CmdError(e.to_string()))?;
     for &id in &stream_order {
         verifier
             .register(id, StreamSpec::Detect(Arc::clone(&detect_cfg)))
@@ -1472,6 +1491,142 @@ mod tests {
         );
         assert_eq!(code, 2);
         assert!(String::from_utf8_lossy(&out).contains("--checkpoint"));
+    }
+
+    #[test]
+    fn engine_spill_flag_requires_budget() {
+        let mut out = Vec::new();
+        let code = run(
+            &argv(&[
+                "engine", "--input", "x.csv", "--output", "y.csv", "--key", "1", "--spill", "s.log",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 2);
+        assert!(String::from_utf8_lossy(&out).contains("--max-resident"));
+    }
+
+    #[test]
+    fn engine_budgeted_run_is_byte_identical_to_unbudgeted() {
+        let input = tmp("mr-events.csv");
+        let plain = tmp("mr-plain.csv");
+        let budgeted = tmp("mr-budgeted.csv");
+        let spill = tmp("mr-spill.log");
+        write_event_fixture(&input, 900);
+        let (input_s, plain_s, budgeted_s, spill_s) = (
+            input.to_str().unwrap().to_string(),
+            plain.to_str().unwrap().to_string(),
+            budgeted.to_str().unwrap().to_string(),
+            spill.to_str().unwrap().to_string(),
+        );
+
+        let mut out = Vec::new();
+        let code = run(
+            &Args::parse(engine_args(&input_s, &plain_s, &[])).unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+        // Budget of 1 over 3 streams: nearly every batch evicts and
+        // re-adopts sessions through the spill file. Output must not
+        // move by a byte, and the verification verdicts must hold.
+        out.clear();
+        let code = run(
+            &Args::parse(engine_args(
+                &input_s,
+                &budgeted_s,
+                &["--max-resident", "1", "--spill", &spill_s],
+            ))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("WATERMARK PRESENT"), "{text}");
+
+        let a = std::fs::read(&plain).unwrap();
+        let b = std::fs::read(&budgeted).unwrap();
+        assert_eq!(a, b, "hibernation changed the output bytes");
+
+        for p in [&input, &plain, &budgeted, &spill] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn engine_kill_and_resume_with_spill_matches_uninterrupted_run() {
+        // The checkpoint × hibernation interplay end-to-end: a budgeted
+        // run is killed mid-flight (leaving live sessions in the spill
+        // file) and resumed under the same budget — against a reference
+        // that also hibernates but never stops.
+        let input = tmp("mrck-events.csv");
+        let full = tmp("mrck-full.csv");
+        let resumed = tmp("mrck-resumed.csv");
+        let ck = tmp("mrck-state.bin");
+        let spill = tmp("mrck-spill.log");
+        write_event_fixture(&input, 1200);
+        let (input_s, full_s, resumed_s, ck_s, spill_s) = (
+            input.to_str().unwrap().to_string(),
+            full.to_str().unwrap().to_string(),
+            resumed.to_str().unwrap().to_string(),
+            ck.to_str().unwrap().to_string(),
+            spill.to_str().unwrap().to_string(),
+        );
+        let budget_flags = |extra: &[&str]| {
+            let mut v = vec!["--max-resident", "1", "--spill", spill_s.as_str()];
+            v.extend_from_slice(extra);
+            v.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        };
+
+        let mut out = Vec::new();
+        let flags = budget_flags(&["--checkpoint-every", "3", "--checkpoint", &ck_s]);
+        let flags_ref: Vec<&str> = flags.iter().map(String::as_str).collect();
+        let code = run(
+            &Args::parse(engine_args(&input_s, &full_s, &flags_ref)).unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+
+        out.clear();
+        let flags = budget_flags(&[
+            "--checkpoint-every",
+            "3",
+            "--checkpoint",
+            &ck_s,
+            "--stop-after",
+            "8",
+        ]);
+        let flags_ref: Vec<&str> = flags.iter().map(String::as_str).collect();
+        let code = run(
+            &Args::parse(engine_args(&input_s, &resumed_s, &flags_ref)).unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("crash simulation"), "{text}");
+
+        out.clear();
+        let flags = budget_flags(&["--resume", &ck_s]);
+        let flags_ref: Vec<&str> = flags.iter().map(String::as_str).collect();
+        let code = run(
+            &Args::parse(engine_args(&input_s, &resumed_s, &flags_ref)).unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("resumed from"), "{text}");
+        assert!(text.contains("WATERMARK PRESENT"), "{text}");
+
+        let a = std::fs::read(&full).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert_eq!(
+            a, b,
+            "budgeted resume differs from budgeted uninterrupted run"
+        );
+
+        for p in [&input, &full, &resumed, &ck, &spill] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

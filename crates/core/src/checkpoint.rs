@@ -53,6 +53,16 @@ pub enum CheckpointError {
         /// `memo_fingerprint` stamped into the snapshot.
         found: u64,
     },
+    /// A stored record's integrity checksum does not match its payload:
+    /// the bytes were corrupted at rest (bit rot, a torn write, manual
+    /// editing). Restoring them could silently desynchronize the
+    /// watermark, so they are refused.
+    ChecksumMismatch {
+        /// Checksum recomputed over the payload actually read.
+        expected: u64,
+        /// Checksum stored alongside the record.
+        found: u64,
+    },
     /// Structurally decodable but semantically inconsistent state.
     Invalid(String),
 }
@@ -80,6 +90,11 @@ impl std::fmt::Display for CheckpointError {
                 f,
                 "scheme fingerprint mismatch: snapshot was taken under {found:#018x}, \
                  restoring scheme is {expected:#018x} (different key or τ/γ/α parameters)"
+            ),
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "record checksum mismatch: stored {found:#018x}, payload hashes to \
+                 {expected:#018x} (bytes corrupted at rest)"
             ),
             CheckpointError::Invalid(msg) => write!(f, "invalid checkpoint: {msg}"),
         }

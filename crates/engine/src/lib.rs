@@ -74,14 +74,39 @@
 //! blocks until every worker has drained its share (a barrier per call).
 //! Callers control memory by choosing the batch size; the engine never
 //! buffers more than one in-flight batch per worker.
+//!
+//! ## Bounded memory (hibernation)
+//!
+//! With a [`MemoryBudget`] configured, the engine caps how many sessions
+//! stay resident. Cold sessions — least recently touched first — are
+//! *hibernated*: serialized with the same `WMSS` snapshot encoding
+//! checkpoints use and parked in an append-only, periodically compacted
+//! [`SpillFile`] (in-memory by default, file-backed via
+//! [`SpillTarget::File`]). A touched hibernated stream is transparently
+//! re-adopted (spill read → checksum check → `restore()` → fingerprint
+//! check) before its batch processes, so callers never see the
+//! difference: outputs stay **bit-identical** to an unbudgeted engine,
+//! whatever gets evicted when. This is what turns a registry of a
+//! million streams from "a million resident windows" into "ten thousand
+//! resident windows plus a log" — see `Engine::hibernate`,
+//! [`Engine::resident_streams`] and the registry rows in
+//! `BENCH_engine.json`.
+//!
+//! The budget counts *sessions*, the unit the paper's state model is
+//! priced in (one sliding window + labeler state ≈ a few kB); eviction
+//! is enforced at batch boundaries, so one batch touching more than
+//! `max_resident` distinct streams transiently exceeds the cap and is
+//! trimmed back when the call returns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod spill;
 mod worker;
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use wms_core::checkpoint::{ByteReader, ByteWriter};
 pub use wms_core::CheckpointError;
@@ -90,6 +115,8 @@ use wms_crypto::{Key, KeyedHash};
 use wms_stream::Sample;
 pub use wms_stream::{Event, StreamId};
 use worker::{Cmd, Reply, Session, Shard, WorkerHandle};
+
+pub use spill::{SpillError, SpillFile, SpillStats};
 
 /// How a registered stream processes its samples.
 #[derive(Clone)]
@@ -108,6 +135,12 @@ pub enum StreamSpec {
         /// Sample number whose processing panics.
         panic_after: u64,
     },
+    /// Pass-through session: counts samples, emits nothing, costs almost
+    /// nothing. Exists so benchmarks can measure the engine's own
+    /// overhead (routing, batching, registry, eviction) isolated from
+    /// the watermark windowing cost, and so capacity experiments can
+    /// register millions of streams without paying for real sessions.
+    NoOp,
 }
 
 /// Samples one stream emitted while a batch was ingested.
@@ -152,8 +185,13 @@ pub enum EngineError {
     /// stream recorded in the checkpoint.
     MissingSpec(StreamId),
     /// A checkpoint could not be decoded or applied (truncation, version
-    /// skew, or a scheme-fingerprint mismatch).
+    /// skew, or a scheme-fingerprint mismatch) — or a spilled session's
+    /// record was corrupt when the engine tried to re-adopt it.
     Checkpoint(CheckpointError),
+    /// The spill store failed at the I/O level (disk full, permissions,
+    /// the file vanished). Session state may sit only in the spill, so
+    /// the engine is poisoned once this happens.
+    SpillIo(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -169,6 +207,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "no spec resolved for checkpointed stream {id}")
             }
             EngineError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            EngineError::SpillIo(msg) => {
+                write!(f, "spill store failed ({msg}); the engine is poisoned")
+            }
         }
     }
 }
@@ -178,6 +219,17 @@ impl std::error::Error for EngineError {}
 impl From<CheckpointError> for EngineError {
     fn from(e: CheckpointError) -> Self {
         EngineError::Checkpoint(e)
+    }
+}
+
+impl From<SpillError> for EngineError {
+    fn from(e: SpillError) -> Self {
+        match e {
+            SpillError::Io(msg) => EngineError::SpillIo(msg),
+            // Corruption keeps its typed shape: callers can distinguish
+            // a checksum mismatch from a truncation from version skew.
+            SpillError::Corrupt(c) => EngineError::Checkpoint(c),
+        }
     }
 }
 
@@ -222,6 +274,75 @@ impl ShardRouter {
     }
 }
 
+/// Where hibernated sessions are parked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpillTarget {
+    /// An anonymous in-memory log: bounds *session* memory (windows,
+    /// labelers, scratch) while keeping the cold bytes in RAM. The
+    /// default.
+    Memory,
+    /// An append-only log at this path, created if absent. A
+    /// pre-existing log is reopened — its index is rebuilt and any torn
+    /// tail from a crash is truncated — then cleared: checkpoints are
+    /// self-contained, so records from a previous process are stale by
+    /// definition.
+    File(PathBuf),
+}
+
+/// Session-residency budget: how many sessions may stay materialized,
+/// and where the cold ones go.
+///
+/// `max_resident == 0` (the default) disables eviction entirely — the
+/// engine behaves exactly as before this knob existed, and the ingest
+/// hot path pays nothing for it. With a budget, the engine keeps
+/// per-shard residency accounts and evicts least-recently-touched
+/// sessions down to the budget at every batch boundary (with a small
+/// hysteresis so a registry hovering at the cap doesn't evict one
+/// session per call). Eviction is invisible in the outputs: the
+/// equivalence tests pin byte-identical results against an unbudgeted
+/// engine across worker counts and eviction schedules.
+///
+/// The snapshot cache used for incremental checkpoints is *not* counted
+/// against the budget: it holds serialized bytes, not sessions, and
+/// only populates on engines that actually checkpoint.
+#[derive(Clone, Debug)]
+pub struct MemoryBudget {
+    /// Maximum resident sessions across all shards (`0` = unbounded).
+    pub max_resident: usize,
+    /// Where evicted sessions are parked.
+    pub spill: SpillTarget,
+    /// Garbage fraction of the spill log that triggers compaction
+    /// (`>= 1.0` disables auto-compaction; explicit compaction is still
+    /// available on [`SpillFile`]).
+    pub compact_ratio: f64,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        MemoryBudget {
+            max_resident: 0,
+            spill: SpillTarget::Memory,
+            compact_ratio: 0.5,
+        }
+    }
+}
+
+impl MemoryBudget {
+    /// Budget of `max_resident` sessions spilling to memory.
+    pub fn resident(max_resident: usize) -> Self {
+        MemoryBudget {
+            max_resident,
+            ..MemoryBudget::default()
+        }
+    }
+
+    /// Same budget, spilling to a file at `path`.
+    pub fn with_spill_file(mut self, path: PathBuf) -> Self {
+        self.spill = SpillTarget::File(path);
+        self
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Clone)]
 pub struct EngineConfig {
@@ -231,6 +352,8 @@ pub struct EngineConfig {
     /// shard placement is a load-balancing concern, not a secret, and a
     /// fixed key keeps placement reproducible across deployments.
     pub shard_key: Key,
+    /// Session-residency budget (default: unbounded, no eviction).
+    pub budget: MemoryBudget,
 }
 
 impl Default for EngineConfig {
@@ -238,6 +361,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 0,
             shard_key: Key::from_bytes(&b"wms/engine/default-shard-key"[..]),
+            budget: MemoryBudget::default(),
         }
     }
 }
@@ -249,6 +373,12 @@ impl EngineConfig {
             workers,
             ..EngineConfig::default()
         }
+    }
+
+    /// Same config with a session-residency budget.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -340,23 +470,58 @@ enum Backend {
     Threads(Vec<WorkerHandle>),
 }
 
+/// One registered stream's registry entry. The spec is retained so a
+/// hibernated session can be rebuilt on re-adoption; it is `Arc`-backed,
+/// so the per-stream cost is a pointer, not a scheme.
+struct StreamEntry {
+    shard: usize,
+    spec: StreamSpec,
+    /// Value of the engine clock when this stream was last registered or
+    /// touched by an ingest; the LRU sort key.
+    last_touch: u64,
+    /// Whether the session is materialized in its shard (vs spilled).
+    resident: bool,
+}
+
 /// The multi-stream engine: session registry + shard executor.
 pub struct Engine {
     router: ShardRouter,
     backend: Backend,
-    /// `id -> shard`, also the duplicate/unknown-id check.
-    shard_of: HashMap<u64, usize>,
+    /// Registry: `id -> entry`, also the duplicate/unknown-id check.
+    streams: HashMap<u64, StreamEntry>,
     /// Registration order (drives `finish` output ordering).
     order: Vec<StreamId>,
     /// Scratch: per-shard event sub-batches, reused across `ingest`s.
     batches: Vec<Vec<Event>>,
-    /// First shard lost to a panic; poisons every subsequent operation.
-    lost: Option<usize>,
+    /// First fatal error (worker panic, spill I/O failure); replayed by
+    /// every subsequent operation.
+    poison: Option<EngineError>,
+    /// Resident-session cap (`0` = unbounded).
+    max_resident: usize,
+    /// Hibernated sessions, keyed by stream id.
+    spill: SpillFile,
+    /// `(last_touch, id)` of every resident stream — the LRU order.
+    /// Maintained only when a budget is active, so unbudgeted engines
+    /// pay nothing on the hot path.
+    lru: BTreeSet<(u64, u64)>,
+    /// Monotonic touch clock: one tick per ingest call or registration.
+    clock: u64,
+    resident_count: usize,
+    spilled_count: usize,
+    /// Per-shard residency accounts (diagnostics; the budget itself is
+    /// global, so a hot shard may hold more than its share).
+    resident_per_shard: Vec<usize>,
 }
 
 impl Engine {
-    /// Spawns the shard executor (or adopts the single shard inline).
-    pub fn new(config: EngineConfig) -> Self {
+    /// Spawns the shard executor (or adopts the single shard inline) and
+    /// opens the spill store.
+    ///
+    /// Fails with [`EngineError::SpillIo`] when a file spill target
+    /// cannot be opened, and with [`EngineError::Checkpoint`] when a
+    /// pre-existing spill log is damaged beyond the torn tail a crash
+    /// legitimately leaves.
+    pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
         let workers = if config.workers > 0 {
             config.workers
         } else {
@@ -364,20 +529,39 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
+        let spill = match &config.budget.spill {
+            SpillTarget::Memory => SpillFile::in_memory(config.budget.compact_ratio),
+            SpillTarget::File(path) => {
+                let mut s = SpillFile::open(path, config.budget.compact_ratio)?;
+                // A reopened log's records belong to a previous process;
+                // every live session arrives via register/restore, so
+                // they are stale. (The reopen still mattered: it
+                // truncated any torn tail and proved the log readable.)
+                s.clear()?;
+                s
+            }
+        };
         let router = ShardRouter::new(config.shard_key, workers);
         let backend = if workers == 1 {
             Backend::Inline(Box::new(Shard::new()))
         } else {
             Backend::Threads((0..workers).map(WorkerHandle::spawn).collect())
         };
-        Engine {
+        Ok(Engine {
             router,
             backend,
-            shard_of: HashMap::new(),
+            streams: HashMap::new(),
             order: Vec::new(),
             batches: vec![Vec::new(); workers],
-            lost: None,
-        }
+            poison: None,
+            max_resident: config.budget.max_resident,
+            spill,
+            lru: BTreeSet::new(),
+            clock: 0,
+            resident_count: 0,
+            spilled_count: 0,
+            resident_per_shard: vec![0; workers],
+        })
     }
 
     /// Rebuilds an engine from a [`Checkpoint`], resolving each
@@ -393,33 +577,64 @@ impl Engine {
     /// snapshot does not decode under its spec — in particular
     /// [`CheckpointError::FingerprintMismatch`] when the spec's scheme
     /// (key/τ/γ/α) differs from the one the snapshot was taken under.
+    ///
+    /// With a [`MemoryBudget`], the first `max_resident` streams (in
+    /// checkpoint order) are materialized and validated eagerly; the
+    /// rest are parked in the spill *without* deserializing — resuming a
+    /// million-stream registry must not materialize a million sessions.
+    /// Their validation (kind, fingerprint, checksum) happens when they
+    /// are first touched, so a damaged cold entry surfaces its typed
+    /// error at re-adoption instead of restore.
     pub fn restore(
         config: EngineConfig,
         checkpoint: &Checkpoint,
         mut spec_of: impl FnMut(StreamId) -> Option<StreamSpec>,
     ) -> Result<Engine, EngineError> {
-        let mut engine = Engine::new(config);
+        let mut engine = Engine::new(config)?;
         for entry in &checkpoint.streams {
             let spec = spec_of(entry.id).ok_or(EngineError::MissingSpec(entry.id))?;
-            let session = Session::restore(spec, entry.kind, &entry.snapshot)?;
             let shard = engine.router.shard_of(entry.id);
-            if engine.shard_of.insert(entry.id.0, shard).is_some() {
+            if engine.streams.contains_key(&entry.id.0) {
                 return Err(EngineError::DuplicateStream(entry.id));
             }
-            engine.order.push(entry.id);
-            match &mut engine.backend {
-                Backend::Inline(s) => s.adopt(entry.id, session),
-                Backend::Threads(ws) => {
-                    let ok = ws[shard]
-                        .request(Cmd::Adopt(entry.id, Box::new(session)))
-                        .is_ok()
-                        && matches!(ws[shard].wait(), Ok(Reply::Registered));
-                    if !ok {
-                        engine.lost = Some(shard);
-                        return Err(EngineError::WorkerLost { shard });
+            engine.clock += 1;
+            let park_cold = engine.max_resident > 0 && engine.resident_count >= engine.max_resident;
+            if park_cold {
+                engine
+                    .spill
+                    .append(entry.id.0, entry.kind, &entry.snapshot)?;
+                engine.spilled_count += 1;
+            } else {
+                let session = Session::restore(spec.clone(), entry.kind, &entry.snapshot)?;
+                match &mut engine.backend {
+                    Backend::Inline(s) => s.adopt(entry.id, session),
+                    Backend::Threads(ws) => {
+                        let ok = ws[shard]
+                            .request(Cmd::Adopt(entry.id, Box::new(session)))
+                            .is_ok()
+                            && matches!(ws[shard].wait(), Ok(Reply::Registered));
+                        if !ok {
+                            engine.poison = Some(EngineError::WorkerLost { shard });
+                            return Err(EngineError::WorkerLost { shard });
+                        }
                     }
                 }
+                engine.resident_count += 1;
+                engine.resident_per_shard[shard] += 1;
+                if engine.max_resident > 0 {
+                    engine.lru.insert((engine.clock, entry.id.0));
+                }
             }
+            engine.streams.insert(
+                entry.id.0,
+                StreamEntry {
+                    shard,
+                    spec,
+                    last_touch: engine.clock,
+                    resident: !park_cold,
+                },
+            );
+            engine.order.push(entry.id);
         }
         Ok(engine)
     }
@@ -434,39 +649,267 @@ impl Engine {
         &self.order
     }
 
-    /// `Err(WorkerLost)` once any shard has been lost to a panic.
+    /// Sessions currently materialized in their shards.
+    pub fn resident_streams(&self) -> usize {
+        self.resident_count
+    }
+
+    /// Sessions currently hibernated in the spill store.
+    pub fn spilled_streams(&self) -> usize {
+        self.spilled_count
+    }
+
+    /// Per-shard residency accounts (index = shard). The budget is
+    /// global; this shows how it is distributed.
+    pub fn resident_per_shard(&self) -> &[usize] {
+        &self.resident_per_shard
+    }
+
+    /// Whether `id`'s session is resident (`None`: not registered).
+    pub fn is_resident(&self, id: StreamId) -> Option<bool> {
+        self.streams.get(&id.0).map(|e| e.resident)
+    }
+
+    /// Spill-store occupancy counters.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.spill.stats()
+    }
+
+    /// Replays the first fatal error (worker panic, spill I/O failure).
     fn ensure_live(&self) -> Result<(), EngineError> {
-        match self.lost {
-            Some(shard) => Err(EngineError::WorkerLost { shard }),
+        match &self.poison {
+            Some(e) => Err(e.clone()),
             None => Ok(()),
         }
     }
 
+    fn poison_with(&mut self, e: EngineError) -> EngineError {
+        self.poison = Some(e.clone());
+        e
+    }
+
     /// Registers a stream. Fails on duplicate ids; the spec's parameters
-    /// were already validated when its config was built.
+    /// were already validated when its config was built. Under a memory
+    /// budget, registering past the cap hibernates the
+    /// least-recently-touched sessions to make room.
     pub fn register(&mut self, id: StreamId, spec: StreamSpec) -> Result<(), EngineError> {
         self.ensure_live()?;
         let shard = self.router.shard_of(id);
-        if self.shard_of.insert(id.0, shard).is_some() {
+        if self.streams.contains_key(&id.0) {
             return Err(EngineError::DuplicateStream(id));
         }
+        self.clock += 1;
+        self.streams.insert(
+            id.0,
+            StreamEntry {
+                shard,
+                spec: spec.clone(),
+                last_touch: self.clock,
+                resident: true,
+            },
+        );
         self.order.push(id);
-        match &mut self.backend {
+        let registered = match &mut self.backend {
             Backend::Inline(s) => {
                 s.register(id, spec);
-                Ok(())
+                true
             }
             Backend::Threads(ws) => {
-                let ok = ws[shard].request(Cmd::Register(id, spec)).is_ok()
-                    && matches!(ws[shard].wait(), Ok(Reply::Registered));
-                if ok {
-                    Ok(())
-                } else {
-                    self.lost = Some(shard);
-                    Err(EngineError::WorkerLost { shard })
+                ws[shard].request(Cmd::Register(id, spec)).is_ok()
+                    && matches!(ws[shard].wait(), Ok(Reply::Registered))
+            }
+        };
+        if !registered {
+            return Err(self.poison_with(EngineError::WorkerLost { shard }));
+        }
+        self.resident_count += 1;
+        self.resident_per_shard[shard] += 1;
+        if self.max_resident > 0 {
+            self.lru.insert((self.clock, id.0));
+            self.enforce_budget()?;
+        }
+        Ok(())
+    }
+
+    /// Hibernates one stream's session now: serialize, park in the
+    /// spill, free the resident state. Returns `false` when the session
+    /// was already hibernated. The stream stays fully usable — its next
+    /// touch re-adopts it transparently — and its outputs are unchanged
+    /// by when (or whether) this is called; the equivalence tests lean
+    /// on exactly that to force eviction at arbitrary points.
+    pub fn hibernate(&mut self, id: StreamId) -> Result<bool, EngineError> {
+        self.ensure_live()?;
+        let Some(entry) = self.streams.get(&id.0) else {
+            return Err(EngineError::UnknownStream(id));
+        };
+        if !entry.resident {
+            return Ok(false);
+        }
+        let mut by_shard = vec![Vec::new(); self.router.shards()];
+        by_shard[entry.shard].push(id);
+        self.evict_streams(by_shard)?;
+        Ok(true)
+    }
+
+    /// Serializes and spills the given sessions (grouped per shard).
+    /// Updates residency bookkeeping; poisons the engine on worker loss
+    /// or spill I/O failure (the evicted state would otherwise be lost).
+    fn evict_streams(&mut self, by_shard: Vec<Vec<StreamId>>) -> Result<(), EngineError> {
+        let mut evicted: Vec<(StreamId, u8, Vec<u8>)> = Vec::new();
+        let mut lost: Option<usize> = None;
+        match &mut self.backend {
+            Backend::Inline(shard) => {
+                let ids = &by_shard[0];
+                match catch_unwind(AssertUnwindSafe(|| shard.evict(ids))) {
+                    Ok(snaps) => evicted.extend(snaps),
+                    Err(_panic) => lost = Some(0),
+                }
+            }
+            Backend::Threads(workers) => {
+                let active: Vec<usize> = (0..workers.len())
+                    .filter(|&w| !by_shard[w].is_empty())
+                    .collect();
+                for &w in &active {
+                    let ids = by_shard[w].clone();
+                    if workers[w].request(Cmd::Evict(ids)).is_err() {
+                        lost.get_or_insert(w);
+                    }
+                }
+                for &w in &active {
+                    match workers[w].wait() {
+                        Ok(Reply::Evicted(snaps)) => evicted.extend(snaps),
+                        Ok(_) => unreachable!("evict reply"),
+                        Err(()) => {
+                            lost.get_or_insert(w);
+                        }
+                    }
                 }
             }
         }
+        if let Some(w) = lost {
+            return Err(self.poison_with(EngineError::WorkerLost { shard: w }));
+        }
+        for (id, kind, bytes) in evicted {
+            if let Err(e) = self.spill.append(id.0, kind, &bytes) {
+                return Err(self.poison_with(e.into()));
+            }
+            let entry = self
+                .streams
+                .get_mut(&id.0)
+                .expect("evicted id is registered");
+            entry.resident = false;
+            self.lru.remove(&(entry.last_touch, id.0));
+            self.resident_count -= 1;
+            self.resident_per_shard[entry.shard] -= 1;
+            self.spilled_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Evicts least-recently-touched sessions until the resident count
+    /// is back under the budget. Hysteresis: once over the cap, evict
+    /// down to ~7/8 of it in one sweep, so a registry hovering at the
+    /// cap amortizes eviction instead of paying one worker round-trip
+    /// per registration.
+    fn enforce_budget(&mut self) -> Result<(), EngineError> {
+        if self.max_resident == 0 || self.resident_count <= self.max_resident {
+            return Ok(());
+        }
+        let low = (self.max_resident - self.max_resident / 8).max(1);
+        let n_evict = self.resident_count - low;
+        let mut by_shard = vec![Vec::new(); self.router.shards()];
+        for &(_, id) in self.lru.iter().take(n_evict) {
+            by_shard[self.streams[&id].shard].push(StreamId(id));
+        }
+        self.evict_streams(by_shard)
+    }
+
+    /// Re-adopts one hibernated session: spill read (checksum-checked)
+    /// → `restore` under the registered spec (kind + scheme-fingerprint
+    /// checked) → adopt into its shard. Any failure poisons the engine:
+    /// a cold session that cannot come back means state is already lost.
+    fn readopt(&mut self, id: u64) -> Result<(), EngineError> {
+        let record = match self.spill.read(id) {
+            Ok(Some(r)) => r,
+            Ok(None) => {
+                // Registry says spilled but the log has no record: an
+                // engine invariant broke, report it as corruption.
+                let e = EngineError::Checkpoint(CheckpointError::Invalid(format!(
+                    "hibernated stream {id} has no spill record"
+                )));
+                return Err(self.poison_with(e));
+            }
+            Err(e) => return Err(self.poison_with(e.into())),
+        };
+        let entry = self.streams.get(&id).expect("caller checked registry");
+        let shard = entry.shard;
+        let session = match Session::restore(entry.spec.clone(), record.0, &record.1) {
+            Ok(s) => s,
+            Err(e) => return Err(self.poison_with(EngineError::Checkpoint(e))),
+        };
+        let adopted = match &mut self.backend {
+            Backend::Inline(s) => {
+                s.adopt(StreamId(id), session);
+                true
+            }
+            Backend::Threads(ws) => {
+                ws[shard]
+                    .request(Cmd::Adopt(StreamId(id), Box::new(session)))
+                    .is_ok()
+                    && matches!(ws[shard].wait(), Ok(Reply::Registered))
+            }
+        };
+        if !adopted {
+            return Err(self.poison_with(EngineError::WorkerLost { shard }));
+        }
+        if let Err(e) = self.spill.remove(id) {
+            return Err(self.poison_with(e.into()));
+        }
+        let entry = self.streams.get_mut(&id).expect("caller checked registry");
+        entry.resident = true;
+        self.resident_count += 1;
+        self.resident_per_shard[shard] += 1;
+        self.spilled_count -= 1;
+        if self.max_resident > 0 {
+            self.lru.insert((entry.last_touch, id));
+        }
+        Ok(())
+    }
+
+    /// Touch accounting + re-adoption sweep run before a batch is
+    /// dispatched, when (and only when) hibernation is in play:
+    /// validates every id, bumps each touched stream's LRU position, and
+    /// re-adopts the hibernated sessions the batch is about to touch.
+    fn prepare_batch(&mut self, events: &[Event]) -> Result<(), EngineError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut need_adopt: Vec<u64> = Vec::new();
+        let mut last: Option<u64> = None;
+        for ev in events {
+            if last == Some(ev.stream.0) {
+                continue;
+            }
+            last = Some(ev.stream.0);
+            let Some(entry) = self.streams.get_mut(&ev.stream.0) else {
+                return Err(EngineError::UnknownStream(ev.stream));
+            };
+            if entry.last_touch == clock {
+                continue; // already counted in this batch
+            }
+            if entry.resident {
+                if self.max_resident > 0 {
+                    self.lru.remove(&(entry.last_touch, ev.stream.0));
+                    self.lru.insert((clock, ev.stream.0));
+                }
+            } else {
+                need_adopt.push(ev.stream.0);
+            }
+            entry.last_touch = clock;
+        }
+        for id in need_adopt {
+            self.readopt(id)?;
+        }
+        Ok(())
     }
 
     /// Ingests one interleaved batch.
@@ -476,8 +919,26 @@ impl Engine {
     /// of them are done. The result holds one [`Output`] per stream
     /// touched by the batch, in first-touch order of `events` — a
     /// deterministic function of the input alone.
+    ///
+    /// Under a [`MemoryBudget`], hibernated streams the batch touches
+    /// are transparently re-adopted first, and the resident count is
+    /// trimmed back under the cap before the call returns. Neither step
+    /// changes any stream's output by a single bit.
     pub fn ingest(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
         self.ensure_live()?;
+        if self.max_resident > 0 || self.spilled_count > 0 {
+            self.prepare_batch(events)?;
+        }
+        let outputs = self.dispatch_batch(events)?;
+        if self.max_resident > 0 {
+            self.enforce_budget()?;
+        }
+        Ok(outputs)
+    }
+
+    /// The pre-hibernation ingest body: validate, partition, dispatch,
+    /// barrier, merge.
+    fn dispatch_batch(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
         if let Backend::Inline(shard) = &mut self.backend {
             // Single shard: no partitioning, no output merge — validate
             // the ids (run-cached: consecutive events of one stream cost
@@ -486,7 +947,7 @@ impl Engine {
             let mut last: Option<u64> = None;
             for ev in events {
                 if last != Some(ev.stream.0) {
-                    if !self.shard_of.contains_key(&ev.stream.0) {
+                    if !self.streams.contains_key(&ev.stream.0) {
                         return Err(EngineError::UnknownStream(ev.stream));
                     }
                     last = Some(ev.stream.0);
@@ -500,8 +961,9 @@ impl Engine {
                     .map(|(stream, samples)| Output { stream, samples })
                     .collect()),
                 Err(_panic) => {
-                    self.lost = Some(0);
-                    Err(EngineError::WorkerLost { shard: 0 })
+                    let e = EngineError::WorkerLost { shard: 0 };
+                    self.poison = Some(e.clone());
+                    Err(e)
                 }
             };
         }
@@ -516,7 +978,7 @@ impl Engine {
             let shard = match last {
                 Some((id, s)) if id == ev.stream.0 => s,
                 _ => {
-                    let Some(&s) = self.shard_of.get(&ev.stream.0) else {
+                    let Some(s) = self.streams.get(&ev.stream.0).map(|e| e.shard) else {
                         return Err(EngineError::UnknownStream(ev.stream));
                     };
                     touched.entry(ev.stream.0).or_insert_with(|| {
@@ -563,8 +1025,9 @@ impl Engine {
                     }
                 }
                 if let Some(w) = first_lost {
-                    self.lost = Some(w);
-                    return Err(EngineError::WorkerLost { shard: w });
+                    let e = EngineError::WorkerLost { shard: w };
+                    self.poison = Some(e.clone());
+                    return Err(e);
                 }
             }
         }
@@ -586,13 +1049,42 @@ impl Engine {
     /// checkpoints produces exactly the same outputs as one that does
     /// not. The returned checkpoint's `meta` is empty; callers stash
     /// their own resume bookkeeping there before serializing.
+    ///
+    /// Checkpoints are **incremental at the serialization layer**: each
+    /// shard caches the last snapshot per session keyed by its mutation
+    /// count, so a session untouched since the previous checkpoint is
+    /// not re-serialized. Hibernated sessions are cheaper still — their
+    /// bytes are copied straight out of the spill log
+    /// (checksum-verified), with no re-adoption and no serialization.
+    /// The checkpoint itself stays fully self-contained: restoring needs
+    /// the checkpoint alone, never the spill file.
     pub fn checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
         self.ensure_live()?;
         let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.router.shards()];
+        let mut hibernated: Vec<StreamId> = Vec::new();
         for &id in &self.order {
-            per_shard[self.shard_of[&id.0]].push(id);
+            let entry = &self.streams[&id.0];
+            if entry.resident {
+                per_shard[entry.shard].push(id);
+            } else {
+                hibernated.push(id);
+            }
         }
         let mut by_id: HashMap<u64, (u8, Vec<u8>)> = HashMap::new();
+        for id in hibernated {
+            match self.spill.read(id.0) {
+                Ok(Some((kind, bytes))) => {
+                    by_id.insert(id.0, (kind, bytes));
+                }
+                Ok(None) => {
+                    let e = EngineError::Checkpoint(CheckpointError::Invalid(format!(
+                        "hibernated stream {id} has no spill record"
+                    )));
+                    return Err(self.poison_with(e));
+                }
+                Err(e) => return Err(self.poison_with(e.into())),
+            }
+        }
         match &mut self.backend {
             Backend::Inline(shard) => {
                 match catch_unwind(AssertUnwindSafe(|| shard.snapshot(&per_shard[0]))) {
@@ -602,8 +1094,9 @@ impl Engine {
                         }
                     }
                     Err(_panic) => {
-                        self.lost = Some(0);
-                        return Err(EngineError::WorkerLost { shard: 0 });
+                        let e = EngineError::WorkerLost { shard: 0 };
+                        self.poison = Some(e.clone());
+                        return Err(e);
                     }
                 }
             }
@@ -628,8 +1121,9 @@ impl Engine {
                     }
                 }
                 if let Some(w) = first_lost {
-                    self.lost = Some(w);
-                    return Err(EngineError::WorkerLost { shard: w });
+                    let e = EngineError::WorkerLost { shard: w };
+                    self.poison = Some(e.clone());
+                    return Err(e);
                 }
             }
         }
@@ -657,13 +1151,25 @@ impl Engine {
     /// [`StreamOutcome::tail`] and report their [`EmbedStats`];
     /// detection streams produce their [`DetectionReport`]. Outcomes are
     /// in registration order.
+    ///
+    /// Hibernated sessions are re-adopted for their flush in chunks of
+    /// at most `max_resident` per shard, so finishing a million-stream
+    /// registry never materializes more sessions than the budget allows.
     pub fn finish(mut self) -> Result<Vec<StreamOutcome>, EngineError> {
         self.ensure_live()?;
-        let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.router.shards()];
+        let shards = self.router.shards();
+        let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); shards];
+        let mut hibernated: Vec<Vec<StreamId>> = vec![Vec::new(); shards];
         for &id in &self.order {
-            per_shard[self.shard_of[&id.0]].push(id);
+            let entry = &self.streams[&id.0];
+            if entry.resident {
+                per_shard[entry.shard].push(id);
+            } else {
+                hibernated[entry.shard].push(id);
+            }
         }
         let mut by_id: HashMap<u64, StreamOutcome> = HashMap::new();
+        // Pass 1: flush every resident session, all shards in parallel.
         match &mut self.backend {
             Backend::Inline(shard) => {
                 let ids = std::mem::take(&mut per_shard[0]);
@@ -674,8 +1180,9 @@ impl Engine {
                         }
                     }
                     Err(_panic) => {
-                        self.lost = Some(0);
-                        return Err(EngineError::WorkerLost { shard: 0 });
+                        let e = EngineError::WorkerLost { shard: 0 };
+                        self.poison = Some(e.clone());
+                        return Err(e);
                     }
                 }
             }
@@ -700,7 +1207,30 @@ impl Engine {
                     }
                 }
                 if let Some(w) = first_lost {
-                    return Err(EngineError::WorkerLost { shard: w });
+                    let e = EngineError::WorkerLost { shard: w };
+                    self.poison = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        // Pass 2: re-adopt and flush hibernated sessions, shard by
+        // shard, in budget-sized chunks.
+        let chunk_size = if self.max_resident > 0 {
+            self.max_resident
+        } else {
+            usize::MAX
+        };
+        for (w, shard_ids) in hibernated.iter_mut().enumerate().take(shards) {
+            let ids = std::mem::take(shard_ids);
+            if ids.is_empty() {
+                continue;
+            }
+            for chunk in ids.chunks(chunk_size) {
+                for id in chunk {
+                    self.readopt(id.0)?;
+                }
+                for o in self.finish_shard(w, chunk.to_vec())? {
+                    by_id.insert(o.stream.0, o);
                 }
             }
         }
@@ -709,6 +1239,32 @@ impl Engine {
             .iter()
             .map(|id| by_id.remove(&id.0).expect("every stream flushed"))
             .collect())
+    }
+
+    /// Flushes the listed sessions on one shard (pass 2 of `finish`).
+    fn finish_shard(
+        &mut self,
+        w: usize,
+        ids: Vec<StreamId>,
+    ) -> Result<Vec<StreamOutcome>, EngineError> {
+        let outcomes = match &mut self.backend {
+            Backend::Inline(shard) => catch_unwind(AssertUnwindSafe(|| shard.finish(ids))).ok(),
+            Backend::Threads(ws) => {
+                if ws[w].request(Cmd::Finish(ids)).is_err() {
+                    None
+                } else {
+                    match ws[w].wait() {
+                        Ok(Reply::Finished(outcomes)) => Some(outcomes),
+                        Ok(_) => unreachable!("finish reply"),
+                        Err(()) => None,
+                    }
+                }
+            }
+        };
+        match outcomes {
+            Some(outcomes) => Ok(outcomes),
+            None => Err(self.poison_with(EngineError::WorkerLost { shard: w })),
+        }
     }
 }
 
@@ -787,7 +1343,7 @@ mod tests {
     #[test]
     fn duplicate_registration_rejected() {
         for workers in [1usize, 2] {
-            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            let mut e = Engine::new(EngineConfig::with_workers(workers)).unwrap();
             e.register(StreamId(1), embed_spec()).unwrap();
             assert_eq!(
                 e.register(StreamId(1), embed_spec()),
@@ -799,7 +1355,7 @@ mod tests {
     #[test]
     fn unknown_stream_rejected_without_side_effects() {
         for workers in [1usize, 2] {
-            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            let mut e = Engine::new(EngineConfig::with_workers(workers)).unwrap();
             e.register(StreamId(1), embed_spec()).unwrap();
             let known = Event::new(StreamId(1), Sample::new(0, 0.1));
             let unknown = Event::new(StreamId(2), Sample::new(0, 0.1));
@@ -817,7 +1373,7 @@ mod tests {
     #[test]
     fn outputs_follow_first_touch_order_and_conserve_samples() {
         for workers in [1, 2, 3] {
-            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            let mut e = Engine::new(EngineConfig::with_workers(workers)).unwrap();
             for id in [4u64, 9, 2] {
                 e.register(StreamId(id), embed_spec()).unwrap();
             }
@@ -863,7 +1419,7 @@ mod tests {
     #[test]
     fn finish_outcomes_in_registration_order() {
         for workers in [1usize, 2] {
-            let mut e = Engine::new(EngineConfig::with_workers(workers));
+            let mut e = Engine::new(EngineConfig::with_workers(workers)).unwrap();
             for id in [11u64, 3, 7] {
                 e.register(StreamId(id), embed_spec()).unwrap();
             }
@@ -873,8 +1429,78 @@ mod tests {
     }
 
     #[test]
+    fn budget_caps_resident_sessions_with_per_shard_accounting() {
+        for workers in [1usize, 3] {
+            let cfg = EngineConfig::with_workers(workers).with_budget(MemoryBudget::resident(5));
+            let mut e = Engine::new(cfg).unwrap();
+            for id in 0..20u64 {
+                e.register(StreamId(id), embed_spec()).unwrap();
+            }
+            assert!(
+                e.resident_streams() <= 5,
+                "{} resident",
+                e.resident_streams()
+            );
+            assert_eq!(e.resident_streams() + e.spilled_streams(), 20);
+            assert_eq!(
+                e.resident_per_shard().iter().sum::<usize>(),
+                e.resident_streams(),
+                "per-shard accounts must sum to the resident total"
+            );
+            assert_eq!(e.is_resident(StreamId(99)), None, "unregistered id");
+            // Every stream still finishes, spilled or not.
+            assert_eq!(e.finish().unwrap().len(), 20);
+        }
+    }
+
+    #[test]
+    fn hibernate_explicitly_and_readopt_on_touch() {
+        let cfg = EngineConfig::with_workers(2).with_budget(MemoryBudget::resident(8));
+        let mut e = Engine::new(cfg).unwrap();
+        for id in 0..4u64 {
+            e.register(StreamId(id), embed_spec()).unwrap();
+        }
+        assert_eq!(
+            e.hibernate(StreamId(50)),
+            Err(EngineError::UnknownStream(StreamId(50)))
+        );
+        assert!(e.hibernate(StreamId(2)).unwrap(), "first eviction evicts");
+        assert!(!e.hibernate(StreamId(2)).unwrap(), "already hibernated");
+        assert_eq!(e.is_resident(StreamId(2)), Some(false));
+        assert_eq!(e.spilled_streams(), 1);
+        assert!(e.spill_stats().records >= 1);
+        // Touching the stream transparently re-adopts it.
+        let s = wave(3, 2.0);
+        let events: Vec<Event> = s.iter().map(|&s| Event::new(StreamId(2), s)).collect();
+        e.ingest(&events).unwrap();
+        assert_eq!(e.is_resident(StreamId(2)), Some(true));
+        assert_eq!(e.spilled_streams(), 0);
+        e.finish().unwrap();
+    }
+
+    #[test]
+    fn noop_streams_process_under_budget() {
+        let cfg = EngineConfig::with_workers(2).with_budget(MemoryBudget::resident(3));
+        let mut e = Engine::new(cfg).unwrap();
+        for id in 0..10u64 {
+            e.register(StreamId(id), StreamSpec::NoOp).unwrap();
+        }
+        let events: Vec<Event> = (0..10u64)
+            .map(|id| Event::new(StreamId(id), Sample::new(0, 0.5)))
+            .collect();
+        let outs = e.ingest(&events).unwrap();
+        assert!(outs.iter().all(|o| o.samples.is_empty()));
+        assert!(e.resident_streams() <= 3);
+        for o in e.finish().unwrap() {
+            assert!(o.tail.is_empty());
+            assert!(o.embed_stats.is_none());
+            assert!(o.report.is_none());
+        }
+    }
+
+    #[test]
     fn checkpoint_bytes_roundtrip() {
-        let mut e = Engine::new(EngineConfig::with_workers(2));
+        let mut e = Engine::new(EngineConfig::with_workers(2)).unwrap();
         for id in [11u64, 3, 7] {
             e.register(StreamId(id), embed_spec()).unwrap();
         }

@@ -1,0 +1,499 @@
+//! Append-only spill store for hibernated sessions.
+//!
+//! The engine's memory budget works by *hibernating* cold sessions: a
+//! session is serialized with the PR 5 `WMSS` snapshot encoding and its
+//! bytes are parked here until the stream is touched again. The store is
+//! a classic append-only log with an in-memory latest-record-wins index:
+//!
+//! * **Appends never rewrite.** Re-hibernating a stream appends a fresh
+//!   record; the previous record for that id becomes garbage.
+//! * **Compaction** rewrites only the live records once the garbage
+//!   fraction of the log crosses a configurable ratio (plus a small
+//!   size floor so tiny logs are never churned). A file-backed log
+//!   compacts into a sibling temp file and atomically renames it over
+//!   the original, so a crash mid-compaction leaves the old log intact.
+//! * **Reopening** ([`SpillFile::open`]) rebuilds the index by scanning
+//!   the record headers. A torn tail — the half-written record a crash
+//!   or `kill -9` can leave behind — is detected and truncated away;
+//!   every record before it survives. Garbage *within* the log (bytes
+//!   that cannot be a record header) is refused with a typed error
+//!   rather than guessed around.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! "WMSR" | id: u64 | kind: u8 | len: u64 | payload[len] | checksum: u64
+//! ```
+//!
+//! All integers little-endian. `checksum` is the first 8 bytes of
+//! `Md5(id || kind || payload)` interpreted as a little-endian `u64` —
+//! the same primitive the rest of the workspace uses, applied as an
+//! integrity (not authenticity) check. It is verified on every
+//! [`read`](SpillFile::read): a record corrupted at rest surfaces
+//! [`CheckpointError::ChecksumMismatch`] instead of silently restoring a
+//! desynchronized session, which would defeat the whole watermark.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use wms_core::checkpoint::CheckpointError;
+use wms_crypto::{Digest, Md5};
+
+/// Spill record magic.
+const REC_MAGIC: [u8; 4] = *b"WMSR";
+/// Bytes of framing around a payload: magic + id + kind + len + checksum.
+const REC_OVERHEAD: u64 = 4 + 8 + 1 + 8 + 8;
+/// Logs smaller than this are never auto-compacted, whatever their
+/// garbage ratio — rewriting a few kilobytes buys nothing.
+const COMPACT_FLOOR_BYTES: u64 = 64 * 1024;
+
+/// Why a spill operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillError {
+    /// The underlying file I/O failed (message carries the OS detail;
+    /// `std::io::Error` is neither `Clone` nor `PartialEq`).
+    Io(String),
+    /// A record was structurally or cryptographically damaged: torn
+    /// framing mid-log, a checksum mismatch, or truncation below what
+    /// the index says was written.
+    Corrupt(CheckpointError),
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io(msg) => write!(f, "spill I/O failed: {msg}"),
+            SpillError::Corrupt(e) => write!(f, "spill record corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+impl From<std::io::Error> for SpillError {
+    fn from(e: std::io::Error) -> Self {
+        SpillError::Io(e.to_string())
+    }
+}
+
+/// Occupancy counters for a spill store (diagnostics / bench metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Live (indexed) records.
+    pub records: usize,
+    /// Total log length in bytes, live and garbage.
+    pub log_bytes: u64,
+    /// Bytes owned by live records (framing included).
+    pub live_bytes: u64,
+    /// Compactions performed since this store was opened.
+    pub compactions: u64,
+}
+
+impl SpillStats {
+    /// Fraction of the log that is garbage (0.0 for an empty log).
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.log_bytes == 0 {
+            0.0
+        } else {
+            (self.log_bytes - self.live_bytes) as f64 / self.log_bytes as f64
+        }
+    }
+}
+
+/// Where a live record sits in the log.
+#[derive(Clone, Copy)]
+struct Slot {
+    /// Offset of the record's magic.
+    offset: u64,
+    /// Session kind tag.
+    kind: u8,
+    /// Payload length (record length = `REC_OVERHEAD + payload_len`).
+    payload_len: u64,
+}
+
+/// The log bytes themselves: an anonymous in-memory buffer or a file.
+enum Backing {
+    Memory(Vec<u8>),
+    File { file: File, path: PathBuf },
+}
+
+/// Append-only, periodically compacted store of hibernated sessions.
+///
+/// One record per append; the newest record for an id wins. See the
+/// module docs for the format and crash-recovery contract.
+pub struct SpillFile {
+    backing: Backing,
+    /// `id ->` newest record. Latest-record-wins: superseded and removed
+    /// records stay in the log as garbage until compaction.
+    index: HashMap<u64, Slot>,
+    /// Log length in bytes (the append position).
+    tail: u64,
+    /// Bytes owned by indexed records.
+    live_bytes: u64,
+    /// Garbage fraction that triggers auto-compaction (`>= 1.0` never).
+    compact_ratio: f64,
+    compactions: u64,
+}
+
+fn checksum(id: u64, kind: u8, payload: &[u8]) -> u64 {
+    let mut h = Md5::new();
+    h.update(&id.to_le_bytes());
+    h.update(&[kind]);
+    h.update(payload);
+    let d = h.finalize_bytes();
+    u64::from_le_bytes(d[..8].try_into().unwrap())
+}
+
+impl SpillFile {
+    /// Anonymous in-memory store (the default spill target: hibernation
+    /// without touching disk).
+    pub fn in_memory(compact_ratio: f64) -> SpillFile {
+        SpillFile {
+            backing: Backing::Memory(Vec::new()),
+            index: HashMap::new(),
+            tail: 0,
+            live_bytes: 0,
+            compact_ratio,
+            compactions: 0,
+        }
+    }
+
+    /// Opens (or creates) a file-backed store, rebuilding the index from
+    /// the records already in the log.
+    ///
+    /// A torn tail — an incomplete record where the log ends, the
+    /// signature of a crash mid-append — is truncated away and every
+    /// record before it is kept. Bytes that are not a record header
+    /// *before* the tail mean the log is damaged, not torn: that fails
+    /// with [`SpillError::Corrupt`] instead of silently dropping data.
+    pub fn open(path: &Path, compact_ratio: f64) -> Result<SpillFile, SpillError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let mut index: HashMap<u64, Slot> = HashMap::new();
+        let mut live_bytes = 0u64;
+        let mut pos = 0u64;
+        file.seek(SeekFrom::Start(0))?;
+        // Scan headers, skipping payloads; checksums are verified lazily
+        // on read, so reopening a multi-gigabyte log stays cheap.
+        let mut header = [0u8; 21]; // magic + id + kind + len
+        while pos < len {
+            if len - pos < header.len() as u64 {
+                break; // torn tail: header itself is incomplete
+            }
+            file.seek(SeekFrom::Start(pos))?;
+            file.read_exact(&mut header)?;
+            if header[..4] != REC_MAGIC {
+                return Err(SpillError::Corrupt(CheckpointError::BadMagic {
+                    expected: REC_MAGIC,
+                    found: [header[0], header[1], header[2], header[3]],
+                }));
+            }
+            let id = u64::from_le_bytes(header[4..12].try_into().unwrap());
+            let kind = header[12];
+            let payload_len = u64::from_le_bytes(header[13..21].try_into().unwrap());
+            let rec_len = REC_OVERHEAD + payload_len;
+            if len - pos < rec_len {
+                break; // torn tail: payload/checksum cut short
+            }
+            let slot = Slot {
+                offset: pos,
+                kind,
+                payload_len,
+            };
+            if let Some(old) = index.insert(id, slot) {
+                live_bytes -= REC_OVERHEAD + old.payload_len;
+            }
+            live_bytes += rec_len;
+            pos += rec_len;
+        }
+        if pos < len {
+            // Drop the torn tail so the next append starts at a clean
+            // record boundary.
+            file.set_len(pos)?;
+            file.sync_all()?;
+        }
+        Ok(SpillFile {
+            backing: Backing::File {
+                file,
+                path: path.to_path_buf(),
+            },
+            index,
+            tail: pos,
+            live_bytes,
+            compact_ratio,
+            compactions: 0,
+        })
+    }
+
+    /// Live record ids, in unspecified order.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no live records exist (the log may still hold garbage).
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True when `id` has a live record.
+    pub fn contains(&self, id: u64) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Occupancy counters.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            records: self.index.len(),
+            log_bytes: self.tail,
+            live_bytes: self.live_bytes,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Appends a record for `id`, superseding any previous one, then
+    /// compacts if the garbage ratio crossed the threshold.
+    pub fn append(&mut self, id: u64, kind: u8, payload: &[u8]) -> Result<(), SpillError> {
+        let mut rec = Vec::with_capacity(REC_OVERHEAD as usize + payload.len());
+        rec.extend_from_slice(&REC_MAGIC);
+        rec.extend_from_slice(&id.to_le_bytes());
+        rec.push(kind);
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&checksum(id, kind, payload).to_le_bytes());
+        match &mut self.backing {
+            Backing::Memory(buf) => buf.extend_from_slice(&rec),
+            Backing::File { file, .. } => {
+                file.seek(SeekFrom::Start(self.tail))?;
+                file.write_all(&rec)?;
+            }
+        }
+        let slot = Slot {
+            offset: self.tail,
+            kind,
+            payload_len: payload.len() as u64,
+        };
+        if let Some(old) = self.index.insert(id, slot) {
+            self.live_bytes -= REC_OVERHEAD + old.payload_len;
+        }
+        self.live_bytes += rec.len() as u64;
+        self.tail += rec.len() as u64;
+        self.maybe_compact()
+    }
+
+    /// Reads `id`'s live record, verifying its checksum. `Ok(None)` when
+    /// no live record exists.
+    pub fn read(&mut self, id: u64) -> Result<Option<(u8, Vec<u8>)>, SpillError> {
+        let Some(slot) = self.index.get(&id).copied() else {
+            return Ok(None);
+        };
+        let payload_off = slot.offset + 21;
+        let mut payload = vec![0u8; slot.payload_len as usize];
+        let mut stored = [0u8; 8];
+        match &mut self.backing {
+            Backing::Memory(buf) => {
+                let start = payload_off as usize;
+                let end = start + payload.len();
+                payload.copy_from_slice(&buf[start..end]);
+                stored.copy_from_slice(&buf[end..end + 8]);
+            }
+            Backing::File { file, .. } => {
+                file.seek(SeekFrom::Start(payload_off))?;
+                read_exact_or_truncated(file, &mut payload)?;
+                read_exact_or_truncated(file, &mut stored)?;
+            }
+        }
+        let stored = u64::from_le_bytes(stored);
+        let expected = checksum(id, slot.kind, &payload);
+        if stored != expected {
+            return Err(SpillError::Corrupt(CheckpointError::ChecksumMismatch {
+                expected,
+                found: stored,
+            }));
+        }
+        Ok(Some((slot.kind, payload)))
+    }
+
+    /// Drops `id`'s live record (its bytes become garbage). Returns
+    /// whether a record existed. Compacts if the drop crossed the
+    /// garbage threshold.
+    pub fn remove(&mut self, id: u64) -> Result<bool, SpillError> {
+        match self.index.remove(&id) {
+            Some(old) => {
+                self.live_bytes -= REC_OVERHEAD + old.payload_len;
+                self.maybe_compact()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drops every live record. The engine calls this after reopening a
+    /// pre-existing log on construction/restore: a checkpoint is
+    /// self-contained, so whatever the previous process spilled is stale
+    /// the moment the checkpoint is adopted.
+    pub fn clear(&mut self) -> Result<(), SpillError> {
+        self.index.clear();
+        self.live_bytes = 0;
+        if self.tail > 0 {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), SpillError> {
+        if self.compact_ratio >= 1.0 || self.tail < COMPACT_FLOOR_BYTES {
+            return Ok(());
+        }
+        let garbage = self.tail - self.live_bytes;
+        if (garbage as f64) > self.compact_ratio * self.tail as f64 {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log to live records only and resets the index to the
+    /// new offsets. File-backed logs compact through a sibling temp file
+    /// and an atomic rename, so a crash mid-compaction leaves the
+    /// original log untouched.
+    pub fn compact(&mut self) -> Result<(), SpillError> {
+        self.compactions += 1;
+        // Copy live records in offset order: sequential reads, and the
+        // compacted log preserves append order (cheap to reason about).
+        let mut live: Vec<(u64, Slot)> = self.index.iter().map(|(&id, &s)| (id, s)).collect();
+        live.sort_by_key(|(_, s)| s.offset);
+        match &mut self.backing {
+            Backing::Memory(buf) => {
+                let mut out = Vec::with_capacity(self.live_bytes as usize);
+                for (id, slot) in &live {
+                    let start = slot.offset as usize;
+                    let end = start + (REC_OVERHEAD + slot.payload_len) as usize;
+                    let new_off = out.len() as u64;
+                    out.extend_from_slice(&buf[start..end]);
+                    self.index.get_mut(id).unwrap().offset = new_off;
+                }
+                *buf = out;
+                self.tail = self.live_bytes;
+            }
+            Backing::File { file, path } => {
+                let mut tmp_name = path
+                    .file_name()
+                    .map(|n| n.to_os_string())
+                    .unwrap_or_default();
+                tmp_name.push(".compact");
+                let tmp_path = path.with_file_name(tmp_name);
+                let mut tmp = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&tmp_path)?;
+                let mut out_off = 0u64;
+                let mut buf = Vec::new();
+                for (id, slot) in &live {
+                    let rec_len = (REC_OVERHEAD + slot.payload_len) as usize;
+                    buf.resize(rec_len, 0);
+                    file.seek(SeekFrom::Start(slot.offset))?;
+                    read_exact_or_truncated(file, &mut buf)?;
+                    tmp.write_all(&buf)?;
+                    self.index.get_mut(id).unwrap().offset = out_off;
+                    out_off += rec_len as u64;
+                }
+                tmp.sync_all()?;
+                std::fs::rename(&tmp_path, &*path)?;
+                *file = tmp;
+                self.tail = out_off;
+            }
+        }
+        debug_assert_eq!(self.tail, self.live_bytes);
+        Ok(())
+    }
+
+    /// Flushes the log to stable storage (no-op for the in-memory
+    /// backing). Callers persisting a checkpoint should sync the spill
+    /// first so a crash cannot outrun the log.
+    pub fn sync(&mut self) -> Result<(), SpillError> {
+        if let Backing::File { file, .. } = &mut self.backing {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+/// `read_exact` that maps an early EOF to a typed truncation error: the
+/// index said the record was written, so missing bytes mean the log was
+/// cut down behind our back, not an ordinary I/O hiccup.
+fn read_exact_or_truncated(file: &mut File, buf: &mut [u8]) -> Result<(), SpillError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            SpillError::Corrupt(CheckpointError::Truncated)
+        } else {
+            SpillError::Io(e.to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip_latest_wins() {
+        let mut s = SpillFile::in_memory(0.5);
+        s.append(7, 1, b"first").unwrap();
+        s.append(9, 0, b"other").unwrap();
+        s.append(7, 1, b"second").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.read(7).unwrap(), Some((1, b"second".to_vec())));
+        assert_eq!(s.read(9).unwrap(), Some((0, b"other".to_vec())));
+        assert_eq!(s.read(1).unwrap(), None);
+        assert!(s.remove(7).unwrap());
+        assert!(!s.remove(7).unwrap());
+        assert_eq!(s.read(7).unwrap(), None);
+    }
+
+    #[test]
+    fn memory_compaction_reclaims_garbage() {
+        let mut s = SpillFile::in_memory(1.0); // auto-compaction off
+        for round in 0..10u64 {
+            for id in 0..8u64 {
+                s.append(id, 0, &[round as u8; 64]).unwrap();
+            }
+        }
+        let before = s.stats();
+        assert!(before.garbage_ratio() > 0.8, "{before:?}");
+        s.compact().unwrap();
+        let after = s.stats();
+        assert_eq!(after.records, 8);
+        assert_eq!(after.log_bytes, after.live_bytes);
+        for id in 0..8u64 {
+            assert_eq!(s.read(id).unwrap(), Some((0, vec![9u8; 64])));
+        }
+    }
+
+    #[test]
+    fn stats_track_live_and_garbage() {
+        let mut s = SpillFile::in_memory(1.0);
+        s.append(1, 0, &[0u8; 10]).unwrap();
+        let one = s.stats();
+        assert_eq!(one.records, 1);
+        assert_eq!(one.live_bytes, REC_OVERHEAD + 10);
+        assert_eq!(one.garbage_ratio(), 0.0);
+        s.append(1, 0, &[0u8; 10]).unwrap(); // supersede
+        let two = s.stats();
+        assert_eq!(two.records, 1);
+        assert_eq!(two.log_bytes, 2 * (REC_OVERHEAD + 10));
+        assert_eq!(two.live_bytes, REC_OVERHEAD + 10);
+        assert!((two.garbage_ratio() - 0.5).abs() < 1e-12);
+    }
+}

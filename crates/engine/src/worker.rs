@@ -35,6 +35,8 @@ pub(crate) const KIND_EMBED: u8 = 0;
 pub(crate) const KIND_DETECT: u8 = 1;
 /// Checkpoint kind tag of the test-only fault-injection session.
 pub(crate) const KIND_FAULT: u8 = 2;
+/// Checkpoint kind tag of the pass-through no-op session.
+pub(crate) const KIND_NOOP: u8 = 3;
 
 /// Engine → worker commands.
 pub(crate) enum Cmd {
@@ -50,6 +52,9 @@ pub(crate) enum Cmd {
     /// Snapshot the listed sessions (engine sends them in registration
     /// order) without disturbing them.
     Snapshot(Vec<StreamId>),
+    /// Serialize the listed sessions and *remove* them from the shard
+    /// (hibernation: the engine parks the bytes in its spill store).
+    Evict(Vec<StreamId>),
     /// Flush the listed sessions (engine sends them in registration
     /// order) and reply with their outcomes.
     Finish(Vec<StreamId>),
@@ -69,6 +74,9 @@ pub(crate) enum Reply {
     },
     /// Per requested stream: its kind tag and serialized session state.
     Snapshots(Vec<(StreamId, u8, Vec<u8>)>),
+    /// Per evicted stream: its kind tag and serialized session state.
+    /// The sessions are gone from the shard.
+    Evicted(Vec<(StreamId, u8, Vec<u8>)>),
     Finished(Vec<StreamOutcome>),
     /// A command panicked. The worker has dropped its (poisoned) shard
     /// and exited; every later `request`/`wait` on this handle fails.
@@ -82,6 +90,10 @@ pub(crate) enum Session {
     /// Test-only: panics while processing sample number `after`.
     Fault {
         after: u64,
+        seen: u64,
+    },
+    /// Pass-through: counts samples, emits nothing.
+    NoOp {
         seen: u64,
     },
 }
@@ -101,6 +113,7 @@ impl Session {
                 after: (*panic_after).max(1),
                 seen: 0,
             },
+            StreamSpec::NoOp => Session::NoOp { seen: 0 },
         }
     }
 
@@ -114,7 +127,22 @@ impl Session {
                     panic!("injected session fault after {after} samples");
                 }
             }
+            Session::NoOp { seen } => *seen += 1,
             _ => unreachable!("spec/session kind mismatch"),
+        }
+    }
+
+    /// How many replay-state mutations this session has absorbed. Used
+    /// as the snapshot-cache key: an unchanged count means the last
+    /// serialized snapshot is still byte-exact. Fresh *and restored*
+    /// sessions both start at 0, so the cache entry must be dropped
+    /// whenever a session is replaced (register/adopt/evict/finish).
+    fn mutation_count(&self) -> u64 {
+        match self {
+            Session::Embed(_, sess) => sess.mutation_count(),
+            Session::Detect(_, sess) => sess.mutation_count(),
+            Session::Fault { seen, .. } => *seen,
+            Session::NoOp { seen } => *seen,
         }
     }
 
@@ -129,6 +157,11 @@ impl Session {
                 w.put_u64(*after);
                 w.put_u64(*seen);
                 (KIND_FAULT, w.into_bytes())
+            }
+            Session::NoOp { seen } => {
+                let mut w = ByteWriter::new();
+                w.put_u64(*seen);
+                (KIND_NOOP, w.into_bytes())
             }
             _ => unreachable!("spec/session kind mismatch"),
         }
@@ -147,6 +180,7 @@ impl Session {
             StreamSpec::Embed(_) => KIND_EMBED,
             StreamSpec::Detect(_) => KIND_DETECT,
             StreamSpec::FaultInject { .. } => KIND_FAULT,
+            StreamSpec::NoOp => KIND_NOOP,
         };
         if kind != expected {
             return Err(CheckpointError::WrongKind {
@@ -170,6 +204,12 @@ impl Session {
                 r.finish()?;
                 Ok(Session::Fault { after, seen })
             }
+            StreamSpec::NoOp => {
+                let mut r = ByteReader::new(bytes);
+                let seen = r.get_u64()?;
+                r.finish()?;
+                Ok(Session::NoOp { seen })
+            }
         }
     }
 
@@ -191,7 +231,7 @@ impl Session {
                 embed_stats: None,
                 report: Some(cfg.finish(&mut sess)),
             },
-            Session::Fault { .. } => StreamOutcome {
+            Session::Fault { .. } | Session::NoOp { .. } => StreamOutcome {
                 stream,
                 tail: Vec::new(),
                 embed_stats: None,
@@ -210,6 +250,14 @@ pub(crate) struct Shard {
     /// first-touch bookkeeping reused across `ingest` calls.
     touch_order: Vec<StreamId>,
     slot_of: HashMap<u64, usize>,
+    /// `id -> (mutation count, kind, snapshot bytes)` — serialized
+    /// snapshots reused while a session's mutation count is unchanged,
+    /// so repeated checkpoints (and an eviction right after one) only
+    /// re-serialize sessions that actually moved. Populated lazily by
+    /// the first snapshot of a session; invalidated whenever the session
+    /// is replaced or removed (a fresh/restored session restarts its
+    /// count at 0, which would alias a stale entry).
+    snap_cache: HashMap<u64, (u64, u8, Vec<u8>)>,
 }
 
 impl Shard {
@@ -218,15 +266,18 @@ impl Shard {
             sessions: HashMap::new(),
             touch_order: Vec::new(),
             slot_of: HashMap::new(),
+            snap_cache: HashMap::new(),
         }
     }
 
     pub(crate) fn register(&mut self, id: StreamId, spec: StreamSpec) {
         self.sessions.insert(id.0, Session::open(spec));
+        self.snap_cache.remove(&id.0);
     }
 
     pub(crate) fn adopt(&mut self, id: StreamId, session: Session) {
         self.sessions.insert(id.0, session);
+        self.snap_cache.remove(&id.0);
     }
 
     /// Processes one sub-batch. Returns each touched stream's emissions
@@ -262,16 +313,52 @@ impl Shard {
         self.touch_order.iter().copied().zip(outs).collect()
     }
 
+    /// Serializes one session, reusing the cached bytes when its
+    /// mutation count is unchanged since the last snapshot.
+    fn snapshot_of(&mut self, id: StreamId) -> (u8, Vec<u8>) {
+        let session = self
+            .sessions
+            .get(&id.0)
+            .expect("engine tracks registrations");
+        let count = session.mutation_count();
+        if let Some((cached_count, kind, bytes)) = self.snap_cache.get(&id.0) {
+            if *cached_count == count {
+                return (*kind, bytes.clone());
+            }
+        }
+        let (kind, bytes) = session.snapshot();
+        self.snap_cache.insert(id.0, (count, kind, bytes.clone()));
+        (kind, bytes)
+    }
+
     /// Snapshots the listed sessions without disturbing them: the run
     /// continues bit-identically whether or not a checkpoint was taken.
-    pub(crate) fn snapshot(&self, ids: &[StreamId]) -> Vec<(StreamId, u8, Vec<u8>)> {
+    /// (`&mut` only for the snapshot cache — session state is untouched.)
+    pub(crate) fn snapshot(&mut self, ids: &[StreamId]) -> Vec<(StreamId, u8, Vec<u8>)> {
         ids.iter()
             .map(|id| {
-                let (kind, bytes) = self
+                let (kind, bytes) = self.snapshot_of(*id);
+                (*id, kind, bytes)
+            })
+            .collect()
+    }
+
+    /// Serializes and removes the listed sessions (hibernation). An
+    /// eviction on the heels of a checkpoint reuses the cached snapshot
+    /// bytes instead of serializing twice.
+    pub(crate) fn evict(&mut self, ids: &[StreamId]) -> Vec<(StreamId, u8, Vec<u8>)> {
+        ids.iter()
+            .map(|id| {
+                let session = self
                     .sessions
-                    .get(&id.0)
-                    .expect("engine tracks registrations")
-                    .snapshot();
+                    .remove(&id.0)
+                    .expect("engine tracks residency");
+                let (kind, bytes) = match self.snap_cache.remove(&id.0) {
+                    Some((count, kind, bytes)) if count == session.mutation_count() => {
+                        (kind, bytes)
+                    }
+                    _ => session.snapshot(),
+                };
                 (*id, kind, bytes)
             })
             .collect()
@@ -280,6 +367,7 @@ impl Shard {
     pub(crate) fn finish(&mut self, ids: Vec<StreamId>) -> Vec<StreamOutcome> {
         ids.into_iter()
             .map(|id| {
+                self.snap_cache.remove(&id.0);
                 self.sessions
                     .remove(&id.0)
                     .expect("engine tracks registrations")
@@ -307,6 +395,7 @@ impl Shard {
                 }
             }
             Cmd::Snapshot(ids) => Reply::Snapshots(self.snapshot(&ids)),
+            Cmd::Evict(ids) => Reply::Evicted(self.evict(&ids)),
             Cmd::Finish(ids) => Reply::Finished(self.finish(ids)),
             Cmd::Shutdown => unreachable!("handled by the run loop"),
         }

@@ -24,7 +24,8 @@ use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::{DetectConfig, EmbedConfig, Scheme, Watermark, WmParams};
 use wms_crypto::{Key, KeyedHash};
 use wms_engine::{
-    Checkpoint, CheckpointError, Engine, EngineConfig, EngineError, Event, StreamId, StreamSpec,
+    Checkpoint, CheckpointError, Engine, EngineConfig, EngineError, Event, MemoryBudget, StreamId,
+    StreamSpec,
 };
 use wms_stream::{samples_from_values, Sample};
 
@@ -115,7 +116,7 @@ fn run_uninterrupted(
     workers: usize,
     batch: usize,
 ) -> RunResult {
-    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
     for (id, spec) in streams {
         engine.register(*id, spec.clone()).unwrap();
     }
@@ -136,8 +137,28 @@ fn run_killed_and_restored(
     batch: usize,
     kill_at: usize,
 ) -> RunResult {
+    run_killed_and_restored_cfg(
+        streams,
+        events,
+        EngineConfig::with_workers(workers_before),
+        EngineConfig::with_workers(workers_after),
+        batch,
+        kill_at,
+    )
+}
+
+/// [`run_killed_and_restored`] with full engine configs, so the kill and
+/// the restore can each carry (or drop) a residency budget.
+fn run_killed_and_restored_cfg(
+    streams: &[(StreamId, StreamSpec)],
+    events: &[Event],
+    cfg_before: EngineConfig,
+    cfg_after: EngineConfig,
+    batch: usize,
+    kill_at: usize,
+) -> RunResult {
     let batch = batch.max(1);
-    let mut engine = Engine::new(EngineConfig::with_workers(workers_before));
+    let mut engine = Engine::new(cfg_before).unwrap();
     for (id, spec) in streams {
         engine.register(*id, spec.clone()).unwrap();
     }
@@ -157,10 +178,7 @@ fn run_killed_and_restored(
         .iter()
         .map(|(id, spec)| (id.0, spec.clone()))
         .collect();
-    let mut engine = Engine::restore(EngineConfig::with_workers(workers_after), &ck, |id| {
-        by_id.get(&id.0).cloned()
-    })
-    .unwrap();
+    let mut engine = Engine::restore(cfg_after, &ck, |id| by_id.get(&id.0).cloned()).unwrap();
     for chunk in &chunks[kill_at..] {
         collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
     }
@@ -275,7 +293,7 @@ proptest! {
 #[test]
 fn restore_with_mismatched_fingerprint_is_rejected() {
     let cfg = embed_cfg(42);
-    let mut engine = Engine::new(EngineConfig::with_workers(2));
+    let mut engine = Engine::new(EngineConfig::with_workers(2)).unwrap();
     engine
         .register(StreamId(1), StreamSpec::Embed(Arc::clone(&cfg)))
         .unwrap();
@@ -328,7 +346,7 @@ fn restore_with_mismatched_fingerprint_is_rejected() {
 #[test]
 fn worker_panic_surfaces_as_worker_lost() {
     for workers in [1usize, 2, 4] {
-        let mut engine = Engine::new(EngineConfig::with_workers(workers));
+        let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
         engine
             .register(StreamId(1), StreamSpec::Embed(embed_cfg(7)))
             .unwrap();
@@ -388,7 +406,7 @@ fn checkpoint_taken_mid_run_does_not_disturb_the_run() {
     let events = interleave(&data, 77);
     let want = run_uninterrupted(&streams, &events, 2, 64);
 
-    let mut engine = Engine::new(EngineConfig::with_workers(2));
+    let mut engine = Engine::new(EngineConfig::with_workers(2)).unwrap();
     for (id, spec) in &streams {
         engine.register(*id, spec.clone()).unwrap();
     }
@@ -417,7 +435,7 @@ fn detect_reports_survive_kill_restore() {
     let d = detect_cfg(9);
 
     let reference = {
-        let mut e = Engine::new(EngineConfig::with_workers(1));
+        let mut e = Engine::new(EngineConfig::with_workers(1)).unwrap();
         e.register(StreamId(8), StreamSpec::Detect(Arc::clone(&d)))
             .unwrap();
         for chunk in events.chunks(128) {
@@ -427,7 +445,7 @@ fn detect_reports_survive_kill_restore() {
     };
     assert!(reference.bias() > 0, "fixture must find the mark");
 
-    let mut e = Engine::new(EngineConfig::with_workers(2));
+    let mut e = Engine::new(EngineConfig::with_workers(2)).unwrap();
     e.register(StreamId(8), StreamSpec::Detect(Arc::clone(&d)))
         .unwrap();
     let chunks: Vec<&[Event]> = events.chunks(128).collect();
@@ -446,4 +464,216 @@ fn detect_reports_survive_kill_restore() {
     }
     let report = e.finish().unwrap().remove(0).report.unwrap();
     assert_eq!(report, reference);
+}
+
+/// A unique temp spill path, removed before and after use.
+fn temp_spill(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("wms-ck-spill-{}-{tag}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn checkpoint_with_hibernated_sessions_restores_identically() {
+    // Checkpoints taken while most of the registry is hibernated must
+    // restore to the same bytes as an unbudgeted, uninterrupted run —
+    // whether the restored engine is budgeted or not, in every
+    // combination (budget dropped, kept, or newly applied on restore).
+    let streams = mixed_streams(42);
+    let data: Vec<(StreamId, Vec<Sample>)> = streams
+        .iter()
+        .map(|(id, _)| (*id, wave(600, id.0)))
+        .collect();
+    let events = interleave(&data, 0x51);
+    let want = run_uninterrupted(&streams, &events, 2, 64);
+    let budgeted = |w: usize| EngineConfig::with_workers(w).with_budget(MemoryBudget::resident(2));
+    let cases = [
+        (budgeted(2), EngineConfig::with_workers(2)),
+        (budgeted(1), budgeted(3)),
+        (EngineConfig::with_workers(3), budgeted(2)),
+    ];
+    for (before, after) in &cases {
+        for kill_at in [1usize, 4] {
+            let got = run_killed_and_restored_cfg(
+                &streams,
+                &events,
+                before.clone(),
+                after.clone(),
+                64,
+                kill_at,
+            );
+            assert_runs_identical(&got, &want);
+        }
+    }
+}
+
+#[test]
+fn restore_under_budget_parks_cold_sessions_in_the_spill() {
+    // Restoring a 6-stream checkpoint into a budget of 2 must not
+    // materialize all 6 sessions even transiently: the cold ones go
+    // straight from checkpoint bytes to the spill store.
+    let cfg = embed_cfg(3);
+    let mut engine = Engine::new(EngineConfig::with_workers(2)).unwrap();
+    for id in 0..6u64 {
+        engine
+            .register(StreamId(id), StreamSpec::Embed(Arc::clone(&cfg)))
+            .unwrap();
+    }
+    let events: Vec<Event> = interleave(
+        &(0..6u64)
+            .map(|id| (StreamId(id), wave(80, id)))
+            .collect::<Vec<_>>(),
+        9,
+    );
+    engine.ingest(&events).unwrap();
+    let bytes = engine.checkpoint().unwrap().to_bytes();
+    drop(engine);
+
+    let ck = Checkpoint::from_bytes(&bytes).unwrap();
+    let mut engine = Engine::restore(
+        EngineConfig::with_workers(2).with_budget(MemoryBudget::resident(2)),
+        &ck,
+        |_| Some(StreamSpec::Embed(Arc::clone(&cfg))),
+    )
+    .unwrap();
+    assert!(
+        engine.resident_streams() <= 2,
+        "{}",
+        engine.resident_streams()
+    );
+    assert_eq!(engine.resident_streams() + engine.spilled_streams(), 6);
+    assert_eq!(engine.spill_stats().records, engine.spilled_streams());
+    // Touching a parked stream re-adopts (and checksum-validates) it.
+    let spilled = (0..6u64)
+        .find(|&id| engine.is_resident(StreamId(id)) == Some(false))
+        .expect("some stream is parked");
+    let s = wave(3, spilled);
+    let touch: Vec<Event> = s
+        .iter()
+        .map(|&x| Event::new(StreamId(spilled), x))
+        .collect();
+    engine.ingest(&touch).unwrap();
+    assert_eq!(engine.is_resident(StreamId(spilled)), Some(true));
+    engine.finish().unwrap();
+}
+
+#[test]
+fn checkpoint_is_self_contained_even_with_a_file_spill() {
+    // The spill file is scratch, not durable state: a checkpoint taken
+    // while sessions sit in it must restore after the file is deleted.
+    let path = temp_spill("self-contained");
+    let streams = mixed_streams(8);
+    let data: Vec<(StreamId, Vec<Sample>)> = streams
+        .iter()
+        .map(|(id, _)| (*id, wave(500, id.0)))
+        .collect();
+    let events = interleave(&data, 0xAB);
+    let want = run_uninterrupted(&streams, &events, 2, 50);
+
+    let cfg_before = EngineConfig::with_workers(2)
+        .with_budget(MemoryBudget::resident(1).with_spill_file(path.clone()));
+    let mut engine = Engine::new(cfg_before).unwrap();
+    for (id, spec) in &streams {
+        engine.register(*id, spec.clone()).unwrap();
+    }
+    let mut collected: HashMap<u64, Vec<Sample>> = HashMap::new();
+    let chunks: Vec<&[Event]> = events.chunks(50).collect();
+    for chunk in &chunks[..6] {
+        collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
+    }
+    assert!(engine.spilled_streams() > 0, "fixture must be hibernating");
+    let bytes = engine.checkpoint().unwrap().to_bytes();
+    drop(engine);
+    std::fs::remove_file(&path).unwrap(); // the spill is gone for good
+
+    let by_id: HashMap<u64, StreamSpec> = streams
+        .iter()
+        .map(|(id, spec)| (id.0, spec.clone()))
+        .collect();
+    let ck = Checkpoint::from_bytes(&bytes).unwrap();
+    let mut engine = Engine::restore(EngineConfig::with_workers(2), &ck, |id| {
+        by_id.get(&id.0).cloned()
+    })
+    .unwrap();
+    for chunk in &chunks[6..] {
+        collect_outputs(&mut collected, engine.ingest(chunk).unwrap());
+    }
+    let got = finishes(engine, collected);
+    assert_runs_identical(&got, &want);
+}
+
+#[test]
+fn corrupt_spill_record_surfaces_checksum_mismatch_and_poisons() {
+    use std::io::{Read as _, Seek, SeekFrom, Write as _};
+    let path = temp_spill("corrupt");
+    let cfg = EngineConfig::with_workers(2)
+        .with_budget(MemoryBudget::resident(0).with_spill_file(path.clone()));
+    let mut engine = Engine::new(cfg).unwrap();
+    engine
+        .register(StreamId(1), StreamSpec::Embed(embed_cfg(7)))
+        .unwrap();
+    let s = wave(200, 1);
+    let events: Vec<Event> = s.iter().map(|&x| Event::new(StreamId(1), x)).collect();
+    engine.ingest(&events).unwrap();
+    assert!(engine.hibernate(StreamId(1)).unwrap());
+
+    // Flip one payload byte at rest, through a second handle — bit rot.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        f.seek(SeekFrom::Start(30)).unwrap(); // record payload starts at 21
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(30)).unwrap();
+        f.write_all(&[b[0] ^ 0x40]).unwrap();
+        f.sync_all().unwrap();
+    }
+
+    // A checkpoint must read the hibernated record — and refuse it.
+    let err = engine.checkpoint().err().unwrap();
+    assert!(
+        matches!(
+            err,
+            EngineError::Checkpoint(CheckpointError::ChecksumMismatch { expected, found })
+                if expected != found
+        ),
+        "{err:?}"
+    );
+    // The session's only copy was bad: the engine is poisoned, not limping.
+    assert_eq!(engine.ingest(&events[..1]).err().unwrap(), err);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_spill_record_surfaces_typed_error() {
+    let path = temp_spill("truncated");
+    let cfg = EngineConfig::with_workers(1)
+        .with_budget(MemoryBudget::resident(0).with_spill_file(path.clone()));
+    let mut engine = Engine::new(cfg).unwrap();
+    engine
+        .register(StreamId(1), StreamSpec::Embed(embed_cfg(7)))
+        .unwrap();
+    let s = wave(200, 1);
+    let events: Vec<Event> = s.iter().map(|&x| Event::new(StreamId(1), x)).collect();
+    engine.ingest(&events).unwrap();
+    assert!(engine.hibernate(StreamId(1)).unwrap());
+
+    // Chop the record mid-payload (an external actor, not a torn append).
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(40).unwrap();
+    f.sync_all().unwrap();
+    drop(f);
+
+    // Touching the stream tries to re-adopt it and hits the truncation.
+    let err = engine.ingest(&events[..1]).err().unwrap();
+    assert_eq!(
+        err,
+        EngineError::Checkpoint(CheckpointError::Truncated),
+        "typed truncation, not a panic or a silent skip"
+    );
+    assert_eq!(engine.checkpoint().err().unwrap(), err, "poisoned");
+    let _ = std::fs::remove_file(&path);
 }

@@ -7,16 +7,27 @@
 //! (`Embedder::embed_stream` / `Detector::detect_stream`). These tests
 //! prove it for fixed fixtures and — via the proptest shim — for random
 //! interleavings of K streams, for both embed and detect.
+//!
+//! The hibernation half of the wall extends the same contract to the
+//! session registry: an engine that evicts sessions to a spill store —
+//! under a [`MemoryBudget`], by explicit [`Engine::hibernate`] calls at
+//! arbitrary points, to memory or to a real file on disk — must stay
+//! byte-identical to the never-evicting engine and therefore to the
+//! single-stream pipeline. Serialize → spill → checksum → restore is
+//! exercised mid-run, across batch boundaries, worker counts 1/2/4 and
+//! both production encoders.
 
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
+use wms_core::encoding::initial::InitialEncoder;
 use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::{
-    DetectConfig, Detector, EmbedConfig, Embedder, Scheme, TransformHint, Watermark, WmParams,
+    DetectConfig, Detector, EmbedConfig, Embedder, Scheme, SubsetEncoder, TransformHint, Watermark,
+    WmParams,
 };
 use wms_crypto::{Key, KeyedHash};
-use wms_engine::{Engine, EngineConfig, Event, StreamId, StreamSpec};
+use wms_engine::{Engine, EngineConfig, Event, MemoryBudget, StreamId, StreamSpec};
 use wms_stream::{samples_from_values, Sample};
 
 fn params() -> WmParams {
@@ -94,7 +105,7 @@ fn engine_embed(
         )
         .unwrap(),
     );
-    let mut engine = Engine::new(EngineConfig::with_workers(workers));
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
     for (id, _) in streams {
         engine
             .register(*id, StreamSpec::Embed(Arc::clone(&cfg)))
@@ -186,7 +197,7 @@ fn detect_equivalence_and_marks_found() {
     }
     let events = interleave(&marked, 0xBEEF);
     let dcfg = Arc::new(DetectConfig::new(scheme(7), Arc::new(MultiHashEncoder), 1, 1.0).unwrap());
-    let mut engine = Engine::new(EngineConfig::with_workers(2));
+    let mut engine = Engine::new(EngineConfig::with_workers(2)).unwrap();
     for (id, _) in &marked {
         engine
             .register(*id, StreamSpec::Detect(Arc::clone(&dcfg)))
@@ -210,6 +221,225 @@ fn detect_equivalence_and_marks_found() {
         let report = outcome.report.unwrap();
         assert_eq!(report, want, "stream {}", outcome.stream);
         assert!(report.bias() > 0, "stream {} lost its mark", outcome.stream);
+    }
+}
+
+/// Like [`engine_embed`], but with an arbitrary [`EngineConfig`], a
+/// chosen encoder, and an optional forced-hibernation schedule: when
+/// `evict_seed` is set, one pseudo-randomly chosen stream is hibernated
+/// after every batch, exercising serialize → spill → restore mid-run at
+/// points the budget alone would not pick.
+fn engine_embed_cfg(
+    streams: &[(StreamId, Vec<Sample>)],
+    events: &[Event],
+    engine_cfg: EngineConfig,
+    batch: usize,
+    key: u64,
+    encoder: Arc<dyn SubsetEncoder>,
+    evict_seed: Option<u64>,
+) -> HashMap<u64, (Vec<Sample>, wms_core::EmbedStats)> {
+    let cfg = Arc::new(EmbedConfig::new(scheme(key), encoder, Watermark::single(true)).unwrap());
+    let mut engine = Engine::new(engine_cfg).unwrap();
+    for (id, _) in streams {
+        engine
+            .register(*id, StreamSpec::Embed(Arc::clone(&cfg)))
+            .unwrap();
+    }
+    let mut rng = evict_seed.unwrap_or(0);
+    let mut collected: HashMap<u64, Vec<Sample>> = HashMap::new();
+    for chunk in events.chunks(batch.max(1)) {
+        for out in engine.ingest(chunk).unwrap() {
+            collected
+                .entry(out.stream.0)
+                .or_default()
+                .extend(out.samples);
+        }
+        if evict_seed.is_some() {
+            let pick = streams[(splitmix(&mut rng) % streams.len() as u64) as usize].0;
+            engine.hibernate(pick).unwrap();
+        }
+    }
+    let mut result = HashMap::new();
+    for outcome in engine.finish().unwrap() {
+        let mut samples = collected.remove(&outcome.stream.0).unwrap_or_default();
+        samples.extend(outcome.tail);
+        result.insert(outcome.stream.0, (samples, outcome.embed_stats.unwrap()));
+    }
+    result
+}
+
+/// The single-stream reference for one encoder.
+fn reference_embed(
+    streams: &[(StreamId, Vec<Sample>)],
+    key: u64,
+    encoder: Arc<dyn SubsetEncoder>,
+) -> HashMap<u64, (Vec<Sample>, wms_core::EmbedStats)> {
+    streams
+        .iter()
+        .map(|(id, samples)| {
+            let (out, stats) = Embedder::embed_stream(
+                scheme(key),
+                Arc::clone(&encoder),
+                Watermark::single(true),
+                samples,
+            )
+            .unwrap();
+            (id.0, (out, stats))
+        })
+        .collect()
+}
+
+fn assert_matches_reference(
+    got: &HashMap<u64, (Vec<Sample>, wms_core::EmbedStats)>,
+    reference: &HashMap<u64, (Vec<Sample>, wms_core::EmbedStats)>,
+    context: &str,
+) {
+    for (id, (want, want_stats)) in reference {
+        let (samples, stats) = &got[id];
+        assert_bit_identical(*id, samples, want);
+        assert_eq!(stats, want_stats, "stream {id} stats ({context})");
+    }
+}
+
+#[test]
+fn hibernating_engine_embeds_byte_identically() {
+    // Eight streams under a budget of three: most of the registry is
+    // hibernated at any moment, so every batch re-adopts sessions that
+    // went through serialize → spill → checksum → restore.
+    let streams: Vec<(StreamId, Vec<Sample>)> = [3u64, 17, 4, 99, 250, 8, 61, 12]
+        .iter()
+        .map(|&id| (StreamId(id), wave(400, id)))
+        .collect();
+    let events = interleave(&streams, 0xC0FFEE);
+    let encoders: [(&str, Arc<dyn SubsetEncoder>); 2] = [
+        ("multihash", Arc::new(MultiHashEncoder)),
+        ("initial", Arc::new(InitialEncoder)),
+    ];
+    for (name, encoder) in &encoders {
+        let reference = reference_embed(&streams, 42, Arc::clone(encoder));
+        for workers in [1usize, 2, 4] {
+            for batch in [1usize, 13, 4096] {
+                let cfg =
+                    EngineConfig::with_workers(workers).with_budget(MemoryBudget::resident(3));
+                let got =
+                    engine_embed_cfg(&streams, &events, cfg, batch, 42, Arc::clone(encoder), None);
+                assert_matches_reference(
+                    &got,
+                    &reference,
+                    &format!("encoder={name}, workers={workers}, batch={batch}, budget=3"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_eviction_at_arbitrary_points_is_invisible() {
+    // No budget at all: hibernation happens only where the forced
+    // schedule says, so eviction points are decoupled from any LRU
+    // policy — including immediately before a stream's next sample.
+    let streams: Vec<(StreamId, Vec<Sample>)> = [7u64, 2, 19]
+        .iter()
+        .map(|&id| (StreamId(id), wave(500, id)))
+        .collect();
+    let events = interleave(&streams, 0xD00D);
+    let reference = reference_embed(&streams, 11, Arc::new(MultiHashEncoder));
+    for workers in [1usize, 2, 4] {
+        let got = engine_embed_cfg(
+            &streams,
+            &events,
+            EngineConfig::with_workers(workers),
+            17,
+            11,
+            Arc::new(MultiHashEncoder),
+            Some(0x5EED ^ workers as u64),
+        );
+        assert_matches_reference(
+            &got,
+            &reference,
+            &format!("forced eviction, workers={workers}"),
+        );
+    }
+}
+
+#[test]
+fn file_backed_spill_is_byte_identical_too() {
+    // Same wall, but the cold sessions actually hit disk: append, frame,
+    // checksum, read back. One fixture run suffices — the policy logic
+    // is backing-agnostic, only the byte path differs.
+    let path =
+        std::env::temp_dir().join(format!("wms-equivalence-spill-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let streams: Vec<(StreamId, Vec<Sample>)> = [5u64, 40, 23, 16, 91]
+        .iter()
+        .map(|&id| (StreamId(id), wave(350, id)))
+        .collect();
+    let events = interleave(&streams, 0xFACE);
+    let reference = reference_embed(&streams, 77, Arc::new(MultiHashEncoder));
+    let cfg = EngineConfig::with_workers(2)
+        .with_budget(MemoryBudget::resident(2).with_spill_file(path.clone()));
+    let got = engine_embed_cfg(
+        &streams,
+        &events,
+        cfg,
+        29,
+        77,
+        Arc::new(MultiHashEncoder),
+        None,
+    );
+    assert_matches_reference(&got, &reference, "file-backed spill, workers=2, budget=2");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn hibernating_detect_sessions_report_identically() {
+    // Detection state (bit votes, labeler position, pending windows)
+    // must survive hibernation exactly like embedding state does.
+    let ids = [8u64, 1, 30, 77, 14];
+    let mut marked: Vec<(StreamId, Vec<Sample>)> = Vec::new();
+    for &id in &ids {
+        let (out, _) = Embedder::embed_stream(
+            scheme(7),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+            &wave(900, id),
+        )
+        .unwrap();
+        marked.push((StreamId(id), out));
+    }
+    let events = interleave(&marked, 0xABBA);
+    let dcfg = Arc::new(DetectConfig::new(scheme(7), Arc::new(MultiHashEncoder), 1, 1.0).unwrap());
+    for workers in [1usize, 2, 4] {
+        let cfg = EngineConfig::with_workers(workers).with_budget(MemoryBudget::resident(2));
+        let mut engine = Engine::new(cfg).unwrap();
+        for (id, _) in &marked {
+            engine
+                .register(*id, StreamSpec::Detect(Arc::clone(&dcfg)))
+                .unwrap();
+        }
+        let mut rng = 0x1CEBE4u64 ^ workers as u64;
+        for chunk in events.chunks(23) {
+            engine.ingest(chunk).unwrap();
+            let pick = marked[(splitmix(&mut rng) % marked.len() as u64) as usize].0;
+            engine.hibernate(pick).unwrap();
+        }
+        for outcome in engine.finish().unwrap() {
+            let (_, samples) = marked.iter().find(|(id, _)| *id == outcome.stream).unwrap();
+            let want = Detector::detect_stream(
+                scheme(7),
+                Arc::new(MultiHashEncoder),
+                1,
+                samples,
+                TransformHint::None,
+            )
+            .unwrap();
+            assert_eq!(
+                outcome.report.unwrap(),
+                want,
+                "stream {} (workers={workers})",
+                outcome.stream
+            );
+        }
     }
 }
 
@@ -264,7 +494,7 @@ proptest! {
             DetectConfig::new(scheme(9), Arc::new(MultiHashEncoder), 1, 1.0).unwrap(),
         );
         let workers = 1 + (seed % 3) as usize;
-        let mut engine = Engine::new(EngineConfig::with_workers(workers));
+        let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
         for (id, _) in &streams {
             engine
                 .register(*id, StreamSpec::Detect(Arc::clone(&dcfg)))
@@ -288,6 +518,52 @@ proptest! {
             )
             .unwrap();
             prop_assert_eq!(outcome.report.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn random_eviction_schedules_embed_like_independent_pipelines(
+        k in 2usize..5,
+        n in 150usize..400,
+        seed in any::<u64>(),
+    ) {
+        // Everything varies with the seed: interleaving, batch size,
+        // worker count, residency budget, forced-eviction schedule and
+        // encoder. The one constant is the output bytes.
+        let streams: Vec<(StreamId, Vec<Sample>)> = (0..k as u64)
+            .map(|i| (StreamId(i * 13 + 3), wave(n + i as usize * 11, i * 13 + 3)))
+            .collect();
+        let events = interleave(&streams, seed ^ 0x714);
+        let batch = 1 + (seed % 89) as usize;
+        let workers = 1 + (seed % 3) as usize;
+        let budget = 1 + (seed % k as u64) as usize; // always < k: eviction is live
+        let encoder: Arc<dyn SubsetEncoder> = if seed & 8 == 0 {
+            Arc::new(MultiHashEncoder)
+        } else {
+            Arc::new(InitialEncoder)
+        };
+        let cfg = EngineConfig::with_workers(workers)
+            .with_budget(MemoryBudget::resident(budget));
+        let got = engine_embed_cfg(
+            &streams,
+            &events,
+            cfg,
+            batch,
+            321,
+            Arc::clone(&encoder),
+            Some(seed ^ 0xE71C7),
+        );
+        for (id, samples) in &streams {
+            let (want, want_stats) = Embedder::embed_stream(
+                scheme(321),
+                Arc::clone(&encoder),
+                Watermark::single(true),
+                samples,
+            )
+            .unwrap();
+            let (got_samples, got_stats) = &got[&id.0];
+            assert_bit_identical(id.0, got_samples, &want);
+            prop_assert_eq!(got_stats, &want_stats);
         }
     }
 }

@@ -1,0 +1,239 @@
+//! File-backed spill-store integration tests: append/read round-trips
+//! across process-style reopens, garbage-ratio-triggered compaction, and
+//! the crash-recovery contract (torn tails truncated, mid-log damage and
+//! checksum mismatches refused with typed errors).
+//!
+//! The in-memory backing is covered by unit tests inside the crate;
+//! everything here goes through a real file on disk because reopen,
+//! truncation and the compaction rename are exactly the parts an
+//! in-memory store cannot exercise.
+
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use wms_core::checkpoint::CheckpointError;
+use wms_engine::{SpillError, SpillFile};
+
+/// A unique temp path removed on drop, so failed tests don't leak files.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> TempPath {
+        let p = std::env::temp_dir().join(format!("wms-spill-{}-{tag}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        TempPath(p)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Deterministic pseudo-random payload (splitmix64 bytes).
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        out.extend_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    }
+    out.truncate(len);
+    out
+}
+
+#[test]
+fn append_read_roundtrip_survives_reopen() {
+    let tmp = TempPath::new("roundtrip");
+    {
+        let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+        for id in 0..25u64 {
+            s.append(id, (id % 3) as u8, &payload(id, 100 + id as usize))
+                .unwrap();
+        }
+        // Latest record wins within one session...
+        s.append(7, 1, &payload(999, 64)).unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.len(), 25);
+    }
+    // ...and across a reopen: the index is rebuilt from the log alone.
+    let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+    assert_eq!(s.len(), 25);
+    for id in 0..25u64 {
+        assert!(s.contains(id));
+        let (kind, bytes) = s.read(id).unwrap().expect("live record");
+        if id == 7 {
+            assert_eq!((kind, bytes), (1, payload(999, 64)), "newest record wins");
+        } else {
+            assert_eq!(kind, (id % 3) as u8);
+            assert_eq!(bytes, payload(id, 100 + id as usize));
+        }
+    }
+    assert_eq!(s.read(1000).unwrap(), None, "unknown id reads as absent");
+}
+
+#[test]
+fn compaction_triggers_at_garbage_ratio_and_preserves_live_records() {
+    let tmp = TempPath::new("compact");
+    // 40 records x ~8KiB clears the 64KiB auto-compaction floor easily.
+    let mut s = SpillFile::open(&tmp.0, 0.4).unwrap();
+    for id in 0..40u64 {
+        s.append(id, 0, &payload(id, 8 * 1024)).unwrap();
+    }
+    assert_eq!(s.stats().compactions, 0, "no garbage yet");
+    let before = s.stats().log_bytes;
+    // Superseding most records pushes garbage past the 0.4 ratio.
+    for id in 0..30u64 {
+        s.append(id, 0, &payload(id + 500, 8 * 1024)).unwrap();
+    }
+    let st = s.stats();
+    assert!(st.compactions >= 1, "garbage ratio should have triggered");
+    assert!(
+        st.garbage_ratio() < 0.4,
+        "post-compaction garbage {} should sit below the trigger",
+        st.garbage_ratio()
+    );
+    assert!(st.log_bytes < before + 30 * 9 * 1024, "log did not shrink");
+    // Every record survives compaction with its newest payload.
+    for id in 0..40u64 {
+        let (_, bytes) = s.read(id).unwrap().expect("live record");
+        let want = if id < 30 {
+            payload(id + 500, 8 * 1024)
+        } else {
+            payload(id, 8 * 1024)
+        };
+        assert_eq!(bytes, want, "id {id} damaged by compaction");
+    }
+    // The compaction temp file was renamed away, not left behind.
+    let sibling = tmp.0.with_extension("log.compact");
+    assert!(!sibling.exists(), "{} left behind", sibling.display());
+}
+
+#[test]
+fn explicit_compact_reclaims_removed_records() {
+    let tmp = TempPath::new("explicit-compact");
+    let mut s = SpillFile::open(&tmp.0, 1.0).unwrap(); // auto-compaction off
+    for id in 0..10u64 {
+        s.append(id, 0, &payload(id, 512)).unwrap();
+    }
+    for id in 0..5u64 {
+        assert!(s.remove(id).unwrap());
+    }
+    assert!(!s.remove(0).unwrap(), "double remove is a no-op");
+    let garbage_before = s.stats().garbage_ratio();
+    assert!(garbage_before > 0.4, "removals should have left garbage");
+    s.compact().unwrap();
+    let st = s.stats();
+    assert_eq!(st.records, 5);
+    assert_eq!(st.log_bytes, st.live_bytes, "compacted log is all live");
+    for id in 5..10u64 {
+        assert_eq!(s.read(id).unwrap().unwrap().1, payload(id, 512));
+    }
+}
+
+#[test]
+fn reopen_truncates_torn_tail_but_keeps_whole_records() {
+    let tmp = TempPath::new("torn-tail");
+    let whole_len;
+    {
+        let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+        for id in 0..5u64 {
+            s.append(id, 2, &payload(id, 300)).unwrap();
+        }
+        s.sync().unwrap();
+        whole_len = s.stats().log_bytes;
+    }
+    // Simulate a crash mid-append: a half-written record at the tail.
+    let mut f = OpenOptions::new().append(true).open(&tmp.0).unwrap();
+    f.write_all(b"WMSR").unwrap();
+    f.write_all(&42u64.to_le_bytes()).unwrap(); // id, then nothing more
+    f.sync_all().unwrap();
+    drop(f);
+
+    let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+    assert_eq!(s.len(), 5, "whole records before the tear survive");
+    assert!(!s.contains(42), "the torn record never happened");
+    assert_eq!(s.stats().log_bytes, whole_len, "tail truncated away");
+    assert_eq!(std::fs::metadata(&tmp.0).unwrap().len(), whole_len);
+    // The store still appends cleanly after recovery.
+    s.append(42, 2, &payload(42, 300)).unwrap();
+    assert_eq!(s.read(42).unwrap().unwrap().1, payload(42, 300));
+}
+
+#[test]
+fn mid_log_damage_is_corrupt_not_torn() {
+    let tmp = TempPath::new("mid-log");
+    {
+        let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+        for id in 0..3u64 {
+            s.append(id, 0, &payload(id, 200)).unwrap();
+        }
+        s.sync().unwrap();
+    }
+    // Stomp the *second* record's magic: damage before the tail must not
+    // be silently truncated like a torn tail (that would drop record 3).
+    let mut f = OpenOptions::new().write(true).open(&tmp.0).unwrap();
+    f.seek(SeekFrom::Start(4 + 8 + 1 + 8 + 200 + 8)).unwrap();
+    f.write_all(b"JUNK").unwrap();
+    f.sync_all().unwrap();
+    drop(f);
+
+    match SpillFile::open(&tmp.0, 1.0) {
+        Err(SpillError::Corrupt(CheckpointError::BadMagic { found, .. })) => {
+            assert_eq!(&found, b"JUNK");
+        }
+        other => panic!("expected BadMagic, got {other:?}", other = other.err()),
+    }
+}
+
+#[test]
+fn corrupted_payload_fails_checksum_on_read() {
+    let tmp = TempPath::new("checksum");
+    {
+        let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+        s.append(9, 1, &payload(9, 400)).unwrap();
+        s.sync().unwrap();
+    }
+    // Flip one payload byte at rest (offset 21 is the first payload byte).
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&tmp.0)
+        .unwrap();
+    f.seek(SeekFrom::Start(21 + 100)).unwrap();
+    let mut b = [0u8; 1];
+    std::io::Read::read_exact(&mut f, &mut b).unwrap();
+    f.seek(SeekFrom::Start(21 + 100)).unwrap();
+    f.write_all(&[b[0] ^ 0x01]).unwrap();
+    f.sync_all().unwrap();
+    drop(f);
+
+    let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+    match s.read(9) {
+        Err(SpillError::Corrupt(CheckpointError::ChecksumMismatch { expected, found })) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn clear_empties_the_store_and_reclaims_the_file() {
+    let tmp = TempPath::new("clear");
+    let mut s = SpillFile::open(&tmp.0, 1.0).unwrap();
+    for id in 0..8u64 {
+        s.append(id, 0, &payload(id, 1024)).unwrap();
+    }
+    s.clear().unwrap();
+    assert!(s.is_empty());
+    assert_eq!(s.stats().log_bytes, 0, "clear compacts the log away");
+    assert_eq!(s.ids().count(), 0);
+    // Reopening an engine over a stale log is modeled by open + clear;
+    // the store stays usable afterwards.
+    s.append(3, 1, &payload(3, 64)).unwrap();
+    assert_eq!(s.read(3).unwrap().unwrap(), (1, payload(3, 64)));
+}

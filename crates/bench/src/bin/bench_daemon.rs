@@ -1,0 +1,283 @@
+//! Daemon transport baseline: what the WMSP socket hop costs over
+//! driving the engine in-process, what the shed policy does under a
+//! flood, and how long kill-and-resume recovery takes. Writes the
+//! machine-readable `BENCH_daemon.json`.
+//!
+//! ```text
+//! WMS_BENCH_MS=500 cargo run -p wms-bench --release --bin bench_daemon
+//! ```
+//!
+//! Environment:
+//! * `WMS_BENCH_MS`  — wall-clock budget per measurement (default 200 ms);
+//! * `WMS_BENCH_OUT` — output path (default `BENCH_daemon.json`).
+//!
+//! Every socket run is drift-checked: its output file must be
+//! byte-identical to the in-process reference or the bench aborts —
+//! a throughput number for a daemon that corrupts output is worthless.
+//!
+//! The daemon listens on a loopback TCP socket (portable, and the
+//! honest price of a real network stack). `daemon-embed/transport`
+//! compares in-process embedding against the full pipelined
+//! send → ack → drain cycle; `daemon-recovery/replay-after-kill` times
+//! phase 2 of a crash: rebind with `resume`, full client replay (stale
+//! batches refused cheaply), graceful drain. Flood behavior lands in
+//! the JSON metadata (`flood_batches` / `flood_shed`).
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wms_bench::perf::{self, PerfRecord};
+use wms_bench::testkit::{
+    engine_reference_output, first_divergence, raw_wave_events, test_embed, test_identity,
+};
+use wms_core::EmbedConfig;
+use wms_daemon::proto::batch_frame;
+use wms_daemon::{
+    BatchReply, Client, DaemonConfig, Endpoint, Outcome, OverloadPolicy, RunReport, Server,
+};
+use wms_engine::{EngineConfig, Event};
+
+const SCHEMA: &str = "wms-bench-daemon/v1";
+const KEY: u64 = 4242;
+/// Events per stream in the workload (3 streams).
+const PER_STREAM: usize = 1500;
+/// Events per WMSP batch.
+const BATCH: usize = 256;
+
+fn base_config(dir: &Path, embed: &Arc<EmbedConfig>) -> DaemonConfig {
+    DaemonConfig::new(
+        Endpoint::Tcp("127.0.0.1:0".into()),
+        dir.join("out.csv"),
+        EngineConfig::with_workers(1),
+        Arc::clone(embed),
+        test_identity(KEY),
+    )
+}
+
+fn start(cfg: DaemonConfig) -> (Endpoint, std::thread::JoinHandle<RunReport>) {
+    let server = Server::bind(cfg).expect("bind");
+    let ep = Endpoint::parse(server.local_desc()).expect("parse endpoint");
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (ep, handle)
+}
+
+fn connect(ep: &Endpoint) -> (Client, wms_daemon::Greeting) {
+    Client::connect_retry(ep, "bench-daemon", Duration::from_secs(5)).expect("connect")
+}
+
+/// Writes every batch (sequence numbers `seq0..`), then absorbs
+/// verdicts — resending shed/gap refusals in ascending order once the
+/// pipe is drained — until all of them are applied (or already stale
+/// from a previous life).
+fn pipeline_until_applied(client: &mut Client, batches: &[&[Event]], seq0: u64) {
+    for (i, batch) in batches.iter().enumerate() {
+        client
+            .write_raw(&batch_frame(seq0 + i as u64, batch))
+            .expect("write");
+    }
+    let mut outstanding: BTreeSet<u64> = (seq0..seq0 + batches.len() as u64).collect();
+    let mut in_flight = batches.len();
+    let mut resend: BTreeSet<u64> = BTreeSet::new();
+    while !outstanding.is_empty() {
+        let (seq, reply) = client.read_reply().expect("reply");
+        in_flight -= 1;
+        match reply {
+            BatchReply::Acked { .. } | BatchReply::Stale => {
+                outstanding.remove(&seq);
+            }
+            BatchReply::Shed | BatchReply::Gap => {
+                resend.insert(seq);
+            }
+            BatchReply::Draining => panic!("nothing requested a drain"),
+        }
+        if in_flight == 0 && !outstanding.is_empty() {
+            for &seq in &resend {
+                client
+                    .write_raw(&batch_frame(seq, batches[(seq - seq0) as usize]))
+                    .expect("retry write");
+                in_flight += 1;
+            }
+            resend.clear();
+        }
+    }
+}
+
+/// One full daemon lifecycle: bind, pipeline the whole schedule, drain.
+fn socket_run(dir: &Path, embed: &Arc<EmbedConfig>, batches: &[&[Event]]) -> RunReport {
+    let (ep, handle) = start(base_config(dir, embed));
+    let (mut client, _) = connect(&ep);
+    pipeline_until_applied(&mut client, batches, 1);
+    client.drain().expect("drain");
+    handle.join().expect("join")
+}
+
+/// Flood a shed-policy daemon (bounded queue, slowed engine) and
+/// converge anyway; returns the run report with its shed count.
+fn flood_run(dir: &Path, embed: &Arc<EmbedConfig>, batches: &[&[Event]]) -> RunReport {
+    let mut cfg = base_config(dir, embed);
+    cfg.overload = OverloadPolicy::Shed;
+    cfg.queue_depth = 1;
+    cfg.ingest_delay = Duration::from_millis(10);
+    let (ep, handle) = start(cfg);
+    let (mut client, _) = connect(&ep);
+    pipeline_until_applied(&mut client, batches, 1);
+    client.drain().expect("drain");
+    handle.join().expect("join")
+}
+
+/// Kill-and-resume: phase 1 hard-stops mid-schedule (the in-process
+/// `kill -9` stand-in), phase 2 — the timed part — rebinds with
+/// `resume`, replays the entire journal and drains.
+fn crash_and_resume(
+    dir: &Path,
+    embed: &Arc<EmbedConfig>,
+    batches: &[&[Event]],
+) -> (Duration, RunReport) {
+    let mut cfg = base_config(dir, embed);
+    cfg.checkpoint = Some(dir.join("daemon.ck"));
+    cfg.checkpoint_every = 4;
+    cfg.hard_stop_after = (batches.len() as u64 / 2).max(1);
+    let (ep, handle) = start(cfg.clone());
+    let (mut client, _) = connect(&ep);
+    for (i, batch) in batches.iter().enumerate() {
+        match client.send_batch(i as u64 + 1, batch) {
+            Ok(BatchReply::Acked { .. }) => continue,
+            // The stop surfaces as a refusal or a torn socket.
+            Ok(_) | Err(_) => break,
+        }
+    }
+    let stopped = handle.join().expect("join");
+    assert_eq!(stopped.outcome, Outcome::HardStopped);
+
+    let t0 = Instant::now();
+    cfg.resume = true;
+    cfg.hard_stop_after = 0;
+    let (ep, handle) = start(cfg);
+    let (mut client, _) = connect(&ep);
+    pipeline_until_applied(&mut client, batches, 1);
+    client.drain().expect("drain");
+    let report = handle.join().expect("join");
+    (t0.elapsed(), report)
+}
+
+fn check_drift(dir: &Path, reference: &[u8], what: &str) {
+    let got = std::fs::read(dir.join("out.csv")).expect("read output");
+    if let Some(pos) = first_divergence(reference, &got) {
+        eprintln!(
+            "bench_daemon: {what}: output drifted from the in-process reference at byte {pos}"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let budget_ms: u64 = std::env::var("WMS_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let budget = Duration::from_millis(budget_ms.max(1));
+    let out_path = std::env::var("WMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_daemon.json".into());
+
+    let dir = std::env::temp_dir().join(format!("wms-bench-daemon-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let embed = test_embed(KEY);
+    let events = raw_wave_events(&[3, 8, 21], PER_STREAM);
+    let batches: Vec<&[Event]> = events.chunks(BATCH).collect();
+    let items = events.len() as u64;
+    let reference = engine_reference_output(&embed, &batches);
+    eprintln!(
+        "bench_daemon: {budget_ms} ms per measurement, {items} events in {} batches",
+        batches.len()
+    );
+
+    let mut records: Vec<PerfRecord> = Vec::new();
+
+    // The no-network denominator: the same engine, driven directly.
+    records.push(perf::measure(
+        "daemon-embed/transport",
+        "in-process",
+        items,
+        budget,
+        || {
+            black_box(engine_reference_output(&embed, black_box(&batches)));
+        },
+    ));
+
+    // Steady-state socket streaming: one long-lived daemon and
+    // connection; each iteration pipelines the whole schedule under
+    // fresh sequence numbers. Drain/teardown (a ~150 ms constant of
+    // quiesce grace and final checkpointing) is excluded here and
+    // reported by the lifecycle row instead.
+    {
+        let (ep, handle) = start(base_config(&dir, &embed));
+        let (mut client, _) = connect(&ep);
+        let mut next_seq = 1u64;
+        records.push(perf::measure(
+            "daemon-embed/transport",
+            "socket",
+            items,
+            budget,
+            || {
+                pipeline_until_applied(&mut client, &batches, next_seq);
+                next_seq += batches.len() as u64;
+            },
+        ));
+        client.drain().expect("drain");
+        handle.join().expect("join");
+    }
+
+    // One full lifecycle — bind, handshake, stream, graceful drain —
+    // and the byte-identity check against the in-process reference.
+    let t0 = Instant::now();
+    black_box(socket_run(&dir, &embed, &batches));
+    let lifecycle = t0.elapsed();
+    check_drift(&dir, &reference, "socket run");
+    records.push(PerfRecord {
+        bench: "daemon-lifecycle/bind-stream-drain".into(),
+        variant: "socket".into(),
+        items,
+        iters: 1,
+        ns_per_iter: lifecycle.as_nanos() as f64,
+        items_per_sec: items as f64 * 1e9 / lifecycle.as_nanos() as f64,
+    });
+
+    // Shed-rate under flood (counters, not throughput: the run is
+    // dominated by the deliberately slowed engine).
+    let flood = flood_run(&dir, &embed, &batches);
+    check_drift(&dir, &reference, "flood run");
+
+    // Recovery latency: rebind + full replay + drain after a hard stop.
+    let (recovery, resumed) = crash_and_resume(&dir, &embed, &batches);
+    assert!(
+        resumed.stale >= 1,
+        "resume must refuse replayed batches as stale"
+    );
+    check_drift(&dir, &reference, "resumed run");
+    records.push(PerfRecord {
+        bench: "daemon-recovery/replay-after-kill".into(),
+        variant: "socket".into(),
+        items,
+        iters: 1,
+        ns_per_iter: recovery.as_nanos() as f64,
+        items_per_sec: items as f64 * 1e9 / recovery.as_nanos() as f64,
+    });
+
+    let meta = [
+        ("flood_batches", batches.len() as u64),
+        ("flood_shed", flood.shed),
+        ("recovery_ms", recovery.as_millis() as u64),
+    ];
+    let json = perf::render_json_meta(SCHEMA, budget_ms, &meta, &records);
+    std::fs::write(&out_path, &json).expect("write artifact");
+    eprint!("{}", perf::render_perf_table(&records));
+    eprintln!(
+        "flood: {} of {} batches shed; recovery replay: {} ms; wrote {out_path}",
+        flood.shed,
+        batches.len(),
+        recovery.as_millis()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

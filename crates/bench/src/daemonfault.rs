@@ -1,0 +1,176 @@
+//! Network fault injection for the WMSP daemon.
+//!
+//! A fault is a *transformation of the byte stream a client would have
+//! sent*: re-chunking at hostile boundaries, truncating mid-frame,
+//! flipping a byte, or stalling half-open. [`plan`] turns wire bytes
+//! plus a [`Fault`] into an explicit [`WirePlan`] — the exact chunk
+//! sequence (and stall) to write — so tests can assert properties of
+//! the schedule itself, and [`send`] replays a plan into any writer
+//! (usually a [`wms_daemon::Conn`]).
+//!
+//! The invariant the fault suite proves with these pieces: every fault
+//! surfaces as a typed error or NACK on the injecting connection, and
+//! **no fault schedule changes a single byte of the daemon's output**.
+
+use std::io::Write;
+use std::time::Duration;
+
+/// One transport-level fault to inject into a WMSP byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver the bytes in chunks of at most `n` bytes (`n >= 1`),
+    /// exercising reassembly at arbitrary frame-boundary splits.
+    SplitEvery(usize),
+    /// Send only the first `n` bytes, then nothing (the peer closing
+    /// mid-frame is the usual follow-up).
+    TruncateAfter(usize),
+    /// XOR one byte with `mask` before sending. A zero mask is bumped
+    /// to `1` so the byte always really changes.
+    CorruptByte {
+        /// Byte offset into the wire stream (wrapped into range).
+        offset: usize,
+        /// XOR mask to apply.
+        mask: u8,
+    },
+    /// Send the first `bytes` bytes, go quiet for `hold` (half-open
+    /// stall), then send the rest.
+    StallAfter {
+        /// Bytes delivered before the stall.
+        bytes: usize,
+        /// How long the connection stays silent.
+        hold: Duration,
+    },
+}
+
+/// An explicit delivery schedule: what [`send`] will write, verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePlan {
+    /// Byte chunks, written in order with one `write_all` + flush each.
+    pub chunks: Vec<Vec<u8>>,
+    /// Sleep this long before writing chunk index `.0`.
+    pub stall: Option<(usize, Duration)>,
+}
+
+/// Compiles `fault` against `wire` into the chunk schedule to send.
+pub fn plan(wire: &[u8], fault: &Fault) -> WirePlan {
+    match *fault {
+        Fault::SplitEvery(n) => {
+            let n = n.max(1);
+            WirePlan {
+                chunks: wire.chunks(n).map(<[u8]>::to_vec).collect(),
+                stall: None,
+            }
+        }
+        Fault::TruncateAfter(n) => WirePlan {
+            chunks: vec![wire[..n.min(wire.len())].to_vec()],
+            stall: None,
+        },
+        Fault::CorruptByte { offset, mask } => {
+            let mut bytes = wire.to_vec();
+            if !bytes.is_empty() {
+                let at = offset % bytes.len();
+                bytes[at] ^= if mask == 0 { 1 } else { mask };
+            }
+            WirePlan {
+                chunks: vec![bytes],
+                stall: None,
+            }
+        }
+        Fault::StallAfter { bytes, hold } => {
+            let cut = bytes.min(wire.len());
+            WirePlan {
+                chunks: vec![wire[..cut].to_vec(), wire[cut..].to_vec()],
+                stall: Some((1, hold)),
+            }
+        }
+    }
+}
+
+/// Replays a [`WirePlan`] into `w`, flushing after every chunk so each
+/// lands on the socket as its own delivery (sleeping at the stall
+/// point, if any).
+pub fn send(w: &mut impl Write, plan: &WirePlan) -> std::io::Result<()> {
+    for (i, chunk) in plan.chunks.iter().enumerate() {
+        if let Some((at, hold)) = plan.stall {
+            if at == i {
+                std::thread::sleep(hold);
+            }
+        }
+        w.write_all(chunk)?;
+        w.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &[u8] = b"WMSP-example-frame-bytes";
+
+    #[test]
+    fn split_preserves_every_byte_in_order() {
+        for n in [1usize, 3, 7, 1000] {
+            let p = plan(WIRE, &Fault::SplitEvery(n));
+            assert!(p
+                .chunks
+                .iter()
+                .all(|c| !c.is_empty() && c.len() <= n.max(1)));
+            let joined: Vec<u8> = p.chunks.concat();
+            assert_eq!(joined, WIRE, "split every {n} lost or reordered bytes");
+        }
+        // A degenerate 0 is treated as 1, not a panic.
+        assert_eq!(plan(WIRE, &Fault::SplitEvery(0)).chunks.len(), WIRE.len());
+    }
+
+    #[test]
+    fn truncate_is_an_exact_prefix() {
+        let p = plan(WIRE, &Fault::TruncateAfter(5));
+        assert_eq!(p.chunks, vec![WIRE[..5].to_vec()]);
+        // Truncating past the end sends everything.
+        let p = plan(WIRE, &Fault::TruncateAfter(10_000));
+        assert_eq!(p.chunks, vec![WIRE.to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte() {
+        let p = plan(
+            WIRE,
+            &Fault::CorruptByte {
+                offset: 6,
+                mask: 0x20,
+            },
+        );
+        let sent = &p.chunks[0];
+        assert_eq!(sent.len(), WIRE.len());
+        let diffs: Vec<usize> = (0..sent.len()).filter(|&i| sent[i] != WIRE[i]).collect();
+        assert_eq!(diffs, vec![6]);
+        // mask 0 still changes the byte; offsets wrap instead of panicking.
+        let p = plan(
+            WIRE,
+            &Fault::CorruptByte {
+                offset: WIRE.len() + 2,
+                mask: 0,
+            },
+        );
+        assert_ne!(p.chunks[0][2], WIRE[2]);
+    }
+
+    #[test]
+    fn stall_splits_at_the_requested_byte() {
+        let hold = Duration::from_millis(123);
+        let p = plan(WIRE, &Fault::StallAfter { bytes: 4, hold });
+        assert_eq!(p.chunks.len(), 2);
+        assert_eq!(p.chunks[0], WIRE[..4].to_vec());
+        assert_eq!(p.chunks[1], WIRE[4..].to_vec());
+        assert_eq!(p.stall, Some((1, hold)));
+    }
+
+    #[test]
+    fn send_writes_the_plan_verbatim() {
+        let p = plan(WIRE, &Fault::SplitEvery(5));
+        let mut sink = Vec::new();
+        send(&mut sink, &p).unwrap();
+        assert_eq!(sink, WIRE);
+    }
+}

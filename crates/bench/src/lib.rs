@@ -14,11 +14,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemonfault;
 pub mod datasets;
 pub mod exp;
 pub mod perf;
 pub mod reference;
 pub mod report;
 pub mod resilience;
+pub mod testkit;
 
 pub use report::{emit_figure, Series};

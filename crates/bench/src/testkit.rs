@@ -1,0 +1,242 @@
+//! Reusable test support for kill-and-resume equivalence testing.
+//!
+//! Several suites prove the same invariant — "a run that died and was
+//! resumed produces a byte-identical artifact to a run that never
+//! died" — over different transports: the `wms engine` checkpoint
+//! smoke (in `wms-cli`), the in-process daemon lifecycle tests (in
+//! `wms-daemon`), the fault-injection suite and the daemon smoke. This
+//! module holds the pieces they share so the fixtures and the
+//! byte-compare diagnostics stay in one place:
+//!
+//! - deterministic interleaved flows ([`offset_sine_flow`] for
+//!   normalized runs, [`raw_wave_flow`] / [`raw_wave_events`] for the
+//!   daemon's `--normalize none` path);
+//! - a canonical scheme fixture ([`test_params`], [`test_embed`],
+//!   [`test_identity`]) known to embed a detectable mark in *raw*
+//!   small-amplitude waves;
+//! - the reference run ([`engine_reference_output`]) and the
+//!   byte-compare itself ([`assert_byte_identical`],
+//!   [`first_divergence`]).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use wms_core::encoding::multihash::MultiHashEncoder;
+use wms_core::{EmbedConfig, Scheme, Watermark, WmParams};
+use wms_crypto::{Key, KeyedHash};
+use wms_daemon::SchemeIdentity;
+use wms_engine::{Engine, EngineConfig, Event, StreamId, StreamSpec};
+use wms_stream::Sample;
+
+/// Scheme parameters that reliably embed into short raw (unnormalized)
+/// waves: small window, low degree, dense labeling. Also usable under
+/// per-stream normalization.
+pub fn test_params() -> WmParams {
+    WmParams {
+        window: 64,
+        degree: 2,
+        radius: 0.01,
+        max_subset: 4,
+        label_len: 3,
+        label_stride: 1,
+        min_active: Some(4),
+        ..WmParams::default()
+    }
+}
+
+/// [`test_params`] under an MD5 keyed hash for `key`.
+pub fn test_scheme(key: u64) -> Scheme {
+    Scheme::new(test_params(), KeyedHash::md5(Key::from_u64(key))).expect("valid test params")
+}
+
+/// A single-bit embedding config over [`test_scheme`].
+pub fn test_embed(key: u64) -> Arc<EmbedConfig> {
+    Arc::new(
+        EmbedConfig::new(
+            test_scheme(key),
+            Arc::new(MultiHashEncoder),
+            Watermark::single(true),
+        )
+        .expect("valid embed config"),
+    )
+}
+
+/// The daemon-side identity matching [`test_embed`].
+pub fn test_identity(key: u64) -> SchemeIdentity {
+    SchemeIdentity {
+        encoder: "multihash".into(),
+        wm_bits: Watermark::single(true).bits().to_vec(),
+        params: format!("{:?}", test_params()),
+        fingerprint: test_scheme(key).memo_fingerprint(),
+    }
+}
+
+fn raw_wave_value(id: u64, i: usize) -> f64 {
+    let period = 19.0 + (id % 7) as f64 * 4.0;
+    let t = i as f64 + id as f64;
+    0.3 * (t * std::f64::consts::TAU / period).sin()
+        + 0.05 * (t * std::f64::consts::TAU / 7.0).sin()
+}
+
+/// A `stream,value` CSV of interleaved small-amplitude waves — values a
+/// raw (`--normalize none`) run can watermark directly with
+/// [`test_params`]. Streams are interleaved row-major: one reading per
+/// stream per time step, in the order given.
+pub fn raw_wave_flow(streams: &[u64], rows_per_stream: usize) -> String {
+    let mut out = String::from("# stream,value\n");
+    for i in 0..rows_per_stream {
+        for &id in streams {
+            writeln!(out, "{id},{}", raw_wave_value(id, i)).expect("string write");
+        }
+    }
+    out
+}
+
+/// [`raw_wave_flow`] as in-memory events (same ordering, same values),
+/// for suites that drive the engine or a WMSP client directly.
+pub fn raw_wave_events(streams: &[u64], rows_per_stream: usize) -> Vec<Event> {
+    let mut events = Vec::with_capacity(streams.len() * rows_per_stream);
+    for i in 0..rows_per_stream {
+        for &id in streams {
+            events.push(Event::new(
+                StreamId(id),
+                Sample::new(i as u64, raw_wave_value(id, i)),
+            ));
+        }
+    }
+    events
+}
+
+/// A `stream,value` CSV of interleaved offset sines (distinct per-stream
+/// ranges), for suites exercising per-stream min-max normalization.
+pub fn offset_sine_flow(streams: &[u64], rows_per_stream: usize) -> String {
+    let mut out = String::from("# stream,value\n");
+    for i in 0..rows_per_stream {
+        for &id in streams {
+            let t = i as f64 + id as f64;
+            let v = 10.0 * id as f64
+                + 4.0 * (t * std::f64::consts::TAU / 60.0).sin()
+                + 0.6 * (t * std::f64::consts::TAU / 17.0).sin();
+            writeln!(out, "{id},{v}").expect("string write");
+        }
+    }
+    out
+}
+
+/// What a daemon (or a `--normalize none` engine run) must produce for
+/// this exact batch schedule: the same engine driven directly, one
+/// worker, streams registered on first touch, raw values, tails
+/// appended by `finish`. Returns the full output file contents.
+pub fn engine_reference_output(embed: &Arc<EmbedConfig>, batches: &[&[Event]]) -> Vec<u8> {
+    let mut engine = Engine::new(EngineConfig::with_workers(1)).expect("engine");
+    let mut registered = HashSet::new();
+    let mut out = String::from("# stream,value\n");
+    for batch in batches {
+        for e in *batch {
+            if registered.insert(e.stream.0) {
+                engine
+                    .register(e.stream, StreamSpec::Embed(Arc::clone(embed)))
+                    .expect("register");
+            }
+        }
+        for o in engine.ingest(batch).expect("ingest") {
+            for s in o.samples {
+                writeln!(out, "{},{}", o.stream, s.value).expect("string write");
+            }
+        }
+    }
+    for o in engine.finish().expect("finish") {
+        for s in o.tail {
+            writeln!(out, "{},{}", o.stream, s.value).expect("string write");
+        }
+    }
+    out.into_bytes()
+}
+
+/// The first byte offset at which two buffers differ (`None` if one is
+/// a prefix of the other and lengths match — i.e. identical).
+pub fn first_divergence(a: &[u8], b: &[u8]) -> Option<usize> {
+    if let Some(pos) = a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+        return Some(pos);
+    }
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    None
+}
+
+/// Panics with a localized diff unless the two files are byte-identical.
+/// `what` names the comparison in the failure message (e.g. `"resumed
+/// output vs uninterrupted run"`).
+pub fn assert_byte_identical(reference: &Path, candidate: &Path, what: &str) {
+    let a = std::fs::read(reference)
+        .unwrap_or_else(|e| panic!("{what}: read {}: {e}", reference.display()));
+    let b = std::fs::read(candidate)
+        .unwrap_or_else(|e| panic!("{what}: read {}: {e}", candidate.display()));
+    if let Some(pos) = first_divergence(&a, &b) {
+        let ctx = |buf: &[u8]| {
+            let lo = pos.saturating_sub(40);
+            let hi = (pos + 40).min(buf.len());
+            String::from_utf8_lossy(&buf[lo..hi]).into_owned()
+        };
+        panic!(
+            "{what}: outputs diverge at byte {pos} ({} is {} bytes, {} is {})\n\
+             reference around divergence: {:?}\n\
+             candidate around divergence: {:?}",
+            reference.display(),
+            a.len(),
+            candidate.display(),
+            b.len(),
+            ctx(&a),
+            ctx(&b),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_are_deterministic_and_interleaved() {
+        let a = raw_wave_flow(&[3, 8], 5);
+        let b = raw_wave_flow(&[3, 8], 5);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 11, "header + 2 streams x 5 rows");
+        assert!(a.lines().nth(1).unwrap().starts_with("3,"));
+        assert!(a.lines().nth(2).unwrap().starts_with("8,"));
+    }
+
+    #[test]
+    fn events_match_the_csv_flow() {
+        let events = raw_wave_events(&[3, 8], 4);
+        let flow = raw_wave_flow(&[3, 8], 4);
+        let rows: Vec<&str> = flow.lines().skip(1).collect();
+        assert_eq!(events.len(), rows.len());
+        for (e, row) in events.iter().zip(rows) {
+            assert_eq!(format!("{},{}", e.stream.0, e.sample.value), row);
+        }
+    }
+
+    #[test]
+    fn divergence_positions_are_exact() {
+        assert_eq!(first_divergence(b"abc", b"abc"), None);
+        assert_eq!(first_divergence(b"abc", b"abd"), Some(2));
+        assert_eq!(first_divergence(b"abc", b"abcd"), Some(3));
+        assert_eq!(first_divergence(b"", b"x"), Some(0));
+    }
+
+    #[test]
+    fn reference_output_covers_header_rows_and_tails() {
+        let events = raw_wave_events(&[3, 8, 21], 200);
+        let batches: Vec<&[Event]> = events.chunks(64).collect();
+        let out = engine_reference_output(&test_embed(4242), &batches);
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("# stream,value\n"));
+        // Every input sample comes back out exactly once.
+        assert_eq!(text.lines().count(), 1 + events.len());
+        // And the run is deterministic.
+        assert_eq!(out, engine_reference_output(&test_embed(4242), &batches));
+    }
+}

@@ -1,0 +1,309 @@
+//! Fault-injection suite for the WMSP daemon: every transport fault
+//! surfaces as a typed error or NACK, and **no fault schedule changes a
+//! single byte of the daemon's output**.
+//!
+//! Each test runs the daemon in-process over a loopback TCP socket,
+//! injects one fault family via [`wms_bench::daemonfault`], completes
+//! the batch schedule honestly (reconnecting where the fault costs the
+//! connection), and byte-compares the output file against
+//! [`wms_bench::testkit::engine_reference_output`] — the same engine
+//! driven directly, no network at all.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use wms_bench::daemonfault::{plan, send, Fault};
+use wms_bench::testkit::{engine_reference_output, raw_wave_events, test_embed, test_identity};
+use wms_daemon::proto::batch_frame;
+use wms_daemon::{
+    BatchReply, Client, ClientError, DaemonConfig, DaemonError, Endpoint, Outcome, OverloadPolicy,
+    RunReport, Server,
+};
+use wms_engine::{EngineConfig, Event};
+
+const KEY: u64 = 4242;
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wmsd-fault-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        Scratch(p)
+    }
+
+    fn path(&self, f: &str) -> PathBuf {
+        self.0.join(f)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn base_config(scratch: &Scratch) -> DaemonConfig {
+    DaemonConfig::new(
+        Endpoint::Tcp("127.0.0.1:0".into()),
+        scratch.path("out.csv"),
+        EngineConfig::with_workers(1),
+        test_embed(KEY),
+        test_identity(KEY),
+    )
+}
+
+/// Binds (resolving the ephemeral port), runs the server on a thread,
+/// and returns the connectable endpoint plus the join handle.
+fn start(
+    cfg: DaemonConfig,
+) -> (
+    Endpoint,
+    std::thread::JoinHandle<Result<RunReport, DaemonError>>,
+) {
+    let server = Server::bind(cfg).expect("bind");
+    let ep = Endpoint::parse(server.local_desc()).expect("parse bound endpoint");
+    (ep, std::thread::spawn(move || server.run()))
+}
+
+fn connect(ep: &Endpoint) -> (Client, wms_daemon::Greeting) {
+    Client::connect_retry(ep, "fault-suite", Duration::from_secs(5)).expect("connect")
+}
+
+fn fixture() -> (Vec<Event>, Vec<u8>) {
+    let events = raw_wave_events(&[3, 8, 21], 220);
+    let batches: Vec<&[Event]> = events.chunks(64).collect();
+    let reference = engine_reference_output(&test_embed(KEY), &batches);
+    (events, reference)
+}
+
+#[test]
+fn hostile_chunking_never_changes_an_output_byte() {
+    for split in [1usize, 9] {
+        let scratch = Scratch::new(&format!("split{split}"));
+        let (events, reference) = fixture();
+        let batches: Vec<&[Event]> = events.chunks(64).collect();
+
+        let (ep, handle) = start(base_config(&scratch));
+        let (mut client, _) = connect(&ep);
+        // The entire schedule as one byte stream, delivered in
+        // `split`-byte fragments — every frame boundary is violated.
+        let wire: Vec<u8> = batches
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| batch_frame(i as u64 + 1, b))
+            .collect();
+        send(client.conn_mut(), &plan(&wire, &Fault::SplitEvery(split))).expect("inject");
+        for _ in &batches {
+            match client.read_reply().expect("reply") {
+                (_, BatchReply::Acked { .. }) => {}
+                (seq, other) => panic!("batch {seq} refused: {other:?}"),
+            }
+        }
+        client.drain().expect("drain");
+        let report = handle.join().unwrap().expect("server run");
+        assert_eq!(report.outcome, Outcome::Drained);
+        assert_eq!(report.batches, batches.len() as u64);
+
+        let got = std::fs::read(scratch.path("out.csv")).unwrap();
+        assert_eq!(
+            got, reference,
+            "split-every-{split} delivery changed the output"
+        );
+    }
+}
+
+#[test]
+fn truncated_frame_is_a_typed_error_and_costs_only_the_connection() {
+    let scratch = Scratch::new("truncate");
+    let (events, reference) = fixture();
+    let batches: Vec<&[Event]> = events.chunks(64).collect();
+
+    let (ep, handle) = start(base_config(&scratch));
+    let (mut client, _) = connect(&ep);
+    // Three honest batches, then a frame cut off mid-payload and EOF.
+    for (i, batch) in batches[..3].iter().enumerate() {
+        match client.send_batch(i as u64 + 1, batch).expect("send") {
+            BatchReply::Acked { .. } => {}
+            other => panic!("honest batch refused: {other:?}"),
+        }
+    }
+    let torn = batch_frame(4, batches[3]);
+    send(
+        client.conn_mut(),
+        &plan(&torn, &Fault::TruncateAfter(torn.len() / 2)),
+    )
+    .expect("inject");
+    drop(client); // EOF mid-frame: the reader reports Truncated and hangs up
+                  // The daemon survives: a fresh connection sees exactly the three
+                  // acked batches and finishes the schedule.
+    let (mut client, greeting) = connect(&ep);
+    assert_eq!(greeting.acked_seq, 3, "torn batch 4 must not be applied");
+    for (i, batch) in batches.iter().enumerate().skip(3) {
+        match client.send_batch(i as u64 + 1, batch).expect("send") {
+            BatchReply::Acked { .. } => {}
+            other => panic!("batch {} refused: {other:?}", i + 1),
+        }
+    }
+    client.drain().expect("drain");
+    let report = handle.join().unwrap().expect("server run");
+    assert_eq!(report.batches, batches.len() as u64);
+    assert_eq!(report.connections, 2);
+
+    let got = std::fs::read(scratch.path("out.csv")).unwrap();
+    assert_eq!(got, reference, "truncation fault changed the output");
+}
+
+#[test]
+fn corrupted_byte_gets_a_bad_frame_nack_and_an_honest_retry_converges() {
+    let scratch = Scratch::new("corrupt");
+    let (events, reference) = fixture();
+    let batches: Vec<&[Event]> = events.chunks(64).collect();
+
+    let (ep, handle) = start(base_config(&scratch));
+    let (mut client, _) = connect(&ep);
+    for (i, batch) in batches[..2].iter().enumerate() {
+        match client.send_batch(i as u64 + 1, batch).expect("send") {
+            BatchReply::Acked { .. } => {}
+            other => panic!("honest batch refused: {other:?}"),
+        }
+    }
+    // Batch 3 with one payload byte flipped: CRC catches it, the reader
+    // answers BAD_FRAME (code 1) and hangs up on the now-unframeable
+    // stream.
+    let wire = batch_frame(3, batches[2]);
+    send(
+        client.conn_mut(),
+        &plan(
+            &wire,
+            &Fault::CorruptByte {
+                offset: 15,
+                mask: 0x20,
+            },
+        ),
+    )
+    .expect("inject");
+    match client.read_reply() {
+        Err(ClientError::Nack { code: 1, .. }) => {}
+        other => panic!("corrupt frame should NACK with BAD_FRAME, got {other:?}"),
+    }
+    // Honest replay from where the server actually is.
+    let (mut client, greeting) = connect(&ep);
+    assert_eq!(greeting.acked_seq, 2, "corrupt batch 3 must not be applied");
+    for (i, batch) in batches.iter().enumerate().skip(2) {
+        match client.send_batch(i as u64 + 1, batch).expect("send") {
+            BatchReply::Acked { .. } => {}
+            other => panic!("batch {} refused: {other:?}", i + 1),
+        }
+    }
+    client.drain().expect("drain");
+    handle.join().unwrap().expect("server run");
+
+    let got = std::fs::read(scratch.path("out.csv")).unwrap();
+    assert_eq!(got, reference, "corruption fault changed the output");
+}
+
+#[test]
+fn half_open_stall_is_reaped_and_service_continues() {
+    let scratch = Scratch::new("stall");
+    let (events, reference) = fixture();
+    let batches: Vec<&[Event]> = events.chunks(64).collect();
+
+    let mut cfg = base_config(&scratch);
+    cfg.read_timeout = Duration::from_millis(25);
+    cfg.idle_timeout = Duration::from_millis(150);
+    let (ep, handle) = start(cfg);
+
+    // The stalling peer: half a frame, then silence longer than the
+    // idle timeout. The reaper must cut it loose.
+    let (mut staller, _) = connect(&ep);
+    let wire = batch_frame(1, batches[0]);
+    send(
+        staller.conn_mut(),
+        &plan(&wire, &Fault::TruncateAfter(wire.len() / 3)),
+    )
+    .expect("inject");
+    // Reaped: EOF or a reset, either is fine — but never a reply.
+    if let Ok(reply) = staller.read_reply() {
+        panic!("half-open peer should be reaped, got {reply:?}");
+    }
+
+    // An honest client is unaffected — and the stalled partial frame
+    // was never applied.
+    let (mut client, greeting) = connect(&ep);
+    assert_eq!(greeting.acked_seq, 0);
+    for (i, batch) in batches.iter().enumerate() {
+        match client.send_batch(i as u64 + 1, batch).expect("send") {
+            BatchReply::Acked { .. } => {}
+            other => panic!("batch {} refused: {other:?}", i + 1),
+        }
+    }
+    client.drain().expect("drain");
+    let report = handle.join().unwrap().expect("server run");
+    assert_eq!(report.connections, 2);
+
+    let got = std::fs::read(scratch.path("out.csv")).unwrap();
+    assert_eq!(got, reference, "half-open stall changed the output");
+}
+
+#[test]
+fn flood_past_the_queue_bound_sheds_typed_nacks_and_retry_converges() {
+    let scratch = Scratch::new("flood");
+    let (events, reference) = fixture();
+    let batches: Vec<&[Event]> = events.chunks(64).collect();
+
+    let mut cfg = base_config(&scratch);
+    cfg.overload = OverloadPolicy::Shed;
+    cfg.queue_depth = 1;
+    cfg.ingest_delay = Duration::from_millis(40); // make overflow certain
+    let (ep, handle) = start(cfg);
+    let (mut client, _) = connect(&ep);
+
+    // Flood: every batch written back-to-back, no replies read. The
+    // bounded queue must refuse the overflow with OVERLOADED NACKs —
+    // never by silently dropping.
+    for (i, batch) in batches.iter().enumerate() {
+        client
+            .write_raw(&batch_frame(i as u64 + 1, batch))
+            .expect("flood write");
+    }
+    // One verdict arrives per write. A shed can open a sequence hole
+    // (a later batch slips into the freed queue slot and the engine
+    // refuses it as a GAP), so refusals are collected per round and
+    // resent in ascending order once every in-flight reply is in —
+    // exactly what a production sender with a journal would do.
+    let mut outstanding: std::collections::BTreeSet<u64> = (1..=batches.len() as u64).collect();
+    let mut in_flight = batches.len();
+    let mut resend: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    while !outstanding.is_empty() {
+        let (seq, reply) = client.read_reply().expect("reply");
+        in_flight -= 1;
+        match reply {
+            BatchReply::Acked { .. } | BatchReply::Stale => {
+                outstanding.remove(&seq);
+            }
+            BatchReply::Shed | BatchReply::Gap => {
+                resend.insert(seq);
+            }
+            BatchReply::Draining => panic!("nothing requested a drain"),
+        }
+        if in_flight == 0 && !outstanding.is_empty() {
+            for &seq in &resend {
+                client
+                    .write_raw(&batch_frame(seq, batches[seq as usize - 1]))
+                    .expect("retry write");
+                in_flight += 1;
+            }
+            assert!(in_flight > 0, "refused batches vanished without a verdict");
+            resend.clear();
+        }
+    }
+    client.drain().expect("drain");
+    let report = handle.join().unwrap().expect("server run");
+    assert!(report.shed >= 1, "flood never overflowed the queue");
+    assert_eq!(report.batches, batches.len() as u64);
+
+    let got = std::fs::read(scratch.path("out.csv")).unwrap();
+    assert_eq!(got, reference, "shed-and-retry schedule changed the output");
+}

@@ -20,13 +20,56 @@ use wms_stream::{
     csv, normalize_stream, values_of, Event, Normalizer, Sample, StreamSource, Transform,
 };
 
-/// A command failure, carrying the message shown to the user.
+/// A command failure: the message shown to the user plus the process
+/// exit code classifying the fault.
+///
+/// Exit-code taxonomy (documented in `wms help`, stable):
+///
+/// | code | class                                                 |
+/// |------|-------------------------------------------------------|
+/// | 0    | success                                               |
+/// | 2    | usage / parameter error                               |
+/// | 3    | I/O failure (file or socket)                          |
+/// | 4    | wire-protocol failure (WMSP)                          |
+/// | 5    | corrupt or incompatible persisted state (checkpoint / |
+/// |      | output file mismatch)                                 |
+/// | 6    | engine fault (lost worker, poisoned session, spill)   |
 #[derive(Debug)]
-pub struct CmdError(pub String);
+pub struct CmdError {
+    /// Message shown to the user.
+    pub msg: String,
+    /// Process exit code (see the taxonomy table).
+    pub code: i32,
+}
+
+impl CmdError {
+    /// A usage/parameter error (exit code 2) — the default class.
+    pub fn new(msg: impl Into<String>) -> CmdError {
+        CmdError::with_code(msg, 2)
+    }
+
+    /// An error with an explicit exit-code class.
+    pub fn with_code(msg: impl Into<String>, code: i32) -> CmdError {
+        CmdError {
+            msg: msg.into(),
+            code,
+        }
+    }
+
+    /// Corrupt or incompatible persisted state (exit code 5).
+    pub fn corrupt(msg: impl Into<String>) -> CmdError {
+        CmdError::with_code(msg, 5)
+    }
+
+    /// An engine fault (exit code 6).
+    pub fn engine_fault(msg: impl Into<String>) -> CmdError {
+        CmdError::with_code(msg, 6)
+    }
+}
 
 impl std::fmt::Display for CmdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.msg)
     }
 }
 
@@ -34,19 +77,25 @@ impl std::error::Error for CmdError {}
 
 impl From<ArgError> for CmdError {
     fn from(e: ArgError) -> Self {
-        CmdError(e.0)
+        CmdError::new(e.0)
     }
 }
 
 impl From<std::io::Error> for CmdError {
     fn from(e: std::io::Error) -> Self {
-        CmdError(e.to_string())
+        CmdError::with_code(e.to_string(), 3)
     }
 }
 
 impl From<String> for CmdError {
     fn from(e: String) -> Self {
-        CmdError(e)
+        CmdError::new(e)
+    }
+}
+
+impl From<wms_daemon::DaemonError> for CmdError {
+    fn from(e: wms_daemon::DaemonError) -> Self {
+        CmdError::with_code(e.to_string(), e.exit_code())
     }
 }
 
@@ -80,6 +129,7 @@ COMMANDS:
                [--text OWNER] [--encoder ...] [scheme flags as for embed]
                [--checkpoint-every N --checkpoint F] [--resume F]
                [--stop-after N] [--max-resident N [--spill F]]
+               [--normalize fit|none]
                (input/output rows are `stream,value`; each stream is
                 normalized independently and watermarked with the same
                 key and parameters. --checkpoint-every writes a durable
@@ -89,7 +139,31 @@ COMMANDS:
                 exits after N batches to simulate a crash; --max-resident
                 caps materialized sessions, hibernating the
                 least-recently-touched ones to --spill (or an in-memory
-                log) without changing any output byte)
+                log) without changing any output byte; --normalize none
+                feeds raw values straight through — the daemon's mode —
+                so the two paths byte-compare)
+    daemon     run wmsd, the long-lived watermarking service (WMSP over
+               TCP or a unix socket; drain with SIGTERM for a final
+               checkpoint + verdicts)
+               --listen tcp:HOST:PORT|unix:PATH --output F --key K
+               [--queue N] [--overload block|shed] [--workers N]
+               [--checkpoint F [--checkpoint-every N]
+                [--checkpoint-interval-ms MS]] [--resume F]
+               [--read-timeout-ms MS] [--write-timeout-ms MS]
+               [--idle-ms MS] [--stop-after N]
+               [--max-resident N [--spill F]]
+               [--text OWNER] [--encoder ...] [scheme flags as for embed]
+               (values are watermarked raw — no per-stream normalization
+                — so output is byte-identical to `wms engine --normalize
+                none` fed the same batches; after kill -9, restart with
+                --resume F and replay: already-acked batches get STALE
+                NACKs and the output reconverges byte-identically)
+    send       stream a CSV to a running wmsd
+               --connect tcp:HOST:PORT|unix:PATH --input F [--batch B]
+               [--drain true] [--wait-ms MS]
+               (skips batches the handshake reports already acked;
+                backs off and retries on OVERLOADED NACKs; --drain true
+                asks the daemon to finalize and exit afterwards)
     resilience run an attack x severity x scheme resilience campaign
                (embed -> attack -> detect over a deterministic stream
                 population) and print per-cell verdicts
@@ -103,7 +177,15 @@ COMMANDS:
     help       this text
 
 Values are one reading per line; `#` comments allowed. All commands are
-deterministic given their seeds.";
+deterministic given their seeds.
+
+EXIT CODES:
+    0  success
+    2  usage / parameter error
+    3  I/O failure (file or socket)
+    4  wire-protocol failure (WMSP)
+    5  corrupt or incompatible persisted state (checkpoint / output)
+    6  engine fault (lost worker, poisoned session, spill)";
 
 /// One-bit verdict wording shared by `detect` and `engine`. The bias
 /// threshold is deliberately loose (footnote-5 shorthand); court-grade
@@ -141,7 +223,7 @@ fn parse_params(args: &Args) -> Result<WmParams, CmdError> {
     if let Some(m) = args.get_parsed::<usize>("min-active")? {
         p.min_active = Some(m);
     }
-    p.validate().map_err(CmdError)?;
+    p.validate().map_err(CmdError::new)?;
     Ok(p)
 }
 
@@ -150,7 +232,7 @@ fn parse_encoder(args: &Args, scheme: &Scheme) -> Result<Arc<dyn SubsetEncoder>,
         "multihash" => Ok(Arc::new(MultiHashEncoder)),
         "initial" => Ok(Arc::new(InitialEncoder)),
         "quadres" => Ok(Arc::new(QuadResEncoder::from_scheme(scheme, 3))),
-        other => Err(CmdError(format!(
+        other => Err(CmdError::new(format!(
             "unknown encoder {other:?}; expected multihash|initial|quadres"
         ))),
     }
@@ -166,7 +248,7 @@ fn parse_watermark(args: &Args) -> Result<Watermark, CmdError> {
 fn read_stream(path: &Path) -> Result<Vec<Sample>, CmdError> {
     let s = csv::read_values(path)?;
     if s.is_empty() {
-        return Err(CmdError(format!("{}: empty stream", path.display())));
+        return Err(CmdError::new(format!("{}: empty stream", path.display())));
     }
     Ok(s)
 }
@@ -198,23 +280,23 @@ fn read_calibration(path: &Path) -> Result<wms_stream::Normalizer, CmdError> {
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next()) {
             (Some("offset"), Some(v)) => {
-                offset = Some(
-                    v.parse::<f64>()
-                        .map_err(|e| CmdError(format!("{}: bad offset: {e}", path.display())))?,
-                )
+                offset =
+                    Some(v.parse::<f64>().map_err(|e| {
+                        CmdError::new(format!("{}: bad offset: {e}", path.display()))
+                    })?)
             }
             (Some("scale"), Some(v)) => {
-                scale = Some(
-                    v.parse::<f64>()
-                        .map_err(|e| CmdError(format!("{}: bad scale: {e}", path.display())))?,
-                )
+                scale =
+                    Some(v.parse::<f64>().map_err(|e| {
+                        CmdError::new(format!("{}: bad scale: {e}", path.display()))
+                    })?)
             }
             _ => {}
         }
     }
     match (offset, scale) {
         (Some(o), Some(s)) => Ok(wms_stream::Normalizer::explicit(o, s)),
-        _ => Err(CmdError(format!(
+        _ => Err(CmdError::new(format!(
             "{}: calibration needs `offset` and `scale` lines",
             path.display()
         ))),
@@ -242,7 +324,7 @@ pub fn generate(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErr
         }
         "gaussian" => SmoothGaussianSource::generate(0.0, 0.5, 25, seed, n),
         other => {
-            return Err(CmdError(format!(
+            return Err(CmdError::new(format!(
                 "unknown kind {other:?}; expected irtf|temperature|gaussian"
             )))
         }
@@ -266,15 +348,15 @@ pub fn embed(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError>
     let params = parse_params(args)?;
     let wm = parse_watermark(args)?;
     let calibration = args.get("calibration").map(PathBuf::from);
-    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError::new)?;
     let encoder = parse_encoder(args, &scheme)?;
     args.finish()?;
 
     let raw = read_stream(&input)?;
     let (stream, normalizer) =
-        normalize_stream(&raw).ok_or_else(|| CmdError("degenerate input stream".into()))?;
+        normalize_stream(&raw).ok_or_else(|| CmdError::new("degenerate input stream"))?;
     let (marked, stats) =
-        Embedder::embed_stream(scheme, encoder, wm.clone(), &stream).map_err(CmdError)?;
+        Embedder::embed_stream(scheme, encoder, wm.clone(), &stream).map_err(CmdError::new)?;
     let denorm = normalizer.denormalize_samples(&marked);
     csv::write_values(&output, &values_of(&denorm))?;
     if let Some(cal) = &calibration {
@@ -312,7 +394,7 @@ pub fn detect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let reference = parse_watermark(args)?;
     let wm_len: usize = args.get_or("wm-len", reference.len())?;
     let calibration = args.get("calibration").map(PathBuf::from);
-    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError::new)?;
     let encoder = parse_encoder(args, &scheme)?;
     args.finish()?;
 
@@ -330,13 +412,13 @@ pub fn detect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
                  untransformed or purely affine data)"
             )?;
             normalize_stream(&raw)
-                .ok_or_else(|| CmdError("degenerate input stream".into()))?
+                .ok_or_else(|| CmdError::new("degenerate input stream"))?
                 .0
         }
     };
     let report =
         Detector::detect_stream(scheme, encoder, wm_len, &stream, TransformHint::Known(chi))
-            .map_err(CmdError)?;
+            .map_err(CmdError::new)?;
     writeln!(
         out,
         "examined {} major extremes, {} selected, {} verdicts",
@@ -393,42 +475,48 @@ fn parse_attack(kind: &str, seed: u64) -> Result<Box<dyn Transform>, CmdError> {
         Some(("sample", k)) => {
             let k: usize = k
                 .parse()
-                .map_err(|e| CmdError(format!("bad degree: {e}")))?;
+                .map_err(|e| CmdError::new(format!("bad degree: {e}")))?;
             Ok(Box::new(UniformSampling::new(k, seed)))
         }
         Some(("fixed-sample", k)) => {
             let k: usize = k
                 .parse()
-                .map_err(|e| CmdError(format!("bad degree: {e}")))?;
+                .map_err(|e| CmdError::new(format!("bad degree: {e}")))?;
             Ok(Box::new(wms_attacks::FixedSampling::new(k)))
         }
         Some(("summarize", k)) => {
             let k: usize = k
                 .parse()
-                .map_err(|e| CmdError(format!("bad degree: {e}")))?;
+                .map_err(|e| CmdError::new(format!("bad degree: {e}")))?;
             Ok(Box::new(Summarization::new(k)))
         }
         Some(("epsilon", spec)) => {
             let (f, a) = spec
                 .split_once(',')
-                .ok_or_else(|| CmdError("epsilon:FRAC,AMP".into()))?;
+                .ok_or_else(|| CmdError::new("epsilon:FRAC,AMP"))?;
             let frac: f64 = f
                 .parse()
-                .map_err(|e| CmdError(format!("bad fraction: {e}")))?;
+                .map_err(|e| CmdError::new(format!("bad fraction: {e}")))?;
             let amp: f64 = a
                 .parse()
-                .map_err(|e| CmdError(format!("bad amplitude: {e}")))?;
+                .map_err(|e| CmdError::new(format!("bad amplitude: {e}")))?;
             Ok(Box::new(EpsilonAttack::uniform(frac, amp, seed)))
         }
         Some(("segment", spec)) => {
             let (s, l) = spec
                 .split_once(',')
-                .ok_or_else(|| CmdError("segment:START,LEN".into()))?;
-            let start: usize = s.parse().map_err(|e| CmdError(format!("bad start: {e}")))?;
-            let len: usize = l.parse().map_err(|e| CmdError(format!("bad len: {e}")))?;
+                .ok_or_else(|| CmdError::new("segment:START,LEN"))?;
+            let start: usize = s
+                .parse()
+                .map_err(|e| CmdError::new(format!("bad start: {e}")))?;
+            let len: usize = l
+                .parse()
+                .map_err(|e| CmdError::new(format!("bad len: {e}")))?;
             Ok(Box::new(Segmentation { start, len }))
         }
-        _ => Err(CmdError(format!("unknown attack {kind:?}; see `wms help`"))),
+        _ => Err(CmdError::new(format!(
+            "unknown attack {kind:?}; see `wms help`"
+        ))),
     }
 }
 
@@ -441,7 +529,7 @@ pub fn inspect(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdErro
 
     let raw = read_stream(&input)?;
     let (stream, _) =
-        normalize_stream(&raw).ok_or_else(|| CmdError("degenerate input stream".into()))?;
+        normalize_stream(&raw).ok_or_else(|| CmdError::new("degenerate input stream"))?;
     let values = values_of(&stream);
     let all = extremes::scan(&values, radius);
     let majors = all.iter().filter(|e| e.is_major(degree)).count();
@@ -507,7 +595,7 @@ impl ResumeMeta {
     }
 
     fn from_checkpoint(ck: &wms_engine::Checkpoint) -> Result<ResumeMeta, CmdError> {
-        let bad = |e: wms_core::CheckpointError| CmdError(format!("resume metadata: {e}"));
+        let bad = |e: wms_core::CheckpointError| CmdError::corrupt(format!("resume metadata: {e}"));
         let mut r = wms_core::checkpoint::ByteReader::new(&ck.meta);
         let consumed = r.get_u64().map_err(bad)?;
         let out_bytes = r.get_u64().map_err(bad)?;
@@ -549,7 +637,9 @@ fn write_engine_checkpoint(
     writer.get_ref().sync_all()?;
     let mut file: &std::fs::File = writer.get_ref();
     meta.out_bytes = file.stream_position()?;
-    let mut ck = engine.checkpoint().map_err(|e| CmdError(e.to_string()))?;
+    let mut ck = engine
+        .checkpoint()
+        .map_err(|e| CmdError::engine_fault(e.to_string()))?;
     ck.meta = meta.to_bytes();
     let tmp = path.with_extension("ck-tmp");
     {
@@ -582,16 +672,29 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let stop_after: usize = args.get_or("stop-after", 0usize)?;
     let max_resident: usize = args.get_or("max-resident", 0usize)?;
     let spill = args.get("spill").map(PathBuf::from);
-    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError)?;
+    let normalize_flag = args.get("normalize").unwrap_or("fit").to_string();
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError::new)?;
     let encoder_name = args.get("encoder").unwrap_or("multihash").to_string();
     let encoder = parse_encoder(args, &scheme)?;
     args.finish()?;
     if batch == 0 {
-        return Err(CmdError("--batch must be >= 1".into()));
+        return Err(CmdError::new("--batch must be >= 1".to_string()));
     }
+    let normalize_fit = match normalize_flag.as_str() {
+        "fit" => true,
+        // `none` feeds raw values straight through — the mode the wmsd
+        // daemon uses, so a daemon run can be byte-compared against an
+        // in-process one.
+        "none" => false,
+        other => {
+            return Err(CmdError::new(format!(
+                "unknown --normalize {other:?}; expected fit|none"
+            )))
+        }
+    };
     if spill.is_some() && max_resident == 0 {
-        return Err(CmdError(
-            "--spill needs --max-resident N (nothing hibernates without a budget)".into(),
+        return Err(CmdError::new(
+            "--spill needs --max-resident N (nothing hibernates without a budget)",
         ));
     }
     let engine_cfg = {
@@ -604,14 +707,17 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     // A bare `--resume F` keeps checkpointing to the same file.
     let ck_path = ck_path.or_else(|| resume.clone());
     if ck_every > 0 && ck_path.is_none() {
-        return Err(CmdError(
-            "--checkpoint-every needs --checkpoint FILE (or --resume FILE to continue one)".into(),
+        return Err(CmdError::new(
+            "--checkpoint-every needs --checkpoint FILE (or --resume FILE to continue one)",
         ));
     }
 
     let raw_events = csv::read_events(&input)?;
     if raw_events.is_empty() {
-        return Err(CmdError(format!("{}: empty event flow", input.display())));
+        return Err(CmdError::new(format!(
+            "{}: empty event flow",
+            input.display()
+        )));
     }
 
     // Per-stream min-max normalization (the engine analogue of `wms
@@ -628,39 +734,57 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             })
             .push(e.sample.value);
     }
-    let mut normalizers: HashMap<u64, Normalizer> = HashMap::new();
-    for (&id, values) in &per_stream_values {
-        let n = Normalizer::fit(values)
-            .filter(|n| n.scale() != 0.0)
-            .ok_or_else(|| CmdError(format!("stream {id}: degenerate (constant) stream")))?;
-        normalizers.insert(id, n);
-    }
-    let events: Vec<Event> = raw_events
-        .iter()
-        .map(|e| {
-            let n = &normalizers[&e.stream.0];
-            Event::new(e.stream, e.sample.with_value(n.normalize(e.sample.value)))
-        })
-        .collect();
+    let normalizers: Option<HashMap<u64, Normalizer>> = if normalize_fit {
+        let mut fitted = HashMap::new();
+        for (&id, values) in &per_stream_values {
+            let n = Normalizer::fit(values)
+                .filter(|n| n.scale() != 0.0)
+                .ok_or_else(|| {
+                    CmdError::new(format!("stream {id}: degenerate (constant) stream"))
+                })?;
+            fitted.insert(id, n);
+        }
+        Some(fitted)
+    } else {
+        None
+    };
+    let events: Vec<Event> = match &normalizers {
+        Some(ns) => raw_events
+            .iter()
+            .map(|e| {
+                let n = &ns[&e.stream.0];
+                Event::new(e.stream, e.sample.with_value(n.normalize(e.sample.value)))
+            })
+            .collect(),
+        None => raw_events.clone(),
+    };
+    // `--normalize none` must write `s.value` untouched: an identity
+    // Normalizer's denormalize is *almost* the identity (`-0.0 + 0.0`
+    // flips sign zero), so the raw path bypasses it entirely.
+    let denorm = |id: u64, v: f64| match &normalizers {
+        Some(ns) => ns[&id].denormalize(v),
+        None => v,
+    };
 
     // Embedding pass: one shared config, one session per stream. Fresh
     // runs register every stream; resumed runs re-adopt the checkpointed
     // sessions and truncate the output back to the checkpoint's offset.
     let embed_cfg = Arc::new(
-        EmbedConfig::new(scheme.clone(), Arc::clone(&encoder), wm.clone()).map_err(CmdError)?,
+        EmbedConfig::new(scheme.clone(), Arc::clone(&encoder), wm.clone())
+            .map_err(CmdError::new)?,
     );
     let (mut engine, mut consumed, mut writer) = if let Some(resume_path) = &resume {
         let bytes = std::fs::read(resume_path)
-            .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
+            .map_err(|e| CmdError::with_code(format!("{}: {e}", resume_path.display()), 3))?;
         let ck = wms_engine::Checkpoint::from_bytes(&bytes)
-            .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
+            .map_err(|e| CmdError::corrupt(format!("{}: {e}", resume_path.display())))?;
         let meta = ResumeMeta::from_checkpoint(&ck)?;
         let (consumed, out_bytes) = (meta.consumed, meta.out_bytes);
         // The scheme fingerprint (checked in Engine::restore below)
         // covers the key and codec parameters; these cover the run
         // parameters the output additionally depends on.
         if meta.batch != batch as u64 {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: checkpoint was taken with --batch {}, this run uses --batch {batch} \
                  (output row grouping depends on it; pass the original value)",
                 resume_path.display(),
@@ -668,7 +792,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             )));
         }
         if meta.encoder != encoder_name {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: checkpoint was taken with --encoder {}, this run uses --encoder \
                  {encoder_name} (resuming would embed a mixed, corrupt mark)",
                 resume_path.display(),
@@ -676,14 +800,14 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             )));
         }
         if meta.wm_bits != wm.bits() {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: checkpoint embeds a different watermark than this run's --text \
                  (resuming would embed a mixed, corrupt mark)",
                 resume_path.display()
             )));
         }
         if meta.params != format!("{params:?}") {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: checkpoint was taken under different scheme parameters \
                  ({}), this run uses {params:?}",
                 resume_path.display(),
@@ -692,13 +816,13 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         }
         let known: std::collections::HashSet<u64> = stream_order.iter().map(|s| s.0).collect();
         if ck.num_streams() != known.len() || ck.streams().any(|id| !known.contains(&id.0)) {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: checkpoint streams do not match the input's streams",
                 resume_path.display()
             )));
         }
         if consumed as usize > events.len() {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: checkpoint is ahead of the input ({} events consumed, input has {})",
                 resume_path.display(),
                 consumed,
@@ -708,7 +832,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         let engine = Engine::restore(engine_cfg.clone(), &ck, |_| {
             Some(StreamSpec::Embed(Arc::clone(&embed_cfg)))
         })
-        .map_err(|e| CmdError(format!("{}: {e}", resume_path.display())))?;
+        .map_err(|e| CmdError::corrupt(format!("{}: {e}", resume_path.display())))?;
         // Drop the rows written after the checkpoint (they replay now).
         // `set_len` would silently zero-EXTEND a file shorter than the
         // recorded offset, so a missing/truncated output fails fast.
@@ -716,10 +840,10 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             .read(true)
             .write(true)
             .open(&output)
-            .map_err(|e| CmdError(format!("{}: {e}", output.display())))?;
+            .map_err(|e| CmdError::with_code(format!("{}: {e}", output.display()), 3))?;
         let have = file.metadata()?.len();
         if have < out_bytes {
-            return Err(CmdError(format!(
+            return Err(CmdError::corrupt(format!(
                 "{}: output file is shorter than the checkpoint expects \
                  ({have} < {out_bytes} bytes) — it is not the file this checkpoint was \
                  taken against",
@@ -737,11 +861,12 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         )?;
         (engine, consumed as usize, std::io::BufWriter::new(file))
     } else {
-        let mut engine = Engine::new(engine_cfg.clone()).map_err(|e| CmdError(e.to_string()))?;
+        let mut engine =
+            Engine::new(engine_cfg.clone()).map_err(|e| CmdError::engine_fault(e.to_string()))?;
         for &id in &stream_order {
             engine
                 .register(id, StreamSpec::Embed(Arc::clone(&embed_cfg)))
-                .map_err(|e| CmdError(e.to_string()))?;
+                .map_err(|e| CmdError::engine_fault(e.to_string()))?;
         }
         let mut writer = std::io::BufWriter::new(std::fs::File::create(&output)?);
         writeln!(writer, "# stream,value")?;
@@ -751,12 +876,13 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let mut batches_done = 0usize;
     let mut stopped_early = false;
     for chunk in events[consumed..].chunks(batch) {
-        let outs = engine.ingest(chunk).map_err(|e| CmdError(e.to_string()))?;
+        let outs = engine
+            .ingest(chunk)
+            .map_err(|e| CmdError::engine_fault(e.to_string()))?;
         consumed += chunk.len();
         for o in outs {
-            let n = &normalizers[&o.stream.0];
             for s in o.samples {
-                writeln!(writer, "{},{}", o.stream, n.denormalize(s.value))?;
+                writeln!(writer, "{},{}", o.stream, denorm(o.stream.0, s.value))?;
             }
         }
         batches_done += 1;
@@ -797,10 +923,17 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let mut embedded_total = 0u64;
     let mut stats_by_id: HashMap<u64, wms_core::EmbedStats> = HashMap::new();
     let resolved_workers = engine.workers();
-    for outcome in engine.finish().map_err(|e| CmdError(e.to_string()))? {
-        let n = &normalizers[&outcome.stream.0];
+    for outcome in engine
+        .finish()
+        .map_err(|e| CmdError::engine_fault(e.to_string()))?
+    {
         for s in outcome.tail {
-            writeln!(writer, "{},{}", outcome.stream, n.denormalize(s.value))?;
+            writeln!(
+                writer,
+                "{},{}",
+                outcome.stream,
+                denorm(outcome.stream.0, s.value)
+            )?;
         }
         let stats = outcome.embed_stats.expect("embed mode");
         embedded_total += stats.embedded;
@@ -822,29 +955,38 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     // file (so fresh and resumed runs verify the exact same bytes),
     // re-normalize per stream and detect with the same key — one
     // verdict per stream.
-    let marked: Vec<Event> = csv::read_events(&output)?
-        .iter()
-        .map(|e| {
-            let n = &normalizers[&e.stream.0];
-            Event::new(e.stream, e.sample.with_value(n.normalize(e.sample.value)))
-        })
-        .collect();
-    let detect_cfg =
-        Arc::new(DetectConfig::new(scheme, Arc::clone(&encoder), wm.len(), 1.0).map_err(CmdError)?);
+    let reread = csv::read_events(&output)?;
+    let marked: Vec<Event> = match &normalizers {
+        Some(ns) => reread
+            .iter()
+            .map(|e| {
+                let n = &ns[&e.stream.0];
+                Event::new(e.stream, e.sample.with_value(n.normalize(e.sample.value)))
+            })
+            .collect(),
+        None => reread,
+    };
+    let detect_cfg = Arc::new(
+        DetectConfig::new(scheme, Arc::clone(&encoder), wm.len(), 1.0).map_err(CmdError::new)?,
+    );
     // The embed engine is gone by now (consumed by `finish`), so the
     // verifier can reuse the same budget — and the same spill file.
-    let mut verifier = Engine::new(engine_cfg).map_err(|e| CmdError(e.to_string()))?;
+    let mut verifier =
+        Engine::new(engine_cfg).map_err(|e| CmdError::engine_fault(e.to_string()))?;
     for &id in &stream_order {
         verifier
             .register(id, StreamSpec::Detect(Arc::clone(&detect_cfg)))
-            .map_err(|e| CmdError(e.to_string()))?;
+            .map_err(|e| CmdError::engine_fault(e.to_string()))?;
     }
     for chunk in marked.chunks(batch) {
         verifier
             .ingest(chunk)
-            .map_err(|e| CmdError(e.to_string()))?;
+            .map_err(|e| CmdError::engine_fault(e.to_string()))?;
     }
-    for outcome in verifier.finish().map_err(|e| CmdError(e.to_string()))? {
+    for outcome in verifier
+        .finish()
+        .map_err(|e| CmdError::engine_fault(e.to_string()))?
+    {
         let report = outcome.report.expect("detect mode");
         let stats = &stats_by_id[&outcome.stream.0];
         writeln!(
@@ -861,6 +1003,285 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     Ok(())
 }
 
+/// Maps a WMSP client failure onto the exit-code taxonomy: socket
+/// trouble is I/O (3), everything else is a wire-protocol failure (4).
+fn client_err(e: wms_daemon::ClientError) -> CmdError {
+    use wms_daemon::ClientError::*;
+    match e {
+        Io(_) | Closed => CmdError::with_code(e.to_string(), 3),
+        Proto(_) | Nack { .. } | Unexpected(_) => CmdError::with_code(e.to_string(), 4),
+    }
+}
+
+/// `wms daemon`: run `wmsd`, the long-lived watermarking service. Binds
+/// a TCP or unix socket, accepts WMSP batch streams from any number of
+/// clients, and writes raw (`--normalize none`) watermarked rows to
+/// `--output`. Blocks until a graceful drain (SIGTERM / SIGINT / a
+/// client `SHUTDOWN` frame), then verifies the output with a detection
+/// pass — the same per-stream verdict lines `wms engine` prints.
+pub fn daemon(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    use wms_daemon::{DaemonConfig, Endpoint, Outcome, SchemeIdentity, Server};
+
+    let listen = args.require("listen")?.to_string();
+    let output = PathBuf::from(args.require("output")?);
+    let key = parse_key(args)?;
+    let params = parse_params(args)?;
+    let wm = parse_watermark(args)?;
+    let workers: usize = args.get_or("workers", 0usize)?;
+    let ck_path = args.get("checkpoint").map(PathBuf::from);
+    let ck_every: u64 = args.get_or("checkpoint-every", 0u64)?;
+    let ck_interval_ms: u64 = args.get_or("checkpoint-interval-ms", 0u64)?;
+    let resume = args.get("resume").map(PathBuf::from);
+    let queue_depth: usize = args.get_or("queue", 64usize)?;
+    let overload = wms_daemon::OverloadPolicy::parse(args.get("overload").unwrap_or("block"))
+        .map_err(CmdError::new)?;
+    let read_timeout_ms: u64 = args.get_or("read-timeout-ms", 200u64)?;
+    let write_timeout_ms: u64 = args.get_or("write-timeout-ms", 5_000u64)?;
+    let idle_ms: u64 = args.get_or("idle-ms", 30_000u64)?;
+    let stop_after: u64 = args.get_or("stop-after", 0u64)?;
+    let max_resident: usize = args.get_or("max-resident", 0usize)?;
+    let spill = args.get("spill").map(PathBuf::from);
+    let scheme = Scheme::new(params, KeyedHash::md5(key)).map_err(CmdError::new)?;
+    let encoder_name = args.get("encoder").unwrap_or("multihash").to_string();
+    let encoder = parse_encoder(args, &scheme)?;
+    args.finish()?;
+    if spill.is_some() && max_resident == 0 {
+        return Err(CmdError::new(
+            "--spill needs --max-resident N (nothing hibernates without a budget)",
+        ));
+    }
+
+    let engine_cfg = {
+        let mut budget = MemoryBudget::resident(max_resident);
+        if let Some(p) = &spill {
+            budget = budget.with_spill_file(p.clone());
+        }
+        EngineConfig::with_workers(workers).with_budget(budget)
+    };
+    let fingerprint = scheme.memo_fingerprint();
+    let embed = Arc::new(
+        EmbedConfig::new(scheme.clone(), Arc::clone(&encoder), wm.clone())
+            .map_err(CmdError::new)?,
+    );
+    let identity = SchemeIdentity {
+        encoder: encoder_name,
+        wm_bits: wm.bits().to_vec(),
+        params: format!("{params:?}"),
+        fingerprint,
+    };
+    let endpoint = Endpoint::parse(&listen).map_err(CmdError::new)?;
+    let mut cfg = DaemonConfig::new(
+        endpoint,
+        output.clone(),
+        engine_cfg.clone(),
+        embed,
+        identity,
+    );
+    // A bare `--resume F` keeps checkpointing to the same file.
+    cfg.checkpoint = ck_path.or_else(|| resume.clone());
+    cfg.checkpoint_every = ck_every;
+    cfg.checkpoint_interval = match ck_interval_ms {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    cfg.resume = resume.is_some();
+    cfg.queue_depth = queue_depth;
+    cfg.overload = overload;
+    cfg.read_timeout = std::time::Duration::from_millis(read_timeout_ms.max(1));
+    cfg.write_timeout = std::time::Duration::from_millis(write_timeout_ms.max(1));
+    cfg.idle_timeout = std::time::Duration::from_millis(idle_ms.max(1));
+    cfg.hard_stop_after = stop_after;
+    let ck_file = cfg.checkpoint.clone();
+
+    let server = Server::bind(cfg)?;
+    if cfg!(unix) {
+        writeln!(
+            out,
+            "wmsd listening on {} (acked seq {}); drain with SIGTERM",
+            server.local_desc(),
+            server.acked_seq()
+        )?;
+    } else {
+        writeln!(
+            out,
+            "wmsd listening on {} (acked seq {}); drain with a SHUTDOWN frame",
+            server.local_desc(),
+            server.acked_seq()
+        )?;
+    }
+    out.flush()?;
+
+    let report = server.run()?;
+    if report.outcome == Outcome::HardStopped {
+        write!(
+            out,
+            "stopped after {} batches (crash simulation)",
+            report.batches
+        )?;
+        match &ck_file {
+            Some(p) => writeln!(out, "; resume with --resume {}", p.display())?,
+            None => writeln!(out, "; no checkpoint was configured")?,
+        }
+        return Ok(());
+    }
+    let mut embedded_total = 0u64;
+    let mut stats_by_id: HashMap<u64, wms_core::EmbedStats> = HashMap::new();
+    let mut stream_order: Vec<wms_engine::StreamId> = Vec::new();
+    for outcome in &report.outcomes {
+        let stats = outcome.embed_stats.expect("embed mode");
+        embedded_total += stats.embedded;
+        stream_order.push(outcome.stream);
+        stats_by_id.insert(outcome.stream.0, stats);
+    }
+    writeln!(
+        out,
+        "wmsd: drained after {} batches / {} events over {} connection(s); \
+         {} shed, {} stale; embedded {} bits; wrote {}",
+        report.batches,
+        report.events,
+        report.connections,
+        report.shed,
+        report.stale,
+        embedded_total,
+        output.display()
+    )?;
+
+    // Verification pass over the output file, exactly as `wms engine
+    // --normalize none` would run it: raw values in, one verdict per
+    // stream, in first-seen order.
+    let marked = csv::read_events(&output)?;
+    let detect_cfg = Arc::new(
+        DetectConfig::new(scheme, Arc::clone(&encoder), wm.len(), 1.0).map_err(CmdError::new)?,
+    );
+    let mut verifier =
+        Engine::new(engine_cfg).map_err(|e| CmdError::engine_fault(e.to_string()))?;
+    for &id in &stream_order {
+        verifier
+            .register(id, StreamSpec::Detect(Arc::clone(&detect_cfg)))
+            .map_err(|e| CmdError::engine_fault(e.to_string()))?;
+    }
+    for chunk in marked.chunks(1024) {
+        verifier
+            .ingest(chunk)
+            .map_err(|e| CmdError::engine_fault(e.to_string()))?;
+    }
+    for outcome in verifier
+        .finish()
+        .map_err(|e| CmdError::engine_fault(e.to_string()))?
+    {
+        let report = outcome.report.expect("detect mode");
+        let stats = &stats_by_id[&outcome.stream.0];
+        writeln!(
+            out,
+            "stream {}: {} items, {} embedded, bias {}, confidence {:.6} — {}",
+            outcome.stream,
+            stats.items_in,
+            stats.embedded,
+            report.bias(),
+            report.confidence(),
+            verdict(&report)
+        )?;
+    }
+    Ok(())
+}
+
+/// `wms send`: stream a `stream,value` CSV to a running `wmsd` in WMSP
+/// batches. Resumes idempotently: batches the server already acked (per
+/// the handshake's `acked_seq`) are skipped client-side, and `STALE`
+/// refusals for ones it acked after we journaled are absorbed — so
+/// re-running the same `wms send` after a daemon crash-and-resume never
+/// double-embeds.
+pub fn send(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    use wms_daemon::{BatchReply, Client, Endpoint};
+
+    let connect = args.require("connect")?.to_string();
+    let input = PathBuf::from(args.require("input")?);
+    let batch: usize = args.get_or("batch", 1024usize)?;
+    let drain: bool = args.get_or("drain", false)?;
+    let wait_ms: u64 = args.get_or("wait-ms", 5_000u64)?;
+    args.finish()?;
+    if batch == 0 {
+        return Err(CmdError::new("--batch must be >= 1".to_string()));
+    }
+    let endpoint = Endpoint::parse(&connect).map_err(CmdError::new)?;
+
+    let events = csv::read_events(&input)?;
+    if events.is_empty() {
+        return Err(CmdError::new(format!(
+            "{}: empty event flow",
+            input.display()
+        )));
+    }
+
+    let (mut client, greeting) = Client::connect_retry(
+        &endpoint,
+        "wms-send",
+        std::time::Duration::from_millis(wait_ms),
+    )
+    .map_err(client_err)?;
+
+    let (mut acked, mut skipped, mut stale, mut retried, mut emitted) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (i, chunk) in events.chunks(batch).enumerate() {
+        let seq = i as u64 + 1;
+        if seq <= greeting.acked_seq {
+            skipped += 1;
+            continue;
+        }
+        loop {
+            match client.send_batch(seq, chunk).map_err(client_err)? {
+                BatchReply::Acked { emitted: rows } => {
+                    acked += 1;
+                    emitted += rows;
+                    break;
+                }
+                BatchReply::Stale => {
+                    stale += 1;
+                    break;
+                }
+                BatchReply::Shed => {
+                    // Typed backpressure: back off and resend the same
+                    // sequence number — the daemon never saw it.
+                    retried += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                BatchReply::Gap => {
+                    // Impossible for this strictly-ordered sender; a gap
+                    // means another client interleaved with us.
+                    return Err(CmdError::with_code(
+                        format!(
+                            "daemon refused batch {seq} as out of order — is another \
+                             sender writing to the same daemon?"
+                        ),
+                        4,
+                    ));
+                }
+                BatchReply::Draining => {
+                    return Err(CmdError::with_code(
+                        format!("daemon is draining; batch {seq} was not accepted"),
+                        4,
+                    ));
+                }
+            }
+        }
+    }
+    write!(
+        out,
+        "sent {acked} batches ({emitted} rows emitted), {skipped} skipped as already \
+         acked, {stale} stale, {retried} shed-and-retried"
+    )?;
+    if drain {
+        let (streams, tail_rows) = client.drain().map_err(client_err)?;
+        writeln!(
+            out,
+            "; drained: {streams} stream(s) finalized, {tail_rows} tail rows"
+        )?;
+    } else {
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
 /// `wms resilience`: run an attack × severity × scheme campaign over a
 /// deterministic stream population and print the per-cell verdict table.
 pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
@@ -870,10 +1291,9 @@ pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdE
     let grid_flag = args.get("grid").map(str::to_string);
     let attacks_flag = args.get("attacks").map(str::to_string);
     if grid_flag.is_some() && attacks_flag.is_some() {
-        return Err(CmdError(
+        return Err(CmdError::new(
             "--grid and --attacks are mutually exclusive (an ad-hoc attack \
-             list replaces the named grid entirely)"
-                .into(),
+             list replaces the named grid entirely)",
         ));
     }
     let grid_name = grid_flag.unwrap_or_else(|| "smoke".into());
@@ -891,7 +1311,7 @@ pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdE
     args.finish()?;
 
     if campaign.items == 0 || campaign.trials == 0 {
-        return Err(CmdError("--items and --trials must be >= 1".into()));
+        return Err(CmdError::new("--items and --trials must be >= 1"));
     }
     // Specs are separated by `+` (or whitespace) — not commas, which
     // belong to the specs themselves (`epsilon:0.5,0.06`).
@@ -901,11 +1321,11 @@ pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdE
             .filter(|s| !s.is_empty())
             .map(wms_attacks::AttackSpec::parse)
             .collect::<Result<Vec<_>, _>>()
-            .map_err(CmdError)?,
-        None => res::grid_by_name(&grid_name).map_err(CmdError)?,
+            .map_err(CmdError::new)?,
+        None => res::grid_by_name(&grid_name).map_err(CmdError::new)?,
     };
     if grid.is_empty() {
-        return Err(CmdError("empty attack grid".into()));
+        return Err(CmdError::new("empty attack grid"));
     }
     let encoders: Vec<&str> = match encoder_flag.as_str() {
         "all" => vec!["multihash", "initial", "quadres"],
@@ -916,7 +1336,7 @@ pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdE
         "engine" => vec![res::PathKind::Engine],
         "both" => vec![res::PathKind::Single, res::PathKind::Engine],
         other => {
-            return Err(CmdError(format!(
+            return Err(CmdError::new(format!(
                 "unknown path {other:?}; expected single|engine|both"
             )))
         }
@@ -925,7 +1345,8 @@ pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdE
     let mut cells = Vec::new();
     for encoder in &encoders {
         for &path in &paths {
-            cells.extend(res::run_campaign(&campaign, &grid, encoder, path).map_err(CmdError)?);
+            cells
+                .extend(res::run_campaign(&campaign, &grid, encoder, path).map_err(CmdError::new)?);
         }
     }
     writeln!(
@@ -962,12 +1383,14 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
         "attack" => attack(args, out),
         "inspect" => inspect(args, out),
         "engine" => engine(args, out),
+        "daemon" => daemon(args, out),
+        "send" => send(args, out),
         "resilience" => resilience(args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
         }
-        other => Err(CmdError(format!(
+        other => Err(CmdError::new(format!(
             "unknown command {other:?}; try `wms help`"
         ))),
     };
@@ -975,7 +1398,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
         Ok(()) => 0,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
-            2
+            e.code
         }
     }
 }
@@ -1416,7 +1839,7 @@ mod tests {
         args[kpos + 1] = "9999".into();
         let code = run(&Args::parse(args).unwrap(), &mut out);
         let text = String::from_utf8_lossy(&out);
-        assert_eq!(code, 2, "{text}");
+        assert_eq!(code, 5, "{text}"); // corrupt/incompatible persisted state
         assert!(text.contains("fingerprint"), "{text}");
 
         // Different --batch: row grouping would diverge from the
@@ -1427,7 +1850,7 @@ mod tests {
         args[bpos + 1] = "32".into();
         let code = run(&Args::parse(args).unwrap(), &mut out);
         let text = String::from_utf8_lossy(&out);
-        assert_eq!(code, 2, "{text}");
+        assert_eq!(code, 5, "{text}"); // corrupt/incompatible persisted state
         assert!(text.contains("--batch 64"), "{text}");
 
         // Different watermark payload: would embed a mixed, corrupt
@@ -1436,7 +1859,7 @@ mod tests {
         let args = with_theta(&["--resume", &ck_s, "--text", "MALLORY"]);
         let code = run(&Args::parse(args).unwrap(), &mut out);
         let text = String::from_utf8_lossy(&out);
-        assert_eq!(code, 2, "{text}");
+        assert_eq!(code, 5, "{text}"); // corrupt/incompatible persisted state
         assert!(text.contains("different watermark"), "{text}");
 
         // Different encoder, same everything else.
@@ -1444,7 +1867,7 @@ mod tests {
         let args = with_theta(&["--resume", &ck_s, "--encoder", "initial"]);
         let code = run(&Args::parse(args).unwrap(), &mut out);
         let text = String::from_utf8_lossy(&out);
-        assert_eq!(code, 2, "{text}");
+        assert_eq!(code, 5, "{text}"); // corrupt/incompatible persisted state
         assert!(text.contains("--encoder multihash"), "{text}");
 
         // Different non-fingerprinted scheme parameter (δ): the full
@@ -1453,7 +1876,7 @@ mod tests {
         let args = with_theta(&["--resume", &ck_s, "--radius", "0.02"]);
         let code = run(&Args::parse(args).unwrap(), &mut out);
         let text = String::from_utf8_lossy(&out);
-        assert_eq!(code, 2, "{text}");
+        assert_eq!(code, 5, "{text}"); // corrupt/incompatible persisted state
         assert!(text.contains("different scheme parameters"), "{text}");
 
         // An output file shorter than the checkpoint's offset is not the
@@ -1464,7 +1887,7 @@ mod tests {
         let args = with_theta(&["--resume", &ck_s]);
         let code = run(&Args::parse(args).unwrap(), &mut out);
         let text = String::from_utf8_lossy(&out);
-        assert_eq!(code, 2, "{text}");
+        assert_eq!(code, 5, "{text}"); // corrupt/incompatible persisted state
         assert!(text.contains("shorter than the checkpoint"), "{text}");
 
         for p in [&input, &output, &ck] {

@@ -1,0 +1,251 @@
+//! End-to-end daemon smoke: real `wms` processes, a real unix socket, a
+//! real `kill -9`.
+//!
+//! The flow mirrors what the CI "Daemon smoke" job drives from the
+//! shell:
+//!
+//! 1. `wms engine --normalize none` produces the single-process
+//!    reference output;
+//! 2. `wms daemon` serves the same scheme; `wms send` streams the same
+//!    flow in the same batches;
+//! 3. the daemon is killed with SIGKILL mid-journal, restarted with
+//!    `--resume`, and the sender replays everything (already-acked
+//!    batches are skipped/refused as stale);
+//! 4. the final output must be **byte-identical** to the reference, and
+//!    the daemon's post-drain verdicts must find the watermark;
+//! 5. separately, SIGTERM must produce a graceful drain and exit 0.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use wms_bench::testkit::{assert_byte_identical, raw_wave_flow};
+
+/// Scheme flags shared by every invocation (reference and daemon runs
+/// must agree or the daemon's checkpoint identity check refuses).
+const SCHEME_FLAGS: &[&str] = &[
+    "--key",
+    "4242",
+    "--window",
+    "64",
+    "--degree",
+    "2",
+    "--radius",
+    "0.01",
+    "--max-subset",
+    "4",
+    "--label-len",
+    "3",
+    "--min-active",
+    "4",
+];
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("wms-dsmoke-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wms_cmd(args: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_wms"));
+    c.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    c
+}
+
+/// Runs to completion, asserting success; returns stdout.
+fn wms_ok(args: &[&str]) -> String {
+    let out = wms_cmd(args).output().expect("spawn wms");
+    assert!(
+        out.status.success(),
+        "argv: {args:?}\nstatus: {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn daemon_argv<'a>(sock: &'a str, output: &'a str, ck: &'a str, resume: bool) -> Vec<&'a str> {
+    let mut argv = vec![
+        "daemon", "--listen", sock, "--output", output, "--queue", "8",
+    ];
+    if resume {
+        argv.extend(["--resume", ck]);
+    } else {
+        argv.extend(["--checkpoint", ck]);
+    }
+    argv.extend(["--checkpoint-every", "2"]);
+    argv.extend(SCHEME_FLAGS);
+    argv
+}
+
+/// Waits for the daemon child to create its socket (it prints
+/// "listening" only after the bind, but `wms send` retries anyway; this
+/// guards the kill-timing below).
+fn wait_for_socket(path: &str, child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !Path::new(path).exists() {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("daemon exited before binding: {status:?}");
+        }
+        assert!(Instant::now() < deadline, "daemon never bound {path}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn daemon_kill_dash_nine_resume_is_byte_identical_to_single_process() {
+    let dir = Scratch::new("kill9");
+    let (flow, reference, daemon_out, ck) = (
+        dir.path("flow.csv"),
+        dir.path("reference.csv"),
+        dir.path("daemon.csv"),
+        dir.path("daemon.ck"),
+    );
+    let sock = format!("unix:{}", dir.path("wmsd.sock"));
+    std::fs::write(&flow, raw_wave_flow(&[3, 8, 21], 400)).expect("write flow");
+
+    // Single-process reference: raw values, same batch grouping.
+    let mut argv = vec![
+        "engine",
+        "--input",
+        &flow,
+        "--output",
+        &reference,
+        "--batch",
+        "64",
+        "--normalize",
+        "none",
+    ];
+    argv.extend(SCHEME_FLAGS);
+    let verdicts = wms_ok(&argv);
+    assert!(
+        verdicts.contains("WATERMARK PRESENT"),
+        "reference run embeds a detectable mark:\n{verdicts}"
+    );
+
+    // Phase 1: daemon up, stream the journal, then SIGKILL it.
+    let mut daemon = wms_cmd(&daemon_argv(&sock, &daemon_out, &ck, false))
+        .spawn()
+        .expect("spawn daemon");
+    wait_for_socket(&dir.path("wmsd.sock"), &mut daemon);
+    wms_ok(&[
+        "send",
+        "--connect",
+        &sock,
+        "--input",
+        &flow,
+        "--batch",
+        "64",
+    ]);
+    daemon.kill().expect("SIGKILL the daemon"); // kill -9: no drain, no final checkpoint
+    let status = daemon.wait().expect("reap daemon");
+    assert!(!status.success(), "SIGKILL must not look like a clean exit");
+
+    // Phase 2: resume from the checkpoint and replay the whole journal.
+    // Batches the daemon had acked are skipped (handshake) or refused
+    // as stale; the rest re-embed deterministically.
+    let mut daemon = wms_cmd(&daemon_argv(&sock, &daemon_out, &ck, true))
+        .spawn()
+        .expect("respawn daemon");
+    wait_for_socket(&dir.path("wmsd.sock"), &mut daemon);
+    let send_out = wms_ok(&[
+        "send",
+        "--connect",
+        &sock,
+        "--input",
+        &flow,
+        "--batch",
+        "64",
+        "--drain",
+        "true",
+    ]);
+    assert!(
+        send_out.contains("drained"),
+        "sender should see the graceful drain:\n{send_out}"
+    );
+    let out = daemon.wait_with_output().expect("daemon drains and exits");
+    assert!(
+        out.status.success(),
+        "drained daemon must exit 0, got {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("WATERMARK PRESENT"),
+        "post-drain verification must find the mark:\n{stdout}"
+    );
+
+    assert_byte_identical(
+        Path::new(&reference),
+        Path::new(&daemon_out),
+        "daemon output after kill -9 + resume vs single-process run",
+    );
+}
+
+#[test]
+fn sigterm_drains_gracefully_with_exit_zero() {
+    let dir = Scratch::new("sigterm");
+    let (flow, daemon_out, ck) = (
+        dir.path("flow.csv"),
+        dir.path("daemon.csv"),
+        dir.path("daemon.ck"),
+    );
+    let sock = format!("unix:{}", dir.path("wmsd.sock"));
+    std::fs::write(&flow, raw_wave_flow(&[3, 8], 300)).expect("write flow");
+
+    let mut daemon = wms_cmd(&daemon_argv(&sock, &daemon_out, &ck, false))
+        .spawn()
+        .expect("spawn daemon");
+    wait_for_socket(&dir.path("wmsd.sock"), &mut daemon);
+    wms_ok(&[
+        "send",
+        "--connect",
+        &sock,
+        "--input",
+        &flow,
+        "--batch",
+        "64",
+    ]);
+
+    // SIGTERM: quiesce, final checkpoint, flush, verdicts, exit 0.
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "SIGTERM drain must exit 0, got {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("drained"),
+        "drain summary missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("stream "),
+        "per-stream verdicts missing:\n{stdout}"
+    );
+    assert!(Path::new(&daemon_out).exists());
+}

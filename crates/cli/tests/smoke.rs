@@ -122,6 +122,8 @@ fn help_lists_every_subcommand() {
         "attack",
         "inspect",
         "engine",
+        "daemon",
+        "send",
         "resilience",
         "help",
     ] {
@@ -321,17 +323,11 @@ fn engine_kill_and_resume_smoke() {
         dir.path("resumed.csv"),
         dir.path("state.ck"),
     );
-    let mut rows = String::from("# stream,value\n");
-    for i in 0..1200 {
-        for id in [1u64, 2, 5] {
-            let t = i as f64 + id as f64;
-            let v = (10.0 * id as f64)
-                + 4.0 * (t * std::f64::consts::TAU / 60.0).sin()
-                + 0.6 * (t * std::f64::consts::TAU / 17.0).sin();
-            rows.push_str(&format!("{id},{v}\n"));
-        }
-    }
-    std::fs::write(&flow, rows).expect("write flow");
+    std::fs::write(
+        &flow,
+        wms_bench::testkit::offset_sine_flow(&[1, 2, 5], 1200),
+    )
+    .expect("write flow");
     let base = |output: &str| {
         vec![
             "engine".to_string(),
@@ -385,7 +381,9 @@ fn engine_kill_and_resume_smoke() {
         .stdout_contains("resumed from")
         .stdout_contains("WATERMARK PRESENT");
 
-    let a = std::fs::read(&full).expect("full output");
-    let b = std::fs::read(&resumed).expect("resumed output");
-    assert_eq!(a, b, "resumed output differs from the uninterrupted run");
+    wms_bench::testkit::assert_byte_identical(
+        std::path::Path::new(&full),
+        std::path::Path::new(&resumed),
+        "engine resumed output vs uninterrupted run",
+    );
 }

@@ -67,6 +67,25 @@ pub enum CheckpointError {
     Invalid(String),
 }
 
+impl CheckpointError {
+    /// Stable small-integer identity for this error variant, used where
+    /// the error crosses a process or wire boundary (CLI exit codes,
+    /// `wmsd` NACK details). Values are part of the public contract —
+    /// append, never renumber.
+    pub fn code(&self) -> u16 {
+        match self {
+            CheckpointError::Truncated => 1,
+            CheckpointError::TrailingBytes => 2,
+            CheckpointError::BadMagic { .. } => 3,
+            CheckpointError::UnsupportedVersion { .. } => 4,
+            CheckpointError::WrongKind { .. } => 5,
+            CheckpointError::FingerprintMismatch { .. } => 6,
+            CheckpointError::ChecksumMismatch { .. } => 7,
+            CheckpointError::Invalid(_) => 8,
+        }
+    }
+}
+
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -1,0 +1,127 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! The `wmsd` wire protocol checksums every frame so a corrupted or torn
+//! transport byte is *detected* rather than ingested: CRC-32 guarantees
+//! detection of every single-bit error and every burst error up to 32
+//! bits — which covers any single corrupted byte — at a cost of one
+//! table lookup per byte. This is an integrity check against accidental
+//! damage, not an authenticity check (the keyed hashes in
+//! [`keyed`](crate::keyed) exist for that); a frame that must survive an
+//! adversary needs a MAC, not a CRC.
+//!
+//! The implementation is the classic 256-entry table driver, with the
+//! table built in a `const` evaluator so there is no runtime init and no
+//! lazy-static machinery.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-indexed CRC table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 state. Feed bytes with [`update`](Crc32::update),
+/// read the digest with [`finish`](Crc32::finish).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum (the state is unchanged; `finish` can be read
+    /// mid-stream to checksum a prefix).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let whole = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let mut c = Crc32::new();
+            for part in data.chunks(chunk) {
+                c.update(part);
+            }
+            assert_eq!(c.finish(), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_detected() {
+        let frame: Vec<u8> = (0..128u8).map(|i| i.wrapping_mul(37)).collect();
+        let good = crc32(&frame);
+        for pos in 0..frame.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = frame.clone();
+                bad[pos] ^= flip;
+                assert_ne!(
+                    crc32(&bad),
+                    good,
+                    "corruption at {pos} ^ {flip:#x} undetected"
+                );
+            }
+        }
+    }
+}

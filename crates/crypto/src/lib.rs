@@ -14,12 +14,14 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod digest;
 pub mod keyed;
 pub mod md5;
 pub mod sha1;
 pub mod sha256;
 
+pub use crc32::{crc32, Crc32};
 pub use digest::{fold_u64, from_hex, to_hex, Digest, StreamHasher};
 pub use keyed::{CompiledU64Hash, Key, KeyedHash};
 pub use md5::{Md5, Md5Hasher};

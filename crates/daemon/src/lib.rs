@@ -1,0 +1,100 @@
+//! # wms-daemon
+//!
+//! `wmsd`: a long-lived, crash-safe network daemon around the sharded
+//! watermarking [`Engine`](wms_engine::Engine). Clients stream event
+//! batches over TCP or unix-domain sockets using **WMSP**, a
+//! length-framed, CRC-checksummed little protocol ([`proto`]); the
+//! daemon watermarks them through one engine and appends the marked
+//! rows to an output CSV.
+//!
+//! The crate's contract, in one paragraph: every fault has a *name*.
+//! Malformed bytes become typed [`ProtoError`]s and `BAD_FRAME` NACKs,
+//! never panics. A full ingest queue blocks or sheds with an
+//! `OVERLOADED` NACK ([`OverloadPolicy`]), never silently drops.
+//! A drain (SHUTDOWN frame or SIGTERM) quiesces the queue, writes a
+//! final durable checkpoint, flushes per-stream tails and answers
+//! `SHUTDOWN_OK` before exiting. And a `kill -9` mid-stream is
+//! recoverable: rebinding with `resume` restores the engine from the
+//! last checkpoint, truncates the output to the checkpointed offset and
+//! tells clients (via `HELLO_OK`) which batches to replay — the final
+//! output is byte-identical to a run that never died, so the daemon
+//! changes no detection result, ever.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod net;
+pub mod proto;
+pub mod server;
+
+pub use client::{BatchReply, Client, ClientError, Greeting};
+pub use net::{connect, Conn, Endpoint};
+pub use proto::{Frame, FrameDecoder, ProtoError};
+pub use server::{DaemonConfig, Outcome, OverloadPolicy, RunReport, SchemeIdentity, Server};
+
+use wms_engine::EngineError;
+
+/// A daemon-level failure, partitioned by blame: each variant maps to
+/// one documented `wms` process exit code.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Invalid configuration (exit code 2).
+    Config(String),
+    /// Socket or file I/O failure (exit code 3).
+    Io(String),
+    /// Wire-protocol failure that kills the run, not just a connection
+    /// (exit code 4).
+    Proto(ProtoError),
+    /// Persisted state (checkpoint / output file) is corrupt or belongs
+    /// to a different run (exit code 5).
+    Corrupt(String),
+    /// The engine failed (worker lost, spill I/O, poisoned session)
+    /// (exit code 6; checkpoint-shaped engine errors map to 5).
+    Engine(EngineError),
+}
+
+impl DaemonError {
+    pub(crate) fn from_io(e: std::io::Error) -> DaemonError {
+        DaemonError::Io(e.to_string())
+    }
+
+    /// The documented process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            DaemonError::Config(_) => 2,
+            DaemonError::Io(_) => 3,
+            DaemonError::Proto(_) => 4,
+            DaemonError::Corrupt(_) => 5,
+            // An engine error caused by a bad checkpoint is a persisted
+            // -state problem, not an engine fault.
+            DaemonError::Engine(EngineError::Checkpoint(_)) => 5,
+            DaemonError::Engine(_) => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Config(m) => write!(f, "{m}"),
+            DaemonError::Io(m) => write!(f, "{m}"),
+            DaemonError::Proto(e) => write!(f, "{e}"),
+            DaemonError::Corrupt(m) => write!(f, "{m}"),
+            DaemonError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<ProtoError> for DaemonError {
+    fn from(e: ProtoError) -> Self {
+        DaemonError::Proto(e)
+    }
+}
+
+impl From<EngineError> for DaemonError {
+    fn from(e: EngineError) -> Self {
+        DaemonError::Engine(e)
+    }
+}

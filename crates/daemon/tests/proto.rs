@@ -1,0 +1,131 @@
+//! Property tests for the WMSP wire codec.
+//!
+//! Two invariants, each over randomized inputs:
+//!
+//! 1. **Chunk-delivery independence** — a stream of frames decodes to
+//!    the same frames whatever byte boundaries the transport splits
+//!    them at (single bytes, random chunks, everything coalesced).
+//! 2. **Single-byte corruption is never silent** — flip any one byte
+//!    anywhere in an encoded frame and the decoder must produce a typed
+//!    [`ProtoError`]: no panic, no silently-accepted frame. The CRC
+//!    covers the header too, so even length/type-field damage is caught
+//!    (as a CRC mismatch, an oversize refusal, or a truncation report
+//!    at EOF when the corrupted length claims bytes that never come).
+
+use proptest::prelude::*;
+use wms_daemon::proto::{Frame, FrameDecoder};
+use wms_engine::{Event, StreamId};
+use wms_stream::Sample;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A pseudo-random frame of any protocol type.
+fn arb_frame(rng: &mut u64) -> Frame {
+    match splitmix(rng) % 7 {
+        0 => Frame::Hello {
+            proto: (splitmix(rng) % 4) as u16,
+            client: format!("client-{}", splitmix(rng) % 1000),
+        },
+        1 => Frame::HelloOk {
+            proto: 1,
+            acked_seq: splitmix(rng) % 10_000,
+            fingerprint: splitmix(rng),
+        },
+        2 => {
+            let n = splitmix(rng) % 40;
+            let events = (0..n)
+                .map(|i| {
+                    let v = (splitmix(rng) % 2_000_000) as f64 / 2_000_000.0 - 0.5;
+                    Event::new(StreamId(splitmix(rng) % 8), Sample::new(i, v))
+                })
+                .collect();
+            Frame::Batch {
+                seq: 1 + splitmix(rng) % 500,
+                events,
+            }
+        }
+        3 => Frame::Ack {
+            seq: splitmix(rng) % 500,
+            emitted: splitmix(rng) % 10_000,
+        },
+        4 => Frame::Nack {
+            seq: splitmix(rng) % 500,
+            code: 1 + (splitmix(rng) % 7) as u16,
+            detail: format!("detail {}", splitmix(rng) % 100),
+        },
+        5 => Frame::Shutdown,
+        _ => Frame::ShutdownOk {
+            streams: splitmix(rng) % 64,
+            tail_rows: splitmix(rng) % 10_000,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_survives_arbitrary_chunking(
+        seed in any::<u64>(),
+        nframes in 1usize..8,
+        max_chunk in 1usize..64,
+    ) {
+        let mut rng = seed;
+        let frames: Vec<Frame> = (0..nframes).map(|_| arb_frame(&mut rng)).collect();
+        let wire: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        while pos < wire.len() {
+            let take = 1 + (splitmix(&mut rng) as usize % max_chunk).min(wire.len() - pos - 1);
+            dec.push(&wire[pos..pos + take]);
+            pos += take;
+            while let Some(f) = dec.try_frame().expect("valid stream never errors") {
+                got.push(f);
+            }
+        }
+        dec.finish_eof().expect("no bytes stranded");
+        prop_assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn any_single_corrupted_byte_is_a_typed_error(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        mask_seed in 1u8..=255,
+    ) {
+        let mut rng = seed;
+        let frame = arb_frame(&mut rng);
+        let mut wire = frame.encode();
+        let pos = (pos_seed % wire.len() as u64) as usize;
+        wire[pos] ^= mask_seed; // mask >= 1, so the byte really changes
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let mut outcome = Ok(());
+        let mut decoded = Vec::new();
+        loop {
+            match dec.try_frame() {
+                Ok(Some(f)) => decoded.push(f),
+                Ok(None) => break,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        // Either the decoder reported a typed error mid-stream, or the
+        // corrupted length field left it waiting for bytes that never
+        // come — which EOF must then report as a truncation. Decoding
+        // any frame from a corrupted buffer would be silent acceptance.
+        prop_assert!(decoded.is_empty(), "corrupt byte at {} decoded {:?}", pos, decoded);
+        if outcome.is_ok() {
+            prop_assert!(dec.finish_eof().is_err(), "corrupt byte at {} vanished", pos);
+        }
+    }
+}

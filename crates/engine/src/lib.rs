@@ -214,6 +214,25 @@ impl std::fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// Stable small-integer identity for this error variant, mirroring
+    /// [`CheckpointError::code`]: used for CLI exit-code mapping and
+    /// `wmsd` NACK details. Append new values, never renumber.
+    /// `Checkpoint` nests the inner code in the high byte so e.g. a
+    /// fingerprint mismatch inside an engine restore stays
+    /// distinguishable.
+    pub fn code(&self) -> u16 {
+        match self {
+            EngineError::DuplicateStream(_) => 1,
+            EngineError::UnknownStream(_) => 2,
+            EngineError::WorkerLost { .. } => 3,
+            EngineError::MissingSpec(_) => 4,
+            EngineError::Checkpoint(c) => 0x100 | c.code(),
+            EngineError::SpillIo(_) => 5,
+        }
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<CheckpointError> for EngineError {
@@ -681,6 +700,15 @@ impl Engine {
             Some(e) => Err(e.clone()),
             None => Ok(()),
         }
+    }
+
+    /// The first fatal error that poisoned this engine, if any. A
+    /// poisoned engine rejects every further `ingest` / `checkpoint` /
+    /// `finish` with this error; long-lived front-ends (the `wmsd`
+    /// daemon) use this to decide between NACKing one batch and shutting
+    /// the whole service down.
+    pub fn poisoned(&self) -> Option<&EngineError> {
+        self.poison.as_ref()
     }
 
     fn poison_with(&mut self, e: EngineError) -> EngineError {

@@ -229,6 +229,31 @@ fn main() {
         handle.join().expect("join");
     }
 
+    // The same steady-state stream against an auto-sized engine
+    // (`workers = 0` → one shard per host core, fed through the
+    // per-shard ingest rings with deferred ACKs). On a single-core host
+    // this should track the workers=1 row; with spare cores the gap is
+    // the daemon's multi-core headroom.
+    {
+        let mut cfg = base_config(&dir, &embed);
+        cfg.engine = EngineConfig::with_workers(0);
+        let (ep, handle) = start(cfg);
+        let (mut client, _) = connect(&ep);
+        let mut next_seq = 1u64;
+        records.push(perf::measure(
+            "daemon-embed/transport",
+            "socket workers=auto",
+            items,
+            budget,
+            || {
+                pipeline_until_applied(&mut client, &batches, next_seq);
+                next_seq += batches.len() as u64;
+            },
+        ));
+        client.drain().expect("drain");
+        handle.join().expect("join");
+    }
+
     // One full lifecycle — bind, handshake, stream, graceful drain —
     // and the byte-identity check against the in-process reference.
     let t0 = Instant::now();

@@ -34,7 +34,10 @@ use wms_bench::perf::{self, PerfRecord};
 use wms_core::encoding::multihash::MultiHashEncoder;
 use wms_core::{EmbedConfig, EmbedSession, Scheme, Watermark, WmParams};
 use wms_crypto::{Key, KeyedHash};
-use wms_engine::{Checkpoint, Engine, EngineConfig, Event, MemoryBudget, StreamId, StreamSpec};
+use wms_engine::{
+    Checkpoint, Engine, EngineConfig, Event, MemoryBudget, RebalanceConfig, StreamId, StreamSpec,
+    DEFAULT_RING_CAPACITY,
+};
 use wms_stream::Sample;
 
 const SCHEMA: &str = "wms-bench-engine/v1";
@@ -91,7 +94,19 @@ fn workload(streams: usize) -> Vec<Event> {
 /// One full engine run: spawn, register, ingest in batches, finish.
 /// Returns total samples out (sanity check + black-box anchor).
 fn run_engine(cfg: &Arc<EmbedConfig>, events: &[Event], streams: usize, workers: usize) -> usize {
-    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
+    run_engine_with(EngineConfig::with_workers(workers), cfg, events, streams)
+}
+
+/// [`run_engine`] under an explicit [`EngineConfig`] — the skew rows
+/// use this to pit the default rebalancer against `rebalance=off` on
+/// identical events.
+fn run_engine_with(
+    engine_cfg: EngineConfig,
+    cfg: &Arc<EmbedConfig>,
+    events: &[Event],
+    streams: usize,
+) -> usize {
+    let mut engine = Engine::new(engine_cfg).unwrap();
     for id in 0..streams as u64 {
         engine
             .register(StreamId(id), StreamSpec::Embed(Arc::clone(cfg)))
@@ -123,6 +138,60 @@ fn run_engine_noop(events: &[Event], streams: usize, workers: usize) -> usize {
         n += engine.ingest(chunk).unwrap().len();
     }
     n + engine.finish().unwrap().len()
+}
+
+/// [`run_engine_noop`] through the pipelined `submit`/`collect_next`
+/// API instead of the per-batch `ingest` barrier: up to `ring_capacity`
+/// epochs ride in flight, so routing of batch N+1 overlaps the shard
+/// work of batch N. The gap between this and [`run_engine_noop`] is
+/// what the barrier costs.
+fn run_engine_noop_pipelined(events: &[Event], streams: usize, workers: usize) -> usize {
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
+    for id in 0..streams as u64 {
+        engine.register(StreamId(id), StreamSpec::NoOp).unwrap();
+    }
+    let depth = engine.ring_capacity().max(1);
+    let mut n = 0usize;
+    let mut outstanding = 0usize;
+    for chunk in events.chunks(BATCH) {
+        while outstanding >= depth {
+            let (_, outs) = engine.collect_next().unwrap().expect("epoch outstanding");
+            n += outs.len();
+            outstanding -= 1;
+        }
+        engine.submit(chunk).unwrap();
+        outstanding += 1;
+    }
+    while outstanding > 0 {
+        let (_, outs) = engine.collect_next().unwrap().expect("epoch outstanding");
+        n += outs.len();
+        outstanding -= 1;
+    }
+    n + engine.finish().unwrap().len()
+}
+
+/// Skewed interleaving over `streams` streams: stream 0 carries half
+/// the events while the rest round-robin the other half — the shape
+/// hash-routing loses on and the rebalancer exists for. Per-stream
+/// sample indices stay sequential so outputs are well-defined.
+fn workload_skewed(streams: usize) -> Vec<Event> {
+    assert!(streams >= 2);
+    let mut events = Vec::with_capacity(TOTAL_ITEMS);
+    let mut next = vec![0u64; streams];
+    for i in 0..TOTAL_ITEMS {
+        let id = if i % 2 == 0 {
+            0
+        } else {
+            1 + (i / 2) % (streams - 1)
+        };
+        let k = next[id];
+        next[id] += 1;
+        events.push(Event::new(
+            StreamId(id as u64),
+            Sample::new(k, wave_value(k as usize, id as u64)),
+        ));
+    }
+    events
 }
 
 /// The per-sample sine used by [`workload`], exposed for the registry
@@ -297,7 +366,56 @@ fn main() {
             records.push(perf::measure(&id, &variant, items, budget, || {
                 black_box(run_engine_noop(black_box(&events), streams, workers));
             }));
+            // The same run through submit/collect with the ring's full
+            // in-flight window — barrier vs pipelined on one chart.
+            let variant = format!("workers={workers} pipelined");
+            records.push(perf::measure(&id, &variant, items, budget, || {
+                black_box(run_engine_noop_pipelined(
+                    black_box(&events),
+                    streams,
+                    workers,
+                ));
+            }));
         }
+    }
+
+    // Skewed traffic: stream 0 carries half the events while 63 streams
+    // share the rest. Hash routing pins the hot stream to one shard;
+    // the rows pair the default rebalancer (steals whole streams off
+    // the hot shard at epoch boundaries) against rebalance=off on the
+    // same events, with the sequential baseline as denominator.
+    {
+        let streams = 64usize;
+        let events = workload_skewed(streams);
+        let items = events.len() as u64;
+        let id = "engine-embed/skewed streams=64 hot=1/2";
+        records.push(perf::measure(id, "sequential", items, budget, || {
+            black_box(run_sequential(&cfg, black_box(&events), streams));
+        }));
+        let mut sweep = vec![1usize, 2, host_cpus];
+        sweep.sort_unstable();
+        sweep.dedup();
+        for workers in sweep {
+            let variant = format!("workers={workers}");
+            records.push(perf::measure(id, &variant, items, budget, || {
+                black_box(run_engine(&cfg, black_box(&events), streams, workers));
+            }));
+        }
+        let off = EngineConfig::with_workers(2).with_rebalance(RebalanceConfig::disabled());
+        records.push(perf::measure(
+            id,
+            "workers=2 rebalance=off",
+            items,
+            budget,
+            || {
+                black_box(run_engine_with(
+                    off.clone(),
+                    &cfg,
+                    black_box(&events),
+                    streams,
+                ));
+            },
+        ));
     }
 
     // Hibernation latency: one full evict → spill → read → checksum →
@@ -561,6 +679,30 @@ fn main() {
             all / one
         );
     }
+    // Pipelining headline: what does skipping the per-batch barrier buy
+    // on the pure-executor sweep?
+    if let (Some(barrier), Some(pipelined)) = (
+        rate("engine-noop/worker-sweep streams=64", "workers=2"),
+        rate("engine-noop/worker-sweep streams=64", "workers=2 pipelined"),
+    ) {
+        println!(
+            "pipelined submit/collect vs per-batch barrier (no-op, workers=2): {:.2}x",
+            pipelined / barrier
+        );
+    }
+    // Skew headline: the rebalancer's worth on hot-stream traffic.
+    if let (Some(off), Some(on)) = (
+        rate(
+            "engine-embed/skewed streams=64 hot=1/2",
+            "workers=2 rebalance=off",
+        ),
+        rate("engine-embed/skewed streams=64 hot=1/2", "workers=2"),
+    ) {
+        println!(
+            "skewed 64-stream run, workers=2: rebalance on vs off: {:.2}x",
+            on / off
+        );
+    }
     // Overhead headline: what share of an embed run is the executor
     // itself? (no-op sessions process the same events through the same
     // machinery with zero watermark compute).
@@ -582,6 +724,15 @@ fn main() {
             ("host_cpus", host_cpus as u64),
             ("total_items", TOTAL_ITEMS as u64),
             ("batch", BATCH as u64),
+            ("ring_capacity", DEFAULT_RING_CAPACITY as u64),
+            (
+                "rebalance_every_batches",
+                RebalanceConfig::default().every_batches,
+            ),
+            (
+                "rebalance_ratio_x100",
+                (RebalanceConfig::default().ratio * 100.0) as u64,
+            ),
             ("registry_streams", 1_000_000),
             ("registry_budget", 10_240),
             ("registry_drift_streams_checked", registry_drift_checked),

@@ -126,13 +126,18 @@ COMMANDS:
     engine     watermark many interleaved streams through the sharded
                multi-stream engine, then verify each mark
                --input F --output F --key K [--workers N] [--batch B]
+               [--ring-capacity N]
                [--text OWNER] [--encoder ...] [scheme flags as for embed]
                [--checkpoint-every N --checkpoint F] [--resume F]
                [--stop-after N] [--max-resident N [--spill F]]
                [--normalize fit|none]
                (input/output rows are `stream,value`; each stream is
                 normalized independently and watermarked with the same
-                key and parameters. --checkpoint-every writes a durable
+                key and parameters. --workers 0 (the default) sizes the
+                shard pool to the host's cores; --ring-capacity bounds
+                how many sub-batches may sit unapplied in each shard's
+                ingest ring (default 8) — higher pipelines deeper,
+                lower bounds memory. --checkpoint-every writes a durable
                 engine snapshot to --checkpoint after every N batches;
                 --resume continues a killed run from such a snapshot,
                 bit-identically to a run that never stopped; --stop-after
@@ -147,6 +152,7 @@ COMMANDS:
                checkpoint + verdicts)
                --listen tcp:HOST:PORT|unix:PATH --output F --key K
                [--queue N] [--overload block|shed] [--workers N]
+               [--ring-capacity N]
                [--checkpoint F [--checkpoint-every N]
                 [--checkpoint-interval-ms MS]] [--resume F]
                [--read-timeout-ms MS] [--write-timeout-ms MS]
@@ -155,7 +161,9 @@ COMMANDS:
                [--text OWNER] [--encoder ...] [scheme flags as for embed]
                (values are watermarked raw — no per-stream normalization
                 — so output is byte-identical to `wms engine --normalize
-                none` fed the same batches; after kill -9, restart with
+                none` fed the same batches; --workers 0 (default) = all
+                cores, --ring-capacity as for engine; after kill -9,
+                restart with
                 --resume F and replay: already-acked batches get STALE
                 NACKs and the output reconverges byte-identically)
     send       stream a CSV to a running wmsd
@@ -665,6 +673,7 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let params = parse_params(args)?;
     let wm = parse_watermark(args)?;
     let workers: usize = args.get_or("workers", 0usize)?;
+    let ring_capacity: usize = args.get_or("ring-capacity", 0usize)?;
     let batch: usize = args.get_or("batch", 1024usize)?;
     let ck_every: usize = args.get_or("checkpoint-every", 0usize)?;
     let ck_path = args.get("checkpoint").map(PathBuf::from);
@@ -702,7 +711,11 @@ pub fn engine(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         if let Some(p) = &spill {
             budget = budget.with_spill_file(p.clone());
         }
-        EngineConfig::with_workers(workers).with_budget(budget)
+        let mut cfg = EngineConfig::with_workers(workers).with_budget(budget);
+        if ring_capacity > 0 {
+            cfg = cfg.with_ring_capacity(ring_capacity);
+        }
+        cfg
     };
     // A bare `--resume F` keeps checkpointing to the same file.
     let ck_path = ck_path.or_else(|| resume.clone());
@@ -1028,6 +1041,7 @@ pub fn daemon(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let params = parse_params(args)?;
     let wm = parse_watermark(args)?;
     let workers: usize = args.get_or("workers", 0usize)?;
+    let ring_capacity: usize = args.get_or("ring-capacity", 0usize)?;
     let ck_path = args.get("checkpoint").map(PathBuf::from);
     let ck_every: u64 = args.get_or("checkpoint-every", 0u64)?;
     let ck_interval_ms: u64 = args.get_or("checkpoint-interval-ms", 0u64)?;
@@ -1056,7 +1070,11 @@ pub fn daemon(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
         if let Some(p) = &spill {
             budget = budget.with_spill_file(p.clone());
         }
-        EngineConfig::with_workers(workers).with_budget(budget)
+        let mut cfg = EngineConfig::with_workers(workers).with_budget(budget);
+        if ring_capacity > 0 {
+            cfg = cfg.with_ring_capacity(ring_capacity);
+        }
+        cfg
     };
     let fingerprint = scheme.memo_fingerprint();
     let embed = Arc::new(

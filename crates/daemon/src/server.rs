@@ -9,14 +9,23 @@
 //! ```
 //!
 //! One engine thread owns the [`Engine`] and the output file; it is the
-//! only place watermarking happens, so detection output is byte-for-byte
-//! what a single-process `wms engine --normalize none` run produces for
-//! the same batch schedule. Per-connection reader threads decode frames
-//! into recycled event buffers and feed a **bounded** job queue; the
-//! queue is the backpressure boundary — [`OverloadPolicy::Block`] makes
-//! a full queue push back through TCP flow control,
-//! [`OverloadPolicy::Shed`] answers with a typed `OVERLOADED` NACK
-//! instead. Either way no batch is ever silently dropped.
+//! sequencing authority (batches apply in WMSP sequence order), so
+//! detection output is byte-for-byte what a single-process `wms engine
+//! --normalize none` run produces for the same batch schedule. It is no
+//! longer where watermarking *runs*, though: each batch is routed
+//! straight into the engine's per-shard ingest rings via
+//! [`Engine::submit`] and its ACK is deferred until the epoch's outputs
+//! are collected, so while the shard workers chew on batch N the engine
+//! thread is already routing batch N+1 — back-to-back batches pipeline
+//! instead of paying a barrier each. Per-connection reader threads
+//! decode frames into recycled event buffers and feed a **bounded** job
+//! queue; the queue is the backpressure boundary — and so is the ring:
+//! at most `ring_capacity` epochs ride in flight before the engine
+//! thread collects the oldest. [`OverloadPolicy::Block`] makes a full
+//! queue push back through TCP flow control, [`OverloadPolicy::Shed`]
+//! answers with a typed `OVERLOADED` NACK instead. Either way no batch
+//! is ever silently dropped, and no ACK leaves before its outputs are
+//! written.
 //!
 //! # Crash safety
 //!
@@ -32,7 +41,7 @@
 use crate::net::{self, Conn, Endpoint, Listener};
 use crate::proto::{self, decode_batch_into, frame_type, nack, Frame, FrameDecoder, ProtoError};
 use crate::DaemonError;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -353,6 +362,14 @@ mod sig {
     }
 }
 
+/// One submitted-but-not-yet-acked batch riding the engine's ingest
+/// rings: everything needed to ACK it once its epoch is collected.
+struct Inflight {
+    seq: u64,
+    n_events: u64,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
 /// The engine thread's state: the only owner of the [`Engine`] and the
 /// output file.
 struct EngineLoop {
@@ -368,6 +385,10 @@ struct EngineLoop {
     batches_since_ck: u64,
     dirty: bool,
     acked: u64,
+    /// Highest sequence routed into the rings (≥ `acked`; the gap is
+    /// the in-flight window).
+    submitted: u64,
+    inflight: VecDeque<Inflight>,
     hard_stop_after: u64,
     ingest_delay: Duration,
     draining: Arc<AtomicBool>,
@@ -385,6 +406,27 @@ impl EngineLoop {
         let outcome = loop {
             if self.hard_stop_after > 0 && self.batches >= self.hard_stop_after {
                 break Outcome::HardStopped;
+            }
+            // While epochs are in flight, prefer routing more work over
+            // waiting — but the moment the queue runs dry, collect and
+            // ACK the backlog instead of letting replies sit.
+            if !self.inflight.is_empty() {
+                match rx.try_recv() {
+                    Ok(Job::Batch { seq, events, reply }) => {
+                        self.handle_batch(seq, events, &reply)?;
+                    }
+                    Ok(Job::Drain { reply }) => {
+                        self.draining.store(true, Ordering::SeqCst);
+                        if let Some(r) = reply {
+                            drain_replies.push(r);
+                        }
+                        self.drain_rest(&rx, &mut drain_replies)?;
+                        break Outcome::Drained;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => self.collect_one()?,
+                    Err(mpsc::TryRecvError::Disconnected) => break Outcome::Drained,
+                }
+                continue;
             }
             match rx.recv_timeout(TICK) {
                 Ok(Job::Batch { seq, events, reply }) => {
@@ -410,10 +452,14 @@ impl EngineLoop {
             }
         };
         match outcome {
-            Outcome::Drained => self.finalize(drain_replies),
+            Outcome::Drained => {
+                self.collect_all()?;
+                self.finalize(drain_replies)
+            }
             Outcome::HardStopped => {
-                // Deliberately no final checkpoint, no finish(): the
-                // output file holds whatever a crash would have left.
+                // Deliberately no final checkpoint, no finish(), no
+                // collection of in-flight epochs: the output file holds
+                // whatever a crash would have left.
                 self.writer.flush().map_err(DaemonError::from_io)?;
                 Ok(self.into_report(Outcome::HardStopped, Vec::new()))
             }
@@ -442,16 +488,17 @@ impl EngineLoop {
         }
     }
 
-    /// Registers any unseen streams, then ingests. Engine-level errors
-    /// come back as `Err` for the caller to turn into a NACK.
-    fn apply(&mut self, events: &[Event]) -> Result<Vec<wms_engine::Output>, EngineError> {
+    /// Registers any unseen streams, then routes the batch into the
+    /// per-shard ingest rings without waiting for it. Engine-level
+    /// errors come back as `Err` for the caller to turn into a NACK.
+    fn submit(&mut self, events: &[Event]) -> Result<u64, EngineError> {
         let engine = self.engine.as_mut().expect("engine live");
         for e in events {
             if self.registered.insert(e.stream.0) {
                 engine.register(e.stream, StreamSpec::Embed(Arc::clone(&self.embed)))?;
             }
         }
-        engine.ingest(events)
+        engine.submit(events)
     }
 
     fn handle_batch(
@@ -460,9 +507,10 @@ impl EngineLoop {
         events: Vec<Event>,
         reply: &mpsc::Sender<Vec<u8>>,
     ) -> Result<(), DaemonError> {
-        if seq <= self.acked {
-            // Replay of an already-applied batch (client journal after
-            // a crash): acknowledge-by-NACK so the sender moves on.
+        if seq <= self.submitted {
+            // Replay of an already-applied (or already-riding) batch —
+            // a client journal after a crash: acknowledge-by-NACK so
+            // the sender moves on.
             self.stale += 1;
             let nack = Frame::Nack {
                 seq,
@@ -473,11 +521,11 @@ impl EngineLoop {
             self.pool.put(events);
             return Ok(());
         }
-        if seq != self.acked + 1 {
+        if seq != self.submitted + 1 {
             let nack = Frame::Nack {
                 seq,
                 code: nack::GAP,
-                detail: format!("expected batch {}, got {seq}", self.acked + 1),
+                detail: format!("expected batch {}, got {seq}", self.submitted + 1),
             };
             let _ = reply.send(nack.encode());
             self.pool.put(events);
@@ -487,26 +535,76 @@ impl EngineLoop {
             std::thread::sleep(self.ingest_delay);
         }
         let n_events = events.len() as u64;
-        let outs = match self.apply(&events) {
-            Ok(outs) => outs,
+        if let Err(e) = self.submit(&events) {
+            let nack = Frame::Nack {
+                seq,
+                code: nack::ENGINE,
+                detail: format!("engine error {}: {e}", e.code()),
+            };
+            let _ = reply.send(nack.encode());
+            self.pool.put(events);
+            // A poisoned engine cannot make progress; exit loudly
+            // rather than NACK every batch forever.
+            if self
+                .engine
+                .as_ref()
+                .is_some_and(|en| en.poisoned().is_some())
+            {
+                return Err(DaemonError::Engine(e));
+            }
+            return Ok(());
+        }
+        // The engine copied the events into its staging buffers, so the
+        // frame buffer recycles immediately; the ACK waits for the
+        // epoch's outputs.
+        self.submitted = seq;
+        self.inflight.push_back(Inflight {
+            seq,
+            n_events,
+            reply: reply.clone(),
+        });
+        self.pool.put(events);
+        // Bound the in-flight window to the ring depth: beyond it the
+        // shards are saturated and submitting more only buffers.
+        let cap = self
+            .engine
+            .as_ref()
+            .map(|en| en.ring_capacity())
+            .unwrap_or(1)
+            .max(1);
+        while self.inflight.len() >= cap {
+            self.collect_one()?;
+        }
+        Ok(())
+    }
+
+    /// Collects the oldest in-flight epoch, writes its rows and sends
+    /// its deferred ACK. Worker loss NACKs every riding batch and takes
+    /// the daemon down typed, not hung.
+    fn collect_one(&mut self) -> Result<(), DaemonError> {
+        let Some(front) = self.inflight.pop_front() else {
+            return Ok(());
+        };
+        let engine = self.engine.as_mut().expect("engine live");
+        let outs = match engine.collect_next() {
+            Ok(Some((_, outs))) => outs,
+            Ok(None) => unreachable!("one inflight entry per outstanding epoch"),
             Err(e) => {
                 let nack = Frame::Nack {
-                    seq,
+                    seq: front.seq,
                     code: nack::ENGINE,
                     detail: format!("engine error {}: {e}", e.code()),
                 };
-                let _ = reply.send(nack.encode());
-                self.pool.put(events);
-                // A poisoned engine cannot make progress; exit loudly
-                // rather than NACK every batch forever.
-                if self
-                    .engine
-                    .as_ref()
-                    .is_some_and(|en| en.poisoned().is_some())
-                {
-                    return Err(DaemonError::Engine(e));
+                let _ = front.reply.send(nack.encode());
+                for rider in self.inflight.drain(..) {
+                    let nack = Frame::Nack {
+                        seq: rider.seq,
+                        code: nack::ENGINE,
+                        detail: format!("engine error {}: {e}", e.code()),
+                    };
+                    let _ = rider.reply.send(nack.encode());
                 }
-                return Ok(());
+                return Err(DaemonError::Engine(e));
             }
         };
         let mut emitted = 0u64;
@@ -516,16 +614,30 @@ impl EngineLoop {
                 emitted += 1;
             }
         }
-        self.acked = seq;
-        self.acked_pub.store(seq, Ordering::SeqCst);
+        self.acked = front.seq;
+        self.acked_pub.store(front.seq, Ordering::SeqCst);
         self.dirty = true;
         self.batches += 1;
         self.batches_since_ck += 1;
-        self.events += n_events;
-        self.pool.put(events);
-        let _ = reply.send(Frame::Ack { seq, emitted }.encode());
+        self.events += front.n_events;
+        let _ = front.reply.send(
+            Frame::Ack {
+                seq: front.seq,
+                emitted,
+            }
+            .encode(),
+        );
         if self.ck_every > 0 && self.batches_since_ck >= self.ck_every {
             self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Collects (and ACKs) every in-flight epoch — the write barrier in
+    /// front of anything that snapshots or finishes the engine.
+    fn collect_all(&mut self) -> Result<(), DaemonError> {
+        while !self.inflight.is_empty() {
+            self.collect_one()?;
         }
         Ok(())
     }
@@ -547,6 +659,11 @@ impl EngineLoop {
         let Some(path) = self.ck_path.clone() else {
             return Ok(());
         };
+        // Collect (and ACK) everything riding the rings first: the
+        // snapshot will contain those epochs' effects, so the recorded
+        // `acked_seq` must cover them or a resume would replay them
+        // into sessions that already absorbed them.
+        self.collect_all()?;
         self.writer.flush().map_err(DaemonError::from_io)?;
         self.writer
             .get_ref()
@@ -786,6 +903,8 @@ impl Server {
             batches_since_ck: 0,
             dirty: false,
             acked: seed.acked,
+            submitted: seed.acked,
+            inflight: VecDeque::new(),
             hard_stop_after: self.cfg.hard_stop_after,
             ingest_delay: self.cfg.ingest_delay,
             draining: Arc::clone(&draining),

@@ -14,13 +14,25 @@
 //! * **Batched ingestion** — [`Engine::ingest`] takes a slice of
 //!   interleaved [`Event`]s, groups them by shard, and returns each
 //!   touched stream's emitted samples.
-//! * **Parallel shard executor** — shard-per-worker `std::thread`s (the
-//!   workspace is offline: channels and threads, no async runtime); each
-//!   worker exclusively owns its shard's sessions, so the hot path takes
-//!   no locks. With exactly **one** worker the engine keeps the shard on
-//!   the caller thread and runs every sub-batch inline — no channel
-//!   round-trip, no cross-thread hand-off — which recovers the
-//!   sequential pipeline's throughput for single-shard workloads.
+//! * **Parallel shard executor** — per-shard bounded ingest rings with
+//!   epoch watermarks (the workspace is offline: threads and
+//!   condvars, no async runtime). The caller routes each batch once
+//!   into per-shard staging buffers with pre-resolved session-slot run
+//!   descriptors, publishes them, and synchronizes only when an output
+//!   or snapshot is actually needed — [`Engine::submit`] /
+//!   [`Engine::collect_next`] let back-to-back batches pipeline, and
+//!   the caller itself help-drains rings whenever it would otherwise
+//!   block, so a saturated host degrades to inline processing instead
+//!   of context-switch ping-pong. With exactly **one** worker the
+//!   engine keeps the shard on the caller thread and skips the rings
+//!   entirely, which recovers the sequential pipeline's throughput for
+//!   single-shard workloads.
+//! * **Shard rebalancing** — per-stream ingest loads are tracked at
+//!   routing time; every `RebalanceConfig::every_batches` epochs the
+//!   engine migrates low-traffic streams off the hottest shard
+//!   (snapshot → transfer → adopt, the PR 5 checkpoint encoding doubling
+//!   as the migration payload), so one hot stream no longer idles the
+//!   other workers. Migration never changes any stream's output.
 //! * **Checkpoint/restore** — [`Engine::checkpoint`] captures every
 //!   session's replay state in a versioned binary [`Checkpoint`];
 //!   [`Engine::restore`] rebuilds an engine that continues
@@ -70,10 +82,12 @@
 //!
 //! ## Backpressure
 //!
-//! `ingest` is synchronous: it dispatches one sub-batch per shard and
-//! blocks until every worker has drained its share (a barrier per call).
-//! Callers control memory by choosing the batch size; the engine never
-//! buffers more than one in-flight batch per worker.
+//! [`Engine::ingest`] is synchronous: it publishes one sub-batch per
+//! shard and blocks until its own epoch's watermark is reached (helping
+//! to drain while it waits). The pipelined path ([`Engine::submit`])
+//! buffers at most `ring_capacity` sub-batches per shard; a full ring
+//! makes the publisher drain an entry itself before parking, so
+//! backpressure converts into useful work instead of a stall.
 //!
 //! ## Bounded memory (hibernation)
 //!
@@ -104,7 +118,7 @@
 mod spill;
 mod worker;
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -114,7 +128,7 @@ use wms_core::{DetectConfig, DetectionReport, EmbedConfig, EmbedStats};
 use wms_crypto::{Key, KeyedHash};
 use wms_stream::Sample;
 pub use wms_stream::{Event, StreamId};
-use worker::{Cmd, Reply, Session, Shard, WorkerHandle};
+use worker::{Entry, Ring, Session, Shard};
 
 pub use spill::{SpillError, SpillFile, SpillStats};
 
@@ -192,6 +206,11 @@ pub enum EngineError {
     /// the file vanished). Session state may sit only in the spill, so
     /// the engine is poisoned once this happens.
     SpillIo(String),
+    /// A draining call (`ingest`, `finish`) was made while pipelined
+    /// epochs submitted via [`Engine::submit`] still had uncollected
+    /// outputs. Collect them first ([`Engine::collect_next`]); nothing
+    /// was lost and the engine is *not* poisoned.
+    UncollectedEpochs,
 }
 
 impl std::fmt::Display for EngineError {
@@ -209,6 +228,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
             EngineError::SpillIo(msg) => {
                 write!(f, "spill store failed ({msg}); the engine is poisoned")
+            }
+            EngineError::UncollectedEpochs => {
+                write!(
+                    f,
+                    "submitted epochs have uncollected outputs; collect them first"
+                )
             }
         }
     }
@@ -229,6 +254,7 @@ impl EngineError {
             EngineError::MissingSpec(_) => 4,
             EngineError::Checkpoint(c) => 0x100 | c.code(),
             EngineError::SpillIo(_) => 5,
+            EngineError::UncollectedEpochs => 6,
         }
     }
 }
@@ -362,6 +388,49 @@ impl MemoryBudget {
     }
 }
 
+/// Skew-rebalancing policy: when and how aggressively streams migrate
+/// off hot shards.
+///
+/// At every `every_batches`-th epoch the engine compares per-shard
+/// ingest loads accumulated since the last check. When the hottest
+/// shard carried more than `ratio` × the per-shard mean (and hosts more
+/// than one resident stream), its lowest-traffic streams migrate to the
+/// coldest shard until the hot shard's projected load is back around
+/// the mean. The policy is a deterministic function of the ingest
+/// history, so runs are reproducible; migration never changes any
+/// stream's output (the equivalence wall pins this).
+#[derive(Clone, Debug)]
+pub struct RebalanceConfig {
+    /// Check cadence in epochs (= batches). `0` disables automatic
+    /// rebalancing; explicit [`Engine::migrate_stream`] still works.
+    pub every_batches: u64,
+    /// Trigger threshold: rebalance when the hottest shard's load
+    /// exceeds `ratio` × the per-shard mean.
+    pub ratio: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            every_batches: 64,
+            ratio: 2.0,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// No automatic rebalancing.
+    pub fn disabled() -> Self {
+        RebalanceConfig {
+            every_batches: 0,
+            ..RebalanceConfig::default()
+        }
+    }
+}
+
+/// Default per-shard ring capacity (published-but-unapplied sub-batches).
+pub const DEFAULT_RING_CAPACITY: usize = 8;
+
 /// Engine construction parameters.
 #[derive(Clone)]
 pub struct EngineConfig {
@@ -373,6 +442,12 @@ pub struct EngineConfig {
     pub shard_key: Key,
     /// Session-residency budget (default: unbounded, no eviction).
     pub budget: MemoryBudget,
+    /// Per-shard ingest-ring capacity: how many published sub-batches
+    /// may sit unapplied before the publisher help-drains or parks.
+    /// Clamped to at least 1; irrelevant for single-worker engines.
+    pub ring_capacity: usize,
+    /// Skew-rebalancing policy (default: every 64 batches at 2× mean).
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for EngineConfig {
@@ -381,6 +456,8 @@ impl Default for EngineConfig {
             workers: 0,
             shard_key: Key::from_bytes(&b"wms/engine/default-shard-key"[..]),
             budget: MemoryBudget::default(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -397,6 +474,18 @@ impl EngineConfig {
     /// Same config with a session-residency budget.
     pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Same config with an explicit per-shard ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Same config with an explicit rebalancing policy.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
         self
     }
 }
@@ -479,27 +568,88 @@ impl Checkpoint {
 }
 
 /// Where the shards live: inline on the caller thread (single worker) or
-/// behind per-shard worker threads.
+/// behind per-shard ingest rings with worker threads.
 enum Backend {
-    /// `workers == 1`: no thread, no channels — every sub-batch runs on
-    /// the caller thread against the directly-owned shard. This is what
+    /// `workers == 1`: no thread, no ring — every batch runs on the
+    /// caller thread against the directly-owned shard. This is what
     /// makes single-shard batches as fast as the sequential pipeline.
     Inline(Box<Shard>),
-    /// `workers > 1`: one thread per shard.
-    Threads(Vec<WorkerHandle>),
+    /// `workers > 1`: one bounded ring + drainer thread per shard, the
+    /// caller helping out whenever it waits.
+    Ring(Ring),
 }
 
 /// One registered stream's registry entry. The spec is retained so a
 /// hibernated session can be rebuilt on re-adoption; it is `Arc`-backed,
 /// so the per-stream cost is a pointer, not a scheme.
 struct StreamEntry {
+    /// The shard currently hosting (or, if hibernated, designated to
+    /// re-host) this stream. Starts at the router's placement; live
+    /// migration retargets it.
     shard: usize,
+    /// Slot index inside the shard (valid only while `resident`). Routing
+    /// emits `(slot, len)` run descriptors so the ingest consumer never
+    /// hashes a stream id.
+    slot: u32,
     spec: StreamSpec,
     /// Value of the engine clock when this stream was last registered or
     /// touched by an ingest; the LRU sort key.
     last_touch: u64,
     /// Whether the session is materialized in its shard (vs spilled).
     resident: bool,
+    /// Epoch of the last batch that touched this stream (first-touch
+    /// detection at routing time without a per-batch hash map).
+    epoch_stamp: u64,
+    /// Items routed in the current rebalance window (`load_stamp` says
+    /// which window the count belongs to — stale counts read as zero).
+    load: u64,
+    load_stamp: u64,
+}
+
+/// Engine-side record of one submitted epoch awaiting collection.
+struct EpochMeta {
+    epoch: u64,
+    /// Streams touched by the batch, in first-touch order — the output
+    /// order contract, fixed at routing time regardless of which thread
+    /// applies what.
+    touch_order: Vec<StreamId>,
+    /// `id -> index in touch_order`, for merging per-shard results.
+    slot_of: HashMap<u64, u32>,
+    /// Participating shards and the ring sequence number of this
+    /// epoch's entry there — the watermark targets to wait on.
+    shard_seq: Vec<(u32, u64)>,
+}
+
+impl EpochMeta {
+    fn new() -> EpochMeta {
+        EpochMeta {
+            epoch: 0,
+            touch_order: Vec::new(),
+            slot_of: HashMap::new(),
+            shard_seq: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.touch_order.clear();
+        self.slot_of.clear();
+        self.shard_seq.clear();
+    }
+}
+
+/// One outstanding epoch: already-computed outputs (inline backend) or
+/// watermark targets still to wait on (ring backend).
+enum PendingEpoch {
+    Ready(u64, Vec<Output>),
+    Meta(EpochMeta),
+}
+
+/// Per-shard staging buffer the router fills before publishing.
+#[derive(Default)]
+struct Staging {
+    events: Vec<Event>,
+    runs: Vec<(u32, u32)>,
 }
 
 /// The multi-stream engine: session registry + shard executor.
@@ -510,8 +660,27 @@ pub struct Engine {
     streams: HashMap<u64, StreamEntry>,
     /// Registration order (drives `finish` output ordering).
     order: Vec<StreamId>,
-    /// Scratch: per-shard event sub-batches, reused across `ingest`s.
-    batches: Vec<Vec<Event>>,
+    /// Scratch: per-shard staging buffers the router fills, swapped into
+    /// ring entries on publish and refilled from `buf_pool`.
+    staging: Vec<Staging>,
+    /// Recycled event/run buffers cycling staging → ring → back.
+    buf_pool: Vec<worker::BufPair>,
+    /// Monotonic batch counter (one per `ingest`/`submit`).
+    epoch: u64,
+    /// Per-shard ring sequence of the last published entry.
+    published: Vec<u64>,
+    /// Submitted epochs whose outputs have not been collected yet.
+    outstanding: VecDeque<PendingEpoch>,
+    /// Recycled epoch metadata records.
+    meta_pool: Vec<EpochMeta>,
+    /// Configured per-shard ring capacity (reported in diagnostics even
+    /// for the inline backend, which has no ring).
+    ring_capacity: usize,
+    /// Rebalance policy + per-window per-shard load accounts.
+    rebalance_every: u64,
+    rebalance_ratio: f64,
+    shard_load: Vec<u64>,
+    load_window: u64,
     /// First fatal error (worker panic, spill I/O failure); replayed by
     /// every subsequent operation.
     poison: Option<EngineError>,
@@ -561,17 +730,36 @@ impl Engine {
             }
         };
         let router = ShardRouter::new(config.shard_key, workers);
+        let ring_capacity = config.ring_capacity.max(1);
         let backend = if workers == 1 {
             Backend::Inline(Box::new(Shard::new()))
         } else {
-            Backend::Threads((0..workers).map(WorkerHandle::spawn).collect())
+            // On a single-core host, waking a worker per publish cannot
+            // add throughput (the caller help-drains everything anyway),
+            // so publishes stay silent and the workers only wake for
+            // shutdown; with spare cores, workers wake eagerly.
+            let eager_wake = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                > 1;
+            Backend::Ring(Ring::new(workers, ring_capacity, eager_wake))
         };
         Ok(Engine {
             router,
             backend,
             streams: HashMap::new(),
             order: Vec::new(),
-            batches: vec![Vec::new(); workers],
+            staging: (0..workers).map(|_| Staging::default()).collect(),
+            buf_pool: Vec::new(),
+            epoch: 0,
+            published: vec![0; workers],
+            outstanding: VecDeque::new(),
+            meta_pool: Vec::new(),
+            ring_capacity,
+            rebalance_every: config.rebalance.every_batches,
+            rebalance_ratio: config.rebalance.ratio.max(1.0),
+            shard_load: vec![0; workers],
+            load_window: 1,
             poison: None,
             max_resident: config.budget.max_resident,
             spill,
@@ -623,21 +811,19 @@ impl Engine {
                     .spill
                     .append(entry.id.0, entry.kind, &entry.snapshot)?;
                 engine.spilled_count += 1;
-            } else {
+            }
+            let mut slot = 0u32;
+            if !park_cold {
                 let session = Session::restore(spec.clone(), entry.kind, &entry.snapshot)?;
-                match &mut engine.backend {
-                    Backend::Inline(s) => s.adopt(entry.id, session),
-                    Backend::Threads(ws) => {
-                        let ok = ws[shard]
-                            .request(Cmd::Adopt(entry.id, Box::new(session)))
-                            .is_ok()
-                            && matches!(ws[shard].wait(), Ok(Reply::Registered));
-                        if !ok {
-                            engine.poison = Some(EngineError::WorkerLost { shard });
-                            return Err(EngineError::WorkerLost { shard });
-                        }
-                    }
-                }
+                let adopted = match &mut engine.backend {
+                    Backend::Inline(s) => Some(s.adopt(entry.id, session)),
+                    Backend::Ring(r) => r.shard_op(shard, |s| s.adopt(entry.id, session)).ok(),
+                };
+                let Some(s) = adopted else {
+                    engine.poison = Some(EngineError::WorkerLost { shard });
+                    return Err(EngineError::WorkerLost { shard });
+                };
+                slot = s;
                 engine.resident_count += 1;
                 engine.resident_per_shard[shard] += 1;
                 if engine.max_resident > 0 {
@@ -648,9 +834,13 @@ impl Engine {
                 entry.id.0,
                 StreamEntry {
                     shard,
+                    slot,
                     spec,
                     last_touch: engine.clock,
                     resident: !park_cold,
+                    epoch_stamp: 0,
+                    load: 0,
+                    load_stamp: 0,
                 },
             );
             engine.order.push(entry.id);
@@ -727,29 +917,27 @@ impl Engine {
             return Err(EngineError::DuplicateStream(id));
         }
         self.clock += 1;
+        let registered = match &mut self.backend {
+            Backend::Inline(s) => Some(s.register(id, spec.clone())),
+            Backend::Ring(r) => r.shard_op(shard, |s| s.register(id, spec.clone())).ok(),
+        };
+        let Some(slot) = registered else {
+            return Err(self.poison_with(EngineError::WorkerLost { shard }));
+        };
         self.streams.insert(
             id.0,
             StreamEntry {
                 shard,
-                spec: spec.clone(),
+                slot,
+                spec,
                 last_touch: self.clock,
                 resident: true,
+                epoch_stamp: 0,
+                load: 0,
+                load_stamp: 0,
             },
         );
         self.order.push(id);
-        let registered = match &mut self.backend {
-            Backend::Inline(s) => {
-                s.register(id, spec);
-                true
-            }
-            Backend::Threads(ws) => {
-                ws[shard].request(Cmd::Register(id, spec)).is_ok()
-                    && matches!(ws[shard].wait(), Ok(Reply::Registered))
-            }
-        };
-        if !registered {
-            return Err(self.poison_with(EngineError::WorkerLost { shard }));
-        }
         self.resident_count += 1;
         self.resident_per_shard[shard] += 1;
         if self.max_resident > 0 {
@@ -779,10 +967,42 @@ impl Engine {
         Ok(true)
     }
 
+    /// Blocks until `shard` has applied everything published to it,
+    /// help-draining while it waits. Poisons the engine on worker loss.
+    fn sync_shard(&mut self, shard: usize) -> Result<(), EngineError> {
+        let target = self.published[shard];
+        let lost = match &self.backend {
+            Backend::Ring(r) => r.wait_applied(shard, target).is_err(),
+            Backend::Inline(_) => false,
+        };
+        if lost {
+            return Err(self.poison_with(EngineError::WorkerLost { shard }));
+        }
+        Ok(())
+    }
+
+    /// Barriers every shard (a batch boundary across the whole engine).
+    fn sync_all(&mut self) -> Result<(), EngineError> {
+        for shard in 0..self.published.len() {
+            self.sync_shard(shard)?;
+        }
+        Ok(())
+    }
+
     /// Serializes and spills the given sessions (grouped per shard).
     /// Updates residency bookkeeping; poisons the engine on worker loss
     /// or spill I/O failure (the evicted state would otherwise be lost).
+    ///
+    /// Involved shards are synced first: published-but-unapplied entries
+    /// may still reference the sessions being evicted.
     fn evict_streams(&mut self, by_shard: Vec<Vec<StreamId>>) -> Result<(), EngineError> {
+        if matches!(self.backend, Backend::Ring(_)) {
+            for (w, ids) in by_shard.iter().enumerate() {
+                if !ids.is_empty() {
+                    self.sync_shard(w)?;
+                }
+            }
+        }
         let mut evicted: Vec<(StreamId, u8, Vec<u8>)> = Vec::new();
         let mut lost: Option<usize> = None;
         match &mut self.backend {
@@ -793,22 +1013,16 @@ impl Engine {
                     Err(_panic) => lost = Some(0),
                 }
             }
-            Backend::Threads(workers) => {
-                let active: Vec<usize> = (0..workers.len())
-                    .filter(|&w| !by_shard[w].is_empty())
-                    .collect();
-                for &w in &active {
-                    let ids = by_shard[w].clone();
-                    if workers[w].request(Cmd::Evict(ids)).is_err() {
-                        lost.get_or_insert(w);
+            Backend::Ring(r) => {
+                for (w, ids) in by_shard.iter().enumerate() {
+                    if ids.is_empty() {
+                        continue;
                     }
-                }
-                for &w in &active {
-                    match workers[w].wait() {
-                        Ok(Reply::Evicted(snaps)) => evicted.extend(snaps),
-                        Ok(_) => unreachable!("evict reply"),
+                    match r.shard_op(w, |s| s.evict(ids)) {
+                        Ok(snaps) => evicted.extend(snaps),
                         Err(()) => {
-                            lost.get_or_insert(w);
+                            lost = Some(w);
+                            break;
                         }
                     }
                 }
@@ -876,25 +1090,18 @@ impl Engine {
             Err(e) => return Err(self.poison_with(EngineError::Checkpoint(e))),
         };
         let adopted = match &mut self.backend {
-            Backend::Inline(s) => {
-                s.adopt(StreamId(id), session);
-                true
-            }
-            Backend::Threads(ws) => {
-                ws[shard]
-                    .request(Cmd::Adopt(StreamId(id), Box::new(session)))
-                    .is_ok()
-                    && matches!(ws[shard].wait(), Ok(Reply::Registered))
-            }
+            Backend::Inline(s) => Some(s.adopt(StreamId(id), session)),
+            Backend::Ring(r) => r.shard_op(shard, |s| s.adopt(StreamId(id), session)).ok(),
         };
-        if !adopted {
+        let Some(slot) = adopted else {
             return Err(self.poison_with(EngineError::WorkerLost { shard }));
-        }
+        };
         if let Err(e) = self.spill.remove(id) {
             return Err(self.poison_with(e.into()));
         }
         let entry = self.streams.get_mut(&id).expect("caller checked registry");
         entry.resident = true;
+        entry.slot = slot;
         self.resident_count += 1;
         self.resident_per_shard[shard] += 1;
         self.spilled_count -= 1;
@@ -940,133 +1147,423 @@ impl Engine {
         Ok(())
     }
 
-    /// Ingests one interleaved batch.
+    /// Ingests one interleaved batch synchronously.
     ///
     /// Events are routed to their stream's shard (preserving per-stream
-    /// order), the shards run in parallel, and the call returns once all
-    /// of them are done. The result holds one [`Output`] per stream
-    /// touched by the batch, in first-touch order of `events` — a
-    /// deterministic function of the input alone.
+    /// order), the shards process in parallel, and the call returns
+    /// once this batch's epoch watermark is reached — the caller helps
+    /// drain the rings while it waits, so a saturated host processes
+    /// mostly inline instead of context-switching. The result holds one
+    /// [`Output`] per stream touched by the batch, in first-touch order
+    /// of `events` — a deterministic function of the input alone.
     ///
     /// Under a [`MemoryBudget`], hibernated streams the batch touches
     /// are transparently re-adopted first, and the resident count is
     /// trimmed back under the cap before the call returns. Neither step
     /// changes any stream's output by a single bit.
+    ///
+    /// Must not be interleaved with uncollected [`Engine::submit`]
+    /// epochs (fails with [`EngineError::UncollectedEpochs`]; collect
+    /// them first).
     pub fn ingest(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
+        self.ensure_live()?;
+        if !self.outstanding.is_empty() {
+            return Err(EngineError::UncollectedEpochs);
+        }
+        self.submit(events)?;
+        let (_, outputs) = self
+            .collect_next()?
+            .expect("submit queued exactly one epoch");
+        Ok(outputs)
+    }
+
+    /// Publishes one interleaved batch without waiting for it: the
+    /// pipelined half of the ingest API. Returns the batch's epoch
+    /// number; its outputs arrive via [`Engine::collect_next`] /
+    /// [`Engine::try_collect_next`], strictly in submission order. At
+    /// most `ring_capacity` sub-batches per shard sit unapplied — a
+    /// publish into a full ring drains an entry on the caller thread
+    /// before parking, so backpressure converts into useful work.
+    pub fn submit(&mut self, events: &[Event]) -> Result<u64, EngineError> {
         self.ensure_live()?;
         if self.max_resident > 0 || self.spilled_count > 0 {
             self.prepare_batch(events)?;
         }
-        let outputs = self.dispatch_batch(events)?;
+        self.maybe_rebalance()?;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        if matches!(self.backend, Backend::Inline(_)) {
+            let outputs = self.dispatch_inline(events)?;
+            self.outstanding
+                .push_back(PendingEpoch::Ready(epoch, outputs));
+        } else {
+            let meta = self.route_and_publish(epoch, events)?;
+            self.outstanding.push_back(PendingEpoch::Meta(meta));
+        }
         if self.max_resident > 0 {
             self.enforce_budget()?;
         }
-        Ok(outputs)
+        Ok(epoch)
     }
 
-    /// The pre-hibernation ingest body: validate, partition, dispatch,
-    /// barrier, merge.
-    fn dispatch_batch(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
-        if let Backend::Inline(shard) = &mut self.backend {
-            // Single shard: no partitioning, no output merge — validate
-            // the ids (run-cached: consecutive events of one stream cost
-            // one lookup) and hand the slice straight to the shard. Its
-            // first-touch order IS the batch's first-touch order.
-            let mut last: Option<u64> = None;
-            for ev in events {
-                if last != Some(ev.stream.0) {
-                    if !self.streams.contains_key(&ev.stream.0) {
-                        return Err(EngineError::UnknownStream(ev.stream));
-                    }
-                    last = Some(ev.stream.0);
-                }
-            }
-            // Same containment as a worker thread: a session panic
-            // poisons the shard, not the caller.
-            return match catch_unwind(AssertUnwindSafe(|| shard.ingest_slice(events))) {
-                Ok(outs) => Ok(outs
-                    .into_iter()
-                    .map(|(stream, samples)| Output { stream, samples })
-                    .collect()),
-                Err(_panic) => {
-                    let e = EngineError::WorkerLost { shard: 0 };
-                    self.poison = Some(e.clone());
-                    Err(e)
-                }
-            };
-        }
-        // Validate + partition up front so an error dispatches nothing.
-        for b in &mut self.batches {
-            b.clear();
-        }
-        let mut touch_order: Vec<StreamId> = Vec::new();
-        let mut touched: HashMap<u64, usize> = HashMap::new();
-        let mut last: Option<(u64, usize)> = None;
-        for &ev in events {
-            let shard = match last {
-                Some((id, s)) if id == ev.stream.0 => s,
-                _ => {
-                    let Some(s) = self.streams.get(&ev.stream.0).map(|e| e.shard) else {
-                        return Err(EngineError::UnknownStream(ev.stream));
-                    };
-                    touched.entry(ev.stream.0).or_insert_with(|| {
-                        touch_order.push(ev.stream);
-                        touch_order.len() - 1
-                    });
-                    last = Some((ev.stream.0, s));
-                    s
-                }
-            };
-            self.batches[shard].push(ev);
-        }
-        let mut per_stream: Vec<Option<Vec<Sample>>> = vec![None; touch_order.len()];
-        match &mut self.backend {
-            Backend::Inline(_) => unreachable!("handled above"),
-            Backend::Threads(workers) => {
-                // Dispatch to every shard with work, then barrier on the
-                // replies (worker index order — determinism never leans
-                // on timing). A lost worker does not cut the barrier
-                // short: the remaining shards are still drained so their
-                // state stays consistent with the command stream.
-                let active: Vec<usize> = (0..workers.len())
-                    .filter(|&w| !self.batches[w].is_empty())
-                    .collect();
-                let mut first_lost: Option<usize> = None;
-                for &w in &active {
-                    let batch = std::mem::take(&mut self.batches[w]);
-                    if workers[w].request(Cmd::Ingest(batch)).is_err() {
-                        first_lost.get_or_insert(w);
-                    }
-                }
-                for &w in &active {
-                    match workers[w].wait() {
-                        Ok(Reply::Ingested { outs, batch }) => {
-                            self.batches[w] = batch;
-                            for (id, samples) in outs {
-                                per_stream[touched[&id.0]] = Some(samples);
-                            }
-                        }
-                        Ok(_) => unreachable!("ingest reply"),
-                        Err(()) => {
-                            first_lost.get_or_insert(w);
-                        }
-                    }
-                }
-                if let Some(w) = first_lost {
-                    let e = EngineError::WorkerLost { shard: w };
-                    self.poison = Some(e.clone());
-                    return Err(e);
-                }
+    /// Collects the oldest outstanding epoch's outputs, blocking (and
+    /// help-draining) until its watermark is reached. `Ok(None)` when
+    /// nothing is outstanding.
+    pub fn collect_next(&mut self) -> Result<Option<(u64, Vec<Output>)>, EngineError> {
+        self.ensure_live()?;
+        match self.outstanding.pop_front() {
+            None => Ok(None),
+            Some(PendingEpoch::Ready(epoch, outputs)) => Ok(Some((epoch, outputs))),
+            Some(PendingEpoch::Meta(meta)) => {
+                let outputs = self.collect_meta(&meta)?;
+                let epoch = meta.epoch;
+                self.recycle_meta(meta);
+                Ok(Some((epoch, outputs)))
             }
         }
-        Ok(touch_order
-            .into_iter()
+    }
+
+    /// Non-blocking [`collect_next`](Self::collect_next): collects the
+    /// oldest outstanding epoch only when its watermark is already
+    /// reached. (A poisoned shard counts as ready, so the typed error
+    /// surfaces here instead of needing a blocking call.)
+    pub fn try_collect_next(&mut self) -> Result<Option<(u64, Vec<Output>)>, EngineError> {
+        self.ensure_live()?;
+        let ready = match self.outstanding.front() {
+            None => return Ok(None),
+            Some(PendingEpoch::Ready(..)) => true,
+            Some(PendingEpoch::Meta(meta)) => match &self.backend {
+                Backend::Ring(r) => meta
+                    .shard_seq
+                    .iter()
+                    .all(|&(s, seq)| r.applied(s as usize) >= seq || r.is_poisoned(s as usize)),
+                Backend::Inline(_) => true,
+            },
+        };
+        if ready {
+            self.collect_next()
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Epochs submitted but not yet collected.
+    pub fn outstanding_epochs(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Configured per-shard ring capacity.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
+    }
+
+    /// The single-worker ingest body: validate and hand the whole slice
+    /// to the inline shard — no routing pass, no copy, no ring. Its
+    /// first-touch order IS the batch's first-touch order.
+    fn dispatch_inline(&mut self, events: &[Event]) -> Result<Vec<Output>, EngineError> {
+        // Validate the ids up front so an error dispatches nothing
+        // (run-cached: consecutive events of one stream cost one
+        // lookup).
+        let mut last: Option<u64> = None;
+        for ev in events {
+            if last != Some(ev.stream.0) {
+                if !self.streams.contains_key(&ev.stream.0) {
+                    return Err(EngineError::UnknownStream(ev.stream));
+                }
+                last = Some(ev.stream.0);
+            }
+        }
+        let Backend::Inline(shard) = &mut self.backend else {
+            unreachable!("caller checked the backend");
+        };
+        // Same containment as a ring consumer: a session panic poisons
+        // the shard, not the caller.
+        match catch_unwind(AssertUnwindSafe(|| shard.ingest_slice(events))) {
+            Ok(outs) => Ok(outs
+                .into_iter()
+                .map(|(stream, samples)| Output { stream, samples })
+                .collect()),
+            Err(_panic) => {
+                let e = EngineError::WorkerLost { shard: 0 };
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// The ring ingest front half: one routing pass fills per-shard
+    /// staging buffers (events plus `(slot, len)` run descriptors — the
+    /// consumer never hashes a stream id) and the epoch's first-touch
+    /// metadata, then every non-empty shard slice is published to its
+    /// ring. An unknown id rejects the batch before anything publishes.
+    fn route_and_publish(
+        &mut self,
+        epoch: u64,
+        events: &[Event],
+    ) -> Result<EpochMeta, EngineError> {
+        let mut meta = self.meta_pool.pop().unwrap_or_else(EpochMeta::new);
+        meta.reset(epoch);
+        let window = self.load_window;
+        let mut i = 0usize;
+        let mut unknown: Option<StreamId> = None;
+        while i < events.len() {
+            let id = events[i].stream;
+            let Some(entry) = self.streams.get_mut(&id.0) else {
+                unknown = Some(id);
+                break;
+            };
+            if entry.epoch_stamp != epoch {
+                entry.epoch_stamp = epoch;
+                meta.slot_of.insert(id.0, meta.touch_order.len() as u32);
+                meta.touch_order.push(id);
+            }
+            let (shard, slot) = (entry.shard, entry.slot);
+            let start = i;
+            i += 1;
+            while i < events.len() && events[i].stream == id {
+                i += 1;
+            }
+            let len = (i - start) as u32;
+            if entry.load_stamp != window {
+                entry.load_stamp = window;
+                entry.load = 0;
+            }
+            entry.load += len as u64;
+            self.shard_load[shard] += len as u64;
+            let buf = &mut self.staging[shard];
+            buf.events.extend_from_slice(&events[start..i]);
+            buf.runs.push((slot, len));
+        }
+        if let Some(id) = unknown {
+            for b in &mut self.staging {
+                b.events.clear();
+                b.runs.clear();
+            }
+            self.recycle_meta(meta);
+            return Err(EngineError::UnknownStream(id));
+        }
+        let mut lost: Option<usize> = None;
+        {
+            let Backend::Ring(ring) = &self.backend else {
+                unreachable!("caller checked the backend");
+            };
+            for shard in 0..self.staging.len() {
+                if self.staging[shard].runs.is_empty() {
+                    continue;
+                }
+                let (mut ev_buf, mut run_buf) = self.buf_pool.pop().unwrap_or_default();
+                ev_buf.clear();
+                run_buf.clear();
+                let buf = &mut self.staging[shard];
+                let events = std::mem::replace(&mut buf.events, ev_buf);
+                let runs = std::mem::replace(&mut buf.runs, run_buf);
+                self.published[shard] += 1;
+                let seq = self.published[shard];
+                if ring.publish(shard, Entry { seq, events, runs }).is_err() {
+                    lost = Some(shard);
+                    break;
+                }
+                meta.shard_seq.push((shard as u32, seq));
+            }
+        }
+        if let Some(shard) = lost {
+            for b in &mut self.staging {
+                b.events.clear();
+                b.runs.clear();
+            }
+            return Err(self.poison_with(EngineError::WorkerLost { shard }));
+        }
+        Ok(meta)
+    }
+
+    /// The ring ingest back half: wait out each participating shard's
+    /// watermark (helping to drain meanwhile), pop its completed
+    /// result, and merge per-stream samples back into the epoch's
+    /// first-touch order — fixed at routing time, so output order never
+    /// depends on which thread applied what.
+    fn collect_meta(&mut self, meta: &EpochMeta) -> Result<Vec<Output>, EngineError> {
+        let mut per_stream: Vec<Option<Vec<Sample>>> = vec![None; meta.touch_order.len()];
+        let mut lost: Option<usize> = None;
+        {
+            let Backend::Ring(ring) = &self.backend else {
+                unreachable!("meta epochs exist only on the ring backend");
+            };
+            for &(shard, seq) in &meta.shard_seq {
+                let shard = shard as usize;
+                if ring.wait_applied(shard, seq).is_err() {
+                    lost = Some(shard);
+                    break;
+                }
+                let (done_seq, outs) = ring.take_done(shard, &mut self.buf_pool);
+                debug_assert_eq!(done_seq, seq, "results collect in publish order");
+                for (id, samples) in outs {
+                    per_stream[meta.slot_of[&id.0] as usize] = Some(samples);
+                }
+            }
+        }
+        if let Some(shard) = lost {
+            return Err(self.poison_with(EngineError::WorkerLost { shard }));
+        }
+        Ok(meta
+            .touch_order
+            .iter()
             .zip(per_stream)
-            .map(|(stream, samples)| Output {
+            .map(|(&stream, samples)| Output {
                 stream,
                 samples: samples.unwrap_or_default(),
             })
             .collect())
+    }
+
+    fn recycle_meta(&mut self, mut meta: EpochMeta) {
+        if self.meta_pool.len() < 64 {
+            meta.reset(0);
+            self.meta_pool.push(meta);
+        }
+    }
+
+    /// Runs the rebalance check when its cadence is due.
+    fn maybe_rebalance(&mut self) -> Result<(), EngineError> {
+        if self.rebalance_every == 0
+            || self.epoch == 0
+            || !self.epoch.is_multiple_of(self.rebalance_every)
+            || !matches!(self.backend, Backend::Ring(_))
+        {
+            return Ok(());
+        }
+        self.rebalance_now()?;
+        Ok(())
+    }
+
+    /// Runs the skew check immediately (normally driven by
+    /// [`RebalanceConfig::every_batches`]): when the hottest shard's
+    /// ingest load since the last check exceeds `ratio` × the per-shard
+    /// mean, its lowest-traffic streams migrate to the coldest shard
+    /// until the hot shard is back around the mean — one hot stream no
+    /// longer idles the other workers. Returns how many streams moved.
+    /// The decision is a deterministic function of the ingest history
+    /// (ties break by stream id); outputs are never affected.
+    pub fn rebalance_now(&mut self) -> Result<usize, EngineError> {
+        self.ensure_live()?;
+        let shards = self.shard_load.len();
+        if shards < 2 {
+            return Ok(0);
+        }
+        let total: u64 = self.shard_load.iter().sum();
+        let mean = total as f64 / shards as f64;
+        let mut hot = 0usize;
+        let mut cold = 0usize;
+        for s in 0..shards {
+            if self.shard_load[s] > self.shard_load[hot] {
+                hot = s;
+            }
+            if self.shard_load[s] < self.shard_load[cold] {
+                cold = s;
+            }
+        }
+        let hot_load = self.shard_load[hot];
+        if total == 0
+            || (hot_load as f64) <= mean * self.rebalance_ratio
+            || self.resident_per_shard[hot] <= 1
+        {
+            self.bump_load_window();
+            return Ok(0);
+        }
+        // The hot shard's resident streams, coldest first (ties broken
+        // by id so hash-map iteration order cannot leak into placement).
+        let window = self.load_window;
+        let mut members: Vec<(u64, u64)> = self
+            .streams
+            .iter()
+            .filter(|(_, e)| e.resident && e.shard == hot)
+            .map(|(id, e)| {
+                let load = if e.load_stamp == window { e.load } else { 0 };
+                (load, *id)
+            })
+            .collect();
+        members.sort_unstable();
+        let mut moved = 0usize;
+        let mut hot_now = hot_load as f64;
+        let mut cold_now = self.shard_load[cold] as f64;
+        // The hottest stream stays put: a single stream cannot be
+        // split, only unburdened.
+        for &(load, id) in members.iter().take(members.len() - 1) {
+            if hot_now <= mean || cold_now + load as f64 > mean {
+                break;
+            }
+            self.migrate_stream(StreamId(id), cold)?;
+            hot_now -= load as f64;
+            cold_now += load as f64;
+            moved += 1;
+        }
+        self.bump_load_window();
+        Ok(moved)
+    }
+
+    /// Starts a fresh load-accounting window (per-stream counts expire
+    /// lazily via their stamp).
+    fn bump_load_window(&mut self) {
+        self.load_window += 1;
+        for l in &mut self.shard_load {
+            *l = 0;
+        }
+    }
+
+    /// Migrates one stream to shard `to` (snapshot → transfer → adopt;
+    /// the `WMSS` checkpoint encoding is the migration payload). The
+    /// source shard is synced first, so no published events are
+    /// outstanding against the moving session; a hibernated stream just
+    /// retargets its registry entry. Returns `false` when the stream
+    /// already lives on `to`. Outputs are never affected — the
+    /// equivalence wall forces migration at arbitrary points and
+    /// byte-compares against the sequential pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to >= workers()`.
+    pub fn migrate_stream(&mut self, id: StreamId, to: usize) -> Result<bool, EngineError> {
+        self.ensure_live()?;
+        assert!(to < self.workers(), "target shard out of range");
+        let Some(entry) = self.streams.get(&id.0) else {
+            return Err(EngineError::UnknownStream(id));
+        };
+        let from = entry.shard;
+        if from == to {
+            return Ok(false);
+        }
+        if !entry.resident {
+            self.streams.get_mut(&id.0).expect("checked").shard = to;
+            return Ok(true);
+        }
+        let spec = entry.spec.clone();
+        self.sync_shard(from)?;
+        let snaps = match &self.backend {
+            Backend::Ring(r) => r.shard_op(from, |s| s.evict(&[id])).ok(),
+            Backend::Inline(_) => unreachable!("a single shard cannot migrate"),
+        };
+        let Some(snaps) = snaps else {
+            return Err(self.poison_with(EngineError::WorkerLost { shard: from }));
+        };
+        let (_, kind, bytes) = snaps.into_iter().next().expect("evicted exactly one");
+        // From here the session exists only as bytes: failing to
+        // re-materialize it is state loss and poisons the engine.
+        let session = match Session::restore(spec, kind, &bytes) {
+            Ok(s) => s,
+            Err(e) => return Err(self.poison_with(EngineError::Checkpoint(e))),
+        };
+        let slot = match &self.backend {
+            Backend::Ring(r) => r.shard_op(to, |s| s.adopt(id, session)).ok(),
+            Backend::Inline(_) => unreachable!("a single shard cannot migrate"),
+        };
+        let Some(slot) = slot else {
+            return Err(self.poison_with(EngineError::WorkerLost { shard: to }));
+        };
+        let entry = self.streams.get_mut(&id.0).expect("checked");
+        entry.shard = to;
+        entry.slot = slot;
+        self.resident_per_shard[from] -= 1;
+        self.resident_per_shard[to] += 1;
+        Ok(true)
     }
 
     /// Captures a [`Checkpoint`] of every registered session at the
@@ -1088,6 +1585,11 @@ impl Engine {
     /// the checkpoint alone, never the spill file.
     pub fn checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
         self.ensure_live()?;
+        // Snapshot at the watermark: every published event must be
+        // applied before any session serializes. (Uncollected epochs
+        // stay collectible afterwards — their results are already in
+        // the done queues.)
+        self.sync_all()?;
         let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); self.router.shards()];
         let mut hibernated: Vec<StreamId> = Vec::new();
         for &id in &self.order {
@@ -1113,6 +1615,7 @@ impl Engine {
                 Err(e) => return Err(self.poison_with(e.into())),
             }
         }
+        let mut lost: Option<usize> = None;
         match &mut self.backend {
             Backend::Inline(shard) => {
                 match catch_unwind(AssertUnwindSafe(|| shard.snapshot(&per_shard[0]))) {
@@ -1121,39 +1624,32 @@ impl Engine {
                             by_id.insert(id.0, (kind, bytes));
                         }
                     }
-                    Err(_panic) => {
-                        let e = EngineError::WorkerLost { shard: 0 };
-                        self.poison = Some(e.clone());
-                        return Err(e);
-                    }
+                    Err(_panic) => lost = Some(0),
                 }
             }
-            Backend::Threads(workers) => {
-                let mut first_lost: Option<usize> = None;
+            Backend::Ring(ring) => {
+                // Shards are quiesced (synced above), so the snapshot
+                // pass runs as plain control ops on the caller thread.
                 for (w, ids) in per_shard.into_iter().enumerate() {
-                    if workers[w].request(Cmd::Snapshot(ids)).is_err() {
-                        first_lost.get_or_insert(w);
+                    if ids.is_empty() {
+                        continue;
                     }
-                }
-                for (w, handle) in workers.iter_mut().enumerate() {
-                    match handle.wait() {
-                        Ok(Reply::Snapshots(snaps)) => {
+                    match ring.shard_op(w, |s| s.snapshot(&ids)) {
+                        Ok(snaps) => {
                             for (id, kind, bytes) in snaps {
                                 by_id.insert(id.0, (kind, bytes));
                             }
                         }
-                        Ok(_) => unreachable!("snapshot reply"),
                         Err(()) => {
-                            first_lost.get_or_insert(w);
+                            lost = Some(w);
+                            break;
                         }
                     }
                 }
-                if let Some(w) = first_lost {
-                    let e = EngineError::WorkerLost { shard: w };
-                    self.poison = Some(e.clone());
-                    return Err(e);
-                }
             }
+        }
+        if let Some(w) = lost {
+            return Err(self.poison_with(EngineError::WorkerLost { shard: w }));
         }
         let streams = self
             .order
@@ -1185,6 +1681,12 @@ impl Engine {
     /// registry never materializes more sessions than the budget allows.
     pub fn finish(mut self) -> Result<Vec<StreamOutcome>, EngineError> {
         self.ensure_live()?;
+        // Finishing consumes the engine; silently discarding pipelined
+        // outputs would be data loss, so the caller must collect first.
+        if !self.outstanding.is_empty() {
+            return Err(EngineError::UncollectedEpochs);
+        }
+        self.sync_all()?;
         let shards = self.router.shards();
         let mut per_shard: Vec<Vec<StreamId>> = vec![Vec::new(); shards];
         let mut hibernated: Vec<Vec<StreamId>> = vec![Vec::new(); shards];
@@ -1214,30 +1716,26 @@ impl Engine {
                     }
                 }
             }
-            Backend::Threads(workers) => {
-                let mut first_lost: Option<usize> = None;
+            Backend::Ring(ring) => {
+                let mut lost: Option<usize> = None;
                 for (w, ids) in per_shard.into_iter().enumerate() {
-                    if workers[w].request(Cmd::Finish(ids)).is_err() {
-                        first_lost.get_or_insert(w);
+                    if ids.is_empty() {
+                        continue;
                     }
-                }
-                for (w, handle) in workers.iter_mut().enumerate() {
-                    match handle.wait() {
-                        Ok(Reply::Finished(outcomes)) => {
+                    match ring.shard_op(w, |s| s.finish(ids)) {
+                        Ok(outcomes) => {
                             for o in outcomes {
                                 by_id.insert(o.stream.0, o);
                             }
                         }
-                        Ok(_) => unreachable!("finish reply"),
                         Err(()) => {
-                            first_lost.get_or_insert(w);
+                            lost = Some(w);
+                            break;
                         }
                     }
                 }
-                if let Some(w) = first_lost {
-                    let e = EngineError::WorkerLost { shard: w };
-                    self.poison = Some(e.clone());
-                    return Err(e);
+                if let Some(w) = lost {
+                    return Err(self.poison_with(EngineError::WorkerLost { shard: w }));
                 }
             }
         }
@@ -1277,31 +1775,11 @@ impl Engine {
     ) -> Result<Vec<StreamOutcome>, EngineError> {
         let outcomes = match &mut self.backend {
             Backend::Inline(shard) => catch_unwind(AssertUnwindSafe(|| shard.finish(ids))).ok(),
-            Backend::Threads(ws) => {
-                if ws[w].request(Cmd::Finish(ids)).is_err() {
-                    None
-                } else {
-                    match ws[w].wait() {
-                        Ok(Reply::Finished(outcomes)) => Some(outcomes),
-                        Ok(_) => unreachable!("finish reply"),
-                        Err(()) => None,
-                    }
-                }
-            }
+            Backend::Ring(ring) => ring.shard_op(w, |s| s.finish(ids)).ok(),
         };
         match outcomes {
             Some(outcomes) => Ok(outcomes),
             None => Err(self.poison_with(EngineError::WorkerLost { shard: w })),
-        }
-    }
-}
-
-impl Drop for Engine {
-    fn drop(&mut self) {
-        if let Backend::Threads(workers) = &mut self.backend {
-            for w in workers {
-                w.shutdown();
-            }
         }
     }
 }

@@ -1,29 +1,48 @@
-//! The shard executor's workers.
+//! The shard executor: per-shard bounded ingest rings.
 //!
-//! One [`Shard`] exclusively owns one partition's sessions, so processing
-//! takes no locks. With more than one worker each shard lives on its own
-//! thread: the engine sends a command, the worker mutates its local
-//! session map and replies on its dedicated channel, and the engine's
-//! one-outstanding-request discipline (`request` then `wait`) doubles as
-//! the per-batch barrier. With exactly one worker the engine holds the
-//! shard inline on the caller thread and skips the channel round-trip
-//! entirely (see `Backend::Inline` in `lib.rs`).
+//! One [`Shard`] exclusively owns one partition's sessions. With more
+//! than one worker each shard gets a [`ShardCell`]: a bounded ring of
+//! published sub-batches (`pending`), a FIFO of completed results
+//! (`done`), and an **applied watermark** — the sequence number of the
+//! last sub-batch fully applied to the shard's sessions. The engine
+//! routes a batch once into per-shard staging buffers, publishes each
+//! shard's slice (events plus pre-resolved `(slot, len)` run
+//! descriptors, so the consumer never hashes a stream id), and only
+//! waits on the watermark when an output is actually needed —
+//! back-to-back batches pipeline instead of lock-stepping on a
+//! per-batch barrier.
+//!
+//! Consumption is symmetric: each shard has a dedicated worker thread,
+//! and the *caller* drains rings too whenever it would otherwise block
+//! (ring full, or waiting out a watermark). On a saturated or
+//! single-core host the caller ends up doing most of the work inline —
+//! no cross-thread hand-off, no context switches — while on a multicore
+//! host the workers drain eagerly and the caller becomes one more
+//! consumer. Entry order is preserved even with two consumers because a
+//! consumer acquires the shard's session lock (`proc`) *before* popping
+//! the ring, so pops and processing are atomic per shard.
+//!
+//! With exactly one worker the engine holds the shard inline on the
+//! caller thread and skips the ring entirely (see `Backend::Inline` in
+//! `lib.rs`).
 //!
 //! ## Panic containment
 //!
 //! A session panic (a bug, or the test-only
-//! [`StreamSpec::FaultInject`](crate::StreamSpec::FaultInject) hook) must
-//! not cascade: the worker wraps every command in `catch_unwind`, sends
-//! [`Reply::Lost`] and exits, and the engine surfaces
-//! [`EngineError::WorkerLost`](crate::EngineError::WorkerLost) to the
-//! caller instead of panicking on its own thread. The shard's sessions
-//! are considered poisoned after a panic (the panic may have fired midway
-//! through a state mutation) and are dropped with the worker.
+//! [`StreamSpec::FaultInject`](crate::StreamSpec::FaultInject) hook)
+//! must not cascade: every consumer wraps processing in `catch_unwind`
+//! *inside* the lock scope (so the `Mutex` itself is never poisoned),
+//! marks the cell poisoned, and wakes every waiter. The engine surfaces
+//! [`EngineError::WorkerLost`](crate::EngineError::WorkerLost) on the
+//! caller thread instead of panicking or hanging; the shard's sessions
+//! are considered lost (the panic may have fired midway through a state
+//! mutation).
 
 use crate::{StreamId, StreamOutcome, StreamSpec};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::thread::JoinHandle;
 use wms_core::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use wms_core::{DetectSession, EmbedSession};
@@ -37,51 +56,6 @@ pub(crate) const KIND_DETECT: u8 = 1;
 pub(crate) const KIND_FAULT: u8 = 2;
 /// Checkpoint kind tag of the pass-through no-op session.
 pub(crate) const KIND_NOOP: u8 = 3;
-
-/// Engine → worker commands.
-pub(crate) enum Cmd {
-    /// Adopt a new session.
-    Register(StreamId, StreamSpec),
-    /// Adopt an already-restored session (engine-side checkpoint
-    /// restore; the reply is `Registered`, like `Register`). Boxed: a
-    /// session is orders of magnitude bigger than the other commands.
-    Adopt(StreamId, Box<Session>),
-    /// Process this shard's slice of an ingest batch (stream order
-    /// within the slice is the wire order).
-    Ingest(Vec<Event>),
-    /// Snapshot the listed sessions (engine sends them in registration
-    /// order) without disturbing them.
-    Snapshot(Vec<StreamId>),
-    /// Serialize the listed sessions and *remove* them from the shard
-    /// (hibernation: the engine parks the bytes in its spill store).
-    Evict(Vec<StreamId>),
-    /// Flush the listed sessions (engine sends them in registration
-    /// order) and reply with their outcomes.
-    Finish(Vec<StreamId>),
-    /// Exit the worker loop.
-    Shutdown,
-}
-
-/// Worker → engine replies (one per non-shutdown command).
-pub(crate) enum Reply {
-    Registered,
-    /// Per touched stream, in first-touch order of the shard's slice:
-    /// the samples its session emitted. `batch` returns the drained
-    /// event buffer so the engine can reuse its capacity next ingest.
-    Ingested {
-        outs: Vec<(StreamId, Vec<Sample>)>,
-        batch: Vec<Event>,
-    },
-    /// Per requested stream: its kind tag and serialized session state.
-    Snapshots(Vec<(StreamId, u8, Vec<u8>)>),
-    /// Per evicted stream: its kind tag and serialized session state.
-    /// The sessions are gone from the shard.
-    Evicted(Vec<(StreamId, u8, Vec<u8>)>),
-    Finished(Vec<StreamOutcome>),
-    /// A command panicked. The worker has dropped its (poisoned) shard
-    /// and exited; every later `request`/`wait` on this handle fails.
-    Lost,
-}
 
 /// One live session: its spec (shared config) plus per-stream state.
 pub(crate) enum Session {
@@ -242,14 +216,32 @@ impl Session {
     }
 }
 
-/// One shard's sessions plus the first-touch bookkeeping buffers reused
-/// across ingests. Thread-agnostic: lives on a worker thread behind a
-/// channel, or inline in the engine when there is a single worker.
+/// One session materialized in a shard slot.
+struct SessionSlot {
+    id: StreamId,
+    session: Session,
+    /// Stamp of the last ingest pass that touched this slot; paired with
+    /// `out_idx` it replaces a per-pass `id -> output slot` hash map.
+    touch: u64,
+    out_idx: u32,
+}
+
+/// One shard's sessions plus the bookkeeping reused across ingests.
+///
+/// Sessions live in stable **slots** (`Vec` + free list): the engine's
+/// registry records each resident stream's slot, routes every run to
+/// `(slot, len)` descriptors, and the ingest consumer indexes straight
+/// into the slot vector — no per-run hashing on the parallel hot path.
+/// The id-keyed `index` serves the inline single-worker path (which
+/// skips routing entirely) and the by-id control operations
+/// (snapshot/evict/finish).
 pub(crate) struct Shard {
-    sessions: HashMap<u64, Session>,
-    /// first-touch bookkeeping reused across `ingest` calls.
-    touch_order: Vec<StreamId>,
-    slot_of: HashMap<u64, usize>,
+    slots: Vec<Option<SessionSlot>>,
+    free: Vec<u32>,
+    /// `id -> slot`, for the inline ingest path and by-id control ops.
+    index: HashMap<u64, u32>,
+    /// Monotonic per-ingest-pass stamp driving first-touch detection.
+    stamp: u64,
     /// `id -> (mutation count, kind, snapshot bytes)` — serialized
     /// snapshots reused while a session's mutation count is unchanged,
     /// so repeated checkpoints (and an eviction right after one) only
@@ -263,63 +255,122 @@ pub(crate) struct Shard {
 impl Shard {
     pub(crate) fn new() -> Shard {
         Shard {
-            sessions: HashMap::new(),
-            touch_order: Vec::new(),
-            slot_of: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            stamp: 0,
             snap_cache: HashMap::new(),
         }
     }
 
-    pub(crate) fn register(&mut self, id: StreamId, spec: StreamSpec) {
-        self.sessions.insert(id.0, Session::open(spec));
+    fn insert(&mut self, id: StreamId, session: Session) -> u32 {
+        let slot = SessionSlot {
+            id,
+            session,
+            touch: 0,
+            out_idx: 0,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(id.0, idx);
         self.snap_cache.remove(&id.0);
+        idx
     }
 
-    pub(crate) fn adopt(&mut self, id: StreamId, session: Session) {
-        self.sessions.insert(id.0, session);
-        self.snap_cache.remove(&id.0);
+    /// Opens a fresh session; returns its slot.
+    pub(crate) fn register(&mut self, id: StreamId, spec: StreamSpec) -> u32 {
+        self.insert(id, Session::open(spec))
     }
 
-    /// Processes one sub-batch. Returns each touched stream's emissions
-    /// in first-touch order of the slice.
-    ///
-    /// Consecutive events of the same stream (the common shape both for
-    /// single-stream flows and chunky interleavings) resolve their
-    /// session and output slot once per run, not once per event — this
-    /// is what lets the inline single-worker backend match, and on
-    /// run-heavy input beat, the no-engine sequential baseline.
+    /// Adopts an already-restored session; returns its slot.
+    pub(crate) fn adopt(&mut self, id: StreamId, session: Session) -> u32 {
+        self.insert(id, session)
+    }
+
+    fn remove(&mut self, id: StreamId) -> Option<Session> {
+        let idx = self.index.remove(&id.0)?;
+        let slot = self.slots[idx as usize].take().expect("index names a slot");
+        self.free.push(idx);
+        Some(slot.session)
+    }
+
+    /// Processes one sub-batch through pre-resolved run descriptors:
+    /// `runs[k] = (slot, len)` consumes the next `len` events against
+    /// the session in `slot`. Returns each touched stream's emissions in
+    /// first-touch order of the slice (the engine re-merges by id, so
+    /// only per-stream sample order matters here — but first-touch order
+    /// falls out of the stamp scheme for free).
+    pub(crate) fn ingest_runs(
+        &mut self,
+        events: &[Event],
+        runs: &[(u32, u32)],
+    ) -> Vec<(StreamId, Vec<Sample>)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut outs: Vec<(StreamId, Vec<Sample>)> = Vec::new();
+        let mut i = 0usize;
+        for &(slot, len) in runs {
+            let s = self.slots[slot as usize]
+                .as_mut()
+                .expect("engine routed to a live slot");
+            if s.touch != stamp {
+                s.touch = stamp;
+                s.out_idx = outs.len() as u32;
+                outs.push((s.id, Vec::new()));
+            }
+            let out_idx = s.out_idx as usize;
+            let end = i + len as usize;
+            for ev in &events[i..end] {
+                s.session.push(ev.sample, &mut outs[out_idx].1);
+            }
+            i = end;
+        }
+        outs
+    }
+
+    /// Processes one sub-batch resolving runs by id (the inline
+    /// single-worker path, which has no routing pass). Consecutive
+    /// events of the same stream resolve their slot once per run, not
+    /// once per event.
     pub(crate) fn ingest_slice(&mut self, events: &[Event]) -> Vec<(StreamId, Vec<Sample>)> {
-        self.touch_order.clear();
-        self.slot_of.clear();
-        let mut outs: Vec<Vec<Sample>> = Vec::new();
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut outs: Vec<(StreamId, Vec<Sample>)> = Vec::new();
         let mut i = 0;
         while i < events.len() {
             let id = events[i].stream;
-            let slot = *self.slot_of.entry(id.0).or_insert_with(|| {
-                self.touch_order.push(id);
-                outs.push(Vec::new());
-                outs.len() - 1
-            });
-            let session = self
-                .sessions
-                .get_mut(&id.0)
-                .expect("engine validated the id");
-            let out = &mut outs[slot];
+            let idx = *self.index.get(&id.0).expect("engine validated the id");
+            let s = self.slots[idx as usize].as_mut().expect("slot is live");
+            if s.touch != stamp {
+                s.touch = stamp;
+                s.out_idx = outs.len() as u32;
+                outs.push((id, Vec::new()));
+            }
+            let out_idx = s.out_idx as usize;
             while i < events.len() && events[i].stream == id {
-                session.push(events[i].sample, out);
+                s.session.push(events[i].sample, &mut outs[out_idx].1);
                 i += 1;
             }
         }
-        self.touch_order.iter().copied().zip(outs).collect()
+        outs
     }
 
     /// Serializes one session, reusing the cached bytes when its
     /// mutation count is unchanged since the last snapshot.
     fn snapshot_of(&mut self, id: StreamId) -> (u8, Vec<u8>) {
-        let session = self
-            .sessions
-            .get(&id.0)
-            .expect("engine tracks registrations");
+        let idx = *self.index.get(&id.0).expect("engine tracks registrations");
+        let session = &self.slots[idx as usize]
+            .as_ref()
+            .expect("index names a slot")
+            .session;
         let count = session.mutation_count();
         if let Some((cached_count, kind, bytes)) = self.snap_cache.get(&id.0) {
             if *cached_count == count {
@@ -343,16 +394,14 @@ impl Shard {
             .collect()
     }
 
-    /// Serializes and removes the listed sessions (hibernation). An
-    /// eviction on the heels of a checkpoint reuses the cached snapshot
-    /// bytes instead of serializing twice.
+    /// Serializes and removes the listed sessions (hibernation, or a
+    /// migration to another shard). An eviction on the heels of a
+    /// checkpoint reuses the cached snapshot bytes instead of
+    /// serializing twice.
     pub(crate) fn evict(&mut self, ids: &[StreamId]) -> Vec<(StreamId, u8, Vec<u8>)> {
         ids.iter()
             .map(|id| {
-                let session = self
-                    .sessions
-                    .remove(&id.0)
-                    .expect("engine tracks residency");
+                let session = self.remove(*id).expect("engine tracks residency");
                 let (kind, bytes) = match self.snap_cache.remove(&id.0) {
                     Some((count, kind, bytes)) if count == session.mutation_count() => {
                         (kind, bytes)
@@ -368,125 +417,388 @@ impl Shard {
         ids.into_iter()
             .map(|id| {
                 self.snap_cache.remove(&id.0);
-                self.sessions
-                    .remove(&id.0)
+                self.remove(id)
                     .expect("engine tracks registrations")
                     .close(id)
             })
             .collect()
     }
+}
 
-    /// Executes one non-shutdown command.
-    fn handle(&mut self, cmd: Cmd) -> Reply {
-        match cmd {
-            Cmd::Register(id, spec) => {
-                self.register(id, spec);
-                Reply::Registered
+/// Locks a mutex, ignoring poisoning. Safe here: every consumer wraps
+/// session code in `catch_unwind` *inside* its guard scope, so a guard
+/// never drops during an unwind and the flag can only be set by a panic
+/// in engine bookkeeping itself — in which case the shard is about to be
+/// marked poisoned anyway.
+fn lock_mutex<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A recycled `(events, runs)` staging-buffer pair: routing fills one
+/// per shard per epoch, consumers drain it back into the pool.
+pub(crate) type BufPair = (Vec<Event>, Vec<(u32, u32)>);
+
+/// One shard's applied result: `(seq, per-stream outputs in sub-batch
+/// order)`.
+type DoneEntry = (u64, Vec<(StreamId, Vec<Sample>)>);
+
+/// One sub-batch published to a shard's ring.
+pub(crate) struct Entry {
+    /// Per-shard monotonic sequence number (1-based).
+    pub(crate) seq: u64,
+    /// This shard's slice of the batch, in wire order.
+    pub(crate) events: Vec<Event>,
+    /// Pre-resolved run descriptors: `(slot, len)` per run of
+    /// consecutive same-stream events.
+    pub(crate) runs: Vec<(u32, u32)>,
+}
+
+/// The mutable half of a shard's ring, behind its queue mutex.
+struct RingQueue {
+    /// Published, not-yet-applied sub-batches (bounded by the ring
+    /// capacity; producers help-drain or park when full).
+    pending: VecDeque<Entry>,
+    /// Applied results awaiting collection, in sequence order.
+    done: VecDeque<DoneEntry>,
+    /// Drained event/run buffers, recycled into the staging pool.
+    recycled: Vec<BufPair>,
+    shutdown: bool,
+}
+
+/// What one consumption attempt on a cell achieved.
+enum Consumed {
+    /// Applied one entry.
+    One,
+    /// Nothing pending.
+    Empty,
+    /// Another consumer holds the shard (only reported by `try` mode).
+    Busy,
+    /// The shard is poisoned (now, or by this very attempt).
+    Poisoned,
+}
+
+/// One shard's executor cell: ring + sessions + watermark.
+pub(crate) struct ShardCell {
+    q: Mutex<RingQueue>,
+    /// Wakes this shard's worker when work is published.
+    work_cv: Condvar,
+    /// The shard's sessions. Control operations (register, adopt,
+    /// snapshot, evict, finish) run on the *caller* thread under this
+    /// lock — there is no command protocol. Lock order: `proc` before
+    /// `q`, never the reverse.
+    proc: Mutex<Shard>,
+    /// Sequence number of the last fully-applied entry (the epoch
+    /// watermark). Written by consumers after the result is queued.
+    applied: AtomicU64,
+    poisoned: AtomicBool,
+}
+
+impl ShardCell {
+    fn new() -> ShardCell {
+        ShardCell {
+            q: Mutex::new(RingQueue {
+                pending: VecDeque::new(),
+                done: VecDeque::new(),
+                recycled: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            proc: Mutex::new(Shard::new()),
+            applied: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Pops and applies the oldest pending entry. Holding `proc` across
+    /// the pop is what keeps per-shard entry order intact with multiple
+    /// consumers. `try_proc` consumers (the caller helping out) bail
+    /// with [`Consumed::Busy`] instead of blocking behind the worker.
+    fn consume(&self, progress: &Progress, capacity: usize, try_proc: bool) -> Consumed {
+        if self.poisoned() {
+            return Consumed::Poisoned;
+        }
+        let mut shard = if try_proc {
+            match self.proc.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::WouldBlock) => return Consumed::Busy,
+                Err(TryLockError::Poisoned(e)) => e.into_inner(),
             }
-            Cmd::Adopt(id, session) => {
-                self.adopt(id, *session);
-                Reply::Registered
+        } else {
+            lock_mutex(&self.proc)
+        };
+        let entry = {
+            let mut q = lock_mutex(&self.q);
+            if q.shutdown {
+                return Consumed::Empty;
             }
-            Cmd::Ingest(events) => {
-                let outs = self.ingest_slice(&events);
-                Reply::Ingested {
-                    outs,
-                    batch: events,
+            q.pending.pop_front()
+        };
+        let Some(mut entry) = entry else {
+            return Consumed::Empty;
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            shard.ingest_runs(&entry.events, &entry.runs)
+        }));
+        match result {
+            Ok(outs) => {
+                // The done-push and watermark store stay inside the
+                // `proc` critical section: were the guard released
+                // first, a second consumer could finish a *later* entry
+                // and publish its result (and watermark) ahead of this
+                // one, breaking done-queue FIFO order.
+                let seq = entry.seq;
+                entry.events.clear();
+                entry.runs.clear();
+                {
+                    let mut q = lock_mutex(&self.q);
+                    q.done.push_back((seq, outs));
+                    if q.recycled.len() < capacity {
+                        q.recycled.push((entry.events, entry.runs));
+                    }
                 }
-            }
-            Cmd::Snapshot(ids) => Reply::Snapshots(self.snapshot(&ids)),
-            Cmd::Evict(ids) => Reply::Evicted(self.evict(&ids)),
-            Cmd::Finish(ids) => Reply::Finished(self.finish(ids)),
-            Cmd::Shutdown => unreachable!("handled by the run loop"),
-        }
-    }
-}
-
-/// The engine's side of one worker thread.
-pub(crate) struct WorkerHandle {
-    tx: Sender<Cmd>,
-    rx: Receiver<Reply>,
-    join: Option<JoinHandle<()>>,
-    /// The worker panicked (or its channels closed unexpectedly); every
-    /// further request fails fast instead of blocking or panicking.
-    lost: bool,
-}
-
-impl WorkerHandle {
-    /// Spawns the worker for shard `index`.
-    pub(crate) fn spawn(index: usize) -> WorkerHandle {
-        let (tx, cmd_rx) = channel::<Cmd>();
-        let (reply_tx, rx) = channel::<Reply>();
-        let join = std::thread::Builder::new()
-            .name(format!("wms-engine-shard-{index}"))
-            .spawn(move || run(cmd_rx, reply_tx))
-            .expect("spawn shard worker");
-        WorkerHandle {
-            tx,
-            rx,
-            join: Some(join),
-            lost: false,
-        }
-    }
-
-    /// Sends one command (must be followed by `wait` unless Shutdown).
-    /// `Err(())` means the worker is gone; the caller maps it to
-    /// [`EngineError::WorkerLost`](crate::EngineError::WorkerLost).
-    pub(crate) fn request(&mut self, cmd: Cmd) -> Result<(), ()> {
-        if self.lost {
-            return Err(());
-        }
-        self.tx.send(cmd).map_err(|_| {
-            self.lost = true;
-        })
-    }
-
-    /// Blocks for the reply to the last `request`.
-    pub(crate) fn wait(&mut self) -> Result<Reply, ()> {
-        if self.lost {
-            return Err(());
-        }
-        match self.rx.recv() {
-            Ok(Reply::Lost) | Err(_) => {
-                self.lost = true;
-                Err(())
-            }
-            Ok(reply) => Ok(reply),
-        }
-    }
-
-    /// Asks the thread to exit and joins it (idempotent, abort-safe:
-    /// never panics, even when the worker is already gone or this drop
-    /// happens during an unwind on the caller thread).
-    pub(crate) fn shutdown(&mut self) {
-        if let Some(join) = self.join.take() {
-            // Ignore send failure: the worker already exited.
-            let _ = self.tx.send(Cmd::Shutdown);
-            let _ = join.join();
-        }
-    }
-}
-
-/// Worker loop: owns this shard's sessions until shutdown or a panic.
-fn run(cmds: Receiver<Cmd>, replies: Sender<Reply>) {
-    let mut shard = Shard::new();
-    while let Ok(cmd) = cmds.recv() {
-        if matches!(cmd, Cmd::Shutdown) {
-            break;
-        }
-        match catch_unwind(AssertUnwindSafe(|| shard.handle(cmd))) {
-            Ok(reply) => {
-                if replies.send(reply).is_err() {
-                    break; // engine dropped mid-flight
-                }
+                self.applied.store(seq, Ordering::Release);
+                drop(shard);
+                progress.bump();
+                Consumed::One
             }
             Err(_panic) => {
-                // The shard state may be mid-mutation: report the loss
-                // and exit, dropping the poisoned sessions with us. The
-                // panic payload is discarded (its message already went
-                // through the panic hook).
-                let _ = replies.send(Reply::Lost);
-                break;
+                // The shard state may be mid-mutation: poison the cell
+                // and wake everyone (the engine maps this to
+                // `WorkerLost`; the worker thread exits). The panic
+                // payload is discarded (its message already went through
+                // the panic hook).
+                self.poisoned.store(true, Ordering::Release);
+                self.work_cv.notify_all();
+                progress.bump();
+                Consumed::Poisoned
+            }
+        }
+    }
+}
+
+/// The engine's wait channel: consumers bump the generation after every
+/// completion (or poisoning), waiters re-check their condition whenever
+/// it moves. The generation is read under the mutex *before* the
+/// condition, so a completion between the check and the wait cannot be
+/// missed.
+struct Progress {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Progress {
+    fn bump(&self) {
+        let mut g = lock_mutex(&self.gen);
+        *g = g.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    fn snapshot(&self) -> u64 {
+        *lock_mutex(&self.gen)
+    }
+
+    /// Blocks until the generation moves past `seen` (with a safety-net
+    /// timeout so a logic bug degrades to polling, never a hang).
+    fn wait_past(&self, seen: u64) {
+        let mut g = lock_mutex(&self.gen);
+        while *g == seen {
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(g, std::time::Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if timeout.timed_out() {
+                return;
+            }
+        }
+    }
+}
+
+/// The multi-worker executor: one [`ShardCell`] and one drainer thread
+/// per shard, plus the caller as an opportunistic extra consumer.
+pub(crate) struct Ring {
+    cells: Vec<Arc<ShardCell>>,
+    progress: Arc<Progress>,
+    threads: Vec<JoinHandle<()>>,
+    capacity: usize,
+    /// Whether publishes wake the shard's worker immediately. On a
+    /// single-core host a wakeup cannot add throughput — the caller
+    /// help-drains everything anyway — so publishes stay silent and the
+    /// workers only wake for shutdown. On a multicore host workers wake
+    /// per publish and drain in parallel with the caller's routing.
+    eager_wake: bool,
+}
+
+impl Ring {
+    pub(crate) fn new(shards: usize, capacity: usize, eager_wake: bool) -> Ring {
+        let capacity = capacity.max(1);
+        let progress = Arc::new(Progress {
+            gen: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let cells: Vec<Arc<ShardCell>> = (0..shards).map(|_| Arc::new(ShardCell::new())).collect();
+        let threads = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let cell = Arc::clone(cell);
+                let progress = Arc::clone(&progress);
+                std::thread::Builder::new()
+                    .name(format!("wms-engine-shard-{i}"))
+                    .spawn(move || worker_loop(cell, progress, capacity))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Ring {
+            cells,
+            progress,
+            threads,
+            capacity,
+            eager_wake,
+        }
+    }
+
+    /// Whether `shard` is poisoned.
+    pub(crate) fn is_poisoned(&self, shard: usize) -> bool {
+        self.cells[shard].poisoned()
+    }
+
+    /// Runs a control operation against a shard's sessions on the
+    /// caller thread, with the same panic containment as ingest.
+    /// `Err(())` means the shard is (now) poisoned.
+    pub(crate) fn shard_op<T>(
+        &self,
+        shard: usize,
+        op: impl FnOnce(&mut Shard) -> T,
+    ) -> Result<T, ()> {
+        let cell = &self.cells[shard];
+        if cell.poisoned() {
+            return Err(());
+        }
+        let mut guard = lock_mutex(&cell.proc);
+        match catch_unwind(AssertUnwindSafe(|| op(&mut guard))) {
+            Ok(v) => Ok(v),
+            Err(_panic) => {
+                cell.poisoned.store(true, Ordering::Release);
+                cell.work_cv.notify_all();
+                self.progress.bump();
+                Err(())
+            }
+        }
+    }
+
+    /// Publishes one entry to `shard`'s ring. Blocks only when the ring
+    /// is full — and even then drains an entry itself before parking, so
+    /// a full ring converts backpressure into useful work. `Err(())`
+    /// maps to `WorkerLost`.
+    pub(crate) fn publish(&self, shard: usize, entry: Entry) -> Result<(), ()> {
+        let cell = &self.cells[shard];
+        let mut entry = Some(entry);
+        loop {
+            if cell.poisoned() {
+                return Err(());
+            }
+            let seen = self.progress.snapshot();
+            {
+                let mut q = lock_mutex(&cell.q);
+                if q.pending.len() < self.capacity {
+                    q.pending
+                        .push_back(entry.take().expect("publish retries keep the entry"));
+                    drop(q);
+                    if self.eager_wake {
+                        cell.work_cv.notify_one();
+                    }
+                    return Ok(());
+                }
+            }
+            match cell.consume(&self.progress, self.capacity, true) {
+                Consumed::One | Consumed::Empty => {}
+                Consumed::Poisoned => return Err(()),
+                Consumed::Busy => self.progress.wait_past(seen),
+            }
+        }
+    }
+
+    /// Blocks until `shard`'s applied watermark reaches `seq`, help-
+    /// draining the ring while it waits. `Err(())` maps to `WorkerLost`.
+    pub(crate) fn wait_applied(&self, shard: usize, seq: u64) -> Result<(), ()> {
+        let cell = &self.cells[shard];
+        loop {
+            if cell.applied.load(Ordering::Acquire) >= seq {
+                return Ok(());
+            }
+            if cell.poisoned() {
+                return Err(());
+            }
+            let seen = self.progress.snapshot();
+            match cell.consume(&self.progress, self.capacity, true) {
+                Consumed::One => {}
+                Consumed::Poisoned => return Err(()),
+                Consumed::Empty | Consumed::Busy => {
+                    // The watermark may have moved between the check and
+                    // the consume; re-check before parking.
+                    if cell.applied.load(Ordering::Acquire) >= seq || cell.poisoned() {
+                        continue;
+                    }
+                    self.progress.wait_past(seen);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking watermark check.
+    pub(crate) fn applied(&self, shard: usize) -> u64 {
+        self.cells[shard].applied.load(Ordering::Acquire)
+    }
+
+    /// Pops the oldest completed result of `shard` (the caller has
+    /// already waited out the watermark, so it must exist), returning
+    /// recycled buffers into `pool`.
+    pub(crate) fn take_done(&self, shard: usize, pool: &mut Vec<BufPair>) -> DoneEntry {
+        let mut q = lock_mutex(&self.cells[shard].q);
+        pool.append(&mut q.recycled);
+        q.done.pop_front().expect("watermark covered this entry")
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        for cell in &self.cells {
+            let mut q = lock_mutex(&cell.q);
+            q.shutdown = true;
+            drop(q);
+            cell.work_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Worker loop: drains its shard's ring until shutdown or poisoning.
+fn worker_loop(cell: Arc<ShardCell>, progress: Arc<Progress>, capacity: usize) {
+    loop {
+        {
+            let mut q = lock_mutex(&cell.q);
+            loop {
+                if q.shutdown || cell.poisoned() {
+                    return;
+                }
+                if !q.pending.is_empty() {
+                    break;
+                }
+                q = cell.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        loop {
+            match cell.consume(&progress, capacity, false) {
+                Consumed::One => {}
+                Consumed::Empty | Consumed::Busy => break,
+                Consumed::Poisoned => return,
             }
         }
     }

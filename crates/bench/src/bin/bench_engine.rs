@@ -39,6 +39,7 @@ use wms_engine::{
     DEFAULT_RING_CAPACITY,
 };
 use wms_stream::Sample;
+use wms_telemetry::Registry;
 
 const SCHEMA: &str = "wms-bench-engine/v1";
 /// Total items per iteration, split across the streams.
@@ -138,6 +139,60 @@ fn run_engine_noop(events: &[Event], streams: usize, workers: usize) -> usize {
         n += engine.ingest(chunk).unwrap().len();
     }
     n + engine.finish().unwrap().len()
+}
+
+/// [`run_engine_noop`] with a telemetry sink attached: the engine's
+/// metric handles registered into a [`Registry`] and the exposition
+/// rendered once at the end, as a scraping daemon would. Recording is
+/// always on (relaxed atomics), so the delta between this row and the
+/// plain no-op row is the entire cost a metrics consumer adds — the
+/// number behind the "<2% overhead" claim in DESIGN.md §3.18.
+fn run_engine_noop_telemetry(events: &[Event], streams: usize, workers: usize) -> usize {
+    let mut engine = Engine::new(EngineConfig::with_workers(workers)).unwrap();
+    let registry = Registry::new();
+    engine.metrics().register_into(&registry);
+    for id in 0..streams as u64 {
+        engine.register(StreamId(id), StreamSpec::NoOp).unwrap();
+    }
+    let mut n = 0usize;
+    for chunk in events.chunks(BATCH) {
+        n += engine.ingest(chunk).unwrap().len();
+    }
+    n += engine.finish().unwrap().len();
+    n + black_box(registry.render()).len().min(1)
+}
+
+/// Interleaved best-of-rounds measurement for variants whose *delta* is
+/// the result: each variant runs [`DRIFT_ROUNDS`] short windows,
+/// alternating back-to-back with the others, and keeps its fastest
+/// window. Two single long windows minutes apart pick up whatever load
+/// drift the host has in between — on a shared core that drift is
+/// several percent, dwarfing a sub-percent delta. Alternation gives
+/// every variant the same traffic, and min-of-windows discards the
+/// noisy ones. Windows are kept short (many rounds) so a multi-second
+/// neighbor burst can't contaminate every window of one variant.
+const DRIFT_ROUNDS: u32 = 15;
+
+fn measure_interleaved(
+    bench: &str,
+    items: u64,
+    budget: Duration,
+    variants: &mut [(String, &mut dyn FnMut())],
+) -> Vec<PerfRecord> {
+    let slice = (budget / DRIFT_ROUNDS).max(Duration::from_millis(1));
+    let mut best: Vec<Option<PerfRecord>> = variants.iter().map(|_| None).collect();
+    for _ in 0..DRIFT_ROUNDS {
+        for (i, (variant, f)) in variants.iter_mut().enumerate() {
+            let r = perf::measure(bench, variant.clone(), items, slice, &mut **f);
+            if best[i]
+                .as_ref()
+                .is_none_or(|b| r.ns_per_iter < b.ns_per_iter)
+            {
+                best[i] = Some(r);
+            }
+        }
+    }
+    best.into_iter().map(Option::unwrap).collect()
 }
 
 /// [`run_engine_noop`] through the pipelined `submit`/`collect_next`
@@ -362,10 +417,31 @@ fn main() {
         sweep.sort_unstable();
         sweep.dedup();
         for workers in sweep {
-            let variant = format!("workers={workers}");
-            records.push(perf::measure(&id, &variant, items, budget, || {
+            // The plain row and its telemetry twin (same run with a
+            // sink registered and the exposition rendered once — the
+            // overhead-claim pair behind "<2%" in DESIGN.md §3.18) are
+            // measured interleaved: their true delta is microseconds,
+            // so host load drift between two separate windows would
+            // otherwise be the entire signal.
+            let mut plain = || {
                 black_box(run_engine_noop(black_box(&events), streams, workers));
-            }));
+            };
+            let mut telemetry = || {
+                black_box(run_engine_noop_telemetry(
+                    black_box(&events),
+                    streams,
+                    workers,
+                ));
+            };
+            records.extend(measure_interleaved(
+                &id,
+                items,
+                budget,
+                &mut [
+                    (format!("workers={workers}"), &mut plain),
+                    (format!("workers={workers} telemetry"), &mut telemetry),
+                ],
+            ));
             // The same run through submit/collect with the ring's full
             // in-flight window — barrier vs pipelined on one chart.
             let variant = format!("workers={workers} pipelined");

@@ -152,7 +152,7 @@ COMMANDS:
                checkpoint + verdicts)
                --listen tcp:HOST:PORT|unix:PATH --output F --key K
                [--queue N] [--overload block|shed] [--workers N]
-               [--ring-capacity N]
+               [--ring-capacity N] [--metrics tcp:HOST:PORT|unix:PATH]
                [--checkpoint F [--checkpoint-every N]
                 [--checkpoint-interval-ms MS]] [--resume F]
                [--read-timeout-ms MS] [--write-timeout-ms MS]
@@ -162,8 +162,12 @@ COMMANDS:
                (values are watermarked raw — no per-stream normalization
                 — so output is byte-identical to `wms engine --normalize
                 none` fed the same batches; --workers 0 (default) = all
-                cores, --ring-capacity as for engine; after kill -9,
-                restart with
+                cores, --ring-capacity as for engine; with a checkpoint
+                file configured, a timer checkpoint runs every 5000 ms
+                unless --checkpoint-interval-ms overrides it (0 turns
+                the timer off); --metrics serves the Prometheus-style
+                text exposition over plain HTTP for curl / scrape
+                pollers; after kill -9, restart with
                 --resume F and replay: already-acked batches get STALE
                 NACKs and the output reconverges byte-identically)
     send       stream a CSV to a running wmsd
@@ -172,6 +176,10 @@ COMMANDS:
                (skips batches the handshake reports already acked;
                 backs off and retries on OVERLOADED NACKs; --drain true
                 asks the daemon to finalize and exit afterwards)
+    stats      print a running wmsd's metrics snapshot (Prometheus-style
+               text exposition, fetched over WMSP — answered even while
+               the daemon drains)
+               --connect tcp:HOST:PORT|unix:PATH [--wait-ms MS]
     resilience run an attack x severity x scheme resilience campaign
                (embed -> attack -> detect over a deterministic stream
                 population) and print per-cell verdicts
@@ -1026,6 +1034,30 @@ fn client_err(e: wms_daemon::ClientError) -> CmdError {
     }
 }
 
+/// Default periodic-checkpoint cadence when a checkpoint file is
+/// configured but `--checkpoint-interval-ms` was not given. Five
+/// seconds bounds replay-after-crash to a few seconds of traffic while
+/// keeping checkpoint I/O negligible against any real ingest rate.
+const DEFAULT_CK_INTERVAL_MS: u64 = 5_000;
+
+/// Resolves the `--checkpoint-interval-ms` flag against the presence of
+/// a checkpoint file: an absent flag defaults to
+/// [`DEFAULT_CK_INTERVAL_MS`] when checkpointing is on (a daemon with a
+/// checkpoint file but no cadence would otherwise persist nothing until
+/// drain — the unbounded-replay trap), an explicit `0` turns the timer
+/// off, and without a checkpoint file there is nowhere to write so the
+/// flag is ignored entirely.
+fn checkpoint_interval(flag: Option<u64>, has_checkpoint: bool) -> Option<std::time::Duration> {
+    if !has_checkpoint {
+        return None;
+    }
+    match flag {
+        Some(0) => None,
+        Some(ms) => Some(std::time::Duration::from_millis(ms)),
+        None => Some(std::time::Duration::from_millis(DEFAULT_CK_INTERVAL_MS)),
+    }
+}
+
 /// `wms daemon`: run `wmsd`, the long-lived watermarking service. Binds
 /// a TCP or unix socket, accepts WMSP batch streams from any number of
 /// clients, and writes raw (`--normalize none`) watermarked rows to
@@ -1044,8 +1076,9 @@ pub fn daemon(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     let ring_capacity: usize = args.get_or("ring-capacity", 0usize)?;
     let ck_path = args.get("checkpoint").map(PathBuf::from);
     let ck_every: u64 = args.get_or("checkpoint-every", 0u64)?;
-    let ck_interval_ms: u64 = args.get_or("checkpoint-interval-ms", 0u64)?;
+    let ck_interval_flag = args.get_parsed::<u64>("checkpoint-interval-ms")?;
     let resume = args.get("resume").map(PathBuf::from);
+    let metrics_listen = args.get("metrics").map(str::to_string);
     let queue_depth: usize = args.get_or("queue", 64usize)?;
     let overload = wms_daemon::OverloadPolicy::parse(args.get("overload").unwrap_or("block"))
         .map_err(CmdError::new)?;
@@ -1098,11 +1131,12 @@ pub fn daemon(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
     // A bare `--resume F` keeps checkpointing to the same file.
     cfg.checkpoint = ck_path.or_else(|| resume.clone());
     cfg.checkpoint_every = ck_every;
-    cfg.checkpoint_interval = match ck_interval_ms {
-        0 => None,
-        ms => Some(std::time::Duration::from_millis(ms)),
-    };
+    cfg.checkpoint_interval = checkpoint_interval(ck_interval_flag, cfg.checkpoint.is_some());
     cfg.resume = resume.is_some();
+    cfg.metrics_endpoint = match &metrics_listen {
+        Some(s) => Some(Endpoint::parse(s).map_err(CmdError::new)?),
+        None => None,
+    };
     cfg.queue_depth = queue_depth;
     cfg.overload = overload;
     cfg.read_timeout = std::time::Duration::from_millis(read_timeout_ms.max(1));
@@ -1126,6 +1160,9 @@ pub fn daemon(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError
             server.local_desc(),
             server.acked_seq()
         )?;
+    }
+    if let Some(m) = server.metrics_local_desc() {
+        writeln!(out, "wmsd metrics on {m}")?;
     }
     out.flush()?;
 
@@ -1300,6 +1337,28 @@ pub fn send(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> 
     Ok(())
 }
 
+/// `wms stats`: fetch a running daemon's metrics snapshot over WMSP
+/// (`STATS` frame) and print the Prometheus-style text exposition —
+/// the socket-agnostic sibling of scraping the `--metrics` endpoint
+/// with curl. Works mid-drain: the daemon never refuses `STATS`.
+pub fn stats(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
+    use wms_daemon::{Client, Endpoint};
+
+    let connect = args.require("connect")?.to_string();
+    let wait_ms: u64 = args.get_or("wait-ms", 5_000u64)?;
+    args.finish()?;
+    let endpoint = Endpoint::parse(&connect).map_err(CmdError::new)?;
+    let (mut client, _greeting) = Client::connect_retry(
+        &endpoint,
+        "wms-stats",
+        std::time::Duration::from_millis(wait_ms),
+    )
+    .map_err(client_err)?;
+    let text = client.stats().map_err(client_err)?;
+    write!(out, "{text}")?;
+    Ok(())
+}
+
 /// `wms resilience`: run an attack × severity × scheme campaign over a
 /// deterministic stream population and print the per-cell verdict table.
 pub fn resilience(args: &Args, out: &mut impl std::io::Write) -> Result<(), CmdError> {
@@ -1403,6 +1462,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> i32 {
         "engine" => engine(args, out),
         "daemon" => daemon(args, out),
         "send" => send(args, out),
+        "stats" => stats(args, out),
         "resilience" => resilience(args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
@@ -2178,6 +2238,25 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(run(&argv(&["help"]), &mut out), 0);
         assert!(String::from_utf8_lossy(&out).contains("COMMANDS"));
+    }
+
+    #[test]
+    fn checkpoint_interval_defaults_on_only_with_a_checkpoint_file() {
+        use std::time::Duration;
+        // No checkpoint file: the timer flag has nowhere to write.
+        assert_eq!(checkpoint_interval(None, false), None);
+        assert_eq!(checkpoint_interval(Some(7), false), None);
+        // Checkpoint file configured: absent flag gets the production
+        // default, explicit 0 opts out, anything else wins verbatim.
+        assert_eq!(
+            checkpoint_interval(None, true),
+            Some(Duration::from_millis(DEFAULT_CK_INTERVAL_MS))
+        );
+        assert_eq!(checkpoint_interval(Some(0), true), None);
+        assert_eq!(
+            checkpoint_interval(Some(250), true),
+            Some(Duration::from_millis(250))
+        );
     }
 
     #[test]

@@ -192,6 +192,25 @@ impl Client {
         }
     }
 
+    /// Requests the server's metrics snapshot (`STATS`) and returns the
+    /// Prometheus-style text exposition. Answered even while the daemon
+    /// drains; in-flight batch verdicts that overtake the reply are
+    /// skipped, same as [`Client::drain`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.conn.write_all(&Frame::Stats.encode())?;
+        loop {
+            match self.read_frame()? {
+                Frame::StatsOk { text } => return Ok(text),
+                Frame::Ack { .. } => continue,
+                Frame::Nack { code, detail, .. } => match code {
+                    nack::STALE | nack::OVERLOADED | nack::GAP | nack::DRAINING => continue,
+                    _ => return Err(ClientError::Nack { code, detail }),
+                },
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
     /// Requests a graceful drain and waits for `SHUTDOWN_OK`, skipping
     /// any still-in-flight batch verdicts. Returns `(streams,
     /// tail_rows)` from the finalization.

@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod net;
 pub mod proto;
 pub mod server;
 
 pub use client::{BatchReply, Client, ClientError, Greeting};
+pub use metrics::DaemonMetrics;
 pub use net::{connect, Conn, Endpoint};
 pub use proto::{Frame, FrameDecoder, ProtoError};
 pub use server::{DaemonConfig, Outcome, OverloadPolicy, RunReport, SchemeIdentity, Server};

@@ -59,6 +59,10 @@ pub mod frame_type {
     pub const SHUTDOWN: u8 = 6;
     /// Drain complete: tails flushed, final state durable.
     pub const SHUTDOWN_OK: u8 = 7;
+    /// Telemetry snapshot request.
+    pub const STATS: u8 = 8;
+    /// Telemetry snapshot reply (Prometheus-style text exposition).
+    pub const STATS_OK: u8 = 9;
 }
 
 /// Typed NACK reason codes (`Nack.code`). Stable wire identities —
@@ -140,6 +144,15 @@ pub enum Frame {
         streams: u64,
         /// Tail rows flushed by the finalization.
         tail_rows: u64,
+    },
+    /// Telemetry snapshot request (empty payload; answered with
+    /// [`Frame::StatsOk`] and never refused, even while draining —
+    /// operators need visibility most during a drain).
+    Stats,
+    /// Telemetry snapshot reply.
+    StatsOk {
+        /// Prometheus-style text exposition of every registered metric.
+        text: String,
     },
 }
 
@@ -330,6 +343,12 @@ impl Frame {
                 w.put_u64(*tail_rows);
                 envelope(frame_type::SHUTDOWN_OK, &w.into_bytes())
             }
+            Frame::Stats => envelope(frame_type::STATS, &[]),
+            Frame::StatsOk { text } => {
+                let mut w = ByteWriter::new();
+                w.put_bytes(text.as_bytes());
+                envelope(frame_type::STATS_OK, &w.into_bytes())
+            }
         }
     }
 
@@ -389,6 +408,18 @@ impl Frame {
                 };
                 r.finish()?;
                 Ok(frame)
+            }
+            frame_type::STATS => {
+                if !payload.is_empty() {
+                    return Err(CheckpointError::TrailingBytes.into());
+                }
+                Ok(Frame::Stats)
+            }
+            frame_type::STATS_OK => {
+                let mut r = ByteReader::new(payload);
+                let text = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+                r.finish()?;
+                Ok(Frame::StatsOk { text })
             }
             other => Err(ProtoError::UnknownType(other)),
         }
@@ -545,6 +576,10 @@ mod tests {
             Frame::ShutdownOk {
                 streams: 3,
                 tail_rows: 99,
+            },
+            Frame::Stats,
+            Frame::StatsOk {
+                text: "# TYPE wms_x counter\nwms_x 1\n".into(),
             },
         ]
     }

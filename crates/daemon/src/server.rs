@@ -38,6 +38,7 @@
 //! everything newer and the final output is byte-identical to a run
 //! that never died.
 
+use crate::metrics::DaemonMetrics;
 use crate::net::{self, Conn, Endpoint, Listener};
 use crate::proto::{self, decode_batch_into, frame_type, nack, Frame, FrameDecoder, ProtoError};
 use crate::DaemonError;
@@ -50,6 +51,7 @@ use std::time::{Duration, Instant};
 use wms_core::checkpoint::{ByteReader, ByteWriter};
 use wms_core::EmbedConfig;
 use wms_engine::{Checkpoint, Engine, EngineConfig, EngineError, Event, StreamSpec};
+use wms_telemetry::Registry;
 
 /// Engine-thread wakeup tick: the granularity at which SIGTERM drain
 /// requests and interval checkpoints are noticed.
@@ -143,6 +145,10 @@ pub struct DaemonConfig {
     /// Test/bench hook: sleep this long before each ingest, to make
     /// queue overflow (and thus shedding) deterministic.
     pub ingest_delay: Duration,
+    /// Optional plaintext metrics endpoint (`--metrics`): serves the
+    /// Prometheus-style text exposition to any connection, wrapped in a
+    /// minimal HTTP response so `curl` and scrape-style pollers work.
+    pub metrics_endpoint: Option<Endpoint>,
 }
 
 impl DaemonConfig {
@@ -172,6 +178,7 @@ impl DaemonConfig {
             identity,
             hard_stop_after: 0,
             ingest_delay: Duration::ZERO,
+            metrics_endpoint: None,
         }
     }
 }
@@ -318,6 +325,10 @@ struct Shared {
     read_timeout: Duration,
     write_timeout: Duration,
     idle_timeout: Duration,
+    metrics: Arc<DaemonMetrics>,
+    /// Daemon + engine metrics; rendered for `STATS` frames and the
+    /// `--metrics` scrape listener.
+    registry: Arc<Registry>,
 }
 
 /// SIGTERM plumbing. The handler only flips an atomic; the engine
@@ -398,6 +409,7 @@ struct EngineLoop {
     batches: u64,
     events: u64,
     stale: u64,
+    metrics: Arc<DaemonMetrics>,
 }
 
 impl EngineLoop {
@@ -507,11 +519,13 @@ impl EngineLoop {
         events: Vec<Event>,
         reply: &mpsc::Sender<Vec<u8>>,
     ) -> Result<(), DaemonError> {
+        self.metrics.queue_depth.sub(1);
         if seq <= self.submitted {
             // Replay of an already-applied (or already-riding) batch —
             // a client journal after a crash: acknowledge-by-NACK so
             // the sender moves on.
             self.stale += 1;
+            self.metrics.nack(nack::STALE);
             let nack = Frame::Nack {
                 seq,
                 code: nack::STALE,
@@ -522,6 +536,7 @@ impl EngineLoop {
             return Ok(());
         }
         if seq != self.submitted + 1 {
+            self.metrics.nack(nack::GAP);
             let nack = Frame::Nack {
                 seq,
                 code: nack::GAP,
@@ -536,6 +551,7 @@ impl EngineLoop {
         }
         let n_events = events.len() as u64;
         if let Err(e) = self.submit(&events) {
+            self.metrics.nack(nack::ENGINE);
             let nack = Frame::Nack {
                 seq,
                 code: nack::ENGINE,
@@ -563,6 +579,7 @@ impl EngineLoop {
             n_events,
             reply: reply.clone(),
         });
+        self.metrics.inflight_acks.set(self.inflight.len() as u64);
         self.pool.put(events);
         // Bound the in-flight window to the ring depth: beyond it the
         // shards are saturated and submitting more only buffers.
@@ -585,11 +602,13 @@ impl EngineLoop {
         let Some(front) = self.inflight.pop_front() else {
             return Ok(());
         };
+        self.metrics.inflight_acks.set(self.inflight.len() as u64);
         let engine = self.engine.as_mut().expect("engine live");
         let outs = match engine.collect_next() {
             Ok(Some((_, outs))) => outs,
             Ok(None) => unreachable!("one inflight entry per outstanding epoch"),
             Err(e) => {
+                self.metrics.nack(nack::ENGINE);
                 let nack = Frame::Nack {
                     seq: front.seq,
                     code: nack::ENGINE,
@@ -597,6 +616,7 @@ impl EngineLoop {
                 };
                 let _ = front.reply.send(nack.encode());
                 for rider in self.inflight.drain(..) {
+                    self.metrics.nack(nack::ENGINE);
                     let nack = Frame::Nack {
                         seq: rider.seq,
                         code: nack::ENGINE,
@@ -604,6 +624,7 @@ impl EngineLoop {
                     };
                     let _ = rider.reply.send(nack.encode());
                 }
+                self.metrics.inflight_acks.set(0);
                 return Err(DaemonError::Engine(e));
             }
         };
@@ -659,6 +680,7 @@ impl EngineLoop {
         let Some(path) = self.ck_path.clone() else {
             return Ok(());
         };
+        let started = Instant::now();
         // Collect (and ACK) everything riding the rings first: the
         // snapshot will contain those epochs' effects, so the recorded
         // `acked_seq` must cover them or a resume would replay them
@@ -692,6 +714,9 @@ impl EngineLoop {
         self.dirty = false;
         self.batches_since_ck = 0;
         self.last_ck = Instant::now();
+        self.metrics
+            .checkpoint_write_seconds
+            .observe_duration(started.elapsed());
         Ok(())
     }
 
@@ -701,6 +726,7 @@ impl EngineLoop {
         mut self,
         drain_replies: Vec<mpsc::Sender<Vec<u8>>>,
     ) -> Result<RunReport, DaemonError> {
+        let started = Instant::now();
         if self.dirty {
             self.write_checkpoint()?;
         }
@@ -726,6 +752,9 @@ impl EngineLoop {
         for r in &drain_replies {
             let _ = r.send(ok.clone());
         }
+        self.metrics
+            .drain_seconds
+            .observe_duration(started.elapsed());
         Ok(self.into_report(Outcome::Drained, outcomes))
     }
 
@@ -749,6 +778,8 @@ pub struct Server {
     listener: Listener,
     state: Option<EngineLoopSeed>,
     desc: String,
+    metrics_listener: Option<Listener>,
+    metrics_desc: Option<String>,
 }
 
 /// The pieces `bind` prepares for the engine thread.
@@ -858,11 +889,20 @@ impl Server {
         let listener = Listener::bind(&cfg.endpoint)
             .map_err(|e| DaemonError::Io(format!("bind {}: {e}", cfg.endpoint)))?;
         let desc = listener.local_desc();
+        let metrics_listener = match &cfg.metrics_endpoint {
+            Some(ep) => {
+                Some(Listener::bind(ep).map_err(|e| DaemonError::Io(format!("bind {ep}: {e}")))?)
+            }
+            None => None,
+        };
+        let metrics_desc = metrics_listener.as_ref().map(|l| l.local_desc());
         Ok(Server {
             cfg,
             listener,
             state: Some(seed),
             desc,
+            metrics_listener,
+            metrics_desc,
         })
     }
 
@@ -870,6 +910,11 @@ impl Server {
     /// for, and for log lines).
     pub fn local_desc(&self) -> &str {
         &self.desc
+    }
+
+    /// The concrete bound metrics endpoint, when `--metrics` is on.
+    pub fn metrics_local_desc(&self) -> Option<&str> {
+        self.metrics_desc.as_deref()
     }
 
     /// The sequence number of the last batch the engine has applied
@@ -889,6 +934,11 @@ impl Server {
         let shed = Arc::new(AtomicU64::new(0));
         let pool = Arc::new(Pool::new(self.cfg.queue_depth * 2));
         let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(self.cfg.queue_depth);
+
+        let metrics = Arc::new(DaemonMetrics::new());
+        let registry = Arc::new(Registry::new());
+        metrics.register_into(&registry);
+        seed.engine.metrics().register_into(&registry);
 
         let eng = EngineLoop {
             engine: Some(seed.engine),
@@ -914,6 +964,7 @@ impl Server {
             batches: 0,
             events: 0,
             stale: 0,
+            metrics: Arc::clone(&metrics),
         };
         let fin = Arc::clone(&finished);
         let engine_thread = std::thread::Builder::new()
@@ -936,7 +987,18 @@ impl Server {
             read_timeout: self.cfg.read_timeout,
             write_timeout: self.cfg.write_timeout,
             idle_timeout: self.cfg.idle_timeout,
+            metrics: Arc::clone(&metrics),
+            registry: Arc::clone(&registry),
         };
+
+        let metrics_thread = self.metrics_listener.take().map(|l| {
+            let reg = Arc::clone(&registry);
+            let fin = Arc::clone(&finished);
+            std::thread::Builder::new()
+                .name("wmsd-metrics".into())
+                .spawn(move || metrics_loop(l, reg, fin))
+                .expect("spawn metrics listener")
+        });
 
         self.listener
             .set_nonblocking(true)
@@ -951,6 +1013,7 @@ impl Server {
             match self.listener.accept() {
                 Ok(conn) => {
                     connections += 1;
+                    metrics.connections.inc();
                     match spawn_conn(conn, shared.clone()) {
                         Ok((reader, writer, handle)) => {
                             threads.push(reader);
@@ -977,8 +1040,15 @@ impl Server {
         for t in threads {
             let _ = t.join();
         }
+        if let Some(t) = metrics_thread {
+            let _ = t.join();
+        }
         #[cfg(unix)]
         if let Endpoint::Unix(path) = &self.cfg.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        #[cfg(unix)]
+        if let Some(Endpoint::Unix(path)) = &self.cfg.metrics_endpoint {
             let _ = std::fs::remove_file(path);
         }
         report.map(|mut r| {
@@ -1050,7 +1120,7 @@ fn reader_loop(mut conn: Conn, sh: Shared, reply_tx: mpsc::Sender<Vec<u8>>) {
                             }
                         }
                         Err(e) => {
-                            send_proto_nack(&reply_tx, &e);
+                            send_proto_nack(&reply_tx, &sh.metrics, &e);
                             return;
                         }
                     }
@@ -1066,7 +1136,8 @@ fn reader_loop(mut conn: Conn, sh: Shared, reply_tx: mpsc::Sender<Vec<u8>>) {
     }
 }
 
-fn send_proto_nack(reply_tx: &mpsc::Sender<Vec<u8>>, e: &ProtoError) {
+fn send_proto_nack(reply_tx: &mpsc::Sender<Vec<u8>>, metrics: &DaemonMetrics, e: &ProtoError) {
+    metrics.nack(nack::BAD_FRAME);
     let nack = Frame::Nack {
         seq: 0,
         code: nack::BAD_FRAME,
@@ -1078,6 +1149,7 @@ fn send_proto_nack(reply_tx: &mpsc::Sender<Vec<u8>>, e: &ProtoError) {
 /// Handles one well-framed message. Returns `false` to close the
 /// connection.
 fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>>) -> bool {
+    sh.metrics.frame(raw.ty);
     match raw.ty {
         frame_type::BATCH => {
             let mut events = sh.pool.take();
@@ -1085,12 +1157,13 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
                 Ok(seq) => seq,
                 Err(e) => {
                     sh.pool.put(events);
-                    send_proto_nack(reply_tx, &e);
+                    send_proto_nack(reply_tx, &sh.metrics, &e);
                     return false;
                 }
             };
             if sh.draining.load(Ordering::SeqCst) {
                 sh.pool.put(events);
+                sh.metrics.nack(nack::DRAINING);
                 let nack = Frame::Nack {
                     seq,
                     code: nack::DRAINING,
@@ -1104,18 +1177,34 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
                 events,
                 reply: reply_tx.clone(),
             };
+            // The gauge goes up before the send and the engine thread
+            // takes it down when the job is dequeued, so it can read
+            // one high, never negative.
+            sh.metrics.queue_depth.add(1);
             match sh.overload {
-                OverloadPolicy::Block => {
-                    if let Err(mpsc::SendError(job)) = sh.jobs.send(job) {
+                OverloadPolicy::Block => match sh.jobs.try_send(job) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(job)) => {
+                        sh.metrics.blocks.inc();
+                        if let Err(mpsc::SendError(job)) = sh.jobs.send(job) {
+                            sh.metrics.queue_depth.sub(1);
+                            refuse_dead_engine(job, sh, reply_tx);
+                        }
+                    }
+                    Err(mpsc::TrySendError::Disconnected(job)) => {
+                        sh.metrics.queue_depth.sub(1);
                         refuse_dead_engine(job, sh, reply_tx);
                     }
-                }
+                },
                 OverloadPolicy::Shed => match sh.jobs.try_send(job) {
                     Ok(()) => {}
                     Err(mpsc::TrySendError::Full(job)) => {
+                        sh.metrics.queue_depth.sub(1);
                         if let Job::Batch { seq, events, .. } = job {
                             sh.pool.put(events);
                             sh.shed.fetch_add(1, Ordering::SeqCst);
+                            sh.metrics.sheds.inc();
+                            sh.metrics.nack(nack::OVERLOADED);
                             let nack = Frame::Nack {
                                 seq,
                                 code: nack::OVERLOADED,
@@ -1125,6 +1214,7 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
                         }
                     }
                     Err(mpsc::TrySendError::Disconnected(job)) => {
+                        sh.metrics.queue_depth.sub(1);
                         refuse_dead_engine(job, sh, reply_tx);
                     }
                 },
@@ -1134,6 +1224,7 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
         frame_type::HELLO => match Frame::decode(raw.ty, &raw.payload) {
             Ok(Frame::Hello { proto, .. }) => {
                 if proto != proto::VERSION as u16 {
+                    sh.metrics.nack(nack::UNSUPPORTED);
                     let nack = Frame::Nack {
                         seq: 0,
                         code: nack::UNSUPPORTED,
@@ -1158,12 +1249,13 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
             Ok(_) => {
                 send_proto_nack(
                     reply_tx,
+                    &sh.metrics,
                     &ProtoError::Malformed("hello decoded oddly".into()),
                 );
                 false
             }
             Err(e) => {
-                send_proto_nack(reply_tx, &e);
+                send_proto_nack(reply_tx, &sh.metrics, &e);
                 false
             }
         },
@@ -1174,6 +1266,7 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
             };
             if sh.jobs.send(job).is_err() {
                 // Engine already gone (double shutdown): still answer.
+                sh.metrics.nack(nack::DRAINING);
                 let nack = Frame::Nack {
                     seq: 0,
                     code: nack::DRAINING,
@@ -1183,9 +1276,19 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
             }
             true
         }
+        // Answered on the reader thread (no engine round-trip), and
+        // never refused — operators need visibility most mid-drain.
+        frame_type::STATS => {
+            let ok = Frame::StatsOk {
+                text: sh.registry.render(),
+            };
+            let _ = reply_tx.send(ok.encode());
+            true
+        }
         // Server-to-client frame types arriving at the server are a
         // protocol violation by a confused peer.
         other => {
+            sh.metrics.nack(nack::BAD_FRAME);
             let nack = Frame::Nack {
                 seq: 0,
                 code: nack::BAD_FRAME,
@@ -1202,11 +1305,57 @@ fn handle_raw(raw: proto::RawFrame, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>
 fn refuse_dead_engine(job: Job, sh: &Shared, reply_tx: &mpsc::Sender<Vec<u8>>) {
     if let Job::Batch { seq, events, .. } = job {
         sh.pool.put(events);
+        sh.metrics.nack(nack::DRAINING);
         let nack = Frame::Nack {
             seq,
             code: nack::DRAINING,
             detail: "daemon stopped before the batch was applied".into(),
         };
         let _ = reply_tx.send(nack.encode());
+    }
+}
+
+/// The `--metrics` scrape listener: accepts one connection at a time,
+/// reads (and discards) whatever request line arrives, and answers with
+/// the registry's text exposition wrapped in a minimal HTTP/1.0
+/// response so `curl` and Prometheus-style pollers both work. Exits
+/// when the engine thread finishes.
+fn metrics_loop(listener: Listener, registry: Arc<Registry>, finished: Arc<AtomicBool>) {
+    use std::io::Read;
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !finished.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(mut conn) => {
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+                let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+                // Drain the request until the header terminator (or a
+                // timeout / EOF): plain `nc` sends nothing, curl sends
+                // a GET — either way the reply is the same.
+                let mut buf = [0u8; 1024];
+                loop {
+                    match conn.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let body = registry.render();
+                let resp = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = conn.write_all(resp.as_bytes());
+                let _ = conn.flush();
+                let _ = conn.shutdown();
+            }
+            Err(e) if net::is_timeout(&e) => std::thread::sleep(ACCEPT_TICK),
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
     }
 }

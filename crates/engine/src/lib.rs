@@ -115,6 +115,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod spill;
 mod worker;
 
@@ -130,6 +131,7 @@ use wms_stream::Sample;
 pub use wms_stream::{Event, StreamId};
 use worker::{Entry, Ring, Session, Shard};
 
+pub use metrics::EngineMetrics;
 pub use spill::{SpillError, SpillFile, SpillStats};
 
 /// How a registered stream processes its samples.
@@ -699,6 +701,11 @@ pub struct Engine {
     /// Per-shard residency accounts (diagnostics; the budget itself is
     /// global, so a hot shard may hold more than its share).
     resident_per_shard: Vec<usize>,
+    /// Always-on telemetry handles (relaxed atomics; see [`metrics`]).
+    metrics: Arc<EngineMetrics>,
+    /// Spill compaction count last mirrored into the metrics, so the
+    /// counter advances by deltas of [`SpillStats::compactions`].
+    spill_compactions_seen: u64,
 }
 
 impl Engine {
@@ -731,6 +738,7 @@ impl Engine {
         };
         let router = ShardRouter::new(config.shard_key, workers);
         let ring_capacity = config.ring_capacity.max(1);
+        let metrics = Arc::new(EngineMetrics::new(workers));
         let backend = if workers == 1 {
             Backend::Inline(Box::new(Shard::new()))
         } else {
@@ -742,7 +750,13 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1)
                 > 1;
-            Backend::Ring(Ring::new(workers, ring_capacity, eager_wake))
+            Backend::Ring(Ring::new(
+                workers,
+                ring_capacity,
+                eager_wake,
+                metrics.ring_depth.clone(),
+                metrics.ring_high_water.clone(),
+            ))
         };
         Ok(Engine {
             router,
@@ -768,6 +782,8 @@ impl Engine {
             resident_count: 0,
             spilled_count: 0,
             resident_per_shard: vec![0; workers],
+            metrics,
+            spill_compactions_seen: 0,
         })
     }
 
@@ -845,6 +861,7 @@ impl Engine {
             );
             engine.order.push(entry.id);
         }
+        engine.sync_storage_metrics();
         Ok(engine)
     }
 
@@ -882,6 +899,33 @@ impl Engine {
     /// Spill-store occupancy counters.
     pub fn spill_stats(&self) -> SpillStats {
         self.spill.stats()
+    }
+
+    /// This engine's telemetry handles. Always live (recording is a
+    /// relaxed atomic bump either way); register them into a
+    /// [`wms_telemetry::Registry`] via
+    /// [`EngineMetrics::register_into`] to render an exposition.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Mirrors registry/spill occupancy into the gauges and advances
+    /// the compaction counter by the spill log's delta. A handful of
+    /// relaxed stores; called wherever residency or the spill changes.
+    fn sync_storage_metrics(&mut self) {
+        self.metrics
+            .resident_sessions
+            .set(self.resident_count as u64);
+        self.metrics.spilled_sessions.set(self.spilled_count as u64);
+        let stats = self.spill.stats();
+        self.metrics.spill_log_bytes.set(stats.log_bytes);
+        self.metrics.spill_live_bytes.set(stats.live_bytes);
+        if stats.compactions > self.spill_compactions_seen {
+            self.metrics
+                .spill_compactions
+                .add(stats.compactions - self.spill_compactions_seen);
+            self.spill_compactions_seen = stats.compactions;
+        }
     }
 
     /// Replays the first fatal error (worker panic, spill I/O failure).
@@ -940,6 +984,9 @@ impl Engine {
         self.order.push(id);
         self.resident_count += 1;
         self.resident_per_shard[shard] += 1;
+        self.metrics
+            .resident_sessions
+            .set(self.resident_count as u64);
         if self.max_resident > 0 {
             self.lru.insert((self.clock, id.0));
             self.enforce_budget()?;
@@ -1044,7 +1091,9 @@ impl Engine {
             self.resident_count -= 1;
             self.resident_per_shard[entry.shard] -= 1;
             self.spilled_count += 1;
+            self.metrics.evictions.inc();
         }
+        self.sync_storage_metrics();
         Ok(())
     }
 
@@ -1108,6 +1157,8 @@ impl Engine {
         if self.max_resident > 0 {
             self.lru.insert((entry.last_touch, id));
         }
+        self.metrics.readoptions.inc();
+        self.sync_storage_metrics();
         Ok(())
     }
 
@@ -1200,6 +1251,9 @@ impl Engine {
             let meta = self.route_and_publish(epoch, events)?;
             self.outstanding.push_back(PendingEpoch::Meta(meta));
         }
+        self.metrics.batches.inc();
+        self.metrics.epochs_submitted.inc();
+        self.metrics.items.add(events.len() as u64);
         if self.max_resident > 0 {
             self.enforce_budget()?;
         }
@@ -1213,11 +1267,15 @@ impl Engine {
         self.ensure_live()?;
         match self.outstanding.pop_front() {
             None => Ok(None),
-            Some(PendingEpoch::Ready(epoch, outputs)) => Ok(Some((epoch, outputs))),
+            Some(PendingEpoch::Ready(epoch, outputs)) => {
+                self.metrics.epochs_collected.inc();
+                Ok(Some((epoch, outputs)))
+            }
             Some(PendingEpoch::Meta(meta)) => {
                 let outputs = self.collect_meta(&meta)?;
                 let epoch = meta.epoch;
                 self.recycle_meta(meta);
+                self.metrics.epochs_collected.inc();
                 Ok(Some((epoch, outputs)))
             }
         }
@@ -1497,6 +1555,7 @@ impl Engine {
             moved += 1;
         }
         self.bump_load_window();
+        self.metrics.rebalance_steals.add(moved as u64);
         Ok(moved)
     }
 
@@ -1585,6 +1644,7 @@ impl Engine {
     /// the checkpoint alone, never the spill file.
     pub fn checkpoint(&mut self) -> Result<Checkpoint, EngineError> {
         self.ensure_live()?;
+        let started = std::time::Instant::now();
         // Snapshot at the watermark: every published event must be
         // applied before any session serializes. (Uncollected epochs
         // stay collectible afterwards — their results are already in
@@ -1663,6 +1723,9 @@ impl Engine {
                 }
             })
             .collect();
+        self.metrics
+            .checkpoint_seconds
+            .observe_duration(started.elapsed());
         Ok(Checkpoint {
             meta: Vec::new(),
             streams,

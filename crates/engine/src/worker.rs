@@ -47,6 +47,7 @@ use std::thread::JoinHandle;
 use wms_core::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use wms_core::{DetectSession, EmbedSession};
 use wms_stream::{Event, Sample};
+use wms_telemetry::Gauge;
 
 /// Checkpoint kind tag of an embedding session.
 pub(crate) const KIND_EMBED: u8 = 0;
@@ -491,10 +492,15 @@ pub(crate) struct ShardCell {
     /// watermark). Written by consumers after the result is queued.
     applied: AtomicU64,
     poisoned: AtomicBool,
+    /// Telemetry: current `pending` length, mirrored at every
+    /// push/pop while the queue lock is already held.
+    depth: Gauge,
+    /// Telemetry: highest `pending` length ever seen.
+    high_water: Gauge,
 }
 
 impl ShardCell {
-    fn new() -> ShardCell {
+    fn new(depth: Gauge, high_water: Gauge) -> ShardCell {
         ShardCell {
             q: Mutex::new(RingQueue {
                 pending: VecDeque::new(),
@@ -506,6 +512,8 @@ impl ShardCell {
             proc: Mutex::new(Shard::new()),
             applied: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            depth,
+            high_water,
         }
     }
 
@@ -535,7 +543,11 @@ impl ShardCell {
             if q.shutdown {
                 return Consumed::Empty;
             }
-            q.pending.pop_front()
+            let e = q.pending.pop_front();
+            if e.is_some() {
+                self.depth.set(q.pending.len() as u64);
+            }
+            e
         };
         let Some(mut entry) = entry else {
             return Consumed::Empty;
@@ -634,13 +646,25 @@ pub(crate) struct Ring {
 }
 
 impl Ring {
-    pub(crate) fn new(shards: usize, capacity: usize, eager_wake: bool) -> Ring {
+    pub(crate) fn new(
+        shards: usize,
+        capacity: usize,
+        eager_wake: bool,
+        depth: Vec<Gauge>,
+        high_water: Vec<Gauge>,
+    ) -> Ring {
         let capacity = capacity.max(1);
+        debug_assert_eq!(depth.len(), shards);
+        debug_assert_eq!(high_water.len(), shards);
         let progress = Arc::new(Progress {
             gen: Mutex::new(0),
             cv: Condvar::new(),
         });
-        let cells: Vec<Arc<ShardCell>> = (0..shards).map(|_| Arc::new(ShardCell::new())).collect();
+        let cells: Vec<Arc<ShardCell>> = depth
+            .into_iter()
+            .zip(high_water)
+            .map(|(d, hw)| Arc::new(ShardCell::new(d, hw)))
+            .collect();
         let threads = cells
             .iter()
             .enumerate()
@@ -708,6 +732,9 @@ impl Ring {
                 if q.pending.len() < self.capacity {
                     q.pending
                         .push_back(entry.take().expect("publish retries keep the entry"));
+                    let depth = q.pending.len() as u64;
+                    cell.depth.set(depth);
+                    cell.high_water.record_max(depth);
                     drop(q);
                     if self.eager_wake {
                         cell.work_cv.notify_one();

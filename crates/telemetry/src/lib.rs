@@ -1,0 +1,738 @@
+//! `wms-telemetry`: lock-free metrics for the engine and daemon, with a
+//! Prometheus-style text exposition renderer.
+//!
+//! The design splits *recording* from *exposition* so instrumentation
+//! can live on hot paths:
+//!
+//! * **Handles** ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//!   clonable wrappers over shared atomics. Recording is a relaxed
+//!   atomic RMW — no locks, no allocation, no branching on whether
+//!   anything is scraping. A handle that is never registered anywhere
+//!   is the "disabled facade": the cost of carrying it is exactly one
+//!   relaxed `fetch_add` per event, which is why the engine can
+//!   instrument unconditionally.
+//! * A [`Registry`] is the sink. Subsystems register their handles
+//!   under stable names (plus optional `key="value"` labels) and
+//!   [`Registry::render`] walks the registered cells into the
+//!   Prometheus text format (`# HELP` / `# TYPE` headers, one sample
+//!   line per label set, cumulative `_bucket{le=...}` series plus
+//!   `_sum` / `_count` for histograms).
+//!
+//! Exposition is pull-based and read-only: rendering takes a snapshot
+//! of each atomic with relaxed loads, so a scrape never blocks a
+//! recorder. Counter reads are monotone per cell; cross-metric
+//! consistency is best-effort, as in any sampled exposition.
+//!
+//! The canonical metric names this workspace emits are tabulated in
+//! `DESIGN.md` §3.18; a doc-check test in each emitting crate fails if
+//! a registered name disappears from that table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+///
+/// Cloning shares the underlying cell: all clones observe and advance
+/// the same value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero, not registered anywhere.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depth, resident sessions) or
+/// track a running maximum (occupancy high-water).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero, not registered anywhere.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (a release racing a reset must
+    /// not wrap to 2^64).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.cell.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .cell
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Raises the value to at least `v` (high-water tracking).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state behind a [`Histogram`] handle.
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; `len ==
+    /// bounds.len() + 1`, the last being the overflow (`+Inf`) bucket.
+    buckets: Vec<AtomicU64>,
+    /// Bit pattern of the `f64` sum of observed values.
+    sum_bits: AtomicU64,
+    /// Total observations.
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations (durations are
+/// observed in seconds, Prometheus convention).
+///
+/// Buckets are fixed at construction; observing is a linear scan over
+/// a handful of bounds plus three relaxed RMWs — no allocation.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram over the given finite bucket upper bounds (an
+    /// implicit `+Inf` bucket is appended). Bounds must be strictly
+    /// increasing and non-empty.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Default bounds for operation latencies, in seconds: 100 µs up to
+    /// 10 s, the range a checkpoint or drain plausibly spans.
+    pub fn duration_bounds() -> &'static [f64] {
+        &[
+            0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+        ]
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let c = &self.core;
+        let idx = c
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS on the bit pattern (the workspace forbids
+        // unsafe, so no AtomicF64; this path is rare — per checkpoint,
+        // not per sample).
+        let mut cur = c.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match c
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Records a wall-clock duration, in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs including the final
+    /// `(+Inf, total)` bucket — what the text exposition emits.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let c = &self.core;
+        let mut total = 0u64;
+        let mut out = Vec::with_capacity(c.buckets.len());
+        for (i, b) in c.buckets.iter().enumerate() {
+            total += b.load(Ordering::Relaxed);
+            let bound = c.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, total));
+        }
+        out
+    }
+}
+
+/// One registered metric cell.
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registered metric: name, help, label set, cell.
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// The exposition sink: registered handles rendered on demand into the
+/// Prometheus text format.
+///
+/// Registration is cold-path and mutex-guarded; rendering takes the
+/// same mutex but only reads the atomics, so recorders never wait.
+/// The same metric name may be registered repeatedly with *different*
+/// label sets (one series per label set); re-registering an identical
+/// `(name, labels)` pair, or reusing a name with a different metric
+/// kind, is a caller bug and panics.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], cell: Cell) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name {
+                assert_eq!(
+                    e.cell.kind(),
+                    cell.kind(),
+                    "metric {name:?} registered with two kinds"
+                );
+                assert!(
+                    !same_labels(&e.labels, labels),
+                    "metric {name:?} registered twice with identical labels"
+                );
+            }
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            cell,
+        });
+    }
+
+    /// Registers an existing counter handle under `name` with `labels`.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) {
+        self.register(name, help, labels, Cell::Counter(counter.clone()));
+    }
+
+    /// Registers an existing gauge handle under `name` with `labels`.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.register(name, help, labels, Cell::Gauge(gauge.clone()));
+    }
+
+    /// Registers an existing histogram handle under `name` with
+    /// `labels`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: &Histogram,
+    ) {
+        self.register(name, help, labels, Cell::Histogram(histogram.clone()));
+    }
+
+    /// Creates and registers an unlabeled counter in one step.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter::new();
+        self.register_counter(name, help, &[], &c);
+        c
+    }
+
+    /// Creates and registers an unlabeled gauge in one step.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let g = Gauge::new();
+        self.register_gauge(name, help, &[], &g);
+        g
+    }
+
+    /// Every distinct metric name currently registered, in first-seen
+    /// order — what the doc-check tests compare against DESIGN.md.
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.lock().unwrap();
+        let mut out: Vec<String> = Vec::new();
+        for e in entries.iter() {
+            if !out.contains(&e.name) {
+                out.push(e.name.clone());
+            }
+        }
+        out
+    }
+
+    /// Renders every registered series in the Prometheus text format.
+    /// Series sharing a name are grouped under one `# HELP` / `# TYPE`
+    /// header pair, in first-registration order.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        let mut done: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if done.contains(&e.name.as_str()) {
+                continue;
+            }
+            done.push(&e.name);
+            out.push_str("# HELP ");
+            out.push_str(&e.name);
+            out.push(' ');
+            out.push_str(&escape_help(&e.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&e.name);
+            out.push(' ');
+            out.push_str(e.cell.kind());
+            out.push('\n');
+            for s in entries.iter().filter(|s| s.name == e.name) {
+                render_series(&mut out, s);
+            }
+        }
+        out
+    }
+}
+
+/// Appends the sample line(s) for one registered series.
+fn render_series(out: &mut String, e: &Entry) {
+    match &e.cell {
+        Cell::Counter(c) => {
+            out.push_str(&e.name);
+            push_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&c.get().to_string());
+            out.push('\n');
+        }
+        Cell::Gauge(g) => {
+            out.push_str(&e.name);
+            push_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&g.get().to_string());
+            out.push('\n');
+        }
+        Cell::Histogram(h) => {
+            for (bound, cum) in h.cumulative_buckets() {
+                out.push_str(&e.name);
+                out.push_str("_bucket");
+                let le = if bound.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format_f64(bound)
+                };
+                push_labels(out, &e.labels, Some(("le", &le)));
+                out.push(' ');
+                out.push_str(&cum.to_string());
+                out.push('\n');
+            }
+            out.push_str(&e.name);
+            out.push_str("_sum");
+            push_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&format_f64(h.sum()));
+            out.push('\n');
+            out.push_str(&e.name);
+            out.push_str("_count");
+            push_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&h.count().to_string());
+            out.push('\n');
+        }
+    }
+}
+
+/// Appends `{k="v",...}` (plus an optional extra pair, for `le`) unless
+/// there are no labels at all.
+fn push_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// `f64` in exposition form: integral values without a trailing `.0`
+/// would be ambiguous with integers in some parsers, so keep Rust's
+/// shortest-roundtrip `Display` (Prometheus accepts both).
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the Prometheus metric/label name
+/// grammar (we additionally use it for label names, which disallows
+/// `:`, but none of ours carry one).
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn same_labels(a: &[(String, String)], b: &[(&str, &str)]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(4);
+        assert_eq!(g.get(), 6);
+        g.sub(100); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.record_max(5);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(c2.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_complete() {
+        let h = Histogram::with_bounds(&[0.01, 0.1, 1.0]);
+        for v in [0.005, 0.005, 0.05, 0.5, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 50.56).abs() < 1e-9);
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(0.01, 2), (0.1, 3), (1.0, 4), (f64::INFINITY, 5)]
+        );
+        // A value exactly on a bound lands in that bound's bucket
+        // (Prometheus `le` semantics).
+        let h = Histogram::with_bounds(&[1.0]);
+        h.observe(1.0);
+        assert_eq!(h.cumulative_buckets(), vec![(1.0, 1), (f64::INFINITY, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::with_bounds(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn exposition_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("wms_test_events_total", "Events seen.");
+        c.add(12);
+        let by_type = Counter::new();
+        reg.register_counter(
+            "wms_test_frames_total",
+            "Frames by type.",
+            &[("type", "batch")],
+            &by_type,
+        );
+        let nacks = Counter::new();
+        reg.register_counter(
+            "wms_test_frames_total",
+            "Frames by type.",
+            &[("type", "nack")],
+            &nacks,
+        );
+        by_type.add(3);
+        nacks.inc();
+        let g = reg.gauge("wms_test_queue_depth", "Jobs queued.");
+        g.set(4);
+        let h = Histogram::with_bounds(&[0.5, 1.0]);
+        reg.register_histogram("wms_test_op_seconds", "Op latency.", &[], &h);
+        h.observe(0.25);
+        h.observe(2.0);
+
+        let text = reg.render();
+        // Parse it back: every non-comment line is `name{labels} value`,
+        // every family has exactly one HELP and one TYPE, histogram
+        // series are cumulative and internally consistent.
+        let mut help = 0;
+        let mut typ = 0;
+        let mut samples: Vec<(String, f64)> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                assert!(rest.starts_with("wms_test_"));
+                help += 1;
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap();
+                let kind = it.next().unwrap();
+                assert!(["counter", "gauge", "histogram"].contains(&kind), "{name}");
+                typ += 1;
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                samples.push((series.to_string(), value.parse::<f64>().unwrap()));
+            }
+        }
+        assert_eq!(help, 4, "one HELP per family:\n{text}");
+        assert_eq!(typ, 4);
+        let get = |s: &str| {
+            samples
+                .iter()
+                .find(|(n, _)| n == s)
+                .unwrap_or_else(|| panic!("missing series {s} in:\n{text}"))
+                .1
+        };
+        assert_eq!(get("wms_test_events_total"), 12.0);
+        assert_eq!(get("wms_test_frames_total{type=\"batch\"}"), 3.0);
+        assert_eq!(get("wms_test_frames_total{type=\"nack\"}"), 1.0);
+        assert_eq!(get("wms_test_queue_depth"), 4.0);
+        assert_eq!(get("wms_test_op_seconds_bucket{le=\"0.5\"}"), 1.0);
+        assert_eq!(get("wms_test_op_seconds_bucket{le=\"1\"}"), 1.0);
+        assert_eq!(get("wms_test_op_seconds_bucket{le=\"+Inf\"}"), 2.0);
+        assert_eq!(get("wms_test_op_seconds_sum"), 2.25);
+        assert_eq!(get("wms_test_op_seconds_count"), 2.0);
+        assert_eq!(reg.names().len(), 4);
+    }
+
+    #[test]
+    fn labels_escape_hostile_values() {
+        let reg = Registry::new();
+        let c = Counter::new();
+        reg.register_counter(
+            "wms_test_weird",
+            "Help with \\ backslash\nand newline.",
+            &[("who", "a\"b\\c\nd")],
+            &c,
+        );
+        let text = reg.render();
+        assert!(text.contains("# HELP wms_test_weird Help with \\\\ backslash\\nand newline."));
+        assert!(text.contains("wms_test_weird{who=\"a\\\"b\\\\c\\nd\"} 0"));
+        // Still line-structured: exactly one sample line.
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical labels")]
+    fn duplicate_series_is_refused() {
+        let reg = Registry::new();
+        reg.counter("wms_test_dup", "a");
+        reg.counter("wms_test_dup", "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_conflict_is_refused() {
+        let reg = Registry::new();
+        reg.counter("wms_test_kind", "a");
+        reg.register_gauge("wms_test_kind", "b", &[("x", "y")], &Gauge::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_is_refused() {
+        Registry::new().counter("0bad name", "nope");
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_or_regress() {
+        const THREADS: usize = 8;
+        const PER: u64 = 50_000;
+        let c = Counter::new();
+        let stop_watch = c.clone();
+        let watcher = std::thread::spawn(move || {
+            // Monotonicity: sampled values never decrease.
+            let mut last = 0;
+            while last < THREADS as u64 * PER {
+                let now = stop_watch.get();
+                assert!(now >= last, "counter regressed: {last} -> {now}");
+                last = now;
+            }
+        });
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..PER {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        watcher.join().unwrap();
+        assert_eq!(c.get(), THREADS as u64 * PER, "lost increments");
+    }
+
+    #[test]
+    fn unregistered_facade_costs_one_relaxed_rmw() {
+        // The "disabled" facade is an unregistered handle. Its
+        // increment must stay in the same cost class as a bare relaxed
+        // fetch_add — no allocation, no lock, no registry lookup. The
+        // ratio bound is deliberately loose (shared-CI noise), but it
+        // would still catch an accidental mutex or format! on the path.
+        const N: u64 = 2_000_000;
+        let bare = AtomicU64::new(0);
+        let t0 = Instant::now();
+        for _ in 0..N {
+            std::hint::black_box(&bare).fetch_add(1, Ordering::Relaxed);
+        }
+        let baseline = t0.elapsed();
+
+        let c = Counter::new(); // never registered: no sink
+        let t0 = Instant::now();
+        for _ in 0..N {
+            std::hint::black_box(&c).inc();
+        }
+        let facade = t0.elapsed();
+        assert_eq!(bare.load(Ordering::Relaxed), N);
+        assert_eq!(c.get(), N);
+        assert!(
+            facade < baseline * 10 + Duration::from_millis(50),
+            "unregistered counter too slow: {facade:?} vs bare atomic {baseline:?}"
+        );
+    }
+}
